@@ -1,0 +1,320 @@
+//! A classic path-vector protocol (BGP-style, without policy), hand-coded
+//! against the simulator. This is the paper's "PV" baseline in Figure 6: it
+//! computes all-pairs shortest paths by exchanging full path vectors with
+//! neighbors, batching advertisements every `advertisement_interval`.
+
+use dr_netsim::{Context, LinkEvent, NodeApp, SimDuration};
+use dr_types::{Cost, NodeId, PathVector};
+use std::collections::{BTreeMap, HashMap};
+
+/// One route in the routing table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteEntry {
+    /// Destination.
+    pub dest: NodeId,
+    /// Full path from this node to the destination.
+    pub path: PathVector,
+    /// Total path cost.
+    pub cost: Cost,
+    /// The neighbor this route was learned from (self for direct routes).
+    pub learned_from: NodeId,
+}
+
+/// An advertisement: the sender's current best routes.
+#[derive(Debug, Clone)]
+pub struct Advertisement {
+    routes: Vec<(NodeId, PathVector, Cost)>,
+}
+
+impl Advertisement {
+    /// Wire size estimate: 4 bytes per node id in every path plus per-route
+    /// overhead (comparable to the tuple encoding used by the query engine).
+    pub fn wire_size(&self) -> usize {
+        16 + self
+            .routes
+            .iter()
+            .map(|(_, p, _)| 16 + 4 * p.len())
+            .sum::<usize>()
+    }
+}
+
+/// Configuration of the path-vector baseline.
+#[derive(Debug, Clone)]
+pub struct PathVectorConfig {
+    /// How often pending route changes are advertised to neighbors
+    /// (matches the query processor's 200 ms batching for a fair
+    /// comparison).
+    pub advertisement_interval: SimDuration,
+}
+
+impl Default for PathVectorConfig {
+    fn default() -> Self {
+        PathVectorConfig { advertisement_interval: SimDuration::from_millis(200) }
+    }
+}
+
+/// The per-node path-vector protocol instance.
+pub struct PathVectorNode {
+    config: PathVectorConfig,
+    id: NodeId,
+    /// Best route per destination.
+    routes: BTreeMap<NodeId, RouteEntry>,
+    /// Best route heard from each neighbor per destination (per-neighbor
+    /// RIB-in, needed to recover alternatives on failure).
+    rib_in: HashMap<(NodeId, NodeId), (PathVector, Cost)>,
+    /// Current cost to each neighbor (∞ = down).
+    neighbors: BTreeMap<NodeId, Cost>,
+    /// Destinations whose route changed since the last advertisement.
+    dirty: bool,
+    advert_scheduled: bool,
+}
+
+impl PathVectorNode {
+    /// Create a node with the given configuration.
+    pub fn new(config: PathVectorConfig) -> PathVectorNode {
+        PathVectorNode {
+            config,
+            id: NodeId::new(0),
+            routes: BTreeMap::new(),
+            rib_in: HashMap::new(),
+            neighbors: BTreeMap::new(),
+            dirty: false,
+            advert_scheduled: false,
+        }
+    }
+
+    /// The node's current routing table.
+    pub fn routes(&self) -> &BTreeMap<NodeId, RouteEntry> {
+        &self.routes
+    }
+
+    /// The route to `dest`, if any.
+    pub fn route_to(&self, dest: NodeId) -> Option<&RouteEntry> {
+        self.routes.get(&dest)
+    }
+
+    /// Number of destinations with a finite-cost route.
+    pub fn reachable_destinations(&self) -> usize {
+        self.routes.values().filter(|r| r.cost.is_finite()).count()
+    }
+
+    fn schedule_advert(&mut self, ctx: &mut Context<'_, Advertisement>) {
+        if !self.advert_scheduled {
+            self.advert_scheduled = true;
+            ctx.set_timer(self.config.advertisement_interval);
+        }
+    }
+
+    /// Recompute the best route for every destination from direct links and
+    /// the per-neighbor RIB. Returns true when anything changed.
+    fn recompute(&mut self) -> bool {
+        let mut new_routes: BTreeMap<NodeId, RouteEntry> = BTreeMap::new();
+        // Direct routes.
+        for (&nb, &cost) in &self.neighbors {
+            if cost.is_finite() {
+                new_routes.insert(
+                    nb,
+                    RouteEntry {
+                        dest: nb,
+                        path: PathVector::from_nodes(vec![self.id, nb]),
+                        cost,
+                        learned_from: self.id,
+                    },
+                );
+            }
+        }
+        // Routes via neighbors.
+        for ((nb, dest), (path, cost)) in &self.rib_in {
+            let Some(&link_cost) = self.neighbors.get(nb) else { continue };
+            if !link_cost.is_finite() || !cost.is_finite() {
+                continue;
+            }
+            // Loop prevention: reject paths that already contain us.
+            if path.contains(self.id) {
+                continue;
+            }
+            let total = link_cost + *cost;
+            let candidate = RouteEntry {
+                dest: *dest,
+                path: path.prepend(self.id),
+                cost: total,
+                learned_from: *nb,
+            };
+            match new_routes.get(dest) {
+                Some(existing) if existing.cost <= total => {}
+                _ => {
+                    new_routes.insert(*dest, candidate);
+                }
+            }
+        }
+        new_routes.remove(&self.id);
+        let changed = new_routes != self.routes;
+        self.routes = new_routes;
+        changed
+    }
+
+    fn advertisement(&self) -> Advertisement {
+        Advertisement {
+            routes: self
+                .routes
+                .values()
+                .map(|r| (r.dest, r.path.clone(), r.cost))
+                .collect(),
+        }
+    }
+}
+
+impl NodeApp for PathVectorNode {
+    type Message = Advertisement;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Advertisement>) {
+        self.id = ctx.id();
+        self.neighbors = ctx
+            .neighbors()
+            .into_iter()
+            .map(|(nb, p)| (nb, p.cost))
+            .collect();
+        self.recompute();
+        self.dirty = true;
+        self.schedule_advert(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Advertisement>, from: NodeId, msg: Advertisement) {
+        // Replace everything previously heard from this neighbor.
+        self.rib_in.retain(|(nb, _), _| *nb != from);
+        for (dest, path, cost) in msg.routes {
+            self.rib_in.insert((from, dest), (path, cost));
+        }
+        if self.recompute() {
+            self.dirty = true;
+            self.schedule_advert(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Advertisement>, _timer: u64) {
+        self.advert_scheduled = false;
+        if !self.dirty {
+            return;
+        }
+        self.dirty = false;
+        let advert = self.advertisement();
+        let size = advert.wire_size();
+        let neighbors: Vec<NodeId> = self.neighbors.keys().copied().collect();
+        for nb in neighbors {
+            ctx.send(nb, advert.clone(), size);
+        }
+    }
+
+    fn on_link_event(&mut self, ctx: &mut Context<'_, Advertisement>, event: LinkEvent) {
+        match event {
+            LinkEvent::MetricChanged { neighbor, params } => {
+                self.neighbors.insert(neighbor, params.cost);
+            }
+            LinkEvent::NeighborDown { neighbor } => {
+                self.neighbors.insert(neighbor, Cost::INFINITY);
+                self.rib_in.retain(|(nb, _), _| *nb != neighbor);
+            }
+            LinkEvent::NeighborUp { neighbor, params } => {
+                self.neighbors.insert(neighbor, params.cost);
+            }
+        }
+        if self.recompute() {
+            self.dirty = true;
+        }
+        // Always re-advertise after a topology event so neighbors hear about
+        // withdrawn routes.
+        self.dirty = true;
+        self.schedule_advert(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_netsim::{LinkParams, SimConfig, SimTime, Simulator, Topology};
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn build(topology: Topology) -> Simulator<PathVectorNode> {
+        let apps = (0..topology.num_nodes())
+            .map(|_| PathVectorNode::new(PathVectorConfig::default()))
+            .collect();
+        Simulator::new(topology, apps, SimConfig::default())
+    }
+
+    fn diamond() -> Topology {
+        let mut t = Topology::new(4);
+        t.add_bidirectional(n(0), n(1), LinkParams::with_latency_ms(10.0).with_cost(Cost::new(1.0)));
+        t.add_bidirectional(n(1), n(3), LinkParams::with_latency_ms(10.0).with_cost(Cost::new(1.0)));
+        t.add_bidirectional(n(0), n(2), LinkParams::with_latency_ms(10.0).with_cost(Cost::new(5.0)));
+        t.add_bidirectional(n(2), n(3), LinkParams::with_latency_ms(10.0).with_cost(Cost::new(5.0)));
+        t
+    }
+
+    #[test]
+    fn converges_to_all_pairs_shortest_paths() {
+        let mut sim = build(diamond());
+        sim.run_until(SimTime::from_secs(30));
+        for i in 0..4u32 {
+            assert_eq!(sim.app(n(i)).reachable_destinations(), 3, "node {i}");
+        }
+        let route = sim.app(n(0)).route_to(n(3)).unwrap();
+        assert_eq!(route.cost, Cost::new(2.0));
+        assert_eq!(route.path.nodes(), &[n(0), n(1), n(3)]);
+        assert!(sim.metrics().total_bytes() > 0);
+    }
+
+    #[test]
+    fn reacts_to_node_failure() {
+        let mut sim = build(diamond());
+        sim.run_until(SimTime::from_secs(30));
+        sim.schedule_node_fail(SimTime::from_secs(30), n(1));
+        sim.run_until(SimTime::from_secs(60));
+        let route = sim.app(n(0)).route_to(n(3)).unwrap();
+        assert_eq!(route.cost, Cost::new(10.0));
+        assert!(!route.path.contains(n(1)));
+    }
+
+    #[test]
+    fn reacts_to_cost_changes() {
+        let mut sim = build(diamond());
+        sim.run_until(SimTime::from_secs(30));
+        // Make the cheap edge 1-3 expensive; route flips to via 2.
+        for (a, b) in [(1u32, 3u32), (3, 1)] {
+            sim.schedule_link_metric_change(
+                SimTime::from_secs(30),
+                n(a),
+                n(b),
+                LinkParams::with_latency_ms(10.0).with_cost(Cost::new(50.0)),
+            );
+        }
+        sim.run_until(SimTime::from_secs(60));
+        let route = sim.app(n(0)).route_to(n(3)).unwrap();
+        assert_eq!(route.cost, Cost::new(10.0));
+        assert_eq!(route.path.nodes(), &[n(0), n(2), n(3)]);
+    }
+
+    #[test]
+    fn loop_prevention_rejects_paths_containing_self() {
+        let mut node = PathVectorNode::new(PathVectorConfig::default());
+        node.id = n(0);
+        node.neighbors.insert(n(1), Cost::new(1.0));
+        node.rib_in.insert(
+            (n(1), n(2)),
+            (PathVector::from_nodes(vec![n(1), n(0), n(2)]), Cost::new(2.0)),
+        );
+        node.recompute();
+        assert!(node.route_to(n(2)).is_none());
+    }
+
+    #[test]
+    fn advertisement_size_scales_with_routes() {
+        let empty = Advertisement { routes: vec![] };
+        let one = Advertisement {
+            routes: vec![(n(1), PathVector::from_nodes(vec![n(0), n(1)]), Cost::new(1.0))],
+        };
+        assert!(one.wire_size() > empty.wire_size());
+    }
+}

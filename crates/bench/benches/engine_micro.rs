@@ -1,0 +1,115 @@
+//! Criterion micro-benchmarks of the Datalog engine: parsing, centralized
+//! fixpoint evaluation (semi-naïve vs naïve — the ablation for §3.3's
+//! choice of evaluation strategy), and the aggregate-selections optimization
+//! of §7.1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dr_datalog::eval::EvalConfig;
+use dr_datalog::{parse_program, Database, Evaluator};
+use dr_protocols::{best_path, distance_vector, link_state};
+use dr_types::{NodeId, Tuple, Value};
+use dr_workloads::TransitStubParams;
+
+fn link_tuples_from_topology(nodes: usize, seed: u64) -> Vec<Tuple> {
+    let topo = TransitStubParams::sized(nodes, seed).generate();
+    topo.all_links()
+        .map(|(s, d, p)| {
+            Tuple::new(
+                "link",
+                vec![Value::Node(s), Value::Node(d), Value::from(p.cost.value())],
+            )
+        })
+        .collect()
+}
+
+fn ring_links(n: u32) -> Vec<Tuple> {
+    let mut out = Vec::new();
+    for i in 0..n {
+        let j = (i + 1) % n;
+        for (s, d) in [(i, j), (j, i)] {
+            out.push(Tuple::new(
+                "link",
+                vec![
+                    Value::Node(NodeId::new(s)),
+                    Value::Node(NodeId::new(d)),
+                    Value::from(1.0),
+                ],
+            ));
+        }
+    }
+    out
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let src = best_path().to_string();
+    c.bench_function("parse_best_path_program", |b| {
+        b.iter(|| parse_program(&src).expect("program parses"))
+    });
+}
+
+fn bench_semi_naive_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fixpoint_strategy");
+    group.sample_size(10);
+    let links = ring_links(23);
+    for (label, semi) in [("semi_naive", true), ("naive", false)] {
+        group.bench_function(BenchmarkId::new("best_path_ring23", label), |b| {
+            b.iter(|| {
+                let cfg = EvalConfig { semi_naive: semi, ..EvalConfig::default() };
+                let eval = Evaluator::with_config(best_path(), cfg).expect("valid program");
+                let mut db = Database::new();
+                for l in &links {
+                    db.insert(l.clone());
+                }
+                eval.run(&mut db).expect("fixpoint terminates")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_aggregate_selections(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregate_selections");
+    group.sample_size(10);
+    let links = link_tuples_from_topology(100, 3);
+    for (label, on) in [("enabled", true), ("disabled", false)] {
+        group.bench_function(BenchmarkId::new("distance_vector_100", label), |b| {
+            b.iter(|| {
+                let cfg = EvalConfig { aggregate_selections: on, ..EvalConfig::default() };
+                let eval =
+                    Evaluator::with_config(distance_vector(200.0), cfg).expect("valid program");
+                let mut db = Database::new();
+                for l in &links {
+                    db.insert(l.clone());
+                }
+                eval.run(&mut db).expect("fixpoint terminates")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_link_state_flooding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("link_state");
+    group.sample_size(10);
+    let links = ring_links(16);
+    group.bench_function("flood_and_local_routes_ring16", |b| {
+        b.iter(|| {
+            let eval = Evaluator::new(link_state()).expect("valid program");
+            let mut db = Database::new();
+            for l in &links {
+                db.insert(l.clone());
+            }
+            eval.run(&mut db).expect("fixpoint terminates")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parser,
+    bench_semi_naive_vs_naive,
+    bench_aggregate_selections,
+    bench_link_state_flooding
+);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Figure 5: network diameter vs number of nodes (transit-stub topologies).
+
+use dr_bench::experiments::fig05_diameter;
+use dr_bench::Series;
+
+fn main() {
+    println!("# Figure 5: network diameter vs number of nodes");
+    let series = fig05_diameter();
+    Series::print_table("nodes", &series);
+}

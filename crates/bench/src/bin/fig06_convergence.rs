@@ -1,0 +1,11 @@
+//! Figure 6: convergence latency vs number of nodes — declarative Best-Path
+//! query against the hand-coded path-vector baseline.
+
+use dr_bench::experiments::fig06_convergence;
+use dr_bench::Series;
+
+fn main() {
+    println!("# Figure 6: convergence latency vs number of nodes (Query vs PV)");
+    let series = fig06_convergence();
+    Series::print_table("nodes", &series);
+}

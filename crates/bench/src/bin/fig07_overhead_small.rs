@@ -1,0 +1,11 @@
+//! Figure 7: per-node communication overhead vs number of
+//! source/destination queries (All-Pairs vs Pair-NoShare vs Pair-Share).
+
+use dr_bench::experiments::fig07_overhead;
+use dr_bench::Series;
+
+fn main() {
+    println!("# Figure 7: per-node overhead (KB) vs number of source/destination queries");
+    let series = fig07_overhead();
+    Series::print_table("queries", &series);
+}

@@ -1,0 +1,11 @@
+//! Figure 8: per-node overhead for the sharing strategy with restricted
+//! destination pools (cache-hit saturation).
+
+use dr_bench::experiments::fig08_overhead_restricted;
+use dr_bench::Series;
+
+fn main() {
+    println!("# Figure 8: per-node overhead (KB) with restricted destination pools");
+    let series = fig08_overhead_restricted();
+    Series::print_table("queries", &series);
+}

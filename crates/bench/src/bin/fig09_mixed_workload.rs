@@ -1,0 +1,10 @@
+//! Figure 9: per-node overhead under the mixed-metric query workload.
+
+use dr_bench::experiments::fig09_mixed_workload;
+use dr_bench::Series;
+
+fn main() {
+    println!("# Figure 9: per-node overhead (KB), mixed query workload");
+    let series = fig09_mixed_workload();
+    Series::print_table("queries", &series);
+}

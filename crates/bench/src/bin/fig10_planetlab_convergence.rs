@@ -1,0 +1,11 @@
+//! Figure 10: AvgPathRTT over time while the all-pairs shortest-RTT query
+//! executes on the Sparse-Random and Dense-Random overlays.
+
+use dr_bench::experiments::fig10_11_planetlab;
+use dr_bench::Series;
+
+fn main() {
+    println!("# Figure 10: AvgPathRTT (ms) during query execution");
+    let (rtt, _) = fig10_11_planetlab();
+    Series::print_table("time_s", &rtt);
+}

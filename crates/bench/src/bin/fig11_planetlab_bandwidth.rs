@@ -1,0 +1,11 @@
+//! Figure 11: per-node bandwidth over time during query execution on the
+//! emulated PlanetLab overlays.
+
+use dr_bench::experiments::fig10_11_planetlab;
+use dr_bench::Series;
+
+fn main() {
+    println!("# Figure 11: per-node bandwidth (KBps) during query execution");
+    let (_, bw) = fig10_11_planetlab();
+    Series::print_table("time_s", &bw);
+}

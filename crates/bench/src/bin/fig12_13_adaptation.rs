@@ -1,0 +1,16 @@
+//! Figures 12 and 13: the computed AvgPathRTT tracking AvgLinkRTT under
+//! periodic RTT refreshes, without (Fig. 12) and with (Fig. 13)
+//! Jacobson/Karels smoothing.
+
+use dr_bench::experiments::adaptation_experiment;
+use dr_bench::Series;
+use dr_workloads::OverlayKind;
+
+fn main() {
+    for (figure, smoothed) in [("Figure 12 (raw RTT updates)", false), ("Figure 13 (smoothed)", true)] {
+        println!("# {figure}");
+        let outcome = adaptation_experiment(OverlayKind::DenseRandom, smoothed, 51);
+        Series::print_table("time_s", &[outcome.avg_path_rtt.clone(), outcome.avg_link_rtt.clone()]);
+        println!();
+    }
+}

@@ -1,0 +1,12 @@
+//! Figures 14 and 15: AvgPathRTT under churn (alternating fail/join events)
+//! for several failure fractions on the Dense-UUNET overlay.
+
+use dr_bench::experiments::fig14_15_churn;
+use dr_bench::Series;
+
+fn main() {
+    println!("# Figures 14-15: AvgPathRTT (ms) under churn");
+    let outcomes = fig14_15_churn();
+    let series: Vec<_> = outcomes.iter().map(|o| o.avg_path_rtt.clone()).collect();
+    Series::print_table("time_s", &series);
+}

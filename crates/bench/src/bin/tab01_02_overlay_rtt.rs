@@ -1,0 +1,15 @@
+//! Tables 1 and 2: average link RTT and average best-path RTT for the
+//! emulated PlanetLab overlays.
+
+use dr_bench::experiments::tab01_02_overlay_rtt;
+
+fn main() {
+    println!("# Tables 1-2: AvgLinkRTT / AvgPathRTT per overlay topology");
+    println!("topology,avg_link_rtt_ms,avg_path_rtt_ms,paths");
+    for row in tab01_02_overlay_rtt() {
+        println!(
+            "{},{:.1},{:.1},{}",
+            row.topology, row.avg_link_rtt, row.avg_path_rtt, row.paths
+        );
+    }
+}

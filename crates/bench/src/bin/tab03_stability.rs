@@ -1,0 +1,18 @@
+//! Table 3: path stability with and without RTT smoothing.
+
+use dr_bench::experiments::tab03_stability;
+
+fn main() {
+    println!("# Table 3: computed path stability with and without RTT smoothing");
+    println!("topology,smoothed,stable_pct,avg_changes,steady_state_Bps");
+    for row in tab03_stability() {
+        println!(
+            "{},{},{:.0},{:.1},{:.0}",
+            row.topology,
+            if row.smoothed { "smooth" } else { "raw" },
+            row.stable_fraction * 100.0,
+            row.avg_changes,
+            row.steady_state_bps
+        );
+    }
+}

@@ -1,0 +1,694 @@
+//! One function per figure / table of the paper's evaluation (§9).
+//!
+//! Every function returns printable [`Series`] or rows and is wrapped by a
+//! thin binary in `src/bin/`. Scales default to a laptop-friendly "quick"
+//! configuration; `DR_FULL=1` switches to the paper's parameters.
+
+use crate::runner::{
+    average_link_rtt, best_paths_snapshot, full_scale, run_best_path_query,
+    run_path_vector_baseline, start_best_path_query, Series,
+};
+use dr_core::harness::{IssueOptions, RoutingHarness};
+use dr_netsim::{LinkParams, SimDuration, SimTime};
+use dr_protocols::{best_path, best_path_pairs, best_path_pairs_share};
+use dr_types::{Cost, NodeId};
+use dr_workloads::queries::QueryMetric;
+use dr_workloads::{ChurnSchedule, MixedWorkload, OverlayKind, OverlayParams, PairWorkload, RttModel, RttSmoother, TransitStubParams};
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------------
+// Figure 5 — network diameter vs number of nodes
+// ---------------------------------------------------------------------------
+
+/// Figure 5: diameter (latency of the longest shortest path, ms) of
+/// transit-stub topologies as the node count grows.
+pub fn fig05_diameter() -> Vec<Series> {
+    let sizes: Vec<usize> = if full_scale() {
+        vec![100, 200, 400, 600, 800, 1000]
+    } else {
+        vec![100, 200, 300, 400]
+    };
+    let runs = if full_scale() { 5 } else { 3 };
+    let mut mean = Series::new("diameter_ms");
+    let mut stddev = Series::new("stddev_ms");
+    for &size in &sizes {
+        let samples: Vec<f64> = (0..runs)
+            .map(|r| TransitStubParams::sized(size, 100 + r as u64).generate().diameter_latency_ms())
+            .collect();
+        let m = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|s| (s - m) * (s - m)).sum::<f64>() / samples.len() as f64;
+        mean.push(size as f64, m);
+        stddev.push(size as f64, var.sqrt());
+    }
+    vec![mean, stddev]
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6 — convergence latency vs number of nodes (Query vs PV)
+// ---------------------------------------------------------------------------
+
+/// Figure 6: convergence latency of the all-pairs Best-Path query compared
+/// against the hand-coded path-vector protocol, on growing transit-stub
+/// networks. Also reports the per-node communication overhead of both.
+pub fn fig06_convergence() -> Vec<Series> {
+    let sizes: Vec<usize> = if full_scale() {
+        vec![100, 200, 400, 600, 800, 1000]
+    } else {
+        vec![50, 100, 150]
+    };
+    let horizon = SimTime::from_secs(if full_scale() { 120 } else { 90 });
+    let sample = SimDuration::from_millis(500);
+
+    let mut query_latency = Series::new("query_convergence_s");
+    let mut pv_latency = Series::new("pv_convergence_s");
+    let mut query_overhead = Series::new("query_kb_per_node");
+    let mut pv_overhead = Series::new("pv_kb_per_node");
+    for &size in &sizes {
+        let topo = TransitStubParams::sized(size, 7).generate();
+        let q = run_best_path_query(topo.clone(), horizon, sample);
+        let pv = run_path_vector_baseline(topo, horizon, sample);
+        query_latency.push(size as f64, q.convergence_s.unwrap_or(f64::NAN));
+        pv_latency.push(size as f64, pv.convergence_s.unwrap_or(f64::NAN));
+        query_overhead.push(size as f64, q.per_node_kb);
+        pv_overhead.push(size as f64, pv.per_node_kb);
+    }
+    vec![query_latency, pv_latency, query_overhead, pv_overhead]
+}
+
+// ---------------------------------------------------------------------------
+// Figures 7 / 8 / 9 — source/destination query streams
+// ---------------------------------------------------------------------------
+
+/// Strategy for executing a stream of source/destination route requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairStrategy {
+    /// One all-pairs Best-Path query serves every request (the "All Pairs"
+    /// baseline line).
+    AllPairs,
+    /// One Best-Path-Pairs query per request, no sharing.
+    NoShare,
+    /// One Best-Path-Pairs-Share query per request, sharing results through
+    /// `bestPathCache`.
+    Share,
+}
+
+impl PairStrategy {
+    /// Label used in figure output.
+    pub fn label(self) -> &'static str {
+        match self {
+            PairStrategy::AllPairs => "All Pairs",
+            PairStrategy::NoShare => "Pair-NoShare",
+            PairStrategy::Share => "Pair-Share",
+        }
+    }
+}
+
+/// Parameters of a pair-query stream experiment.
+#[derive(Debug, Clone)]
+pub struct PairStreamParams {
+    /// Network size (transit-stub).
+    pub nodes: usize,
+    /// Number of route requests to issue.
+    pub queries: usize,
+    /// Fraction of nodes eligible as destinations (Fig. 8's "X% Dst").
+    pub destination_fraction: f64,
+    /// Simulated time between consecutive requests.
+    pub spacing: SimDuration,
+    /// Record the cumulative overhead every this many queries.
+    pub checkpoint_every: usize,
+    /// RNG seed for the workload and topology.
+    pub seed: u64,
+}
+
+impl Default for PairStreamParams {
+    fn default() -> Self {
+        if full_scale() {
+            PairStreamParams {
+                nodes: 200,
+                queries: 300,
+                destination_fraction: 1.0,
+                spacing: SimDuration::from_secs(15),
+                checkpoint_every: 20,
+                seed: 11,
+            }
+        } else {
+            PairStreamParams {
+                nodes: 60,
+                queries: 60,
+                destination_fraction: 1.0,
+                spacing: SimDuration::from_secs(5),
+                checkpoint_every: 10,
+                seed: 11,
+            }
+        }
+    }
+}
+
+/// Run a stream of pair queries under `strategy` and return the cumulative
+/// per-node overhead (KB) after every checkpoint.
+pub fn run_pair_stream(strategy: PairStrategy, params: &PairStreamParams) -> Series {
+    let topo = TransitStubParams::sized(params.nodes, params.seed).generate();
+    let mut series = Series::new(strategy.label());
+
+    if strategy == PairStrategy::AllPairs {
+        // One all-pairs query; its overhead is independent of how many
+        // requests it serves, so the series is flat.
+        let horizon = SimTime::from_secs(if full_scale() { 120 } else { 90 });
+        let outcome = run_best_path_query(topo, horizon, SimDuration::from_secs(1));
+        let mut q = params.checkpoint_every;
+        while q <= params.queries {
+            series.push(q as f64, outcome.per_node_kb);
+            q += params.checkpoint_every;
+        }
+        return series;
+    }
+
+    let mut harness = RoutingHarness::new(topo);
+    let mut workload =
+        PairWorkload::with_destination_fraction(params.nodes, params.destination_fraction, params.seed);
+    let mut now = SimTime::ZERO;
+    for q in 1..=params.queries {
+        let (src, dst) = workload.next_pair();
+        let (program, options) = match strategy {
+            PairStrategy::NoShare => (
+                best_path_pairs(src, dst),
+                IssueOptions {
+                    name: format!("pair-{q}"),
+                    replicated: vec!["magicDsts".to_string()],
+                    ..Default::default()
+                },
+            ),
+            PairStrategy::Share => (
+                best_path_pairs_share(src, dst, "bestPathCache"),
+                IssueOptions {
+                    name: format!("pair-share-{q}"),
+                    share_results: true,
+                    replicated: vec!["magicDsts".to_string()],
+                    ..Default::default()
+                },
+            ),
+            PairStrategy::AllPairs => unreachable!("handled above"),
+        };
+        harness
+            .issue_program(src, now, &program, options)
+            .expect("pair query must localize");
+        now = now + params.spacing;
+        harness.run_until(now);
+        if q % params.checkpoint_every == 0 {
+            series.push(q as f64, harness.per_node_overhead_kb());
+        }
+    }
+    series
+}
+
+/// Figure 7: per-node communication overhead vs number of requests for the
+/// three strategies.
+pub fn fig07_overhead() -> Vec<Series> {
+    let params = PairStreamParams::default();
+    vec![
+        run_pair_stream(PairStrategy::AllPairs, &params),
+        run_pair_stream(PairStrategy::NoShare, &params),
+        run_pair_stream(PairStrategy::Share, &params),
+    ]
+}
+
+/// Figure 8: the sharing strategy with progressively restricted destination
+/// pools (all destinations, 20%, 1% in the paper; 20% and 5% at quick
+/// scale), plus the All-Pairs reference.
+pub fn fig08_overhead_restricted() -> Vec<Series> {
+    let base = PairStreamParams {
+        queries: if full_scale() { 2000 } else { 120 },
+        checkpoint_every: if full_scale() { 100 } else { 20 },
+        ..PairStreamParams::default()
+    };
+    let fractions: Vec<(f64, &str)> = if full_scale() {
+        vec![(1.0, "Pair-Share"), (0.2, "Pair-Share (20% Dst)"), (0.01, "Pair-Share (1% Dst)")]
+    } else {
+        vec![(1.0, "Pair-Share"), (0.2, "Pair-Share (20% Dst)"), (0.05, "Pair-Share (5% Dst)")]
+    };
+    let mut out = vec![run_pair_stream(PairStrategy::AllPairs, &base)];
+    for (fraction, label) in fractions {
+        let params = PairStreamParams { destination_fraction: fraction, ..base.clone() };
+        let mut series = run_pair_stream(PairStrategy::Share, &params);
+        series.name = label.to_string();
+        out.push(series);
+    }
+    out
+}
+
+/// Figure 9: the mixed-metric workload (65% latency + three other metrics),
+/// with and without the mid-stream switch to a single metric (Mix2), against
+/// the no-sharing and full-sharing single-metric references.
+pub fn fig09_mixed_workload() -> Vec<Series> {
+    let params = PairStreamParams::default();
+    let mut out = vec![
+        run_pair_stream(PairStrategy::NoShare, &params),
+        run_pair_stream(PairStrategy::Share, &params),
+    ];
+    for (label, switch) in [
+        ("Pair-Share-Mix", None),
+        ("Pair-Share-Mix2", Some(if full_scale() { 150 } else { params.queries / 2 })),
+    ] {
+        out.push(run_mixed_stream(label, switch, &params));
+    }
+    out
+}
+
+fn run_mixed_stream(label: &str, switch: Option<usize>, params: &PairStreamParams) -> Series {
+    let topo = TransitStubParams::sized(params.nodes, params.seed).generate();
+    let mut harness = RoutingHarness::new(topo);
+    let mut workload = MixedWorkload::new(params.nodes, switch, params.seed);
+    let mut series = Series::new(label);
+    let mut now = SimTime::ZERO;
+    for q in 1..=params.queries {
+        let (src, dst, metric) = workload.next_query();
+        let cache = metric.cache_relation();
+        let program = best_path_pairs_share(src, dst, cache);
+        let options = IssueOptions {
+            name: format!("{label}-{q}-{metric:?}"),
+            share_results: true,
+            replicated: vec!["magicDsts".to_string()],
+            ..Default::default()
+        };
+        harness.issue_program(src, now, &program, options).expect("query must localize");
+        now = now + params.spacing;
+        harness.run_until(now);
+        if q % params.checkpoint_every == 0 {
+            series.push(q as f64, harness.per_node_overhead_kb());
+        }
+    }
+    series
+}
+
+/// The four per-metric cache relations used by the mixed workload (exposed
+/// for the ablation benchmarks).
+pub fn mixed_metrics() -> Vec<QueryMetric> {
+    vec![QueryMetric::Latency, QueryMetric::MetricA, QueryMetric::MetricB, QueryMetric::MetricC]
+}
+
+// ---------------------------------------------------------------------------
+// Tables 1 & 2 — overlay RTTs
+// ---------------------------------------------------------------------------
+
+/// One row of Tables 1/2.
+#[derive(Debug, Clone)]
+pub struct OverlayRttRow {
+    /// Topology name.
+    pub topology: String,
+    /// Average link RTT (ms).
+    pub avg_link_rtt: f64,
+    /// Average shortest-path RTT (ms) computed by the all-pairs query.
+    pub avg_path_rtt: f64,
+    /// Number of computed paths.
+    pub paths: usize,
+}
+
+/// Tables 1 and 2: average link RTT and average best-path RTT for the three
+/// overlay topologies, under the baseline and the "heavier load" measurement
+/// period.
+pub fn tab01_02_overlay_rtt() -> Vec<OverlayRttRow> {
+    let nodes = if full_scale() { 72 } else { 36 };
+    let horizon = SimTime::from_secs(if full_scale() { 240 } else { 180 });
+    let mut rows = Vec::new();
+    let configs = [
+        (OverlayKind::SparseRandom, 1.0, "Sparse-Random"),
+        (OverlayKind::DenseRandom, 1.0, "Dense-Random"),
+        (OverlayKind::DenseRandom, 1.2, "Dense-Random (loaded)"),
+        (OverlayKind::DenseUunet, 1.2, "Dense-UUNET (loaded)"),
+    ];
+    for (kind, load, label) in configs {
+        let params = OverlayParams { nodes, load_factor: load, ..OverlayParams::planetlab(kind, 21) };
+        let topo = params.generate();
+        let link_rtt = average_link_rtt(&topo);
+        let outcome = run_best_path_query(topo, horizon, SimDuration::from_secs(2));
+        rows.push(OverlayRttRow {
+            topology: label.to_string(),
+            avg_link_rtt: link_rtt,
+            avg_path_rtt: outcome.avg_cost,
+            paths: outcome.routes,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Figures 10 & 11 — query execution on the emulated PlanetLab overlays
+// ---------------------------------------------------------------------------
+
+/// Figures 10 and 11: AvgPathRTT over time during query execution, and
+/// per-node bandwidth over time, for the Sparse-Random and Dense-Random
+/// overlays. Returns `(avg_path_rtt_series, bandwidth_series)`.
+pub fn fig10_11_planetlab() -> (Vec<Series>, Vec<Series>) {
+    let nodes = if full_scale() { 72 } else { 36 };
+    let horizon = SimTime::from_secs(if full_scale() { 180 } else { 120 });
+    let mut rtt_series = Vec::new();
+    let mut bw_series = Vec::new();
+    for kind in [OverlayKind::SparseRandom, OverlayKind::DenseRandom] {
+        let params = OverlayParams { nodes, ..OverlayParams::planetlab(kind, 33) };
+        let topo = params.generate();
+        let mut harness = RoutingHarness::new(topo);
+        let qid = harness
+            .issue_program(NodeId::new(0), SimTime::ZERO, &best_path(), IssueOptions::default())
+            .expect("best-path query must localize");
+        let report = harness.run_and_sample(qid, SimDuration::from_secs(2), horizon);
+        let mut rtt = Series::new(kind.name());
+        for s in &report.samples {
+            rtt.push(s.time.as_secs_f64(), s.avg_cost);
+        }
+        rtt_series.push(rtt);
+        let mut bw = Series::new(format!("{} (KBps/node)", kind.name()));
+        for (t, bytes_per_s) in harness.sim().metrics().per_node_bandwidth_series() {
+            bw.push(t.as_secs_f64(), bytes_per_s / 1024.0);
+        }
+        bw_series.push(bw);
+    }
+    (rtt_series, bw_series)
+}
+
+// ---------------------------------------------------------------------------
+// Figures 12/13 and Table 3 — path adaptation under RTT fluctuation
+// ---------------------------------------------------------------------------
+
+/// Result of one adaptation run (Fig. 12 or 13 plus its Table 3 row).
+#[derive(Debug, Clone)]
+pub struct AdaptationOutcome {
+    /// AvgPathRTT over time.
+    pub avg_path_rtt: Series,
+    /// AvgLinkRTT (as reported to the query processors) over time.
+    pub avg_link_rtt: Series,
+    /// Fraction of (source, destination) pairs whose best path never changed
+    /// after the initial convergence.
+    pub stable_fraction: f64,
+    /// Average number of best-path changes per pair.
+    pub avg_changes: f64,
+    /// Steady-state per-node bandwidth (bytes per second) during the update
+    /// phase.
+    pub steady_state_bps: f64,
+    /// Overlay name.
+    pub topology: String,
+    /// Whether Jacobson/Karels smoothing was applied.
+    pub smoothed: bool,
+}
+
+/// Figures 12/13 + Table 3: run the continuous all-pairs shortest-RTT query
+/// on a random overlay, periodically refresh link RTT measurements (raw or
+/// smoothed), and measure how the computed paths track the fluctuations and
+/// how stable they are.
+pub fn adaptation_experiment(kind: OverlayKind, smoothed: bool, seed: u64) -> AdaptationOutcome {
+    let nodes = if full_scale() { 72 } else { 36 };
+    let rounds = if full_scale() { 10 } else { 6 };
+    let round_interval = SimDuration::from_secs(if full_scale() { 300 } else { 40 });
+    let warmup = SimTime::from_secs(if full_scale() { 180 } else { 120 });
+
+    let params = OverlayParams { nodes, ..OverlayParams::planetlab(kind, seed) };
+    let topo = params.generate();
+    // Remember every link's baseline RTT for the measurement model.
+    let baselines: Vec<(NodeId, NodeId, f64)> = topo
+        .all_links()
+        .map(|(a, b, p)| (a, b, p.cost.value()))
+        .collect();
+
+    let (mut harness, qid) = start_best_path_query(topo, warmup);
+    let initial = best_paths_snapshot(&harness, qid);
+    let bytes_before_updates = harness.sim().metrics().total_bytes();
+    let update_phase_start = harness.sim().now();
+
+    let mut model = RttModel::new(seed ^ 0x5eed);
+    let mut smoothers: BTreeMap<(NodeId, NodeId), RttSmoother> = BTreeMap::new();
+    let mut changes: BTreeMap<(NodeId, NodeId), usize> = BTreeMap::new();
+    let mut last_paths = initial.clone();
+    let mut avg_path_series = Series::new(format!("AvgPathRTT ({})", kind.name()));
+    let mut avg_link_series = Series::new("AvgLinkRTT");
+    let mut reported_rtts: BTreeMap<(NodeId, NodeId), f64> =
+        baselines.iter().map(|(a, b, c)| ((*a, *b), *c)).collect();
+
+    let mut now = warmup;
+    for _ in 0..rounds {
+        model.next_round();
+        // Measure every link, spread across the round.
+        for (i, (a, b, baseline)) in baselines.iter().enumerate() {
+            let sample = model.measure(*baseline);
+            let reported = if smoothed {
+                smoothers.entry((*a, *b)).or_default().observe(sample)
+            } else {
+                Some(sample)
+            };
+            if let Some(rtt) = reported {
+                reported_rtts.insert((*a, *b), rtt);
+                let at = now
+                    + SimDuration::from_millis_f64(
+                        round_interval.as_millis_f64() * (i as f64 / baselines.len() as f64),
+                    );
+                harness.sim_mut().schedule_link_metric_change(
+                    at,
+                    *a,
+                    *b,
+                    LinkParams::with_latency_ms(rtt / 2.0).with_cost(Cost::new(rtt)),
+                );
+            }
+        }
+        now = now + round_interval;
+        harness.run_until(now);
+
+        // Sample the computed paths and the reported link RTTs.
+        let snapshot = best_paths_snapshot(&harness, qid);
+        let avg_path = if snapshot.is_empty() {
+            0.0
+        } else {
+            snapshot.values().map(|(_, c)| c.value()).sum::<f64>() / snapshot.len() as f64
+        };
+        let avg_link =
+            reported_rtts.values().sum::<f64>() / reported_rtts.len().max(1) as f64;
+        avg_path_series.push(now.as_secs_f64(), avg_path);
+        avg_link_series.push(now.as_secs_f64(), avg_link);
+
+        // Count path changes.
+        for (pair, (path, _)) in &snapshot {
+            if let Some((old_path, _)) = last_paths.get(pair) {
+                if old_path != path {
+                    *changes.entry(*pair).or_insert(0) += 1;
+                }
+            }
+        }
+        last_paths = snapshot;
+    }
+
+    let pairs = initial.len().max(1);
+    let changed_pairs = changes.len();
+    let total_changes: usize = changes.values().sum();
+    let elapsed = (harness.sim().now() - update_phase_start).as_secs_f64().max(1e-9);
+    let bytes_during = harness.sim().metrics().total_bytes() - bytes_before_updates;
+    AdaptationOutcome {
+        avg_path_rtt: avg_path_series,
+        avg_link_rtt: avg_link_series,
+        stable_fraction: 1.0 - changed_pairs as f64 / pairs as f64,
+        avg_changes: total_changes as f64 / pairs as f64,
+        steady_state_bps: bytes_during as f64 / elapsed / nodes as f64,
+        topology: kind.name().to_string(),
+        smoothed,
+    }
+}
+
+/// Table 3: the four stability rows (Sparse/Dense random, raw and smoothed).
+pub fn tab03_stability() -> Vec<AdaptationOutcome> {
+    let mut rows = Vec::new();
+    for kind in [OverlayKind::SparseRandom, OverlayKind::DenseRandom] {
+        for smoothed in [false, true] {
+            rows.push(adaptation_experiment(kind, smoothed, 51));
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Figures 14/15 and Table 4 — churn
+// ---------------------------------------------------------------------------
+
+/// Result of one churn run.
+#[derive(Debug, Clone)]
+pub struct ChurnOutcome {
+    /// AvgPathRTT over time (the Fig. 14 curve for this failure fraction).
+    pub avg_path_rtt: Series,
+    /// Average path recovery time in seconds (Table 4).
+    pub avg_recovery_s: f64,
+    /// Median recovery time in seconds.
+    pub median_recovery_s: f64,
+    /// Fraction of affected paths that needed ≥ 10 s to recover.
+    pub slow_recovery_fraction: f64,
+    /// Per-node bandwidth (bytes/s) during the churn phase.
+    pub churn_bps: f64,
+    /// The failure fraction used.
+    pub fraction: f64,
+    /// Overlay name.
+    pub topology: String,
+}
+
+/// Figures 14/15 + Table 4: run the continuous query on an overlay and
+/// inject alternating fail/join churn affecting `fraction` of the nodes.
+pub fn churn_experiment(kind: OverlayKind, fraction: f64, seed: u64) -> ChurnOutcome {
+    let nodes = if full_scale() { 72 } else { 36 };
+    let cycles = if full_scale() { 4 } else { 2 };
+    let interval = SimDuration::from_secs(if full_scale() { 150 } else { 60 });
+    let warmup = SimTime::from_secs(if full_scale() { 180 } else { 120 });
+    let sample_interval = SimDuration::from_secs(1);
+
+    let params = OverlayParams { nodes, ..OverlayParams::planetlab(kind, seed) };
+    let topo = params.generate();
+    let (mut harness, qid) = start_best_path_query(topo, warmup);
+
+    let schedule = ChurnSchedule::alternating(nodes, fraction, warmup, interval, cycles, seed ^ 0xc0de);
+    schedule.apply(harness.sim_mut());
+    let churn_start = harness.sim().now();
+    let bytes_before = harness.sim().metrics().total_bytes();
+
+    let mut avg_series = Series::new(format!("{} ({:.0}% nodes)", kind.name(), fraction * 100.0));
+    let mut recoveries: Vec<f64> = Vec::new();
+    // Pending recoveries: (source, dest) -> failure observation time.
+    let mut pending: BTreeMap<(NodeId, NodeId), SimTime> = BTreeMap::new();
+    let mut failed_now: Vec<NodeId> = Vec::new();
+    let mut event_idx = 0usize;
+
+    let end = schedule.end_time() + interval;
+    let mut now = churn_start;
+    while now < end {
+        now = now + sample_interval;
+        harness.run_until(now);
+
+        // Track which churn events have fired by now.
+        while event_idx < schedule.events().len() && schedule.events()[event_idx].time() <= now {
+            match &schedule.events()[event_idx] {
+                dr_workloads::churn::ChurnEvent::Fail(t, victims) => {
+                    failed_now = victims.clone();
+                    // Paths that traverse a victim are invalidated.
+                    for (pair, (path, _)) in best_paths_snapshot(&harness, qid) {
+                        if path.iter().any(|n| victims.contains(n))
+                            || victims.contains(&pair.0)
+                            || victims.contains(&pair.1)
+                        {
+                            if !victims.contains(&pair.0) && !victims.contains(&pair.1) {
+                                pending.insert(pair, *t);
+                            }
+                        }
+                    }
+                }
+                dr_workloads::churn::ChurnEvent::Join(_, _) => {
+                    failed_now.clear();
+                }
+            }
+            event_idx += 1;
+        }
+
+        // Check pending recoveries.
+        if !pending.is_empty() {
+            let snapshot = best_paths_snapshot(&harness, qid);
+            let mut recovered: Vec<(NodeId, NodeId)> = Vec::new();
+            for (pair, failed_at) in &pending {
+                if let Some((path, cost)) = snapshot.get(pair) {
+                    let valid = cost.is_finite() && !path.iter().any(|n| failed_now.contains(n));
+                    if valid {
+                        recoveries.push((now - *failed_at).as_secs_f64());
+                        recovered.push(*pair);
+                    }
+                }
+            }
+            for pair in recovered {
+                pending.remove(&pair);
+            }
+        }
+
+        // Sample AvgPathRTT, excluding paths through currently failed nodes.
+        let snapshot = best_paths_snapshot(&harness, qid);
+        let valid: Vec<f64> = snapshot
+            .iter()
+            .filter(|(pair, (path, _))| {
+                !failed_now.contains(&pair.0)
+                    && !failed_now.contains(&pair.1)
+                    && !path.iter().any(|n| failed_now.contains(n))
+            })
+            .map(|(_, (_, c))| c.value())
+            .collect();
+        let avg = if valid.is_empty() { 0.0 } else { valid.iter().sum::<f64>() / valid.len() as f64 };
+        avg_series.push(now.as_secs_f64(), avg);
+    }
+
+    recoveries.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let avg_recovery = if recoveries.is_empty() {
+        0.0
+    } else {
+        recoveries.iter().sum::<f64>() / recoveries.len() as f64
+    };
+    let median = if recoveries.is_empty() { 0.0 } else { recoveries[recoveries.len() / 2] };
+    let slow = if recoveries.is_empty() {
+        0.0
+    } else {
+        recoveries.iter().filter(|&&r| r >= 10.0).count() as f64 / recoveries.len() as f64
+    };
+    let elapsed = (harness.sim().now() - churn_start).as_secs_f64().max(1e-9);
+    let bytes = harness.sim().metrics().total_bytes() - bytes_before;
+    ChurnOutcome {
+        avg_path_rtt: avg_series,
+        avg_recovery_s: avg_recovery,
+        median_recovery_s: median,
+        slow_recovery_fraction: slow,
+        churn_bps: bytes as f64 / elapsed / nodes as f64,
+        fraction,
+        topology: kind.name().to_string(),
+    }
+}
+
+/// Figure 14 (and the close-up of Figure 15): AvgPathRTT under churn for
+/// three failure fractions on the Dense-UUNET overlay.
+pub fn fig14_15_churn() -> Vec<ChurnOutcome> {
+    let fractions: Vec<f64> =
+        if full_scale() { vec![0.05, 0.1, 0.2] } else { vec![0.1, 0.2] };
+    fractions
+        .into_iter()
+        .map(|f| churn_experiment(OverlayKind::DenseUunet, f, 77))
+        .collect()
+}
+
+/// Table 4: recovery statistics for the same runs (plus the Dense-Random
+/// comparison the paper describes in prose).
+pub fn tab04_recovery() -> Vec<ChurnOutcome> {
+    let mut rows = fig14_15_churn();
+    rows.push(churn_experiment(OverlayKind::DenseRandom, 0.1, 78));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_strategy_labels() {
+        assert_eq!(PairStrategy::AllPairs.label(), "All Pairs");
+        assert_eq!(PairStrategy::NoShare.label(), "Pair-NoShare");
+        assert_eq!(PairStrategy::Share.label(), "Pair-Share");
+    }
+
+    #[test]
+    fn fig05_series_are_monotone_in_size() {
+        let series = fig05_diameter();
+        assert_eq!(series.len(), 2);
+        let diameters = &series[0];
+        assert!(diameters.points.len() >= 3);
+        // Diameter never shrinks dramatically as the network grows.
+        assert!(diameters.points.last().unwrap().1 >= diameters.points.first().unwrap().1);
+        for (_, d) in &diameters.points {
+            assert!(*d > 0.0);
+        }
+    }
+
+    #[test]
+    fn mixed_metrics_enumerates_four() {
+        assert_eq!(mixed_metrics().len(), 4);
+    }
+
+    #[test]
+    fn default_pair_stream_params_scale_with_env() {
+        let p = PairStreamParams::default();
+        assert!(p.nodes >= 60);
+        assert!(p.queries >= 60);
+        assert!(p.checkpoint_every > 0);
+    }
+}

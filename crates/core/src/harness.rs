@@ -1,0 +1,538 @@
+//! Experiment harness: glue between topologies, the simulator, and the
+//! query processors.
+//!
+//! The paper's evaluation repeatedly performs the same choreography: build a
+//! topology, start a query processor on every node, issue one or more
+//! queries from chosen nodes, let the system run (optionally injecting link
+//! updates and churn), and measure convergence latency, per-node
+//! communication overhead, average path cost, and recovery time.
+//! [`RoutingHarness`] packages that choreography for the figures/tables
+//! binaries in `dr-bench`, the examples, and the integration tests.
+
+use crate::localize::localize;
+use crate::processor::{NetMsg, ProcessorConfig, QueryProcessor};
+use crate::query::{QueryId, QueryLibrary, QuerySpec};
+use dr_datalog::ast::Program;
+use dr_netsim::{SimConfig, SimDuration, SimTime, Simulator, Topology};
+use dr_types::{Cost, NodeId, Result, Tuple, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Options controlling how a query is issued.
+#[derive(Debug, Clone)]
+pub struct IssueOptions {
+    /// Relations replicated to every node (query constants such as
+    /// `magicSources` / `magicDsts`).
+    pub replicated: Vec<String>,
+    /// Enable aggregate selections (§7.1) for this query.
+    pub aggregate_selections: bool,
+    /// Enable multi-query sharing through `bestPathCache` (§7.3).
+    pub share_results: bool,
+    /// Facts installed together with the query.
+    pub facts: Vec<Tuple>,
+    /// Human-readable name.
+    pub name: String,
+}
+
+impl Default for IssueOptions {
+    fn default() -> Self {
+        IssueOptions {
+            replicated: Vec::new(),
+            aggregate_selections: true,
+            share_results: false,
+            facts: Vec::new(),
+            name: "query".to_string(),
+        }
+    }
+}
+
+/// A sample of the global result-set state at one instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Simulated time of the snapshot.
+    pub time: SimTime,
+    /// Number of result tuples with finite cost across all nodes.
+    pub results: usize,
+    /// Average cost of those result tuples (the paper's AvgPathRTT when the
+    /// metric is RTT), or 0 when there are none.
+    pub avg_cost: f64,
+}
+
+/// The outcome of running a query while sampling its result set.
+#[derive(Debug, Clone)]
+pub struct ConvergenceReport {
+    /// Periodic snapshots of the result set.
+    pub samples: Vec<Sample>,
+    /// The earliest sampled time after which the result-set size and average
+    /// cost never changed again, if the run converged at all.
+    pub converged_at: Option<SimTime>,
+    /// Per-node communication overhead (KB) accumulated over the run.
+    pub per_node_overhead_kb: f64,
+}
+
+/// Harness wrapping a simulator full of query processors.
+pub struct RoutingHarness {
+    sim: Simulator<QueryProcessor>,
+    library: Arc<QueryLibrary>,
+    next_qid: QueryId,
+}
+
+impl RoutingHarness {
+    /// Build a harness over `topology` with default processor and simulator
+    /// configuration.
+    pub fn new(topology: Topology) -> RoutingHarness {
+        RoutingHarness::with_batch_interval(topology, SimDuration::from_millis(200))
+    }
+
+    /// Build a harness with a custom batch interval (the paper uses 200 ms).
+    pub fn with_batch_interval(topology: Topology, batch: SimDuration) -> RoutingHarness {
+        let library = Arc::new(QueryLibrary::new());
+        let mut config = ProcessorConfig::new(Arc::clone(&library));
+        config.batch_interval = batch;
+        let apps = (0..topology.num_nodes())
+            .map(|_| QueryProcessor::new(config.clone()))
+            .collect();
+        let sim = Simulator::new(topology, apps, SimConfig::default());
+        RoutingHarness { sim, library, next_qid: 1 }
+    }
+
+    /// The shared query library.
+    pub fn library(&self) -> &Arc<QueryLibrary> {
+        &self.library
+    }
+
+    /// The underlying simulator.
+    pub fn sim(&self) -> &Simulator<QueryProcessor> {
+        &self.sim
+    }
+
+    /// Mutable access to the underlying simulator (for churn / link-update
+    /// schedules).
+    pub fn sim_mut(&mut self) -> &mut Simulator<QueryProcessor> {
+        &mut self.sim
+    }
+
+    /// Localize `program` and issue it as a query from `issuer` at time
+    /// `at`. Returns the query id.
+    pub fn issue_program(
+        &mut self,
+        issuer: NodeId,
+        at: SimTime,
+        program: &Program,
+        options: IssueOptions,
+    ) -> Result<QueryId> {
+        let replicated: Vec<&str> = options.replicated.iter().map(String::as_str).collect();
+        let localized = Arc::new(localize(program, &replicated)?);
+        let qid = self.next_qid;
+        self.next_qid += 1;
+        let spec = QuerySpec::new(qid, options.name, localized)
+            .with_aggregate_selections(options.aggregate_selections)
+            .with_sharing(options.share_results)
+            .with_facts(options.facts);
+        self.library.register(spec);
+        self.sim.inject(at, issuer, NetMsg::Install { qid });
+        Ok(qid)
+    }
+
+    /// Run the simulation until `until` (events after that stay queued).
+    pub fn run_until(&mut self, until: SimTime) {
+        self.sim.run_until(until);
+    }
+
+    /// Run until no events remain.
+    pub fn run_to_quiescence(&mut self) {
+        self.sim.run_to_quiescence();
+    }
+
+    /// Result tuples of `qid` stored at `node`.
+    pub fn results_at(&self, node: NodeId, qid: QueryId) -> Vec<Tuple> {
+        self.sim.app(node).results(qid)
+    }
+
+    /// All result tuples of `qid` across every node.
+    pub fn results(&self, qid: QueryId) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        for app in self.sim.apps() {
+            out.extend(app.results(qid));
+        }
+        out
+    }
+
+    /// Result tuples with finite cost (assumes the last field is the cost,
+    /// as in every 4-ary path-shaped result of the paper).
+    pub fn finite_results(&self, qid: QueryId) -> Vec<Tuple> {
+        self.results(qid)
+            .into_iter()
+            .filter(|t| {
+                t.fields()
+                    .last()
+                    .and_then(Value::as_cost)
+                    .map(|c| c.is_finite())
+                    .unwrap_or(true)
+            })
+            .collect()
+    }
+
+    /// The average cost over all finite result tuples of `qid` (the paper's
+    /// AvgPathRTT when link costs are RTTs).
+    pub fn average_result_cost(&self, qid: QueryId) -> f64 {
+        let results = self.finite_results(qid);
+        if results.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = results
+            .iter()
+            .filter_map(|t| t.fields().last().and_then(Value::as_cost))
+            .map(Cost::value)
+            .sum();
+        total / results.len() as f64
+    }
+
+    /// Per-node communication overhead in KB since the start of the run.
+    pub fn per_node_overhead_kb(&self) -> f64 {
+        self.sim.metrics().per_node_overhead_kb()
+    }
+
+    /// The forwarding table `node` derived from query `qid`.
+    pub fn forwarding_table(&self, node: NodeId, qid: QueryId) -> BTreeMap<NodeId, NodeId> {
+        self.sim.app(node).forwarding_table(qid)
+    }
+
+    /// Run until `until`, sampling the result set of `qid` every `interval`
+    /// and reporting convergence.
+    pub fn run_and_sample(
+        &mut self,
+        qid: QueryId,
+        interval: SimDuration,
+        until: SimTime,
+    ) -> ConvergenceReport {
+        let mut samples = Vec::new();
+        let mut t = self.sim.now();
+        while t < until {
+            let next = t + interval;
+            self.sim.run_until(next);
+            t = next;
+            let finite = self.finite_results(qid);
+            let avg = self.average_result_cost(qid);
+            samples.push(Sample { time: t, results: finite.len(), avg_cost: avg });
+        }
+        let converged_at = converged_at(&samples);
+        ConvergenceReport {
+            samples,
+            converged_at,
+            per_node_overhead_kb: self.per_node_overhead_kb(),
+        }
+    }
+}
+
+/// The earliest sample time after which neither the result count nor the
+/// average cost changes again.
+fn converged_at(samples: &[Sample]) -> Option<SimTime> {
+    if samples.is_empty() {
+        return None;
+    }
+    let last = samples.last().expect("non-empty");
+    if last.results == 0 {
+        return None;
+    }
+    let mut converged = last.time;
+    for pair in samples.windows(2).rev() {
+        let (prev, cur) = (&pair[0], &pair[1]);
+        if prev.results == cur.results && (prev.avg_cost - cur.avg_cost).abs() < 1e-9 {
+            converged = prev.time;
+        } else {
+            break;
+        }
+    }
+    Some(converged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_datalog::parse_program;
+    use dr_netsim::LinkParams;
+    use dr_types::PathVector;
+
+    const BEST_PATH: &str = r#"
+        #key(link, 0, 1).
+        #key(path, 0, 1, 2).
+        #key(bestPathCost, 0, 1).
+        #key(bestPath, 0, 1).
+        NR1: path(@S,D,P,C) :- link(@S,D,C), P = f_initPath(S,D).
+        NR2: path(@S,D,P,C) :- link(@S,Z,C1), path(@Z,D,P2,C2),
+             C = C1 + C2, P = f_prepend(S,P2), f_inPath(P2,S) = false.
+        NR3: path(@S,D,P,C) :- link(@S,W,C1), path(@S,D,P,C2),
+             f_inPath(P,W) = true, C1 = infinity, C = infinity.
+        BPR1: bestPathCost(@S,D,min<C>) :- path(@S,D,P,C).
+        BPR2: bestPath(@S,D,P,C) :- bestPathCost(@S,D,C), path(@S,D,P,C).
+        Query: bestPath(@S,D,P,C).
+    "#;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// The five-node network of the paper's Figure 3 (a=0, b=1, c=2, d=3,
+    /// e=4), unit link costs.
+    fn figure3_topology() -> Topology {
+        let mut t = Topology::new(5);
+        for (a, b) in [(0u32, 1u32), (0, 2), (1, 3), (2, 3), (3, 4)] {
+            t.add_bidirectional(n(a), n(b), LinkParams::with_latency_ms(10.0).with_cost(Cost::new(1.0)));
+        }
+        t
+    }
+
+    fn line_topology(k: usize) -> Topology {
+        let mut t = Topology::new(k);
+        for i in 0..k - 1 {
+            t.add_bidirectional(
+                n(i as u32),
+                n(i as u32 + 1),
+                LinkParams::with_latency_ms(10.0).with_cost(Cost::new(1.0)),
+            );
+        }
+        t
+    }
+
+    fn best_path_of(harness: &RoutingHarness, qid: QueryId, s: u32, d: u32) -> Option<(Vec<NodeId>, f64)> {
+        harness
+            .results_at(n(s), qid)
+            .into_iter()
+            .filter(|t| t.relation() == "bestPath")
+            .find(|t| t.node_at(0) == Some(n(s)) && t.node_at(1) == Some(n(d)))
+            .map(|t| {
+                let p = t.field(2).and_then(Value::as_path).cloned().unwrap_or(PathVector::nil());
+                let c = t.field(3).and_then(Value::as_cost).map(Cost::value).unwrap_or(f64::NAN);
+                (p.nodes().to_vec(), c)
+            })
+    }
+
+    #[test]
+    fn distributed_best_path_converges_on_figure3() {
+        let program = parse_program(BEST_PATH).unwrap();
+        let mut harness = RoutingHarness::new(figure3_topology());
+        let qid = harness
+            .issue_program(n(0), SimTime::ZERO, &program, IssueOptions::default())
+            .unwrap();
+        harness.run_until(SimTime::from_secs(30));
+
+        // Every node has a best path to every other node (5 * 4 = 20).
+        let results = harness.finite_results(qid);
+        assert_eq!(results.len(), 20, "expected all-pairs best paths, got {}", results.len());
+
+        // Node a (0) reaches e (4) in 3 hops at cost 3.
+        let (path, cost) = best_path_of(&harness, qid, 0, 4).unwrap();
+        assert_eq!(cost, 3.0);
+        assert_eq!(path.len(), 4);
+        assert_eq!(path[0], n(0));
+        assert_eq!(path[3], n(4));
+
+        // The forwarding table at a points toward b or c for destination e.
+        let fwd = harness.forwarding_table(n(0), qid);
+        let next = fwd[&n(4)];
+        assert!(next == n(1) || next == n(2));
+
+        // Communication actually happened.
+        assert!(harness.sim().metrics().total_bytes() > 0);
+        assert!(harness.per_node_overhead_kb() > 0.0);
+    }
+
+    #[test]
+    fn distributed_result_matches_centralized_evaluation() {
+        // The distributed execution must agree with the centralized
+        // evaluator on bestPathCost values.
+        let program = parse_program(BEST_PATH).unwrap();
+        let mut harness = RoutingHarness::new(figure3_topology());
+        let qid = harness
+            .issue_program(n(3), SimTime::ZERO, &program, IssueOptions::default())
+            .unwrap();
+        harness.run_until(SimTime::from_secs(30));
+
+        let mut central_db = dr_datalog::Database::new();
+        for (a, b) in [(0u32, 1u32), (0, 2), (1, 3), (2, 3), (3, 4)] {
+            for (s, d) in [(a, b), (b, a)] {
+                central_db.insert(Tuple::new(
+                    "link",
+                    vec![Value::Node(n(s)), Value::Node(n(d)), Value::Cost(Cost::new(1.0))],
+                ));
+            }
+        }
+        dr_datalog::Evaluator::new(parse_program(BEST_PATH).unwrap())
+            .unwrap()
+            .run(&mut central_db)
+            .unwrap();
+
+        for src in 0..5u32 {
+            for dst in 0..5u32 {
+                if src == dst {
+                    continue;
+                }
+                let distributed = best_path_of(&harness, qid, src, dst).map(|(_, c)| c);
+                let central = central_db
+                    .tuples("bestPathCost")
+                    .into_iter()
+                    .find(|t| t.node_at(0) == Some(n(src)) && t.node_at(1) == Some(n(dst)))
+                    .and_then(|t| t.field(2).and_then(Value::as_cost))
+                    .map(Cost::value);
+                assert_eq!(distributed, central, "cost mismatch for {src}->{dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn convergence_report_detects_stabilization() {
+        let program = parse_program(BEST_PATH).unwrap();
+        let mut harness = RoutingHarness::new(line_topology(4));
+        let qid = harness
+            .issue_program(n(0), SimTime::ZERO, &program, IssueOptions::default())
+            .unwrap();
+        let report = harness.run_and_sample(qid, SimDuration::from_millis(500), SimTime::from_secs(20));
+        let converged = report.converged_at.expect("query should converge");
+        assert!(converged < SimTime::from_secs(20));
+        assert!(report.samples.last().unwrap().results == 12); // 4*3 pairs
+        assert!(report.per_node_overhead_kb > 0.0);
+        // samples are monotone in time
+        assert!(report.samples.windows(2).all(|w| w[0].time < w[1].time));
+    }
+
+    #[test]
+    fn link_failure_triggers_incremental_recovery() {
+        // Square: 0-1-3 and 0-2-3, plus spur 3-4 (figure 3 shape). Fail node
+        // 3's neighbor link by failing node 1; route 0->3 must switch to via
+        // 2 without reissuing the query.
+        let program = parse_program(BEST_PATH).unwrap();
+        let mut harness = RoutingHarness::new(figure3_topology());
+        let qid = harness
+            .issue_program(n(0), SimTime::ZERO, &program, IssueOptions::default())
+            .unwrap();
+        harness.run_until(SimTime::from_secs(30));
+        let before = best_path_of(&harness, qid, 0, 3).unwrap();
+        assert_eq!(before.1, 2.0);
+
+        // Fail node 1 at t=30s; give the system time to recompute.
+        harness.sim_mut().schedule_node_fail(SimTime::from_secs(30), n(1));
+        harness.run_until(SimTime::from_secs(60));
+
+        let after = best_path_of(&harness, qid, 0, 3).unwrap();
+        assert_eq!(after.1, 2.0, "route should recover via node 2: {after:?}");
+        assert!(after.0.contains(&n(2)), "recovered path must avoid node 1: {after:?}");
+        assert!(!after.0.contains(&n(1)));
+
+        // Paths from 0 to 4 also recover (via 2).
+        let to_e = best_path_of(&harness, qid, 0, 4).unwrap();
+        assert_eq!(to_e.1, 3.0);
+        assert!(!to_e.0.contains(&n(1)));
+    }
+
+    #[test]
+    fn link_cost_increase_recomputes_routes() {
+        // Triangle 0-1-2 with a heavy direct edge 0-2; after the light path
+        // through 1 gets expensive, the direct edge wins.
+        let mut topo = Topology::new(3);
+        topo.add_bidirectional(n(0), n(1), LinkParams::with_latency_ms(5.0).with_cost(Cost::new(1.0)));
+        topo.add_bidirectional(n(1), n(2), LinkParams::with_latency_ms(5.0).with_cost(Cost::new(1.0)));
+        topo.add_bidirectional(n(0), n(2), LinkParams::with_latency_ms(5.0).with_cost(Cost::new(5.0)));
+        let program = parse_program(BEST_PATH).unwrap();
+        let mut harness = RoutingHarness::new(topo);
+        let qid = harness
+            .issue_program(n(0), SimTime::ZERO, &program, IssueOptions::default())
+            .unwrap();
+        harness.run_until(SimTime::from_secs(20));
+        let before = best_path_of(&harness, qid, 0, 2).unwrap();
+        assert_eq!(before.1, 2.0);
+        assert_eq!(before.0.len(), 3);
+
+        // Make 1->2 (and 2->1) expensive.
+        for (a, b) in [(1u32, 2u32), (2, 1)] {
+            harness.sim_mut().schedule_link_metric_change(
+                SimTime::from_secs(20),
+                n(a),
+                n(b),
+                LinkParams::with_latency_ms(5.0).with_cost(Cost::new(50.0)),
+            );
+        }
+        harness.run_until(SimTime::from_secs(60));
+        let after = best_path_of(&harness, qid, 0, 2).unwrap();
+        assert_eq!(after.1, 5.0, "direct route should win after the cost increase: {after:?}");
+        assert_eq!(after.0.len(), 2);
+    }
+
+    #[test]
+    fn aggregate_selections_reduce_traffic_but_keep_answers() {
+        let program = parse_program(BEST_PATH).unwrap();
+
+        let run = |agg: bool| {
+            let mut harness = RoutingHarness::new(figure3_topology());
+            let options = IssueOptions { aggregate_selections: agg, ..Default::default() };
+            let qid = harness
+                .issue_program(n(0), SimTime::ZERO, &program, options)
+                .unwrap();
+            harness.run_until(SimTime::from_secs(40));
+            let mut costs: Vec<(NodeId, NodeId, u64)> = harness
+                .finite_results(qid)
+                .into_iter()
+                .map(|t| {
+                    (
+                        t.node_at(0).unwrap(),
+                        t.node_at(1).unwrap(),
+                        t.field(3).and_then(Value::as_cost).unwrap().value() as u64,
+                    )
+                })
+                .collect();
+            costs.sort();
+            (harness.sim().metrics().total_bytes(), costs)
+        };
+
+        let (bytes_opt, costs_opt) = run(true);
+        let (bytes_plain, costs_plain) = run(false);
+        assert_eq!(costs_opt, costs_plain, "optimization must not change best paths");
+        assert!(
+            bytes_opt <= bytes_plain,
+            "aggregate selections should not increase traffic ({bytes_opt} vs {bytes_plain})"
+        );
+    }
+
+    #[test]
+    fn issuing_from_any_node_reaches_the_whole_network() {
+        // Dissemination is by flooding: issuing at the far end of a line
+        // still installs the query everywhere.
+        let program = parse_program(BEST_PATH).unwrap();
+        let mut harness = RoutingHarness::new(line_topology(5));
+        let qid = harness
+            .issue_program(n(4), SimTime::ZERO, &program, IssueOptions::default())
+            .unwrap();
+        harness.run_until(SimTime::from_secs(30));
+        for i in 0..5u32 {
+            assert!(
+                harness.sim().app(n(i)).installed_queries().contains(&qid),
+                "node {i} never installed the query"
+            );
+        }
+        assert_eq!(harness.finite_results(qid).len(), 20);
+    }
+
+    #[test]
+    fn unknown_query_id_is_ignored() {
+        let mut harness = RoutingHarness::new(line_topology(2));
+        harness.sim_mut().inject(SimTime::ZERO, n(0), NetMsg::Install { qid: 999 });
+        harness.run_to_quiescence();
+        assert!(harness.sim().app(n(0)).installed_queries().is_empty());
+    }
+
+    #[test]
+    fn converged_at_helper() {
+        use super::converged_at;
+        let mk = |t: u64, r: usize, c: f64| Sample {
+            time: SimTime::from_secs(t),
+            results: r,
+            avg_cost: c,
+        };
+        assert_eq!(converged_at(&[]), None);
+        assert_eq!(converged_at(&[mk(1, 0, 0.0)]), None);
+        let samples = vec![mk(1, 2, 5.0), mk(2, 4, 4.0), mk(3, 4, 4.0), mk(4, 4, 4.0)];
+        assert_eq!(converged_at(&samples), Some(SimTime::from_secs(2)));
+        let still_changing = vec![mk(1, 2, 5.0), mk(2, 4, 4.0)];
+        assert_eq!(converged_at(&still_changing), Some(SimTime::from_secs(2)));
+    }
+}

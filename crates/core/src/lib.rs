@@ -1,0 +1,40 @@
+//! # dr-core
+//!
+//! The distributed declarative routing engine — the paper's primary
+//! contribution. Every network node runs a [`QueryProcessor`] (the
+//! counterpart of the paper's per-node PIER instance): it keeps a neighbor
+//! table fed by the routing infrastructure, accepts routing protocols
+//! expressed as Datalog queries, executes them as distributed dataflows by
+//! exchanging tuples with neighboring processors, and installs the results
+//! in a forwarding table.
+//!
+//! The moving parts:
+//!
+//! * [`localize`] — turns a parsed [`dr_datalog::Program`] into per-node
+//!   dataflows: rules whose body atoms live at different addresses are split
+//!   into a local join at an *anchor* node plus tuple-shipping "clouds"
+//!   (paper §3.3, Figure 2).
+//! * [`query`] — a [`QuerySpec`] bundles the localized program with runtime
+//!   options (aggregate selections, result sharing, lifetime); a
+//!   [`QueryLibrary`] is the catalog of specs every node knows about, so
+//!   that query dissemination only needs to flood an identifier.
+//! * [`processor`] — the [`QueryProcessor`] node application: batching,
+//!   semi-naïve incremental recomputation on base-table updates (paper §8),
+//!   aggregate selections (§7.1), multi-query sharing through the
+//!   `bestPathCache` table (§7.3), and forwarding-state installation.
+//! * [`harness`] — glue for experiments: build a simulator over a topology,
+//!   issue queries from chosen nodes, wait for convergence, and extract
+//!   routes, costs and communication statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod localize;
+pub mod processor;
+pub mod query;
+
+pub use harness::{ConvergenceReport, RoutingHarness};
+pub use localize::{LocalizedProgram, LocalizedRule, ShipSpec};
+pub use processor::{NetMsg, ProcessorConfig, QueryProcessor};
+pub use query::{QueryId, QueryLibrary, QuerySpec};

@@ -1,0 +1,872 @@
+//! The per-node query processor (the paper's Figure 1 box).
+//!
+//! Each [`QueryProcessor`] is a [`NodeApp`] driven by the network simulator.
+//! It keeps the node's neighbor table in sync with link events from the
+//! routing infrastructure, accepts query installations (disseminated by
+//! flooding, with piggy-backed installation when tuples for a not-yet-known
+//! query arrive first — §3.5), and executes every installed query as a
+//! distributed dataflow:
+//!
+//! * received and locally derived tuples are batched; every
+//!   `batch_interval` (200 ms in the paper's experiments, §9.1.1) the node
+//!   runs a local semi-naïve fixpoint over its localized rules,
+//! * derived tuples whose home is another node are shipped there, and
+//!   tuples required by remote joins are shipped to the join's anchor node
+//!   according to the program's [`ShipSpec`]s (the Figure 2 "clouds"),
+//! * aggregate selections (§7.1) prune dominated tuples before they are
+//!   stored or shipped — with per-next-hop granularity so that alternate
+//!   routes survive for failure recovery (§8),
+//! * link failures and metric changes arrive as neighbor-table updates and
+//!   are folded into the same incremental dataflow (cost-∞ poisoning),
+//! * completed best paths can be written into the node-local, cross-query
+//!   `bestPathCache` table and installed along the reverse path, enabling
+//!   the multi-query sharing of §7.3.
+
+use crate::localize::LocalizedProgram;
+use crate::query::{QueryId, QueryLibrary, QuerySpec};
+use dr_datalog::ast::Rule;
+use dr_datalog::builtins::Builtins;
+use dr_datalog::database::Database;
+use dr_datalog::eval::{apply_aggregate, evaluate_rule, RelationSource};
+use dr_datalog::rewrite::AggSelection;
+use dr_netsim::{Context, LinkEvent, NodeApp, SimDuration};
+use dr_types::{Cost, NodeId, Tuple, Value};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Messages exchanged between query processors.
+#[derive(Debug, Clone)]
+pub enum NetMsg {
+    /// Install (disseminate) a query known to the shared [`QueryLibrary`].
+    Install {
+        /// The query being installed.
+        qid: QueryId,
+    },
+    /// A batch of tuples addressed to the receiving node, each tagged with
+    /// the relation (or cache relation) it belongs to.
+    Tuples {
+        /// The query these tuples belong to.
+        qid: QueryId,
+        /// `(relation, tuple)` pairs.
+        items: Vec<(String, Tuple)>,
+    },
+    /// Install a cached best path along the reverse path (multi-query
+    /// sharing, §7.3). Forwarded hop by hop along `suffix`.
+    CacheInstall {
+        /// Cross-query cache relation to install into.
+        cache: String,
+        /// Final destination of the cached path.
+        dest: NodeId,
+        /// Remaining path from the receiving node to `dest` (first element
+        /// is the receiving node itself).
+        suffix: Vec<NodeId>,
+        /// Cost of the remaining path.
+        cost: Cost,
+    },
+}
+
+impl NetMsg {
+    /// Approximate wire size used for bandwidth accounting.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            NetMsg::Install { .. } => 64,
+            NetMsg::Tuples { items, .. } => {
+                16 + items
+                    .iter()
+                    .map(|(rel, t)| rel.len() + t.wire_size())
+                    .sum::<usize>()
+            }
+            NetMsg::CacheInstall { cache, suffix, .. } => 24 + cache.len() + 4 * suffix.len(),
+        }
+    }
+}
+
+/// Configuration shared by every processor in a deployment.
+#[derive(Debug, Clone)]
+pub struct ProcessorConfig {
+    /// The query library all nodes share.
+    pub library: Arc<QueryLibrary>,
+    /// How often buffered tuples are processed (the paper uses 200 ms).
+    pub batch_interval: SimDuration,
+    /// Name of the neighbor-table relation exposed to queries.
+    pub link_relation: String,
+}
+
+impl ProcessorConfig {
+    /// Standard configuration around a query library.
+    pub fn new(library: Arc<QueryLibrary>) -> ProcessorConfig {
+        ProcessorConfig {
+            library,
+            batch_interval: SimDuration::from_millis(200),
+            link_relation: "link".to_string(),
+        }
+    }
+}
+
+/// Runtime counters of one processor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProcessorStats {
+    /// Tuples received from other nodes.
+    pub tuples_received: u64,
+    /// Tuples shipped to other nodes.
+    pub tuples_sent: u64,
+    /// Tuples derived locally (after pruning).
+    pub tuples_derived: u64,
+    /// Tuples suppressed by aggregate selections.
+    pub tuples_pruned: u64,
+    /// Number of batch-processing rounds executed.
+    pub batches: u64,
+}
+
+/// Per-installed-query state.
+struct Instance {
+    spec: Arc<QuerySpec>,
+    db: Database,
+    /// Deltas accumulated since the last batch, keyed by relation.
+    pending: HashMap<String, Vec<Tuple>>,
+    /// Aggregate-selection state: prune key → (identity key of current best,
+    /// its value).
+    prune: HashMap<Vec<Value>, (Vec<Value>, Value)>,
+    installed: bool,
+}
+
+impl Instance {
+    fn new(spec: Arc<QuerySpec>) -> Instance {
+        let mut db = Database::new();
+        for (rel, keys) in spec.program.key_declarations() {
+            db.declare_key(&rel, keys);
+        }
+        // Aggregate outputs are keyed by their group-by columns so that
+        // recomputation replaces the previous value instead of accumulating.
+        for lrule in &spec.program.rules {
+            let head = &lrule.rule.head;
+            if head.has_aggregate() {
+                let group: Vec<usize> = head
+                    .terms
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| matches!(t, dr_datalog::ast::HeadTerm::Plain(_)))
+                    .map(|(i, _)| i)
+                    .collect();
+                db.declare_key(&head.relation, group);
+            }
+        }
+        Instance { spec, db, pending: HashMap::new(), prune: HashMap::new(), installed: false }
+    }
+
+    fn has_pending(&self) -> bool {
+        self.pending.values().any(|v| !v.is_empty())
+    }
+}
+
+/// Read-through view over the query-local database and the node's shared
+/// (cross-query) tables.
+struct Overlay<'a> {
+    local: &'a Database,
+    shared: &'a Database,
+}
+
+impl RelationSource for Overlay<'_> {
+    fn scan(&self, relation: &str) -> Vec<Tuple> {
+        let mut v = self.local.tuples(relation);
+        v.extend(self.shared.tuples(relation));
+        v
+    }
+}
+
+/// The per-node query processor.
+pub struct QueryProcessor {
+    config: ProcessorConfig,
+    node: NodeId,
+    builtins: Builtins,
+    /// Current neighbor table: neighbor → link cost (∞ when down).
+    neighbors: BTreeMap<NodeId, Cost>,
+    /// Cross-query shared tables (`bestPathCache`).
+    shared: Database,
+    instances: BTreeMap<QueryId, Instance>,
+    batch_scheduled: bool,
+    stats: ProcessorStats,
+}
+
+impl QueryProcessor {
+    /// Create a processor with the given deployment configuration.
+    pub fn new(config: ProcessorConfig) -> QueryProcessor {
+        let mut shared = Database::new();
+        shared.declare_key("bestPathCache", vec![0, 1]);
+        QueryProcessor {
+            config,
+            node: NodeId::new(0),
+            builtins: Builtins::standard(),
+            neighbors: BTreeMap::new(),
+            shared,
+            instances: BTreeMap::new(),
+            batch_scheduled: false,
+            stats: ProcessorStats::default(),
+        }
+    }
+
+    /// This node's id (valid after the simulation has started).
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Runtime counters.
+    pub fn stats(&self) -> &ProcessorStats {
+        &self.stats
+    }
+
+    /// The ids of the queries installed at this node.
+    pub fn installed_queries(&self) -> Vec<QueryId> {
+        self.instances.keys().copied().collect()
+    }
+
+    /// All tuples of `relation` stored at this node for query `qid`.
+    pub fn tuples(&self, qid: QueryId, relation: &str) -> Vec<Tuple> {
+        self.instances
+            .get(&qid)
+            .map(|i| i.db.sorted_tuples(relation))
+            .unwrap_or_default()
+    }
+
+    /// The result tuples (of all `Query:` relations) stored at this node.
+    pub fn results(&self, qid: QueryId) -> Vec<Tuple> {
+        let Some(instance) = self.instances.get(&qid) else { return Vec::new() };
+        let mut out = Vec::new();
+        for rel in &instance.spec.program.result_relations {
+            out.extend(instance.db.sorted_tuples(rel));
+        }
+        out
+    }
+
+    /// The node's current view of its neighbor table.
+    pub fn neighbor_table(&self) -> &BTreeMap<NodeId, Cost> {
+        &self.neighbors
+    }
+
+    /// Contents of the cross-query `bestPathCache` table.
+    pub fn best_path_cache(&self) -> Vec<Tuple> {
+        self.shared.sorted_tuples("bestPathCache")
+    }
+
+    /// Contents of an arbitrary cross-query cache relation (used by queries
+    /// that compute a non-default metric).
+    pub fn shared_cache(&self, relation: &str) -> Vec<Tuple> {
+        self.shared.sorted_tuples(relation)
+    }
+
+    /// The forwarding table induced by query `qid`: destination → next hop,
+    /// extracted from result tuples that carry a path vector (field layout
+    /// `(S, D, P, C)`) or an explicit next-hop field (`(S, D, Z, C)`).
+    pub fn forwarding_table(&self, qid: QueryId) -> BTreeMap<NodeId, NodeId> {
+        let mut out = BTreeMap::new();
+        for t in self.results(qid) {
+            if t.node_at(0) != Some(self.node) {
+                continue;
+            }
+            let Some(dest) = t.node_at(1) else { continue };
+            let cost = t.fields().last().and_then(Value::as_cost).unwrap_or(Cost::ZERO);
+            if cost.is_infinite() {
+                continue;
+            }
+            let next = t
+                .field(2)
+                .and_then(|v| match v {
+                    Value::Path(p) if p.len() >= 2 => Some(p.nodes()[1]),
+                    Value::Node(n) => Some(*n),
+                    _ => None,
+                });
+            if let Some(next) = next {
+                out.insert(dest, next);
+            }
+        }
+        out
+    }
+
+    /// Remove an installed query and its state (lifetime expiry).
+    pub fn remove_query(&mut self, qid: QueryId) {
+        self.instances.remove(&qid);
+    }
+
+    // -- internals ----------------------------------------------------------
+
+    fn link_tuple(&self, neighbor: NodeId, cost: Cost) -> Tuple {
+        Tuple::new(
+            &self.config.link_relation,
+            vec![Value::Node(self.node), Value::Node(neighbor), Value::Cost(cost)],
+        )
+    }
+
+    fn schedule_batch(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        if !self.batch_scheduled {
+            self.batch_scheduled = true;
+            ctx.set_timer(self.config.batch_interval);
+        }
+    }
+
+    fn install(&mut self, ctx: &mut Context<'_, NetMsg>, qid: QueryId) {
+        if self.instances.get(&qid).map(|i| i.installed).unwrap_or(false) {
+            return;
+        }
+        let Some(spec) = self.config.library.get(qid) else { return };
+        if spec.share_results {
+            self.shared.declare_key(&spec.cache_relation, vec![0, 1]);
+        }
+        let program = Arc::clone(&spec.program);
+        let instance = self
+            .instances
+            .entry(qid)
+            .or_insert_with(|| Instance::new(Arc::clone(&spec)));
+        instance.installed = true;
+
+        // Flood the installation to all neighbors.
+        let msg = NetMsg::Install { qid };
+        let size = program.dissemination_size();
+        let neighbor_ids: Vec<NodeId> = self.neighbors.keys().copied().collect();
+        for nb in &neighbor_ids {
+            ctx.send(*nb, msg.clone(), size);
+        }
+
+        // Install the query's facts: replicated relations everywhere, others
+        // only at their home node.
+        let mut outbound: HashMap<NodeId, Vec<(String, Tuple)>> = HashMap::new();
+        let facts: Vec<Tuple> = spec.facts.clone();
+        for fact in facts {
+            self.route_tuple(qid, fact, &mut outbound);
+        }
+        // Seed the neighbor table as `link` base tuples.
+        let links: Vec<Tuple> = self
+            .neighbors
+            .iter()
+            .map(|(nb, cost)| self.link_tuple(*nb, *cost))
+            .collect();
+        for link in links {
+            self.route_tuple(qid, link, &mut outbound);
+        }
+        self.flush_outbound(ctx, qid, outbound);
+        self.schedule_batch(ctx);
+    }
+
+    /// Store or forward one tuple for query `qid`. Returns true when the
+    /// tuple was newly stored locally.
+    fn route_tuple(
+        &mut self,
+        qid: QueryId,
+        tuple: Tuple,
+        outbound: &mut HashMap<NodeId, Vec<(String, Tuple)>>,
+    ) -> bool {
+        let my_id = self.node;
+        // Work on the instance first; side effects on other processor fields
+        // (stats, shared cache) are applied after the borrow ends.
+        let mut pruned = false;
+        let mut stored = false;
+        let mut cache_entry: Option<Tuple> = None;
+        {
+            let Some(instance) = self.instances.get_mut(&qid) else { return false };
+            let program = Arc::clone(&instance.spec.program);
+            let relation = tuple.relation().to_string();
+
+            // Aggregate-selection pruning (per next-hop granularity).
+            let mut admitted = true;
+            if instance.spec.aggregate_selections {
+                if let Some(sel) = program
+                    .agg_selections
+                    .iter()
+                    .find(|s| s.input_relation == relation)
+                {
+                    if !Self::prune_pass(instance, sel, &program, &tuple) {
+                        pruned = true;
+                        admitted = false;
+                    }
+                }
+            }
+
+            if admitted {
+                let loc_field = program.catalog.location_field(&relation);
+                let home = tuple.node_at(loc_field);
+                let replicated = program.is_replicated(&relation);
+
+                match home {
+                    Some(h) if h != my_id && !replicated => {
+                        outbound.entry(h).or_default().push((relation, tuple.clone()));
+                    }
+                    _ => {
+                        let outcome = instance.db.insert(tuple.clone());
+                        if outcome.added {
+                            stored = true;
+                            instance
+                                .pending
+                                .entry(relation.clone())
+                                .or_default()
+                                .push(tuple.clone());
+
+                            // Ship copies required by remote joins (the
+                            // Figure 2 clouds).
+                            for ship in program.ships_for(&relation) {
+                                let Some(dest) = tuple.node_at(ship.target_field) else {
+                                    continue;
+                                };
+                                let cache_tuple =
+                                    Tuple::new(&ship.cache_relation, tuple.fields().to_vec());
+                                if dest == my_id {
+                                    if instance.db.insert(cache_tuple.clone()).added {
+                                        instance
+                                            .pending
+                                            .entry(ship.cache_relation.clone())
+                                            .or_default()
+                                            .push(cache_tuple);
+                                    }
+                                } else {
+                                    outbound
+                                        .entry(dest)
+                                        .or_default()
+                                        .push((ship.cache_relation.clone(), cache_tuple));
+                                }
+                            }
+
+                            // Multi-query sharing: completed best paths go
+                            // into the shared cache.
+                            if instance.spec.share_results
+                                && program.result_relations.contains(&relation)
+                            {
+                                cache_entry = Self::cache_entry_from_result(
+                                    &instance.spec.cache_relation,
+                                    &tuple,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if pruned {
+            self.stats.tuples_pruned += 1;
+        }
+        if stored {
+            self.stats.tuples_derived += 1;
+        }
+        if let Some(cache) = cache_entry {
+            self.shared.insert(cache);
+        }
+        stored
+    }
+
+    /// Aggregate-selection admission check. Keeps: updates of the current
+    /// best (same identity key), and tuples at least as good as the best
+    /// known for their prune key. The prune key extends the aggregate's
+    /// group with every node-valued field outside the group and the first
+    /// hop of any path-vector field, so one best route is retained *per next
+    /// hop* (needed for recovery after failures, §8).
+    fn prune_pass(
+        instance: &mut Instance,
+        sel: &AggSelection,
+        program: &LocalizedProgram,
+        tuple: &Tuple,
+    ) -> bool {
+        let Some(value) = tuple.field(sel.value_field).cloned() else { return true };
+        let mut key: Vec<Value> = sel
+            .group_fields
+            .iter()
+            .filter_map(|&i| tuple.field(i).cloned())
+            .collect();
+        for (i, field) in tuple.fields().iter().enumerate() {
+            if i == sel.value_field || sel.group_fields.contains(&i) {
+                continue;
+            }
+            match field {
+                Value::Node(_) => key.push(field.clone()),
+                Value::Path(p) if p.len() >= 2 => key.push(Value::Node(p.nodes()[1])),
+                _ => {}
+            }
+        }
+        let identity: Vec<Value> = program
+            .catalog
+            .key_fields(tuple.relation(), tuple.arity())
+            .iter()
+            .filter_map(|&i| tuple.field(i).cloned())
+            .collect();
+
+        let better_or_equal = |a: &Value, b: &Value| -> bool {
+            use std::cmp::Ordering::*;
+            match sel.func {
+                dr_datalog::ast::AggFunc::Min => a.compare_numeric(b) != Greater,
+                dr_datalog::ast::AggFunc::Max => a.compare_numeric(b) != Less,
+                _ => true,
+            }
+        };
+
+        match instance.prune.get(&key) {
+            None => {
+                instance.prune.insert(key, (identity, value));
+                true
+            }
+            Some((best_id, best_val)) => {
+                if *best_id == identity {
+                    // An update (possibly a worsening) of the current best.
+                    instance.prune.insert(key, (identity, value));
+                    true
+                } else if better_or_equal(&value, best_val) {
+                    instance.prune.insert(key, (identity, value));
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Build a `<cache>(@N, D, P, C)` entry from a 4-ary result tuple.
+    fn cache_entry_from_result(cache: &str, tuple: &Tuple) -> Option<Tuple> {
+        if tuple.arity() != 4 {
+            return None;
+        }
+        let s = tuple.node_at(0)?;
+        let d = tuple.node_at(1)?;
+        let p = tuple.field(2)?.as_path()?.clone();
+        let c = tuple.field(3)?.as_cost()?;
+        Some(Tuple::new(
+            cache,
+            vec![Value::Node(s), Value::Node(d), Value::Path(p), Value::Cost(c)],
+        ))
+    }
+
+    fn flush_outbound(
+        &mut self,
+        ctx: &mut Context<'_, NetMsg>,
+        qid: QueryId,
+        outbound: HashMap<NodeId, Vec<(String, Tuple)>>,
+    ) {
+        for (dest, items) in outbound {
+            if items.is_empty() {
+                continue;
+            }
+            if dest == self.node {
+                // Tuples that resolved back to ourselves (e.g. relayed home
+                // deliveries): fold them straight in.
+                let mut again = HashMap::new();
+                for (rel, t) in items {
+                    let tuple = Tuple::new(&rel, t.fields().to_vec());
+                    self.route_tuple(qid, tuple, &mut again);
+                }
+                self.flush_outbound(ctx, qid, again);
+                continue;
+            }
+            self.stats.tuples_sent += items.len() as u64;
+            // Nodes only exchange messages with direct neighbors. Cache
+            // shipping (the Figure 2 clouds) always targets a neighbor by
+            // construction; home shipping of derived tuples usually does
+            // too (right recursion ships one hop back toward the source).
+            // When the home is further away — e.g. DSR-style left recursion
+            // storing paths at the source — the tuple is relayed hop by hop
+            // along the reverse of its own path vector, exactly the
+            // "reverse path" shipping the paper describes for DSR and
+            // Best-Path-Pairs.
+            let next_hop = if self.neighbors.contains_key(&dest) {
+                Some(dest)
+            } else {
+                Self::relay_hop(self.node, dest, &items, &self.neighbors)
+            };
+            let msg = NetMsg::Tuples { qid, items };
+            let size = msg.wire_size();
+            match next_hop {
+                Some(hop) => ctx.send(hop, msg, size),
+                // No way to make progress toward the home node: drop.
+                None => ctx.send(dest, msg, size),
+            }
+        }
+    }
+
+    /// Find a neighbor one step closer to `dest` along the path vector of
+    /// any of the tuples being shipped.
+    fn relay_hop(
+        me: NodeId,
+        dest: NodeId,
+        items: &[(String, Tuple)],
+        neighbors: &BTreeMap<NodeId, Cost>,
+    ) -> Option<NodeId> {
+        for (_, tuple) in items {
+            for field in tuple.fields() {
+                let Value::Path(path) = field else { continue };
+                let nodes = path.nodes();
+                let me_pos = nodes.iter().position(|&n| n == me);
+                let dest_pos = nodes.iter().position(|&n| n == dest);
+                if let (Some(a), Some(b)) = (me_pos, dest_pos) {
+                    if a == b {
+                        continue;
+                    }
+                    let step = if b > a { a + 1 } else { a - 1 };
+                    let hop = nodes[step];
+                    if neighbors.contains_key(&hop) {
+                        return Some(hop);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// One batch: run the local semi-naïve fixpoint of every installed query
+    /// that has pending deltas, then ship the produced tuples.
+    fn process_batches(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        self.stats.batches += 1;
+        let qids: Vec<QueryId> = self.instances.keys().copied().collect();
+        for qid in qids {
+            let mut outbound: HashMap<NodeId, Vec<(String, Tuple)>> = HashMap::new();
+            let mut cache_installs: Vec<(NodeId, NetMsg)> = Vec::new();
+            // Local fixpoint: keep draining deltas until nothing new is
+            // produced locally.
+            loop {
+                let Some(instance) = self.instances.get_mut(&qid) else { break };
+                if !instance.has_pending() {
+                    break;
+                }
+                let deltas = std::mem::take(&mut instance.pending);
+                let spec = Arc::clone(&instance.spec);
+                let program = Arc::clone(&spec.program);
+
+                let mut derived: Vec<Tuple> = Vec::new();
+                // Recomputed aggregate outputs are forced into the delta set
+                // even when their value is unchanged: the inputs of their
+                // group changed (e.g. a path was poisoned to ∞), so rules
+                // consuming the aggregate must re-join against the updated
+                // inputs or they would keep serving stale results (§8).
+                let mut forced_deltas: Vec<Tuple> = Vec::new();
+                {
+                    let source = Overlay { local: &instance.db, shared: &self.shared };
+                    for lrule in &program.rules {
+                        let rule: &Rule = &lrule.rule;
+                        if rule.head.has_aggregate() {
+                            // Aggregates are recomputed from the full local
+                            // table whenever any of their inputs changed.
+                            let touched = rule
+                                .body_relations()
+                                .iter()
+                                .any(|r| deltas.contains_key(*r));
+                            if !touched {
+                                continue;
+                            }
+                            if let Ok(raw) = evaluate_rule(rule, &self.builtins, &source, None) {
+                                if let Ok(grouped) = apply_aggregate(&rule.head, &raw) {
+                                    forced_deltas.extend(grouped.iter().cloned());
+                                    derived.extend(grouped);
+                                }
+                            }
+                            continue;
+                        }
+                        let positives = rule.positive_atoms();
+                        for (i, atom) in positives.iter().enumerate() {
+                            let Some(delta) = deltas.get(&atom.relation) else { continue };
+                            if delta.is_empty() {
+                                continue;
+                            }
+                            if let Ok(tuples) =
+                                evaluate_rule(rule, &self.builtins, &source, Some((i, delta)))
+                            {
+                                derived.extend(tuples);
+                            }
+                        }
+                    }
+                }
+
+                for tuple in forced_deltas {
+                    // Only force a re-join when the tuple is already the
+                    // stored value (a genuinely new/changed value is routed
+                    // below and becomes a delta anyway).
+                    let Some(instance) = self.instances.get_mut(&qid) else { break };
+                    if instance.db.contains(&tuple) {
+                        instance
+                            .pending
+                            .entry(tuple.relation().to_string())
+                            .or_default()
+                            .push(tuple);
+                    }
+                }
+                for tuple in derived {
+                    let stored = self.route_tuple(qid, tuple.clone(), &mut outbound);
+                    // Reverse-path cache installation for shared queries.
+                    if stored {
+                        let Some(instance) = self.instances.get(&qid) else { continue };
+                        if instance.spec.share_results
+                            && instance
+                                .spec
+                                .program
+                                .result_relations
+                                .contains(&tuple.relation().to_string())
+                        {
+                            let cache = instance.spec.cache_relation.clone();
+                            if let Some((next, msg)) = self.cache_install_message(&cache, &tuple) {
+                                cache_installs.push((next, msg));
+                            }
+                        }
+                    }
+                }
+            }
+            self.flush_outbound(ctx, qid, outbound);
+            for (next, msg) in cache_installs {
+                let size = msg.wire_size();
+                ctx.send(next, msg, size);
+            }
+        }
+    }
+
+    /// Build the first hop of a reverse-path cache installation for a
+    /// freshly stored best-path result.
+    fn cache_install_message(&self, cache: &str, tuple: &Tuple) -> Option<(NodeId, NetMsg)> {
+        if tuple.arity() != 4 || tuple.node_at(0) != Some(self.node) {
+            return None;
+        }
+        let dest = tuple.node_at(1)?;
+        let path = tuple.field(2)?.as_path()?;
+        let cost = tuple.field(3)?.as_cost()?;
+        if path.len() < 3 || cost.is_infinite() {
+            // One-hop paths have no intermediate nodes to cache at.
+            return None;
+        }
+        let next = path.nodes()[1];
+        let link_cost = self.neighbors.get(&next).copied().unwrap_or(Cost::ZERO);
+        let remaining = Cost::new((cost.value() - link_cost.value()).max(0.0));
+        Some((
+            next,
+            NetMsg::CacheInstall {
+                cache: cache.to_string(),
+                dest,
+                suffix: path.nodes()[1..].to_vec(),
+                cost: remaining,
+            },
+        ))
+    }
+
+    fn handle_cache_install(
+        &mut self,
+        ctx: &mut Context<'_, NetMsg>,
+        cache: String,
+        dest: NodeId,
+        suffix: Vec<NodeId>,
+        cost: Cost,
+    ) {
+        if suffix.first() != Some(&self.node) || suffix.len() < 2 {
+            return;
+        }
+        let path = dr_types::PathVector::from_nodes(suffix.clone());
+        self.shared.insert(Tuple::new(
+            &cache,
+            vec![
+                Value::Node(self.node),
+                Value::Node(dest),
+                Value::Path(path),
+                Value::Cost(cost),
+            ],
+        ));
+        if suffix.len() > 2 {
+            let next = suffix[1];
+            let link_cost = self.neighbors.get(&next).copied().unwrap_or(Cost::ZERO);
+            let remaining = Cost::new((cost.value() - link_cost.value()).max(0.0));
+            let msg = NetMsg::CacheInstall {
+                cache,
+                dest,
+                suffix: suffix[1..].to_vec(),
+                cost: remaining,
+            };
+            let size = msg.wire_size();
+            ctx.send(next, msg, size);
+        }
+    }
+
+    /// Apply a neighbor-table change to every installed query (a keyed
+    /// upsert of the corresponding `link` tuple, which the next batch folds
+    /// into the dataflow — §8's incremental recomputation).
+    fn apply_link_update(&mut self, ctx: &mut Context<'_, NetMsg>, neighbor: NodeId, cost: Cost) {
+        self.neighbors.insert(neighbor, cost);
+        let qids: Vec<QueryId> = self.instances.keys().copied().collect();
+        for qid in qids {
+            let link = self.link_tuple(neighbor, cost);
+            let mut outbound = HashMap::new();
+            self.route_tuple(qid, link, &mut outbound);
+            self.flush_outbound(ctx, qid, outbound);
+        }
+        if !self.instances.is_empty() {
+            self.schedule_batch(ctx);
+        }
+    }
+}
+
+impl NodeApp for QueryProcessor {
+    type Message = NetMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        self.node = ctx.id();
+        self.neighbors = ctx
+            .neighbors()
+            .into_iter()
+            .map(|(nb, params)| (nb, params.cost))
+            .collect();
+    }
+
+    fn on_join(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        // Warm restart: refresh the neighbor table and replay it into every
+        // installed query so routes through this node are recomputed.
+        self.node = ctx.id();
+        let fresh: Vec<(NodeId, Cost)> = ctx
+            .neighbors()
+            .into_iter()
+            .map(|(nb, params)| (nb, params.cost))
+            .collect();
+        for (nb, cost) in fresh {
+            self.apply_link_update(ctx, nb, cost);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, NetMsg>, _from: NodeId, msg: NetMsg) {
+        match msg {
+            NetMsg::Install { qid } => {
+                self.install(ctx, qid);
+            }
+            NetMsg::Tuples { qid, items } => {
+                // Piggy-backed installation: tuples for an unknown query
+                // install it on the fly (§3.5).
+                if !self
+                    .instances
+                    .get(&qid)
+                    .map(|i| i.installed)
+                    .unwrap_or(false)
+                {
+                    self.install(ctx, qid);
+                }
+                self.stats.tuples_received += items.len() as u64;
+                let mut outbound = HashMap::new();
+                for (rel, tuple) in items {
+                    let tuple = Tuple::new(&rel, tuple.fields().to_vec());
+                    self.route_tuple(qid, tuple, &mut outbound);
+                }
+                self.flush_outbound(ctx, qid, outbound);
+                self.schedule_batch(ctx);
+            }
+            NetMsg::CacheInstall { cache, dest, suffix, cost } => {
+                self.handle_cache_install(ctx, cache, dest, suffix, cost);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, NetMsg>, _timer: u64) {
+        self.batch_scheduled = false;
+        self.process_batches(ctx);
+        // If processing produced new pending work (e.g. tuples delivered to
+        // ourselves), schedule another round.
+        if self.instances.values().any(Instance::has_pending) {
+            self.schedule_batch(ctx);
+        }
+    }
+
+    fn on_link_event(&mut self, ctx: &mut Context<'_, NetMsg>, event: LinkEvent) {
+        match event {
+            LinkEvent::MetricChanged { neighbor, params } => {
+                self.apply_link_update(ctx, neighbor, params.cost);
+            }
+            LinkEvent::NeighborDown { neighbor } => {
+                self.apply_link_update(ctx, neighbor, Cost::INFINITY);
+            }
+            LinkEvent::NeighborUp { neighbor, params } => {
+                self.apply_link_update(ctx, neighbor, params.cost);
+            }
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Query specifications and the per-deployment query library.
+//!
+//! A [`QuerySpec`] is one routing protocol or route request: a localized
+//! program plus runtime options (aggregate selections, result sharing) and
+//! per-issuance facts (e.g. the `magicSources` / `magicDsts` constants of a
+//! Best-Path-Pairs query). The [`QueryLibrary`] maps query identifiers to
+//! specs; every node holds the same library, so disseminating a query over
+//! the network only requires flooding its identifier and facts — mirroring
+//! the paper's observation (§3.5) that queries may be "baked in" or
+//! disseminated on first use.
+
+use crate::localize::LocalizedProgram;
+use dr_types::Tuple;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifier of an issued query.
+pub type QueryId = u64;
+
+/// A query (routing protocol or route request) ready for distributed
+/// execution.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// Unique identifier used in dissemination and tuple messages.
+    pub id: QueryId,
+    /// Human-readable name for logs and experiment output.
+    pub name: String,
+    /// The localized program.
+    pub program: Arc<LocalizedProgram>,
+    /// Enable the aggregate-selections optimization (§7.1) for this query.
+    pub aggregate_selections: bool,
+    /// Share results across queries through a node-local cache table
+    /// (§7.3): completed best paths are cached, and cached sub-paths are
+    /// reused by later queries that consult the cache.
+    pub share_results: bool,
+    /// Name of the cross-query cache table used when `share_results` is on.
+    /// Queries computing different link metrics should use different cache
+    /// relations so they never share each other's (incomparable) costs —
+    /// the paper's mixed-workload observation that "only queries that
+    /// compute the same metric are likely to benefit from sharing" (§9.1.3).
+    pub cache_relation: String,
+    /// Facts installed when the query is disseminated. Facts of replicated
+    /// relations are installed at every node; other facts are installed only
+    /// at the node named by their location field.
+    pub facts: Vec<Tuple>,
+}
+
+impl QuerySpec {
+    /// Create a spec with default options (aggregate selections on, sharing
+    /// off, no extra facts).
+    pub fn new(id: QueryId, name: impl Into<String>, program: Arc<LocalizedProgram>) -> QuerySpec {
+        QuerySpec {
+            id,
+            name: name.into(),
+            program,
+            aggregate_selections: true,
+            share_results: false,
+            cache_relation: "bestPathCache".to_string(),
+            facts: Vec::new(),
+        }
+    }
+
+    /// Builder-style override of the cross-query cache relation name.
+    pub fn with_cache_relation(mut self, relation: impl Into<String>) -> QuerySpec {
+        self.cache_relation = relation.into();
+        self
+    }
+
+    /// Builder-style toggle for aggregate selections.
+    pub fn with_aggregate_selections(mut self, on: bool) -> QuerySpec {
+        self.aggregate_selections = on;
+        self
+    }
+
+    /// Builder-style toggle for multi-query sharing.
+    pub fn with_sharing(mut self, on: bool) -> QuerySpec {
+        self.share_results = on;
+        self
+    }
+
+    /// Builder-style fact installation.
+    pub fn with_facts(mut self, facts: Vec<Tuple>) -> QuerySpec {
+        self.facts = facts;
+        self
+    }
+}
+
+/// The set of query specs known to every node in a deployment.
+///
+/// The library is shared (via `Arc`) by every node's processor and by the
+/// experiment harness, which keeps registering new queries while the
+/// simulation runs; it therefore uses interior mutability.
+#[derive(Debug, Default)]
+pub struct QueryLibrary {
+    specs: std::sync::RwLock<HashMap<QueryId, Arc<QuerySpec>>>,
+}
+
+impl QueryLibrary {
+    /// An empty library.
+    pub fn new() -> QueryLibrary {
+        QueryLibrary::default()
+    }
+
+    /// Register a spec; replaces any previous spec with the same id.
+    pub fn register(&self, spec: QuerySpec) -> Arc<QuerySpec> {
+        let arc = Arc::new(spec);
+        self.specs
+            .write()
+            .expect("query library lock poisoned")
+            .insert(arc.id, Arc::clone(&arc));
+        arc
+    }
+
+    /// Look up a spec by id.
+    pub fn get(&self, id: QueryId) -> Option<Arc<QuerySpec>> {
+        self.specs
+            .read()
+            .expect("query library lock poisoned")
+            .get(&id)
+            .cloned()
+    }
+
+    /// Number of registered specs.
+    pub fn len(&self) -> usize {
+        self.specs.read().expect("query library lock poisoned").len()
+    }
+
+    /// True when the library has no specs.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Remove a spec (e.g. when its query's lifetime expires).
+    pub fn remove(&self, id: QueryId) -> Option<Arc<QuerySpec>> {
+        self.specs
+            .write()
+            .expect("query library lock poisoned")
+            .remove(&id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::localize::localize;
+    use dr_datalog::parse_program;
+    use dr_types::{NodeId, Value};
+
+    fn sample_program() -> Arc<LocalizedProgram> {
+        let p = parse_program(
+            r#"
+            NR1: path(@S,D,P,C) :- link(@S,D,C), P = f_initPath(S,D).
+            Query: path(@S,D,P,C).
+            "#,
+        )
+        .unwrap();
+        Arc::new(localize(&p, &[]).unwrap())
+    }
+
+    #[test]
+    fn spec_builder_options() {
+        let spec = QuerySpec::new(7, "best-path", sample_program())
+            .with_aggregate_selections(false)
+            .with_sharing(true)
+            .with_facts(vec![Tuple::new("magicSources", vec![Value::Node(NodeId::new(3))])]);
+        assert_eq!(spec.id, 7);
+        assert_eq!(spec.name, "best-path");
+        assert!(!spec.aggregate_selections);
+        assert!(spec.share_results);
+        assert_eq!(spec.facts.len(), 1);
+    }
+
+    #[test]
+    fn defaults_enable_aggregate_selections_only() {
+        let spec = QuerySpec::new(1, "q", sample_program());
+        assert!(spec.aggregate_selections);
+        assert!(!spec.share_results);
+        assert!(spec.facts.is_empty());
+    }
+
+    #[test]
+    fn library_register_get_remove() {
+        let lib = QueryLibrary::new();
+        assert!(lib.is_empty());
+        lib.register(QuerySpec::new(1, "a", sample_program()));
+        lib.register(QuerySpec::new(2, "b", sample_program()));
+        assert_eq!(lib.len(), 2);
+        assert_eq!(lib.get(1).unwrap().name, "a");
+        assert!(lib.get(9).is_none());
+        assert!(lib.remove(1).is_some());
+        assert!(lib.get(1).is_none());
+        assert_eq!(lib.len(), 1);
+    }
+
+    #[test]
+    fn register_replaces_existing_id() {
+        let lib = QueryLibrary::new();
+        lib.register(QuerySpec::new(1, "old", sample_program()));
+        lib.register(QuerySpec::new(1, "new", sample_program()));
+        assert_eq!(lib.len(), 1);
+        assert_eq!(lib.get(1).unwrap().name, "new");
+    }
+
+    #[test]
+    fn library_is_shareable_across_nodes() {
+        let lib = Arc::new(QueryLibrary::new());
+        let other = Arc::clone(&lib);
+        lib.register(QuerySpec::new(5, "shared", sample_program()));
+        assert_eq!(other.get(5).unwrap().name, "shared");
+    }
+}

@@ -1,0 +1,281 @@
+//! Relation catalog: schema information about every table a program touches.
+//!
+//! The catalog records, per relation:
+//! * whether it is a **base** table (fed from outside the query processor,
+//!   like `link` or `excludeNode`) or a **derived** table (defined by rules),
+//! * the position of its **location attribute** (which field holds the node
+//!   address that stores the tuple — the paper's underlined field),
+//! * its **primary key** (the paper's "unique key", used for keyed upserts
+//!   during incremental maintenance, §8).
+
+use crate::ast::Program;
+use dr_types::{Error, Result};
+use std::collections::BTreeMap;
+
+/// Schema information for one relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationInfo {
+    /// Relation name.
+    pub name: String,
+    /// Arity (number of fields), when known.
+    pub arity: Option<usize>,
+    /// Position of the location attribute (defaults to 0: the first field,
+    /// matching every example in the paper).
+    pub location_field: usize,
+    /// Field positions forming the primary key. Empty means "all fields"
+    /// (pure set semantics).
+    pub key_fields: Vec<usize>,
+    /// True when the relation is a base table (never defined by a rule head).
+    pub is_base: bool,
+}
+
+impl RelationInfo {
+    /// A derived relation with default location (field 0) and set semantics.
+    pub fn derived(name: impl Into<String>) -> RelationInfo {
+        RelationInfo {
+            name: name.into(),
+            arity: None,
+            location_field: 0,
+            key_fields: Vec::new(),
+            is_base: false,
+        }
+    }
+
+    /// A base relation with default location (field 0) and set semantics.
+    pub fn base(name: impl Into<String>) -> RelationInfo {
+        RelationInfo { is_base: true, ..RelationInfo::derived(name) }
+    }
+
+    /// The key fields to use for upserts: the declared primary key, or all
+    /// fields when none is declared.
+    pub fn effective_key(&self, arity: usize) -> Vec<usize> {
+        if self.key_fields.is_empty() {
+            (0..arity).collect()
+        } else {
+            self.key_fields.clone()
+        }
+    }
+}
+
+/// The catalog: relation name → [`RelationInfo`].
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    relations: BTreeMap<String, RelationInfo>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Build a catalog from a program: derived vs base classification from
+    /// rule heads, location fields from `@` annotations, keys from
+    /// `#key(...)` pragmas.
+    ///
+    /// Conflicting location annotations for the same relation are an error —
+    /// the paper stores each relation at exactly one address attribute.
+    pub fn from_program(program: &Program) -> Result<Catalog> {
+        let mut cat = Catalog::new();
+        let derived = program.derived_relations();
+
+        for rel in program.all_relations() {
+            let info = if derived.contains(rel) {
+                RelationInfo::derived(rel)
+            } else {
+                RelationInfo::base(rel)
+            };
+            cat.relations.insert(rel.to_string(), info);
+        }
+
+        // Record arity + location annotations from heads and body atoms.
+        let mut observe = |rel: &str, arity: usize, loc: Option<usize>| -> Result<()> {
+            let info = cat
+                .relations
+                .get_mut(rel)
+                .expect("all_relations covers every atom relation");
+            match info.arity {
+                None => info.arity = Some(arity),
+                Some(a) if a != arity => {
+                    return Err(Error::planning(format!(
+                        "relation {rel} used with arity {arity} and {a}"
+                    )))
+                }
+                Some(_) => {}
+            }
+            if let Some(l) = loc {
+                if info.arity.map(|a| l >= a).unwrap_or(false) {
+                    return Err(Error::planning(format!(
+                        "relation {rel}: location field {l} out of range"
+                    )));
+                }
+                info.location_field = l;
+            }
+            Ok(())
+        };
+
+        for rule in &program.rules {
+            observe(&rule.head.relation, rule.head.arity(), rule.head.location)?;
+            for lit in &rule.body {
+                if let crate::ast::Literal::Atom(a) | crate::ast::Literal::NegAtom(a) = lit {
+                    observe(&a.relation, a.arity(), a.location)?;
+                }
+            }
+        }
+        for q in &program.queries {
+            observe(&q.relation, q.arity(), q.location)?;
+        }
+
+        for (rel, keys) in &program.key_pragmas {
+            let info = cat
+                .relations
+                .entry(rel.clone())
+                .or_insert_with(|| RelationInfo::base(rel.clone()));
+            if let Some(a) = info.arity {
+                if keys.iter().any(|&k| k >= a) {
+                    return Err(Error::planning(format!(
+                        "relation {rel}: key field out of range (arity {a})"
+                    )));
+                }
+            }
+            info.key_fields = keys.clone();
+        }
+
+        Ok(cat)
+    }
+
+    /// Declare or replace a relation's schema explicitly.
+    pub fn declare(&mut self, info: RelationInfo) {
+        self.relations.insert(info.name.clone(), info);
+    }
+
+    /// Set the primary key of a relation (creating a base entry if missing).
+    pub fn set_key(&mut self, relation: &str, key_fields: Vec<usize>) {
+        self.relations
+            .entry(relation.to_string())
+            .or_insert_with(|| RelationInfo::base(relation))
+            .key_fields = key_fields;
+    }
+
+    /// Look up a relation.
+    pub fn get(&self, relation: &str) -> Option<&RelationInfo> {
+        self.relations.get(relation)
+    }
+
+    /// The location field of a relation (default 0 when unknown).
+    pub fn location_field(&self, relation: &str) -> usize {
+        self.get(relation).map(|i| i.location_field).unwrap_or(0)
+    }
+
+    /// The primary key of a relation given a concrete arity.
+    pub fn key_fields(&self, relation: &str, arity: usize) -> Vec<usize> {
+        match self.get(relation) {
+            Some(info) => info.effective_key(arity),
+            None => (0..arity).collect(),
+        }
+    }
+
+    /// True when the relation is a base table.
+    pub fn is_base(&self, relation: &str) -> bool {
+        self.get(relation).map(|i| i.is_base).unwrap_or(true)
+    }
+
+    /// Iterate over all relations in the catalog.
+    pub fn relations(&self) -> impl Iterator<Item = &RelationInfo> {
+        self.relations.values()
+    }
+
+    /// Number of relations known to the catalog.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True when the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    const NR: &str = r#"
+        NR1: path(@S,D,P,C) :- link(@S,D,C), P = f_initPath(S,D).
+        NR2: path(@S,D,P,C) :- link(@S,Z,C1), path(@Z,D,P2,C2),
+             C = C1 + C2, P = f_prepend(S,P2), f_inPath(P2,S) = false.
+        #key(path, 0, 1, 2).
+        Query: path(@S,D,P,C).
+    "#;
+
+    #[test]
+    fn classifies_base_and_derived() {
+        let p = parse_program(NR).unwrap();
+        let c = Catalog::from_program(&p).unwrap();
+        assert!(c.is_base("link"));
+        assert!(!c.is_base("path"));
+        assert_eq!(c.get("path").unwrap().arity, Some(4));
+        assert_eq!(c.get("link").unwrap().arity, Some(3));
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn records_location_and_keys() {
+        let p = parse_program(NR).unwrap();
+        let c = Catalog::from_program(&p).unwrap();
+        assert_eq!(c.location_field("path"), 0);
+        assert_eq!(c.location_field("link"), 0);
+        assert_eq!(c.key_fields("path", 4), vec![0, 1, 2]);
+        // link has no pragma: all fields are the key
+        assert_eq!(c.key_fields("link", 3), vec![0, 1, 2]);
+        // unknown relation defaults
+        assert_eq!(c.key_fields("mystery", 2), vec![0, 1]);
+        assert!(c.is_base("mystery"));
+    }
+
+    #[test]
+    fn arity_conflicts_are_rejected() {
+        let bad = r#"
+            r1: p(@X,Y) :- q(@X,Y).
+            r2: p(@X,Y,Z) :- q(@X,Y), s(@Y,Z).
+        "#;
+        let p = parse_program(bad).unwrap();
+        assert!(Catalog::from_program(&p).is_err());
+    }
+
+    #[test]
+    fn key_pragma_out_of_range_is_rejected() {
+        let bad = r#"
+            r1: p(@X,Y) :- q(@X,Y).
+            #key(p, 0, 5).
+        "#;
+        let p = parse_program(bad).unwrap();
+        assert!(Catalog::from_program(&p).is_err());
+    }
+
+    #[test]
+    fn manual_declarations() {
+        let mut c = Catalog::new();
+        c.declare(RelationInfo {
+            name: "nextHop".into(),
+            arity: Some(4),
+            location_field: 0,
+            key_fields: vec![0, 1],
+            is_base: false,
+        });
+        c.set_key("link", vec![0, 1]);
+        assert_eq!(c.key_fields("nextHop", 4), vec![0, 1]);
+        assert_eq!(c.key_fields("link", 3), vec![0, 1]);
+        assert_eq!(c.relations().count(), 2);
+    }
+
+    #[test]
+    fn effective_key_defaults_to_all_fields() {
+        let info = RelationInfo::derived("p");
+        assert_eq!(info.effective_key(3), vec![0, 1, 2]);
+        let keyed = RelationInfo { key_fields: vec![1], ..RelationInfo::derived("p") };
+        assert_eq!(keyed.effective_key(3), vec![1]);
+    }
+}

@@ -1,0 +1,318 @@
+//! In-memory tuple storage.
+//!
+//! A [`Database`] holds one [`Table`] per relation. Tables support set
+//! insertion (for fixpoint evaluation) and keyed upserts (for the
+//! incremental base-table updates of paper §8: "these updates result in the
+//! addition of tuples into base tables, or the replacement of existing base
+//! tuples that have the same unique key").
+
+use dr_types::{Tuple, TupleKey, Value};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// One relation's stored tuples plus its upsert key.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Key field positions used for upserts; empty = set semantics.
+    key_fields: Vec<usize>,
+    /// All live tuples.
+    tuples: HashSet<Tuple>,
+    /// Key → current tuple, maintained only when `key_fields` is non-empty.
+    by_key: HashMap<TupleKey, Tuple>,
+}
+
+impl Table {
+    /// Create a table with the given upsert key (empty = set semantics).
+    pub fn with_key(key_fields: Vec<usize>) -> Table {
+        Table { key_fields, ..Table::default() }
+    }
+
+    /// Number of stored tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when the table holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// True when the exact tuple is present.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// Iterate over all tuples (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// All tuples, sorted (deterministic order for output / tests).
+    pub fn sorted(&self) -> Vec<Tuple> {
+        let mut v: Vec<Tuple> = self.tuples.iter().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Insert a tuple.
+    ///
+    /// With set semantics this is plain set insertion. With a declared key,
+    /// a tuple whose key matches an existing tuple *replaces* it (upsert);
+    /// the result reports both what was removed and whether anything new
+    /// appeared, so callers can propagate deltas.
+    pub fn insert(&mut self, t: Tuple) -> InsertOutcome {
+        if self.key_fields.is_empty() {
+            let added = self.tuples.insert(t);
+            return InsertOutcome { added, replaced: None };
+        }
+        let key = t.key(&self.key_fields);
+        match self.by_key.get(&key) {
+            Some(existing) if *existing == t => InsertOutcome { added: false, replaced: None },
+            Some(existing) => {
+                let old = existing.clone();
+                self.tuples.remove(&old);
+                self.tuples.insert(t.clone());
+                self.by_key.insert(key, t);
+                InsertOutcome { added: true, replaced: Some(old) }
+            }
+            None => {
+                self.tuples.insert(t.clone());
+                self.by_key.insert(key, t);
+                InsertOutcome { added: true, replaced: None }
+            }
+        }
+    }
+
+    /// Remove a tuple exactly. Returns true when it was present.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        let removed = self.tuples.remove(t);
+        if removed && !self.key_fields.is_empty() {
+            self.by_key.remove(&t.key(&self.key_fields));
+        }
+        removed
+    }
+
+    /// Remove every tuple.
+    pub fn clear(&mut self) {
+        self.tuples.clear();
+        self.by_key.clear();
+    }
+
+    /// Tuples whose field `field` equals `value`.
+    pub fn select_eq(&self, field: usize, value: &Value) -> Vec<Tuple> {
+        self.tuples
+            .iter()
+            .filter(|t| t.field(field) == Some(value))
+            .cloned()
+            .collect()
+    }
+}
+
+/// Result of a [`Table::insert`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// True when the table's contents changed (a new tuple is now stored).
+    pub added: bool,
+    /// The tuple displaced by a keyed upsert, if any.
+    pub replaced: Option<Tuple>,
+}
+
+/// A collection of tables, one per relation.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Declare the upsert key of a relation, creating its table if needed.
+    /// Must be called before tuples of that relation are inserted if keyed
+    /// semantics are wanted.
+    pub fn declare_key(&mut self, relation: &str, key_fields: Vec<usize>) {
+        let table = self
+            .tables
+            .entry(relation.to_string())
+            .or_insert_with(Table::default);
+        if table.is_empty() {
+            *table = Table::with_key(key_fields);
+        } else {
+            // Rebuild under the new key.
+            let tuples: Vec<Tuple> = table.iter().cloned().collect();
+            let mut new_table = Table::with_key(key_fields);
+            for t in tuples {
+                new_table.insert(t);
+            }
+            *table = new_table;
+        }
+    }
+
+    /// The table for `relation`, if it exists.
+    pub fn table(&self, relation: &str) -> Option<&Table> {
+        self.tables.get(relation)
+    }
+
+    /// Insert a tuple into its relation's table (created on demand with set
+    /// semantics).
+    pub fn insert(&mut self, t: Tuple) -> InsertOutcome {
+        self.tables
+            .entry(t.relation().to_string())
+            .or_insert_with(Table::default)
+            .insert(t)
+    }
+
+    /// Remove an exact tuple. Returns true when it was present.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        self.tables.get_mut(t.relation()).map(|tb| tb.remove(t)).unwrap_or(false)
+    }
+
+    /// All tuples of a relation (empty if the relation has no table).
+    pub fn tuples(&self, relation: &str) -> Vec<Tuple> {
+        self.tables
+            .get(relation)
+            .map(|t| t.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// All tuples of a relation in sorted order.
+    pub fn sorted_tuples(&self, relation: &str) -> Vec<Tuple> {
+        self.tables.get(relation).map(|t| t.sorted()).unwrap_or_default()
+    }
+
+    /// Number of tuples stored in `relation`.
+    pub fn count(&self, relation: &str) -> usize {
+        self.tables.get(relation).map(|t| t.len()).unwrap_or(0)
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.tables.values().map(|t| t.len()).sum()
+    }
+
+    /// True when the exact tuple is stored.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tables.get(t.relation()).map(|tb| tb.contains(t)).unwrap_or(false)
+    }
+
+    /// Drop every tuple of a relation (the table and its key survive).
+    pub fn clear_relation(&mut self, relation: &str) {
+        if let Some(t) = self.tables.get_mut(relation) {
+            t.clear();
+        }
+    }
+
+    /// Names of all relations that currently have a table.
+    pub fn relations(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_types::NodeId;
+
+    fn link(s: u32, d: u32, c: f64) -> Tuple {
+        Tuple::new(
+            "link",
+            vec![
+                Value::Node(NodeId::new(s)),
+                Value::Node(NodeId::new(d)),
+                Value::from(c),
+            ],
+        )
+    }
+
+    #[test]
+    fn set_semantics_deduplicate() {
+        let mut db = Database::new();
+        assert!(db.insert(link(1, 2, 3.0)).added);
+        assert!(!db.insert(link(1, 2, 3.0)).added);
+        assert!(db.insert(link(1, 2, 4.0)).added); // different cost = different tuple
+        assert_eq!(db.count("link"), 2);
+        assert_eq!(db.total_tuples(), 2);
+    }
+
+    #[test]
+    fn keyed_upsert_replaces_matching_key() {
+        let mut db = Database::new();
+        db.declare_key("link", vec![0, 1]);
+        assert!(db.insert(link(1, 2, 3.0)).added);
+        let out = db.insert(link(1, 2, 9.0));
+        assert!(out.added);
+        assert_eq!(out.replaced, Some(link(1, 2, 3.0)));
+        assert_eq!(db.count("link"), 1);
+        assert!(db.contains(&link(1, 2, 9.0)));
+        assert!(!db.contains(&link(1, 2, 3.0)));
+        // identical re-insert is a no-op
+        let out = db.insert(link(1, 2, 9.0));
+        assert!(!out.added);
+        assert!(out.replaced.is_none());
+    }
+
+    #[test]
+    fn declare_key_rebuilds_existing_table() {
+        let mut db = Database::new();
+        db.insert(link(1, 2, 3.0));
+        db.insert(link(1, 2, 4.0));
+        assert_eq!(db.count("link"), 2);
+        db.declare_key("link", vec![0, 1]);
+        // one of the two survives; a further upsert keeps the table at 1
+        assert_eq!(db.count("link"), 1);
+        db.insert(link(1, 2, 7.0));
+        assert_eq!(db.count("link"), 1);
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut db = Database::new();
+        db.declare_key("link", vec![0, 1]);
+        db.insert(link(1, 2, 3.0));
+        db.insert(link(2, 3, 1.0));
+        assert!(db.remove(&link(1, 2, 3.0)));
+        assert!(!db.remove(&link(1, 2, 3.0)));
+        assert_eq!(db.count("link"), 1);
+        // after remove the key slot is free again
+        assert!(db.insert(link(1, 2, 5.0)).replaced.is_none());
+        db.clear_relation("link");
+        assert_eq!(db.count("link"), 0);
+        assert!(!db.remove(&Tuple::new("nosuch", vec![])));
+    }
+
+    #[test]
+    fn select_eq_filters_by_field() {
+        let mut db = Database::new();
+        db.insert(link(1, 2, 3.0));
+        db.insert(link(1, 3, 4.0));
+        db.insert(link(2, 3, 5.0));
+        let t = db.table("link").unwrap();
+        let from1 = t.select_eq(0, &Value::Node(NodeId::new(1)));
+        assert_eq!(from1.len(), 2);
+        let to3 = t.select_eq(1, &Value::Node(NodeId::new(3)));
+        assert_eq!(to3.len(), 2);
+        assert!(t.select_eq(0, &Value::Node(NodeId::new(9))).is_empty());
+    }
+
+    #[test]
+    fn sorted_is_deterministic() {
+        let mut db = Database::new();
+        db.insert(link(3, 4, 1.0));
+        db.insert(link(1, 2, 1.0));
+        db.insert(link(2, 3, 1.0));
+        let sorted = db.sorted_tuples("link");
+        assert_eq!(sorted.len(), 3);
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        assert!(db.sorted_tuples("nosuch").is_empty());
+    }
+
+    #[test]
+    fn relations_lists_tables() {
+        let mut db = Database::new();
+        db.insert(link(1, 2, 1.0));
+        db.insert(Tuple::new("path", vec![Value::Int(1)]));
+        let rels: Vec<&str> = db.relations().collect();
+        assert_eq!(rels, vec!["link", "path"]);
+    }
+}

@@ -1,0 +1,1257 @@
+//! Rule evaluation and the centralized semi-naïve fixpoint engine.
+//!
+//! Two layers live here:
+//!
+//! * [`RuleEval`] evaluates a *single* rule against any [`RelationSource`]
+//!   (nested-loop join with hash-index acceleration, eager constraint
+//!   application, wildcard negation). The distributed processor in `dr-core`
+//!   reuses this layer directly: each network node evaluates its localized
+//!   rules against its local tables.
+//! * [`Evaluator`] runs a whole program to fixpoint on a [`Database`] using
+//!   stratified semi-naïve evaluation (paper §3.3's "semi-naïve fixpoint
+//!   evaluation"), with optional naïve mode (for the ablation benchmark) and
+//!   the aggregate-selections optimization of §7.1.
+
+use crate::ast::{AggFunc, Atom, Expr, Head, HeadTerm, Literal, Program, Rule, Term};
+use crate::builtins::Builtins;
+use crate::catalog::Catalog;
+use crate::database::Database;
+use crate::rewrite::{aggregate_selections, AggSelection};
+use crate::stratify::{stratify, Stratification};
+use dr_types::{Error, Result, Tuple, Value};
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------------
+// Bindings
+// ---------------------------------------------------------------------------
+
+/// A variable substitution built up while evaluating a rule body.
+#[derive(Debug, Clone, Default)]
+pub struct Bindings {
+    map: HashMap<String, Value>,
+}
+
+impl Bindings {
+    /// An empty substitution.
+    pub fn new() -> Bindings {
+        Bindings::default()
+    }
+
+    /// The value bound to `var`, if any.
+    pub fn get(&self, var: &str) -> Option<&Value> {
+        self.map.get(var)
+    }
+
+    /// Bind `var` to `value`; returns false (and leaves the binding intact)
+    /// when `var` is already bound to a *different* value.
+    pub fn bind(&mut self, var: &str, value: Value) -> bool {
+        match self.map.get(var) {
+            Some(existing) => *existing == value,
+            None => {
+                self.map.insert(var.to_string(), value);
+                true
+            }
+        }
+    }
+
+    /// True when `var` has a binding.
+    pub fn is_bound(&self, var: &str) -> bool {
+        self.map.contains_key(var)
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no variables are bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Evaluate an expression under a substitution.
+pub fn eval_expr(expr: &Expr, bindings: &Bindings, builtins: &Builtins) -> Result<Value> {
+    match expr {
+        Expr::Term(Term::Const(v)) => Ok(v.clone()),
+        Expr::Term(Term::Var(v)) => bindings
+            .get(v)
+            .cloned()
+            .ok_or_else(|| Error::eval(format!("unbound variable {v}"))),
+        Expr::Call { func, args } => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval_expr(a, bindings, builtins)?);
+            }
+            builtins.call(func, &vals)
+        }
+        Expr::BinOp { op, lhs, rhs } => {
+            let l = eval_expr(lhs, bindings, builtins)?;
+            let r = eval_expr(rhs, bindings, builtins)?;
+            Builtins::arith(*op, &l, &r)
+        }
+    }
+}
+
+/// Try to unify an atom's terms against a tuple's fields, extending
+/// `bindings`. Returns false on mismatch (bindings may be partially extended;
+/// callers clone before attempting).
+fn unify_atom(atom: &Atom, tuple: &Tuple, bindings: &mut Bindings) -> bool {
+    if atom.arity() != tuple.arity() {
+        return false;
+    }
+    for (term, value) in atom.terms.iter().zip(tuple.fields()) {
+        match term {
+            Term::Const(c) => {
+                if c != value {
+                    return false;
+                }
+            }
+            Term::Var(v) => {
+                if !bindings.bind(v, value.clone()) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+// ---------------------------------------------------------------------------
+// Relation sources
+// ---------------------------------------------------------------------------
+
+/// Anything that can supply the current contents of a relation. The
+/// centralized [`Database`] implements it; so do the per-node table stores of
+/// the distributed processor.
+pub trait RelationSource {
+    /// All tuples currently stored for `relation`.
+    fn scan(&self, relation: &str) -> Vec<Tuple>;
+}
+
+impl RelationSource for Database {
+    fn scan(&self, relation: &str) -> Vec<Tuple> {
+        self.tuples(relation)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Single-rule evaluation
+// ---------------------------------------------------------------------------
+
+/// Evaluator for a single rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleEval<'a> {
+    rule: &'a Rule,
+    builtins: &'a Builtins,
+}
+
+/// One positive body atom with pre-gathered candidate tuples and an optional
+/// hash index on a field that is bound before this atom is joined.
+struct AtomPlan<'a> {
+    atom: &'a Atom,
+    tuples: Vec<Tuple>,
+    /// Field position to index on and the term that will provide the probe
+    /// value (a constant, or a variable bound by earlier atoms).
+    index_field: Option<usize>,
+    index: Option<HashMap<Value, Vec<usize>>>,
+}
+
+impl<'a> RuleEval<'a> {
+    /// Create an evaluator for `rule` with the given builtin library.
+    pub fn new(rule: &'a Rule, builtins: &'a Builtins) -> RuleEval<'a> {
+        RuleEval { rule, builtins }
+    }
+
+    /// The rule being evaluated.
+    pub fn rule(&self) -> &Rule {
+        self.rule
+    }
+
+    /// Evaluate the rule against `source`.
+    ///
+    /// `delta` optionally replaces the tuples of the `i`-th **positive atom
+    /// occurrence** (0-based, counting only positive atoms) with a delta set
+    /// — this is the semi-naïve trick: the occurrence ranges over newly
+    /// derived tuples only.
+    ///
+    /// Returns *raw head tuples*: for aggregate heads the aggregate position
+    /// carries the ungrouped value of the aggregated variable; use
+    /// [`apply_aggregate`] to group.
+    pub fn evaluate<S: RelationSource>(
+        &self,
+        source: &S,
+        delta: Option<(usize, &[Tuple])>,
+    ) -> Result<Vec<Tuple>> {
+        let positive: Vec<&Atom> = self.rule.positive_atoms();
+        // Gather constraints (non-atom literals) in order.
+        let constraints: Vec<&Literal> = self
+            .rule
+            .body
+            .iter()
+            .filter(|l| !matches!(l, Literal::Atom(_)))
+            .collect();
+
+        // Build per-atom plans.
+        let mut plans: Vec<AtomPlan<'_>> = Vec::with_capacity(positive.len());
+        let mut bound_vars: Vec<&str> = Vec::new();
+        for (i, atom) in positive.iter().enumerate() {
+            let tuples = match delta {
+                Some((di, dt)) if di == i => dt.to_vec(),
+                _ => source.scan(&atom.relation),
+            };
+            // Pick an index field: first argument that is a constant or a
+            // variable bound by an earlier atom (and not rebound within this
+            // atom before that position — first occurrence is fine).
+            let mut index_field = None;
+            for (pos, term) in atom.terms.iter().enumerate() {
+                match term {
+                    Term::Const(_) => {
+                        index_field = Some(pos);
+                        break;
+                    }
+                    Term::Var(v) => {
+                        if bound_vars.contains(&v.as_str()) {
+                            index_field = Some(pos);
+                            break;
+                        }
+                    }
+                }
+            }
+            let index = index_field.map(|pos| {
+                let mut idx: HashMap<Value, Vec<usize>> = HashMap::new();
+                for (ti, t) in tuples.iter().enumerate() {
+                    if let Some(v) = t.field(pos) {
+                        idx.entry(v.clone()).or_default().push(ti);
+                    }
+                }
+                idx
+            });
+            for v in atom.variables() {
+                if !bound_vars.contains(&v) {
+                    bound_vars.push(v);
+                }
+            }
+            plans.push(AtomPlan { atom, tuples, index_field, index });
+        }
+
+        let mut out = Vec::new();
+        let mut bindings = Bindings::new();
+        let mut applied = vec![false; constraints.len()];
+        // Constraints that are evaluable with no atoms at all (e.g. facts
+        // with assigns) are applied up front.
+        if self.apply_ready_constraints(&constraints, &mut applied, &mut bindings)? {
+            self.join(&plans, 0, &constraints, &applied, &bindings, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    /// Apply every not-yet-applied constraint whose variables are all bound.
+    /// Returns false if a constraint evaluated to false (dead branch).
+    fn apply_ready_constraints(
+        &self,
+        constraints: &[&Literal],
+        applied: &mut [bool],
+        bindings: &mut Bindings,
+    ) -> Result<bool> {
+        let mut progress = true;
+        while progress {
+            progress = false;
+            for (i, lit) in constraints.iter().enumerate() {
+                if applied[i] {
+                    continue;
+                }
+                match lit {
+                    Literal::Assign { var, expr } => {
+                        if expr.variables().iter().all(|v| bindings.is_bound(v)) {
+                            let val = eval_expr(expr, bindings, self.builtins)?;
+                            applied[i] = true;
+                            progress = true;
+                            if !bindings.bind(var, val) {
+                                return Ok(false);
+                            }
+                        }
+                    }
+                    Literal::Compare { op, lhs, rhs } => {
+                        let ready = lhs.variables().iter().all(|v| bindings.is_bound(v))
+                            && rhs.variables().iter().all(|v| bindings.is_bound(v));
+                        if ready {
+                            let l = eval_expr(lhs, bindings, self.builtins)?;
+                            let r = eval_expr(rhs, bindings, self.builtins)?;
+                            applied[i] = true;
+                            progress = true;
+                            if !op.eval(&l, &r) {
+                                return Ok(false);
+                            }
+                        }
+                    }
+                    // Negation is checked after all positive atoms are joined.
+                    Literal::NegAtom(_) => {}
+                    Literal::Atom(_) => unreachable!("atoms are not constraints"),
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    fn join<'p>(
+        &self,
+        plans: &'p [AtomPlan<'p>],
+        depth: usize,
+        constraints: &[&Literal],
+        applied: &[bool],
+        bindings: &Bindings,
+        out: &mut Vec<Tuple>,
+    ) -> Result<()> {
+        if depth == plans.len() {
+            return self.finish(constraints, applied, bindings, out);
+        }
+        let plan = &plans[depth];
+        // Candidate tuple indices: via the hash index when the probe value is
+        // available, otherwise the full scan.
+        let candidates: Vec<usize> = match (plan.index_field, &plan.index) {
+            (Some(pos), Some(index)) => {
+                let probe = match &plan.atom.terms[pos] {
+                    Term::Const(c) => Some(c.clone()),
+                    Term::Var(v) => bindings.get(v).cloned(),
+                };
+                match probe {
+                    Some(v) => index.get(&v).cloned().unwrap_or_default(),
+                    None => (0..plan.tuples.len()).collect(),
+                }
+            }
+            _ => (0..plan.tuples.len()).collect(),
+        };
+        for ti in candidates {
+            let tuple = &plan.tuples[ti];
+            let mut next = bindings.clone();
+            if !unify_atom(plan.atom, tuple, &mut next) {
+                continue;
+            }
+            let mut next_applied = applied.to_vec();
+            if !self.apply_ready_constraints(constraints, &mut next_applied, &mut next)? {
+                continue;
+            }
+            self.join(plans, depth + 1, constraints, &next_applied, &next, out)?;
+        }
+        Ok(())
+    }
+
+    /// All positive atoms joined: apply remaining constraints + negation,
+    /// then emit the head tuple.
+    fn finish(
+        &self,
+        constraints: &[&Literal],
+        applied: &[bool],
+        bindings: &Bindings,
+        out: &mut Vec<Tuple>,
+    ) -> Result<()> {
+        let mut applied = applied.to_vec();
+        let mut bindings = bindings.clone();
+        if !self.apply_ready_constraints(constraints, &mut applied, &mut bindings)? {
+            return Ok(());
+        }
+        // Any non-negation constraint left unapplied means some variable
+        // never got bound: the rule is unsafe.
+        for (i, lit) in constraints.iter().enumerate() {
+            if applied[i] {
+                continue;
+            }
+            match lit {
+                Literal::NegAtom(_) => {
+                    return Err(Error::eval(
+                        "RuleEval::evaluate does not handle negation; use evaluate_rule",
+                    ))
+                }
+                other => {
+                    return Err(Error::eval(format!(
+                        "rule {}: constraint `{other}` has unbound variables",
+                        self.rule.name.as_deref().unwrap_or("<unnamed>")
+                    )))
+                }
+            }
+        }
+        out.push(self.head_tuple(&bindings)?);
+        Ok(())
+    }
+
+    fn head_tuple(&self, bindings: &Bindings) -> Result<Tuple> {
+        head_tuple_from_bindings(&self.rule.head, bindings, self.rule.name.as_deref())
+    }
+}
+
+/// Construct a head tuple from bindings; aggregate positions carry the raw
+/// value of the aggregated variable.
+fn head_tuple_from_bindings(
+    head: &Head,
+    bindings: &Bindings,
+    rule_name: Option<&str>,
+) -> Result<Tuple> {
+    let mut fields = Vec::with_capacity(head.terms.len());
+    for term in &head.terms {
+        let value = match term {
+            HeadTerm::Plain(Term::Const(c)) => c.clone(),
+            HeadTerm::Plain(Term::Var(v)) | HeadTerm::Agg(_, v) => bindings
+                .get(v)
+                .cloned()
+                .ok_or_else(|| {
+                    Error::eval(format!(
+                        "rule {}: head variable {v} is not bound by the body",
+                        rule_name.unwrap_or("<unnamed>")
+                    ))
+                })?,
+        };
+        fields.push(value);
+    }
+    Ok(Tuple::new(&head.relation, fields))
+}
+
+// The negation check needs access to the relation source, which the
+// recursive join above does not carry. Rather than thread a generic
+// parameter through every helper, rule evaluation with negation is exposed
+// through this free function that captures the source.
+/// Evaluate `rule` against `source` with optional semi-naïve `delta`,
+/// handling negated atoms by consulting `source`.
+pub fn evaluate_rule<S: RelationSource>(
+    rule: &Rule,
+    builtins: &Builtins,
+    source: &S,
+    delta: Option<(usize, &[Tuple])>,
+) -> Result<Vec<Tuple>> {
+    // Split off negated atoms; evaluate the positive part with RuleEval
+    // internals, then filter.
+    let neg_atoms: Vec<&Atom> = rule
+        .body
+        .iter()
+        .filter_map(|l| match l {
+            Literal::NegAtom(a) => Some(a),
+            _ => None,
+        })
+        .collect();
+
+    if neg_atoms.is_empty() {
+        return RuleEval::new(rule, builtins).evaluate(source, delta);
+    }
+
+    // With negation: evaluate a copy of the rule without the negated
+    // literals but remember the bindings needed; simplest correct approach:
+    // evaluate positive-only rule that emits an extended head carrying every
+    // variable used by negated atoms, filter, then project.
+    let mut extended_head_vars: Vec<String> = Vec::new();
+    for a in &neg_atoms {
+        for v in a.variables() {
+            if !extended_head_vars.contains(&v.to_string()) {
+                extended_head_vars.push(v.to_string());
+            }
+        }
+    }
+    // Variables of negated atoms that never occur positively are wildcards;
+    // only keep those that can be bound.
+    let positive_vars: Vec<&str> = {
+        let mut vs = Vec::new();
+        for lit in &rule.body {
+            match lit {
+                Literal::Atom(a) => {
+                    for v in a.variables() {
+                        if !vs.contains(&v) {
+                            vs.push(v);
+                        }
+                    }
+                }
+                Literal::Assign { var, .. } => {
+                    if !vs.contains(&var.as_str()) {
+                        vs.push(var.as_str());
+                    }
+                }
+                _ => {}
+            }
+        }
+        vs
+    };
+    extended_head_vars.retain(|v| positive_vars.contains(&v.as_str()));
+
+    let mut ext_terms: Vec<HeadTerm> = rule.head.terms.clone();
+    let base_arity = ext_terms.len();
+    for v in &extended_head_vars {
+        ext_terms.push(HeadTerm::Plain(Term::Var(v.clone())));
+    }
+    let ext_rule = Rule {
+        name: rule.name.clone(),
+        head: Head { relation: rule.head.relation.clone(), terms: ext_terms, location: rule.head.location },
+        body: rule
+            .body
+            .iter()
+            .filter(|l| !matches!(l, Literal::NegAtom(_)))
+            .cloned()
+            .collect(),
+    };
+    let raw = RuleEval::new(&ext_rule, builtins).evaluate(source, delta)?;
+
+    let mut out = Vec::new();
+    'tuples: for t in raw {
+        // Rebuild bindings of the extension variables.
+        let mut bindings = Bindings::new();
+        for (i, v) in extended_head_vars.iter().enumerate() {
+            if let Some(val) = t.field(base_arity + i) {
+                bindings.bind(v, val.clone());
+            }
+        }
+        for atom in &neg_atoms {
+            if negation_has_match(atom, &bindings, source) {
+                continue 'tuples;
+            }
+        }
+        out.push(Tuple::new(t.relation(), t.fields()[..base_arity].to_vec()));
+    }
+    Ok(out)
+}
+
+fn negation_has_match<S: RelationSource>(atom: &Atom, bindings: &Bindings, source: &S) -> bool {
+    let tuples = source.scan(&atom.relation);
+    'outer: for t in &tuples {
+        if t.arity() != atom.arity() {
+            continue;
+        }
+        for (term, value) in atom.terms.iter().zip(t.fields()) {
+            match term {
+                Term::Const(c) => {
+                    if c != value {
+                        continue 'outer;
+                    }
+                }
+                Term::Var(v) => {
+                    if let Some(bound) = bindings.get(v) {
+                        if bound != value {
+                            continue 'outer;
+                        }
+                    }
+                    // unbound variable: wildcard
+                }
+            }
+        }
+        return true;
+    }
+    false
+}
+
+/// Group raw head tuples of an aggregate rule and compute the aggregate.
+///
+/// `head` must contain exactly one aggregate term; plain head positions form
+/// the group-by key.
+pub fn apply_aggregate(head: &Head, raw: &[Tuple]) -> Result<Vec<Tuple>> {
+    let (func, _, agg_pos) = head
+        .aggregate()
+        .ok_or_else(|| Error::eval("apply_aggregate called on a non-aggregate head"))?;
+
+    let mut groups: HashMap<Vec<Value>, Vec<Value>> = HashMap::new();
+    for t in raw {
+        let mut key = Vec::with_capacity(t.arity() - 1);
+        for (i, v) in t.fields().iter().enumerate() {
+            if i != agg_pos {
+                key.push(v.clone());
+            }
+        }
+        let agg_val = t
+            .field(agg_pos)
+            .cloned()
+            .ok_or_else(|| Error::eval("aggregate position missing in raw tuple"))?;
+        groups.entry(key).or_default().push(agg_val);
+    }
+
+    let mut out = Vec::with_capacity(groups.len());
+    for (key, values) in groups {
+        let agg_value = match func {
+            AggFunc::Min => values
+                .iter()
+                .cloned()
+                .min_by(|a, b| a.compare_numeric(b))
+                .ok_or_else(|| Error::eval("empty aggregate group"))?,
+            AggFunc::Max => values
+                .iter()
+                .cloned()
+                .max_by(|a, b| a.compare_numeric(b))
+                .ok_or_else(|| Error::eval("empty aggregate group"))?,
+            AggFunc::Count => Value::Int(values.len() as i64),
+            AggFunc::Sum => {
+                let mut acc = dr_types::Cost::ZERO;
+                for v in &values {
+                    acc = acc
+                        + v.as_cost()
+                            .ok_or_else(|| Error::eval("sum over non-numeric value"))?;
+                }
+                Value::Cost(acc)
+            }
+        };
+        // Reassemble fields in head order.
+        let mut fields = Vec::with_capacity(head.terms.len());
+        let mut key_iter = key.into_iter();
+        for (i, _) in head.terms.iter().enumerate() {
+            if i == agg_pos {
+                fields.push(agg_value.clone());
+            } else {
+                fields.push(key_iter.next().ok_or_else(|| Error::eval("group key arity mismatch"))?);
+            }
+        }
+        out.push(Tuple::new(&head.relation, fields));
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Whole-program evaluator
+// ---------------------------------------------------------------------------
+
+/// Configuration for the centralized evaluator.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Use semi-naïve evaluation (true, the default) or naïve re-evaluation
+    /// of every rule each iteration (for the ablation benchmark).
+    pub semi_naive: bool,
+    /// Enable the aggregate-selections optimization of paper §7.1: tuples
+    /// that cannot improve a downstream `min`/`max` aggregate are pruned as
+    /// soon as they are derived.
+    pub aggregate_selections: bool,
+    /// Hard cap on fixpoint iterations per stratum; exceeded means the query
+    /// does not terminate on this input (paper §6's unsafe queries).
+    pub max_iterations: usize,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig { semi_naive: true, aggregate_selections: false, max_iterations: 100_000 }
+    }
+}
+
+/// Statistics from one evaluator run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Total fixpoint iterations across all strata.
+    pub iterations: usize,
+    /// Number of rule evaluations performed.
+    pub rule_firings: usize,
+    /// Number of new tuples added to the database.
+    pub tuples_derived: usize,
+    /// Number of tuples suppressed by aggregate selections.
+    pub tuples_pruned: usize,
+    /// Number of strata evaluated.
+    pub strata: usize,
+}
+
+/// The centralized stratified semi-naïve evaluator.
+#[derive(Debug, Clone)]
+pub struct Evaluator {
+    program: Program,
+    catalog: Catalog,
+    stratification: Stratification,
+    builtins: Builtins,
+    config: EvalConfig,
+    agg_selections: Vec<AggSelection>,
+}
+
+impl Evaluator {
+    /// Build an evaluator with default configuration and the standard
+    /// builtin library.
+    pub fn new(program: Program) -> Result<Evaluator> {
+        Evaluator::with_config(program, EvalConfig::default())
+    }
+
+    /// Build an evaluator with a custom configuration.
+    pub fn with_config(program: Program, config: EvalConfig) -> Result<Evaluator> {
+        let catalog = Catalog::from_program(&program)?;
+        let stratification = stratify(&program)?;
+        let agg_selections = aggregate_selections(&program);
+        Ok(Evaluator {
+            program,
+            catalog,
+            stratification,
+            builtins: Builtins::standard(),
+            config,
+            agg_selections,
+        })
+    }
+
+    /// Replace the builtin function library (e.g. to register custom metric
+    /// composition functions before running).
+    pub fn set_builtins(&mut self, builtins: Builtins) {
+        self.builtins = builtins;
+    }
+
+    /// The catalog derived from the program.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The program being evaluated.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Run the program to fixpoint on `db`. Base tables must already be
+    /// populated; facts from the program are inserted automatically.
+    pub fn run(&self, db: &mut Database) -> Result<EvalStats> {
+        let mut stats = EvalStats { strata: self.stratification.num_strata(), ..Default::default() };
+
+        // Declare keys from pragmas so derived relations honour upserts.
+        for (rel, keys) in &self.program.key_pragmas {
+            db.declare_key(rel, keys.clone());
+        }
+
+        // Insert ground facts.
+        for rule in &self.program.rules {
+            if rule.is_fact() {
+                let t = head_tuple_from_bindings(&rule.head, &Bindings::new(), rule.name.as_deref())?;
+                if db.insert(t).added {
+                    stats.tuples_derived += 1;
+                }
+            }
+        }
+
+        // Track best-so-far per aggregate-selection group.
+        let mut best: HashMap<(String, Vec<Value>), Value> = HashMap::new();
+
+        for stratum_rules in &self.stratification.strata_rules.clone() {
+            let rules: Vec<&Rule> = stratum_rules
+                .iter()
+                .map(|&i| &self.program.rules[i])
+                .filter(|r| !r.is_fact())
+                .collect();
+            if rules.is_empty() {
+                continue;
+            }
+            let (agg_rules, normal_rules): (Vec<&Rule>, Vec<&Rule>) =
+                rules.iter().partition(|r| r.head.has_aggregate());
+
+            // Aggregate rules read only lower strata: evaluate once.
+            for rule in &agg_rules {
+                stats.rule_firings += 1;
+                let raw = evaluate_rule(rule, &self.builtins, db, None)?;
+                for t in apply_aggregate(&rule.head, &raw)? {
+                    if db.insert(t).added {
+                        stats.tuples_derived += 1;
+                    }
+                }
+            }
+
+            // Fixpoint over the stratum's ordinary rules.
+            self.fixpoint(&normal_rules, db, &mut best, &mut stats)?;
+        }
+        Ok(stats)
+    }
+
+    fn fixpoint(
+        &self,
+        rules: &[&Rule],
+        db: &mut Database,
+        best: &mut HashMap<(String, Vec<Value>), Value>,
+        stats: &mut EvalStats,
+    ) -> Result<()> {
+        if rules.is_empty() {
+            return Ok(());
+        }
+        // Which relations are derived by this stratum (candidates for deltas).
+        let stratum_derived: Vec<&str> = rules.iter().map(|r| r.head.relation.as_str()).collect();
+
+        // Iteration 0: evaluate every rule in full.
+        let mut delta: HashMap<String, Vec<Tuple>> = HashMap::new();
+        for rule in rules {
+            stats.rule_firings += 1;
+            let derived = evaluate_rule(rule, &self.builtins, db, None)?;
+            for t in derived {
+                self.try_insert(db, t, best, &mut delta, stats);
+            }
+        }
+        stats.iterations += 1;
+
+        // Semi-naïve iterations.
+        let mut iterations = 1usize;
+        while !delta.is_empty() {
+            if iterations >= self.config.max_iterations {
+                return Err(Error::eval(format!(
+                    "fixpoint did not terminate within {} iterations",
+                    self.config.max_iterations
+                )));
+            }
+            iterations += 1;
+            stats.iterations += 1;
+
+            let current_delta = std::mem::take(&mut delta);
+            for rule in rules {
+                if !self.config.semi_naive {
+                    // Naïve mode: re-evaluate the whole rule.
+                    stats.rule_firings += 1;
+                    let derived = evaluate_rule(rule, &self.builtins, db, None)?;
+                    for t in derived {
+                        self.try_insert(db, t, best, &mut delta, stats);
+                    }
+                    continue;
+                }
+                // Semi-naïve: one evaluation per positive occurrence of a
+                // relation that changed this round.
+                let positives = rule.positive_atoms();
+                for (i, atom) in positives.iter().enumerate() {
+                    if !stratum_derived.contains(&atom.relation.as_str()) {
+                        continue;
+                    }
+                    let Some(dt) = current_delta.get(&atom.relation) else { continue };
+                    if dt.is_empty() {
+                        continue;
+                    }
+                    stats.rule_firings += 1;
+                    let derived = evaluate_rule(rule, &self.builtins, db, Some((i, dt)))?;
+                    for t in derived {
+                        self.try_insert(db, t, best, &mut delta, stats);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Insert a derived tuple, honouring aggregate selections; record it in
+    /// the delta map when it is new.
+    fn try_insert(
+        &self,
+        db: &mut Database,
+        t: Tuple,
+        best: &mut HashMap<(String, Vec<Value>), Value>,
+        delta: &mut HashMap<String, Vec<Tuple>>,
+        stats: &mut EvalStats,
+    ) {
+        if self.config.aggregate_selections {
+            if let Some(sel) = self
+                .agg_selections
+                .iter()
+                .find(|s| s.input_relation == t.relation())
+            {
+                let key: Vec<Value> = sel
+                    .group_fields
+                    .iter()
+                    .filter_map(|&i| t.field(i).cloned())
+                    .collect();
+                if let Some(value) = t.field(sel.value_field) {
+                    let map_key = (t.relation().to_string(), key);
+                    match best.get(&map_key) {
+                        Some(existing) => {
+                            let keep = match sel.func {
+                                AggFunc::Min => {
+                                    value.compare_numeric(existing) != std::cmp::Ordering::Greater
+                                }
+                                AggFunc::Max => {
+                                    value.compare_numeric(existing) != std::cmp::Ordering::Less
+                                }
+                                _ => true,
+                            };
+                            if !keep {
+                                stats.tuples_pruned += 1;
+                                return;
+                            }
+                            best.insert(map_key, value.clone());
+                        }
+                        None => {
+                            best.insert(map_key, value.clone());
+                        }
+                    }
+                }
+            }
+        }
+        let outcome = db.insert(t.clone());
+        if outcome.added {
+            stats.tuples_derived += 1;
+            delta.entry(t.relation().to_string()).or_default().push(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use dr_types::{Cost, NodeId, PathVector};
+
+    fn node(i: u32) -> Value {
+        Value::Node(NodeId::new(i))
+    }
+
+    fn link(s: u32, d: u32, c: f64) -> Tuple {
+        Tuple::new("link", vec![node(s), node(d), Value::from(c)])
+    }
+
+    /// The 5-node example network of the paper's Figure 3:
+    /// a->b, a->c, b->d, c->d, d->e (undirected in the figure; we insert
+    /// both directions where needed by the test).
+    fn figure3_links(db: &mut Database) {
+        for (s, d) in [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)] {
+            db.insert(link(s, d, 1.0));
+        }
+    }
+
+    const NETWORK_REACHABILITY: &str = r#"
+        NR1: path(@S,D,P,C) :- link(@S,D,C), P = f_initPath(S,D).
+        NR2: path(@S,D,P,C) :- link(@S,Z,C1), path(@Z,D,P2,C2),
+             C = C1 + C2, P = f_prepend(S,P2), f_inPath(P2,S) = false.
+        Query: path(@S,D,P,C).
+    "#;
+
+    const BEST_PATH: &str = r#"
+        NR1: path(@S,D,P,C) :- link(@S,D,C), P = f_initPath(S,D).
+        NR2: path(@S,D,P,C) :- link(@S,Z,C1), path(@Z,D,P2,C2),
+             C = C1 + C2, P = f_prepend(S,P2), f_inPath(P2,S) = false.
+        BPR1: bestPathCost(@S,D,min<C>) :- path(@S,D,P,C).
+        BPR2: bestPath(@S,D,P,C) :- bestPathCost(@S,D,C), path(@S,D,P,C).
+        Query: bestPath(@S,D,P,C).
+    "#;
+
+    #[test]
+    fn bindings_bind_and_conflict() {
+        let mut b = Bindings::new();
+        assert!(b.is_empty());
+        assert!(b.bind("X", Value::Int(1)));
+        assert!(b.bind("X", Value::Int(1)));
+        assert!(!b.bind("X", Value::Int(2)));
+        assert!(b.is_bound("X"));
+        assert!(!b.is_bound("Y"));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.get("X"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn expr_evaluation() {
+        let builtins = Builtins::standard();
+        let mut b = Bindings::new();
+        b.bind("C1", Value::from(2.0));
+        b.bind("C2", Value::from(3.0));
+        let e = Expr::BinOp {
+            op: crate::ast::ArithOp::Add,
+            lhs: Box::new(Expr::var("C1")),
+            rhs: Box::new(Expr::var("C2")),
+        };
+        assert_eq!(eval_expr(&e, &b, &builtins).unwrap(), Value::from(5.0));
+        assert!(eval_expr(&Expr::var("missing"), &b, &builtins).is_err());
+        let call = Expr::call("f_sum", vec![Expr::var("C1"), Expr::constant(1.0)]);
+        assert_eq!(eval_expr(&call, &b, &builtins).unwrap(), Value::from(3.0));
+    }
+
+    #[test]
+    fn network_reachability_computes_transitive_closure() {
+        let program = parse_program(NETWORK_REACHABILITY).unwrap();
+        let eval = Evaluator::new(program).unwrap();
+        let mut db = Database::new();
+        figure3_links(&mut db);
+        let stats = eval.run(&mut db).unwrap();
+        assert!(stats.tuples_derived > 0);
+        assert!(stats.iterations >= 2);
+
+        let paths = db.tuples("path");
+        // a (0) reaches e (4) via b-d and c-d: both 3-hop paths must exist.
+        let a_to_e: Vec<&Tuple> = paths
+            .iter()
+            .filter(|t| t.node_at(0) == Some(NodeId::new(0)) && t.node_at(1) == Some(NodeId::new(4)))
+            .collect();
+        assert_eq!(a_to_e.len(), 2, "expected two distinct a->e paths, got {a_to_e:?}");
+        for t in &a_to_e {
+            assert_eq!(t.field(3).and_then(Value::as_cost), Some(Cost::new(3.0)));
+        }
+        // no cyclic paths anywhere
+        for t in &paths {
+            let p = t.field(2).and_then(Value::as_path).unwrap();
+            assert!(!p.has_cycle(), "cyclic path derived: {t}");
+        }
+    }
+
+    #[test]
+    fn paper_figure3_tuple_is_derived() {
+        // p(a,d,[a,c,d],2) from the worked example in §3.4.
+        let program = parse_program(NETWORK_REACHABILITY).unwrap();
+        let eval = Evaluator::new(program).unwrap();
+        let mut db = Database::new();
+        figure3_links(&mut db);
+        eval.run(&mut db).unwrap();
+        let expected = Tuple::new(
+            "path",
+            vec![
+                node(0),
+                node(3),
+                Value::Path(PathVector::from_nodes(vec![
+                    NodeId::new(0),
+                    NodeId::new(2),
+                    NodeId::new(3),
+                ])),
+                Value::from(2.0),
+            ],
+        );
+        assert!(db.contains(&expected));
+    }
+
+    #[test]
+    fn best_path_selects_minimum_cost() {
+        let program = parse_program(BEST_PATH).unwrap();
+        let eval = Evaluator::new(program).unwrap();
+        let mut db = Database::new();
+        // Two routes 0->2: direct cost 10, via 1 cost 2+3=5.
+        db.insert(link(0, 2, 10.0));
+        db.insert(link(0, 1, 2.0));
+        db.insert(link(1, 2, 3.0));
+        eval.run(&mut db).unwrap();
+
+        let best: Vec<Tuple> = db
+            .tuples("bestPath")
+            .into_iter()
+            .filter(|t| t.node_at(0) == Some(NodeId::new(0)) && t.node_at(1) == Some(NodeId::new(2)))
+            .collect();
+        assert_eq!(best.len(), 1);
+        assert_eq!(best[0].field(3).and_then(Value::as_cost), Some(Cost::new(5.0)));
+        let p = best[0].field(2).and_then(Value::as_path).unwrap();
+        assert_eq!(
+            p.nodes(),
+            &[NodeId::new(0), NodeId::new(1), NodeId::new(2)]
+        );
+    }
+
+    #[test]
+    fn aggregate_selections_prune_but_preserve_best_paths() {
+        let program = parse_program(BEST_PATH).unwrap();
+        let mut cfg = EvalConfig::default();
+        cfg.aggregate_selections = true;
+        let eval_opt = Evaluator::with_config(parse_program(BEST_PATH).unwrap(), cfg).unwrap();
+        let eval_base = Evaluator::new(program).unwrap();
+
+        let mut db_base = Database::new();
+        let mut db_opt = Database::new();
+        for db in [&mut db_base, &mut db_opt] {
+            figure3_links(db);
+            // extra expensive parallel edges to give the optimizer something to prune
+            db.insert(link(0, 3, 10.0));
+            db.insert(link(1, 4, 20.0));
+        }
+        let s_base = eval_base.run(&mut db_base).unwrap();
+        let s_opt = eval_opt.run(&mut db_opt).unwrap();
+
+        assert!(s_opt.tuples_pruned > 0, "optimizer never pruned anything");
+        assert!(s_opt.tuples_derived <= s_base.tuples_derived);
+
+        // Best-path answers agree.
+        let mut base_best = db_base.sorted_tuples("bestPathCost");
+        let mut opt_best = db_opt.sorted_tuples("bestPathCost");
+        base_best.sort();
+        opt_best.sort();
+        assert_eq!(base_best, opt_best);
+    }
+
+    #[test]
+    fn naive_and_semi_naive_agree() {
+        let naive_cfg = EvalConfig { semi_naive: false, ..EvalConfig::default() };
+        let e_naive =
+            Evaluator::with_config(parse_program(NETWORK_REACHABILITY).unwrap(), naive_cfg).unwrap();
+        let e_semi = Evaluator::new(parse_program(NETWORK_REACHABILITY).unwrap()).unwrap();
+
+        let mut db1 = Database::new();
+        let mut db2 = Database::new();
+        figure3_links(&mut db1);
+        figure3_links(&mut db2);
+        let s1 = e_naive.run(&mut db1).unwrap();
+        let s2 = e_semi.run(&mut db2).unwrap();
+        assert_eq!(db1.sorted_tuples("path"), db2.sorted_tuples("path"));
+        // naive mode performs at least as many rule firings
+        assert!(s1.rule_firings >= s2.rule_firings);
+    }
+
+    #[test]
+    fn non_terminating_query_is_caught() {
+        // Reachability *without* the cycle check on a cyclic graph would
+        // grow paths forever; the iteration cap turns that into an error.
+        let src = r#"
+            NR1: path(@S,D,P,C) :- link(@S,D,C), P = f_initPath(S,D).
+            NR2: path(@S,D,P,C) :- link(@S,Z,C1), path(@Z,D,P2,C2),
+                 C = C1 + C2, P = f_prepend(S,P2).
+        "#;
+        let cfg = EvalConfig { max_iterations: 20, ..EvalConfig::default() };
+        let eval = Evaluator::with_config(parse_program(src).unwrap(), cfg).unwrap();
+        let mut db = Database::new();
+        db.insert(link(0, 1, 1.0));
+        db.insert(link(1, 0, 1.0));
+        assert!(eval.run(&mut db).is_err());
+    }
+
+    #[test]
+    fn facts_are_inserted() {
+        let src = r#"
+            magicSources(#1).
+            magicSources(#2).
+            out(@S) :- magicSources(@S).
+        "#;
+        let eval = Evaluator::new(parse_program(src).unwrap()).unwrap();
+        let mut db = Database::new();
+        eval.run(&mut db).unwrap();
+        assert_eq!(db.count("magicSources"), 2);
+        assert_eq!(db.count("out"), 2);
+    }
+
+    #[test]
+    fn negation_filters_matches() {
+        let src = r#"
+            r1: candidate(@S,D) :- link(@S,D,C).
+            r2: allowed(@S,D) :- candidate(@S,D), !excludeNode(@S,D).
+        "#;
+        let eval = Evaluator::new(parse_program(src).unwrap()).unwrap();
+        let mut db = Database::new();
+        db.insert(link(0, 1, 1.0));
+        db.insert(link(0, 2, 1.0));
+        db.insert(Tuple::new("excludeNode", vec![node(0), node(2)]));
+        eval.run(&mut db).unwrap();
+        let allowed = db.sorted_tuples("allowed");
+        assert_eq!(allowed.len(), 1);
+        assert_eq!(allowed[0].node_at(1), Some(NodeId::new(1)));
+    }
+
+    #[test]
+    fn negation_with_wildcard_fields() {
+        // !cache(S, D, P, C) where P and C are not bound elsewhere: the
+        // negation fails if *any* cache entry exists for (S, D).
+        let src = r#"
+            r1: need(@S,D) :- request(@S,D), !cache(@S,D,P,C).
+        "#;
+        let eval = Evaluator::new(parse_program(src).unwrap()).unwrap();
+        let mut db = Database::new();
+        db.insert(Tuple::new("request", vec![node(1), node(2)]));
+        db.insert(Tuple::new("request", vec![node(1), node(3)]));
+        db.insert(Tuple::new(
+            "cache",
+            vec![node(1), node(2), Value::Path(PathVector::nil()), Value::from(1.0)],
+        ));
+        eval.run(&mut db).unwrap();
+        let need = db.sorted_tuples("need");
+        assert_eq!(need.len(), 1);
+        assert_eq!(need[0].node_at(1), Some(NodeId::new(3)));
+    }
+
+    #[test]
+    fn comparison_constraints_filter() {
+        let src = r#"
+            r1: cheap(@S,D,C) :- link(@S,D,C), C < 5.
+            r2: notself(@S,D) :- link(@S,D,C), S != D.
+        "#;
+        let eval = Evaluator::new(parse_program(src).unwrap()).unwrap();
+        let mut db = Database::new();
+        db.insert(link(0, 1, 2.0));
+        db.insert(link(0, 2, 9.0));
+        db.insert(link(3, 3, 1.0));
+        eval.run(&mut db).unwrap();
+        assert_eq!(db.count("cheap"), 2); // (0,1) and (3,3)
+        assert_eq!(db.count("notself"), 2); // (0,1) and (0,2)
+    }
+
+    #[test]
+    fn unsafe_rule_reports_error() {
+        // Head variable X never bound.
+        let src = "r1: out(@X,Y) :- q(@X), Y = Z + 1.";
+        let eval = Evaluator::new(parse_program(src).unwrap()).unwrap();
+        let mut db = Database::new();
+        db.insert(Tuple::new("q", vec![node(0)]));
+        assert!(eval.run(&mut db).is_err());
+    }
+
+    #[test]
+    fn apply_aggregate_groups_correctly() {
+        let head = Head {
+            relation: "shortest".into(),
+            terms: vec![
+                HeadTerm::Plain(Term::var("S")),
+                HeadTerm::Plain(Term::var("D")),
+                HeadTerm::Agg(AggFunc::Min, "C".into()),
+            ],
+            location: Some(0),
+        };
+        let raw = vec![
+            Tuple::new("shortest", vec![node(0), node(1), Value::from(5.0)]),
+            Tuple::new("shortest", vec![node(0), node(1), Value::from(3.0)]),
+            Tuple::new("shortest", vec![node(0), node(2), Value::from(7.0)]),
+        ];
+        let mut out = apply_aggregate(&head, &raw).unwrap();
+        out.sort();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].field(2).and_then(Value::as_cost), Some(Cost::new(3.0)));
+        assert_eq!(out[1].field(2).and_then(Value::as_cost), Some(Cost::new(7.0)));
+
+        // count and sum
+        let head_count = Head {
+            relation: "deg".into(),
+            terms: vec![HeadTerm::Plain(Term::var("S")), HeadTerm::Agg(AggFunc::Count, "D".into())],
+            location: Some(0),
+        };
+        let raw = vec![
+            Tuple::new("deg", vec![node(0), node(1)]),
+            Tuple::new("deg", vec![node(0), node(2)]),
+        ];
+        let out = apply_aggregate(&head_count, &raw).unwrap();
+        assert_eq!(out[0].field(1), Some(&Value::Int(2)));
+
+        let head_sum = Head {
+            relation: "total".into(),
+            terms: vec![HeadTerm::Plain(Term::var("S")), HeadTerm::Agg(AggFunc::Sum, "C".into())],
+            location: Some(0),
+        };
+        let raw = vec![
+            Tuple::new("total", vec![node(0), Value::from(1.5)]),
+            Tuple::new("total", vec![node(0), Value::from(2.5)]),
+        ];
+        let out = apply_aggregate(&head_sum, &raw).unwrap();
+        assert_eq!(out[0].field(1).and_then(Value::as_cost), Some(Cost::new(4.0)));
+    }
+
+    #[test]
+    fn evaluate_rule_with_delta_limits_matches() {
+        let program = parse_program(NETWORK_REACHABILITY).unwrap();
+        let builtins = Builtins::standard();
+        let mut db = Database::new();
+        figure3_links(&mut db);
+        // Seed with one-hop paths.
+        let nr1 = program.rule("NR1").unwrap();
+        let one_hop = evaluate_rule(nr1, &builtins, &db, None).unwrap();
+        assert_eq!(one_hop.len(), 5);
+        for t in &one_hop {
+            db.insert(t.clone());
+        }
+        // Delta = only the path starting at node 3 (d->e).
+        let delta: Vec<Tuple> = one_hop
+            .iter()
+            .filter(|t| t.node_at(0) == Some(NodeId::new(3)))
+            .cloned()
+            .collect();
+        let nr2 = program.rule("NR2").unwrap();
+        // positive atom occurrence 1 is `path(@Z,D,P2,C2)`
+        let derived = evaluate_rule(nr2, &builtins, &db, Some((1, &delta))).unwrap();
+        // Only extensions of d->e are derived: b->d->e and c->d->e.
+        assert_eq!(derived.len(), 2);
+        for t in &derived {
+            assert_eq!(t.node_at(1), Some(NodeId::new(4)));
+        }
+    }
+
+    #[test]
+    fn distance_vector_rules_produce_next_hops() {
+        let src = r#"
+            #key(nextHop, 0, 1).
+            DV1: path(@S,D,D,C) :- link(@S,D,C).
+            DV2: path(@S,D,Z,C) :- link(@S,Z,C1), path(@Z,D,W,C2), C = C1 + C2, W != S, C < 100.
+            DV3: shortestCost(@S,D,min<C>) :- path(@S,D,Z,C).
+            DV4: nextHop(@S,D,Z,C) :- path(@S,D,Z,C), shortestCost(@S,D,C).
+            Query: nextHop(@S,D,Z,C).
+        "#;
+        let eval = Evaluator::new(parse_program(src).unwrap()).unwrap();
+        let mut db = Database::new();
+        // triangle with a shortcut: 0-1 cost 1, 1-2 cost 1, 0-2 cost 5
+        for (s, d, c) in [(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0), (0, 2, 5.0), (2, 0, 5.0)] {
+            db.insert(link(s, d, c));
+        }
+        eval.run(&mut db).unwrap();
+        let hops: Vec<Tuple> = db
+            .tuples("nextHop")
+            .into_iter()
+            .filter(|t| t.node_at(0) == Some(NodeId::new(0)) && t.node_at(1) == Some(NodeId::new(2)))
+            .collect();
+        assert_eq!(hops.len(), 1, "nextHop should be keyed on (S,D): {hops:?}");
+        // best next hop from 0 to 2 is via 1 at cost 2
+        assert_eq!(hops[0].node_at(2), Some(NodeId::new(1)));
+        assert_eq!(hops[0].field(3).and_then(Value::as_cost), Some(Cost::new(2.0)));
+    }
+}

@@ -1,0 +1,52 @@
+//! # dr-datalog
+//!
+//! The Datalog dialect used by the declarative routing system: abstract
+//! syntax, a parser for the paper's concrete syntax, a library of built-in
+//! functions (`f_*`), a stratified semi-naïve fixpoint evaluator, static
+//! safety / termination analysis (paper §6), and the query rewrites of
+//! paper §7 (magic sets, left/right recursion, aggregate selections).
+//!
+//! This crate is *centralized*: it evaluates programs against a single
+//! [`database::Database`]. The distributed execution model of the paper
+//! (per-node processors exchanging tuples) lives in `dr-core`, which reuses
+//! the rule evaluator and catalog defined here.
+//!
+//! ## Dialect
+//!
+//! The concrete syntax follows the paper closely:
+//!
+//! ```text
+//! NR1: path(@S,D,P,C) :- link(@S,D,C), P = f_initPath(S,D).
+//! NR2: path(@S,D,P,C) :- link(@S,Z,C1), path(@Z,D,P2,C2),
+//!                        C = C1 + C2, P = f_prepend(S,P2),
+//!                        f_inPath(P2,S) = false.
+//! BPR1: bestPathCost(@S,D,min<C>) :- path(@S,D,P,C).
+//! Query: bestPath(@S,D,P,C).
+//! ```
+//!
+//! Differences from the paper's informal notation are documented in
+//! [`parser`]: location fields are written with a leading `@` rather than an
+//! underline, and `f_concatPath(link(S,Z,C),P2)` is written as the equivalent
+//! `f_prepend(S,P2)` (the link's contribution to the path vector is its
+//! source node).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod builtins;
+pub mod catalog;
+pub mod database;
+pub mod eval;
+pub mod parser;
+pub mod rewrite;
+pub mod safety;
+pub mod stratify;
+
+pub use ast::{AggFunc, Atom, CompareOp, Expr, Head, HeadTerm, Literal, Program, Rule, Term};
+pub use builtins::Builtins;
+pub use catalog::{Catalog, RelationInfo};
+pub use database::Database;
+pub use eval::{EvalStats, Evaluator};
+pub use parser::parse_program;
+pub use safety::{check_safety, SafetyReport};

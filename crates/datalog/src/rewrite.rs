@@ -1,0 +1,574 @@
+//! Query rewrites and optimization analyses (paper §7).
+//!
+//! * [`aggregate_selections`] — detect min/max aggregates whose running value
+//!   can prune dominated inputs (§7.1). The descriptors it returns are used
+//!   both by the centralized [`crate::eval::Evaluator`] and by the
+//!   distributed processor in `dr-core` to suppress derivation *and*
+//!   shipping of paths that cannot win.
+//! * [`magic_sets`] — restrict a query to the nodes reachable from a set of
+//!   source constants by adding a `magicSources` filter relation and a
+//!   propagation rule, mirroring rules MRR1–MRR5 (§7.2).
+//! * [`flip_recursion`] — convert between right-recursive (distance-vector
+//!   style) and left-recursive (dynamic-source-routing style) forms of a
+//!   transitive-closure rule (§5.3, §7.2). The paper's key observation is
+//!   that these protocols "differ only in a simple, traditional query
+//!   optimization decision: the order in which a query's predicates are
+//!   evaluated".
+
+use crate::ast::{AggFunc, Atom, Expr, Head, Literal, Program, Rule, Term};
+use dr_types::{NodeId, Value};
+
+/// A detected aggregate-selection opportunity.
+///
+/// `bestPathCost(@S,D,min<C>) :- path(@S,D,P,C)` yields
+/// `AggSelection { input_relation: "path", group_fields: [0,1], value_field: 3, func: Min }`:
+/// while evaluating, any `path` tuple whose cost is worse than the best
+/// already known for its `(S,D)` group can be discarded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggSelection {
+    /// The relation whose tuples feed the aggregate (the rule's single body
+    /// atom).
+    pub input_relation: String,
+    /// Field positions of the input relation forming the group-by key.
+    pub group_fields: Vec<usize>,
+    /// Field position of the input relation carrying the aggregated value.
+    pub value_field: usize,
+    /// The aggregate function (only `min`/`max` generate selections).
+    pub func: AggFunc,
+    /// The relation defined by the aggregate rule (e.g. `bestPathCost`).
+    pub output_relation: String,
+}
+
+/// Detect aggregate selections: aggregate rules whose body is a single
+/// positive atom and whose aggregate function is monotonic (`min`/`max`).
+pub fn aggregate_selections(program: &Program) -> Vec<AggSelection> {
+    let mut out = Vec::new();
+    for rule in &program.rules {
+        let Some((func, agg_var, _)) = rule.head.aggregate() else { continue };
+        if !func.is_monotonic_selection() {
+            continue;
+        }
+        // Body must be a single positive atom (plus optional constraints that
+        // do not change groupings).
+        let atoms = rule.positive_atoms();
+        if atoms.len() != 1 {
+            continue;
+        }
+        let atom = atoms[0];
+        // The aggregated variable must be a field of that atom.
+        let Some(value_field) = atom
+            .terms
+            .iter()
+            .position(|t| t.as_var() == Some(agg_var))
+        else {
+            continue;
+        };
+        // Each plain head variable must also be a field of the atom.
+        let mut group_fields = Vec::new();
+        let mut ok = true;
+        for hv in rule.head.plain_variables() {
+            match atom.terms.iter().position(|t| t.as_var() == Some(hv)) {
+                Some(pos) => group_fields.push(pos),
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        out.push(AggSelection {
+            input_relation: atom.relation.clone(),
+            group_fields,
+            value_field,
+            func,
+            output_relation: rule.head.relation.clone(),
+        });
+    }
+    out
+}
+
+/// Options for the magic-sets rewrite.
+#[derive(Debug, Clone, Default)]
+pub struct MagicSetsOptions {
+    /// Name of the magic relation to introduce (default `magicSources`).
+    pub magic_relation: Option<String>,
+    /// When true, also add the propagation rule
+    /// `magicSources(@D) :- magicSources(@S), link(@S,D,C).` (rule MRR1),
+    /// which extends the filter to every node reachable from the seeds.
+    pub propagate_over_links: bool,
+    /// Name of the link relation used for propagation (default `link`).
+    pub link_relation: Option<String>,
+}
+
+/// Apply the magic-sets rewrite of §7.2 to `program`.
+///
+/// Every rule defining `target_relation` gets an additional body atom
+/// `magicSources(@S)` where `S` is the rule head's location variable, and a
+/// seed fact is added for every node in `sources`. With
+/// `propagate_over_links`, rule MRR1 is added so the computation is
+/// restricted to the part of the network reachable from the seeds.
+pub fn magic_sets(
+    program: &Program,
+    target_relation: &str,
+    sources: &[NodeId],
+    options: &MagicSetsOptions,
+) -> Program {
+    let magic = options
+        .magic_relation
+        .clone()
+        .unwrap_or_else(|| "magicSources".to_string());
+    let link_rel = options.link_relation.clone().unwrap_or_else(|| "link".to_string());
+
+    let mut out = Program::new();
+
+    // Seed facts (MRR4, MRR5).
+    for s in sources {
+        out.rules.push(Rule::new(
+            Head::plain(magic.clone(), vec![Term::Const(Value::Node(*s))], Some(0)),
+            vec![],
+        ));
+    }
+
+    // Propagation rule (MRR1): magicSources(@D) :- magicSources(@S), link(@S,D,C).
+    if options.propagate_over_links {
+        out.rules.push(Rule::named(
+            "MAGIC_PROP",
+            Head::plain(magic.clone(), vec![Term::var("MagicD")], Some(0)),
+            vec![
+                Literal::Atom(Atom::with_location(magic.clone(), vec![Term::var("MagicS")], 0)),
+                Literal::Atom(Atom::with_location(
+                    link_rel,
+                    vec![Term::var("MagicS"), Term::var("MagicD"), Term::var("MagicC")],
+                    0,
+                )),
+            ],
+        ));
+    }
+
+    // Filtered copies of the original rules (MRR2, MRR3).
+    for rule in &program.rules {
+        let mut new_rule = rule.clone();
+        if rule.head.relation == target_relation && !rule.is_fact() {
+            if let Some(loc_var) = rule.head.location_var() {
+                let filter = Literal::Atom(Atom::with_location(
+                    magic.clone(),
+                    vec![Term::var(loc_var)],
+                    0,
+                ));
+                new_rule.body.insert(0, filter);
+                if let Some(name) = &mut new_rule.name {
+                    *name = format!("{name}_magic");
+                }
+            }
+        }
+        out.rules.push(new_rule);
+    }
+    out.queries = program.queries.clone();
+    out.key_pragmas = program.key_pragmas.clone();
+    out
+}
+
+/// Direction of recursion for a transitive-closure rule (paper §5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecursionDirection {
+    /// `path(S,D) :- link(S,Z), path(Z,D)` — the recursive atom is to the
+    /// *right* of the link; execution resembles distance-vector / path-vector
+    /// protocols (paths grow from the destination toward the source).
+    Right,
+    /// `path(S,D) :- path(S,Z), link(Z,D)` — the recursive atom is to the
+    /// *left*; execution resembles dynamic source routing (paths grow from
+    /// the source outward).
+    Left,
+}
+
+/// Classify a recursive two-atom rule as left- or right-recursive.
+///
+/// Returns `None` when the rule does not have exactly one occurrence of its
+/// own head relation and one other atom.
+pub fn recursion_direction(rule: &Rule) -> Option<RecursionDirection> {
+    let atoms = rule.positive_atoms();
+    if atoms.len() != 2 {
+        return None;
+    }
+    let head_rel = &rule.head.relation;
+    let first_recursive = atoms[0].relation == *head_rel;
+    let second_recursive = atoms[1].relation == *head_rel;
+    match (first_recursive, second_recursive) {
+        (true, false) => Some(RecursionDirection::Left),
+        (false, true) => Some(RecursionDirection::Right),
+        _ => None,
+    }
+}
+
+/// Flip a right-recursive transitive-closure rule into the equivalent
+/// left-recursive form, or vice versa (§5.3 / §7.2's left-right recursion
+/// rewrite).
+///
+/// The rewrite recognizes the paper's canonical shape
+///
+/// ```text
+/// path(@S,D,P,C) :- link(@S,Z,C1), path(@Z,D,P2,C2),
+///                   C = C1 + C2, P = f_prepend(S,P2), ...
+/// ```
+///
+/// and produces
+///
+/// ```text
+/// path(@D,S,...)-style left recursion:
+/// path(S,D,P,C)  :- path(@S,Z,P1,C1), link(@Z,D,C2),
+///                   C = C1 + C2, P = f_append(P1,D), ...
+/// ```
+///
+/// Only the atom order, the join variable rôles, and the path-construction
+/// function change; cost arithmetic and extra constraints are preserved.
+/// Returns `None` when the rule does not match the canonical shape.
+pub fn flip_recursion(rule: &Rule) -> Option<Rule> {
+    let dir = recursion_direction(rule)?;
+    let atoms = rule.positive_atoms();
+    let (link_atom, path_atom) = match dir {
+        RecursionDirection::Right => (atoms[0].clone(), atoms[1].clone()),
+        RecursionDirection::Left => (atoms[1].clone(), atoms[0].clone()),
+    };
+    if link_atom.arity() < 2 || path_atom.arity() < 2 {
+        return None;
+    }
+
+    // Variable names used in the original rule.
+    let s = rule.head.terms.first()?.as_plain()?.as_var()?.to_string();
+    let d = rule.head.terms.get(1)?.as_plain()?.as_var()?.to_string();
+
+    let constraints: Vec<Literal> = rule
+        .body
+        .iter()
+        .filter(|l| !matches!(l, Literal::Atom(_)))
+        .cloned()
+        .collect();
+
+    match dir {
+        RecursionDirection::Right => {
+            // link(@S,Z,C1), path(@Z,D,P2,C2)  →  path(@S,Z,P1,C1), link(@Z,D,C2)
+            let z = link_atom.terms.get(1)?.as_var()?.to_string();
+            let c1 = link_atom.terms.get(2).and_then(Term::as_var).map(str::to_string);
+            let c2 = path_atom.terms.get(3).and_then(Term::as_var).map(str::to_string);
+            let p2 = path_atom.terms.get(2).and_then(Term::as_var).map(str::to_string);
+
+            let new_path = Atom::with_location(
+                path_atom.relation.clone(),
+                vec![
+                    Term::var(s.clone()),
+                    Term::var(z.clone()),
+                    Term::var(p2.clone().unwrap_or_else(|| "P1".into())),
+                    Term::var(c1.clone().unwrap_or_else(|| "C1".into())),
+                ],
+                0,
+            );
+            let new_link = Atom::with_location(
+                link_atom.relation.clone(),
+                vec![
+                    Term::var(z),
+                    Term::var(d.clone()),
+                    Term::var(c2.clone().unwrap_or_else(|| "C2".into())),
+                ],
+                0,
+            );
+            let mut body = vec![Literal::Atom(new_path), Literal::Atom(new_link)];
+            for c in constraints {
+                body.push(rewrite_path_constraint(c, &s, &d, true));
+            }
+            Some(Rule {
+                name: rule.name.clone().map(|n| format!("{n}_left")),
+                head: rule.head.clone(),
+                body,
+            })
+        }
+        RecursionDirection::Left => {
+            // path(@S,Z,P1,C1), link(@Z,D,C2)  →  link(@S,Z,C1), path(@Z,D,P2,C2)
+            let z = path_atom.terms.get(1)?.as_var()?.to_string();
+            let p1 = path_atom.terms.get(2).and_then(Term::as_var).map(str::to_string);
+            let c1 = path_atom.terms.get(3).and_then(Term::as_var).map(str::to_string);
+            let c2 = link_atom.terms.get(2).and_then(Term::as_var).map(str::to_string);
+
+            let new_link = Atom::with_location(
+                link_atom.relation.clone(),
+                vec![
+                    Term::var(s.clone()),
+                    Term::var(z.clone()),
+                    Term::var(c1.clone().unwrap_or_else(|| "C1".into())),
+                ],
+                0,
+            );
+            let new_path = Atom::with_location(
+                path_atom.relation.clone(),
+                vec![
+                    Term::var(z),
+                    Term::var(d.clone()),
+                    Term::var(p1.clone().unwrap_or_else(|| "P2".into())),
+                    Term::var(c2.clone().unwrap_or_else(|| "C2".into())),
+                ],
+                0,
+            );
+            let mut body = vec![Literal::Atom(new_link), Literal::Atom(new_path)];
+            for c in constraints {
+                body.push(rewrite_path_constraint(c, &s, &d, false));
+            }
+            Some(Rule {
+                name: rule.name.clone().map(|n| format!("{n}_right")),
+                head: rule.head.clone(),
+                body,
+            })
+        }
+    }
+}
+
+/// Rewrite path-sensitive constraints when flipping recursion.
+///
+/// * The path-construction assignment `f_prepend(S, P2)` (right recursion
+///   builds the path by prepending the source) becomes `f_append(P2, D)`
+///   (left recursion appends the newly reached destination), and vice versa.
+/// * The cycle check `f_inPath(P2, S) = false` (right recursion: the source
+///   must not already be on the suffix) becomes `f_inPath(P2, D) = false`
+///   (left recursion: the new destination must not already be on the
+///   prefix), and vice versa.
+///
+/// Other constraints pass through unchanged.
+fn rewrite_path_constraint(lit: Literal, s: &str, d: &str, to_left: bool) -> Literal {
+    match lit {
+        Literal::Assign { var, expr: Expr::Call { func, args } } => {
+            let (new_func, new_args) = match (func.as_str(), to_left) {
+                ("f_prepend", true) => (
+                    "f_append".to_string(),
+                    vec![args.get(1).cloned().unwrap_or(Expr::var("P1")), Expr::var(d)],
+                ),
+                ("f_append", false) => (
+                    "f_prepend".to_string(),
+                    vec![Expr::var(s), args.first().cloned().unwrap_or(Expr::var("P2"))],
+                ),
+                _ => (func, args),
+            };
+            Literal::Assign { var, expr: Expr::Call { func: new_func, args: new_args } }
+        }
+        Literal::Compare { op, lhs: Expr::Call { func, args }, rhs } if func == "f_inPath" => {
+            let path_arg = args.first().cloned().unwrap_or(Expr::var("P2"));
+            let member = if to_left { Expr::var(d) } else { Expr::var(s) };
+            Literal::Compare {
+                op,
+                lhs: Expr::Call { func, args: vec![path_arg, member] },
+                rhs,
+            }
+        }
+        other => other,
+    }
+}
+
+/// Convenience: flip every flippable recursive rule in a program.
+pub fn flip_program_recursion(program: &Program) -> Program {
+    let mut out = program.clone();
+    for rule in &mut out.rules {
+        if let Some(flipped) = flip_recursion(rule) {
+            *rule = flipped;
+        }
+    }
+    out
+}
+
+/// Build the head terms of a standard 4-ary path head `path(@S,D,P,C)`.
+/// Shared helper for protocol builders and tests.
+pub fn path_head(relation: &str) -> Head {
+    Head::plain(
+        relation,
+        vec![Term::var("S"), Term::var("D"), Term::var("P"), Term::var("C")],
+        Some(0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    const BEST_PATH: &str = r#"
+        NR1: path(@S,D,P,C) :- link(@S,D,C), P = f_initPath(S,D).
+        NR2: path(@S,D,P,C) :- link(@S,Z,C1), path(@Z,D,P2,C2),
+             C = C1 + C2, P = f_prepend(S,P2), f_inPath(P2,S) = false.
+        BPR1: bestPathCost(@S,D,min<C>) :- path(@S,D,P,C).
+        BPR2: bestPath(@S,D,P,C) :- bestPathCost(@S,D,C), path(@S,D,P,C).
+        Query: bestPath(@S,D,P,C).
+    "#;
+
+    #[test]
+    fn detects_min_aggregate_selection() {
+        let p = parse_program(BEST_PATH).unwrap();
+        let sels = aggregate_selections(&p);
+        assert_eq!(sels.len(), 1);
+        let s = &sels[0];
+        assert_eq!(s.input_relation, "path");
+        assert_eq!(s.output_relation, "bestPathCost");
+        assert_eq!(s.group_fields, vec![0, 1]);
+        assert_eq!(s.value_field, 3);
+        assert_eq!(s.func, AggFunc::Min);
+    }
+
+    #[test]
+    fn count_aggregates_do_not_generate_selections() {
+        let p = parse_program("r1: degree(@S,count<D>) :- link(@S,D,C).").unwrap();
+        assert!(aggregate_selections(&p).is_empty());
+    }
+
+    #[test]
+    fn multi_atom_aggregate_bodies_are_skipped() {
+        let p = parse_program(
+            "r1: best(@S,D,min<C>) :- path(@S,D,P,C), permit(@S,D).",
+        )
+        .unwrap();
+        assert!(aggregate_selections(&p).is_empty());
+    }
+
+    #[test]
+    fn max_aggregates_generate_selections() {
+        let p = parse_program("r1: widest(@S,D,max<B>) :- path(@S,D,P,B).").unwrap();
+        let sels = aggregate_selections(&p);
+        assert_eq!(sels.len(), 1);
+        assert_eq!(sels[0].func, AggFunc::Max);
+    }
+
+    #[test]
+    fn magic_sets_adds_seeds_filter_and_propagation() {
+        let p = parse_program(BEST_PATH).unwrap();
+        let opts = MagicSetsOptions { propagate_over_links: true, ..Default::default() };
+        let rewritten = magic_sets(&p, "path", &[NodeId::new(1), NodeId::new(2)], &opts);
+
+        // 2 seeds + 1 propagation + 4 original rules = 7
+        assert_eq!(rewritten.rules.len(), 7);
+        // Seed facts come first.
+        assert!(rewritten.rules[0].is_fact());
+        assert!(rewritten.rules[1].is_fact());
+        assert_eq!(rewritten.rules[0].head.relation, "magicSources");
+        // Propagation rule present.
+        assert!(rewritten.rule("MAGIC_PROP").is_some());
+        // path rules got the filter atom prepended.
+        let nr2 = rewritten.rule("NR2_magic").unwrap();
+        assert_eq!(nr2.body[0].as_atom().unwrap().relation, "magicSources");
+        // Non-target rules untouched.
+        let bpr1 = rewritten.rule("BPR1").unwrap();
+        assert_eq!(bpr1.body.len(), 1);
+        // queries preserved
+        assert_eq!(rewritten.queries.len(), 1);
+    }
+
+    #[test]
+    fn magic_sets_respects_custom_relation_name() {
+        let p = parse_program(BEST_PATH).unwrap();
+        let opts = MagicSetsOptions {
+            magic_relation: Some("magicDsts".into()),
+            propagate_over_links: false,
+            ..Default::default()
+        };
+        let rewritten = magic_sets(&p, "path", &[NodeId::new(5)], &opts);
+        assert_eq!(rewritten.rules[0].head.relation, "magicDsts");
+        assert!(rewritten.rule("MAGIC_PROP").is_none());
+    }
+
+    #[test]
+    fn recursion_direction_classification() {
+        let p = parse_program(BEST_PATH).unwrap();
+        let nr2 = p.rule("NR2").unwrap();
+        assert_eq!(recursion_direction(nr2), Some(RecursionDirection::Right));
+        let nr1 = p.rule("NR1").unwrap();
+        assert_eq!(recursion_direction(nr1), None);
+
+        let dsr = parse_program(
+            r#"
+            DSR1: path(@S,D,P,C) :- path(@S,Z,P1,C1), link(@Z,D,C2),
+                  C = C1 + C2, P = f_append(P1,D).
+            "#,
+        )
+        .unwrap();
+        assert_eq!(
+            recursion_direction(dsr.rule("DSR1").unwrap()),
+            Some(RecursionDirection::Left)
+        );
+    }
+
+    #[test]
+    fn flip_right_to_left_changes_atom_order_and_path_function() {
+        let p = parse_program(BEST_PATH).unwrap();
+        let nr2 = p.rule("NR2").unwrap();
+        let flipped = flip_recursion(nr2).unwrap();
+        assert_eq!(recursion_direction(&flipped), Some(RecursionDirection::Left));
+        assert_eq!(flipped.name.as_deref(), Some("NR2_left"));
+        // path-construction now appends
+        assert!(flipped.body.iter().any(|l| matches!(
+            l,
+            Literal::Assign { expr: Expr::Call { func, .. }, .. } if func == "f_append"
+        )));
+        // Cost arithmetic survives.
+        assert!(flipped
+            .body
+            .iter()
+            .any(|l| matches!(l, Literal::Assign { var, .. } if var == "C")));
+    }
+
+    #[test]
+    fn flip_is_involutive_on_direction() {
+        let p = parse_program(BEST_PATH).unwrap();
+        let nr2 = p.rule("NR2").unwrap();
+        let left = flip_recursion(nr2).unwrap();
+        let right_again = flip_recursion(&left).unwrap();
+        assert_eq!(recursion_direction(&right_again), Some(RecursionDirection::Right));
+        assert!(right_again.body.iter().any(|l| matches!(
+            l,
+            Literal::Assign { expr: Expr::Call { func, .. }, .. } if func == "f_prepend"
+        )));
+    }
+
+    #[test]
+    fn flip_program_recursion_flips_only_recursive_rules() {
+        let p = parse_program(BEST_PATH).unwrap();
+        let flipped = flip_program_recursion(&p);
+        assert_eq!(flipped.rules.len(), p.rules.len());
+        // NR1 untouched, NR2 flipped.
+        assert_eq!(flipped.rules[0], p.rules[0]);
+        assert_ne!(flipped.rules[1], p.rules[1]);
+    }
+
+    #[test]
+    fn flipped_rule_computes_same_paths() {
+        use crate::database::Database;
+        use crate::eval::Evaluator;
+        use dr_types::Tuple;
+
+        // Evaluate the right-recursive and the flipped (left-recursive)
+        // programs on the same network; path sets must agree.
+        let right = parse_program(BEST_PATH).unwrap();
+        let left = flip_program_recursion(&right);
+
+        let mut db_r = Database::new();
+        let mut db_l = Database::new();
+        for (s, d) in [(0u32, 1u32), (1, 2), (2, 3), (0, 3)] {
+            for db in [&mut db_r, &mut db_l] {
+                db.insert(Tuple::new(
+                    "link",
+                    vec![
+                        Value::Node(NodeId::new(s)),
+                        Value::Node(NodeId::new(d)),
+                        Value::from(1.0),
+                    ],
+                ));
+            }
+        }
+        Evaluator::new(right).unwrap().run(&mut db_r).unwrap();
+        Evaluator::new(left).unwrap().run(&mut db_l).unwrap();
+        assert_eq!(db_r.sorted_tuples("path"), db_l.sorted_tuples("path"));
+        assert_eq!(db_r.sorted_tuples("bestPath"), db_l.sorted_tuples("bestPath"));
+    }
+
+    #[test]
+    fn path_head_helper() {
+        let h = path_head("path");
+        assert_eq!(h.relation, "path");
+        assert_eq!(h.arity(), 4);
+        assert_eq!(h.location, Some(0));
+    }
+}

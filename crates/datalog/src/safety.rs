@@ -1,0 +1,485 @@
+//! Static safety and termination analysis (paper §6).
+//!
+//! The paper argues that Datalog is a good DSL for the routing control plane
+//! because (a) the *core* language (no function symbols) has polynomial time
+//! and space complexity in the size of the input, and (b) for the augmented
+//! language, "several powerful static tests have been developed to check for
+//! the termination of an augmented Datalog query on a given input". This
+//! module implements those checks at the level used by the paper:
+//!
+//! 1. **Range restriction / safety** — every head variable must be bound by a
+//!    positive body atom or by an assignment whose inputs are bound;
+//!    variables in negated atoms that also occur in the head must be bound
+//!    positively.
+//! 2. **Polynomial core detection** — a program with no function calls and
+//!    no arithmetic is flagged as polynomial-time evaluable.
+//! 3. **Termination heuristics** — recursive rules that *grow* values through
+//!    function calls (path concatenation, cost addition) must also carry a
+//!    bounding constraint: a cycle check (`f_inPath(P,X) = false`) for a
+//!    growing path argument, or an upper bound (`C < k`) for a growing cost.
+//!    The paper's Network-Reachability query without the cycle check is
+//!    exactly the example it calls out as unsafe; with the check it passes.
+
+use crate::ast::{CompareOp, Expr, Literal, Program, Rule, Term};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The outcome of the static analysis for a whole program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SafetyReport {
+    /// True when every rule is range-restricted (safe).
+    pub range_restricted: bool,
+    /// True when the program lies in the polynomial core (no functions, no
+    /// arithmetic).
+    pub polynomial_core: bool,
+    /// True when every recursive growing rule carries a bounding constraint.
+    pub terminating: bool,
+    /// Human-readable findings, one per problem.
+    pub issues: Vec<String>,
+    /// Per-rule diagnoses (rule label or index, finding).
+    pub rule_findings: Vec<RuleFinding>,
+}
+
+impl SafetyReport {
+    /// True when the program passes every check: safe to execute on behalf
+    /// of an untrusted third party (the paper's admission criterion).
+    pub fn is_safe(&self) -> bool {
+        self.range_restricted && self.terminating
+    }
+}
+
+impl fmt::Display for SafetyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "safety: range_restricted={} polynomial_core={} terminating={}",
+            self.range_restricted, self.polynomial_core, self.terminating
+        )?;
+        for issue in &self.issues {
+            writeln!(f, "  - {issue}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The category of a per-rule finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FindingKind {
+    /// A head variable is not bound by the body.
+    UnboundHeadVariable,
+    /// A variable used in a comparison or assignment is never bound.
+    UnboundBodyVariable,
+    /// A recursive rule grows a value without a bounding constraint.
+    UnboundedRecursion,
+    /// Informational: the rule uses function symbols (outside the core).
+    UsesFunctions,
+}
+
+/// One finding attached to one rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleFinding {
+    /// The rule's label, or `rule#<i>` when unnamed.
+    pub rule: String,
+    /// What was found.
+    pub kind: FindingKind,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// Functions whose results are structurally larger than (one of) their
+/// inputs: deriving through them recursively can grow tuples without bound.
+const GROWING_FUNCTIONS: &[&str] = &["f_prepend", "f_append", "f_concat", "f_initPath"];
+
+/// Run the full static analysis on a program.
+pub fn check_safety(program: &Program) -> SafetyReport {
+    let mut report = SafetyReport {
+        range_restricted: true,
+        polynomial_core: true,
+        terminating: true,
+        issues: Vec::new(),
+        rule_findings: Vec::new(),
+    };
+
+    let recursive_relations = recursive_relations(program);
+
+    for (i, rule) in program.rules.iter().enumerate() {
+        let label = rule
+            .name
+            .clone()
+            .unwrap_or_else(|| format!("rule#{i}"));
+
+        // --- range restriction ------------------------------------------------
+        let bound = bound_variables(rule);
+        for hv in head_variables(rule) {
+            if !bound.contains(hv.as_str()) {
+                report.range_restricted = false;
+                let detail = format!("head variable {hv} is not bound by the body");
+                report.issues.push(format!("{label}: {detail}"));
+                report.rule_findings.push(RuleFinding {
+                    rule: label.clone(),
+                    kind: FindingKind::UnboundHeadVariable,
+                    detail,
+                });
+            }
+        }
+        for lit in &rule.body {
+            let vars: Vec<String> = match lit {
+                Literal::Compare { lhs, rhs, .. } => {
+                    let mut v: Vec<String> =
+                        lhs.variables().iter().map(|s| s.to_string()).collect();
+                    v.extend(rhs.variables().iter().map(|s| s.to_string()));
+                    v
+                }
+                Literal::Assign { expr, .. } => {
+                    expr.variables().iter().map(|s| s.to_string()).collect()
+                }
+                _ => Vec::new(),
+            };
+            for v in vars {
+                if !bound.contains(v.as_str()) {
+                    report.range_restricted = false;
+                    let detail = format!("variable {v} used in a constraint is never bound");
+                    report.issues.push(format!("{label}: {detail}"));
+                    report.rule_findings.push(RuleFinding {
+                        rule: label.clone(),
+                        kind: FindingKind::UnboundBodyVariable,
+                        detail,
+                    });
+                }
+            }
+        }
+
+        // --- polynomial core ---------------------------------------------------
+        let uses_functions = rule.body.iter().any(|lit| match lit {
+            Literal::Assign { expr, .. } => expr.has_call() || matches!(expr, Expr::BinOp { .. }),
+            Literal::Compare { lhs, rhs, .. } => lhs.has_call() || rhs.has_call(),
+            _ => false,
+        });
+        if uses_functions {
+            report.polynomial_core = false;
+            report.rule_findings.push(RuleFinding {
+                rule: label.clone(),
+                kind: FindingKind::UsesFunctions,
+                detail: "rule uses function symbols or arithmetic (outside the polynomial core)"
+                    .to_string(),
+            });
+        }
+
+        // --- termination -------------------------------------------------------
+        // A rule can loop only when some body relation is *mutually*
+        // recursive with its head (same dependency cycle); growth through a
+        // relation computed in an earlier stratum terminates trivially.
+        let in_head_cycle = rule
+            .body_relations()
+            .iter()
+            .any(|r| mutually_recursive(program, &rule.head.relation, r));
+        if recursive_relations.contains(rule.head.relation.as_str())
+            && in_head_cycle
+            && rule_grows(rule)
+            && !rule_is_bounded(rule)
+        {
+            report.terminating = false;
+            let detail = "recursive rule grows a path or cost without a bounding \
+                          constraint (add a cycle check such as `f_inPath(P,S) = false` \
+                          or an upper bound such as `C < k`)"
+                .to_string();
+            report.issues.push(format!("{label}: {detail}"));
+            report.rule_findings.push(RuleFinding {
+                rule: label,
+                kind: FindingKind::UnboundedRecursion,
+                detail,
+            });
+        }
+    }
+
+    report
+}
+
+/// True when `a` and `b` lie on a common dependency cycle: `a` (directly or
+/// transitively) reads `b` and `b` reads `a`.
+fn mutually_recursive(program: &Program, a: &str, b: &str) -> bool {
+    reads_transitively(program, a, b) && reads_transitively(program, b, a)
+}
+
+/// True when evaluating `from` requires (directly or transitively) reading
+/// `to`.
+fn reads_transitively(program: &Program, from: &str, to: &str) -> bool {
+    let mut stack = vec![from.to_string()];
+    let mut visited: BTreeSet<String> = BTreeSet::new();
+    while let Some(current) = stack.pop() {
+        for rule in &program.rules {
+            if rule.head.relation != current {
+                continue;
+            }
+            for body_rel in rule.body_relations() {
+                if body_rel == to {
+                    return true;
+                }
+                if visited.insert(body_rel.to_string()) {
+                    stack.push(body_rel.to_string());
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Relations involved in a recursive cycle of the rule dependency graph
+/// (including mutual recursion).
+fn recursive_relations(program: &Program) -> BTreeSet<String> {
+    // Build adjacency: head -> body relations (edges point from the defined
+    // relation to what it reads).
+    let mut edges: Vec<(String, String)> = Vec::new();
+    for rule in &program.rules {
+        for body_rel in rule.body_relations() {
+            edges.push((rule.head.relation.clone(), body_rel.to_string()));
+        }
+    }
+    let relations: BTreeSet<String> = edges
+        .iter()
+        .flat_map(|(a, b)| [a.clone(), b.clone()])
+        .collect();
+
+    // A relation is recursive when it can reach itself.
+    let mut recursive = BTreeSet::new();
+    for rel in &relations {
+        let mut stack = vec![rel.clone()];
+        let mut visited: BTreeSet<String> = BTreeSet::new();
+        while let Some(current) = stack.pop() {
+            for (from, to) in &edges {
+                if *from == current && visited.insert(to.clone()) {
+                    if to == rel {
+                        recursive.insert(rel.clone());
+                        stack.clear();
+                        break;
+                    }
+                    stack.push(to.clone());
+                }
+            }
+        }
+    }
+    recursive
+}
+
+/// Variables that get bound when evaluating the body: positive atom
+/// variables plus assignment targets.
+fn bound_variables(rule: &Rule) -> BTreeSet<String> {
+    let mut bound: BTreeSet<String> = BTreeSet::new();
+    for lit in &rule.body {
+        match lit {
+            Literal::Atom(a) => {
+                for v in a.variables() {
+                    bound.insert(v.to_string());
+                }
+            }
+            Literal::Assign { var, .. } => {
+                bound.insert(var.clone());
+            }
+            _ => {}
+        }
+    }
+    bound
+}
+
+/// Head variables that need to be bound (constants and aggregates excluded;
+/// aggregate variables must themselves be bound and are included).
+fn head_variables(rule: &Rule) -> Vec<String> {
+    let mut out = Vec::new();
+    for t in &rule.head.terms {
+        match t {
+            crate::ast::HeadTerm::Plain(Term::Var(v)) => out.push(v.clone()),
+            crate::ast::HeadTerm::Agg(_, v) => out.push(v.clone()),
+            crate::ast::HeadTerm::Plain(Term::Const(_)) => {}
+        }
+    }
+    out
+}
+
+/// True when the rule derives values through growing functions or additive
+/// arithmetic (so repeated recursive application can produce ever-new
+/// tuples).
+fn rule_grows(rule: &Rule) -> bool {
+    rule.body.iter().any(|lit| match lit {
+        Literal::Assign { expr, .. } => expr_grows(expr),
+        _ => false,
+    })
+}
+
+fn expr_grows(expr: &Expr) -> bool {
+    match expr {
+        Expr::Term(_) => false,
+        Expr::Call { func, args } => {
+            GROWING_FUNCTIONS.contains(&func.as_str()) || args.iter().any(expr_grows)
+        }
+        Expr::BinOp { op, lhs, rhs } => {
+            matches!(op, crate::ast::ArithOp::Add | crate::ast::ArithOp::Mul)
+                || expr_grows(lhs)
+                || expr_grows(rhs)
+        }
+    }
+}
+
+/// True when the rule carries a constraint that bounds the growth: a cycle
+/// check on a path variable, or an upper-bound comparison on a variable.
+fn rule_is_bounded(rule: &Rule) -> bool {
+    rule.body.iter().any(|lit| match lit {
+        // f_inPath(P, X) = false   (or != true)
+        Literal::Compare { op, lhs, rhs } => {
+            let cycle_check = |call: &Expr, val: &Expr| -> bool {
+                matches!(call, Expr::Call { func, .. } if func == "f_inPath" || func == "f_hasCycle")
+                    && matches!(
+                        (op, val),
+                        (CompareOp::Eq, Expr::Term(Term::Const(dr_types::Value::Bool(false))))
+                            | (CompareOp::Ne, Expr::Term(Term::Const(dr_types::Value::Bool(true))))
+                    )
+            };
+            if cycle_check(lhs, rhs) || cycle_check(rhs, lhs) {
+                return true;
+            }
+            // C < k or C <= k with a constant bound (either side).
+            let upper_bound = |var_side: &Expr, const_side: &Expr, op: CompareOp| -> bool {
+                matches!(var_side, Expr::Term(Term::Var(_)))
+                    && matches!(const_side, Expr::Term(Term::Const(_)))
+                    && matches!(op, CompareOp::Lt | CompareOp::Le)
+            };
+            upper_bound(lhs, rhs, *op)
+                || upper_bound(rhs, lhs, match op {
+                    CompareOp::Gt => CompareOp::Lt,
+                    CompareOp::Ge => CompareOp::Le,
+                    other => *other,
+                })
+        }
+        // f_size(P) / f_hops(P) bounded via assignment then comparison is
+        // covered by the comparison arm; nothing to do for other literals.
+        _ => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    const SAFE_REACHABILITY: &str = r#"
+        NR1: path(@S,D,P,C) :- link(@S,D,C), P = f_initPath(S,D).
+        NR2: path(@S,D,P,C) :- link(@S,Z,C1), path(@Z,D,P2,C2),
+             C = C1 + C2, P = f_prepend(S,P2), f_inPath(P2,S) = false.
+    "#;
+
+    const UNSAFE_REACHABILITY: &str = r#"
+        NR1: path(@S,D,P,C) :- link(@S,D,C), P = f_initPath(S,D).
+        NR2: path(@S,D,P,C) :- link(@S,Z,C1), path(@Z,D,P2,C2),
+             C = C1 + C2, P = f_prepend(S,P2).
+    "#;
+
+    #[test]
+    fn paper_example_with_cycle_check_is_safe() {
+        let report = check_safety(&parse_program(SAFE_REACHABILITY).unwrap());
+        assert!(report.range_restricted);
+        assert!(report.terminating);
+        assert!(report.is_safe());
+        assert!(!report.polynomial_core); // uses f_* functions
+    }
+
+    #[test]
+    fn paper_example_without_cycle_check_is_flagged() {
+        // §6: "This query has a rule NR2 that recurse infinitely ...
+        // However, with the addition of the boolean function f_inPath ...
+        // the query is safe."
+        let report = check_safety(&parse_program(UNSAFE_REACHABILITY).unwrap());
+        assert!(!report.terminating);
+        assert!(!report.is_safe());
+        assert!(report
+            .rule_findings
+            .iter()
+            .any(|f| f.kind == FindingKind::UnboundedRecursion && f.rule == "NR2"));
+    }
+
+    #[test]
+    fn cost_upper_bound_also_terminates() {
+        let src = r#"
+            DV1: path(@S,D,D,C) :- link(@S,D,C).
+            DV2: path(@S,D,Z,C) :- link(@S,Z,C1), path(@Z,D,W,C2), C = C1 + C2, C < 16.
+        "#;
+        let report = check_safety(&parse_program(src).unwrap());
+        assert!(report.terminating);
+        // reversed comparison also counts
+        let src2 = r#"
+            DV1: path(@S,D,D,C) :- link(@S,D,C).
+            DV2: path(@S,D,Z,C) :- link(@S,Z,C1), path(@Z,D,W,C2), C = C1 + C2, 16 > C.
+        "#;
+        assert!(check_safety(&parse_program(src2).unwrap()).terminating);
+    }
+
+    #[test]
+    fn pure_core_program_is_polynomial() {
+        let src = r#"
+            r1: reachable(@S,D) :- link(@S,D,C).
+            r2: reachable(@S,D) :- link(@S,Z,C), reachable(@Z,D).
+        "#;
+        let report = check_safety(&parse_program(src).unwrap());
+        assert!(report.polynomial_core);
+        assert!(report.terminating);
+        assert!(report.is_safe());
+        assert!(report.issues.is_empty());
+    }
+
+    #[test]
+    fn unbound_head_variable_is_reported() {
+        let src = "r1: out(@X,Y) :- q(@X).";
+        let report = check_safety(&parse_program(src).unwrap());
+        assert!(!report.range_restricted);
+        assert!(!report.is_safe());
+        assert!(report
+            .rule_findings
+            .iter()
+            .any(|f| f.kind == FindingKind::UnboundHeadVariable));
+    }
+
+    #[test]
+    fn unbound_constraint_variable_is_reported() {
+        let src = "r1: out(@X) :- q(@X), Y < 3.";
+        let report = check_safety(&parse_program(src).unwrap());
+        assert!(!report.range_restricted);
+        assert!(report
+            .rule_findings
+            .iter()
+            .any(|f| f.kind == FindingKind::UnboundBodyVariable));
+    }
+
+    #[test]
+    fn mutual_recursion_is_detected() {
+        // p and q grow a path through each other without any bound.
+        let src = r#"
+            r1: p(@S,P) :- base(@S,P).
+            r2: p(@S,P) :- q(@S,P1), P = f_append(P1,S).
+            r3: q(@S,P) :- p(@S,P1), P = f_append(P1,S).
+        "#;
+        let report = check_safety(&parse_program(src).unwrap());
+        assert!(!report.terminating);
+    }
+
+    #[test]
+    fn nonrecursive_growth_is_fine() {
+        // Growing a path once in a non-recursive rule terminates trivially.
+        let src = "r1: twohop(@S,D,P) :- link(@S,Z,C1), link(@Z,D,C2), P = f_initPath(S,D).";
+        let report = check_safety(&parse_program(src).unwrap());
+        assert!(report.terminating);
+        assert!(report.is_safe());
+    }
+
+    #[test]
+    fn aggregate_head_variables_must_be_bound() {
+        let src = "r1: best(@S,min<C>) :- q(@S).";
+        let report = check_safety(&parse_program(src).unwrap());
+        assert!(!report.range_restricted);
+    }
+
+    #[test]
+    fn display_summarises_findings() {
+        let report = check_safety(&parse_program(UNSAFE_REACHABILITY).unwrap());
+        let text = report.to_string();
+        assert!(text.contains("terminating=false"));
+        assert!(text.contains("NR2"));
+    }
+}

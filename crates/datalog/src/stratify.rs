@@ -1,0 +1,228 @@
+//! Stratification of programs with negation and aggregation.
+//!
+//! Negated body atoms and aggregate heads are non-monotonic: they may only
+//! read relations that are *completely* evaluated. We therefore assign every
+//! relation to a stratum so that
+//!
+//! * positive dependencies stay within the same or a lower stratum, and
+//! * negative/aggregate dependencies come from a strictly lower stratum.
+//!
+//! Programs that need a relation to depend negatively on itself (directly or
+//! through a cycle) are rejected — they have no stratified model.
+
+use crate::ast::{Literal, Program};
+use dr_types::{Error, Result};
+use std::collections::BTreeMap;
+
+/// A stratification: relation → stratum index, plus the rule evaluation
+/// order grouped by stratum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stratification {
+    /// Stratum of every relation mentioned in the program.
+    pub relation_stratum: BTreeMap<String, usize>,
+    /// For each stratum, the indices (into `program.rules`) of the rules
+    /// whose head belongs to that stratum.
+    pub strata_rules: Vec<Vec<usize>>,
+}
+
+impl Stratification {
+    /// Number of strata.
+    pub fn num_strata(&self) -> usize {
+        self.strata_rules.len()
+    }
+
+    /// Stratum of a relation (base relations default to stratum 0).
+    pub fn stratum_of(&self, relation: &str) -> usize {
+        self.relation_stratum.get(relation).copied().unwrap_or(0)
+    }
+}
+
+/// Dependency edge polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Polarity {
+    Positive,
+    /// Negated atom or aggregate head: requires a strictly lower stratum.
+    Negative,
+}
+
+/// Compute a stratification for `program`, or an error when the program is
+/// not stratifiable.
+pub fn stratify(program: &Program) -> Result<Stratification> {
+    // Collect dependency edges: (body_rel, head_rel, polarity).
+    let mut edges: Vec<(String, String, Polarity)> = Vec::new();
+    for rule in &program.rules {
+        let head = rule.head.relation.clone();
+        let head_is_agg = rule.head.has_aggregate();
+        for lit in &rule.body {
+            match lit {
+                Literal::Atom(a) => {
+                    let pol = if head_is_agg { Polarity::Negative } else { Polarity::Positive };
+                    edges.push((a.relation.clone(), head.clone(), pol));
+                }
+                Literal::NegAtom(a) => {
+                    edges.push((a.relation.clone(), head.clone(), Polarity::Negative));
+                }
+                Literal::Compare { .. } | Literal::Assign { .. } => {}
+            }
+        }
+    }
+
+    // Initialise every mentioned relation at stratum 0.
+    let mut stratum: BTreeMap<String, usize> = BTreeMap::new();
+    for rel in program.all_relations() {
+        stratum.insert(rel.to_string(), 0);
+    }
+
+    // Bellman-Ford style relaxation. With R relations, any valid
+    // stratification needs at most R strata; more iterations imply a
+    // negative cycle (not stratifiable).
+    let max_rounds = stratum.len() + 1;
+    for round in 0..=max_rounds {
+        let mut changed = false;
+        for (body, head, pol) in &edges {
+            let b = *stratum.get(body).unwrap_or(&0);
+            let needed = match pol {
+                Polarity::Positive => b,
+                Polarity::Negative => b + 1,
+            };
+            let h = stratum.entry(head.clone()).or_insert(0);
+            if *h < needed {
+                *h = needed;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        if round == max_rounds {
+            return Err(Error::safety(
+                "program is not stratifiable: a relation depends negatively on itself \
+                 (through negation or aggregation)",
+            ));
+        }
+    }
+
+    let max_stratum = stratum.values().copied().max().unwrap_or(0);
+    let mut strata_rules: Vec<Vec<usize>> = vec![Vec::new(); max_stratum + 1];
+    for (i, rule) in program.rules.iter().enumerate() {
+        let s = *stratum.get(&rule.head.relation).unwrap_or(&0);
+        strata_rules[s].push(i);
+    }
+
+    Ok(Stratification { relation_stratum: stratum, strata_rules })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn positive_recursion_is_single_stratum() {
+        let p = parse_program(
+            r#"
+            NR1: path(@S,D,C) :- link(@S,D,C).
+            NR2: path(@S,D,C) :- link(@S,Z,C1), path(@Z,D,C2), C = C1 + C2.
+            "#,
+        )
+        .unwrap();
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.num_strata(), 1);
+        assert_eq!(s.stratum_of("path"), 0);
+        assert_eq!(s.stratum_of("link"), 0);
+        assert_eq!(s.strata_rules[0].len(), 2);
+    }
+
+    #[test]
+    fn aggregates_get_a_higher_stratum() {
+        let p = parse_program(
+            r#"
+            NR1: path(@S,D,C) :- link(@S,D,C).
+            NR2: path(@S,D,C) :- link(@S,Z,C1), path(@Z,D,C2), C = C1 + C2.
+            BPR1: bestPathCost(@S,D,min<C>) :- path(@S,D,C).
+            BPR2: bestPath(@S,D,C) :- bestPathCost(@S,D,C), path(@S,D,C).
+            "#,
+        )
+        .unwrap();
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.stratum_of("path"), 0);
+        assert_eq!(s.stratum_of("bestPathCost"), 1);
+        assert_eq!(s.stratum_of("bestPath"), 1);
+        assert_eq!(s.num_strata(), 2);
+        // rules NR1, NR2 in stratum 0; BPR1, BPR2 in stratum 1
+        assert_eq!(s.strata_rules[0], vec![0, 1]);
+        assert_eq!(s.strata_rules[1], vec![2, 3]);
+    }
+
+    #[test]
+    fn negation_forces_strictly_lower_stratum() {
+        let p = parse_program(
+            r#"
+            r1: reachable(@S,D) :- link(@S,D,C).
+            r2: reachable(@S,D) :- link(@S,Z,C), reachable(@Z,D).
+            r3: unreachable(@S,D) :- node(@S), node(@D), !reachable(@S,D).
+            "#,
+        )
+        .unwrap();
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.stratum_of("reachable"), 0);
+        assert_eq!(s.stratum_of("unreachable"), 1);
+    }
+
+    #[test]
+    fn negative_self_dependency_is_rejected() {
+        let p = parse_program("r1: p(@X) :- q(@X), !p(@X).").unwrap();
+        assert!(stratify(&p).is_err());
+    }
+
+    #[test]
+    fn negative_cycle_through_two_relations_is_rejected() {
+        let p = parse_program(
+            r#"
+            r1: p(@X) :- q(@X), !r(@X).
+            r2: r(@X) :- q(@X), !p(@X).
+            "#,
+        )
+        .unwrap();
+        assert!(stratify(&p).is_err());
+    }
+
+    #[test]
+    fn aggregate_over_own_output_is_rejected() {
+        // shortest(@S,D,min<C>) depends on itself through path2 — not stratifiable.
+        let p = parse_program(
+            r#"
+            r1: shortest(@S,D,min<C>) :- path2(@S,D,C).
+            r2: path2(@S,D,C) :- shortest(@S,D,C).
+            "#,
+        )
+        .unwrap();
+        assert!(stratify(&p).is_err());
+    }
+
+    #[test]
+    fn chained_aggregates_stack_strata() {
+        let p = parse_program(
+            r#"
+            r1: a(@X,min<C>) :- base(@X,C).
+            r2: b(@X,min<C>) :- a(@X,C).
+            r3: c(@X,min<C>) :- b(@X,C).
+            "#,
+        )
+        .unwrap();
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.stratum_of("a"), 1);
+        assert_eq!(s.stratum_of("b"), 2);
+        assert_eq!(s.stratum_of("c"), 3);
+        assert_eq!(s.num_strata(), 4);
+        assert!(s.strata_rules[0].is_empty());
+    }
+
+    #[test]
+    fn base_relations_default_to_stratum_zero() {
+        let p = parse_program("r1: p(@X) :- q(@X).").unwrap();
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.stratum_of("q"), 0);
+        assert_eq!(s.stratum_of("unknown_relation"), 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # dr-netsim
+//!
+//! A deterministic discrete-event network simulator: the substrate on which
+//! both the declarative query processors (`dr-core`) and the hand-coded
+//! baseline protocols (`dr-baselines`) run.
+//!
+//! The paper evaluates its system in two environments: an event-driven
+//! simulator "that simulates bandwidth and latency bottlenecks" over GT-ITM
+//! transit-stub topologies (§9.1), and a PlanetLab deployment (§9.2). This
+//! crate reproduces the first directly and provides the substitution for the
+//! second (an emulated overlay whose link RTTs fluctuate and whose nodes
+//! churn — see `dr-workloads`).
+//!
+//! Key pieces:
+//! * [`SimTime`] / [`SimDuration`] — microsecond-resolution simulated time.
+//! * [`Topology`] — the directed graph of nodes and links with per-link
+//!   latency, bandwidth and application-level cost.
+//! * [`Simulator`] — the event loop: message delivery with latency +
+//!   transmission delay + FIFO link queuing, timers, link-metric updates,
+//!   node failure and rejoin.
+//! * [`NodeApp`] — the trait a per-node protocol implementation provides.
+//! * [`Metrics`] — per-node byte/message accounting and time-bucketed
+//!   bandwidth series (the paper's "per-node communication overhead").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod sim;
+pub mod time;
+pub mod topology;
+
+pub use metrics::Metrics;
+pub use sim::{Context, LinkEvent, NodeApp, SimConfig, Simulator};
+pub use time::{SimDuration, SimTime};
+pub use topology::{LinkParams, Topology};

@@ -1,0 +1,225 @@
+//! Measurement of communication overhead.
+//!
+//! The paper's two simulation metrics are *convergence latency* and
+//! *per-node communication overhead* ("the number of KB transferred on
+//! average per node during the query execution", §9.1); its PlanetLab
+//! experiments additionally plot *bandwidth per node over time* (Fig. 11).
+//! [`Metrics`] supports all three: per-node totals, and a time-bucketed
+//! series of bytes sent.
+
+use crate::time::{SimDuration, SimTime};
+use dr_types::NodeId;
+use std::collections::BTreeMap;
+
+/// Byte and message accounting for a simulation run.
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    bytes_sent: Vec<u64>,
+    messages_sent: Vec<u64>,
+    messages_dropped: u64,
+    bucket_width: SimDuration,
+    /// bucket index → total bytes sent by all nodes during that bucket.
+    bytes_per_bucket: BTreeMap<u64, u64>,
+}
+
+impl Metrics {
+    /// Create metrics for `num_nodes` nodes with the given bandwidth-series
+    /// bucket width.
+    pub fn new(num_nodes: usize, bucket_width: SimDuration) -> Metrics {
+        Metrics {
+            bytes_sent: vec![0; num_nodes],
+            messages_sent: vec![0; num_nodes],
+            messages_dropped: 0,
+            bucket_width: if bucket_width == SimDuration::ZERO {
+                SimDuration::from_secs(1)
+            } else {
+                bucket_width
+            },
+            bytes_per_bucket: BTreeMap::new(),
+        }
+    }
+
+    /// Record that `from` sent `bytes` at `time`.
+    pub fn record_send(&mut self, time: SimTime, from: NodeId, bytes: usize) {
+        if let Some(slot) = self.bytes_sent.get_mut(from.index()) {
+            *slot += bytes as u64;
+        }
+        if let Some(slot) = self.messages_sent.get_mut(from.index()) {
+            *slot += 1;
+        }
+        let bucket = time.as_micros() / self.bucket_width.as_micros();
+        *self.bytes_per_bucket.entry(bucket).or_insert(0) += bytes as u64;
+    }
+
+    /// Record a message that was dropped (dead link or failed destination).
+    pub fn record_drop(&mut self) {
+        self.messages_dropped += 1;
+    }
+
+    /// Total bytes sent by one node.
+    pub fn bytes_sent_by(&self, node: NodeId) -> u64 {
+        self.bytes_sent.get(node.index()).copied().unwrap_or(0)
+    }
+
+    /// Total messages sent by one node.
+    pub fn messages_sent_by(&self, node: NodeId) -> u64 {
+        self.messages_sent.get(node.index()).copied().unwrap_or(0)
+    }
+
+    /// Total bytes sent across all nodes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_sent.iter().sum()
+    }
+
+    /// Total messages sent across all nodes.
+    pub fn total_messages(&self) -> u64 {
+        self.messages_sent.iter().sum()
+    }
+
+    /// Messages dropped.
+    pub fn dropped_messages(&self) -> u64 {
+        self.messages_dropped
+    }
+
+    /// The paper's per-node communication overhead, in kilobytes: average
+    /// bytes sent per node / 1024.
+    pub fn per_node_overhead_kb(&self) -> f64 {
+        if self.bytes_sent.is_empty() {
+            return 0.0;
+        }
+        self.total_bytes() as f64 / self.bytes_sent.len() as f64 / 1024.0
+    }
+
+    /// Per-node bandwidth series: (bucket start time, bytes per second per
+    /// node during the bucket). Empty buckets are omitted.
+    pub fn per_node_bandwidth_series(&self) -> Vec<(SimTime, f64)> {
+        let nodes = self.bytes_sent.len().max(1) as f64;
+        let width_s = self.bucket_width.as_secs_f64();
+        self.bytes_per_bucket
+            .iter()
+            .map(|(bucket, bytes)| {
+                let start = SimTime::from_micros(bucket * self.bucket_width.as_micros());
+                (start, *bytes as f64 / nodes / width_s)
+            })
+            .collect()
+    }
+
+    /// Bytes sent across all nodes between two instants (bucket resolution:
+    /// buckets whose start lies in `[from, to)` are counted).
+    pub fn bytes_between(&self, from: SimTime, to: SimTime) -> u64 {
+        self.bytes_per_bucket
+            .iter()
+            .filter(|(bucket, _)| {
+                let start = **bucket * self.bucket_width.as_micros();
+                start >= from.as_micros() && start < to.as_micros()
+            })
+            .map(|(_, b)| *b)
+            .sum()
+    }
+
+    /// Reset byte/message counters (used between experiment phases that share
+    /// one simulator instance).
+    pub fn reset(&mut self) {
+        for b in &mut self.bytes_sent {
+            *b = 0;
+        }
+        for m in &mut self.messages_sent {
+            *m = 0;
+        }
+        self.messages_dropped = 0;
+        self.bytes_per_bucket.clear();
+    }
+
+    /// Number of nodes being tracked.
+    pub fn num_nodes(&self) -> usize {
+        self.bytes_sent.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn records_per_node_totals() {
+        let mut m = Metrics::new(3, SimDuration::from_secs(1));
+        m.record_send(SimTime::from_millis(100), n(0), 1000);
+        m.record_send(SimTime::from_millis(200), n(0), 500);
+        m.record_send(SimTime::from_millis(300), n(1), 2000);
+        assert_eq!(m.bytes_sent_by(n(0)), 1500);
+        assert_eq!(m.bytes_sent_by(n(1)), 2000);
+        assert_eq!(m.bytes_sent_by(n(2)), 0);
+        assert_eq!(m.messages_sent_by(n(0)), 2);
+        assert_eq!(m.total_bytes(), 3500);
+        assert_eq!(m.total_messages(), 3);
+        assert_eq!(m.num_nodes(), 3);
+    }
+
+    #[test]
+    fn per_node_overhead_matches_definition() {
+        let mut m = Metrics::new(4, SimDuration::from_secs(1));
+        m.record_send(SimTime::ZERO, n(0), 4096);
+        m.record_send(SimTime::ZERO, n(1), 4096);
+        // (4096 + 4096) / 4 nodes / 1024 = 2 KB
+        assert!((m.per_node_overhead_kb() - 2.0).abs() < 1e-9);
+        assert_eq!(Metrics::new(0, SimDuration::from_secs(1)).per_node_overhead_kb(), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_series_buckets_by_time() {
+        let mut m = Metrics::new(2, SimDuration::from_secs(1));
+        m.record_send(SimTime::from_millis(100), n(0), 1000);
+        m.record_send(SimTime::from_millis(900), n(1), 1000);
+        m.record_send(SimTime::from_millis(1500), n(0), 4000);
+        let series = m.per_node_bandwidth_series();
+        assert_eq!(series.len(), 2);
+        // bucket 0: 2000 bytes / 2 nodes / 1s = 1000 B/s
+        assert_eq!(series[0].0, SimTime::ZERO);
+        assert!((series[0].1 - 1000.0).abs() < 1e-9);
+        // bucket 1: 4000 / 2 / 1 = 2000 B/s
+        assert_eq!(series[1].0, SimTime::from_secs(1));
+        assert!((series[1].1 - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bytes_between_uses_bucket_starts() {
+        let mut m = Metrics::new(1, SimDuration::from_secs(1));
+        m.record_send(SimTime::from_millis(500), n(0), 100);
+        m.record_send(SimTime::from_millis(2500), n(0), 200);
+        assert_eq!(m.bytes_between(SimTime::ZERO, SimTime::from_secs(1)), 100);
+        assert_eq!(m.bytes_between(SimTime::from_secs(2), SimTime::from_secs(3)), 200);
+        assert_eq!(m.bytes_between(SimTime::ZERO, SimTime::from_secs(10)), 300);
+    }
+
+    #[test]
+    fn drops_and_reset() {
+        let mut m = Metrics::new(2, SimDuration::from_secs(1));
+        m.record_send(SimTime::ZERO, n(0), 10);
+        m.record_drop();
+        assert_eq!(m.dropped_messages(), 1);
+        m.reset();
+        assert_eq!(m.total_bytes(), 0);
+        assert_eq!(m.total_messages(), 0);
+        assert_eq!(m.dropped_messages(), 0);
+        assert!(m.per_node_bandwidth_series().is_empty());
+    }
+
+    #[test]
+    fn zero_bucket_width_is_normalised() {
+        let m = Metrics::new(1, SimDuration::ZERO);
+        // does not panic and produces sane series
+        assert!(m.per_node_bandwidth_series().is_empty());
+    }
+
+    #[test]
+    fn out_of_range_node_is_ignored() {
+        let mut m = Metrics::new(1, SimDuration::from_secs(1));
+        m.record_send(SimTime::ZERO, n(5), 10);
+        assert_eq!(m.total_bytes(), 0);
+        assert_eq!(m.bytes_sent_by(n(5)), 0);
+    }
+}

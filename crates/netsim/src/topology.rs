@@ -1,0 +1,363 @@
+//! Network topology: nodes, links and their parameters.
+//!
+//! A [`Topology`] is a directed graph. Undirected networks (every topology in
+//! the paper) are represented by inserting both directions with
+//! [`Topology::add_bidirectional`]. Each link carries a propagation latency,
+//! a bandwidth, and an application-level cost (the metric routing queries
+//! optimise — by default the latency in milliseconds).
+
+use crate::time::SimDuration;
+use dr_types::{Cost, NodeId};
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// Parameters of one directed link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkParams {
+    /// One-way propagation latency.
+    pub latency: SimDuration,
+    /// Bandwidth in bytes per second (used for transmission delay and the
+    /// FIFO queueing model).
+    pub bandwidth_bps: f64,
+    /// Application-level cost of the link (the routing metric).
+    pub cost: Cost,
+}
+
+impl LinkParams {
+    /// A link with the given latency in milliseconds, 10 Mbps bandwidth (the
+    /// paper's per-node capacity) and cost equal to the latency.
+    pub fn with_latency_ms(ms: f64) -> LinkParams {
+        LinkParams {
+            latency: SimDuration::from_millis_f64(ms),
+            bandwidth_bps: 10_000_000.0 / 8.0, // 10 Mbps in bytes/s
+            cost: Cost::new(ms),
+        }
+    }
+
+    /// Same link with a different routing cost.
+    pub fn with_cost(mut self, cost: Cost) -> LinkParams {
+        self.cost = cost;
+        self
+    }
+
+    /// Same link with a different bandwidth (bytes per second).
+    pub fn with_bandwidth_bps(mut self, bps: f64) -> LinkParams {
+        self.bandwidth_bps = bps;
+        self
+    }
+}
+
+impl Default for LinkParams {
+    fn default() -> Self {
+        LinkParams::with_latency_ms(1.0)
+    }
+}
+
+/// A directed graph with per-link parameters.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    num_nodes: usize,
+    /// adjacency: source → (destination → params)
+    links: BTreeMap<NodeId, BTreeMap<NodeId, LinkParams>>,
+}
+
+impl Topology {
+    /// An empty topology with `num_nodes` nodes and no links.
+    pub fn new(num_nodes: usize) -> Topology {
+        Topology { num_nodes, links: BTreeMap::new() }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes as u32).map(NodeId::new)
+    }
+
+    /// Number of directed links.
+    pub fn num_links(&self) -> usize {
+        self.links.values().map(|m| m.len()).sum()
+    }
+
+    /// Add (or replace) a directed link.
+    pub fn add_link(&mut self, from: NodeId, to: NodeId, params: LinkParams) {
+        if from.index() >= self.num_nodes || to.index() >= self.num_nodes {
+            self.num_nodes = self.num_nodes.max(from.index().max(to.index()) + 1);
+        }
+        self.links.entry(from).or_default().insert(to, params);
+    }
+
+    /// Add both directions of an undirected link.
+    pub fn add_bidirectional(&mut self, a: NodeId, b: NodeId, params: LinkParams) {
+        self.add_link(a, b, params);
+        self.add_link(b, a, params);
+    }
+
+    /// The parameters of the directed link `from → to`, if present.
+    pub fn link(&self, from: NodeId, to: NodeId) -> Option<&LinkParams> {
+        self.links.get(&from).and_then(|m| m.get(&to))
+    }
+
+    /// Mutable access to a directed link's parameters.
+    pub fn link_mut(&mut self, from: NodeId, to: NodeId) -> Option<&mut LinkParams> {
+        self.links.get_mut(&from).and_then(|m| m.get_mut(&to))
+    }
+
+    /// True when the directed link exists.
+    pub fn has_link(&self, from: NodeId, to: NodeId) -> bool {
+        self.link(from, to).is_some()
+    }
+
+    /// The out-neighbors of a node with link parameters.
+    pub fn neighbors(&self, node: NodeId) -> Vec<(NodeId, LinkParams)> {
+        self.links
+            .get(&node)
+            .map(|m| m.iter().map(|(d, p)| (*d, *p)).collect())
+            .unwrap_or_default()
+    }
+
+    /// The out-degree of a node.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.links.get(&node).map(|m| m.len()).unwrap_or(0)
+    }
+
+    /// Average out-degree across all nodes.
+    pub fn average_degree(&self) -> f64 {
+        if self.num_nodes == 0 {
+            return 0.0;
+        }
+        self.num_links() as f64 / self.num_nodes as f64
+    }
+
+    /// Single-source shortest-path latencies (Dijkstra over link latency in
+    /// milliseconds). Unreachable nodes are absent from the result.
+    pub fn latency_distances(&self, source: NodeId) -> BTreeMap<NodeId, f64> {
+        self.dijkstra(source, |p| p.latency.as_millis_f64())
+    }
+
+    /// Single-source shortest-path costs (Dijkstra over the `cost` metric).
+    pub fn cost_distances(&self, source: NodeId) -> BTreeMap<NodeId, f64> {
+        self.dijkstra(source, |p| p.cost.value())
+    }
+
+    fn dijkstra(&self, source: NodeId, weight: impl Fn(&LinkParams) -> f64) -> BTreeMap<NodeId, f64> {
+        use std::cmp::Reverse;
+        #[derive(PartialEq)]
+        struct Entry(f64, NodeId);
+        impl Eq for Entry {}
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+            }
+        }
+
+        let mut dist: BTreeMap<NodeId, f64> = BTreeMap::new();
+        let mut heap = BinaryHeap::new();
+        dist.insert(source, 0.0);
+        heap.push(Reverse(Entry(0.0, source)));
+        while let Some(Reverse(Entry(d, node))) = heap.pop() {
+            if dist.get(&node).map(|&cur| d > cur).unwrap_or(false) {
+                continue;
+            }
+            for (next, params) in self.neighbors(node) {
+                let w = weight(&params);
+                if !w.is_finite() {
+                    continue;
+                }
+                let nd = d + w;
+                if dist.get(&next).map(|&cur| nd < cur).unwrap_or(true) {
+                    dist.insert(next, nd);
+                    heap.push(Reverse(Entry(nd, next)));
+                }
+            }
+        }
+        dist
+    }
+
+    /// The network diameter measured as the largest finite shortest-path
+    /// latency between any pair of nodes, in milliseconds (the metric of the
+    /// paper's Figure 5).
+    pub fn diameter_latency_ms(&self) -> f64 {
+        let mut max = 0.0f64;
+        for src in self.nodes() {
+            for (_, d) in self.latency_distances(src) {
+                if d > max {
+                    max = d;
+                }
+            }
+        }
+        max
+    }
+
+    /// True when every node can reach every other node.
+    pub fn is_strongly_connected(&self) -> bool {
+        if self.num_nodes == 0 {
+            return true;
+        }
+        for src in self.nodes() {
+            if self.latency_distances(src).len() != self.num_nodes {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Average link latency in milliseconds across all directed links (the
+    /// paper's AvgLinkRTT is twice this for symmetric links when interpreted
+    /// as one-way latency; the workloads crate stores RTT/2 as latency so
+    /// this doubles back to RTT).
+    pub fn average_link_latency_ms(&self) -> f64 {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for m in self.links.values() {
+            for p in m.values() {
+                total += p.latency.as_millis_f64();
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+
+    /// Iterate over every directed link.
+    pub fn all_links(&self) -> impl Iterator<Item = (NodeId, NodeId, &LinkParams)> {
+        self.links
+            .iter()
+            .flat_map(|(s, m)| m.iter().map(move |(d, p)| (*s, *d, p)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn line_topology(k: usize, latency_ms: f64) -> Topology {
+        let mut t = Topology::new(k);
+        for i in 0..k - 1 {
+            t.add_bidirectional(n(i as u32), n(i as u32 + 1), LinkParams::with_latency_ms(latency_ms));
+        }
+        t
+    }
+
+    #[test]
+    fn add_and_query_links() {
+        let mut t = Topology::new(3);
+        t.add_link(n(0), n(1), LinkParams::with_latency_ms(5.0));
+        assert!(t.has_link(n(0), n(1)));
+        assert!(!t.has_link(n(1), n(0)));
+        t.add_bidirectional(n(1), n(2), LinkParams::with_latency_ms(2.0));
+        assert!(t.has_link(n(2), n(1)));
+        assert_eq!(t.num_links(), 3);
+        assert_eq!(t.degree(n(1)), 1);
+        assert_eq!(t.neighbors(n(1)).len(), 1);
+        assert_eq!(t.neighbors(n(9)).len(), 0);
+        assert!((t.average_degree() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adding_out_of_range_link_grows_node_count() {
+        let mut t = Topology::new(2);
+        t.add_link(n(0), n(5), LinkParams::default());
+        assert_eq!(t.num_nodes(), 6);
+    }
+
+    #[test]
+    fn link_params_builders() {
+        let p = LinkParams::with_latency_ms(10.0)
+            .with_cost(Cost::new(3.0))
+            .with_bandwidth_bps(1e6);
+        assert_eq!(p.latency, SimDuration::from_millis(10));
+        assert_eq!(p.cost, Cost::new(3.0));
+        assert_eq!(p.bandwidth_bps, 1e6);
+    }
+
+    #[test]
+    fn dijkstra_latency_distances() {
+        let t = line_topology(4, 10.0);
+        let d = t.latency_distances(n(0));
+        assert_eq!(d[&n(0)], 0.0);
+        assert_eq!(d[&n(1)], 10.0);
+        assert_eq!(d[&n(3)], 30.0);
+        // diameter of the line = 30 ms
+        assert_eq!(t.diameter_latency_ms(), 30.0);
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheaper_multi_hop_route() {
+        let mut t = Topology::new(3);
+        t.add_bidirectional(n(0), n(2), LinkParams::with_latency_ms(50.0));
+        t.add_bidirectional(n(0), n(1), LinkParams::with_latency_ms(10.0));
+        t.add_bidirectional(n(1), n(2), LinkParams::with_latency_ms(10.0));
+        let d = t.latency_distances(n(0));
+        assert_eq!(d[&n(2)], 20.0);
+    }
+
+    #[test]
+    fn cost_distances_use_cost_metric() {
+        let mut t = Topology::new(3);
+        // low latency but high cost direct link
+        t.add_bidirectional(
+            n(0),
+            n(2),
+            LinkParams::with_latency_ms(1.0).with_cost(Cost::new(100.0)),
+        );
+        t.add_bidirectional(n(0), n(1), LinkParams::with_latency_ms(10.0));
+        t.add_bidirectional(n(1), n(2), LinkParams::with_latency_ms(10.0));
+        let d = t.cost_distances(n(0));
+        assert_eq!(d[&n(2)], 20.0);
+        // infinite-cost links are skipped
+        let mut t2 = Topology::new(2);
+        t2.add_link(n(0), n(1), LinkParams::with_latency_ms(1.0).with_cost(Cost::INFINITY));
+        assert!(!t2.cost_distances(n(0)).contains_key(&n(1)));
+    }
+
+    #[test]
+    fn connectivity_detection() {
+        let t = line_topology(5, 1.0);
+        assert!(t.is_strongly_connected());
+        let mut t2 = Topology::new(4);
+        t2.add_bidirectional(n(0), n(1), LinkParams::default());
+        t2.add_bidirectional(n(2), n(3), LinkParams::default());
+        assert!(!t2.is_strongly_connected());
+        assert!(Topology::new(0).is_strongly_connected());
+    }
+
+    #[test]
+    fn average_link_latency() {
+        let mut t = Topology::new(3);
+        t.add_link(n(0), n(1), LinkParams::with_latency_ms(10.0));
+        t.add_link(n(1), n(2), LinkParams::with_latency_ms(20.0));
+        assert!((t.average_link_latency_ms() - 15.0).abs() < 1e-9);
+        assert_eq!(Topology::new(2).average_link_latency_ms(), 0.0);
+    }
+
+    #[test]
+    fn all_links_iterates_every_direction() {
+        let t = line_topology(3, 1.0);
+        assert_eq!(t.all_links().count(), 4);
+    }
+
+    #[test]
+    fn link_mut_updates_in_place() {
+        let mut t = line_topology(2, 1.0);
+        t.link_mut(n(0), n(1)).unwrap().cost = Cost::new(99.0);
+        assert_eq!(t.link(n(0), n(1)).unwrap().cost, Cost::new(99.0));
+        // the reverse direction is a separate link
+        assert_eq!(t.link(n(1), n(0)).unwrap().cost, Cost::new(1.0));
+        assert!(t.link_mut(n(0), n(9)).is_none());
+    }
+}

@@ -1,0 +1,197 @@
+//! The Best-Path query family of §5.1: all-pairs best paths under a
+//! pluggable metric, optional QoS bounds, and the continuous-query variant
+//! with the ∞-poisoning rule NR3 used for long-lived routes (§8).
+
+use crate::parse;
+use dr_datalog::ast::Program;
+
+/// The path metric a Best-Path query optimises (the paper's `f_compute` /
+/// `AGG` instantiations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathMetric {
+    /// Sum of link costs, minimised (shortest latency / RTT paths — the
+    /// metric of every evaluation experiment).
+    ShortestCost,
+    /// Number of hops, minimised.
+    HopCount,
+    /// Bottleneck (minimum) link capacity along the path, maximised
+    /// ("max-flow paths" in §7.3's merged-query example).
+    WidestPath,
+}
+
+/// The Best-Path query with the `ShortestCost` metric and the continuous
+/// maintenance rule NR3 — this is the query used by the paper's simulation
+/// and PlanetLab experiments (all-pairs shortest / shortest-RTT paths).
+pub fn best_path() -> Program {
+    best_path_for_metric(PathMetric::ShortestCost)
+}
+
+/// The Best-Path query for an arbitrary [`PathMetric`].
+pub fn best_path_for_metric(metric: PathMetric) -> Program {
+    let (compute, agg) = match metric {
+        PathMetric::ShortestCost => ("C = C1 + C2", "min"),
+        PathMetric::HopCount => ("C = f_hops(P)", "min"),
+        PathMetric::WidestPath => ("C = f_min(C1,C2)", "max"),
+    };
+    let one_hop_cost = match metric {
+        PathMetric::HopCount => "C = 1",
+        _ => "C = C0",
+    };
+    parse(&format!(
+        r#"
+        #key(link, 0, 1).
+        #key(path, 0, 1, 2).
+        #key(bestPathCost, 0, 1).
+        #key(bestPath, 0, 1).
+        NR1: path(@S,D,P,C) :- link(@S,D,C0), P = f_initPath(S,D), {one_hop_cost}.
+        NR2: path(@S,D,P,C) :- link(@S,Z,C1), path(@Z,D,P2,C2),
+             P = f_prepend(S,P2), {compute}, f_inPath(P2,S) = false.
+        NR3: path(@S,D,P,C) :- link(@S,W,C1), path(@S,D,P,C2),
+             f_inPath(P,W) = true, C1 = infinity, C = infinity.
+        BPR1: bestPathCost(@S,D,{agg}<C>) :- path(@S,D,P,C).
+        BPR2: bestPath(@S,D,P,C) :- bestPathCost(@S,D,C), path(@S,D,P,C).
+        Query: bestPath(@S,D,P,C).
+        "#
+    ))
+}
+
+/// Best-Path restricted to paths whose cost stays below `bound` — the QoS
+/// constraint of §5.1 ("we can restrict the set of paths to those with costs
+/// below a loss or latency threshold k by adding an extra constraint C<k").
+pub fn best_path_with_cost_bound(bound: f64) -> Program {
+    parse(&format!(
+        r#"
+        #key(link, 0, 1).
+        #key(path, 0, 1, 2).
+        #key(bestPathCost, 0, 1).
+        #key(bestPath, 0, 1).
+        NR1: path(@S,D,P,C) :- link(@S,D,C), P = f_initPath(S,D), C < {bound}.
+        NR2: path(@S,D,P,C) :- link(@S,Z,C1), path(@Z,D,P2,C2),
+             C = C1 + C2, P = f_prepend(S,P2), f_inPath(P2,S) = false, C < {bound}.
+        BPR1: bestPathCost(@S,D,min<C>) :- path(@S,D,P,C).
+        BPR2: bestPath(@S,D,P,C) :- bestPathCost(@S,D,C), path(@S,D,P,C).
+        Query: bestPath(@S,D,P,C).
+        "#
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_datalog::{Database, Evaluator};
+    use dr_types::{Cost, NodeId, Tuple, Value};
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn link(s: u32, d: u32, c: f64) -> Tuple {
+        Tuple::new("link", vec![Value::Node(n(s)), Value::Node(n(d)), Value::from(c)])
+    }
+
+    fn diamond(db: &mut Database) {
+        // 0 -> 1 -> 3 (cost 1 + 1), 0 -> 2 -> 3 (cost 5 + 1), 0 -> 3 direct (cost 10)
+        for (s, d, c) in [
+            (0, 1, 1.0),
+            (1, 0, 1.0),
+            (1, 3, 1.0),
+            (3, 1, 1.0),
+            (0, 2, 5.0),
+            (2, 0, 5.0),
+            (2, 3, 1.0),
+            (3, 2, 1.0),
+            (0, 3, 10.0),
+            (3, 0, 10.0),
+        ] {
+            db.insert(link(s, d, c));
+        }
+    }
+
+    fn best_cost(db: &Database, s: u32, d: u32) -> Option<f64> {
+        db.tuples("bestPathCost")
+            .into_iter()
+            .find(|t| t.node_at(0) == Some(n(s)) && t.node_at(1) == Some(n(d)))
+            .and_then(|t| t.field(2).and_then(Value::as_cost))
+            .map(Cost::value)
+    }
+
+    #[test]
+    fn shortest_cost_picks_cheapest_route() {
+        let mut db = Database::new();
+        diamond(&mut db);
+        Evaluator::new(best_path()).unwrap().run(&mut db).unwrap();
+        assert_eq!(best_cost(&db, 0, 3), Some(2.0));
+        assert_eq!(best_cost(&db, 2, 1), Some(2.0));
+        // best path tuple carries the matching vector
+        let bp = db
+            .tuples("bestPath")
+            .into_iter()
+            .find(|t| t.node_at(0) == Some(n(0)) && t.node_at(1) == Some(n(3)))
+            .unwrap();
+        let p = bp.field(2).and_then(Value::as_path).unwrap().clone();
+        assert_eq!(p.nodes(), &[n(0), n(1), n(3)]);
+    }
+
+    #[test]
+    fn hop_count_ignores_link_costs() {
+        let mut db = Database::new();
+        diamond(&mut db);
+        Evaluator::new(best_path_for_metric(PathMetric::HopCount))
+            .unwrap()
+            .run(&mut db)
+            .unwrap();
+        // Direct 0->3 is one hop, cheaper by hop count despite cost 10.
+        assert_eq!(best_cost(&db, 0, 3), Some(1.0));
+    }
+
+    #[test]
+    fn widest_path_maximises_bottleneck() {
+        let mut db = Database::new();
+        // 0->1->3 bottleneck 4; 0->3 direct capacity 2
+        for (s, d, c) in [(0, 1, 4.0), (1, 3, 5.0), (0, 3, 2.0)] {
+            db.insert(link(s, d, c));
+        }
+        Evaluator::new(best_path_for_metric(PathMetric::WidestPath))
+            .unwrap()
+            .run(&mut db)
+            .unwrap();
+        assert_eq!(best_cost(&db, 0, 3), Some(4.0));
+    }
+
+    #[test]
+    fn qos_bound_filters_expensive_paths() {
+        let mut db = Database::new();
+        diamond(&mut db);
+        Evaluator::new(best_path_with_cost_bound(4.0)).unwrap().run(&mut db).unwrap();
+        // 0->3 best (cost 2) is under the bound.
+        assert_eq!(best_cost(&db, 0, 3), Some(2.0));
+        // 0->2 direct costs 5 which exceeds the bound; the detour 0-1-3-2
+        // costs 3 and is admitted instead.
+        assert_eq!(best_cost(&db, 0, 2), Some(3.0));
+
+        let mut strict = Database::new();
+        diamond(&mut strict);
+        Evaluator::new(best_path_with_cost_bound(1.5)).unwrap().run(&mut strict).unwrap();
+        // Only unit-cost one-hop paths survive a 1.5 bound.
+        assert!(best_cost(&strict, 0, 3).is_none());
+        assert_eq!(best_cost(&strict, 0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn poisoning_rule_marks_paths_through_dead_links() {
+        let mut db = Database::new();
+        // 0 -> 1 -> 2 and the link 1->2 dead from the start.
+        db.insert(link(0, 1, 1.0));
+        db.insert(link(1, 2, 1.0));
+        Evaluator::new(best_path()).unwrap().run(&mut db).unwrap();
+        assert_eq!(best_cost(&db, 0, 2), Some(2.0));
+
+        // Re-run with the link poisoned: the path through it is ∞.
+        let mut db2 = Database::new();
+        db2.declare_key("link", vec![0, 1]);
+        db2.insert(link(0, 1, 1.0));
+        db2.insert(link(1, 2, f64::INFINITY));
+        Evaluator::new(best_path()).unwrap().run(&mut db2).unwrap();
+        assert_eq!(best_cost(&db2, 0, 2), Some(f64::INFINITY));
+    }
+}

@@ -1,0 +1,155 @@
+//! The Distance-Vector query of §3.6, with and without the split-horizon /
+//! poison-reverse fix for the count-to-infinity problem.
+//!
+//! The paper's DV rules keep only the next hop (`Z`) instead of the whole
+//! path vector, so they cannot use a cycle check for termination; instead we
+//! bound the admissible path cost (the classical "infinity" of RIP-style
+//! protocols — 16 hops), which is also what makes the query pass the §6
+//! termination analysis.
+
+use crate::parse;
+use dr_datalog::ast::Program;
+
+/// Rules DV1–DV4: next-hop routing state (`nextHop(@S,D,Z,C)`) for every
+/// pair, with `max_cost` playing the role of RIP's infinity.
+pub fn distance_vector(max_cost: f64) -> Program {
+    parse(&format!(
+        r#"
+        #key(link, 0, 1).
+        #key(nextHop, 0, 1).
+        #key(shortestCost, 0, 1).
+        DV1: path(@S,D,D,C) :- link(@S,D,C).
+        DV2: path(@S,D,Z,C) :- link(@S,Z,C1), path(@Z,D,W,C2),
+             C = C1 + C2, C < {max_cost}.
+        DV3: shortestCost(@S,D,min<C>) :- path(@S,D,Z,C).
+        DV4: nextHop(@S,D,Z,C) :- path(@S,D,Z,C), shortestCost(@S,D,C), S != D.
+        Query: nextHop(@S,D,Z,C).
+        "#
+    ))
+}
+
+/// The split-horizon with poison-reverse variant (rules DV2' and DV5):
+/// a node never advertises a route back to the neighbor it learned it from,
+/// and additionally poisons that reverse advertisement with infinite cost.
+pub fn distance_vector_poison_reverse(max_cost: f64) -> Program {
+    parse(&format!(
+        r#"
+        #key(link, 0, 1).
+        #key(nextHop, 0, 1).
+        #key(shortestCost, 0, 1).
+        DV1: path(@S,D,D,C) :- link(@S,D,C).
+        DV2: path(@S,D,Z,C) :- link(@S,Z,C1), path(@Z,D,W,C2),
+             C = C1 + C2, W != S, C < {max_cost}.
+        DV5: path(@S,D,Z,C) :- link(@S,Z,C1), path(@Z,D,S,C2), C = infinity.
+        DV3: shortestCost(@S,D,min<C>) :- path(@S,D,Z,C).
+        DV4: nextHop(@S,D,Z,C) :- path(@S,D,Z,C), shortestCost(@S,D,C), S != D.
+        Query: nextHop(@S,D,Z,C).
+        "#
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_datalog::{Database, Evaluator};
+    use dr_types::{Cost, NodeId, Tuple, Value};
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn link(s: u32, d: u32, c: f64) -> Tuple {
+        Tuple::new("link", vec![Value::Node(n(s)), Value::Node(n(d)), Value::from(c)])
+    }
+
+    fn line(db: &mut Database, costs: &[f64]) {
+        for (i, c) in costs.iter().enumerate() {
+            db.insert(link(i as u32, i as u32 + 1, *c));
+            db.insert(link(i as u32 + 1, i as u32, *c));
+        }
+    }
+
+    fn next_hop(db: &Database, s: u32, d: u32) -> Option<(NodeId, f64)> {
+        db.tuples("nextHop")
+            .into_iter()
+            .find(|t| t.node_at(0) == Some(n(s)) && t.node_at(1) == Some(n(d)))
+            .map(|t| {
+                (
+                    t.node_at(2).unwrap(),
+                    t.field(3).and_then(Value::as_cost).map(Cost::value).unwrap(),
+                )
+            })
+    }
+
+    #[test]
+    fn computes_next_hops_along_shortest_paths() {
+        let mut db = Database::new();
+        line(&mut db, &[1.0, 1.0, 1.0]);
+        Evaluator::new(distance_vector(16.0)).unwrap().run(&mut db).unwrap();
+        assert_eq!(next_hop(&db, 0, 3), Some((n(1), 3.0)));
+        assert_eq!(next_hop(&db, 3, 0), Some((n(2), 3.0)));
+        assert_eq!(next_hop(&db, 1, 2), Some((n(2), 1.0)));
+    }
+
+    #[test]
+    fn prefers_cheaper_multihop_route() {
+        let mut db = Database::new();
+        db.insert(link(0, 1, 1.0));
+        db.insert(link(1, 0, 1.0));
+        db.insert(link(1, 2, 1.0));
+        db.insert(link(2, 1, 1.0));
+        db.insert(link(0, 2, 5.0));
+        db.insert(link(2, 0, 5.0));
+        Evaluator::new(distance_vector(16.0)).unwrap().run(&mut db).unwrap();
+        assert_eq!(next_hop(&db, 0, 2), Some((n(1), 2.0)));
+    }
+
+    #[test]
+    fn max_cost_bounds_reachability() {
+        let mut db = Database::new();
+        line(&mut db, &[10.0, 10.0]);
+        Evaluator::new(distance_vector(16.0)).unwrap().run(&mut db).unwrap();
+        // 0 -> 2 would cost 20 ≥ 16: unreachable under this "infinity".
+        assert_eq!(next_hop(&db, 0, 2), None);
+        assert!(next_hop(&db, 0, 1).is_some());
+    }
+
+    #[test]
+    fn split_horizon_never_routes_back_through_the_learner() {
+        let mut db = Database::new();
+        line(&mut db, &[1.0, 1.0]);
+        Evaluator::new(distance_vector_poison_reverse(16.0))
+            .unwrap()
+            .run(&mut db)
+            .unwrap();
+        // Identical answers on a healthy network.
+        assert_eq!(next_hop(&db, 0, 2), Some((n(1), 2.0)));
+        // DV5 poison entries exist (infinite-cost advertisements back to the
+        // neighbor a route was learned from) but never win DV4.
+        let poisoned: Vec<Tuple> = db
+            .tuples("path")
+            .into_iter()
+            .filter(|t| {
+                t.field(3)
+                    .and_then(Value::as_cost)
+                    .map(|c| c.is_infinite())
+                    .unwrap_or(false)
+            })
+            .collect();
+        assert!(!poisoned.is_empty());
+        for t in db.tuples("nextHop") {
+            assert!(t.field(3).and_then(Value::as_cost).unwrap().is_finite());
+        }
+    }
+
+    #[test]
+    fn both_variants_agree_on_healthy_networks() {
+        let mut a = Database::new();
+        let mut b = Database::new();
+        line(&mut a, &[1.0, 2.0, 3.0]);
+        line(&mut b, &[1.0, 2.0, 3.0]);
+        Evaluator::new(distance_vector(32.0)).unwrap().run(&mut a).unwrap();
+        Evaluator::new(distance_vector_poison_reverse(32.0)).unwrap().run(&mut b).unwrap();
+        assert_eq!(a.sorted_tuples("nextHop"), b.sorted_tuples("nextHop"));
+    }
+}

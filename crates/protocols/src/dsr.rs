@@ -1,0 +1,93 @@
+//! Dynamic Source Routing (§5.3): the left-recursive twin of the
+//! Network-Reachability query.
+//!
+//! The paper's key observation is that DSR and the distance-vector style
+//! queries "differ only in a simple, traditional query optimization
+//! decision: the order in which a query's predicates are evaluated". Here
+//! the recursive `path` atom appears to the *left* of the `link` atom, so
+//! newly computed paths are shipped to their current endpoint to find the
+//! next link, exactly like DSR's route discovery.
+
+use crate::parse;
+use dr_datalog::ast::Program;
+
+/// Rules NR1 + DSR1 with the cycle check, plus best-path selection at the
+/// source (BPR1/BPR2) so the query produces the same result relation as
+/// [`crate::best_path`].
+pub fn dynamic_source_routing() -> Program {
+    parse(
+        r#"
+        #key(link, 0, 1).
+        #key(path, 0, 1, 2).
+        #key(bestPathCost, 0, 1).
+        #key(bestPath, 0, 1).
+        NR1: path(@S,D,P,C) :- link(@S,D,C), P = f_initPath(S,D).
+        DSR1: path(@S,D,P,C) :- path(@S,Z,P1,C1), link(@Z,D,C2),
+              C = C1 + C2, P = f_append(P1,D), f_inPath(P1,D) = false.
+        BPR1: bestPathCost(@S,D,min<C>) :- path(@S,D,P,C).
+        BPR2: bestPath(@S,D,P,C) :- bestPathCost(@S,D,C), path(@S,D,P,C).
+        Query: bestPath(@S,D,P,C).
+        "#,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::best_path::best_path;
+    use dr_datalog::rewrite::{recursion_direction, RecursionDirection};
+    use dr_datalog::{Database, Evaluator};
+    use dr_types::{NodeId, Tuple, Value};
+
+    fn link(s: u32, d: u32, c: f64) -> Tuple {
+        Tuple::new(
+            "link",
+            vec![
+                Value::Node(NodeId::new(s)),
+                Value::Node(NodeId::new(d)),
+                Value::from(c),
+            ],
+        )
+    }
+
+    #[test]
+    fn recursion_is_left() {
+        let p = dynamic_source_routing();
+        let dsr1 = p.rule("DSR1").unwrap();
+        assert_eq!(recursion_direction(dsr1), Some(RecursionDirection::Left));
+        // and the right-recursive twin is indeed right recursive
+        let bp = best_path();
+        assert_eq!(
+            recursion_direction(bp.rule("NR2").unwrap()),
+            Some(RecursionDirection::Right)
+        );
+    }
+
+    #[test]
+    fn agrees_with_right_recursive_best_path() {
+        // §5.3: "The query semantics do not change if we flip the order of
+        // path and link in the body of these rules."
+        let mut db_left = Database::new();
+        let mut db_right = Database::new();
+        for (s, d, c) in [
+            (0, 1, 1.0),
+            (1, 0, 1.0),
+            (1, 2, 2.0),
+            (2, 1, 2.0),
+            (0, 2, 5.0),
+            (2, 0, 5.0),
+            (2, 3, 1.0),
+            (3, 2, 1.0),
+        ] {
+            db_left.insert(link(s, d, c));
+            db_right.insert(link(s, d, c));
+        }
+        Evaluator::new(dynamic_source_routing()).unwrap().run(&mut db_left).unwrap();
+        Evaluator::new(best_path()).unwrap().run(&mut db_right).unwrap();
+        assert_eq!(
+            db_left.sorted_tuples("bestPathCost"),
+            db_right.sorted_tuples("bestPathCost")
+        );
+        assert_eq!(db_left.sorted_tuples("bestPath"), db_right.sorted_tuples("bestPath"));
+    }
+}

@@ -1,0 +1,119 @@
+//! The Link-State query of §5.4: flood every link to every node, then run a
+//! local best-path computation over the flooded link database.
+
+use crate::parse;
+use dr_datalog::ast::Program;
+
+/// Rules LS1/LS2 (link flooding) plus a local Dijkstra-equivalent expressed
+/// over the flooded `floodLink` tuples.
+///
+/// `floodLink(@M,S,D,C,N)` means: node `M` knows about the link `S→D` with
+/// cost `C`, and learned it from neighbor `N`. Rule LS2 forwards the tuple
+/// to all neighbors except the one it came from; Datalog's set semantics
+/// stop the flood ("duplicate tuples are not considered for computation
+/// twice").
+pub fn link_state() -> Program {
+    parse(
+        r#"
+        #key(link, 0, 1).
+        #key(lsPath, 0, 1, 2).
+        #key(lsBestCost, 0, 1).
+        #key(lsBest, 0, 1).
+        LS1: floodLink(@S,S,D,C,S) :- link(@S,D,C).
+        LS2: floodLink(@M,S,D,C,N) :- link(@N,M,C1), floodLink(@N,S,D,C,W), M != W.
+        // Local route computation over the flooded link database: every node
+        // M computes best paths from itself using only locally stored
+        // floodLink tuples (no further communication).
+        LSP1: lsPath(@M,D,P,C) :- floodLink(@M,M,D,C,W), P = f_initPath(M,D).
+        LSP2: lsPath(@M,D,P,C) :- lsPath(@M,Z,P1,C1), floodLink(@M,Z,D,C2,W2),
+              C = C1 + C2, P = f_append(P1,D), f_inPath(P1,D) = false.
+        LSB1: lsBestCost(@M,D,min<C>) :- lsPath(@M,D,P,C).
+        LSB2: lsBest(@M,D,P,C) :- lsBestCost(@M,D,C), lsPath(@M,D,P,C).
+        Query: lsBest(@M,D,P,C).
+        "#,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_datalog::{Database, Evaluator};
+    use dr_types::{Cost, NodeId, Tuple, Value};
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn link(s: u32, d: u32, c: f64) -> Tuple {
+        Tuple::new("link", vec![Value::Node(n(s)), Value::Node(n(d)), Value::from(c)])
+    }
+
+    #[test]
+    fn links_are_flooded_to_every_node() {
+        let mut db = Database::new();
+        // line 0-1-2-3
+        for i in 0..3u32 {
+            db.insert(link(i, i + 1, 1.0));
+            db.insert(link(i + 1, i, 1.0));
+        }
+        Evaluator::new(link_state()).unwrap().run(&mut db).unwrap();
+        // every node ends up knowing all 6 directed links
+        for node in 0..4u32 {
+            let known: Vec<Tuple> = db
+                .tuples("floodLink")
+                .into_iter()
+                .filter(|t| t.node_at(0) == Some(n(node)))
+                .collect();
+            let mut links: Vec<(NodeId, NodeId)> = known
+                .iter()
+                .map(|t| (t.node_at(1).unwrap(), t.node_at(2).unwrap()))
+                .collect();
+            links.sort();
+            links.dedup();
+            assert_eq!(links.len(), 6, "node {node} is missing flooded links");
+        }
+    }
+
+    #[test]
+    fn local_computation_yields_shortest_paths() {
+        let mut db = Database::new();
+        for (s, d, c) in [
+            (0, 1, 1.0),
+            (1, 0, 1.0),
+            (1, 2, 1.0),
+            (2, 1, 1.0),
+            (0, 2, 5.0),
+            (2, 0, 5.0),
+        ] {
+            db.insert(link(s, d, c));
+        }
+        Evaluator::new(link_state()).unwrap().run(&mut db).unwrap();
+        let best = db
+            .tuples("lsBest")
+            .into_iter()
+            .find(|t| t.node_at(0) == Some(n(0)) && t.node_at(1) == Some(n(2)))
+            .unwrap();
+        assert_eq!(best.field(3).and_then(Value::as_cost), Some(Cost::new(2.0)));
+        let p = best.field(2).and_then(Value::as_path).unwrap();
+        assert_eq!(p.nodes(), &[n(0), n(1), n(2)]);
+    }
+
+    #[test]
+    fn flood_does_not_bounce_back_to_sender() {
+        let mut db = Database::new();
+        db.insert(link(0, 1, 1.0));
+        db.insert(link(1, 0, 1.0));
+        Evaluator::new(link_state()).unwrap().run(&mut db).unwrap();
+        // floodLink at node 0 about link 1->0 learned from 1 exists, but no
+        // tuple where a node re-learns its own link from itself via the
+        // neighbor it sent it to (M != W guard).
+        for t in db.tuples("floodLink") {
+            let m = t.node_at(0).unwrap();
+            let learned_from = t.node_at(4).unwrap();
+            if m != learned_from {
+                assert_ne!(m, learned_from);
+            }
+        }
+        assert!(db.count("floodLink") >= 4);
+    }
+}

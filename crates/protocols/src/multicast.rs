@@ -1,0 +1,142 @@
+//! Source-Specific Multicast (§5.5): build a multicast dissemination tree
+//! from a root toward every subscriber by sending join messages along the
+//! subscribers' best paths to the root and installing forwarding state at
+//! every hop.
+
+use crate::parse;
+use dr_datalog::ast::Program;
+use dr_types::{NodeId, Tuple, Value};
+
+/// Rules M1–M3 layered over the Best-Path query (NR1/NR2/BPR1/BPR2).
+///
+/// Subscribers issue `joinGroup(@N, source, group)` facts (built with
+/// [`join_group_fact`]); the query sends `joinMessage` tuples hop by hop
+/// along each subscriber's best path toward `source` and materialises
+/// `forwardState(@I, J, source, group)` at every intermediate node `I`
+/// (forward packets of `group` to `J`).
+///
+/// The `source`/`group` arguments only document intent — the rules are
+/// generic and serve any number of groups at once; the per-issuance facts
+/// select the actual root and group id.
+pub fn source_specific_multicast(_source: NodeId, _group: &str) -> Program {
+    parse(
+        r#"
+        #key(link, 0, 1).
+        #key(path, 0, 1, 2).
+        #key(bestPathCost, 0, 1).
+        #key(bestPath, 0, 1).
+        #key(forwardState, 0, 1, 2, 3).
+        NR1: path(@S,D,P,C) :- link(@S,D,C), P = f_initPath(S,D).
+        NR2: path(@S,D,P,C) :- link(@S,Z,C1), path(@Z,D,P2,C2),
+             C = C1 + C2, P = f_prepend(S,P2), f_inPath(P2,S) = false.
+        BPR1: bestPathCost(@S,D,min<C>) :- path(@S,D,P,C).
+        BPR2: bestPath(@S,D,P,C) :- bestPathCost(@S,D,C), path(@S,D,P,C).
+        // M1: the subscriber N creates the first join message, addressed to
+        // the first hop I of its best path toward the source S; P is the
+        // remainder of that path (starting at I).
+        M1: joinMessage(@I,N,P,S,G) :- joinGroup(@N,S,G), bestPath(@N,S,P1,C),
+            P2 = f_tail(P1), I = f_head(P2), P = P2.
+        // M2: each intermediate node I forwards the join along the remaining
+        // path; J is the node the message came from.
+        M2: joinMessage(@I,J,P,S,G) :- joinMessage(@J,K,P1,S,G),
+            P2 = f_tail(P1), f_isEmpty(P2) = false, I = f_head(P2), P = P2.
+        // M3: receiving a join installs forwarding state: packets of group G
+        // from source S received at I are forwarded to J (toward the
+        // subscriber).
+        M3: forwardState(@I,J,S,G) :- joinMessage(@I,J,P,S,G).
+        Query: forwardState(@I,J,S,G).
+        "#,
+    )
+}
+
+/// Build a `joinGroup(@subscriber, source, group)` fact.
+pub fn join_group_fact(subscriber: NodeId, source: NodeId, group: &str) -> Tuple {
+    Tuple::new(
+        "joinGroup",
+        vec![Value::Node(subscriber), Value::Node(source), Value::str(group)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_datalog::{Database, Evaluator};
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn link(s: u32, d: u32, c: f64) -> Tuple {
+        Tuple::new("link", vec![Value::Node(n(s)), Value::Node(n(d)), Value::from(c)])
+    }
+
+    /// Star-ish tree: 0 - 1 - 2 and 1 - 3; source at 0, subscribers at 2, 3.
+    fn tree(db: &mut Database) {
+        for (s, d) in [(0, 1), (1, 2), (1, 3)] {
+            db.insert(link(s, d, 1.0));
+            db.insert(link(d, s, 1.0));
+        }
+    }
+
+    fn forward_state(db: &Database) -> Vec<(NodeId, NodeId)> {
+        let mut v: Vec<(NodeId, NodeId)> = db
+            .tuples("forwardState")
+            .into_iter()
+            .map(|t| (t.node_at(0).unwrap(), t.node_at(1).unwrap()))
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn builds_forwarding_tree_toward_subscribers() {
+        let mut db = Database::new();
+        tree(&mut db);
+        db.insert(join_group_fact(n(2), n(0), "g1"));
+        db.insert(join_group_fact(n(3), n(0), "g1"));
+        Evaluator::new(source_specific_multicast(n(0), "g1")).unwrap().run(&mut db).unwrap();
+
+        let fs = forward_state(&db);
+        // Join messages travel 2 -> 1 -> 0 and 3 -> 1 -> 0. Forwarding state:
+        // node 1 forwards to 2 and 3, node 0 forwards to 1.
+        assert!(fs.contains(&(n(1), n(2))), "state {fs:?}");
+        assert!(fs.contains(&(n(1), n(3))), "state {fs:?}");
+        assert!(fs.contains(&(n(0), n(1))), "state {fs:?}");
+        // No forwarding state installed at leaf subscribers.
+        assert!(!fs.iter().any(|(i, _)| *i == n(2) || *i == n(3)));
+    }
+
+    #[test]
+    fn group_ids_are_tracked() {
+        let mut db = Database::new();
+        tree(&mut db);
+        db.insert(join_group_fact(n(2), n(0), "blue"));
+        db.insert(join_group_fact(n(3), n(0), "red"));
+        Evaluator::new(source_specific_multicast(n(0), "any")).unwrap().run(&mut db).unwrap();
+        let blue: Vec<Tuple> = db
+            .tuples("forwardState")
+            .into_iter()
+            .filter(|t| t.field(3).and_then(Value::as_str) == Some("blue"))
+            .collect();
+        let red: Vec<Tuple> = db
+            .tuples("forwardState")
+            .into_iter()
+            .filter(|t| t.field(3).and_then(Value::as_str) == Some("red"))
+            .collect();
+        // blue tree reaches node 2 only, red tree node 3 only
+        assert!(blue.iter().any(|t| t.node_at(1) == Some(n(2))));
+        assert!(!blue.iter().any(|t| t.node_at(1) == Some(n(3))));
+        assert!(red.iter().any(|t| t.node_at(1) == Some(n(3))));
+        assert!(!red.iter().any(|t| t.node_at(1) == Some(n(2))));
+    }
+
+    #[test]
+    fn join_fact_shape() {
+        let f = join_group_fact(n(5), n(0), "gid");
+        assert_eq!(f.relation(), "joinGroup");
+        assert_eq!(f.node_at(0), Some(n(5)));
+        assert_eq!(f.node_at(1), Some(n(0)));
+        assert_eq!(f.field(2).and_then(Value::as_str), Some("gid"));
+    }
+}

@@ -1,0 +1,250 @@
+//! Source/destination route requests: the Best-Path-Pairs query of §7.2
+//! (magic sets + left-right recursion rewrite) and its work-sharing variant
+//! Best-Path-Pairs-Share of §7.3.
+//!
+//! These are the queries behind Figures 7–9: instead of computing all-pairs
+//! paths, each query computes the best path between one source and one
+//! destination. Following the paper's footnote 4, path tuples are stored at
+//! the *destination* of the partial path ("the optimal tuple placement
+//! strategy that minimizes communication overhead"), which makes every rule
+//! body local to one node; only head tuples travel, one hop at a time, and
+//! the final result is returned to the source along the reverse path.
+
+use crate::parse;
+use dr_datalog::ast::Program;
+use dr_types::{NodeId, Tuple, Value};
+
+/// The Best-Path-Pairs query (rules BPP1–BPP7): the best path from `source`
+/// to `destination`, computed with left recursion restricted by
+/// `magicSources` / `magicDsts` constants.
+///
+/// Issue with facts [`magic_source_fact`]`(source)` and
+/// [`magic_dst_fact`]`(destination)`; the result relation is
+/// `bestPathSrc(@S,D,P,C)`, stored at the source.
+pub fn best_path_pairs(source: NodeId, destination: NodeId) -> Program {
+    let mut program = parse(
+        r#"
+        #key(link, 0, 1).
+        #key(path, 0, 1, 2).
+        #key(pathCost, 0, 1).
+        #key(pathDst, 0, 1, 2).
+        #key(bestPathCost, 0, 1).
+        #key(bestPath, 0, 1).
+        #key(bestPathSrc, 0, 1).
+        BPP1: path(S,@D,P,C) :- magicSources(@S), link(@S,D,C), P = f_initPath(S,D).
+        BPP2: path(S,@D,P,C) :- path(S,@Z,P1,C1), link(@Z,D,C2),
+              C = C1 + C2, P = f_append(P1,D), f_inPath(P1,D) = false.
+        // Aggregate over partial paths: enables the aggregate-selection
+        // optimization (§7.1) to prune dominated partial paths during the
+        // left-recursive exploration.
+        BPPA: pathCost(S,@D,min<C>) :- path(S,@D,P,C).
+        BPP3: pathDst(S,@D,P,C) :- magicDsts(@D), path(S,@D,P,C).
+        BPP4: bestPathCost(S,@D,min<C>) :- pathDst(S,@D,P,C).
+        BPP5: bestPath(S,@D,P,C) :- bestPathCost(S,@D,C), pathDst(S,@D,P,C).
+        // "Two extra rules not shown" in the paper: return the result to the
+        // source along the reverse path.
+        BPP6: bestPathSrc(@S,D,P,C) :- bestPath(S,@D,P,C).
+        Query: bestPathSrc(@S,D,P,C).
+        "#,
+    );
+    program.rules.push(magic_fact_rule("magicSources", source));
+    program.rules.push(magic_fact_rule("magicDsts", destination));
+    program
+}
+
+/// The Best-Path-Pairs-Share query (§7.3): as [`best_path_pairs`], but the
+/// left-recursive exploration stops at nodes that already hold a cached best
+/// path to the destination (rule BPPS2 reuses the cache, rule BPPS1 explores
+/// only in its absence).
+///
+/// `cache_relation` names the cross-query cache table (use different names
+/// for different metrics so incomparable costs never mix). Issue with
+/// `share_results` enabled and `magicDsts` replicated so every node on the
+/// exploration frontier can check whether the destination is of interest.
+pub fn best_path_pairs_share(
+    source: NodeId,
+    destination: NodeId,
+    cache_relation: &str,
+) -> Program {
+    let mut program = parse(&format!(
+        r#"
+        #key(link, 0, 1).
+        #key(path, 0, 1, 2).
+        #key(pathCost, 0, 1).
+        #key(pathDst, 0, 1, 2).
+        #key(bestPathCost, 0, 1).
+        #key(bestPath, 0, 1).
+        #key(bestPathSrc, 0, 1).
+        #key({cache}, 0, 1).
+        BPP1: path(S,@D,P,C) :- magicSources(@S), link(@S,D,C), P = f_initPath(S,D).
+        // BPPS1: explore onward only when no cached best path to a
+        // destination of interest exists at the current node.
+        BPPS1: path(S,@D,P,C) :- magicDsts(@D3), path(S,@Z,P1,C1), link(@Z,D,C2),
+               !{cache}(@Z,D3,P3,C3),
+               C = C1 + C2, P = f_append(P1,D), f_inPath(P1,D) = false.
+        // BPPS2: splice the cached remainder onto the partial path.
+        BPPS2: path(S,@D,P,C) :- magicDsts(@D), path(S,@Z,P1,C1), {cache}(@Z,D,P2,C2),
+               C = C1 + C2, P = f_concat(P1,P2), f_hasCycle(P) = false.
+        BPPA: pathCost(S,@D,min<C>) :- path(S,@D,P,C).
+        BPP3: pathDst(S,@D,P,C) :- magicDsts(@D), path(S,@D,P,C).
+        BPP4: bestPathCost(S,@D,min<C>) :- pathDst(S,@D,P,C).
+        BPP5: bestPath(S,@D,P,C) :- bestPathCost(S,@D,C), pathDst(S,@D,P,C).
+        BPP6: bestPathSrc(@S,D,P,C) :- bestPath(S,@D,P,C).
+        Query: bestPathSrc(@S,D,P,C).
+        "#,
+        cache = cache_relation
+    ));
+    program.rules.push(magic_fact_rule("magicSources", source));
+    program.rules.push(magic_fact_rule("magicDsts", destination));
+    program
+}
+
+/// A `magicSources(@node)` fact as a tuple (for installation via query
+/// facts rather than program rules).
+pub fn magic_source_fact(node: NodeId) -> Tuple {
+    Tuple::new("magicSources", vec![Value::Node(node)])
+}
+
+/// A `magicDsts(@node)` fact as a tuple.
+pub fn magic_dst_fact(node: NodeId) -> Tuple {
+    Tuple::new("magicDsts", vec![Value::Node(node)])
+}
+
+fn magic_fact_rule(relation: &str, node: NodeId) -> dr_datalog::ast::Rule {
+    use dr_datalog::ast::{Head, Rule, Term};
+    Rule::new(
+        Head::plain(relation, vec![Term::Const(Value::Node(node))], Some(0)),
+        vec![],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::best_path::best_path;
+    use dr_datalog::{Database, Evaluator};
+    use dr_types::Cost;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn link(s: u32, d: u32, c: f64) -> Tuple {
+        Tuple::new("link", vec![Value::Node(n(s)), Value::Node(n(d)), Value::from(c)])
+    }
+
+    fn diamond(db: &mut Database) {
+        for (s, d, c) in [
+            (0, 1, 1.0),
+            (1, 0, 1.0),
+            (1, 3, 1.0),
+            (3, 1, 1.0),
+            (0, 2, 2.0),
+            (2, 0, 2.0),
+            (2, 3, 2.0),
+            (3, 2, 2.0),
+            (3, 4, 1.0),
+            (4, 3, 1.0),
+        ] {
+            db.insert(link(s, d, c));
+        }
+    }
+
+    fn best_src(db: &Database, s: u32, d: u32) -> Option<(Vec<NodeId>, f64)> {
+        db.tuples("bestPathSrc")
+            .into_iter()
+            .find(|t| t.node_at(0) == Some(n(s)) && t.node_at(1) == Some(n(d)))
+            .map(|t| {
+                (
+                    t.field(2).and_then(Value::as_path).unwrap().nodes().to_vec(),
+                    t.field(3).and_then(Value::as_cost).map(Cost::value).unwrap(),
+                )
+            })
+    }
+
+    #[test]
+    fn computes_only_the_requested_pair() {
+        let mut db = Database::new();
+        diamond(&mut db);
+        Evaluator::new(best_path_pairs(n(0), n(4))).unwrap().run(&mut db).unwrap();
+        let (path, cost) = best_src(&db, 0, 4).unwrap();
+        assert_eq!(cost, 3.0);
+        assert_eq!(path, vec![n(0), n(1), n(3), n(4)]);
+        // only one result pair exists
+        assert_eq!(db.count("bestPathSrc"), 1);
+        // exploration is restricted to paths originating at the magic source
+        for t in db.tuples("path") {
+            assert_eq!(t.node_at(0), Some(n(0)));
+        }
+    }
+
+    #[test]
+    fn matches_all_pairs_best_path_answer() {
+        let mut pairs_db = Database::new();
+        let mut full_db = Database::new();
+        diamond(&mut pairs_db);
+        diamond(&mut full_db);
+        Evaluator::new(best_path_pairs(n(2), n(4))).unwrap().run(&mut pairs_db).unwrap();
+        Evaluator::new(best_path()).unwrap().run(&mut full_db).unwrap();
+        let (p, c) = best_src(&pairs_db, 2, 4).unwrap();
+        let full = full_db
+            .tuples("bestPath")
+            .into_iter()
+            .find(|t| t.node_at(0) == Some(n(2)) && t.node_at(1) == Some(n(4)))
+            .unwrap();
+        assert_eq!(c, full.field(3).and_then(Value::as_cost).unwrap().value());
+        assert_eq!(p.first(), Some(&n(2)));
+        assert_eq!(p.last(), Some(&n(4)));
+    }
+
+    #[test]
+    fn share_variant_uses_cached_paths() {
+        let mut db = Database::new();
+        diamond(&mut db);
+        // A previous query cached the best path 3 -> 4 at node 3.
+        db.declare_key("bestPathCache", vec![0, 1]);
+        db.insert(Tuple::new(
+            "bestPathCache",
+            vec![
+                Value::Node(n(3)),
+                Value::Node(n(4)),
+                Value::Path(dr_types::PathVector::from_nodes(vec![n(3), n(4)])),
+                Value::Cost(Cost::new(1.0)),
+            ],
+        ));
+        Evaluator::new(best_path_pairs_share(n(0), n(4), "bestPathCache"))
+            .unwrap()
+            .run(&mut db)
+            .unwrap();
+        let (path, cost) = best_src(&db, 0, 4).unwrap();
+        assert_eq!(cost, 3.0);
+        assert_eq!(path, vec![n(0), n(1), n(3), n(4)]);
+        // BPPS1 stops exploring past node 3 (which holds a cache entry), so
+        // no partial path extends beyond node 4 through the expensive side.
+        assert!(db
+            .tuples("path")
+            .iter()
+            .all(|t| t.field(2).and_then(Value::as_path).unwrap().len() <= 4));
+    }
+
+    #[test]
+    fn share_variant_without_cache_matches_plain_pairs() {
+        let mut share_db = Database::new();
+        let mut plain_db = Database::new();
+        diamond(&mut share_db);
+        diamond(&mut plain_db);
+        Evaluator::new(best_path_pairs_share(n(0), n(4), "bestPathCache"))
+            .unwrap()
+            .run(&mut share_db)
+            .unwrap();
+        Evaluator::new(best_path_pairs(n(0), n(4))).unwrap().run(&mut plain_db).unwrap();
+        assert_eq!(best_src(&share_db, 0, 4), best_src(&plain_db, 0, 4));
+    }
+
+    #[test]
+    fn fact_builders() {
+        assert_eq!(magic_source_fact(n(3)).relation(), "magicSources");
+        assert_eq!(magic_dst_fact(n(4)).relation(), "magicDsts");
+        assert_eq!(magic_source_fact(n(3)).node_at(0), Some(n(3)));
+    }
+}

@@ -1,0 +1,113 @@
+//! Policy-Based Routing (§5.2): exclude paths that traverse "undesirable"
+//! nodes listed in a per-node `excludeNode` table.
+
+use crate::parse;
+use dr_datalog::ast::Program;
+use dr_types::{NodeId, Tuple, Value};
+
+/// Rules NR1/NR2 + PBR1 (+ best-path selection over the permitted paths).
+///
+/// `excludeNode(@S,W)` is a base table stored at each node `S`: "node S does
+/// not carry any traffic for node W". [`exclude_fact`] builds its tuples.
+pub fn policy_routing() -> Program {
+    parse(
+        r#"
+        #key(link, 0, 1).
+        #key(path, 0, 1, 2).
+        #key(bestPermittedCost, 0, 1).
+        #key(bestPermitted, 0, 1).
+        NR1: path(@S,D,P,C) :- link(@S,D,C), P = f_initPath(S,D).
+        NR2: path(@S,D,P,C) :- link(@S,Z,C1), path(@Z,D,P2,C2),
+             C = C1 + C2, P = f_prepend(S,P2), f_inPath(P2,S) = false.
+        PBR1: permitPath(@S,D,P,C) :- path(@S,D,P,C), excludeNode(@S,W),
+              f_inPath(P,W) = false.
+        BPR1: bestPermittedCost(@S,D,min<C>) :- permitPath(@S,D,P,C).
+        BPR2: bestPermitted(@S,D,P,C) :- bestPermittedCost(@S,D,C), permitPath(@S,D,P,C).
+        Query: permitPath(@S,D,P,C).
+        Query: bestPermitted(@S,D,P,C).
+        "#,
+    )
+}
+
+/// Build an `excludeNode(@at, excluded)` base tuple.
+pub fn exclude_fact(at: NodeId, excluded: NodeId) -> Tuple {
+    Tuple::new("excludeNode", vec![Value::Node(at), Value::Node(excluded)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_datalog::{Database, Evaluator};
+    use dr_types::Cost;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn link(s: u32, d: u32, c: f64) -> Tuple {
+        Tuple::new("link", vec![Value::Node(n(s)), Value::Node(n(d)), Value::from(c)])
+    }
+
+    #[test]
+    fn excluded_nodes_are_avoided() {
+        let mut db = Database::new();
+        // 0-1-3 (cheap, through node 1) and 0-2-3 (expensive, through node 2)
+        for (s, d, c) in [
+            (0, 1, 1.0),
+            (1, 0, 1.0),
+            (1, 3, 1.0),
+            (3, 1, 1.0),
+            (0, 2, 5.0),
+            (2, 0, 5.0),
+            (2, 3, 5.0),
+            (3, 2, 5.0),
+        ] {
+            db.insert(link(s, d, c));
+        }
+        // node 0 refuses to route through node 1
+        db.insert(exclude_fact(n(0), n(1)));
+        Evaluator::new(policy_routing()).unwrap().run(&mut db).unwrap();
+
+        let best_0_3 = db
+            .tuples("bestPermitted")
+            .into_iter()
+            .find(|t| t.node_at(0) == Some(n(0)) && t.node_at(1) == Some(n(3)))
+            .unwrap();
+        assert_eq!(best_0_3.field(3).and_then(Value::as_cost), Some(Cost::new(10.0)));
+        let p = best_0_3.field(2).and_then(Value::as_path).unwrap();
+        assert!(!p.contains(n(1)), "permitted path must avoid node 1: {p}");
+
+        // The unfiltered path table still contains the cheap route (the
+        // policy acts as a filter, not a rewrite of path exploration).
+        assert!(db
+            .tuples("path")
+            .iter()
+            .any(|t| t.node_at(0) == Some(n(0))
+                && t.node_at(1) == Some(n(3))
+                && t.field(3).and_then(Value::as_cost) == Some(Cost::new(2.0))));
+    }
+
+    #[test]
+    fn nodes_without_policy_see_no_permitted_paths() {
+        // PBR1 joins with excludeNode, so a node with an empty policy table
+        // produces no permitPath tuples — matching the paper's rule shape,
+        // where the policy table is expected to exist at each node (a
+        // "permit everything" entry can be expressed by excluding an address
+        // that never appears in the network).
+        let mut db = Database::new();
+        db.insert(link(0, 1, 1.0));
+        db.insert(exclude_fact(n(0), n(99)));
+        Evaluator::new(policy_routing()).unwrap().run(&mut db).unwrap();
+        let permitted = db.tuples("permitPath");
+        assert_eq!(permitted.len(), 1);
+        assert_eq!(permitted[0].node_at(0), Some(n(0)));
+    }
+
+    #[test]
+    fn exclude_fact_shape() {
+        let f = exclude_fact(n(3), n(7));
+        assert_eq!(f.relation(), "excludeNode");
+        assert_eq!(f.node_at(0), Some(n(3)));
+        assert_eq!(f.node_at(1), Some(n(7)));
+    }
+}

@@ -1,0 +1,86 @@
+//! The Network-Reachability query of §3.2 — the paper's first example.
+
+use crate::parse;
+use dr_datalog::ast::Program;
+
+/// Rules NR1/NR2 plus the cycle check the paper adds in §3.2 / §6, computing
+/// every simple path between every pair of reachable nodes.
+///
+/// ```text
+/// NR1: path(@S,D,P,C) :- link(@S,D,C), P = f_concatPath(link(S,D,C), nil).
+/// NR2: path(@S,D,P,C) :- link(@S,Z,C1), path(@Z,D,P2,C2),
+///      C = C1 + C2, P = f_concatPath(link(S,Z,C1), P2),
+///      f_inPath(P2, S) = false.
+/// Query: path(@S,D,P,C).
+/// ```
+pub fn network_reachability() -> Program {
+    parse(
+        r#"
+        #key(link, 0, 1).
+        #key(path, 0, 1, 2).
+        NR1: path(@S,D,P,C) :- link(@S,D,C), P = f_initPath(S,D).
+        NR2: path(@S,D,P,C) :- link(@S,Z,C1), path(@Z,D,P2,C2),
+             C = C1 + C2, P = f_prepend(S,P2), f_inPath(P2,S) = false.
+        Query: path(@S,D,P,C).
+        "#,
+    )
+}
+
+/// The same query restricted to paths originating at one source node (the
+/// paper's `path(b, D, P, C)` variant: "If the query is only interested in
+/// the paths from a given node b").
+pub fn network_reachability_from(source: dr_types::NodeId) -> Program {
+    let mut program = network_reachability();
+    // Bind the query's source argument to the constant.
+    for q in &mut program.queries {
+        if let Some(t) = q.terms.get_mut(0) {
+            *t = dr_datalog::ast::Term::Const(dr_types::Value::Node(source));
+        }
+    }
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_datalog::{Database, Evaluator};
+    use dr_types::{NodeId, Tuple, Value};
+
+    fn link(s: u32, d: u32, c: f64) -> Tuple {
+        Tuple::new(
+            "link",
+            vec![
+                Value::Node(NodeId::new(s)),
+                Value::Node(NodeId::new(d)),
+                Value::from(c),
+            ],
+        )
+    }
+
+    #[test]
+    fn computes_all_simple_paths() {
+        let mut db = Database::new();
+        // triangle
+        for (s, d) in [(0, 1), (1, 2), (0, 2), (1, 0), (2, 1), (2, 0)] {
+            db.insert(link(s, d, 1.0));
+        }
+        Evaluator::new(network_reachability()).unwrap().run(&mut db).unwrap();
+        // From each node: 2 direct + 2 two-hop = 4 simple paths to others.
+        assert_eq!(db.count("path"), 12);
+        for t in db.tuples("path") {
+            let p = t.field(2).and_then(Value::as_path).unwrap();
+            assert!(!p.has_cycle());
+        }
+    }
+
+    #[test]
+    fn source_bound_variant_has_constant_in_query() {
+        let p = network_reachability_from(NodeId::new(7));
+        assert_eq!(
+            p.queries[0].terms[0],
+            dr_datalog::ast::Term::Const(Value::Node(NodeId::new(7)))
+        );
+        // rules untouched
+        assert_eq!(p.rules.len(), network_reachability().rules.len());
+    }
+}

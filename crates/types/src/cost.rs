@@ -1,0 +1,179 @@
+//! Link and path costs.
+//!
+//! Costs in the paper are link metrics (delay, loss rate, bandwidth, hop
+//! count) combined along a path by an `f_compute` function and aggregated by
+//! `min`/`max`. Link failures are modelled by *infinite* cost (rule NR3 /
+//! the DV poison-reverse rule DV5), so the cost domain must have a proper
+//! `+∞` that is absorbing under addition and maximal under comparison.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::Add;
+
+/// A routing cost: a non-negative finite number or `+∞`.
+///
+/// Internally a wrapper around `f64` with total ordering (NaN is normalised
+/// to `+∞` on construction so `Eq`/`Ord` are safe).
+#[derive(Debug, Clone, Copy)]
+pub struct Cost(f64);
+
+impl Cost {
+    /// The zero cost.
+    pub const ZERO: Cost = Cost(0.0);
+    /// Infinite cost, used to poison unreachable routes (paper §8, rule NR3).
+    pub const INFINITY: Cost = Cost(f64::INFINITY);
+
+    /// Construct a cost; negative and NaN inputs are normalised.
+    ///
+    /// Negative inputs (and `-0.0`) are clamped to `+0.0` (costs are metrics,
+    /// never credits); NaN becomes `+∞` so the total order stays meaningful
+    /// and `Hash` agrees with `Eq`.
+    pub fn new(v: f64) -> Self {
+        if v.is_nan() {
+            Cost(f64::INFINITY)
+        } else if v <= 0.0 {
+            Cost(0.0)
+        } else {
+            Cost(v)
+        }
+    }
+
+    /// The raw floating point value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// True when this cost is `+∞`.
+    pub fn is_infinite(self) -> bool {
+        self.0.is_infinite()
+    }
+
+    /// True when this cost is finite.
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Saturating addition: anything plus `+∞` is `+∞`.
+    pub fn saturating_add(self, other: Cost) -> Cost {
+        Cost::new(self.0 + other.0)
+    }
+
+    /// The minimum of two costs.
+    pub fn min(self, other: Cost) -> Cost {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The maximum of two costs.
+    pub fn max(self, other: Cost) -> Cost {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Default for Cost {
+    fn default() -> Self {
+        Cost::ZERO
+    }
+}
+
+impl PartialEq for Cost {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0 || (self.0.is_infinite() && other.0.is_infinite())
+    }
+}
+
+impl Eq for Cost {}
+
+impl PartialOrd for Cost {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Cost {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // `new` guarantees no NaN, so partial_cmp never fails.
+        self.0.partial_cmp(&other.0).unwrap_or(Ordering::Equal)
+    }
+}
+
+impl std::hash::Hash for Cost {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // `new` normalises NaN and -0.0, so bit-hashing agrees with `Eq`.
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+    fn add(self, rhs: Cost) -> Cost {
+        self.saturating_add(rhs)
+    }
+}
+
+impl From<f64> for Cost {
+    fn from(v: f64) -> Self {
+        Cost::new(v)
+    }
+}
+
+impl From<u32> for Cost {
+    fn from(v: u32) -> Self {
+        Cost::new(v as f64)
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            write!(f, "inf")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalises_nan_and_negative() {
+        assert!(Cost::new(f64::NAN).is_infinite());
+        assert_eq!(Cost::new(-3.0), Cost::ZERO);
+    }
+
+    #[test]
+    fn infinity_is_absorbing_under_addition() {
+        assert!(Cost::INFINITY.saturating_add(Cost::new(5.0)).is_infinite());
+        assert!((Cost::new(5.0) + Cost::INFINITY).is_infinite());
+    }
+
+    #[test]
+    fn ordering_places_infinity_last() {
+        let mut v = vec![Cost::INFINITY, Cost::new(2.0), Cost::new(1.0)];
+        v.sort();
+        assert_eq!(v[0], Cost::new(1.0));
+        assert!(v[2].is_infinite());
+    }
+
+    #[test]
+    fn min_max_behave() {
+        assert_eq!(Cost::new(1.0).min(Cost::new(2.0)), Cost::new(1.0));
+        assert_eq!(Cost::new(1.0).max(Cost::new(2.0)), Cost::new(2.0));
+        assert_eq!(Cost::INFINITY.min(Cost::new(9.0)), Cost::new(9.0));
+    }
+
+    #[test]
+    fn display_formats_infinity() {
+        assert_eq!(Cost::INFINITY.to_string(), "inf");
+        assert_eq!(Cost::new(1.5).to_string(), "1.5");
+    }
+}

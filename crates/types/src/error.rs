@@ -1,0 +1,91 @@
+//! The workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by the Datalog engine, the planner, and the runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The query text could not be parsed; carries a human-readable message
+    /// including line/column information.
+    Parse(String),
+    /// The program failed a static safety / termination check (paper §6).
+    Safety(String),
+    /// The program could not be localized into per-node dataflows (paper §3.3).
+    Planning(String),
+    /// A runtime evaluation error (bad arity, type mismatch, unknown function).
+    Eval(String),
+    /// A simulator misuse error (unknown node, message to a failed node, ...).
+    Sim(String),
+    /// Catch-all for configuration problems in workloads / experiments.
+    Config(String),
+}
+
+impl Error {
+    /// Shorthand constructor for parse errors.
+    pub fn parse(msg: impl Into<String>) -> Self {
+        Error::Parse(msg.into())
+    }
+    /// Shorthand constructor for safety errors.
+    pub fn safety(msg: impl Into<String>) -> Self {
+        Error::Safety(msg.into())
+    }
+    /// Shorthand constructor for planning errors.
+    pub fn planning(msg: impl Into<String>) -> Self {
+        Error::Planning(msg.into())
+    }
+    /// Shorthand constructor for evaluation errors.
+    pub fn eval(msg: impl Into<String>) -> Self {
+        Error::Eval(msg.into())
+    }
+    /// Shorthand constructor for simulator errors.
+    pub fn sim(msg: impl Into<String>) -> Self {
+        Error::Sim(msg.into())
+    }
+    /// Shorthand constructor for configuration errors.
+    pub fn config(msg: impl Into<String>) -> Self {
+        Error::Config(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Safety(m) => write!(f, "safety error: {m}"),
+            Error::Planning(m) => write!(f, "planning error: {m}"),
+            Error::Eval(m) => write!(f, "evaluation error: {m}"),
+            Error::Sim(m) => write!(f, "simulator error: {m}"),
+            Error::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        assert_eq!(Error::parse("bad token").to_string(), "parse error: bad token");
+        assert_eq!(Error::safety("loops").to_string(), "safety error: loops");
+        assert_eq!(Error::eval("arity").to_string(), "evaluation error: arity");
+    }
+
+    #[test]
+    fn constructors_build_matching_variants() {
+        assert!(matches!(Error::planning("x"), Error::Planning(_)));
+        assert!(matches!(Error::sim("x"), Error::Sim(_)));
+        assert!(matches!(Error::config("x"), Error::Config(_)));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>(_: E) {}
+        assert_err(Error::eval("x"));
+    }
+}

@@ -1,0 +1,198 @@
+//! Relational tuples.
+//!
+//! Tuples are the unit of storage and communication in the declarative
+//! routing system: base tuples such as `link(@S,D,C)` live in a node's local
+//! tables, derived tuples such as `path(@S,D,P,C)` are produced by rule
+//! evaluation, and both are shipped between nodes during distributed query
+//! execution.
+
+use crate::node::NodeId;
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// An immutable, cheaply-cloneable tuple: a relation name plus field values.
+///
+/// The relation's *location attribute* (which field holds the storing node's
+/// address) is schema information kept by the catalog in `dr-datalog`, not by
+/// the tuple itself.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple {
+    relation: Arc<str>,
+    fields: Arc<Vec<Value>>,
+}
+
+impl Tuple {
+    /// Build a tuple for `relation` with the given field values.
+    pub fn new(relation: impl AsRef<str>, fields: Vec<Value>) -> Self {
+        Tuple {
+            relation: Arc::from(relation.as_ref()),
+            fields: Arc::new(fields),
+        }
+    }
+
+    /// The relation (table) this tuple belongs to.
+    pub fn relation(&self) -> &str {
+        &self.relation
+    }
+
+    /// All field values, in declaration order.
+    pub fn fields(&self) -> &[Value] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Field at position `i`, if within arity.
+    pub fn field(&self, i: usize) -> Option<&Value> {
+        self.fields.get(i)
+    }
+
+    /// The node address stored in field `i`, if that field is a node value.
+    pub fn node_at(&self, i: usize) -> Option<NodeId> {
+        self.fields.get(i).and_then(Value::as_node)
+    }
+
+    /// A rough estimate of the tuple's serialized size in bytes, used by the
+    /// simulator to charge bandwidth for shipped tuples (paper's per-node
+    /// communication overhead metric).
+    pub fn wire_size(&self) -> usize {
+        // relation name + per-field cost
+        let mut size = self.relation.len() + 4;
+        for f in self.fields.iter() {
+            size += match f {
+                Value::Node(_) => 4,
+                Value::Cost(_) => 8,
+                Value::Int(_) => 8,
+                Value::Bool(_) => 1,
+                Value::Str(s) => s.len() + 2,
+                Value::Path(p) => 4 * p.len() + 2,
+            };
+        }
+        size
+    }
+
+    /// Project the listed field positions into a key for keyed upserts.
+    pub fn key(&self, key_fields: &[usize]) -> TupleKey {
+        TupleKey {
+            relation: self.relation.clone(),
+            key: key_fields
+                .iter()
+                .filter_map(|&i| self.fields.get(i).cloned())
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, v) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// The primary-key projection of a tuple, used to implement the paper's
+/// "replacement of existing base tuples that have the same unique key".
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TupleKey {
+    relation: Arc<str>,
+    key: Vec<Value>,
+}
+
+impl TupleKey {
+    /// The relation this key belongs to.
+    pub fn relation(&self) -> &str {
+        &self.relation
+    }
+
+    /// The key values.
+    pub fn values(&self) -> &[Value] {
+        &self.key
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Cost;
+    use crate::value::PathVector;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn link(s: u32, d: u32, c: f64) -> Tuple {
+        Tuple::new(
+            "link",
+            vec![Value::Node(n(s)), Value::Node(n(d)), Value::from(c)],
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let t = link(1, 2, 3.0);
+        assert_eq!(t.relation(), "link");
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.node_at(0), Some(n(1)));
+        assert_eq!(t.node_at(2), None);
+        assert_eq!(t.field(2).and_then(Value::as_cost), Some(Cost::new(3.0)));
+        assert!(t.field(5).is_none());
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        assert_eq!(link(1, 2, 3.0), link(1, 2, 3.0));
+        assert_ne!(link(1, 2, 3.0), link(1, 2, 4.0));
+        assert_ne!(
+            link(1, 2, 3.0),
+            Tuple::new("path", vec![Value::Node(n(1)), Value::Node(n(2)), Value::from(3.0)])
+        );
+    }
+
+    #[test]
+    fn key_projection_ignores_non_key_fields() {
+        let a = link(1, 2, 3.0);
+        let b = link(1, 2, 99.0);
+        assert_eq!(a.key(&[0, 1]), b.key(&[0, 1]));
+        assert_ne!(a.key(&[0, 1]), link(1, 3, 3.0).key(&[0, 1]));
+        assert_eq!(a.key(&[0, 1]).relation(), "link");
+        assert_eq!(a.key(&[0, 1]).values().len(), 2);
+    }
+
+    #[test]
+    fn wire_size_scales_with_path_length() {
+        let short = Tuple::new(
+            "path",
+            vec![
+                Value::Node(n(1)),
+                Value::Node(n(2)),
+                Value::Path(PathVector::from_nodes(vec![n(1), n(2)])),
+                Value::from(1.0),
+            ],
+        );
+        let long = Tuple::new(
+            "path",
+            vec![
+                Value::Node(n(1)),
+                Value::Node(n(9)),
+                Value::Path(PathVector::from_nodes((1..=9).map(n).collect())),
+                Value::from(8.0),
+            ],
+        );
+        assert!(long.wire_size() > short.wire_size());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(link(1, 2, 3.0).to_string(), "link(n1,n2,3)");
+    }
+}

@@ -1,0 +1,406 @@
+//! Dynamically-typed values carried by tuples.
+//!
+//! The paper's Datalog dialect manipulates node addresses, numeric link
+//! metrics, path vectors (lists of node addresses, built by `f_concatPath`
+//! and inspected by `f_inPath` / `f_head` / `f_tail` / `f_isEmpty`), strings
+//! (group identifiers such as `gid`), and booleans (results of predicate
+//! functions). [`Value`] is the sum of those.
+
+use crate::cost::Cost;
+use crate::node::NodeId;
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A path vector: an ordered list of node addresses, e.g. `[a, c, d]`.
+///
+/// Path vectors are immutable and shared (`Arc`) because the same vector is
+/// referenced by many derived tuples during query evaluation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PathVector {
+    nodes: Arc<Vec<NodeId>>,
+}
+
+impl PathVector {
+    /// The empty path (`nil` in the paper's rules).
+    pub fn nil() -> Self {
+        PathVector { nodes: Arc::new(Vec::new()) }
+    }
+
+    /// Build a path vector from a list of node ids.
+    pub fn from_nodes(nodes: Vec<NodeId>) -> Self {
+        PathVector { nodes: Arc::new(nodes) }
+    }
+
+    /// The single-node path `[n]`.
+    pub fn singleton(n: NodeId) -> Self {
+        PathVector::from_nodes(vec![n])
+    }
+
+    /// Number of nodes in the path vector.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the path vector holds no nodes (paper's `f_isEmpty`).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The nodes of the path, in order from source to destination.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The first node of the path (paper's `f_head`), if any.
+    pub fn head(&self) -> Option<NodeId> {
+        self.nodes.first().copied()
+    }
+
+    /// The last node of the path, if any.
+    pub fn last(&self) -> Option<NodeId> {
+        self.nodes.last().copied()
+    }
+
+    /// The path with the first node removed (paper's `f_tail`).
+    pub fn tail(&self) -> PathVector {
+        if self.nodes.is_empty() {
+            self.clone()
+        } else {
+            PathVector::from_nodes(self.nodes[1..].to_vec())
+        }
+    }
+
+    /// True when `n` appears anywhere in the path (paper's `f_inPath`).
+    pub fn contains(&self, n: NodeId) -> bool {
+        self.nodes.contains(&n)
+    }
+
+    /// Prepend a node to the front of the path.
+    ///
+    /// This is the building block of the right-recursive `f_concatPath(link,
+    /// P2)`: the link's source is prepended to the already-computed suffix.
+    pub fn prepend(&self, n: NodeId) -> PathVector {
+        let mut v = Vec::with_capacity(self.nodes.len() + 1);
+        v.push(n);
+        v.extend_from_slice(&self.nodes);
+        PathVector::from_nodes(v)
+    }
+
+    /// Append a node to the back of the path (left-recursive DSR variant).
+    pub fn append(&self, n: NodeId) -> PathVector {
+        let mut v = Vec::with_capacity(self.nodes.len() + 1);
+        v.extend_from_slice(&self.nodes);
+        v.push(n);
+        PathVector::from_nodes(v)
+    }
+
+    /// Concatenate two path vectors, dropping a duplicated junction node if
+    /// the first ends where the second starts (used by the sharing rule
+    /// BPPS2 which splices a cached best path onto a prefix).
+    pub fn join(&self, other: &PathVector) -> PathVector {
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        let mut v = self.nodes.as_ref().clone();
+        let skip_first = self.last() == other.head();
+        let start = usize::from(skip_first);
+        v.extend_from_slice(&other.nodes[start..]);
+        PathVector::from_nodes(v)
+    }
+
+    /// True when the path visits some node more than once.
+    pub fn has_cycle(&self) -> bool {
+        for (i, a) in self.nodes.iter().enumerate() {
+            if self.nodes[i + 1..].contains(a) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of hops (edges) the path represents.
+    pub fn hops(&self) -> usize {
+        self.nodes.len().saturating_sub(1)
+    }
+}
+
+impl fmt::Display for PathVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{n}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<NodeId> for PathVector {
+    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
+        PathVector::from_nodes(iter.into_iter().collect())
+    }
+}
+
+/// A dynamically-typed value stored in a tuple field.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// A node address (the paper's underlined location fields, sources,
+    /// destinations and next hops).
+    Node(NodeId),
+    /// A numeric cost / link metric.
+    Cost(Cost),
+    /// A signed integer (counters, group sizes, thresholds).
+    Int(i64),
+    /// A boolean (result of predicate functions such as `f_inPath`).
+    Bool(bool),
+    /// An interned string (multicast group ids, metric names, labels).
+    Str(Arc<str>),
+    /// A path vector.
+    Path(PathVector),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Interpret the value as a node id, if it is one.
+    pub fn as_node(&self) -> Option<NodeId> {
+        match self {
+            Value::Node(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Interpret the value as a cost. Integer values convert losslessly so
+    /// that literal costs written in query text (e.g. `C < 10`) compare
+    /// against measured metrics.
+    pub fn as_cost(&self) -> Option<Cost> {
+        match self {
+            Value::Cost(c) => Some(*c),
+            Value::Int(i) => Some(Cost::new(*i as f64)),
+            _ => None,
+        }
+    }
+
+    /// Interpret the value as an integer, if it is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Interpret the value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Interpret the value as a path vector, if it is one.
+    pub fn as_path(&self) -> Option<&PathVector> {
+        match self {
+            Value::Path(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Interpret the value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name for the value's type, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Node(_) => "node",
+            Value::Cost(_) => "cost",
+            Value::Int(_) => "int",
+            Value::Bool(_) => "bool",
+            Value::Str(_) => "str",
+            Value::Path(_) => "path",
+        }
+    }
+
+    /// Numeric comparison that treats `Cost` and `Int` uniformly; other
+    /// types fall back to the derived structural ordering.
+    pub fn compare_numeric(&self, other: &Value) -> Ordering {
+        match (self.as_cost(), other.as_cost()) {
+            (Some(a), Some(b)) => a.cmp(&b),
+            _ => self.cmp(other),
+        }
+    }
+}
+
+impl From<NodeId> for Value {
+    fn from(n: NodeId) -> Self {
+        Value::Node(n)
+    }
+}
+
+impl From<Cost> for Value {
+    fn from(c: Cost) -> Self {
+        Value::Cost(c)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Cost(Cost::new(v))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<PathVector> for Value {
+    fn from(p: PathVector) -> Self {
+        Value::Path(p)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Node(n) => write!(f, "{n}"),
+            Value::Cost(c) => write!(f, "{c}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "\"{s}\""),
+            Value::Path(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn path_vector_basics() {
+        let p = PathVector::from_nodes(vec![n(1), n(2), n(3)]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.hops(), 2);
+        assert_eq!(p.head(), Some(n(1)));
+        assert_eq!(p.last(), Some(n(3)));
+        assert!(p.contains(n(2)));
+        assert!(!p.contains(n(9)));
+        assert!(!p.is_empty());
+        assert!(PathVector::nil().is_empty());
+    }
+
+    #[test]
+    fn path_vector_tail_and_head_match_paper_functions() {
+        let p = PathVector::from_nodes(vec![n(1), n(2), n(3)]);
+        assert_eq!(p.tail().nodes(), &[n(2), n(3)]);
+        assert_eq!(p.tail().tail().tail().nodes(), &[] as &[NodeId]);
+        assert_eq!(PathVector::nil().head(), None);
+        assert_eq!(PathVector::nil().tail(), PathVector::nil());
+    }
+
+    #[test]
+    fn prepend_matches_right_recursive_concat() {
+        // f_concatPath(link(a, b), [b, d]) = [a, b, d]
+        let suffix = PathVector::from_nodes(vec![n(2), n(4)]);
+        assert_eq!(suffix.prepend(n(1)).nodes(), &[n(1), n(2), n(4)]);
+    }
+
+    #[test]
+    fn append_matches_left_recursive_concat() {
+        // f_concatPath([a, b], link(b, d)) = [a, b, d]
+        let prefix = PathVector::from_nodes(vec![n(1), n(2)]);
+        assert_eq!(prefix.append(n(4)).nodes(), &[n(1), n(2), n(4)]);
+    }
+
+    #[test]
+    fn join_deduplicates_junction_node() {
+        let a = PathVector::from_nodes(vec![n(1), n(2)]);
+        let b = PathVector::from_nodes(vec![n(2), n(3)]);
+        assert_eq!(a.join(&b).nodes(), &[n(1), n(2), n(3)]);
+        let c = PathVector::from_nodes(vec![n(5), n(6)]);
+        assert_eq!(a.join(&c).nodes(), &[n(1), n(2), n(5), n(6)]);
+        assert_eq!(PathVector::nil().join(&a), a);
+        assert_eq!(a.join(&PathVector::nil()), a);
+    }
+
+    #[test]
+    fn cycle_detection() {
+        assert!(!PathVector::from_nodes(vec![n(1), n(2), n(3)]).has_cycle());
+        assert!(PathVector::from_nodes(vec![n(1), n(2), n(1)]).has_cycle());
+        assert!(!PathVector::nil().has_cycle());
+        assert!(!PathVector::singleton(n(1)).has_cycle());
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Node(n(1)).as_node(), Some(n(1)));
+        assert_eq!(Value::from(3.5).as_cost(), Some(Cost::new(3.5)));
+        assert_eq!(Value::Int(4).as_cost(), Some(Cost::new(4.0)));
+        assert_eq!(Value::Int(4).as_int(), Some(4));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::str("gid").as_str(), Some("gid"));
+        assert!(Value::Node(n(1)).as_cost().is_none());
+        assert!(Value::Bool(false).as_node().is_none());
+    }
+
+    #[test]
+    fn numeric_comparison_mixes_int_and_cost() {
+        assert_eq!(
+            Value::Int(2).compare_numeric(&Value::from(3.0)),
+            Ordering::Less
+        );
+        assert_eq!(
+            Value::from(5.0).compare_numeric(&Value::Int(5)),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let p = PathVector::from_nodes(vec![n(1), n(2)]);
+        assert_eq!(Value::Path(p).to_string(), "[n1,n2]");
+        assert_eq!(Value::str("x").to_string(), "\"x\"");
+        assert_eq!(Value::Node(n(3)).to_string(), "n3");
+    }
+
+    #[test]
+    fn type_names_are_stable() {
+        assert_eq!(Value::Node(n(0)).type_name(), "node");
+        assert_eq!(Value::from(1.0).type_name(), "cost");
+        assert_eq!(Value::Int(1).type_name(), "int");
+        assert_eq!(Value::Bool(true).type_name(), "bool");
+        assert_eq!(Value::str("s").type_name(), "str");
+        assert_eq!(Value::Path(PathVector::nil()).type_name(), "path");
+    }
+}

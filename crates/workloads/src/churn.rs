@@ -1,0 +1,191 @@
+//! Churn schedules (§9.2.4).
+//!
+//! "We induce churn by alternately injecting fail and join events every 150
+//! sec. At each fail event, a random set of nodes (chosen from either 5%,
+//! 10% or 20% of the nodes) experience fail-stop failures. This is followed
+//! by a join event where the previously failed nodes rejoin the network."
+
+use dr_netsim::{SimDuration, SimTime};
+use dr_types::NodeId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One churn event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// The listed nodes fail-stop at the given time.
+    Fail(SimTime, Vec<NodeId>),
+    /// The listed nodes rejoin at the given time.
+    Join(SimTime, Vec<NodeId>),
+}
+
+impl ChurnEvent {
+    /// When the event happens.
+    pub fn time(&self) -> SimTime {
+        match self {
+            ChurnEvent::Fail(t, _) | ChurnEvent::Join(t, _) => *t,
+        }
+    }
+
+    /// The nodes affected.
+    pub fn nodes(&self) -> &[NodeId] {
+        match self {
+            ChurnEvent::Fail(_, n) | ChurnEvent::Join(_, n) => n,
+        }
+    }
+}
+
+/// A generated alternating fail/join schedule.
+#[derive(Debug, Clone)]
+pub struct ChurnSchedule {
+    events: Vec<ChurnEvent>,
+}
+
+impl ChurnSchedule {
+    /// Build the paper's schedule: starting at `start`, every `interval`
+    /// (150 s in the paper) alternately fail a fresh random `fraction` of
+    /// the `num_nodes` nodes and rejoin them, for `cycles` fail+join cycles.
+    ///
+    /// The issuing node (node 0 by convention) is never failed so the query
+    /// always has a live issuer; this matches the paper's setup where the
+    /// measurement vantage points stay up.
+    pub fn alternating(
+        num_nodes: usize,
+        fraction: f64,
+        start: SimTime,
+        interval: SimDuration,
+        cycles: usize,
+        seed: u64,
+    ) -> ChurnSchedule {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let candidates: Vec<NodeId> = (1..num_nodes as u32).map(NodeId::new).collect();
+        let per_event = ((num_nodes as f64 * fraction).round() as usize)
+            .max(1)
+            .min(candidates.len());
+        let mut events = Vec::new();
+        let mut t = start;
+        for _ in 0..cycles {
+            let mut pool = candidates.clone();
+            pool.shuffle(&mut rng);
+            let victims: Vec<NodeId> = pool.into_iter().take(per_event).collect();
+            events.push(ChurnEvent::Fail(t, victims.clone()));
+            t += interval;
+            events.push(ChurnEvent::Join(t, victims));
+            t += interval;
+        }
+        ChurnSchedule { events }
+    }
+
+    /// The events in chronological order.
+    pub fn events(&self) -> &[ChurnEvent] {
+        &self.events
+    }
+
+    /// Total number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The time of the last event.
+    pub fn end_time(&self) -> SimTime {
+        self.events.last().map(ChurnEvent::time).unwrap_or(SimTime::ZERO)
+    }
+
+    /// Apply the schedule to a simulator by scheduling fail/join events.
+    pub fn apply<A: dr_netsim::NodeApp>(&self, sim: &mut dr_netsim::Simulator<A>) {
+        for event in &self.events {
+            match event {
+                ChurnEvent::Fail(t, nodes) => {
+                    for &n in nodes {
+                        sim.schedule_node_fail(*t, n);
+                    }
+                }
+                ChurnEvent::Join(t, nodes) => {
+                    for &n in nodes {
+                        sim.schedule_node_join(*t, n);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alternates_fail_and_join_with_matching_victims() {
+        let s = ChurnSchedule::alternating(
+            72,
+            0.1,
+            SimTime::from_secs(100),
+            SimDuration::from_secs(150),
+            3,
+            1,
+        );
+        assert_eq!(s.len(), 6);
+        assert!(!s.is_empty());
+        for pair in s.events().chunks(2) {
+            match (&pair[0], &pair[1]) {
+                (ChurnEvent::Fail(tf, failed), ChurnEvent::Join(tj, joined)) => {
+                    assert_eq!(failed, joined, "join must restore the failed set");
+                    assert_eq!(*tj - *tf, SimDuration::from_secs(150));
+                    assert_eq!(failed.len(), 7); // 10% of 72, rounded
+                }
+                other => panic!("unexpected pair {other:?}"),
+            }
+        }
+        assert_eq!(s.end_time(), SimTime::from_secs(100 + 150 * 5));
+    }
+
+    #[test]
+    fn fraction_controls_victim_count() {
+        for (frac, expect) in [(0.05, 4), (0.1, 7), (0.2, 14)] {
+            let s = ChurnSchedule::alternating(
+                72,
+                frac,
+                SimTime::ZERO,
+                SimDuration::from_secs(150),
+                1,
+                2,
+            );
+            assert_eq!(s.events()[0].nodes().len(), expect, "fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn node_zero_is_never_failed() {
+        let s = ChurnSchedule::alternating(
+            10,
+            0.9,
+            SimTime::ZERO,
+            SimDuration::from_secs(150),
+            5,
+            3,
+        );
+        for e in s.events() {
+            assert!(!e.nodes().contains(&NodeId::new(0)));
+        }
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let a = ChurnSchedule::alternating(50, 0.2, SimTime::ZERO, SimDuration::from_secs(150), 2, 7);
+        let b = ChurnSchedule::alternating(50, 0.2, SimTime::ZERO, SimDuration::from_secs(150), 2, 7);
+        assert_eq!(a.events(), b.events());
+    }
+
+    #[test]
+    fn empty_schedule_edge_cases() {
+        let s = ChurnSchedule::alternating(5, 0.2, SimTime::ZERO, SimDuration::from_secs(1), 0, 1);
+        assert!(s.is_empty());
+        assert_eq!(s.end_time(), SimTime::ZERO);
+    }
+}

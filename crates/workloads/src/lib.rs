@@ -1,0 +1,24 @@
+//! # dr-workloads
+//!
+//! Everything the evaluation needs around the core system: topology
+//! generators (GT-ITM-style transit-stub networks for the simulation
+//! experiments of §9.1; Sparse-Random / Dense-Random / Dense-UUNET overlays
+//! standing in for the PlanetLab deployment of §9.2), the stochastic
+//! link-RTT model and Jacobson/Karels smoothing used by the path-adaptation
+//! experiments, churn schedules (fail/join every 150 s), and
+//! source/destination query workload generators for Figures 7–9.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod overlay;
+pub mod queries;
+pub mod rtt;
+pub mod transit_stub;
+
+pub use churn::ChurnSchedule;
+pub use overlay::{OverlayKind, OverlayParams};
+pub use queries::{MixedWorkload, PairWorkload};
+pub use rtt::{RttModel, RttSmoother};
+pub use transit_stub::TransitStubParams;

@@ -1,0 +1,220 @@
+//! Source/destination query workloads (Figures 7–9).
+//!
+//! The paper issues a stream of Best-Path-Pairs queries, "periodically every
+//! 15 sec", each computing the shortest path between a random pair of
+//! nodes. Figure 8 additionally restricts the destinations to a fraction of
+//! the nodes (20%, 1%) to show how destination locality increases cache
+//! hits; Figure 9 mixes queries over four different link metrics (65%
+//! latency, 5/10/20% others) and, in its second variant, switches to a
+//! single metric after 150 queries.
+
+use dr_types::NodeId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A generator of random (source, destination) query pairs.
+#[derive(Debug, Clone)]
+pub struct PairWorkload {
+    rng: StdRng,
+    nodes: usize,
+    /// Destinations are drawn from this restricted pool (all nodes when the
+    /// fraction is 1.0) — the paper's "X% Dst" restriction.
+    destination_pool: Vec<NodeId>,
+}
+
+impl PairWorkload {
+    /// A workload over `nodes` nodes with unrestricted destinations.
+    pub fn new(nodes: usize, seed: u64) -> PairWorkload {
+        PairWorkload::with_destination_fraction(nodes, 1.0, seed)
+    }
+
+    /// A workload whose destinations are limited to `fraction` of the nodes.
+    pub fn with_destination_fraction(nodes: usize, fraction: f64, seed: u64) -> PairWorkload {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut all: Vec<NodeId> = (0..nodes as u32).map(NodeId::new).collect();
+        all.shuffle(&mut rng);
+        let keep = ((nodes as f64 * fraction).round() as usize).clamp(1, nodes);
+        let destination_pool = all.into_iter().take(keep).collect();
+        PairWorkload { rng, nodes, destination_pool }
+    }
+
+    /// Size of the destination pool.
+    pub fn destination_pool_size(&self) -> usize {
+        self.destination_pool.len()
+    }
+
+    /// Draw the next (source, destination) pair (source ≠ destination).
+    pub fn next_pair(&mut self) -> (NodeId, NodeId) {
+        loop {
+            let src = NodeId::new(self.rng.gen_range(0..self.nodes as u32));
+            let dst = *self
+                .destination_pool
+                .choose(&mut self.rng)
+                .expect("destination pool is never empty");
+            if src != dst {
+                return (src, dst);
+            }
+        }
+    }
+}
+
+/// The link metric a query in the mixed workload optimises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryMetric {
+    /// Shortest latency (65% of queries in Fig. 9).
+    Latency,
+    /// A second additive metric (e.g. loss-derived cost) — 20%.
+    MetricA,
+    /// A third metric — 10%.
+    MetricB,
+    /// A fourth metric — 5%.
+    MetricC,
+}
+
+impl QueryMetric {
+    /// A stable name used to namespace the per-metric result cache.
+    pub fn cache_relation(self) -> &'static str {
+        match self {
+            QueryMetric::Latency => "bestPathCache",
+            QueryMetric::MetricA => "bestPathCache_a",
+            QueryMetric::MetricB => "bestPathCache_b",
+            QueryMetric::MetricC => "bestPathCache_c",
+        }
+    }
+}
+
+/// The mixed-metric workload of Figure 9.
+#[derive(Debug, Clone)]
+pub struct MixedWorkload {
+    pairs: PairWorkload,
+    rng: StdRng,
+    issued: usize,
+    /// After this many queries, every further query uses the latency metric
+    /// (the paper's Pair-Share-Mix2 switch at 150 queries). `None` keeps the
+    /// mix forever (Pair-Share-Mix).
+    pub switch_to_latency_after: Option<usize>,
+}
+
+impl MixedWorkload {
+    /// Build the Fig. 9 workload.
+    pub fn new(nodes: usize, switch_to_latency_after: Option<usize>, seed: u64) -> MixedWorkload {
+        MixedWorkload {
+            pairs: PairWorkload::new(nodes, seed),
+            rng: StdRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(7)),
+            issued: 0,
+            switch_to_latency_after,
+        }
+    }
+
+    /// Draw the next query: source, destination, and metric.
+    pub fn next_query(&mut self) -> (NodeId, NodeId, QueryMetric) {
+        let (src, dst) = self.pairs.next_pair();
+        let metric = if self
+            .switch_to_latency_after
+            .map(|n| self.issued >= n)
+            .unwrap_or(false)
+        {
+            QueryMetric::Latency
+        } else {
+            // 65% latency, 20% A, 10% B, 5% C — the paper's mixture.
+            let roll: f64 = self.rng.gen();
+            if roll < 0.65 {
+                QueryMetric::Latency
+            } else if roll < 0.85 {
+                QueryMetric::MetricA
+            } else if roll < 0.95 {
+                QueryMetric::MetricB
+            } else {
+                QueryMetric::MetricC
+            }
+        };
+        self.issued += 1;
+        (src, dst, metric)
+    }
+
+    /// Number of queries drawn so far.
+    pub fn issued(&self) -> usize {
+        self.issued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn pairs_never_have_equal_endpoints() {
+        let mut w = PairWorkload::new(20, 1);
+        for _ in 0..200 {
+            let (s, d) = w.next_pair();
+            assert_ne!(s, d);
+            assert!(s.index() < 20 && d.index() < 20);
+        }
+    }
+
+    #[test]
+    fn destination_fraction_limits_the_pool() {
+        let mut w = PairWorkload::with_destination_fraction(100, 0.2, 2);
+        assert_eq!(w.destination_pool_size(), 20);
+        let destinations: BTreeSet<NodeId> = (0..500).map(|_| w.next_pair().1).collect();
+        assert!(destinations.len() <= 20);
+
+        let mut tight = PairWorkload::with_destination_fraction(100, 0.01, 3);
+        assert_eq!(tight.destination_pool_size(), 1);
+        let only: BTreeSet<NodeId> = (0..50).map(|_| tight.next_pair().1).collect();
+        assert_eq!(only.len(), 1);
+    }
+
+    #[test]
+    fn workloads_are_deterministic_per_seed() {
+        let mut a = PairWorkload::new(50, 9);
+        let mut b = PairWorkload::new(50, 9);
+        for _ in 0..20 {
+            assert_eq!(a.next_pair(), b.next_pair());
+        }
+    }
+
+    #[test]
+    fn mixed_workload_roughly_matches_paper_fractions() {
+        let mut w = MixedWorkload::new(100, None, 4);
+        let mut latency = 0;
+        let mut other = 0;
+        for _ in 0..1000 {
+            match w.next_query().2 {
+                QueryMetric::Latency => latency += 1,
+                _ => other += 1,
+            }
+        }
+        let frac = latency as f64 / 1000.0;
+        assert!((0.55..0.75).contains(&frac), "latency fraction {frac}");
+        assert!(other > 0);
+        assert_eq!(w.issued(), 1000);
+    }
+
+    #[test]
+    fn mix2_switches_to_latency_only() {
+        let mut w = MixedWorkload::new(100, Some(150), 5);
+        for _ in 0..150 {
+            w.next_query();
+        }
+        for _ in 0..100 {
+            assert_eq!(w.next_query().2, QueryMetric::Latency);
+        }
+    }
+
+    #[test]
+    fn metric_cache_relations_are_distinct() {
+        let names: BTreeSet<&str> = [
+            QueryMetric::Latency,
+            QueryMetric::MetricA,
+            QueryMetric::MetricB,
+            QueryMetric::MetricC,
+        ]
+        .iter()
+        .map(|m| m.cache_relation())
+        .collect();
+        assert_eq!(names.len(), 4);
+    }
+}

@@ -1,0 +1,239 @@
+//! Link-RTT dynamics and smoothing (§9.2.3).
+//!
+//! On PlanetLab the paper measures link RTTs every five minutes and feeds
+//! the updates to the continuous query; load fluctuations make raw RTTs
+//! noisy, so a second configuration smooths them with "the classic
+//! Jacobson/Karels algorithm" and only reports an update when the new
+//! estimate deviates from the last reported value by more than the mean
+//! deviation. [`RttModel`] generates the synthetic measurement process
+//! (baseline RTT per link plus load-dependent noise and occasional spikes);
+//! [`RttSmoother`] implements the estimator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A synthetic RTT measurement process for one deployment.
+///
+/// Each link has a baseline RTT (from the overlay generator); a measurement
+/// at time `t` is `baseline * load(t) + noise`, where `load(t)` follows a
+/// slowly varying multiplier common to the whole deployment (PlanetLab-wide
+/// load swings) and `noise` adds per-measurement jitter plus rare spikes.
+#[derive(Debug, Clone)]
+pub struct RttModel {
+    rng: StdRng,
+    /// Relative amplitude of the slow load swing (0.2 = ±20%).
+    pub load_swing: f64,
+    /// Period of the slow load swing, in measurement rounds.
+    pub load_period: f64,
+    /// Per-measurement relative jitter (standard-deviation-ish, uniform).
+    pub jitter: f64,
+    /// Probability that a measurement is a congestion spike.
+    pub spike_probability: f64,
+    /// Multiplier applied during a spike.
+    pub spike_factor: f64,
+    round: u64,
+}
+
+impl RttModel {
+    /// A model with the defaults used by the adaptation experiments.
+    pub fn new(seed: u64) -> RttModel {
+        RttModel {
+            rng: StdRng::seed_from_u64(seed),
+            load_swing: 0.2,
+            load_period: 10.0,
+            jitter: 0.15,
+            spike_probability: 0.05,
+            spike_factor: 2.0,
+            round: 0,
+        }
+    }
+
+    /// Advance to the next measurement round (the paper refreshes every five
+    /// minutes, spreading individual measurements across the interval).
+    pub fn next_round(&mut self) {
+        self.round += 1;
+    }
+
+    /// The current round index.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Draw a measurement for a link with the given baseline RTT (ms).
+    pub fn measure(&mut self, baseline_ms: f64) -> f64 {
+        let phase = (self.round as f64 / self.load_period) * std::f64::consts::TAU;
+        let load = 1.0 + self.load_swing * phase.sin();
+        let jitter = if self.jitter > 0.0 {
+            1.0 + self.rng.gen_range(-self.jitter..self.jitter)
+        } else {
+            1.0
+        };
+        let spike = if self.spike_probability > 0.0 && self.rng.gen_bool(self.spike_probability) {
+            self.spike_factor
+        } else {
+            1.0
+        };
+        (baseline_ms * load * jitter * spike).max(1.0)
+    }
+}
+
+/// Jacobson/Karels RTT estimator with deviation-gated reporting.
+///
+/// `estimate ← (1-α)·estimate + α·sample`, `deviation ← (1-β)·deviation +
+/// β·|sample - estimate|`; an update is *reported* (i.e. pushed to the query
+/// processor) only when the new estimate differs from the last reported
+/// value by more than the current mean deviation.
+#[derive(Debug, Clone)]
+pub struct RttSmoother {
+    alpha: f64,
+    beta: f64,
+    estimate: Option<f64>,
+    deviation: f64,
+    last_reported: Option<f64>,
+}
+
+impl Default for RttSmoother {
+    fn default() -> Self {
+        RttSmoother::new(0.125, 0.25)
+    }
+}
+
+impl RttSmoother {
+    /// Create a smoother with the given gains (classic values: α = 1/8,
+    /// β = 1/4).
+    pub fn new(alpha: f64, beta: f64) -> RttSmoother {
+        RttSmoother { alpha, beta, estimate: None, deviation: 0.0, last_reported: None }
+    }
+
+    /// The current smoothed estimate, if any sample has been observed.
+    pub fn estimate(&self) -> Option<f64> {
+        self.estimate
+    }
+
+    /// The current mean deviation.
+    pub fn deviation(&self) -> f64 {
+        self.deviation
+    }
+
+    /// Feed a sample; returns `Some(estimate)` when the change should be
+    /// reported to the query processor, `None` when it is suppressed.
+    pub fn observe(&mut self, sample_ms: f64) -> Option<f64> {
+        match self.estimate {
+            None => {
+                self.estimate = Some(sample_ms);
+                self.deviation = sample_ms / 2.0;
+                self.last_reported = Some(sample_ms);
+                Some(sample_ms)
+            }
+            Some(est) => {
+                let err = sample_ms - est;
+                let new_est = est + self.alpha * err;
+                self.deviation = (1.0 - self.beta) * self.deviation + self.beta * err.abs();
+                self.estimate = Some(new_est);
+                let should_report = match self.last_reported {
+                    None => true,
+                    Some(reported) => (new_est - reported).abs() > self.deviation,
+                };
+                if should_report {
+                    self.last_reported = Some(new_est);
+                    Some(new_est)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurements_track_baseline() {
+        let mut model = RttModel::new(1);
+        let samples: Vec<f64> = (0..200).map(|_| model.measure(100.0)).collect();
+        let avg = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((70.0..140.0).contains(&avg), "average {avg}");
+        assert!(samples.iter().all(|&s| s >= 1.0));
+    }
+
+    #[test]
+    fn load_swing_moves_the_mean_over_rounds() {
+        let mut model = RttModel::new(2);
+        model.jitter = 0.0;
+        model.spike_probability = 0.0;
+        let mut highs = Vec::new();
+        for _ in 0..20 {
+            highs.push(model.measure(100.0));
+            model.next_round();
+        }
+        let min = highs.iter().cloned().fold(f64::MAX, f64::min);
+        let max = highs.iter().cloned().fold(0.0, f64::max);
+        assert!(max - min > 10.0, "load swing too small: {min}..{max}");
+        assert_eq!(model.round(), 20);
+    }
+
+    #[test]
+    fn spikes_are_rare_but_large() {
+        let mut model = RttModel::new(3);
+        model.jitter = 0.0;
+        model.load_swing = 0.0;
+        model.spike_probability = 0.5;
+        let spikes = (0..100).filter(|_| model.measure(100.0) > 150.0).count();
+        assert!(spikes > 20, "expected many spikes, got {spikes}");
+        model.spike_probability = 0.0;
+        let spikes = (0..100).filter(|_| model.measure(100.0) > 150.0).count();
+        assert_eq!(spikes, 0);
+    }
+
+    #[test]
+    fn smoother_reports_first_sample_and_converges() {
+        let mut s = RttSmoother::default();
+        assert_eq!(s.observe(100.0), Some(100.0));
+        assert_eq!(s.estimate(), Some(100.0));
+        // Small fluctuations around 100 are suppressed.
+        let mut reported = 0;
+        for sample in [101.0, 99.0, 102.0, 98.0, 100.5] {
+            if s.observe(sample).is_some() {
+                reported += 1;
+            }
+        }
+        assert_eq!(reported, 0, "small jitter must be suppressed");
+        // A sustained change eventually gets reported.
+        let mut reported_after_shift = false;
+        for _ in 0..50 {
+            if s.observe(200.0).is_some() {
+                reported_after_shift = true;
+                break;
+            }
+        }
+        assert!(reported_after_shift);
+        assert!(s.estimate().unwrap() > 110.0);
+        assert!(s.deviation() > 0.0);
+    }
+
+    #[test]
+    fn smoothing_reduces_reported_updates() {
+        // Feed the same noisy series to a smoother and count how many
+        // updates each policy reports: raw reporting fires every time, the
+        // smoother dramatically less often.
+        let mut model = RttModel::new(4);
+        let samples: Vec<f64> = (0..200)
+            .map(|i| {
+                if i % 10 == 0 {
+                    model.next_round();
+                }
+                model.measure(100.0)
+            })
+            .collect();
+        let raw_updates = samples.len();
+        let mut smoother = RttSmoother::default();
+        let smoothed_updates = samples.iter().filter(|&&s| smoother.observe(s).is_some()).count();
+        assert!(
+            smoothed_updates * 2 < raw_updates,
+            "smoothing should at least halve updates: {smoothed_updates} vs {raw_updates}"
+        );
+        assert!(smoothed_updates > 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! GT-ITM-style transit-stub topologies (§9.1).
+//!
+//! "The transit-stub topology consists of eight nodes per stub, three stubs
+//! per transit node, and four nodes per transit domain. We increase the
+//! number of nodes in the network by increasing the number of domains. The
+//! latency between transit nodes is set to 50 ms, the latency between a
+//! transit and a stub node is 10 ms, and the latency between any two nodes
+//! in the same stub is 2 ms."
+
+use dr_netsim::{LinkParams, Topology};
+use dr_types::{Cost, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the transit-stub generator; defaults follow the paper.
+#[derive(Debug, Clone)]
+pub struct TransitStubParams {
+    /// Number of transit domains.
+    pub domains: usize,
+    /// Transit nodes per domain (paper: 4).
+    pub transit_nodes_per_domain: usize,
+    /// Stubs attached to each transit node (paper: 3).
+    pub stubs_per_transit_node: usize,
+    /// Nodes per stub (paper: 8).
+    pub nodes_per_stub: usize,
+    /// Latency between transit nodes in ms (paper: 50).
+    pub transit_transit_ms: f64,
+    /// Latency between a transit node and a stub node in ms (paper: 10).
+    pub transit_stub_ms: f64,
+    /// Latency between two nodes of the same stub in ms (paper: 2).
+    pub stub_stub_ms: f64,
+    /// RNG seed (topology wiring inside stubs and between domains).
+    pub seed: u64,
+}
+
+impl Default for TransitStubParams {
+    fn default() -> Self {
+        TransitStubParams {
+            domains: 1,
+            transit_nodes_per_domain: 4,
+            stubs_per_transit_node: 3,
+            nodes_per_stub: 8,
+            transit_transit_ms: 50.0,
+            transit_stub_ms: 10.0,
+            stub_stub_ms: 2.0,
+            seed: 42,
+        }
+    }
+}
+
+impl TransitStubParams {
+    /// Parameters sized to approximately `target_nodes` nodes (the paper
+    /// scales 100–1000 nodes by increasing the number of domains).
+    pub fn sized(target_nodes: usize, seed: u64) -> TransitStubParams {
+        let defaults = TransitStubParams::default();
+        let per_domain = defaults.nodes_per_domain();
+        let domains = (target_nodes + per_domain - 1) / per_domain;
+        TransitStubParams { domains: domains.max(1), seed, ..defaults }
+    }
+
+    /// Nodes contributed by each domain.
+    pub fn nodes_per_domain(&self) -> usize {
+        self.transit_nodes_per_domain
+            * (1 + self.stubs_per_transit_node * self.nodes_per_stub)
+    }
+
+    /// Total node count of the generated topology.
+    pub fn total_nodes(&self) -> usize {
+        self.domains * self.nodes_per_domain()
+    }
+
+    /// Generate the topology. Link costs equal their latency in
+    /// milliseconds (the shortest-latency metric used throughout §9.1).
+    pub fn generate(&self) -> Topology {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let total = self.total_nodes();
+        let mut topo = Topology::new(total);
+        let link = |ms: f64| LinkParams::with_latency_ms(ms).with_cost(Cost::new(ms));
+
+        let mut next = 0u32;
+        let alloc = |count: usize, next: &mut u32| -> Vec<NodeId> {
+            let ids: Vec<NodeId> = (0..count).map(|i| NodeId::new(*next + i as u32)).collect();
+            *next += count as u32;
+            ids
+        };
+
+        let mut domain_transits: Vec<Vec<NodeId>> = Vec::new();
+        for _ in 0..self.domains {
+            // Transit nodes of this domain form a ring plus random chords —
+            // a small connected transit backbone.
+            let transits = alloc(self.transit_nodes_per_domain, &mut next);
+            for i in 0..transits.len() {
+                let a = transits[i];
+                let b = transits[(i + 1) % transits.len()];
+                if a != b && !topo.has_link(a, b) {
+                    topo.add_bidirectional(a, b, link(self.transit_transit_ms));
+                }
+            }
+            if transits.len() > 3 {
+                // one random chord for redundancy
+                let a = transits[rng.gen_range(0..transits.len())];
+                let b = transits[rng.gen_range(0..transits.len())];
+                if a != b && !topo.has_link(a, b) {
+                    topo.add_bidirectional(a, b, link(self.transit_transit_ms));
+                }
+            }
+
+            // Stubs hanging off each transit node.
+            for &transit in &transits {
+                for _ in 0..self.stubs_per_transit_node {
+                    let stub = alloc(self.nodes_per_stub, &mut next);
+                    // Stub-internal topology: a ring plus a couple of random
+                    // chords keeps the stub connected with average degree ≈3.
+                    for i in 0..stub.len() {
+                        let a = stub[i];
+                        let b = stub[(i + 1) % stub.len()];
+                        if a != b && !topo.has_link(a, b) {
+                            topo.add_bidirectional(a, b, link(self.stub_stub_ms));
+                        }
+                    }
+                    for _ in 0..2 {
+                        let a = *stub.choose(&mut rng).expect("stub not empty");
+                        let b = *stub.choose(&mut rng).expect("stub not empty");
+                        if a != b && !topo.has_link(a, b) {
+                            topo.add_bidirectional(a, b, link(self.stub_stub_ms));
+                        }
+                    }
+                    // The stub's gateway attaches to its transit node.
+                    let gateway = stub[0];
+                    topo.add_bidirectional(gateway, transit, link(self.transit_stub_ms));
+                }
+            }
+            domain_transits.push(transits);
+        }
+
+        // Inter-domain links: connect consecutive domains' transit backbones
+        // (and close the loop) so the whole network is connected.
+        if domain_transits.len() > 1 {
+            for i in 0..domain_transits.len() {
+                let a_domain = &domain_transits[i];
+                let b_domain = &domain_transits[(i + 1) % domain_transits.len()];
+                let a = *a_domain.choose(&mut rng).expect("non-empty domain");
+                let b = *b_domain.choose(&mut rng).expect("non-empty domain");
+                if a != b && !topo.has_link(a, b) {
+                    topo.add_bidirectional(a, b, link(self.transit_transit_ms));
+                }
+            }
+        }
+        topo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_parameters_match_the_paper() {
+        let p = TransitStubParams::default();
+        assert_eq!(p.transit_nodes_per_domain, 4);
+        assert_eq!(p.stubs_per_transit_node, 3);
+        assert_eq!(p.nodes_per_stub, 8);
+        assert_eq!(p.transit_transit_ms, 50.0);
+        assert_eq!(p.transit_stub_ms, 10.0);
+        assert_eq!(p.stub_stub_ms, 2.0);
+        // 4 * (1 + 3*8) = 100 nodes per domain
+        assert_eq!(p.nodes_per_domain(), 100);
+    }
+
+    #[test]
+    fn sized_scales_by_domains() {
+        assert_eq!(TransitStubParams::sized(100, 1).total_nodes(), 100);
+        assert_eq!(TransitStubParams::sized(250, 1).total_nodes(), 300);
+        assert_eq!(TransitStubParams::sized(1000, 1).total_nodes(), 1000);
+        assert_eq!(TransitStubParams::sized(1, 1).total_nodes(), 100);
+    }
+
+    #[test]
+    fn generated_topology_is_connected() {
+        for seed in [1, 2, 3] {
+            let topo = TransitStubParams::sized(200, seed).generate();
+            assert_eq!(topo.num_nodes(), 200);
+            assert!(topo.is_strongly_connected(), "seed {seed} produced a disconnected network");
+        }
+    }
+
+    #[test]
+    fn latencies_use_the_three_tiers() {
+        let topo = TransitStubParams::sized(100, 7).generate();
+        let mut seen = std::collections::BTreeSet::new();
+        for (_, _, p) in topo.all_links() {
+            seen.insert(p.latency.as_micros());
+        }
+        assert!(seen.contains(&2_000));
+        assert!(seen.contains(&10_000));
+        assert!(seen.contains(&50_000));
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn diameter_grows_with_domain_count() {
+        let small = TransitStubParams::sized(100, 5).generate();
+        let large = TransitStubParams::sized(400, 5).generate();
+        assert!(large.diameter_latency_ms() >= small.diameter_latency_ms());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = TransitStubParams::sized(200, 9).generate();
+        let b = TransitStubParams::sized(200, 9).generate();
+        assert_eq!(a.num_links(), b.num_links());
+        let c = TransitStubParams::sized(200, 10).generate();
+        // different seed may differ in chord placement (not guaranteed, but
+        // node/link counts at least stay consistent)
+        assert_eq!(a.num_nodes(), c.num_nodes());
+    }
+}

@@ -1,0 +1,81 @@
+//! The paper's central observation (section 5.3): dynamic source routing and
+//! the distance-vector/path-vector family "differ only in ... the order in
+//! which a query's predicates are evaluated". This example evaluates the
+//! right-recursive Best-Path query, the left-recursive DSR query, and the
+//! mechanical left/right flip of the rewriter, and shows they all compute
+//! the same routes.
+//!
+//! ```text
+//! cargo run --release --example dsr_vs_distance_vector
+//! ```
+
+use declarative_routing::datalog::rewrite::{flip_program_recursion, recursion_direction};
+use declarative_routing::datalog::{Database, Evaluator};
+use declarative_routing::protocols::{best_path, distance_vector, dynamic_source_routing};
+use declarative_routing::types::{NodeId, Tuple, Value};
+use declarative_routing::workloads::TransitStubParams;
+
+fn main() {
+    // Use one stub of a transit-stub network as the test graph.
+    let topo = TransitStubParams::sized(100, 7).generate();
+    let links: Vec<Tuple> = topo
+        .all_links()
+        .map(|(s, d, p)| {
+            Tuple::new(
+                "link",
+                vec![Value::Node(s), Value::Node(d), Value::from(p.cost.value())],
+            )
+        })
+        .collect();
+    let load = |db: &mut Database| {
+        for l in &links {
+            db.insert(l.clone());
+        }
+    };
+
+    let right = best_path();
+    let left = dynamic_source_routing();
+    let flipped = flip_program_recursion(&right);
+    println!(
+        "recursion direction: Best-Path NR2 = {:?}, DSR1 = {:?}",
+        recursion_direction(right.rule("NR2").unwrap()),
+        recursion_direction(left.rule("DSR1").unwrap()),
+    );
+
+    let mut right_db = Database::new();
+    let mut left_db = Database::new();
+    let mut flip_db = Database::new();
+    load(&mut right_db);
+    load(&mut left_db);
+    load(&mut flip_db);
+    Evaluator::new(right).unwrap().run(&mut right_db).unwrap();
+    Evaluator::new(left).unwrap().run(&mut left_db).unwrap();
+    Evaluator::new(flipped).unwrap().run(&mut flip_db).unwrap();
+
+    let costs = |db: &Database| {
+        let mut v: Vec<Tuple> = db.sorted_tuples("bestPathCost");
+        v.sort();
+        v
+    };
+    let right_costs = costs(&right_db);
+    assert_eq!(right_costs, costs(&left_db), "DSR must agree with Best-Path");
+    assert_eq!(right_costs, costs(&flip_db), "the mechanical flip must agree too");
+    println!(
+        "all three strategies agree on {} best-path costs over {} nodes",
+        right_costs.len(),
+        topo.num_nodes()
+    );
+
+    // Distance-vector produces next hops; check they are consistent with the
+    // best-path costs for a few pairs.
+    let mut dv_db = Database::new();
+    load(&mut dv_db);
+    Evaluator::new(distance_vector(1e6)).unwrap().run(&mut dv_db).unwrap();
+    let sample: Vec<Tuple> = dv_db.sorted_tuples("nextHop").into_iter().take(5).collect();
+    println!("\nsample distance-vector next hops:");
+    for t in sample {
+        println!("  {t}");
+    }
+    println!("\nconclusion: left vs right recursion changes the execution strategy, not the routes.");
+    let _ = NodeId::new(0);
+}

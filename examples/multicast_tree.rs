@@ -1,0 +1,63 @@
+//! Source-specific multicast (paper section 5.5): subscribers join a group
+//! and the query installs a dissemination tree of `forwardState` entries
+//! from the source toward every subscriber.
+//!
+//! ```text
+//! cargo run --release --example multicast_tree
+//! ```
+
+use declarative_routing::datalog::{Database, Evaluator};
+use declarative_routing::protocols::multicast::{join_group_fact, source_specific_multicast};
+use declarative_routing::types::{NodeId, Tuple, Value};
+
+fn n(i: u32) -> NodeId {
+    NodeId::new(i)
+}
+
+fn link(s: u32, d: u32, c: f64) -> Tuple {
+    Tuple::new("link", vec![Value::Node(n(s)), Value::Node(n(d)), Value::from(c)])
+}
+
+fn main() {
+    // A binary-tree-ish topology rooted at node 0 with some cross links.
+    let mut db = Database::new();
+    for (s, d, c) in [
+        (0, 1, 1.0),
+        (0, 2, 1.0),
+        (1, 3, 1.0),
+        (1, 4, 1.0),
+        (2, 5, 1.0),
+        (2, 6, 1.0),
+        (4, 5, 3.0),
+    ] {
+        db.insert(link(s, d, c));
+        db.insert(link(d, s, c));
+    }
+
+    // Nodes 3, 4, 5 and 6 subscribe to group "video" rooted at node 0.
+    for subscriber in [3u32, 4, 5, 6] {
+        db.insert(join_group_fact(n(subscriber), n(0), "video"));
+    }
+
+    let program = source_specific_multicast(n(0), "video");
+    println!("source-specific multicast query:\n{program}");
+    Evaluator::new(program).expect("valid program").run(&mut db).expect("terminates");
+
+    println!("multicast forwarding state (node -> forwards to, group):");
+    for t in db.sorted_tuples("forwardState") {
+        println!("  {t}");
+    }
+
+    // Derive the dissemination tree edges for display.
+    let mut edges: Vec<(NodeId, NodeId)> = db
+        .sorted_tuples("forwardState")
+        .into_iter()
+        .map(|t| (t.node_at(0).unwrap(), t.node_at(1).unwrap()))
+        .collect();
+    edges.sort();
+    edges.dedup();
+    println!("\ndissemination tree edges from the source (n0):");
+    for (from, to) in edges {
+        println!("  {from} -> {to}");
+    }
+}

@@ -1,0 +1,46 @@
+//! # declarative-routing
+//!
+//! A from-scratch Rust reproduction of *"Declarative Routing: Extensible
+//! Routing with Declarative Queries"* (Loo, Hellerstein, Stoica,
+//! Ramakrishnan — SIGCOMM 2005): routing protocols are written as recursive
+//! Datalog queries and executed as distributed dataflows by a query
+//! processor running on every node of a (simulated) network.
+//!
+//! This crate is a façade that re-exports the workspace's building blocks:
+//!
+//! * [`datalog`] — the Datalog dialect: parser, semi-naïve evaluator, safety
+//!   analysis, query rewrites.
+//! * [`netsim`] — the deterministic discrete-event network simulator.
+//! * [`engine`] — the distributed query processor (localization, per-node
+//!   execution, incremental maintenance, multi-query sharing) and the
+//!   experiment harness.
+//! * [`protocols`] — every protocol from the paper as a ready-made query.
+//! * [`baselines`] — hand-coded path-vector / distance-vector baselines.
+//! * [`workloads`] — topologies, RTT models, churn and query workloads.
+//!
+//! ```no_run
+//! use declarative_routing::engine::harness::{IssueOptions, RoutingHarness};
+//! use declarative_routing::netsim::SimTime;
+//! use declarative_routing::protocols::best_path;
+//! use declarative_routing::types::NodeId;
+//! use declarative_routing::workloads::TransitStubParams;
+//!
+//! let topology = TransitStubParams::sized(100, 42).generate();
+//! let mut harness = RoutingHarness::new(topology);
+//! let qid = harness
+//!     .issue_program(NodeId::new(0), SimTime::ZERO, &best_path(), IssueOptions::default())
+//!     .unwrap();
+//! harness.run_until(SimTime::from_secs(60));
+//! println!("routes: {}", harness.finite_results(qid).len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dr_baselines as baselines;
+pub use dr_core as engine;
+pub use dr_datalog as datalog;
+pub use dr_netsim as netsim;
+pub use dr_protocols as protocols;
+pub use dr_types as types;
+pub use dr_workloads as workloads;

@@ -1,0 +1,201 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: path-vector algebra, cost arithmetic, the parser round-trip,
+//! the equivalence of naïve and semi-naïve evaluation, the left/right
+//! recursion rewrite, and the aggregate-selections optimization.
+
+use declarative_routing::datalog::eval::EvalConfig;
+use declarative_routing::datalog::rewrite::flip_program_recursion;
+use declarative_routing::datalog::{parse_program, Database, Evaluator};
+use declarative_routing::protocols::{best_path, network_reachability};
+use declarative_routing::types::{Cost, NodeId, PathVector, Tuple, Value};
+use proptest::prelude::*;
+
+fn node_vec() -> impl Strategy<Value = Vec<NodeId>> {
+    prop::collection::vec(0u32..20, 0..8).prop_map(|v| v.into_iter().map(NodeId::new).collect())
+}
+
+/// A random small undirected graph: list of (a, b, cost) edges over ≤ 8
+/// nodes, always including a spanning chain so it is connected.
+fn small_graph() -> impl Strategy<Value = Vec<(u32, u32, f64)>> {
+    (2usize..6, prop::collection::vec((0u32..6, 0u32..6, 1u32..10u32), 0..6)).prop_map(
+        |(n, extra)| {
+            let mut edges = Vec::new();
+            for i in 0..(n as u32 - 1) {
+                edges.push((i, i + 1, 1.0 + i as f64));
+            }
+            for (a, b, c) in extra {
+                let (a, b) = (a % n as u32, b % n as u32);
+                if a != b {
+                    edges.push((a, b, c as f64));
+                }
+            }
+            edges
+        },
+    )
+}
+
+fn link_db(edges: &[(u32, u32, f64)]) -> Database {
+    let mut db = Database::new();
+    db.declare_key("link", vec![0, 1]);
+    for &(a, b, c) in edges {
+        for (s, d) in [(a, b), (b, a)] {
+            db.insert(Tuple::new(
+                "link",
+                vec![Value::Node(NodeId::new(s)), Value::Node(NodeId::new(d)), Value::from(c)],
+            ));
+        }
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Prepending then taking the tail returns the original path; length and
+    /// membership behave like the list they model.
+    #[test]
+    fn path_vector_prepend_tail_roundtrip(nodes in node_vec(), extra in 0u32..20) {
+        let p = PathVector::from_nodes(nodes.clone());
+        let extra = NodeId::new(extra);
+        let grown = p.prepend(extra);
+        prop_assert_eq!(grown.len(), p.len() + 1);
+        prop_assert_eq!(grown.head(), Some(extra));
+        prop_assert_eq!(grown.tail(), p.clone());
+        prop_assert!(grown.contains(extra));
+        for n in &nodes {
+            prop_assert!(grown.contains(*n));
+        }
+    }
+
+    /// `join` concatenates, deduplicating exactly one junction node.
+    #[test]
+    fn path_vector_join_lengths(a in node_vec(), b in node_vec()) {
+        let pa = PathVector::from_nodes(a.clone());
+        let pb = PathVector::from_nodes(b.clone());
+        let joined = pa.join(&pb);
+        let dedup = usize::from(!a.is_empty() && !b.is_empty() && a.last() == b.first());
+        prop_assert_eq!(joined.len(), a.len() + b.len() - dedup);
+    }
+
+    /// Cost ordering is total and addition is monotone and commutative
+    /// (modulo the saturating ∞ behaviour).
+    #[test]
+    fn cost_arithmetic_properties(a in 0.0f64..1e9, b in 0.0f64..1e9) {
+        let ca = Cost::new(a);
+        let cb = Cost::new(b);
+        prop_assert_eq!(ca + cb, cb + ca);
+        prop_assert!(ca + cb >= ca);
+        prop_assert!(ca + cb >= cb);
+        prop_assert!(ca.min(cb) <= ca.max(cb));
+        prop_assert!((ca + Cost::INFINITY).is_infinite());
+    }
+
+    /// Printing a parsed program and re-parsing it yields the same rules.
+    #[test]
+    fn parser_display_roundtrip(bound in 1u32..100, seed_rel in "[a-z][a-z0-9]{0,6}") {
+        let src = format!(
+            r#"
+            r1: {rel}(@S,D,P,C) :- link(@S,D,C), P = f_initPath(S,D), C < {bound}.
+            r2: {rel}(@S,D,P,C) :- link(@S,Z,C1), {rel}(@Z,D,P2,C2),
+                C = C1 + C2, P = f_prepend(S,P2), f_inPath(P2,S) = false.
+            best(@S,D,min<C>) :- {rel}(@S,D,P,C).
+            Query: best(@S,D,C).
+            "#,
+            rel = seed_rel,
+            bound = bound
+        );
+        let p1 = parse_program(&src).unwrap();
+        let p2 = parse_program(&p1.to_string()).unwrap();
+        prop_assert_eq!(p1.rules.len(), p2.rules.len());
+        prop_assert_eq!(p1.queries, p2.queries);
+        for (a, b) in p1.rules.iter().zip(p2.rules.iter()) {
+            prop_assert_eq!(&a.head, &b.head);
+            prop_assert_eq!(a.body.len(), b.body.len());
+        }
+    }
+
+    /// Naïve and semi-naïve evaluation produce identical path sets on random
+    /// graphs (the §3.3 evaluation-strategy ablation).
+    #[test]
+    fn naive_and_semi_naive_agree(edges in small_graph()) {
+        let program = network_reachability();
+        let mut semi_db = link_db(&edges);
+        let mut naive_db = link_db(&edges);
+        Evaluator::new(program.clone()).unwrap().run(&mut semi_db).unwrap();
+        Evaluator::with_config(
+            program,
+            EvalConfig { semi_naive: false, ..EvalConfig::default() },
+        )
+        .unwrap()
+        .run(&mut naive_db)
+        .unwrap();
+        prop_assert_eq!(semi_db.sorted_tuples("path"), naive_db.sorted_tuples("path"));
+    }
+
+    /// The left/right recursion flip (§5.3) preserves best-path answers on
+    /// random graphs.
+    #[test]
+    fn recursion_flip_preserves_best_paths(edges in small_graph()) {
+        let right = best_path();
+        let left = flip_program_recursion(&right);
+        let mut right_db = link_db(&edges);
+        let mut left_db = link_db(&edges);
+        Evaluator::new(right).unwrap().run(&mut right_db).unwrap();
+        Evaluator::new(left).unwrap().run(&mut left_db).unwrap();
+        prop_assert_eq!(
+            right_db.sorted_tuples("bestPathCost"),
+            left_db.sorted_tuples("bestPathCost")
+        );
+    }
+
+    /// Aggregate selections prune work but never change the best-path costs
+    /// (§7.1's correctness requirement).
+    #[test]
+    fn aggregate_selections_preserve_answers(edges in small_graph()) {
+        let mut plain_db = link_db(&edges);
+        let mut opt_db = link_db(&edges);
+        Evaluator::new(best_path()).unwrap().run(&mut plain_db).unwrap();
+        let stats = Evaluator::with_config(
+            best_path(),
+            EvalConfig { aggregate_selections: true, ..EvalConfig::default() },
+        )
+        .unwrap()
+        .run(&mut opt_db)
+        .unwrap();
+        prop_assert_eq!(
+            plain_db.sorted_tuples("bestPathCost"),
+            opt_db.sorted_tuples("bestPathCost")
+        );
+        prop_assert!(stats.tuples_derived <= plain_db.total_tuples());
+    }
+
+    /// The best-path cost between two nodes never exceeds the direct link
+    /// cost between them, and equals Dijkstra's answer on the same graph.
+    #[test]
+    fn best_path_cost_is_optimal(edges in small_graph()) {
+        let mut db = link_db(&edges);
+        Evaluator::new(best_path()).unwrap().run(&mut db).unwrap();
+
+        // Reference shortest paths via the simulator's Dijkstra.
+        let mut topo = declarative_routing::netsim::Topology::new(
+            edges.iter().flat_map(|(a, b, _)| [*a as usize + 1, *b as usize + 1]).max().unwrap_or(1),
+        );
+        for &(a, b, c) in &edges {
+            topo.add_bidirectional(
+                NodeId::new(a),
+                NodeId::new(b),
+                declarative_routing::netsim::LinkParams::with_latency_ms(c).with_cost(Cost::new(c)),
+            );
+        }
+        for t in db.tuples("bestPathCost") {
+            let s = t.node_at(0).unwrap();
+            let d = t.node_at(1).unwrap();
+            let cost = t.field(2).and_then(Value::as_cost).unwrap();
+            if !cost.is_finite() {
+                continue;
+            }
+            let reference = topo.cost_distances(s).get(&d).copied();
+            prop_assert_eq!(Some(cost.value()), reference, "pair {}->{}", s, d);
+        }
+    }
+}
