@@ -118,13 +118,15 @@ impl DistanceVectorNode {
             entries: self
                 .routes
                 .iter()
-                .map(|(&dest, &(next, cost))| {
-                    if next == neighbor {
-                        (dest, self.config.infinity)
-                    } else {
-                        (dest, cost)
-                    }
-                })
+                .map(
+                    |(&dest, &(next, cost))| {
+                        if next == neighbor {
+                            (dest, self.config.infinity)
+                        } else {
+                            (dest, cost)
+                        }
+                    },
+                )
                 .collect(),
         }
     }
@@ -142,17 +144,18 @@ impl NodeApp for DistanceVectorNode {
 
     fn on_start(&mut self, ctx: &mut Context<'_, DistanceVector>) {
         self.id = ctx.id();
-        self.neighbors = ctx
-            .neighbors()
-            .into_iter()
-            .map(|(nb, p)| (nb, p.cost))
-            .collect();
+        self.neighbors = ctx.neighbors().into_iter().map(|(nb, p)| (nb, p.cost)).collect();
         self.recompute();
         self.dirty = true;
         self.schedule_advert(ctx);
     }
 
-    fn on_message(&mut self, ctx: &mut Context<'_, DistanceVector>, from: NodeId, msg: DistanceVector) {
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, DistanceVector>,
+        from: NodeId,
+        msg: DistanceVector,
+    ) {
         self.heard.retain(|(nb, _), _| *nb != from);
         for (dest, cost) in msg.entries {
             let stored = if cost >= self.config.infinity { Cost::INFINITY } else { cost };
@@ -259,7 +262,11 @@ mod tests {
         // Square 0-1, 1-3, 0-2, 2-3: fail node 1, route 0->3 flips to via 2.
         let mut t = Topology::new(4);
         for (a, b) in [(0u32, 1u32), (1, 3), (0, 2), (2, 3)] {
-            t.add_bidirectional(n(a), n(b), LinkParams::with_latency_ms(10.0).with_cost(Cost::new(1.0)));
+            t.add_bidirectional(
+                n(a),
+                n(b),
+                LinkParams::with_latency_ms(10.0).with_cost(Cost::new(1.0)),
+            );
         }
         let mut sim = build(t);
         sim.run_until(SimTime::from_secs(20));

@@ -30,11 +30,7 @@ impl Advertisement {
     /// Wire size estimate: 4 bytes per node id in every path plus per-route
     /// overhead (comparable to the tuple encoding used by the query engine).
     pub fn wire_size(&self) -> usize {
-        16 + self
-            .routes
-            .iter()
-            .map(|(_, p, _)| 16 + 4 * p.len())
-            .sum::<usize>()
+        16 + self.routes.iter().map(|(_, p, _)| 16 + 4 * p.len()).sum::<usize>()
     }
 }
 
@@ -155,11 +151,7 @@ impl PathVectorNode {
 
     fn advertisement(&self) -> Advertisement {
         Advertisement {
-            routes: self
-                .routes
-                .values()
-                .map(|r| (r.dest, r.path.clone(), r.cost))
-                .collect(),
+            routes: self.routes.values().map(|r| (r.dest, r.path.clone(), r.cost)).collect(),
         }
     }
 }
@@ -169,17 +161,18 @@ impl NodeApp for PathVectorNode {
 
     fn on_start(&mut self, ctx: &mut Context<'_, Advertisement>) {
         self.id = ctx.id();
-        self.neighbors = ctx
-            .neighbors()
-            .into_iter()
-            .map(|(nb, p)| (nb, p.cost))
-            .collect();
+        self.neighbors = ctx.neighbors().into_iter().map(|(nb, p)| (nb, p.cost)).collect();
         self.recompute();
         self.dirty = true;
         self.schedule_advert(ctx);
     }
 
-    fn on_message(&mut self, ctx: &mut Context<'_, Advertisement>, from: NodeId, msg: Advertisement) {
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, Advertisement>,
+        from: NodeId,
+        msg: Advertisement,
+    ) {
         // Replace everything previously heard from this neighbor.
         self.rib_in.retain(|(nb, _), _| *nb != from);
         for (dest, path, cost) in msg.routes {
@@ -246,10 +239,26 @@ mod tests {
 
     fn diamond() -> Topology {
         let mut t = Topology::new(4);
-        t.add_bidirectional(n(0), n(1), LinkParams::with_latency_ms(10.0).with_cost(Cost::new(1.0)));
-        t.add_bidirectional(n(1), n(3), LinkParams::with_latency_ms(10.0).with_cost(Cost::new(1.0)));
-        t.add_bidirectional(n(0), n(2), LinkParams::with_latency_ms(10.0).with_cost(Cost::new(5.0)));
-        t.add_bidirectional(n(2), n(3), LinkParams::with_latency_ms(10.0).with_cost(Cost::new(5.0)));
+        t.add_bidirectional(
+            n(0),
+            n(1),
+            LinkParams::with_latency_ms(10.0).with_cost(Cost::new(1.0)),
+        );
+        t.add_bidirectional(
+            n(1),
+            n(3),
+            LinkParams::with_latency_ms(10.0).with_cost(Cost::new(1.0)),
+        );
+        t.add_bidirectional(
+            n(0),
+            n(2),
+            LinkParams::with_latency_ms(10.0).with_cost(Cost::new(5.0)),
+        );
+        t.add_bidirectional(
+            n(2),
+            n(3),
+            LinkParams::with_latency_ms(10.0).with_cost(Cost::new(5.0)),
+        );
         t
     }
 
@@ -301,10 +310,8 @@ mod tests {
         let mut node = PathVectorNode::new(PathVectorConfig::default());
         node.id = n(0);
         node.neighbors.insert(n(1), Cost::new(1.0));
-        node.rib_in.insert(
-            (n(1), n(2)),
-            (PathVector::from_nodes(vec![n(1), n(0), n(2)]), Cost::new(2.0)),
-        );
+        node.rib_in
+            .insert((n(1), n(2)), (PathVector::from_nodes(vec![n(1), n(0), n(2)]), Cost::new(2.0)));
         node.recompute();
         assert!(node.route_to(n(2)).is_none());
     }

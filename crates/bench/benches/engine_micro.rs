@@ -14,10 +14,7 @@ fn link_tuples_from_topology(nodes: usize, seed: u64) -> Vec<Tuple> {
     let topo = TransitStubParams::sized(nodes, seed).generate();
     topo.all_links()
         .map(|(s, d, p)| {
-            Tuple::new(
-                "link",
-                vec![Value::Node(s), Value::Node(d), Value::from(p.cost.value())],
-            )
+            Tuple::new("link", vec![Value::Node(s), Value::Node(d), Value::from(p.cost.value())])
         })
         .collect()
 }
@@ -29,11 +26,7 @@ fn ring_links(n: u32) -> Vec<Tuple> {
         for (s, d) in [(i, j), (j, i)] {
             out.push(Tuple::new(
                 "link",
-                vec![
-                    Value::Node(NodeId::new(s)),
-                    Value::Node(NodeId::new(d)),
-                    Value::from(1.0),
-                ],
+                vec![Value::Node(NodeId::new(s)), Value::Node(NodeId::new(d)), Value::from(1.0)],
             ));
         }
     }

@@ -7,10 +7,15 @@ use dr_bench::Series;
 use dr_workloads::OverlayKind;
 
 fn main() {
-    for (figure, smoothed) in [("Figure 12 (raw RTT updates)", false), ("Figure 13 (smoothed)", true)] {
+    for (figure, smoothed) in
+        [("Figure 12 (raw RTT updates)", false), ("Figure 13 (smoothed)", true)]
+    {
         println!("# {figure}");
         let outcome = adaptation_experiment(OverlayKind::DenseRandom, smoothed, 51);
-        Series::print_table("time_s", &[outcome.avg_path_rtt.clone(), outcome.avg_link_rtt.clone()]);
+        Series::print_table(
+            "time_s",
+            &[outcome.avg_path_rtt.clone(), outcome.avg_link_rtt.clone()],
+        );
         println!();
     }
 }

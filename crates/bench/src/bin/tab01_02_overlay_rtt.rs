@@ -7,9 +7,6 @@ fn main() {
     println!("# Tables 1-2: AvgLinkRTT / AvgPathRTT per overlay topology");
     println!("topology,avg_link_rtt_ms,avg_path_rtt_ms,paths");
     for row in tab01_02_overlay_rtt() {
-        println!(
-            "{},{:.1},{:.1},{}",
-            row.topology, row.avg_link_rtt, row.avg_path_rtt, row.paths
-        );
+        println!("{},{:.1},{:.1},{}", row.topology, row.avg_link_rtt, row.avg_path_rtt, row.paths);
     }
 }

@@ -13,7 +13,10 @@ use dr_netsim::{LinkParams, SimDuration, SimTime};
 use dr_protocols::{best_path, best_path_pairs, best_path_pairs_share};
 use dr_types::{Cost, NodeId};
 use dr_workloads::queries::QueryMetric;
-use dr_workloads::{ChurnSchedule, MixedWorkload, OverlayKind, OverlayParams, PairWorkload, RttModel, RttSmoother, TransitStubParams};
+use dr_workloads::{
+    ChurnSchedule, MixedWorkload, OverlayKind, OverlayParams, PairWorkload, RttModel, RttSmoother,
+    TransitStubParams,
+};
 use std::collections::BTreeMap;
 
 // ---------------------------------------------------------------------------
@@ -23,17 +26,16 @@ use std::collections::BTreeMap;
 /// Figure 5: diameter (latency of the longest shortest path, ms) of
 /// transit-stub topologies as the node count grows.
 pub fn fig05_diameter() -> Vec<Series> {
-    let sizes: Vec<usize> = if full_scale() {
-        vec![100, 200, 400, 600, 800, 1000]
-    } else {
-        vec![100, 200, 300, 400]
-    };
+    let sizes: Vec<usize> =
+        if full_scale() { vec![100, 200, 400, 600, 800, 1000] } else { vec![100, 200, 300, 400] };
     let runs = if full_scale() { 5 } else { 3 };
     let mut mean = Series::new("diameter_ms");
     let mut stddev = Series::new("stddev_ms");
     for &size in &sizes {
         let samples: Vec<f64> = (0..runs)
-            .map(|r| TransitStubParams::sized(size, 100 + r as u64).generate().diameter_latency_ms())
+            .map(|r| {
+                TransitStubParams::sized(size, 100 + r as u64).generate().diameter_latency_ms()
+            })
             .collect();
         let m = samples.iter().sum::<f64>() / samples.len() as f64;
         let var = samples.iter().map(|s| (s - m) * (s - m)).sum::<f64>() / samples.len() as f64;
@@ -51,11 +53,8 @@ pub fn fig05_diameter() -> Vec<Series> {
 /// against the hand-coded path-vector protocol, on growing transit-stub
 /// networks. Also reports the per-node communication overhead of both.
 pub fn fig06_convergence() -> Vec<Series> {
-    let sizes: Vec<usize> = if full_scale() {
-        vec![100, 200, 400, 600, 800, 1000]
-    } else {
-        vec![50, 100, 150]
-    };
+    let sizes: Vec<usize> =
+        if full_scale() { vec![100, 200, 400, 600, 800, 1000] } else { vec![50, 100, 150] };
     let horizon = SimTime::from_secs(if full_scale() { 120 } else { 90 });
     let sample = SimDuration::from_millis(500);
 
@@ -164,8 +163,11 @@ pub fn run_pair_stream(strategy: PairStrategy, params: &PairStreamParams) -> Ser
     }
 
     let mut harness = RoutingHarness::new(topo);
-    let mut workload =
-        PairWorkload::with_destination_fraction(params.nodes, params.destination_fraction, params.seed);
+    let mut workload = PairWorkload::with_destination_fraction(
+        params.nodes,
+        params.destination_fraction,
+        params.seed,
+    );
     let mut now = SimTime::ZERO;
     for q in 1..=params.queries {
         let (src, dst) = workload.next_pair();
@@ -189,10 +191,8 @@ pub fn run_pair_stream(strategy: PairStrategy, params: &PairStreamParams) -> Ser
             ),
             PairStrategy::AllPairs => unreachable!("handled above"),
         };
-        harness
-            .issue_program(src, now, &program, options)
-            .expect("pair query must localize");
-        now = now + params.spacing;
+        harness.issue_program(src, now, &program, options).expect("pair query must localize");
+        now += params.spacing;
         harness.run_until(now);
         if q % params.checkpoint_every == 0 {
             series.push(q as f64, harness.per_node_overhead_kb());
@@ -271,7 +271,7 @@ fn run_mixed_stream(label: &str, switch: Option<usize>, params: &PairStreamParam
             ..Default::default()
         };
         harness.issue_program(src, now, &program, options).expect("query must localize");
-        now = now + params.spacing;
+        now += params.spacing;
         harness.run_until(now);
         if q % params.checkpoint_every == 0 {
             series.push(q as f64, harness.per_node_overhead_kb());
@@ -317,7 +317,8 @@ pub fn tab01_02_overlay_rtt() -> Vec<OverlayRttRow> {
         (OverlayKind::DenseUunet, 1.2, "Dense-UUNET (loaded)"),
     ];
     for (kind, load, label) in configs {
-        let params = OverlayParams { nodes, load_factor: load, ..OverlayParams::planetlab(kind, 21) };
+        let params =
+            OverlayParams { nodes, load_factor: load, ..OverlayParams::planetlab(kind, 21) };
         let topo = params.generate();
         let link_rtt = average_link_rtt(&topo);
         let outcome = run_best_path_query(topo, horizon, SimDuration::from_secs(2));
@@ -403,10 +404,8 @@ pub fn adaptation_experiment(kind: OverlayKind, smoothed: bool, seed: u64) -> Ad
     let params = OverlayParams { nodes, ..OverlayParams::planetlab(kind, seed) };
     let topo = params.generate();
     // Remember every link's baseline RTT for the measurement model.
-    let baselines: Vec<(NodeId, NodeId, f64)> = topo
-        .all_links()
-        .map(|(a, b, p)| (a, b, p.cost.value()))
-        .collect();
+    let baselines: Vec<(NodeId, NodeId, f64)> =
+        topo.all_links().map(|(a, b, p)| (a, b, p.cost.value())).collect();
 
     let (mut harness, qid) = start_best_path_query(topo, warmup);
     let initial = best_paths_snapshot(&harness, qid);
@@ -447,7 +446,7 @@ pub fn adaptation_experiment(kind: OverlayKind, smoothed: bool, seed: u64) -> Ad
                 );
             }
         }
-        now = now + round_interval;
+        now += round_interval;
         harness.run_until(now);
 
         // Sample the computed paths and the reported link RTTs.
@@ -457,8 +456,7 @@ pub fn adaptation_experiment(kind: OverlayKind, smoothed: bool, seed: u64) -> Ad
         } else {
             snapshot.values().map(|(_, c)| c.value()).sum::<f64>() / snapshot.len() as f64
         };
-        let avg_link =
-            reported_rtts.values().sum::<f64>() / reported_rtts.len().max(1) as f64;
+        let avg_link = reported_rtts.values().sum::<f64>() / reported_rtts.len().max(1) as f64;
         avg_path_series.push(now.as_secs_f64(), avg_path);
         avg_link_series.push(now.as_secs_f64(), avg_link);
 
@@ -536,7 +534,8 @@ pub fn churn_experiment(kind: OverlayKind, fraction: f64, seed: u64) -> ChurnOut
     let topo = params.generate();
     let (mut harness, qid) = start_best_path_query(topo, warmup);
 
-    let schedule = ChurnSchedule::alternating(nodes, fraction, warmup, interval, cycles, seed ^ 0xc0de);
+    let schedule =
+        ChurnSchedule::alternating(nodes, fraction, warmup, interval, cycles, seed ^ 0xc0de);
     schedule.apply(harness.sim_mut());
     let churn_start = harness.sim().now();
     let bytes_before = harness.sim().metrics().total_bytes();
@@ -551,7 +550,7 @@ pub fn churn_experiment(kind: OverlayKind, fraction: f64, seed: u64) -> ChurnOut
     let end = schedule.end_time() + interval;
     let mut now = churn_start;
     while now < end {
-        now = now + sample_interval;
+        now += sample_interval;
         harness.run_until(now);
 
         // Track which churn events have fired by now.
@@ -562,12 +561,10 @@ pub fn churn_experiment(kind: OverlayKind, fraction: f64, seed: u64) -> ChurnOut
                     // Paths that traverse a victim are invalidated.
                     for (pair, (path, _)) in best_paths_snapshot(&harness, qid) {
                         if path.iter().any(|n| victims.contains(n))
-                            || victims.contains(&pair.0)
-                            || victims.contains(&pair.1)
+                            && !victims.contains(&pair.0)
+                            && !victims.contains(&pair.1)
                         {
-                            if !victims.contains(&pair.0) && !victims.contains(&pair.1) {
-                                pending.insert(pair, *t);
-                            }
+                            pending.insert(pair, *t);
                         }
                     }
                 }
@@ -607,7 +604,8 @@ pub fn churn_experiment(kind: OverlayKind, fraction: f64, seed: u64) -> ChurnOut
             })
             .map(|(_, (_, c))| c.value())
             .collect();
-        let avg = if valid.is_empty() { 0.0 } else { valid.iter().sum::<f64>() / valid.len() as f64 };
+        let avg =
+            if valid.is_empty() { 0.0 } else { valid.iter().sum::<f64>() / valid.len() as f64 };
         avg_series.push(now.as_secs_f64(), avg);
     }
 
@@ -639,12 +637,8 @@ pub fn churn_experiment(kind: OverlayKind, fraction: f64, seed: u64) -> ChurnOut
 /// Figure 14 (and the close-up of Figure 15): AvgPathRTT under churn for
 /// three failure fractions on the Dense-UUNET overlay.
 pub fn fig14_15_churn() -> Vec<ChurnOutcome> {
-    let fractions: Vec<f64> =
-        if full_scale() { vec![0.05, 0.1, 0.2] } else { vec![0.1, 0.2] };
-    fractions
-        .into_iter()
-        .map(|f| churn_experiment(OverlayKind::DenseUunet, f, 77))
-        .collect()
+    let fractions: Vec<f64> = if full_scale() { vec![0.05, 0.1, 0.2] } else { vec![0.1, 0.2] };
+    fractions.into_iter().map(|f| churn_experiment(OverlayKind::DenseUunet, f, 77)).collect()
 }
 
 /// Table 4: recovery statistics for the same runs (plus the Dense-Random

@@ -41,10 +41,8 @@ impl Series {
             print!(",{}", s.name);
         }
         println!();
-        let xs: Vec<f64> = series
-            .first()
-            .map(|s| s.points.iter().map(|(x, _)| *x).collect())
-            .unwrap_or_default();
+        let xs: Vec<f64> =
+            series.first().map(|s| s.points.iter().map(|(x, _)| *x).collect()).unwrap_or_default();
         for (i, x) in xs.iter().enumerate() {
             print!("{x:.3}");
             for s in series {
@@ -75,7 +73,11 @@ pub struct RunOutcome {
 /// Run the all-pairs Best-Path query (issued at node 0 at t=0) over
 /// `topology` until `horizon`, sampling every `sample` to detect
 /// convergence.
-pub fn run_best_path_query(topology: Topology, horizon: SimTime, sample: SimDuration) -> RunOutcome {
+pub fn run_best_path_query(
+    topology: Topology,
+    horizon: SimTime,
+    sample: SimDuration,
+) -> RunOutcome {
     let mut harness = RoutingHarness::new(topology);
     let qid = harness
         .issue_program(NodeId::new(0), SimTime::ZERO, &best_path(), IssueOptions::default())
@@ -92,10 +94,7 @@ pub fn run_best_path_query(topology: Topology, horizon: SimTime, sample: SimDura
 
 /// Run the all-pairs Best-Path query and also return the harness for
 /// follow-on phases (continuous updates, churn).
-pub fn start_best_path_query(
-    topology: Topology,
-    warmup: SimTime,
-) -> (RoutingHarness, QueryId) {
+pub fn start_best_path_query(topology: Topology, warmup: SimTime) -> (RoutingHarness, QueryId) {
     let mut harness = RoutingHarness::new(topology);
     let qid = harness
         .issue_program(NodeId::new(0), SimTime::ZERO, &best_path(), IssueOptions::default())
@@ -112,16 +111,15 @@ pub fn run_path_vector_baseline(
     sample: SimDuration,
 ) -> RunOutcome {
     let n = topology.num_nodes();
-    let apps: Vec<PathVectorNode> = (0..n)
-        .map(|_| PathVectorNode::new(PathVectorConfig::default()))
-        .collect();
+    let apps: Vec<PathVectorNode> =
+        (0..n).map(|_| PathVectorNode::new(PathVectorConfig::default())).collect();
     let mut sim = Simulator::new(topology, apps, SimConfig::default());
 
     let mut last_state = (0usize, 0.0f64);
     let mut converged_at: Option<f64> = None;
     let mut t = SimTime::ZERO;
     while t < horizon {
-        t = t + sample;
+        t += sample;
         sim.run_until(t);
         let routes: usize = sim.apps().map(|a| a.reachable_destinations()).sum();
         let total_cost: f64 = sim
@@ -223,7 +221,8 @@ mod tests {
         }
         .generate();
         let n = topo.num_nodes();
-        let q = run_best_path_query(topo.clone(), SimTime::from_secs(60), SimDuration::from_secs(1));
+        let q =
+            run_best_path_query(topo.clone(), SimTime::from_secs(60), SimDuration::from_secs(1));
         let pv = run_path_vector_baseline(topo, SimTime::from_secs(60), SimDuration::from_secs(1));
         assert_eq!(q.routes, n * (n - 1), "query must find all pairs");
         assert_eq!(pv.routes, n * (n - 1), "baseline must find all pairs");

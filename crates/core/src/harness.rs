@@ -89,9 +89,7 @@ impl RoutingHarness {
         let library = Arc::new(QueryLibrary::new());
         let mut config = ProcessorConfig::new(Arc::clone(&library));
         config.batch_interval = batch;
-        let apps = (0..topology.num_nodes())
-            .map(|_| QueryProcessor::new(config.clone()))
-            .collect();
+        let apps = (0..topology.num_nodes()).map(|_| QueryProcessor::new(config.clone())).collect();
         let sim = Simulator::new(topology, apps, SimConfig::default());
         RoutingHarness { sim, library, next_qid: 1 }
     }
@@ -164,11 +162,7 @@ impl RoutingHarness {
         self.results(qid)
             .into_iter()
             .filter(|t| {
-                t.fields()
-                    .last()
-                    .and_then(Value::as_cost)
-                    .map(|c| c.is_finite())
-                    .unwrap_or(true)
+                t.fields().last().and_then(Value::as_cost).map(|c| c.is_finite()).unwrap_or(true)
             })
             .collect()
     }
@@ -278,7 +272,11 @@ mod tests {
     fn figure3_topology() -> Topology {
         let mut t = Topology::new(5);
         for (a, b) in [(0u32, 1u32), (0, 2), (1, 3), (2, 3), (3, 4)] {
-            t.add_bidirectional(n(a), n(b), LinkParams::with_latency_ms(10.0).with_cost(Cost::new(1.0)));
+            t.add_bidirectional(
+                n(a),
+                n(b),
+                LinkParams::with_latency_ms(10.0).with_cost(Cost::new(1.0)),
+            );
         }
         t
     }
@@ -295,7 +293,12 @@ mod tests {
         t
     }
 
-    fn best_path_of(harness: &RoutingHarness, qid: QueryId, s: u32, d: u32) -> Option<(Vec<NodeId>, f64)> {
+    fn best_path_of(
+        harness: &RoutingHarness,
+        qid: QueryId,
+        s: u32,
+        d: u32,
+    ) -> Option<(Vec<NodeId>, f64)> {
         harness
             .results_at(n(s), qid)
             .into_iter()
@@ -312,9 +315,8 @@ mod tests {
     fn distributed_best_path_converges_on_figure3() {
         let program = parse_program(BEST_PATH).unwrap();
         let mut harness = RoutingHarness::new(figure3_topology());
-        let qid = harness
-            .issue_program(n(0), SimTime::ZERO, &program, IssueOptions::default())
-            .unwrap();
+        let qid =
+            harness.issue_program(n(0), SimTime::ZERO, &program, IssueOptions::default()).unwrap();
         harness.run_until(SimTime::from_secs(30));
 
         // Every node has a best path to every other node (5 * 4 = 20).
@@ -344,9 +346,8 @@ mod tests {
         // evaluator on bestPathCost values.
         let program = parse_program(BEST_PATH).unwrap();
         let mut harness = RoutingHarness::new(figure3_topology());
-        let qid = harness
-            .issue_program(n(3), SimTime::ZERO, &program, IssueOptions::default())
-            .unwrap();
+        let qid =
+            harness.issue_program(n(3), SimTime::ZERO, &program, IssueOptions::default()).unwrap();
         harness.run_until(SimTime::from_secs(30));
 
         let mut central_db = dr_datalog::Database::new();
@@ -384,10 +385,10 @@ mod tests {
     fn convergence_report_detects_stabilization() {
         let program = parse_program(BEST_PATH).unwrap();
         let mut harness = RoutingHarness::new(line_topology(4));
-        let qid = harness
-            .issue_program(n(0), SimTime::ZERO, &program, IssueOptions::default())
-            .unwrap();
-        let report = harness.run_and_sample(qid, SimDuration::from_millis(500), SimTime::from_secs(20));
+        let qid =
+            harness.issue_program(n(0), SimTime::ZERO, &program, IssueOptions::default()).unwrap();
+        let report =
+            harness.run_and_sample(qid, SimDuration::from_millis(500), SimTime::from_secs(20));
         let converged = report.converged_at.expect("query should converge");
         assert!(converged < SimTime::from_secs(20));
         assert!(report.samples.last().unwrap().results == 12); // 4*3 pairs
@@ -403,9 +404,8 @@ mod tests {
         // 2 without reissuing the query.
         let program = parse_program(BEST_PATH).unwrap();
         let mut harness = RoutingHarness::new(figure3_topology());
-        let qid = harness
-            .issue_program(n(0), SimTime::ZERO, &program, IssueOptions::default())
-            .unwrap();
+        let qid =
+            harness.issue_program(n(0), SimTime::ZERO, &program, IssueOptions::default()).unwrap();
         harness.run_until(SimTime::from_secs(30));
         let before = best_path_of(&harness, qid, 0, 3).unwrap();
         assert_eq!(before.1, 2.0);
@@ -430,14 +430,25 @@ mod tests {
         // Triangle 0-1-2 with a heavy direct edge 0-2; after the light path
         // through 1 gets expensive, the direct edge wins.
         let mut topo = Topology::new(3);
-        topo.add_bidirectional(n(0), n(1), LinkParams::with_latency_ms(5.0).with_cost(Cost::new(1.0)));
-        topo.add_bidirectional(n(1), n(2), LinkParams::with_latency_ms(5.0).with_cost(Cost::new(1.0)));
-        topo.add_bidirectional(n(0), n(2), LinkParams::with_latency_ms(5.0).with_cost(Cost::new(5.0)));
+        topo.add_bidirectional(
+            n(0),
+            n(1),
+            LinkParams::with_latency_ms(5.0).with_cost(Cost::new(1.0)),
+        );
+        topo.add_bidirectional(
+            n(1),
+            n(2),
+            LinkParams::with_latency_ms(5.0).with_cost(Cost::new(1.0)),
+        );
+        topo.add_bidirectional(
+            n(0),
+            n(2),
+            LinkParams::with_latency_ms(5.0).with_cost(Cost::new(5.0)),
+        );
         let program = parse_program(BEST_PATH).unwrap();
         let mut harness = RoutingHarness::new(topo);
-        let qid = harness
-            .issue_program(n(0), SimTime::ZERO, &program, IssueOptions::default())
-            .unwrap();
+        let qid =
+            harness.issue_program(n(0), SimTime::ZERO, &program, IssueOptions::default()).unwrap();
         harness.run_until(SimTime::from_secs(20));
         let before = best_path_of(&harness, qid, 0, 2).unwrap();
         assert_eq!(before.1, 2.0);
@@ -465,9 +476,7 @@ mod tests {
         let run = |agg: bool| {
             let mut harness = RoutingHarness::new(figure3_topology());
             let options = IssueOptions { aggregate_selections: agg, ..Default::default() };
-            let qid = harness
-                .issue_program(n(0), SimTime::ZERO, &program, options)
-                .unwrap();
+            let qid = harness.issue_program(n(0), SimTime::ZERO, &program, options).unwrap();
             harness.run_until(SimTime::from_secs(40));
             let mut costs: Vec<(NodeId, NodeId, u64)> = harness
                 .finite_results(qid)
@@ -499,9 +508,8 @@ mod tests {
         // still installs the query everywhere.
         let program = parse_program(BEST_PATH).unwrap();
         let mut harness = RoutingHarness::new(line_topology(5));
-        let qid = harness
-            .issue_program(n(4), SimTime::ZERO, &program, IssueOptions::default())
-            .unwrap();
+        let qid =
+            harness.issue_program(n(4), SimTime::ZERO, &program, IssueOptions::default()).unwrap();
         harness.run_until(SimTime::from_secs(30));
         for i in 0..5u32 {
             assert!(

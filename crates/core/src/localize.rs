@@ -123,10 +123,7 @@ pub fn localize(program: &Program, replicated: &[&str]) -> Result<LocalizedProgr
             facts.push(rule.clone());
             continue;
         }
-        let rule_label = rule
-            .name
-            .clone()
-            .unwrap_or_else(|| format!("rule{rule_idx}"));
+        let rule_label = rule.name.clone().unwrap_or_else(|| format!("rule{rule_idx}"));
 
         // Gather body atoms (positive and negated) with their location
         // variables.
@@ -185,7 +182,7 @@ pub fn localize(program: &Program, replicated: &[&str]) -> Result<LocalizedProgr
                 let positives_ok = positive.iter().all(|atom| match loc_var(atom) {
                     None => true, // replicated or constant location: fine
                     Some(v) if v == **candidate => true,
-                    Some(_) => atom.variables().iter().any(|av| *av == candidate.as_str()),
+                    Some(_) => atom.variables().contains(&candidate.as_str()),
                 });
                 let negations_ok = negated.iter().all(|atom| match loc_var(atom) {
                     None => true,
@@ -221,8 +218,7 @@ pub fn localize(program: &Program, replicated: &[&str]) -> Result<LocalizedProgr
                                         atom.relation
                                     ))
                                 })?;
-                            let cache_relation =
-                                format!("{}__to_{}", atom.relation, rule_label);
+                            let cache_relation = format!("{}__to_{}", atom.relation, rule_label);
                             if !ships.iter().any(|s: &ShipSpec| {
                                 s.source_relation == atom.relation
                                     && s.cache_relation == cache_relation
@@ -244,9 +240,7 @@ pub fn localize(program: &Program, replicated: &[&str]) -> Result<LocalizedProgr
                                 name: cache_relation,
                                 arity: source_info.as_ref().and_then(|i| i.arity),
                                 location_field: target_field,
-                                key_fields: source_info
-                                    .map(|i| i.key_fields)
-                                    .unwrap_or_default(),
+                                key_fields: source_info.map(|i| i.key_fields).unwrap_or_default(),
                                 is_base: false,
                             });
                             new_body.push(Literal::Atom(cached_atom));
@@ -278,11 +272,7 @@ pub fn localize(program: &Program, replicated: &[&str]) -> Result<LocalizedProgr
         });
     }
 
-    let result_relations = program
-        .queries
-        .iter()
-        .map(|q| q.relation.clone())
-        .collect();
+    let result_relations = program.queries.iter().map(|q| q.relation.clone()).collect();
 
     Ok(LocalizedProgram {
         rules,
@@ -334,21 +324,13 @@ mod tests {
         assert_eq!(ship.cache_relation, "link__to_NR2");
 
         // NR2's body now reads the cache relation and is anchored at Z.
-        let nr2 = localized
-            .rules
-            .iter()
-            .find(|r| r.rule.name.as_deref() == Some("NR2"))
-            .unwrap();
+        let nr2 = localized.rules.iter().find(|r| r.rule.name.as_deref() == Some("NR2")).unwrap();
         assert_eq!(nr2.eval_location_var.as_deref(), Some("Z"));
         assert_eq!(nr2.rule.body[0].as_atom().unwrap().relation, "link__to_NR2");
         assert_eq!(nr2.rule.body[1].as_atom().unwrap().relation, "path");
 
         // NR1 stays anchored at S with its original body.
-        let nr1 = localized
-            .rules
-            .iter()
-            .find(|r| r.rule.name.as_deref() == Some("NR1"))
-            .unwrap();
+        let nr1 = localized.rules.iter().find(|r| r.rule.name.as_deref() == Some("NR1")).unwrap();
         assert_eq!(nr1.eval_location_var.as_deref(), Some("S"));
         assert_eq!(nr1.rule.body[0].as_atom().unwrap().relation, "link");
 
@@ -376,11 +358,7 @@ mod tests {
         // field 1 of the path tuple — "newly computed path tuples [are]
         // shipped by their destination fields" (paper §5.3).
         assert_eq!(ship.target_field, 1);
-        let dsr1 = localized
-            .rules
-            .iter()
-            .find(|r| r.rule.name.as_deref() == Some("DSR1"))
-            .unwrap();
+        let dsr1 = localized.rules.iter().find(|r| r.rule.name.as_deref() == Some("DSR1")).unwrap();
         assert_eq!(dsr1.eval_location_var.as_deref(), Some("Z"));
         assert_eq!(dsr1.rule.body[0].as_atom().unwrap().relation, "path__to_DSR1");
     }
@@ -472,11 +450,7 @@ mod tests {
         // LS2: both atoms are at N already — no shipping; the head (at M) is
         // shipped by the runtime when it is produced.
         assert!(localized.ships.is_empty());
-        let ls2 = localized
-            .rules
-            .iter()
-            .find(|r| r.rule.name.as_deref() == Some("LS2"))
-            .unwrap();
+        let ls2 = localized.rules.iter().find(|r| r.rule.name.as_deref() == Some("LS2")).unwrap();
         assert_eq!(ls2.eval_location_var.as_deref(), Some("N"));
     }
 

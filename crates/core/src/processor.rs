@@ -71,10 +71,7 @@ impl NetMsg {
         match self {
             NetMsg::Install { .. } => 64,
             NetMsg::Tuples { items, .. } => {
-                16 + items
-                    .iter()
-                    .map(|(rel, t)| rel.len() + t.wire_size())
-                    .sum::<usize>()
+                16 + items.iter().map(|(rel, t)| rel.len() + t.wire_size()).sum::<usize>()
             }
             NetMsg::CacheInstall { cache, suffix, .. } => 24 + cache.len() + 4 * suffix.len(),
         }
@@ -222,10 +219,7 @@ impl QueryProcessor {
 
     /// All tuples of `relation` stored at this node for query `qid`.
     pub fn tuples(&self, qid: QueryId, relation: &str) -> Vec<Tuple> {
-        self.instances
-            .get(&qid)
-            .map(|i| i.db.sorted_tuples(relation))
-            .unwrap_or_default()
+        self.instances.get(&qid).map(|i| i.db.sorted_tuples(relation)).unwrap_or_default()
     }
 
     /// The result tuples (of all `Query:` relations) stored at this node.
@@ -268,13 +262,11 @@ impl QueryProcessor {
             if cost.is_infinite() {
                 continue;
             }
-            let next = t
-                .field(2)
-                .and_then(|v| match v {
-                    Value::Path(p) if p.len() >= 2 => Some(p.nodes()[1]),
-                    Value::Node(n) => Some(*n),
-                    _ => None,
-                });
+            let next = t.field(2).and_then(|v| match v {
+                Value::Path(p) if p.len() >= 2 => Some(p.nodes()[1]),
+                Value::Node(n) => Some(*n),
+                _ => None,
+            });
             if let Some(next) = next {
                 out.insert(dest, next);
             }
@@ -312,10 +304,8 @@ impl QueryProcessor {
             self.shared.declare_key(&spec.cache_relation, vec![0, 1]);
         }
         let program = Arc::clone(&spec.program);
-        let instance = self
-            .instances
-            .entry(qid)
-            .or_insert_with(|| Instance::new(Arc::clone(&spec)));
+        let instance =
+            self.instances.entry(qid).or_insert_with(|| Instance::new(Arc::clone(&spec)));
         instance.installed = true;
 
         // Flood the installation to all neighbors.
@@ -333,17 +323,51 @@ impl QueryProcessor {
         for fact in facts {
             self.route_tuple(qid, fact, &mut outbound);
         }
+        // Materialize the program's own ground facts (constant rules such as
+        // the `magicSources` / `magicDsts` of a pair query). Since every node
+        // runs this on installation, replicated (and un-located) facts are
+        // installed locally everywhere, and located facts only at their home
+        // node — no shipping required.
+        for fact in self.materialize_program_facts(&program) {
+            self.route_tuple(qid, fact, &mut outbound);
+        }
         // Seed the neighbor table as `link` base tuples.
-        let links: Vec<Tuple> = self
-            .neighbors
-            .iter()
-            .map(|(nb, cost)| self.link_tuple(*nb, *cost))
-            .collect();
+        let links: Vec<Tuple> =
+            self.neighbors.iter().map(|(nb, cost)| self.link_tuple(*nb, *cost)).collect();
         for link in links {
             self.route_tuple(qid, link, &mut outbound);
         }
         self.flush_outbound(ctx, qid, outbound);
         self.schedule_batch(ctx);
+    }
+
+    /// The ground facts of `program` that this node should store: all
+    /// constant head terms of a fact rule become a tuple, kept when the
+    /// fact's relation is replicated, carries no location annotation, or is
+    /// homed at this node.
+    fn materialize_program_facts(&self, program: &LocalizedProgram) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        for fact in &program.facts {
+            let head = &fact.head;
+            let values: Option<Vec<Value>> = head
+                .terms
+                .iter()
+                .map(|t| match t.as_plain() {
+                    Some(dr_datalog::ast::Term::Const(v)) => Some(v.clone()),
+                    _ => None,
+                })
+                .collect();
+            let Some(values) = values else { continue };
+            let tuple = Tuple::new(&head.relation, values);
+            // Derive the home exactly like route_tuple will (catalog location
+            // field), so a kept fact is always stored locally, never
+            // re-shipped.
+            let home = tuple.node_at(program.catalog.location_field(&head.relation));
+            if program.is_replicated(&head.relation) || home.is_none() || home == Some(self.node) {
+                out.push(tuple);
+            }
+        }
+        out
     }
 
     /// Store or forward one tuple for query `qid`. Returns true when the
@@ -368,10 +392,8 @@ impl QueryProcessor {
             // Aggregate-selection pruning (per next-hop granularity).
             let mut admitted = true;
             if instance.spec.aggregate_selections {
-                if let Some(sel) = program
-                    .agg_selections
-                    .iter()
-                    .find(|s| s.input_relation == relation)
+                if let Some(sel) =
+                    program.agg_selections.iter().find(|s| s.input_relation == relation)
                 {
                     if !Self::prune_pass(instance, sel, &program, &tuple) {
                         pruned = true;
@@ -463,11 +485,8 @@ impl QueryProcessor {
         tuple: &Tuple,
     ) -> bool {
         let Some(value) = tuple.field(sel.value_field).cloned() else { return true };
-        let mut key: Vec<Value> = sel
-            .group_fields
-            .iter()
-            .filter_map(|&i| tuple.field(i).cloned())
-            .collect();
+        let mut key: Vec<Value> =
+            sel.group_fields.iter().filter_map(|&i| tuple.field(i).cloned()).collect();
         for (i, field) in tuple.fields().iter().enumerate() {
             if i == sel.value_field || sel.group_fields.contains(&i) {
                 continue;
@@ -614,8 +633,7 @@ impl QueryProcessor {
             let mut cache_installs: Vec<(NodeId, NetMsg)> = Vec::new();
             // Local fixpoint: keep draining deltas until nothing new is
             // produced locally.
-            loop {
-                let Some(instance) = self.instances.get_mut(&qid) else { break };
+            while let Some(instance) = self.instances.get_mut(&qid) {
                 if !instance.has_pending() {
                     break;
                 }
@@ -637,10 +655,8 @@ impl QueryProcessor {
                         if rule.head.has_aggregate() {
                             // Aggregates are recomputed from the full local
                             // table whenever any of their inputs changed.
-                            let touched = rule
-                                .body_relations()
-                                .iter()
-                                .any(|r| deltas.contains_key(*r));
+                            let touched =
+                                rule.body_relations().iter().any(|r| deltas.contains_key(*r));
                             if !touched {
                                 continue;
                             }
@@ -684,18 +700,8 @@ impl QueryProcessor {
                     let stored = self.route_tuple(qid, tuple.clone(), &mut outbound);
                     // Reverse-path cache installation for shared queries.
                     if stored {
-                        let Some(instance) = self.instances.get(&qid) else { continue };
-                        if instance.spec.share_results
-                            && instance
-                                .spec
-                                .program
-                                .result_relations
-                                .contains(&tuple.relation().to_string())
-                        {
-                            let cache = instance.spec.cache_relation.clone();
-                            if let Some((next, msg)) = self.cache_install_message(&cache, &tuple) {
-                                cache_installs.push((next, msg));
-                            }
+                        if let Some((next, msg)) = self.reverse_path_install(qid, &tuple) {
+                            cache_installs.push((next, msg));
                         }
                     }
                 }
@@ -706,6 +712,19 @@ impl QueryProcessor {
                 ctx.send(next, msg, size);
             }
         }
+    }
+
+    /// The first hop of a reverse-path cache installation for a freshly
+    /// stored tuple, when `qid` shares results and the tuple is one of its
+    /// results (§7.3).
+    fn reverse_path_install(&self, qid: QueryId, tuple: &Tuple) -> Option<(NodeId, NetMsg)> {
+        let instance = self.instances.get(&qid)?;
+        if !instance.spec.share_results
+            || !instance.spec.program.result_relations.iter().any(|r| r == tuple.relation())
+        {
+            return None;
+        }
+        self.cache_install_message(&instance.spec.cache_relation, tuple)
     }
 
     /// Build the first hop of a reverse-path cache installation for a
@@ -749,23 +768,14 @@ impl QueryProcessor {
         let path = dr_types::PathVector::from_nodes(suffix.clone());
         self.shared.insert(Tuple::new(
             &cache,
-            vec![
-                Value::Node(self.node),
-                Value::Node(dest),
-                Value::Path(path),
-                Value::Cost(cost),
-            ],
+            vec![Value::Node(self.node), Value::Node(dest), Value::Path(path), Value::Cost(cost)],
         ));
         if suffix.len() > 2 {
             let next = suffix[1];
             let link_cost = self.neighbors.get(&next).copied().unwrap_or(Cost::ZERO);
             let remaining = Cost::new((cost.value() - link_cost.value()).max(0.0));
-            let msg = NetMsg::CacheInstall {
-                cache,
-                dest,
-                suffix: suffix[1..].to_vec(),
-                cost: remaining,
-            };
+            let msg =
+                NetMsg::CacheInstall { cache, dest, suffix: suffix[1..].to_vec(), cost: remaining };
             let size = msg.wire_size();
             ctx.send(next, msg, size);
         }
@@ -794,22 +804,16 @@ impl NodeApp for QueryProcessor {
 
     fn on_start(&mut self, ctx: &mut Context<'_, NetMsg>) {
         self.node = ctx.id();
-        self.neighbors = ctx
-            .neighbors()
-            .into_iter()
-            .map(|(nb, params)| (nb, params.cost))
-            .collect();
+        self.neighbors =
+            ctx.neighbors().into_iter().map(|(nb, params)| (nb, params.cost)).collect();
     }
 
     fn on_join(&mut self, ctx: &mut Context<'_, NetMsg>) {
         // Warm restart: refresh the neighbor table and replay it into every
         // installed query so routes through this node are recomputed.
         self.node = ctx.id();
-        let fresh: Vec<(NodeId, Cost)> = ctx
-            .neighbors()
-            .into_iter()
-            .map(|(nb, params)| (nb, params.cost))
-            .collect();
+        let fresh: Vec<(NodeId, Cost)> =
+            ctx.neighbors().into_iter().map(|(nb, params)| (nb, params.cost)).collect();
         for (nb, cost) in fresh {
             self.apply_link_update(ctx, nb, cost);
         }
@@ -823,21 +827,29 @@ impl NodeApp for QueryProcessor {
             NetMsg::Tuples { qid, items } => {
                 // Piggy-backed installation: tuples for an unknown query
                 // install it on the fly (§3.5).
-                if !self
-                    .instances
-                    .get(&qid)
-                    .map(|i| i.installed)
-                    .unwrap_or(false)
-                {
+                if !self.instances.get(&qid).map(|i| i.installed).unwrap_or(false) {
                     self.install(ctx, qid);
                 }
                 self.stats.tuples_received += items.len() as u64;
                 let mut outbound = HashMap::new();
+                let mut cache_installs = Vec::new();
                 for (rel, tuple) in items {
                     let tuple = Tuple::new(&rel, tuple.fields().to_vec());
-                    self.route_tuple(qid, tuple, &mut outbound);
+                    let stored = self.route_tuple(qid, tuple.clone(), &mut outbound);
+                    // Results of shared queries usually arrive here (shipped
+                    // home from the node that derived them); kick off the
+                    // reverse-path cache installation of §7.3.
+                    if stored {
+                        if let Some(install) = self.reverse_path_install(qid, &tuple) {
+                            cache_installs.push(install);
+                        }
+                    }
                 }
                 self.flush_outbound(ctx, qid, outbound);
+                for (next, msg) in cache_installs {
+                    let size = msg.wire_size();
+                    ctx.send(next, msg, size);
+                }
                 self.schedule_batch(ctx);
             }
             NetMsg::CacheInstall { cache, dest, suffix, cost } => {

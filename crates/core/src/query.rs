@@ -104,20 +104,13 @@ impl QueryLibrary {
     /// Register a spec; replaces any previous spec with the same id.
     pub fn register(&self, spec: QuerySpec) -> Arc<QuerySpec> {
         let arc = Arc::new(spec);
-        self.specs
-            .write()
-            .expect("query library lock poisoned")
-            .insert(arc.id, Arc::clone(&arc));
+        self.specs.write().expect("query library lock poisoned").insert(arc.id, Arc::clone(&arc));
         arc
     }
 
     /// Look up a spec by id.
     pub fn get(&self, id: QueryId) -> Option<Arc<QuerySpec>> {
-        self.specs
-            .read()
-            .expect("query library lock poisoned")
-            .get(&id)
-            .cloned()
+        self.specs.read().expect("query library lock poisoned").get(&id).cloned()
     }
 
     /// Number of registered specs.
@@ -132,10 +125,7 @@ impl QueryLibrary {
 
     /// Remove a spec (e.g. when its query's lifetime expires).
     pub fn remove(&self, id: QueryId) -> Option<Arc<QuerySpec>> {
-        self.specs
-            .write()
-            .expect("query library lock poisoned")
-            .remove(&id)
+        self.specs.write().expect("query library lock poisoned").remove(&id)
     }
 }
 

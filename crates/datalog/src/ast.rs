@@ -564,11 +564,7 @@ impl Rule {
     /// True when the rule body is empty and the head is ground (a fact).
     pub fn is_fact(&self) -> bool {
         self.body.is_empty()
-            && self
-                .head
-                .terms
-                .iter()
-                .all(|t| matches!(t, HeadTerm::Plain(Term::Const(_))))
+            && self.head.terms.iter().all(|t| matches!(t, HeadTerm::Plain(Term::Const(_))))
     }
 
     /// All positive body atoms in order.
@@ -816,11 +812,7 @@ mod tests {
     #[test]
     fn fact_detection() {
         let f = Rule::new(
-            Head::plain(
-                "magicSources",
-                vec![Term::constant(Value::Node(NodeId::new(2)))],
-                None,
-            ),
+            Head::plain("magicSources", vec![Term::constant(Value::Node(NodeId::new(2)))], None),
             vec![],
         );
         assert!(f.is_fact());

@@ -128,9 +128,7 @@ impl Builtins {
                 return Err(arity_err("f_head", 1, args.len()));
             }
             let p = need_path("f_head", &args[0])?;
-            p.head()
-                .map(Value::Node)
-                .ok_or_else(|| Error::eval("f_head: empty path"))
+            p.head().map(Value::Node).ok_or_else(|| Error::eval("f_head: empty path"))
         });
 
         b.register("f_tail", |args| {
@@ -146,9 +144,7 @@ impl Builtins {
                 return Err(arity_err("f_last", 1, args.len()));
             }
             let p = need_path("f_last", &args[0])?;
-            p.last()
-                .map(Value::Node)
-                .ok_or_else(|| Error::eval("f_last: empty path"))
+            p.last().map(Value::Node).ok_or_else(|| Error::eval("f_last: empty path"))
         });
 
         b.register("f_isEmpty", |args| {
@@ -260,16 +256,10 @@ impl Builtins {
                     a.checked_div(b)
                 }
             };
-            return r
-                .map(Value::Int)
-                .ok_or_else(|| Error::eval("integer arithmetic overflow"));
+            return r.map(Value::Int).ok_or_else(|| Error::eval("integer arithmetic overflow"));
         }
-        let a = lhs
-            .as_cost()
-            .ok_or_else(|| type_err("arithmetic", "numeric", lhs))?;
-        let b = rhs
-            .as_cost()
-            .ok_or_else(|| type_err("arithmetic", "numeric", rhs))?;
+        let a = lhs.as_cost().ok_or_else(|| type_err("arithmetic", "numeric", lhs))?;
+        let b = rhs.as_cost().ok_or_else(|| type_err("arithmetic", "numeric", rhs))?;
         let r = match op {
             ArithOp::Add => a.value() + b.value(),
             ArithOp::Sub => a.value() - b.value(),
@@ -302,8 +292,21 @@ mod tests {
     fn standard_library_is_populated() {
         let b = Builtins::standard();
         for f in [
-            "f_initPath", "f_prepend", "f_append", "f_concat", "f_inPath", "f_head", "f_tail",
-            "f_last", "f_isEmpty", "f_size", "f_hops", "f_hasCycle", "f_sum", "f_min", "f_max",
+            "f_initPath",
+            "f_prepend",
+            "f_append",
+            "f_concat",
+            "f_inPath",
+            "f_head",
+            "f_tail",
+            "f_last",
+            "f_isEmpty",
+            "f_size",
+            "f_hops",
+            "f_hasCycle",
+            "f_sum",
+            "f_min",
+            "f_max",
         ] {
             assert!(b.contains(f), "missing builtin {f}");
         }
@@ -317,10 +320,7 @@ mod tests {
         assert_eq!(b.call("f_initPath", &[n(1), n(2)]).unwrap(), path(&[1, 2]));
         assert_eq!(b.call("f_prepend", &[n(0), path(&[1, 2])]).unwrap(), path(&[0, 1, 2]));
         assert_eq!(b.call("f_append", &[path(&[1, 2]), n(3)]).unwrap(), path(&[1, 2, 3]));
-        assert_eq!(
-            b.call("f_concat", &[path(&[1, 2]), path(&[2, 3])]).unwrap(),
-            path(&[1, 2, 3])
-        );
+        assert_eq!(b.call("f_concat", &[path(&[1, 2]), path(&[2, 3])]).unwrap(), path(&[1, 2, 3]));
     }
 
     #[test]
@@ -355,10 +355,7 @@ mod tests {
             b.call("f_min", &[Value::from(1.5), Value::from(2.5)]).unwrap(),
             Value::from(1.5)
         );
-        assert_eq!(
-            b.call("f_max", &[Value::from(1.5), Value::Int(3)]).unwrap(),
-            Value::from(3.0)
-        );
+        assert_eq!(b.call("f_max", &[Value::from(1.5), Value::Int(3)]).unwrap(), Value::from(3.0));
         assert_eq!(
             b.call("f_sum", &[Value::Cost(Cost::INFINITY), Value::from(1.0)]).unwrap(),
             Value::Cost(Cost::INFINITY)

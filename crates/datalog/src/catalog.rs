@@ -90,10 +90,8 @@ impl Catalog {
 
         // Record arity + location annotations from heads and body atoms.
         let mut observe = |rel: &str, arity: usize, loc: Option<usize>| -> Result<()> {
-            let info = cat
-                .relations
-                .get_mut(rel)
-                .expect("all_relations covers every atom relation");
+            let info =
+                cat.relations.get_mut(rel).expect("all_relations covers every atom relation");
             match info.arity {
                 None => info.arity = Some(arity),
                 Some(a) if a != arity => {
@@ -127,10 +125,8 @@ impl Catalog {
         }
 
         for (rel, keys) in &program.key_pragmas {
-            let info = cat
-                .relations
-                .entry(rel.clone())
-                .or_insert_with(|| RelationInfo::base(rel.clone()));
+            let info =
+                cat.relations.entry(rel.clone()).or_insert_with(|| RelationInfo::base(rel.clone()));
             if let Some(a) = info.arity {
                 if keys.iter().any(|&k| k >= a) {
                     return Err(Error::planning(format!(

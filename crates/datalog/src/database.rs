@@ -99,11 +99,7 @@ impl Table {
 
     /// Tuples whose field `field` equals `value`.
     pub fn select_eq(&self, field: usize, value: &Value) -> Vec<Tuple> {
-        self.tuples
-            .iter()
-            .filter(|t| t.field(field) == Some(value))
-            .cloned()
-            .collect()
+        self.tuples.iter().filter(|t| t.field(field) == Some(value)).cloned().collect()
     }
 }
 
@@ -132,10 +128,7 @@ impl Database {
     /// Must be called before tuples of that relation are inserted if keyed
     /// semantics are wanted.
     pub fn declare_key(&mut self, relation: &str, key_fields: Vec<usize>) {
-        let table = self
-            .tables
-            .entry(relation.to_string())
-            .or_insert_with(Table::default);
+        let table = self.tables.entry(relation.to_string()).or_default();
         if table.is_empty() {
             *table = Table::with_key(key_fields);
         } else {
@@ -157,10 +150,7 @@ impl Database {
     /// Insert a tuple into its relation's table (created on demand with set
     /// semantics).
     pub fn insert(&mut self, t: Tuple) -> InsertOutcome {
-        self.tables
-            .entry(t.relation().to_string())
-            .or_insert_with(Table::default)
-            .insert(t)
+        self.tables.entry(t.relation().to_string()).or_default().insert(t)
     }
 
     /// Remove an exact tuple. Returns true when it was present.
@@ -170,10 +160,7 @@ impl Database {
 
     /// All tuples of a relation (empty if the relation has no table).
     pub fn tuples(&self, relation: &str) -> Vec<Tuple> {
-        self.tables
-            .get(relation)
-            .map(|t| t.iter().cloned().collect())
-            .unwrap_or_default()
+        self.tables.get(relation).map(|t| t.iter().cloned().collect()).unwrap_or_default()
     }
 
     /// All tuples of a relation in sorted order.
@@ -217,11 +204,7 @@ mod tests {
     fn link(s: u32, d: u32, c: f64) -> Tuple {
         Tuple::new(
             "link",
-            vec![
-                Value::Node(NodeId::new(s)),
-                Value::Node(NodeId::new(d)),
-                Value::from(c),
-            ],
+            vec![Value::Node(NodeId::new(s)), Value::Node(NodeId::new(d)), Value::from(c)],
         )
     }
 

@@ -74,10 +74,9 @@ impl Bindings {
 pub fn eval_expr(expr: &Expr, bindings: &Bindings, builtins: &Builtins) -> Result<Value> {
     match expr {
         Expr::Term(Term::Const(v)) => Ok(v.clone()),
-        Expr::Term(Term::Var(v)) => bindings
-            .get(v)
-            .cloned()
-            .ok_or_else(|| Error::eval(format!("unbound variable {v}"))),
+        Expr::Term(Term::Var(v)) => {
+            bindings.get(v).cloned().ok_or_else(|| Error::eval(format!("unbound variable {v}")))
+        }
         Expr::Call { func, args } => {
             let mut vals = Vec::with_capacity(args.len());
             for a in args {
@@ -185,12 +184,8 @@ impl<'a> RuleEval<'a> {
     ) -> Result<Vec<Tuple>> {
         let positive: Vec<&Atom> = self.rule.positive_atoms();
         // Gather constraints (non-atom literals) in order.
-        let constraints: Vec<&Literal> = self
-            .rule
-            .body
-            .iter()
-            .filter(|l| !matches!(l, Literal::Atom(_)))
-            .collect();
+        let constraints: Vec<&Literal> =
+            self.rule.body.iter().filter(|l| !matches!(l, Literal::Atom(_))).collect();
 
         // Build per-atom plans.
         let mut plans: Vec<AtomPlan<'_>> = Vec::with_capacity(positive.len());
@@ -391,15 +386,14 @@ fn head_tuple_from_bindings(
     for term in &head.terms {
         let value = match term {
             HeadTerm::Plain(Term::Const(c)) => c.clone(),
-            HeadTerm::Plain(Term::Var(v)) | HeadTerm::Agg(_, v) => bindings
-                .get(v)
-                .cloned()
-                .ok_or_else(|| {
+            HeadTerm::Plain(Term::Var(v)) | HeadTerm::Agg(_, v) => {
+                bindings.get(v).cloned().ok_or_else(|| {
                     Error::eval(format!(
                         "rule {}: head variable {v} is not bound by the body",
                         rule_name.unwrap_or("<unnamed>")
                     ))
-                })?,
+                })?
+            }
         };
         fields.push(value);
     }
@@ -458,10 +452,8 @@ pub fn evaluate_rule<S: RelationSource>(
                         }
                     }
                 }
-                Literal::Assign { var, .. } => {
-                    if !vs.contains(&var.as_str()) {
-                        vs.push(var.as_str());
-                    }
+                Literal::Assign { var, .. } if !vs.contains(&var.as_str()) => {
+                    vs.push(var.as_str());
                 }
                 _ => {}
             }
@@ -477,13 +469,12 @@ pub fn evaluate_rule<S: RelationSource>(
     }
     let ext_rule = Rule {
         name: rule.name.clone(),
-        head: Head { relation: rule.head.relation.clone(), terms: ext_terms, location: rule.head.location },
-        body: rule
-            .body
-            .iter()
-            .filter(|l| !matches!(l, Literal::NegAtom(_)))
-            .cloned()
-            .collect(),
+        head: Head {
+            relation: rule.head.relation.clone(),
+            terms: ext_terms,
+            location: rule.head.location,
+        },
+        body: rule.body.iter().filter(|l| !matches!(l, Literal::NegAtom(_))).cloned().collect(),
     };
     let raw = RuleEval::new(&ext_rule, builtins).evaluate(source, delta)?;
 
@@ -576,8 +567,7 @@ pub fn apply_aggregate(head: &Head, raw: &[Tuple]) -> Result<Vec<Tuple>> {
                 let mut acc = dr_types::Cost::ZERO;
                 for v in &values {
                     acc = acc
-                        + v.as_cost()
-                            .ok_or_else(|| Error::eval("sum over non-numeric value"))?;
+                        + v.as_cost().ok_or_else(|| Error::eval("sum over non-numeric value"))?;
                 }
                 Value::Cost(acc)
             }
@@ -589,7 +579,8 @@ pub fn apply_aggregate(head: &Head, raw: &[Tuple]) -> Result<Vec<Tuple>> {
             if i == agg_pos {
                 fields.push(agg_value.clone());
             } else {
-                fields.push(key_iter.next().ok_or_else(|| Error::eval("group key arity mismatch"))?);
+                fields
+                    .push(key_iter.next().ok_or_else(|| Error::eval("group key arity mismatch"))?);
             }
         }
         out.push(Tuple::new(&head.relation, fields));
@@ -689,7 +680,8 @@ impl Evaluator {
     /// Run the program to fixpoint on `db`. Base tables must already be
     /// populated; facts from the program are inserted automatically.
     pub fn run(&self, db: &mut Database) -> Result<EvalStats> {
-        let mut stats = EvalStats { strata: self.stratification.num_strata(), ..Default::default() };
+        let mut stats =
+            EvalStats { strata: self.stratification.num_strata(), ..Default::default() };
 
         // Declare keys from pragmas so derived relations honour upserts.
         for (rel, keys) in &self.program.key_pragmas {
@@ -699,7 +691,8 @@ impl Evaluator {
         // Insert ground facts.
         for rule in &self.program.rules {
             if rule.is_fact() {
-                let t = head_tuple_from_bindings(&rule.head, &Bindings::new(), rule.name.as_deref())?;
+                let t =
+                    head_tuple_from_bindings(&rule.head, &Bindings::new(), rule.name.as_deref())?;
                 if db.insert(t).added {
                     stats.tuples_derived += 1;
                 }
@@ -818,16 +811,10 @@ impl Evaluator {
         stats: &mut EvalStats,
     ) {
         if self.config.aggregate_selections {
-            if let Some(sel) = self
-                .agg_selections
-                .iter()
-                .find(|s| s.input_relation == t.relation())
+            if let Some(sel) = self.agg_selections.iter().find(|s| s.input_relation == t.relation())
             {
-                let key: Vec<Value> = sel
-                    .group_fields
-                    .iter()
-                    .filter_map(|&i| t.field(i).cloned())
-                    .collect();
+                let key: Vec<Value> =
+                    sel.group_fields.iter().filter_map(|&i| t.field(i).cloned()).collect();
                 if let Some(value) = t.field(sel.value_field) {
                     let map_key = (t.relation().to_string(), key);
                     match best.get(&map_key) {
@@ -945,7 +932,9 @@ mod tests {
         // a (0) reaches e (4) via b-d and c-d: both 3-hop paths must exist.
         let a_to_e: Vec<&Tuple> = paths
             .iter()
-            .filter(|t| t.node_at(0) == Some(NodeId::new(0)) && t.node_at(1) == Some(NodeId::new(4)))
+            .filter(|t| {
+                t.node_at(0) == Some(NodeId::new(0)) && t.node_at(1) == Some(NodeId::new(4))
+            })
             .collect();
         assert_eq!(a_to_e.len(), 2, "expected two distinct a->e paths, got {a_to_e:?}");
         for t in &a_to_e {
@@ -996,22 +985,20 @@ mod tests {
         let best: Vec<Tuple> = db
             .tuples("bestPath")
             .into_iter()
-            .filter(|t| t.node_at(0) == Some(NodeId::new(0)) && t.node_at(1) == Some(NodeId::new(2)))
+            .filter(|t| {
+                t.node_at(0) == Some(NodeId::new(0)) && t.node_at(1) == Some(NodeId::new(2))
+            })
             .collect();
         assert_eq!(best.len(), 1);
         assert_eq!(best[0].field(3).and_then(Value::as_cost), Some(Cost::new(5.0)));
         let p = best[0].field(2).and_then(Value::as_path).unwrap();
-        assert_eq!(
-            p.nodes(),
-            &[NodeId::new(0), NodeId::new(1), NodeId::new(2)]
-        );
+        assert_eq!(p.nodes(), &[NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
     }
 
     #[test]
     fn aggregate_selections_prune_but_preserve_best_paths() {
         let program = parse_program(BEST_PATH).unwrap();
-        let mut cfg = EvalConfig::default();
-        cfg.aggregate_selections = true;
+        let cfg = EvalConfig { aggregate_selections: true, ..EvalConfig::default() };
         let eval_opt = Evaluator::with_config(parse_program(BEST_PATH).unwrap(), cfg).unwrap();
         let eval_base = Evaluator::new(program).unwrap();
 
@@ -1041,7 +1028,8 @@ mod tests {
     fn naive_and_semi_naive_agree() {
         let naive_cfg = EvalConfig { semi_naive: false, ..EvalConfig::default() };
         let e_naive =
-            Evaluator::with_config(parse_program(NETWORK_REACHABILITY).unwrap(), naive_cfg).unwrap();
+            Evaluator::with_config(parse_program(NETWORK_REACHABILITY).unwrap(), naive_cfg)
+                .unwrap();
         let e_semi = Evaluator::new(parse_program(NETWORK_REACHABILITY).unwrap()).unwrap();
 
         let mut db1 = Database::new();
@@ -1212,11 +1200,8 @@ mod tests {
             db.insert(t.clone());
         }
         // Delta = only the path starting at node 3 (d->e).
-        let delta: Vec<Tuple> = one_hop
-            .iter()
-            .filter(|t| t.node_at(0) == Some(NodeId::new(3)))
-            .cloned()
-            .collect();
+        let delta: Vec<Tuple> =
+            one_hop.iter().filter(|t| t.node_at(0) == Some(NodeId::new(3))).cloned().collect();
         let nr2 = program.rule("NR2").unwrap();
         // positive atom occurrence 1 is `path(@Z,D,P2,C2)`
         let derived = evaluate_rule(nr2, &builtins, &db, Some((1, &delta))).unwrap();
@@ -1240,14 +1225,18 @@ mod tests {
         let eval = Evaluator::new(parse_program(src).unwrap()).unwrap();
         let mut db = Database::new();
         // triangle with a shortcut: 0-1 cost 1, 1-2 cost 1, 0-2 cost 5
-        for (s, d, c) in [(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0), (0, 2, 5.0), (2, 0, 5.0)] {
+        for (s, d, c) in
+            [(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0), (0, 2, 5.0), (2, 0, 5.0)]
+        {
             db.insert(link(s, d, c));
         }
         eval.run(&mut db).unwrap();
         let hops: Vec<Tuple> = db
             .tuples("nextHop")
             .into_iter()
-            .filter(|t| t.node_at(0) == Some(NodeId::new(0)) && t.node_at(1) == Some(NodeId::new(2)))
+            .filter(|t| {
+                t.node_at(0) == Some(NodeId::new(0)) && t.node_at(1) == Some(NodeId::new(2))
+            })
             .collect();
         assert_eq!(hops.len(), 1, "nextHop should be keyed on (S,D): {hops:?}");
         // best next hop from 0 to 2 is via 1 at cost 2

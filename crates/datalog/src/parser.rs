@@ -45,11 +45,7 @@ pub fn parse_program(src: &str) -> Result<Program> {
 /// programmatic rule construction.
 pub fn parse_rule(src: &str) -> Result<Rule> {
     let program = parse_program(src)?;
-    program
-        .rules
-        .into_iter()
-        .next()
-        .ok_or_else(|| Error::parse("expected exactly one rule"))
+    program.rules.into_iter().next().ok_or_else(|| Error::parse("expected exactly one rule"))
 }
 
 // ---------------------------------------------------------------------------
@@ -58,11 +54,11 @@ pub fn parse_rule(src: &str) -> Result<Rule> {
 
 #[derive(Debug, Clone, PartialEq)]
 enum Tok {
-    Ident(String),   // foo, Bar, f_concatPath
-    Int(i64),        // 42
-    Float(f64),      // 1.5
-    Str(String),     // "abc"
-    NodeLit(u32),    // #3
+    Ident(String), // foo, Bar, f_concatPath
+    Int(i64),      // 42
+    Float(f64),    // 1.5
+    Str(String),   // "abc"
+    NodeLit(u32),  // #3
     LParen,
     RParen,
     Comma,
@@ -348,12 +344,7 @@ impl Parser {
 
     fn err_here(&self, msg: impl Into<String>) -> Error {
         match self.toks.get(self.pos.min(self.toks.len().saturating_sub(1))) {
-            Some(t) => Error::parse(format!(
-                "{} at line {}, column {}",
-                msg.into(),
-                t.line,
-                t.col
-            )),
+            Some(t) => Error::parse(format!("{} at line {}, column {}", msg.into(), t.line, t.col)),
             None => Error::parse(format!("{} at end of input", msg.into())),
         }
     }
@@ -734,12 +725,12 @@ mod tests {
         "#;
         let p = parse_program(src).unwrap();
         let bpps1 = p.rule("BPPS1").unwrap();
-        assert!(bpps1.body.iter().any(|l| matches!(l, Literal::NegAtom(a) if a.relation == "bestPathCache")));
-        let dv2 = p.rule("DV2").unwrap();
-        assert!(dv2
+        assert!(bpps1
             .body
             .iter()
-            .any(|l| matches!(l, Literal::Compare { op: CompareOp::Ne, .. })));
+            .any(|l| matches!(l, Literal::NegAtom(a) if a.relation == "bestPathCache")));
+        let dv2 = p.rule("DV2").unwrap();
+        assert!(dv2.body.iter().any(|l| matches!(l, Literal::Compare { op: CompareOp::Ne, .. })));
     }
 
     #[test]
@@ -762,16 +753,25 @@ mod tests {
             HeadTerm::Plain(Term::Const(Value::Node(NodeId::new(2))))
         );
         let c5 = p.rule("f1").unwrap();
-        assert!(matches!(&c5.body[1], Literal::Assign { expr: Expr::Term(Term::Const(Value::Int(5))), .. }));
+        assert!(matches!(
+            &c5.body[1],
+            Literal::Assign { expr: Expr::Term(Term::Const(Value::Int(5))), .. }
+        ));
         let f4 = p.rule("f4").unwrap();
         assert!(matches!(
             &f4.body[1],
             Literal::Assign { expr: Expr::Term(Term::Const(Value::Cost(c))), .. } if c.is_infinite()
         ));
         let f5 = p.rule("f5").unwrap();
-        assert!(matches!(&f5.body[1], Literal::Assign { expr: Expr::Term(Term::Const(Value::Str(_))), .. }));
+        assert!(matches!(
+            &f5.body[1],
+            Literal::Assign { expr: Expr::Term(Term::Const(Value::Str(_))), .. }
+        ));
         let f6 = p.rule("f6").unwrap();
-        assert!(matches!(&f6.body[1], Literal::Assign { expr: Expr::Term(Term::Const(Value::Str(_))), .. }));
+        assert!(matches!(
+            &f6.body[1],
+            Literal::Assign { expr: Expr::Term(Term::Const(Value::Str(_))), .. }
+        ));
     }
 
     #[test]

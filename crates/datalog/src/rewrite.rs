@@ -56,11 +56,7 @@ pub fn aggregate_selections(program: &Program) -> Vec<AggSelection> {
         }
         let atom = atoms[0];
         // The aggregated variable must be a field of that atom.
-        let Some(value_field) = atom
-            .terms
-            .iter()
-            .position(|t| t.as_var() == Some(agg_var))
-        else {
+        let Some(value_field) = atom.terms.iter().position(|t| t.as_var() == Some(agg_var)) else {
             continue;
         };
         // Each plain head variable must also be a field of the atom.
@@ -115,10 +111,7 @@ pub fn magic_sets(
     sources: &[NodeId],
     options: &MagicSetsOptions,
 ) -> Program {
-    let magic = options
-        .magic_relation
-        .clone()
-        .unwrap_or_else(|| "magicSources".to_string());
+    let magic = options.magic_relation.clone().unwrap_or_else(|| "magicSources".to_string());
     let link_rel = options.link_relation.clone().unwrap_or_else(|| "link".to_string());
 
     let mut out = Program::new();
@@ -152,11 +145,8 @@ pub fn magic_sets(
         let mut new_rule = rule.clone();
         if rule.head.relation == target_relation && !rule.is_fact() {
             if let Some(loc_var) = rule.head.location_var() {
-                let filter = Literal::Atom(Atom::with_location(
-                    magic.clone(),
-                    vec![Term::var(loc_var)],
-                    0,
-                ));
+                let filter =
+                    Literal::Atom(Atom::with_location(magic.clone(), vec![Term::var(loc_var)], 0));
                 new_rule.body.insert(0, filter);
                 if let Some(name) = &mut new_rule.name {
                     *name = format!("{name}_magic");
@@ -239,12 +229,8 @@ pub fn flip_recursion(rule: &Rule) -> Option<Rule> {
     let s = rule.head.terms.first()?.as_plain()?.as_var()?.to_string();
     let d = rule.head.terms.get(1)?.as_plain()?.as_var()?.to_string();
 
-    let constraints: Vec<Literal> = rule
-        .body
-        .iter()
-        .filter(|l| !matches!(l, Literal::Atom(_)))
-        .cloned()
-        .collect();
+    let constraints: Vec<Literal> =
+        rule.body.iter().filter(|l| !matches!(l, Literal::Atom(_))).cloned().collect();
 
     match dir {
         RecursionDirection::Right => {
@@ -352,11 +338,7 @@ fn rewrite_path_constraint(lit: Literal, s: &str, d: &str, to_left: bool) -> Lit
         Literal::Compare { op, lhs: Expr::Call { func, args }, rhs } if func == "f_inPath" => {
             let path_arg = args.first().cloned().unwrap_or(Expr::var("P2"));
             let member = if to_left { Expr::var(d) } else { Expr::var(s) };
-            Literal::Compare {
-                op,
-                lhs: Expr::Call { func, args: vec![path_arg, member] },
-                rhs,
-            }
+            Literal::Compare { op, lhs: Expr::Call { func, args: vec![path_arg, member] }, rhs }
         }
         other => other,
     }
@@ -418,10 +400,7 @@ mod tests {
 
     #[test]
     fn multi_atom_aggregate_bodies_are_skipped() {
-        let p = parse_program(
-            "r1: best(@S,D,min<C>) :- path(@S,D,P,C), permit(@S,D).",
-        )
-        .unwrap();
+        let p = parse_program("r1: best(@S,D,min<C>) :- path(@S,D,P,C), permit(@S,D).").unwrap();
         assert!(aggregate_selections(&p).is_empty());
     }
 
@@ -485,10 +464,7 @@ mod tests {
             "#,
         )
         .unwrap();
-        assert_eq!(
-            recursion_direction(dsr.rule("DSR1").unwrap()),
-            Some(RecursionDirection::Left)
-        );
+        assert_eq!(recursion_direction(dsr.rule("DSR1").unwrap()), Some(RecursionDirection::Left));
     }
 
     #[test]

@@ -103,10 +103,7 @@ pub fn check_safety(program: &Program) -> SafetyReport {
     let recursive_relations = recursive_relations(program);
 
     for (i, rule) in program.rules.iter().enumerate() {
-        let label = rule
-            .name
-            .clone()
-            .unwrap_or_else(|| format!("rule#{i}"));
+        let label = rule.name.clone().unwrap_or_else(|| format!("rule#{i}"));
 
         // --- range restriction ------------------------------------------------
         let bound = bound_variables(rule);
@@ -235,10 +232,8 @@ fn recursive_relations(program: &Program) -> BTreeSet<String> {
             edges.push((rule.head.relation.clone(), body_rel.to_string()));
         }
     }
-    let relations: BTreeSet<String> = edges
-        .iter()
-        .flat_map(|(a, b)| [a.clone(), b.clone()])
-        .collect();
+    let relations: BTreeSet<String> =
+        edges.iter().flat_map(|(a, b)| [a.clone(), b.clone()]).collect();
 
     // A relation is recursive when it can reach itself.
     let mut recursive = BTreeSet::new();
@@ -430,10 +425,7 @@ mod tests {
         let report = check_safety(&parse_program(src).unwrap());
         assert!(!report.range_restricted);
         assert!(!report.is_safe());
-        assert!(report
-            .rule_findings
-            .iter()
-            .any(|f| f.kind == FindingKind::UnboundHeadVariable));
+        assert!(report.rule_findings.iter().any(|f| f.kind == FindingKind::UnboundHeadVariable));
     }
 
     #[test]
@@ -441,10 +433,7 @@ mod tests {
         let src = "r1: out(@X) :- q(@X), Y < 3.";
         let report = check_safety(&parse_program(src).unwrap());
         assert!(!report.range_restricted);
-        assert!(report
-            .rule_findings
-            .iter()
-            .any(|f| f.kind == FindingKind::UnboundBodyVariable));
+        assert!(report.rule_findings.iter().any(|f| f.kind == FindingKind::UnboundBodyVariable));
     }
 
     #[test]

@@ -60,7 +60,12 @@ pub trait NodeApp: Sized {
     }
 
     /// Called when a message from `from` arrives.
-    fn on_message(&mut self, ctx: &mut Context<'_, Self::Message>, from: NodeId, msg: Self::Message);
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, Self::Message>,
+        from: NodeId,
+        msg: Self::Message,
+    );
 
     /// Called when a timer set via [`Context::set_timer`] fires.
     fn on_timer(&mut self, _ctx: &mut Context<'_, Self::Message>, _timer: u64) {}
@@ -202,12 +207,8 @@ impl<'a, M: Clone> Context<'a, M> {
         }
         self.world.metrics.record_send(now, from, bytes);
         let tx = SimDuration::from_millis_f64(bytes as f64 / params.bandwidth_bps * 1000.0);
-        let busy = self
-            .world
-            .link_busy_until
-            .get(&(from, neighbor))
-            .copied()
-            .unwrap_or(SimTime::ZERO);
+        let busy =
+            self.world.link_busy_until.get(&(from, neighbor)).copied().unwrap_or(SimTime::ZERO);
         let start = if busy > now { busy } else { now };
         let free_at = start + tx;
         self.world.link_busy_until.insert((from, neighbor), free_at);
@@ -570,7 +571,7 @@ mod tests {
         assert_eq!(sim.app(n(3)).received, vec![(n(2), 1)]);
         // message to node 3 traversed three 10 ms links (plus tiny tx delay)
         let t = sim.now().as_millis_f64();
-        assert!(t >= 30.0 && t < 32.0, "final time {t} out of range");
+        assert!((30.0..32.0).contains(&t), "final time {t} out of range");
         assert!(sim.events_processed() > 0);
     }
 
@@ -656,19 +657,13 @@ mod tests {
             LinkParams::with_latency_ms(42.0),
         );
         sim.run_to_quiescence();
-        assert_eq!(
-            sim.topology().link(n(0), n(1)).unwrap().latency,
-            SimDuration::from_millis(42)
-        );
+        assert_eq!(sim.topology().link(n(0), n(1)).unwrap().latency, SimDuration::from_millis(42));
         assert!(sim.app(n(0)).link_events.iter().any(|e| matches!(
             e,
             LinkEvent::MetricChanged { neighbor, params } if *neighbor == n(1) && params.latency == SimDuration::from_millis(42)
         )));
         // the reverse direction is untouched
-        assert_eq!(
-            sim.topology().link(n(1), n(0)).unwrap().latency,
-            SimDuration::from_millis(1)
-        );
+        assert_eq!(sim.topology().link(n(1), n(0)).unwrap().latency, SimDuration::from_millis(1));
     }
 
     #[test]
@@ -727,7 +722,8 @@ mod tests {
         }
         let mut topo = Topology::new(1);
         topo.add_link(n(0), n(0), LinkParams::default());
-        let mut sim = Simulator::new(Topology::new(1), vec![SelfApp { got: vec![] }], SimConfig::default());
+        let mut sim =
+            Simulator::new(Topology::new(1), vec![SelfApp { got: vec![] }], SimConfig::default());
         let _ = topo;
         sim.run_to_quiescence();
         assert_eq!(sim.app(n(0)).got, vec![7]);

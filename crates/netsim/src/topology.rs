@@ -112,10 +112,7 @@ impl Topology {
 
     /// The out-neighbors of a node with link parameters.
     pub fn neighbors(&self, node: NodeId) -> Vec<(NodeId, LinkParams)> {
-        self.links
-            .get(&node)
-            .map(|m| m.iter().map(|(d, p)| (*d, *p)).collect())
-            .unwrap_or_default()
+        self.links.get(&node).map(|m| m.iter().map(|(d, p)| (*d, *p)).collect()).unwrap_or_default()
     }
 
     /// The out-degree of a node.
@@ -142,7 +139,11 @@ impl Topology {
         self.dijkstra(source, |p| p.cost.value())
     }
 
-    fn dijkstra(&self, source: NodeId, weight: impl Fn(&LinkParams) -> f64) -> BTreeMap<NodeId, f64> {
+    fn dijkstra(
+        &self,
+        source: NodeId,
+        weight: impl Fn(&LinkParams) -> f64,
+    ) -> BTreeMap<NodeId, f64> {
         use std::cmp::Reverse;
         #[derive(PartialEq)]
         struct Entry(f64, NodeId);
@@ -231,9 +232,7 @@ impl Topology {
 
     /// Iterate over every directed link.
     pub fn all_links(&self) -> impl Iterator<Item = (NodeId, NodeId, &LinkParams)> {
-        self.links
-            .iter()
-            .flat_map(|(s, m)| m.iter().map(move |(d, p)| (*s, *d, p)))
+        self.links.iter().flat_map(|(s, m)| m.iter().map(move |(d, p)| (*s, *d, p)))
     }
 }
 
@@ -248,7 +247,11 @@ mod tests {
     fn line_topology(k: usize, latency_ms: f64) -> Topology {
         let mut t = Topology::new(k);
         for i in 0..k - 1 {
-            t.add_bidirectional(n(i as u32), n(i as u32 + 1), LinkParams::with_latency_ms(latency_ms));
+            t.add_bidirectional(
+                n(i as u32),
+                n(i as u32 + 1),
+                LinkParams::with_latency_ms(latency_ms),
+            );
         }
         t
     }
@@ -277,9 +280,7 @@ mod tests {
 
     #[test]
     fn link_params_builders() {
-        let p = LinkParams::with_latency_ms(10.0)
-            .with_cost(Cost::new(3.0))
-            .with_bandwidth_bps(1e6);
+        let p = LinkParams::with_latency_ms(10.0).with_cost(Cost::new(3.0)).with_bandwidth_bps(1e6);
         assert_eq!(p.latency, SimDuration::from_millis(10));
         assert_eq!(p.cost, Cost::new(3.0));
         assert_eq!(p.bandwidth_bps, 1e6);

@@ -136,10 +136,7 @@ mod tests {
     fn hop_count_ignores_link_costs() {
         let mut db = Database::new();
         diamond(&mut db);
-        Evaluator::new(best_path_for_metric(PathMetric::HopCount))
-            .unwrap()
-            .run(&mut db)
-            .unwrap();
+        Evaluator::new(best_path_for_metric(PathMetric::HopCount)).unwrap().run(&mut db).unwrap();
         // Direct 0->3 is one hop, cheaper by hop count despite cost 10.
         assert_eq!(best_cost(&db, 0, 3), Some(1.0));
     }
@@ -151,10 +148,7 @@ mod tests {
         for (s, d, c) in [(0, 1, 4.0), (1, 3, 5.0), (0, 3, 2.0)] {
             db.insert(link(s, d, c));
         }
-        Evaluator::new(best_path_for_metric(PathMetric::WidestPath))
-            .unwrap()
-            .run(&mut db)
-            .unwrap();
+        Evaluator::new(best_path_for_metric(PathMetric::WidestPath)).unwrap().run(&mut db).unwrap();
         assert_eq!(best_cost(&db, 0, 3), Some(4.0));
     }
 

@@ -118,10 +118,7 @@ mod tests {
     fn split_horizon_never_routes_back_through_the_learner() {
         let mut db = Database::new();
         line(&mut db, &[1.0, 1.0]);
-        Evaluator::new(distance_vector_poison_reverse(16.0))
-            .unwrap()
-            .run(&mut db)
-            .unwrap();
+        Evaluator::new(distance_vector_poison_reverse(16.0)).unwrap().run(&mut db).unwrap();
         // Identical answers on a healthy network.
         assert_eq!(next_hop(&db, 0, 2), Some((n(1), 2.0)));
         // DV5 poison entries exist (infinite-cost advertisements back to the
@@ -130,10 +127,7 @@ mod tests {
             .tuples("path")
             .into_iter()
             .filter(|t| {
-                t.field(3)
-                    .and_then(Value::as_cost)
-                    .map(|c| c.is_infinite())
-                    .unwrap_or(false)
+                t.field(3).and_then(Value::as_cost).map(|c| c.is_infinite()).unwrap_or(false)
             })
             .collect();
         assert!(!poisoned.is_empty());

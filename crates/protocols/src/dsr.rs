@@ -42,11 +42,7 @@ mod tests {
     fn link(s: u32, d: u32, c: f64) -> Tuple {
         Tuple::new(
             "link",
-            vec![
-                Value::Node(NodeId::new(s)),
-                Value::Node(NodeId::new(d)),
-                Value::from(c),
-            ],
+            vec![Value::Node(NodeId::new(s)), Value::Node(NodeId::new(d)), Value::from(c)],
         )
     }
 
@@ -57,10 +53,7 @@ mod tests {
         assert_eq!(recursion_direction(dsr1), Some(RecursionDirection::Left));
         // and the right-recursive twin is indeed right recursive
         let bp = best_path();
-        assert_eq!(
-            recursion_direction(bp.rule("NR2").unwrap()),
-            Some(RecursionDirection::Right)
-        );
+        assert_eq!(recursion_direction(bp.rule("NR2").unwrap()), Some(RecursionDirection::Right));
     }
 
     #[test]
@@ -84,10 +77,7 @@ mod tests {
         }
         Evaluator::new(dynamic_source_routing()).unwrap().run(&mut db_left).unwrap();
         Evaluator::new(best_path()).unwrap().run(&mut db_right).unwrap();
-        assert_eq!(
-            db_left.sorted_tuples("bestPathCost"),
-            db_right.sorted_tuples("bestPathCost")
-        );
+        assert_eq!(db_left.sorted_tuples("bestPathCost"), db_right.sorted_tuples("bestPathCost"));
         assert_eq!(db_left.sorted_tuples("bestPath"), db_right.sorted_tuples("bestPath"));
     }
 }

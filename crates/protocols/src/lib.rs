@@ -78,17 +78,15 @@ mod tests {
             ("dsr", dynamic_source_routing()),
             ("link_state", link_state()),
             ("policy", policy_routing()),
-            (
-                "multicast",
-                source_specific_multicast(dr_types::NodeId::new(0), "g1"),
-            ),
-            (
-                "pairs",
-                best_path_pairs(dr_types::NodeId::new(0), dr_types::NodeId::new(1)),
-            ),
+            ("multicast", source_specific_multicast(dr_types::NodeId::new(0), "g1")),
+            ("pairs", best_path_pairs(dr_types::NodeId::new(0), dr_types::NodeId::new(1))),
             (
                 "pairs_share",
-                best_path_pairs_share(dr_types::NodeId::new(0), dr_types::NodeId::new(1), "bestPathCache"),
+                best_path_pairs_share(
+                    dr_types::NodeId::new(0),
+                    dr_types::NodeId::new(1),
+                    "bestPathCache",
+                ),
             ),
         ];
         for (name, program) in programs {

@@ -64,10 +64,8 @@ mod tests {
                 .into_iter()
                 .filter(|t| t.node_at(0) == Some(n(node)))
                 .collect();
-            let mut links: Vec<(NodeId, NodeId)> = known
-                .iter()
-                .map(|t| (t.node_at(1).unwrap(), t.node_at(2).unwrap()))
-                .collect();
+            let mut links: Vec<(NodeId, NodeId)> =
+                known.iter().map(|t| (t.node_at(1).unwrap(), t.node_at(2).unwrap())).collect();
             links.sort();
             links.dedup();
             assert_eq!(links.len(), 6, "node {node} is missing flooded links");
@@ -77,14 +75,9 @@ mod tests {
     #[test]
     fn local_computation_yields_shortest_paths() {
         let mut db = Database::new();
-        for (s, d, c) in [
-            (0, 1, 1.0),
-            (1, 0, 1.0),
-            (1, 2, 1.0),
-            (2, 1, 1.0),
-            (0, 2, 5.0),
-            (2, 0, 5.0),
-        ] {
+        for (s, d, c) in
+            [(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0), (0, 2, 5.0), (2, 0, 5.0)]
+        {
             db.insert(link(s, d, c));
         }
         Evaluator::new(link_state()).unwrap().run(&mut db).unwrap();

@@ -51,10 +51,7 @@ pub fn source_specific_multicast(_source: NodeId, _group: &str) -> Program {
 
 /// Build a `joinGroup(@subscriber, source, group)` fact.
 pub fn join_group_fact(subscriber: NodeId, source: NodeId, group: &str) -> Tuple {
-    Tuple::new(
-        "joinGroup",
-        vec![Value::Node(subscriber), Value::Node(source), Value::str(group)],
-    )
+    Tuple::new("joinGroup", vec![Value::Node(subscriber), Value::Node(source), Value::str(group)])
 }
 
 #[cfg(test)]

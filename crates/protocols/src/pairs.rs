@@ -61,11 +61,7 @@ pub fn best_path_pairs(source: NodeId, destination: NodeId) -> Program {
 /// for different metrics so incomparable costs never mix). Issue with
 /// `share_results` enabled and `magicDsts` replicated so every node on the
 /// exploration frontier can check whether the destination is of interest.
-pub fn best_path_pairs_share(
-    source: NodeId,
-    destination: NodeId,
-    cache_relation: &str,
-) -> Program {
+pub fn best_path_pairs_share(source: NodeId, destination: NodeId, cache_relation: &str) -> Program {
     let mut program = parse(&format!(
         r#"
         #key(link, 0, 1).
@@ -112,10 +108,7 @@ pub fn magic_dst_fact(node: NodeId) -> Tuple {
 
 fn magic_fact_rule(relation: &str, node: NodeId) -> dr_datalog::ast::Rule {
     use dr_datalog::ast::{Head, Rule, Term};
-    Rule::new(
-        Head::plain(relation, vec![Term::Const(Value::Node(node))], Some(0)),
-        vec![],
-    )
+    Rule::new(Head::plain(relation, vec![Term::Const(Value::Node(node))], Some(0)), vec![])
 }
 
 #[cfg(test)]
@@ -221,10 +214,12 @@ mod tests {
         assert_eq!(path, vec![n(0), n(1), n(3), n(4)]);
         // BPPS1 stops exploring past node 3 (which holds a cache entry), so
         // no partial path extends beyond node 4 through the expensive side.
-        assert!(db
-            .tuples("path")
-            .iter()
-            .all(|t| t.field(2).and_then(Value::as_path).unwrap().len() <= 4));
+        assert!(db.tuples("path").iter().all(|t| t
+            .field(2)
+            .and_then(Value::as_path)
+            .unwrap()
+            .len()
+            <= 4));
     }
 
     #[test]

@@ -79,12 +79,9 @@ mod tests {
 
         // The unfiltered path table still contains the cheap route (the
         // policy acts as a filter, not a rewrite of path exploration).
-        assert!(db
-            .tuples("path")
-            .iter()
-            .any(|t| t.node_at(0) == Some(n(0))
-                && t.node_at(1) == Some(n(3))
-                && t.field(3).and_then(Value::as_cost) == Some(Cost::new(2.0))));
+        assert!(db.tuples("path").iter().any(|t| t.node_at(0) == Some(n(0))
+            && t.node_at(1) == Some(n(3))
+            && t.field(3).and_then(Value::as_cost) == Some(Cost::new(2.0))));
     }
 
     #[test]

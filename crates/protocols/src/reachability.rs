@@ -49,11 +49,7 @@ mod tests {
     fn link(s: u32, d: u32, c: f64) -> Tuple {
         Tuple::new(
             "link",
-            vec![
-                Value::Node(NodeId::new(s)),
-                Value::Node(NodeId::new(d)),
-                Value::from(c),
-            ],
+            vec![Value::Node(NodeId::new(s)), Value::Node(NodeId::new(d)), Value::from(c)],
         )
     }
 

@@ -158,7 +158,7 @@ mod tests {
 
     #[test]
     fn ordering_places_infinity_last() {
-        let mut v = vec![Cost::INFINITY, Cost::new(2.0), Cost::new(1.0)];
+        let mut v = [Cost::INFINITY, Cost::new(2.0), Cost::new(1.0)];
         v.sort();
         assert_eq!(v[0], Cost::new(1.0));
         assert!(v[2].is_infinite());

@@ -25,10 +25,7 @@ pub struct Tuple {
 impl Tuple {
     /// Build a tuple for `relation` with the given field values.
     pub fn new(relation: impl AsRef<str>, fields: Vec<Value>) -> Self {
-        Tuple {
-            relation: Arc::from(relation.as_ref()),
-            fields: Arc::new(fields),
-        }
+        Tuple { relation: Arc::from(relation.as_ref()), fields: Arc::new(fields) }
     }
 
     /// The relation (table) this tuple belongs to.
@@ -79,10 +76,7 @@ impl Tuple {
     pub fn key(&self, key_fields: &[usize]) -> TupleKey {
         TupleKey {
             relation: self.relation.clone(),
-            key: key_fields
-                .iter()
-                .filter_map(|&i| self.fields.get(i).cloned())
-                .collect(),
+            key: key_fields.iter().filter_map(|&i| self.fields.get(i).cloned()).collect(),
         }
     }
 }
@@ -131,10 +125,7 @@ mod tests {
     }
 
     fn link(s: u32, d: u32, c: f64) -> Tuple {
-        Tuple::new(
-            "link",
-            vec![Value::Node(n(s)), Value::Node(n(d)), Value::from(c)],
-        )
+        Tuple::new("link", vec![Value::Node(n(s)), Value::Node(n(d)), Value::from(c)])
     }
 
     #[test]

@@ -376,14 +376,8 @@ mod tests {
 
     #[test]
     fn numeric_comparison_mixes_int_and_cost() {
-        assert_eq!(
-            Value::Int(2).compare_numeric(&Value::from(3.0)),
-            Ordering::Less
-        );
-        assert_eq!(
-            Value::from(5.0).compare_numeric(&Value::Int(5)),
-            Ordering::Equal
-        );
+        assert_eq!(Value::Int(2).compare_numeric(&Value::from(3.0)), Ordering::Less);
+        assert_eq!(Value::from(5.0).compare_numeric(&Value::Int(5)), Ordering::Equal);
     }
 
     #[test]

@@ -60,9 +60,8 @@ impl ChurnSchedule {
     ) -> ChurnSchedule {
         let mut rng = StdRng::seed_from_u64(seed);
         let candidates: Vec<NodeId> = (1..num_nodes as u32).map(NodeId::new).collect();
-        let per_event = ((num_nodes as f64 * fraction).round() as usize)
-            .max(1)
-            .min(candidates.len());
+        let per_event =
+            ((num_nodes as f64 * fraction).round() as usize).max(1).min(candidates.len());
         let mut events = Vec::new();
         let mut t = start;
         for _ in 0..cycles {
@@ -162,14 +161,8 @@ mod tests {
 
     #[test]
     fn node_zero_is_never_failed() {
-        let s = ChurnSchedule::alternating(
-            10,
-            0.9,
-            SimTime::ZERO,
-            SimDuration::from_secs(150),
-            5,
-            3,
-        );
+        let s =
+            ChurnSchedule::alternating(10, 0.9, SimTime::ZERO, SimDuration::from_secs(150), 5, 3);
         for e in s.events() {
             assert!(!e.nodes().contains(&NodeId::new(0)));
         }
@@ -177,8 +170,10 @@ mod tests {
 
     #[test]
     fn deterministic_for_a_seed() {
-        let a = ChurnSchedule::alternating(50, 0.2, SimTime::ZERO, SimDuration::from_secs(150), 2, 7);
-        let b = ChurnSchedule::alternating(50, 0.2, SimTime::ZERO, SimDuration::from_secs(150), 2, 7);
+        let a =
+            ChurnSchedule::alternating(50, 0.2, SimTime::ZERO, SimDuration::from_secs(150), 2, 7);
+        let b =
+            ChurnSchedule::alternating(50, 0.2, SimTime::ZERO, SimDuration::from_secs(150), 2, 7);
         assert_eq!(a.events(), b.events());
     }
 

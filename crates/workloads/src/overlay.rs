@@ -101,14 +101,15 @@ impl OverlayParams {
         let mut topo = Topology::new(self.nodes);
         let nodes: Vec<NodeId> = (0..self.nodes as u32).map(NodeId::new).collect();
 
-        let add = |topo: &mut Topology, rng: &mut StdRng, a: NodeId, b: NodeId, this: &OverlayParams| {
-            if a == b || topo.has_link(a, b) {
-                return;
-            }
-            let rtt = this.pair_rtt(rng, a, b);
-            let params = LinkParams::with_latency_ms(rtt / 2.0).with_cost(Cost::new(rtt));
-            topo.add_bidirectional(a, b, params);
-        };
+        let add =
+            |topo: &mut Topology, rng: &mut StdRng, a: NodeId, b: NodeId, this: &OverlayParams| {
+                if a == b || topo.has_link(a, b) {
+                    return;
+                }
+                let rtt = this.pair_rtt(rng, a, b);
+                let params = LinkParams::with_latency_ms(rtt / 2.0).with_cost(Cost::new(rtt));
+                topo.add_bidirectional(a, b, params);
+            };
 
         match self.kind {
             OverlayKind::SparseRandom | OverlayKind::DenseRandom => {
@@ -237,8 +238,14 @@ mod tests {
 
     #[test]
     fn load_factor_scales_rtts() {
-        let base = OverlayParams { load_factor: 1.0, ..OverlayParams::planetlab(OverlayKind::DenseRandom, 7) };
-        let loaded = OverlayParams { load_factor: 1.2, ..OverlayParams::planetlab(OverlayKind::DenseRandom, 7) };
+        let base = OverlayParams {
+            load_factor: 1.0,
+            ..OverlayParams::planetlab(OverlayKind::DenseRandom, 7)
+        };
+        let loaded = OverlayParams {
+            load_factor: 1.2,
+            ..OverlayParams::planetlab(OverlayKind::DenseRandom, 7)
+        };
         let avg = |t: &Topology| {
             let (mut s, mut c) = (0.0, 0);
             for (_, _, p) in t.all_links() {

@@ -110,11 +110,7 @@ impl MixedWorkload {
     /// Draw the next query: source, destination, and metric.
     pub fn next_query(&mut self) -> (NodeId, NodeId, QueryMetric) {
         let (src, dst) = self.pairs.next_pair();
-        let metric = if self
-            .switch_to_latency_after
-            .map(|n| self.issued >= n)
-            .unwrap_or(false)
-        {
+        let metric = if self.switch_to_latency_after.map(|n| self.issued >= n).unwrap_or(false) {
             QueryMetric::Latency
         } else {
             // 65% latency, 20% A, 10% B, 5% C — the paper's mixture.

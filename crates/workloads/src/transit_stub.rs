@@ -55,14 +55,13 @@ impl TransitStubParams {
     pub fn sized(target_nodes: usize, seed: u64) -> TransitStubParams {
         let defaults = TransitStubParams::default();
         let per_domain = defaults.nodes_per_domain();
-        let domains = (target_nodes + per_domain - 1) / per_domain;
+        let domains = target_nodes.div_ceil(per_domain);
         TransitStubParams { domains: domains.max(1), seed, ..defaults }
     }
 
     /// Nodes contributed by each domain.
     pub fn nodes_per_domain(&self) -> usize {
-        self.transit_nodes_per_domain
-            * (1 + self.stubs_per_transit_node * self.nodes_per_stub)
+        self.transit_nodes_per_domain * (1 + self.stubs_per_transit_node * self.nodes_per_stub)
     }
 
     /// Total node count of the generated topology.

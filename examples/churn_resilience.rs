@@ -16,7 +16,8 @@ use declarative_routing::workloads::{ChurnSchedule, OverlayKind, OverlayParams};
 fn main() {
     // 36-node Dense-UUNET-like overlay (half of the paper's 72 PlanetLab
     // nodes, for a fast demo).
-    let params = OverlayParams { nodes: 36, ..OverlayParams::planetlab(OverlayKind::DenseUunet, 9) };
+    let params =
+        OverlayParams { nodes: 36, ..OverlayParams::planetlab(OverlayKind::DenseUunet, 9) };
     let topology = params.generate();
     println!(
         "overlay: {} nodes, avg degree {:.1}, avg link RTT {:.0} ms",
@@ -46,10 +47,15 @@ fn main() {
     );
     println!("\ninjecting churn:");
     for event in schedule.events() {
-        println!("  {:>6.0}s  {:?} nodes affected: {}", event.time().as_secs_f64(),
-            match event { declarative_routing::workloads::churn::ChurnEvent::Fail(..) => "fail",
-                          declarative_routing::workloads::churn::ChurnEvent::Join(..) => "join" },
-            event.nodes().len());
+        println!(
+            "  {:>6.0}s  {:?} nodes affected: {}",
+            event.time().as_secs_f64(),
+            match event {
+                declarative_routing::workloads::churn::ChurnEvent::Fail(..) => "fail",
+                declarative_routing::workloads::churn::ChurnEvent::Join(..) => "join",
+            },
+            event.nodes().len()
+        );
     }
     schedule.apply(harness.sim_mut());
 
@@ -58,7 +64,7 @@ fn main() {
     let end = schedule.end_time() + SimDuration::from_secs(60);
     println!("\n time_s  routes  AvgPathRTT_ms");
     while t < end {
-        t = t + SimDuration::from_secs(20);
+        t += SimDuration::from_secs(20);
         harness.run_until(t);
         let finite = harness.finite_results(qid);
         let live: Vec<f64> = finite

@@ -21,10 +21,7 @@ fn main() {
     let links: Vec<Tuple> = topo
         .all_links()
         .map(|(s, d, p)| {
-            Tuple::new(
-                "link",
-                vec![Value::Node(s), Value::Node(d), Value::from(p.cost.value())],
-            )
+            Tuple::new("link", vec![Value::Node(s), Value::Node(d), Value::from(p.cost.value())])
         })
         .collect();
     let load = |db: &mut Database| {
@@ -76,6 +73,8 @@ fn main() {
     for t in sample {
         println!("  {t}");
     }
-    println!("\nconclusion: left vs right recursion changes the execution strategy, not the routes.");
+    println!(
+        "\nconclusion: left vs right recursion changes the execution strategy, not the routes."
+    );
     let _ = NodeId::new(0);
 }

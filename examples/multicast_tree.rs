@@ -21,15 +21,9 @@ fn link(s: u32, d: u32, c: f64) -> Tuple {
 fn main() {
     // A binary-tree-ish topology rooted at node 0 with some cross links.
     let mut db = Database::new();
-    for (s, d, c) in [
-        (0, 1, 1.0),
-        (0, 2, 1.0),
-        (1, 3, 1.0),
-        (1, 4, 1.0),
-        (2, 5, 1.0),
-        (2, 6, 1.0),
-        (4, 5, 3.0),
-    ] {
+    for (s, d, c) in
+        [(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0), (1, 4, 1.0), (2, 5, 1.0), (2, 6, 1.0), (4, 5, 3.0)]
+    {
         db.insert(link(s, d, c));
         db.insert(link(d, s, c));
     }

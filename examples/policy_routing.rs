@@ -24,14 +24,8 @@ fn main() {
     // a "flaky" provider (nodes 1-2), one through a trustworthy but slower
     // provider (nodes 3-4).
     let mut db = Database::new();
-    for (s, d, c) in [
-        (0, 1, 1.0),
-        (1, 2, 1.0),
-        (2, 5, 1.0),
-        (0, 3, 3.0),
-        (3, 4, 3.0),
-        (4, 5, 3.0),
-    ] {
+    for (s, d, c) in [(0, 1, 1.0), (1, 2, 1.0), (2, 5, 1.0), (0, 3, 3.0), (3, 4, 3.0), (4, 5, 3.0)]
+    {
         db.insert(link(s, d, c));
         db.insert(link(d, s, c));
     }

@@ -48,10 +48,8 @@ fn main() {
     }
 
     // 5. And the full best path for one pair.
-    if let Some(route) = harness
-        .results_at(node, qid)
-        .into_iter()
-        .find(|t| t.node_at(1) == Some(NodeId::new(50)))
+    if let Some(route) =
+        harness.results_at(node, qid).into_iter().find(|t| t.node_at(1) == Some(NodeId::new(50)))
     {
         println!("\nbest path {node} -> n50: {route}");
     }

@@ -39,9 +39,8 @@ fn distributed_centralized_and_baseline_agree() {
 
     // Distributed execution.
     let mut harness = RoutingHarness::new(topo.clone());
-    let qid = harness
-        .issue_program(n(0), SimTime::ZERO, &best_path(), IssueOptions::default())
-        .unwrap();
+    let qid =
+        harness.issue_program(n(0), SimTime::ZERO, &best_path(), IssueOptions::default()).unwrap();
     harness.run_until(SimTime::from_secs(90));
     let mut distributed: Vec<(NodeId, NodeId, u64)> = harness
         .finite_results(qid)
@@ -106,7 +105,8 @@ fn distributed_centralized_and_baseline_agree() {
 #[test]
 #[ignore = "known issue: pair-vs-all-pairs equivalence on dense random overlays"]
 fn pair_queries_match_all_pairs_routes() {
-    let params = OverlayParams { nodes: 16, ..OverlayParams::planetlab(OverlayKind::DenseRandom, 5) };
+    let params =
+        OverlayParams { nodes: 16, ..OverlayParams::planetlab(OverlayKind::DenseRandom, 5) };
     let topo = params.generate();
 
     let mut all_pairs = RoutingHarness::new(topo.clone());
@@ -132,7 +132,7 @@ fn pair_queries_match_all_pairs_routes() {
                 },
             )
             .unwrap();
-        now = now + SimDuration::from_secs(60);
+        now += SimDuration::from_secs(60);
         harness.run_until(now);
 
         let pair_cost = harness
@@ -158,7 +158,7 @@ fn sharing_reduces_overhead_for_common_destinations() {
     let topo = small_transit_stub(9);
     let nodes = topo.num_nodes();
     let dest = n((nodes - 1) as u32);
-    let sources: Vec<NodeId> = (1..5).map(|i| n(i)).collect();
+    let sources: Vec<NodeId> = (1..5).map(n).collect();
 
     let run = |share: bool| {
         let mut harness = RoutingHarness::new(small_transit_stub(9));
@@ -185,18 +185,13 @@ fn sharing_reduces_overhead_for_common_destinations() {
                 )
             };
             harness.issue_program(*src, now, &program, options).unwrap();
-            now = now + SimDuration::from_secs(20);
+            now += SimDuration::from_secs(20);
             harness.run_until(now);
         }
         harness.run_until(now + SimDuration::from_secs(20));
-        let cache_entries: usize = (0..nodes)
-            .map(|i| harness.sim().app(n(i as u32)).best_path_cache().len())
-            .sum();
-        (
-            harness.per_node_overhead_kb(),
-            harness.sim().metrics().total_bytes(),
-            cache_entries,
-        )
+        let cache_entries: usize =
+            (0..nodes).map(|i| harness.sim().app(n(i as u32)).best_path_cache().len()).sum();
+        (harness.per_node_overhead_kb(), harness.sim().metrics().total_bytes(), cache_entries)
     };
 
     let (kb_share, bytes_share, cache_entries) = run(true);
@@ -224,15 +219,12 @@ fn protocols_are_safe_and_localizable() {
         ("distance_vector", distance_vector(64.0), vec![]),
         ("dsr", dynamic_source_routing(), vec![]),
         ("pairs", best_path_pairs(n(0), n(5)), vec![]),
-        (
-            "pairs_share",
-            best_path_pairs_share(n(0), n(5), "bestPathCache"),
-            vec!["magicDsts"],
-        ),
+        ("pairs_share", best_path_pairs_share(n(0), n(5), "bestPathCache"), vec!["magicDsts"]),
     ];
     for (name, program, replicated) in programs {
         assert!(check_safety(&program).is_safe(), "{name} failed safety analysis");
-        localize(&program, &replicated).unwrap_or_else(|e| panic!("{name} failed to localize: {e}"));
+        localize(&program, &replicated)
+            .unwrap_or_else(|e| panic!("{name} failed to localize: {e}"));
     }
 }
 
@@ -240,12 +232,12 @@ fn protocols_are_safe_and_localizable() {
 /// randomly generated overlay.
 #[test]
 fn routes_heal_after_node_failure_on_an_overlay() {
-    let params = OverlayParams { nodes: 12, ..OverlayParams::planetlab(OverlayKind::SparseRandom, 13) };
+    let params =
+        OverlayParams { nodes: 12, ..OverlayParams::planetlab(OverlayKind::SparseRandom, 13) };
     let topo = params.generate();
     let mut harness = RoutingHarness::new(topo);
-    let qid = harness
-        .issue_program(n(0), SimTime::ZERO, &best_path(), IssueOptions::default())
-        .unwrap();
+    let qid =
+        harness.issue_program(n(0), SimTime::ZERO, &best_path(), IssueOptions::default()).unwrap();
     harness.run_until(SimTime::from_secs(60));
     let routes_before = harness.finite_results(qid).len();
     assert_eq!(routes_before, 12 * 11);
@@ -270,10 +262,7 @@ fn routes_heal_after_node_failure_on_an_overlay() {
     let through_victim = healed
         .iter()
         .filter(|t| {
-            t.field(2)
-                .and_then(Value::as_path)
-                .map(|p| p.contains(victim))
-                .unwrap_or(false)
+            t.field(2).and_then(Value::as_path).map(|p| p.contains(victim)).unwrap_or(false)
         })
         .count();
     assert_eq!(through_victim, 0, "healed routes must avoid the failed node");

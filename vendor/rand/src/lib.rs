@@ -1,0 +1,278 @@
+//! Offline stand-in for the crates.io [`rand`](https://crates.io/crates/rand)
+//! crate (0.8 API surface), vendored because this workspace must build
+//! without network access.
+//!
+//! Only the subset used by the workspace is provided: [`rngs::StdRng`]
+//! seeded via [`SeedableRng::seed_from_u64`], the [`Rng`] extension methods
+//! `gen`, `gen_range`, and `gen_bool`, and [`seq::SliceRandom`]'s `choose`
+//! and `shuffle`. The generator is xoshiro256++ (seeded through SplitMix64),
+//! so streams are deterministic for a given seed — which is all the
+//! workloads need — but the exact values differ from upstream `rand`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Types that can be deterministically seeded from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core + extension random-number-generator interface (the subset of
+/// `rand::Rng` this workspace uses).
+pub trait Rng {
+    /// Produce the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample a value uniformly from `range` (half-open).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Return `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range: {p}");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Sample a value from the "standard" distribution of `T` (uniform over
+    /// the unit interval for floats, uniform over all values for integers).
+    fn gen<T>(&mut self) -> T
+    where
+        T: StandardSample,
+        Self: Sized,
+    {
+        T::standard_sample(self)
+    }
+}
+
+impl<R: Rng> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A range that supports uniform sampling of `T`.
+pub trait SampleRange<T> {
+    /// Sample one value from the range.
+    fn sample_single<R: Rng>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_signed_sample_range!(i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: Rng>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + (self.end - self.start) * unit_f64(rng.next_u64())
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_single<R: Rng>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + (self.end - self.start) * unit_f64(rng.next_u64()) as f32
+    }
+}
+
+/// Sampling from the "standard" distribution (the stand-in for
+/// `rand::distributions::Standard`).
+pub trait StandardSample {
+    /// Draw one standard-distributed value.
+    fn standard_sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: Rng>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: Rng>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64()) as f32
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for u32 {
+    fn standard_sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() as u32
+    }
+}
+
+impl StandardSample for u64 {
+    fn standard_sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+/// Map 64 random bits to a uniform `f64` in `[0, 1)` with 53-bit precision.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard RNG: xoshiro256++ seeded via SplitMix64.
+    /// Deterministic for a given seed; not cryptographically secure.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 to spread the seed over the full 256-bit state.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related random operations.
+pub mod seq {
+    use super::Rng;
+
+    /// Extension methods on slices (the stand-in for
+    /// `rand::seq::SliceRandom`).
+    pub trait SliceRandom {
+        /// The element type of the sequence.
+        type Item;
+
+        /// Uniformly pick one element, or `None` if the slice is empty.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get((rng.next_u64() % self.len() as u64) as usize)
+            }
+        }
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_and_choose_cover_elements() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..16).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>());
+        assert!(v.choose(&mut rng).is_some());
+        let empty: Vec<u32> = Vec::new();
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}
