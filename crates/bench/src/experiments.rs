@@ -8,7 +8,7 @@ use crate::runner::{
     average_link_rtt, best_paths_snapshot, full_scale, run_best_path_query,
     run_path_vector_baseline, start_best_path_query, Series,
 };
-use dr_core::harness::{IssueOptions, RoutingHarness};
+use dr_core::harness::RoutingHarness;
 use dr_netsim::{LinkParams, SimDuration, SimTime};
 use dr_protocols::{best_path, best_path_pairs, best_path_pairs_share};
 use dr_types::{Cost, NodeId};
@@ -171,27 +171,19 @@ pub fn run_pair_stream(strategy: PairStrategy, params: &PairStreamParams) -> Ser
     let mut now = SimTime::ZERO;
     for q in 1..=params.queries {
         let (src, dst) = workload.next_pair();
-        let (program, options) = match strategy {
-            PairStrategy::NoShare => (
-                best_path_pairs(src, dst),
-                IssueOptions {
-                    name: format!("pair-{q}"),
-                    replicated: vec!["magicDsts".to_string()],
-                    ..Default::default()
-                },
-            ),
-            PairStrategy::Share => (
-                best_path_pairs_share(src, dst, "bestPathCache"),
-                IssueOptions {
-                    name: format!("pair-share-{q}"),
-                    share_results: true,
-                    replicated: vec!["magicDsts".to_string()],
-                    ..Default::default()
-                },
-            ),
+        let builder = match strategy {
+            PairStrategy::NoShare => harness
+                .issue(best_path_pairs(src, dst))
+                .named(format!("pair-{q}"))
+                .replicated(["magicDsts"]),
+            PairStrategy::Share => harness
+                .issue(best_path_pairs_share(src, dst, "bestPathCache"))
+                .named(format!("pair-share-{q}"))
+                .replicated(["magicDsts"])
+                .sharing(true),
             PairStrategy::AllPairs => unreachable!("handled above"),
         };
-        harness.issue_program(src, now, &program, options).expect("pair query must localize");
+        builder.from(src).at(now).submit().expect("pair query must localize");
         now += params.spacing;
         harness.run_until(now);
         if q % params.checkpoint_every == 0 {
@@ -263,14 +255,16 @@ fn run_mixed_stream(label: &str, switch: Option<usize>, params: &PairStreamParam
     for q in 1..=params.queries {
         let (src, dst, metric) = workload.next_query();
         let cache = metric.cache_relation();
-        let program = best_path_pairs_share(src, dst, cache);
-        let options = IssueOptions {
-            name: format!("{label}-{q}-{metric:?}"),
-            share_results: true,
-            replicated: vec!["magicDsts".to_string()],
-            ..Default::default()
-        };
-        harness.issue_program(src, now, &program, options).expect("query must localize");
+        harness
+            .issue(best_path_pairs_share(src, dst, cache))
+            .named(format!("{label}-{q}-{metric:?}"))
+            .replicated(["magicDsts"])
+            .sharing(true)
+            .cache_relation(cache)
+            .from(src)
+            .at(now)
+            .submit()
+            .expect("query must localize");
         now += params.spacing;
         harness.run_until(now);
         if q % params.checkpoint_every == 0 {
@@ -348,10 +342,10 @@ pub fn fig10_11_planetlab() -> (Vec<Series>, Vec<Series>) {
         let params = OverlayParams { nodes, ..OverlayParams::planetlab(kind, 33) };
         let topo = params.generate();
         let mut harness = RoutingHarness::new(topo);
-        let qid = harness
-            .issue_program(NodeId::new(0), SimTime::ZERO, &best_path(), IssueOptions::default())
-            .expect("best-path query must localize");
-        let report = harness.run_and_sample(qid, SimDuration::from_secs(2), horizon);
+        let handle = harness.issue(best_path()).submit().expect("best-path query must localize");
+        let report = handle
+            .run_and_sample(&mut harness, SimDuration::from_secs(2), horizon)
+            .expect("best-path results decode as routes");
         let mut rtt = Series::new(kind.name());
         for s in &report.samples {
             rtt.push(s.time.as_secs_f64(), s.avg_cost);
@@ -407,8 +401,8 @@ pub fn adaptation_experiment(kind: OverlayKind, smoothed: bool, seed: u64) -> Ad
     let baselines: Vec<(NodeId, NodeId, f64)> =
         topo.all_links().map(|(a, b, p)| (a, b, p.cost.value())).collect();
 
-    let (mut harness, qid) = start_best_path_query(topo, warmup);
-    let initial = best_paths_snapshot(&harness, qid);
+    let (mut harness, handle) = start_best_path_query(topo, warmup);
+    let initial = best_paths_snapshot(&harness, &handle);
     let bytes_before_updates = harness.sim().metrics().total_bytes();
     let update_phase_start = harness.sim().now();
 
@@ -450,20 +444,20 @@ pub fn adaptation_experiment(kind: OverlayKind, smoothed: bool, seed: u64) -> Ad
         harness.run_until(now);
 
         // Sample the computed paths and the reported link RTTs.
-        let snapshot = best_paths_snapshot(&harness, qid);
+        let snapshot = best_paths_snapshot(&harness, &handle);
         let avg_path = if snapshot.is_empty() {
             0.0
         } else {
-            snapshot.values().map(|(_, c)| c.value()).sum::<f64>() / snapshot.len() as f64
+            snapshot.values().map(|r| r.cost.value()).sum::<f64>() / snapshot.len() as f64
         };
         let avg_link = reported_rtts.values().sum::<f64>() / reported_rtts.len().max(1) as f64;
         avg_path_series.push(now.as_secs_f64(), avg_path);
         avg_link_series.push(now.as_secs_f64(), avg_link);
 
         // Count path changes.
-        for (pair, (path, _)) in &snapshot {
-            if let Some((old_path, _)) = last_paths.get(pair) {
-                if old_path != path {
+        for (pair, route) in &snapshot {
+            if let Some(old_route) = last_paths.get(pair) {
+                if old_route.path != route.path {
                     *changes.entry(*pair).or_insert(0) += 1;
                 }
             }
@@ -532,7 +526,7 @@ pub fn churn_experiment(kind: OverlayKind, fraction: f64, seed: u64) -> ChurnOut
 
     let params = OverlayParams { nodes, ..OverlayParams::planetlab(kind, seed) };
     let topo = params.generate();
-    let (mut harness, qid) = start_best_path_query(topo, warmup);
+    let (mut harness, handle) = start_best_path_query(topo, warmup);
 
     let schedule =
         ChurnSchedule::alternating(nodes, fraction, warmup, interval, cycles, seed ^ 0xc0de);
@@ -559,8 +553,8 @@ pub fn churn_experiment(kind: OverlayKind, fraction: f64, seed: u64) -> ChurnOut
                 dr_workloads::churn::ChurnEvent::Fail(t, victims) => {
                     failed_now = victims.clone();
                     // Paths that traverse a victim are invalidated.
-                    for (pair, (path, _)) in best_paths_snapshot(&harness, qid) {
-                        if path.iter().any(|n| victims.contains(n))
+                    for (pair, route) in best_paths_snapshot(&harness, &handle) {
+                        if victims.iter().any(|v| route.traverses(*v))
                             && !victims.contains(&pair.0)
                             && !victims.contains(&pair.1)
                         {
@@ -577,11 +571,12 @@ pub fn churn_experiment(kind: OverlayKind, fraction: f64, seed: u64) -> ChurnOut
 
         // Check pending recoveries.
         if !pending.is_empty() {
-            let snapshot = best_paths_snapshot(&harness, qid);
+            let snapshot = best_paths_snapshot(&harness, &handle);
             let mut recovered: Vec<(NodeId, NodeId)> = Vec::new();
             for (pair, failed_at) in &pending {
-                if let Some((path, cost)) = snapshot.get(pair) {
-                    let valid = cost.is_finite() && !path.iter().any(|n| failed_now.contains(n));
+                if let Some(route) = snapshot.get(pair) {
+                    let valid =
+                        route.cost.is_finite() && !failed_now.iter().any(|f| route.traverses(*f));
                     if valid {
                         recoveries.push((now - *failed_at).as_secs_f64());
                         recovered.push(*pair);
@@ -594,15 +589,15 @@ pub fn churn_experiment(kind: OverlayKind, fraction: f64, seed: u64) -> ChurnOut
         }
 
         // Sample AvgPathRTT, excluding paths through currently failed nodes.
-        let snapshot = best_paths_snapshot(&harness, qid);
+        let snapshot = best_paths_snapshot(&harness, &handle);
         let valid: Vec<f64> = snapshot
             .iter()
-            .filter(|(pair, (path, _))| {
+            .filter(|(pair, route)| {
                 !failed_now.contains(&pair.0)
                     && !failed_now.contains(&pair.1)
-                    && !path.iter().any(|n| failed_now.contains(n))
+                    && !failed_now.iter().any(|f| route.traverses(*f))
             })
-            .map(|(_, (_, c))| c.value())
+            .map(|(_, route)| route.cost.value())
             .collect();
         let avg =
             if valid.is_empty() { 0.0 } else { valid.iter().sum::<f64>() / valid.len() as f64 };

@@ -3,11 +3,10 @@
 //! source/destination queries, and formatting result series.
 
 use dr_baselines::{PathVectorConfig, PathVectorNode};
-use dr_core::harness::{IssueOptions, RoutingHarness};
-use dr_core::QueryId;
+use dr_core::harness::{QueryHandle, RoutingHarness};
 use dr_netsim::{SimConfig, SimDuration, SimTime, Simulator, Topology};
 use dr_protocols::best_path;
-use dr_types::{Cost, NodeId, Value};
+use dr_types::{NodeId, RouteEntry};
 
 /// True when the `DR_FULL` environment variable requests paper-scale runs.
 pub fn full_scale() -> bool {
@@ -79,28 +78,28 @@ pub fn run_best_path_query(
     sample: SimDuration,
 ) -> RunOutcome {
     let mut harness = RoutingHarness::new(topology);
-    let qid = harness
-        .issue_program(NodeId::new(0), SimTime::ZERO, &best_path(), IssueOptions::default())
-        .expect("best-path query must localize");
-    let report = harness.run_and_sample(qid, sample, horizon);
-    let last = report.samples.last();
+    let handle = harness.issue(best_path()).submit().expect("best-path query must localize");
+    let report = handle
+        .run_and_sample(&mut harness, sample, horizon)
+        .expect("best-path results decode as routes");
     RunOutcome {
         convergence_s: report.converged_at.map(|t| t.as_secs_f64()),
         per_node_kb: report.per_node_overhead_kb,
-        routes: last.map(|s| s.results).unwrap_or(0),
-        avg_cost: last.map(|s| s.avg_cost).unwrap_or(0.0),
+        routes: report.final_results(),
+        avg_cost: report.final_avg_cost(),
     }
 }
 
 /// Run the all-pairs Best-Path query and also return the harness for
 /// follow-on phases (continuous updates, churn).
-pub fn start_best_path_query(topology: Topology, warmup: SimTime) -> (RoutingHarness, QueryId) {
+pub fn start_best_path_query(
+    topology: Topology,
+    warmup: SimTime,
+) -> (RoutingHarness, QueryHandle<RouteEntry>) {
     let mut harness = RoutingHarness::new(topology);
-    let qid = harness
-        .issue_program(NodeId::new(0), SimTime::ZERO, &best_path(), IssueOptions::default())
-        .expect("best-path query must localize");
+    let handle = harness.issue(best_path()).submit().expect("best-path query must localize");
     harness.run_until(warmup);
-    (harness, qid)
+    (harness, handle)
 }
 
 /// Run the hand-coded path-vector baseline over `topology` until `horizon`,
@@ -178,19 +177,18 @@ pub fn average_link_rtt(topology: &Topology) -> f64 {
     }
 }
 
-/// Extract per-pair best costs from a harness (for stability analysis).
+/// Extract the current per-pair best routes from a harness (for stability
+/// and churn analysis).
 pub fn best_paths_snapshot(
     harness: &RoutingHarness,
-    qid: QueryId,
-) -> std::collections::BTreeMap<(NodeId, NodeId), (Vec<NodeId>, Cost)> {
-    let mut out = std::collections::BTreeMap::new();
-    for t in harness.finite_results(qid) {
-        let (Some(s), Some(d)) = (t.node_at(0), t.node_at(1)) else { continue };
-        let Some(path) = t.field(2).and_then(Value::as_path) else { continue };
-        let Some(cost) = t.fields().last().and_then(Value::as_cost) else { continue };
-        out.insert((s, d), (path.nodes().to_vec(), cost));
-    }
-    out
+    handle: &QueryHandle<RouteEntry>,
+) -> std::collections::BTreeMap<(NodeId, NodeId), RouteEntry> {
+    handle
+        .finite_results(harness)
+        .expect("best-path results decode as routes")
+        .into_iter()
+        .map(|r| ((r.src, r.dst), r))
+        .collect()
 }
 
 #[cfg(test)]

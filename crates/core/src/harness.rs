@@ -8,17 +8,44 @@
 //! communication overhead, average path cost, and recovery time.
 //! [`RoutingHarness`] packages that choreography for the figures/tables
 //! binaries in `dr-bench`, the examples, and the integration tests.
+//!
+//! # Issuing queries
+//!
+//! Queries are issued through the fluent [`IssueBuilder`] returned by
+//! [`RoutingHarness::issue`], and observed through the typed
+//! [`QueryHandle`] the builder returns:
+//!
+//! ```ignore
+//! let handle = harness
+//!     .issue(best_path())
+//!     .from(NodeId::new(0))
+//!     .at(SimTime::ZERO)
+//!     .submit()?;                       // -> QueryHandle<RouteEntry>
+//! harness.run_until(SimTime::from_secs(30));
+//! for route in handle.finite_results(&harness)? {
+//!     println!("{} -> {} costs {}", route.src, route.dst, route.cost);
+//! }
+//! ```
+//!
+//! The handle is a lightweight, clonable token — it borrows nothing, so the
+//! harness stays freely mutable between observations.
 
 use crate::localize::localize;
 use crate::processor::{NetMsg, ProcessorConfig, QueryProcessor};
 use crate::query::{QueryId, QueryLibrary, QuerySpec};
 use dr_datalog::ast::Program;
 use dr_netsim::{SimConfig, SimDuration, SimTime, Simulator, Topology};
-use dr_types::{Cost, NodeId, Result, Tuple, Value};
+use dr_types::view::{CostView, FromTuple};
+use dr_types::{Cost, NodeId, Result, RouteEntry, Tuple, Value};
 use std::collections::BTreeMap;
+use std::marker::PhantomData;
 use std::sync::Arc;
 
 /// Options controlling how a query is issued.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the fluent issue builder: `harness.issue(program).from(node).at(t).submit()`"
+)]
 #[derive(Debug, Clone)]
 pub struct IssueOptions {
     /// Relations replicated to every node (query constants such as
@@ -34,6 +61,7 @@ pub struct IssueOptions {
     pub name: String,
 }
 
+#[allow(deprecated)]
 impl Default for IssueOptions {
     fn default() -> Self {
         IssueOptions {
@@ -68,6 +96,260 @@ pub struct ConvergenceReport {
     pub converged_at: Option<SimTime>,
     /// Per-node communication overhead (KB) accumulated over the run.
     pub per_node_overhead_kb: f64,
+}
+
+impl ConvergenceReport {
+    /// The final sampled result count (0 when nothing was sampled).
+    pub fn final_results(&self) -> usize {
+        self.samples.last().map(|s| s.results).unwrap_or(0)
+    }
+
+    /// The final sampled average cost (0 when nothing was sampled).
+    pub fn final_avg_cost(&self) -> f64 {
+        self.samples.last().map(|s| s.avg_cost).unwrap_or(0.0)
+    }
+}
+
+/// A typed handle to an issued query.
+///
+/// The handle names the query (its [`QueryId`]) and fixes the *view* `T`
+/// its results decode into — [`RouteEntry`] for path-shaped protocols (the
+/// default), [`dr_types::CostEntry`], [`dr_types::ReachEntry`],
+/// [`dr_types::TreeEdge`], or any other [`FromTuple`] implementation.
+///
+/// Handles hold no borrow on the harness; every observation method takes
+/// the harness explicitly, so issuing further queries, scheduling churn,
+/// and advancing simulated time all stay possible while handles are alive.
+pub struct QueryHandle<T = RouteEntry> {
+    qid: QueryId,
+    name: Arc<str>,
+    _view: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for QueryHandle<T> {
+    fn clone(&self) -> Self {
+        QueryHandle { qid: self.qid, name: Arc::clone(&self.name), _view: PhantomData }
+    }
+}
+
+impl<T> std::fmt::Debug for QueryHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryHandle").field("qid", &self.qid).field("name", &self.name).finish()
+    }
+}
+
+impl<T> QueryHandle<T> {
+    /// The underlying query id (as disseminated over the network).
+    pub fn id(&self) -> QueryId {
+        self.qid
+    }
+
+    /// The human-readable query name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Reinterpret the handle under a different result view — e.g. read the
+    /// (src, dst) projection of a route query as `ReachEntry`s.
+    pub fn with_view<U: FromTuple>(&self) -> QueryHandle<U> {
+        QueryHandle { qid: self.qid, name: Arc::clone(&self.name), _view: PhantomData }
+    }
+
+    /// The raw, undecoded result tuples across every node (escape hatch for
+    /// shapes without a view).
+    pub fn raw_results(&self, harness: &RoutingHarness) -> Vec<Tuple> {
+        harness.collect_results(self.qid)
+    }
+
+    /// The raw result tuples stored at `node`.
+    pub fn raw_results_at(&self, harness: &RoutingHarness, node: NodeId) -> Vec<Tuple> {
+        harness.sim.app(node).results(self.qid)
+    }
+
+    /// The forwarding table `node` derived from this query.
+    pub fn forwarding_table(
+        &self,
+        harness: &RoutingHarness,
+        node: NodeId,
+    ) -> BTreeMap<NodeId, NodeId> {
+        harness.sim.app(node).forwarding_table(self.qid)
+    }
+}
+
+impl<T: FromTuple> QueryHandle<T> {
+    /// All results of this query across every node, decoded as `T`.
+    ///
+    /// A tuple that does not match `T`'s shape is a
+    /// [`dr_types::Error::Decode`] — never a silently skipped row.
+    pub fn results(&self, harness: &RoutingHarness) -> Result<Vec<T>> {
+        dr_types::view::decode_all(&self.raw_results(harness))
+    }
+
+    /// The results stored at `node`, decoded as `T`.
+    pub fn results_at(&self, harness: &RoutingHarness, node: NodeId) -> Result<Vec<T>> {
+        dr_types::view::decode_all(&self.raw_results_at(harness, node))
+    }
+}
+
+impl<T: CostView> QueryHandle<T> {
+    /// The results whose cost is finite (the paper's "routes found" count;
+    /// rule NR3 derives infinite-cost tombstones during route repair).
+    pub fn finite_results(&self, harness: &RoutingHarness) -> Result<Vec<T>> {
+        Ok(self.results(harness)?.into_iter().filter(|r| r.cost().is_finite()).collect())
+    }
+
+    /// The average cost over all finite results (AvgPathRTT when link costs
+    /// are RTTs), or 0 when there are none.
+    pub fn average_cost(&self, harness: &RoutingHarness) -> Result<f64> {
+        Ok(average_cost_of(&self.finite_results(harness)?))
+    }
+
+    /// Run `harness` until `until`, sampling this query's finite result set
+    /// every `interval`, and report when (and whether) it converged.
+    pub fn run_and_sample(
+        &self,
+        harness: &mut RoutingHarness,
+        interval: SimDuration,
+        until: SimTime,
+    ) -> Result<ConvergenceReport> {
+        let mut samples = Vec::new();
+        let mut t = harness.sim.now();
+        while t < until {
+            let next = t + interval;
+            harness.sim.run_until(next);
+            t = next;
+            let finite = self.finite_results(harness)?;
+            samples.push(Sample {
+                time: t,
+                results: finite.len(),
+                avg_cost: average_cost_of(&finite),
+            });
+        }
+        let converged_at = converged_at(&samples);
+        Ok(ConvergenceReport {
+            samples,
+            converged_at,
+            per_node_overhead_kb: harness.per_node_overhead_kb(),
+        })
+    }
+}
+
+fn average_cost_of<T: CostView>(finite: &[T]) -> f64 {
+    if finite.is_empty() {
+        return 0.0;
+    }
+    finite.iter().map(|r| r.cost().value()).sum::<f64>() / finite.len() as f64
+}
+
+/// Fluent specification of a query issuance, created by
+/// [`RoutingHarness::issue`].
+///
+/// Defaults mirror the paper's common case: issued from node 0 at t=0,
+/// aggregate selections on (§7.1), sharing off, no replicated relations, no
+/// extra facts. Call [`IssueBuilder::submit`] to localize the program,
+/// register the canonical [`QuerySpec`], and disseminate the query.
+#[must_use = "the query is only issued when submit() is called"]
+pub struct IssueBuilder<'h> {
+    harness: &'h mut RoutingHarness,
+    program: Program,
+    issuer: NodeId,
+    at: SimTime,
+    name: String,
+    replicated: Vec<String>,
+    aggregate_selections: bool,
+    share_results: bool,
+    cache_relation: String,
+    facts: Vec<Tuple>,
+}
+
+impl<'h> IssueBuilder<'h> {
+    /// The node that issues (and floods) the query. Default: node 0.
+    #[allow(clippy::should_implement_trait)] // fluent DSL: `.from(node)` reads as prose
+    pub fn from(mut self, issuer: NodeId) -> Self {
+        self.issuer = issuer;
+        self
+    }
+
+    /// The simulated time at which the query is injected. Default: t=0.
+    pub fn at(mut self, at: SimTime) -> Self {
+        self.at = at;
+        self
+    }
+
+    /// Human-readable name for logs and experiment output.
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Relations replicated to every node during dissemination (query
+    /// constants such as `magicSources` / `magicDsts`).
+    pub fn replicated<I, S>(mut self, relations: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.replicated = relations.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Toggle the aggregate-selections optimization (§7.1). Default: on.
+    pub fn aggregate_selections(mut self, on: bool) -> Self {
+        self.aggregate_selections = on;
+        self
+    }
+
+    /// Toggle multi-query result sharing through the cache relation (§7.3).
+    /// Default: off.
+    pub fn sharing(mut self, on: bool) -> Self {
+        self.share_results = on;
+        self
+    }
+
+    /// Override the cross-query cache relation (queries computing different
+    /// metrics must not share each other's costs, §9.1.3).
+    pub fn cache_relation(mut self, relation: impl Into<String>) -> Self {
+        self.cache_relation = relation.into();
+        self
+    }
+
+    /// Facts installed together with the query (replicated relations go to
+    /// every node, located facts only to the node they name).
+    pub fn facts(mut self, facts: Vec<Tuple>) -> Self {
+        self.facts = facts;
+        self
+    }
+
+    /// Append one fact.
+    pub fn fact(mut self, fact: Tuple) -> Self {
+        self.facts.push(fact);
+        self
+    }
+
+    /// Localize, register, and disseminate the query; results decode as
+    /// [`RouteEntry`] (the shape of every best-path-family protocol).
+    pub fn submit(self) -> Result<QueryHandle<RouteEntry>> {
+        self.submit_view()
+    }
+
+    /// Like [`IssueBuilder::submit`], but type the handle with a different
+    /// result view (e.g. `ReachEntry` for `reachable(@S,D)` results).
+    pub fn submit_view<T: FromTuple>(self) -> Result<QueryHandle<T>> {
+        let replicated: Vec<&str> = self.replicated.iter().map(String::as_str).collect();
+        let localized = Arc::new(localize(&self.program, &replicated)?);
+        let qid = self.harness.next_qid;
+        self.harness.next_qid += 1;
+        let name: Arc<str> = Arc::from(self.name.as_str());
+        let spec = QuerySpec::new(qid, self.name, localized)
+            .with_aggregate_selections(self.aggregate_selections)
+            .with_sharing(self.share_results)
+            .with_cache_relation(self.cache_relation)
+            .with_replicated(self.replicated)
+            .with_facts(self.facts);
+        self.harness.library.register(spec);
+        self.harness.sim.inject(self.at, self.issuer, NetMsg::Install { qid });
+        Ok(QueryHandle { qid, name, _view: PhantomData })
+    }
 }
 
 /// Harness wrapping a simulator full of query processors.
@@ -110,8 +392,32 @@ impl RoutingHarness {
         &mut self.sim
     }
 
+    /// Start issuing `program` as a query: returns a fluent builder whose
+    /// [`IssueBuilder::submit`] localizes the program, registers the
+    /// canonical [`QuerySpec`], disseminates the query, and returns a typed
+    /// [`QueryHandle`].
+    pub fn issue(&mut self, program: Program) -> IssueBuilder<'_> {
+        IssueBuilder {
+            harness: self,
+            program,
+            issuer: NodeId::new(0),
+            at: SimTime::ZERO,
+            name: "query".to_string(),
+            replicated: Vec::new(),
+            aggregate_selections: true,
+            share_results: false,
+            cache_relation: "bestPathCache".to_string(),
+            facts: Vec::new(),
+        }
+    }
+
     /// Localize `program` and issue it as a query from `issuer` at time
     /// `at`. Returns the query id.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the fluent issue builder: `harness.issue(program).from(issuer).at(at).submit()`"
+    )]
+    #[allow(deprecated)]
     pub fn issue_program(
         &mut self,
         issuer: NodeId,
@@ -119,17 +425,16 @@ impl RoutingHarness {
         program: &Program,
         options: IssueOptions,
     ) -> Result<QueryId> {
-        let replicated: Vec<&str> = options.replicated.iter().map(String::as_str).collect();
-        let localized = Arc::new(localize(program, &replicated)?);
-        let qid = self.next_qid;
-        self.next_qid += 1;
-        let spec = QuerySpec::new(qid, options.name, localized)
-            .with_aggregate_selections(options.aggregate_selections)
-            .with_sharing(options.share_results)
-            .with_facts(options.facts);
-        self.library.register(spec);
-        self.sim.inject(at, issuer, NetMsg::Install { qid });
-        Ok(qid)
+        self.issue(program.clone())
+            .from(issuer)
+            .at(at)
+            .named(options.name)
+            .replicated(options.replicated)
+            .aggregate_selections(options.aggregate_selections)
+            .sharing(options.share_results)
+            .facts(options.facts)
+            .submit()
+            .map(|handle| handle.id())
     }
 
     /// Run the simulation until `until` (events after that stay queued).
@@ -142,13 +447,9 @@ impl RoutingHarness {
         self.sim.run_to_quiescence();
     }
 
-    /// Result tuples of `qid` stored at `node`.
-    pub fn results_at(&self, node: NodeId, qid: QueryId) -> Vec<Tuple> {
-        self.sim.app(node).results(qid)
-    }
-
-    /// All result tuples of `qid` across every node.
-    pub fn results(&self, qid: QueryId) -> Vec<Tuple> {
+    /// All result tuples of `qid` across every node (shared by the handle
+    /// methods and the deprecated accessors).
+    fn collect_results(&self, qid: QueryId) -> Vec<Tuple> {
         let mut out = Vec::new();
         for app in self.sim.apps() {
             out.extend(app.results(qid));
@@ -156,19 +457,37 @@ impl RoutingHarness {
         out
     }
 
+    /// Result tuples of `qid` stored at `node`.
+    #[deprecated(since = "0.2.0", note = "use `QueryHandle::results_at` (typed) instead")]
+    pub fn results_at(&self, node: NodeId, qid: QueryId) -> Vec<Tuple> {
+        self.sim.app(node).results(qid)
+    }
+
+    /// All result tuples of `qid` across every node.
+    #[deprecated(since = "0.2.0", note = "use `QueryHandle::results` (typed) instead")]
+    pub fn results(&self, qid: QueryId) -> Vec<Tuple> {
+        self.collect_results(qid)
+    }
+
     /// Result tuples with finite cost (assumes the last field is the cost,
-    /// as in every 4-ary path-shaped result of the paper).
+    /// as in every 4-ary path-shaped result of the paper). A tuple without a
+    /// cost in its last field is *not* finite; the typed
+    /// [`QueryHandle::finite_results`] goes further and reports such tuples
+    /// as [`dr_types::Error::Decode`].
+    #[deprecated(since = "0.2.0", note = "use `QueryHandle::finite_results` (typed) instead")]
     pub fn finite_results(&self, qid: QueryId) -> Vec<Tuple> {
-        self.results(qid)
+        self.collect_results(qid)
             .into_iter()
             .filter(|t| {
-                t.fields().last().and_then(Value::as_cost).map(|c| c.is_finite()).unwrap_or(true)
+                t.fields().last().and_then(Value::as_cost).map(|c| c.is_finite()).unwrap_or(false)
             })
             .collect()
     }
 
     /// The average cost over all finite result tuples of `qid` (the paper's
     /// AvgPathRTT when link costs are RTTs).
+    #[deprecated(since = "0.2.0", note = "use `QueryHandle::average_cost` (typed) instead")]
+    #[allow(deprecated)]
     pub fn average_result_cost(&self, qid: QueryId) -> f64 {
         let results = self.finite_results(qid);
         if results.is_empty() {
@@ -188,12 +507,15 @@ impl RoutingHarness {
     }
 
     /// The forwarding table `node` derived from query `qid`.
+    #[deprecated(since = "0.2.0", note = "use `QueryHandle::forwarding_table` instead")]
     pub fn forwarding_table(&self, node: NodeId, qid: QueryId) -> BTreeMap<NodeId, NodeId> {
         self.sim.app(node).forwarding_table(qid)
     }
 
     /// Run until `until`, sampling the result set of `qid` every `interval`
     /// and reporting convergence.
+    #[deprecated(since = "0.2.0", note = "use `QueryHandle::run_and_sample` instead")]
+    #[allow(deprecated)]
     pub fn run_and_sample(
         &mut self,
         qid: QueryId,
@@ -246,7 +568,7 @@ mod tests {
     use super::*;
     use dr_datalog::parse_program;
     use dr_netsim::LinkParams;
-    use dr_types::PathVector;
+    use dr_types::CostEntry;
 
     const BEST_PATH: &str = r#"
         #key(link, 0, 1).
@@ -295,43 +617,37 @@ mod tests {
 
     fn best_path_of(
         harness: &RoutingHarness,
-        qid: QueryId,
+        handle: &QueryHandle<RouteEntry>,
         s: u32,
         d: u32,
-    ) -> Option<(Vec<NodeId>, f64)> {
-        harness
-            .results_at(n(s), qid)
+    ) -> Option<RouteEntry> {
+        handle
+            .results_at(harness, n(s))
+            .expect("results decode as routes")
             .into_iter()
-            .filter(|t| t.relation() == "bestPath")
-            .find(|t| t.node_at(0) == Some(n(s)) && t.node_at(1) == Some(n(d)))
-            .map(|t| {
-                let p = t.field(2).and_then(Value::as_path).cloned().unwrap_or(PathVector::nil());
-                let c = t.field(3).and_then(Value::as_cost).map(Cost::value).unwrap_or(f64::NAN);
-                (p.nodes().to_vec(), c)
-            })
+            .find(|r| r.src == n(s) && r.dst == n(d))
     }
 
     #[test]
     fn distributed_best_path_converges_on_figure3() {
         let program = parse_program(BEST_PATH).unwrap();
         let mut harness = RoutingHarness::new(figure3_topology());
-        let qid =
-            harness.issue_program(n(0), SimTime::ZERO, &program, IssueOptions::default()).unwrap();
+        let handle = harness.issue(program).submit().unwrap();
         harness.run_until(SimTime::from_secs(30));
 
         // Every node has a best path to every other node (5 * 4 = 20).
-        let results = harness.finite_results(qid);
+        let results = handle.finite_results(&harness).unwrap();
         assert_eq!(results.len(), 20, "expected all-pairs best paths, got {}", results.len());
 
         // Node a (0) reaches e (4) in 3 hops at cost 3.
-        let (path, cost) = best_path_of(&harness, qid, 0, 4).unwrap();
-        assert_eq!(cost, 3.0);
-        assert_eq!(path.len(), 4);
-        assert_eq!(path[0], n(0));
-        assert_eq!(path[3], n(4));
+        let route = best_path_of(&harness, &handle, 0, 4).unwrap();
+        assert_eq!(route.cost, Cost::new(3.0));
+        assert_eq!(route.path.len(), 4);
+        assert_eq!(route.path.head(), Some(n(0)));
+        assert_eq!(route.path.last(), Some(n(4)));
 
         // The forwarding table at a points toward b or c for destination e.
-        let fwd = harness.forwarding_table(n(0), qid);
+        let fwd = handle.forwarding_table(&harness, n(0));
         let next = fwd[&n(4)];
         assert!(next == n(1) || next == n(2));
 
@@ -346,8 +662,7 @@ mod tests {
         // evaluator on bestPathCost values.
         let program = parse_program(BEST_PATH).unwrap();
         let mut harness = RoutingHarness::new(figure3_topology());
-        let qid =
-            harness.issue_program(n(3), SimTime::ZERO, &program, IssueOptions::default()).unwrap();
+        let handle = harness.issue(program).from(n(3)).submit().unwrap();
         harness.run_until(SimTime::from_secs(30));
 
         let mut central_db = dr_datalog::Database::new();
@@ -363,20 +678,21 @@ mod tests {
             .unwrap()
             .run(&mut central_db)
             .unwrap();
+        let central: Vec<CostEntry> = central_db
+            .tuples("bestPathCost")
+            .iter()
+            .map(|t| CostEntry::from_tuple(t).unwrap())
+            .collect();
 
         for src in 0..5u32 {
             for dst in 0..5u32 {
                 if src == dst {
                     continue;
                 }
-                let distributed = best_path_of(&harness, qid, src, dst).map(|(_, c)| c);
-                let central = central_db
-                    .tuples("bestPathCost")
-                    .into_iter()
-                    .find(|t| t.node_at(0) == Some(n(src)) && t.node_at(1) == Some(n(dst)))
-                    .and_then(|t| t.field(2).and_then(Value::as_cost))
-                    .map(Cost::value);
-                assert_eq!(distributed, central, "cost mismatch for {src}->{dst}");
+                let distributed = best_path_of(&harness, &handle, src, dst).map(|r| r.cost);
+                let reference =
+                    central.iter().find(|e| e.src == n(src) && e.dst == n(dst)).map(|e| e.cost);
+                assert_eq!(distributed, reference, "cost mismatch for {src}->{dst}");
             }
         }
     }
@@ -385,13 +701,13 @@ mod tests {
     fn convergence_report_detects_stabilization() {
         let program = parse_program(BEST_PATH).unwrap();
         let mut harness = RoutingHarness::new(line_topology(4));
-        let qid =
-            harness.issue_program(n(0), SimTime::ZERO, &program, IssueOptions::default()).unwrap();
-        let report =
-            harness.run_and_sample(qid, SimDuration::from_millis(500), SimTime::from_secs(20));
+        let handle = harness.issue(program).submit().unwrap();
+        let report = handle
+            .run_and_sample(&mut harness, SimDuration::from_millis(500), SimTime::from_secs(20))
+            .unwrap();
         let converged = report.converged_at.expect("query should converge");
         assert!(converged < SimTime::from_secs(20));
-        assert!(report.samples.last().unwrap().results == 12); // 4*3 pairs
+        assert_eq!(report.final_results(), 12); // 4*3 pairs
         assert!(report.per_node_overhead_kb > 0.0);
         // samples are monotone in time
         assert!(report.samples.windows(2).all(|w| w[0].time < w[1].time));
@@ -404,25 +720,24 @@ mod tests {
         // 2 without reissuing the query.
         let program = parse_program(BEST_PATH).unwrap();
         let mut harness = RoutingHarness::new(figure3_topology());
-        let qid =
-            harness.issue_program(n(0), SimTime::ZERO, &program, IssueOptions::default()).unwrap();
+        let handle = harness.issue(program).submit().unwrap();
         harness.run_until(SimTime::from_secs(30));
-        let before = best_path_of(&harness, qid, 0, 3).unwrap();
-        assert_eq!(before.1, 2.0);
+        let before = best_path_of(&harness, &handle, 0, 3).unwrap();
+        assert_eq!(before.cost, Cost::new(2.0));
 
         // Fail node 1 at t=30s; give the system time to recompute.
         harness.sim_mut().schedule_node_fail(SimTime::from_secs(30), n(1));
         harness.run_until(SimTime::from_secs(60));
 
-        let after = best_path_of(&harness, qid, 0, 3).unwrap();
-        assert_eq!(after.1, 2.0, "route should recover via node 2: {after:?}");
-        assert!(after.0.contains(&n(2)), "recovered path must avoid node 1: {after:?}");
-        assert!(!after.0.contains(&n(1)));
+        let after = best_path_of(&harness, &handle, 0, 3).unwrap();
+        assert_eq!(after.cost, Cost::new(2.0), "route should recover via node 2: {after:?}");
+        assert!(after.traverses(n(2)), "recovered path must avoid node 1: {after:?}");
+        assert!(!after.traverses(n(1)));
 
         // Paths from 0 to 4 also recover (via 2).
-        let to_e = best_path_of(&harness, qid, 0, 4).unwrap();
-        assert_eq!(to_e.1, 3.0);
-        assert!(!to_e.0.contains(&n(1)));
+        let to_e = best_path_of(&harness, &handle, 0, 4).unwrap();
+        assert_eq!(to_e.cost, Cost::new(3.0));
+        assert!(!to_e.traverses(n(1)));
     }
 
     #[test]
@@ -447,12 +762,11 @@ mod tests {
         );
         let program = parse_program(BEST_PATH).unwrap();
         let mut harness = RoutingHarness::new(topo);
-        let qid =
-            harness.issue_program(n(0), SimTime::ZERO, &program, IssueOptions::default()).unwrap();
+        let handle = harness.issue(program).submit().unwrap();
         harness.run_until(SimTime::from_secs(20));
-        let before = best_path_of(&harness, qid, 0, 2).unwrap();
-        assert_eq!(before.1, 2.0);
-        assert_eq!(before.0.len(), 3);
+        let before = best_path_of(&harness, &handle, 0, 2).unwrap();
+        assert_eq!(before.cost, Cost::new(2.0));
+        assert_eq!(before.path.len(), 3);
 
         // Make 1->2 (and 2->1) expensive.
         for (a, b) in [(1u32, 2u32), (2, 1)] {
@@ -464,9 +778,13 @@ mod tests {
             );
         }
         harness.run_until(SimTime::from_secs(60));
-        let after = best_path_of(&harness, qid, 0, 2).unwrap();
-        assert_eq!(after.1, 5.0, "direct route should win after the cost increase: {after:?}");
-        assert_eq!(after.0.len(), 2);
+        let after = best_path_of(&harness, &handle, 0, 2).unwrap();
+        assert_eq!(
+            after.cost,
+            Cost::new(5.0),
+            "direct route should win after the cost increase: {after:?}"
+        );
+        assert_eq!(after.path.len(), 2);
     }
 
     #[test]
@@ -475,19 +793,13 @@ mod tests {
 
         let run = |agg: bool| {
             let mut harness = RoutingHarness::new(figure3_topology());
-            let options = IssueOptions { aggregate_selections: agg, ..Default::default() };
-            let qid = harness.issue_program(n(0), SimTime::ZERO, &program, options).unwrap();
+            let handle = harness.issue(program.clone()).aggregate_selections(agg).submit().unwrap();
             harness.run_until(SimTime::from_secs(40));
-            let mut costs: Vec<(NodeId, NodeId, u64)> = harness
-                .finite_results(qid)
+            let mut costs: Vec<(NodeId, NodeId, u64)> = handle
+                .finite_results(&harness)
+                .unwrap()
                 .into_iter()
-                .map(|t| {
-                    (
-                        t.node_at(0).unwrap(),
-                        t.node_at(1).unwrap(),
-                        t.field(3).and_then(Value::as_cost).unwrap().value() as u64,
-                    )
-                })
+                .map(|r| (r.src, r.dst, r.cost.value() as u64))
                 .collect();
             costs.sort();
             (harness.sim().metrics().total_bytes(), costs)
@@ -508,16 +820,15 @@ mod tests {
         // still installs the query everywhere.
         let program = parse_program(BEST_PATH).unwrap();
         let mut harness = RoutingHarness::new(line_topology(5));
-        let qid =
-            harness.issue_program(n(4), SimTime::ZERO, &program, IssueOptions::default()).unwrap();
+        let handle = harness.issue(program).from(n(4)).submit().unwrap();
         harness.run_until(SimTime::from_secs(30));
         for i in 0..5u32 {
             assert!(
-                harness.sim().app(n(i)).installed_queries().contains(&qid),
+                harness.sim().app(n(i)).installed_queries().contains(&handle.id()),
                 "node {i} never installed the query"
             );
         }
-        assert_eq!(harness.finite_results(qid).len(), 20);
+        assert_eq!(handle.finite_results(&harness).unwrap().len(), 20);
     }
 
     #[test]
@@ -526,6 +837,107 @@ mod tests {
         harness.sim_mut().inject(SimTime::ZERO, n(0), NetMsg::Install { qid: 999 });
         harness.run_to_quiescence();
         assert!(harness.sim().app(n(0)).installed_queries().is_empty());
+    }
+
+    #[test]
+    fn builder_records_the_canonical_spec() {
+        let program = parse_program(BEST_PATH).unwrap();
+        let mut harness = RoutingHarness::new(line_topology(2));
+        let handle = harness
+            .issue(program)
+            .from(n(1))
+            .at(SimTime::from_secs(1))
+            .named("spec-check")
+            .replicated(["magicDsts"])
+            .aggregate_selections(false)
+            .sharing(true)
+            .cache_relation("latCache")
+            .fact(Tuple::new("magicDsts", vec![Value::Node(n(1))]))
+            .submit()
+            .unwrap();
+        assert_eq!(handle.name(), "spec-check");
+        let spec = harness.library().get(handle.id()).expect("spec registered");
+        assert_eq!(spec.name, "spec-check");
+        assert!(!spec.aggregate_selections);
+        assert!(spec.share_results);
+        assert_eq!(spec.cache_relation, "latCache");
+        assert_eq!(spec.replicated, vec!["magicDsts".to_string()]);
+        assert_eq!(spec.facts.len(), 1);
+    }
+
+    #[test]
+    fn handle_view_retyping_projects_reachability() {
+        use dr_types::ReachEntry;
+        let program = parse_program(BEST_PATH).unwrap();
+        let mut harness = RoutingHarness::new(line_topology(3));
+        let handle = harness.issue(program).submit().unwrap();
+        harness.run_until(SimTime::from_secs(30));
+        let reach: Vec<ReachEntry> = handle.with_view::<ReachEntry>().results(&harness).unwrap();
+        assert_eq!(reach.len(), 6); // 3*2 ordered pairs
+        let routes = handle.results(&harness).unwrap();
+        assert_eq!(reach.len(), routes.len());
+    }
+
+    #[test]
+    fn mismatched_view_is_a_decode_error_not_a_silent_count() {
+        // Regression for the Fig. 6-9 count inflation: typing a route-shaped
+        // query with a 3-ary cost view must surface Error::Decode from
+        // finite_results, not silently count malformed rows as finite.
+        let program = parse_program(BEST_PATH).unwrap();
+        let mut harness = RoutingHarness::new(line_topology(3));
+        let handle = harness.issue(program).submit_view::<CostEntry>().unwrap();
+        harness.run_until(SimTime::from_secs(30));
+        let err = handle.finite_results(&harness).unwrap_err();
+        assert!(matches!(err, dr_types::Error::Decode(_)), "{err}");
+        let err = handle.average_cost(&harness).unwrap_err();
+        assert!(matches!(err, dr_types::Error::Decode(_)), "{err}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_and_builder_produce_identical_results() {
+        // One release of back-compat: the issue_program shim must behave
+        // exactly like the builder on the paper's Figure 3 topology.
+        let program = parse_program(BEST_PATH).unwrap();
+
+        let mut old = RoutingHarness::new(figure3_topology());
+        let qid =
+            old.issue_program(n(0), SimTime::ZERO, &program, IssueOptions::default()).unwrap();
+        old.run_until(SimTime::from_secs(30));
+
+        let mut new = RoutingHarness::new(figure3_topology());
+        let handle = new.issue(program).from(n(0)).at(SimTime::ZERO).submit().unwrap();
+        new.run_until(SimTime::from_secs(30));
+
+        assert_eq!(qid, handle.id(), "both paths allocate the same query id");
+        // Equal-cost ties may break differently between runs (the evaluator
+        // iterates hash tables), so compare the deterministic part of the
+        // result set: the (src, dst, cost) triples.
+        let mut old_costs: Vec<(NodeId, NodeId, Cost)> = old
+            .finite_results(qid)
+            .iter()
+            .map(|t| RouteEntry::from_tuple(t).unwrap())
+            .map(|r| (r.src, r.dst, r.cost))
+            .collect();
+        let mut new_costs: Vec<(NodeId, NodeId, Cost)> = handle
+            .finite_results(&new)
+            .unwrap()
+            .into_iter()
+            .map(|r| (r.src, r.dst, r.cost))
+            .collect();
+        old_costs.sort();
+        new_costs.sort();
+        assert_eq!(old_costs.len(), 20);
+        assert_eq!(old_costs, new_costs);
+        assert_eq!(old.average_result_cost(qid), handle.average_cost(&new).unwrap());
+        for i in 0..5u32 {
+            // Forwarding tables cover the same destinations on both paths.
+            let old_fwd = old.forwarding_table(n(i), qid);
+            let new_fwd = handle.forwarding_table(&new, n(i));
+            let old_dsts: Vec<&NodeId> = old_fwd.keys().collect();
+            let new_dsts: Vec<&NodeId> = new_fwd.keys().collect();
+            assert_eq!(old_dsts, new_dsts);
+        }
     }
 
     #[test]

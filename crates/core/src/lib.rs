@@ -23,8 +23,57 @@
 //!   aggregate selections (§7.1), multi-query sharing through the
 //!   `bestPathCache` table (§7.3), and forwarding-state installation.
 //! * [`harness`] — glue for experiments: build a simulator over a topology,
-//!   issue queries from chosen nodes, wait for convergence, and extract
-//!   routes, costs and communication statistics.
+//!   issue queries through the fluent [`IssueBuilder`], and observe typed
+//!   results, convergence, and communication statistics through
+//!   [`QueryHandle`]s.
+//!
+//! # Example
+//!
+//! Issue the paper's Best-Path query (rules NR1/NR2/BPR1/BPR2) over a
+//! three-node line and read the routes back as typed [`dr_types::RouteEntry`]
+//! values:
+//!
+//! ```
+//! use dr_core::harness::RoutingHarness;
+//! use dr_datalog::parse_program;
+//! use dr_netsim::{LinkParams, SimTime, Topology};
+//! use dr_types::{Cost, NodeId};
+//!
+//! let program = parse_program(
+//!     r#"
+//!     #key(link, 0, 1).
+//!     #key(path, 0, 1, 2).
+//!     #key(bestPathCost, 0, 1).
+//!     #key(bestPath, 0, 1).
+//!     NR1: path(@S,D,P,C) :- link(@S,D,C), P = f_initPath(S,D).
+//!     NR2: path(@S,D,P,C) :- link(@S,Z,C1), path(@Z,D,P2,C2),
+//!          C = C1 + C2, P = f_prepend(S,P2), f_inPath(P2,S) = false.
+//!     BPR1: bestPathCost(@S,D,min<C>) :- path(@S,D,P,C).
+//!     BPR2: bestPath(@S,D,P,C) :- bestPathCost(@S,D,C), path(@S,D,P,C).
+//!     Query: bestPath(@S,D,P,C).
+//!     "#,
+//! )?;
+//!
+//! // 0 -- 1 -- 2, unit costs.
+//! let mut topology = Topology::new(3);
+//! for i in 0..2u32 {
+//!     topology.add_bidirectional(
+//!         NodeId::new(i),
+//!         NodeId::new(i + 1),
+//!         LinkParams::with_latency_ms(10.0).with_cost(Cost::new(1.0)),
+//!     );
+//! }
+//!
+//! let mut harness = RoutingHarness::new(topology);
+//! let handle = harness.issue(program).from(NodeId::new(0)).at(SimTime::ZERO).submit()?;
+//! harness.run_until(SimTime::from_secs(30));
+//!
+//! let routes = handle.finite_results(&harness)?; // Vec<RouteEntry>
+//! assert_eq!(routes.len(), 6); // all ordered pairs of the line
+//! let end_to_end = routes.iter().find(|r| r.src == NodeId::new(0) && r.dst == NodeId::new(2));
+//! assert_eq!(end_to_end.map(|r| r.cost), Some(Cost::new(2.0)));
+//! # Ok::<(), dr_types::Error>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,7 +83,7 @@ pub mod localize;
 pub mod processor;
 pub mod query;
 
-pub use harness::{ConvergenceReport, RoutingHarness};
+pub use harness::{ConvergenceReport, IssueBuilder, QueryHandle, RoutingHarness, Sample};
 pub use localize::{LocalizedProgram, LocalizedRule, ShipSpec};
 pub use processor::{NetMsg, ProcessorConfig, QueryProcessor};
 pub use query::{QueryId, QueryLibrary, QuerySpec};

@@ -12,7 +12,8 @@
 //!   runs a local semi-naïve fixpoint over its localized rules,
 //! * derived tuples whose home is another node are shipped there, and
 //!   tuples required by remote joins are shipped to the join's anchor node
-//!   according to the program's [`ShipSpec`]s (the Figure 2 "clouds"),
+//!   according to the program's [`crate::localize::ShipSpec`]s (the
+//!   Figure 2 "clouds"),
 //! * aggregate selections (§7.1) prune dominated tuples before they are
 //!   stored or shipped — with per-next-hop granularity so that alternate
 //!   routes survive for failure recovery (§8),

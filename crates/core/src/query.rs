@@ -39,6 +39,11 @@ pub struct QuerySpec {
     /// the paper's mixed-workload observation that "only queries that
     /// compute the same metric are likely to benefit from sharing" (§9.1.3).
     pub cache_relation: String,
+    /// Relations whose facts are replicated to every node during
+    /// dissemination (query constants such as `magicSources` / `magicDsts`).
+    /// Recorded here so the spec is the single canonical description of an
+    /// issuance; the localized program already bakes the rewrite in.
+    pub replicated: Vec<String>,
     /// Facts installed when the query is disseminated. Facts of replicated
     /// relations are installed at every node; other facts are installed only
     /// at the node named by their location field.
@@ -56,6 +61,7 @@ impl QuerySpec {
             aggregate_selections: true,
             share_results: false,
             cache_relation: "bestPathCache".to_string(),
+            replicated: Vec::new(),
             facts: Vec::new(),
         }
     }
@@ -75,6 +81,12 @@ impl QuerySpec {
     /// Builder-style toggle for multi-query sharing.
     pub fn with_sharing(mut self, on: bool) -> QuerySpec {
         self.share_results = on;
+        self
+    }
+
+    /// Builder-style record of the replicated relations.
+    pub fn with_replicated(mut self, replicated: Vec<String>) -> QuerySpec {
+        self.replicated = replicated;
         self
     }
 

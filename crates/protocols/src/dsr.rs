@@ -13,7 +13,7 @@ use dr_datalog::ast::Program;
 
 /// Rules NR1 + DSR1 with the cycle check, plus best-path selection at the
 /// source (BPR1/BPR2) so the query produces the same result relation as
-/// [`crate::best_path`].
+/// [`crate::best_path()`].
 pub fn dynamic_source_routing() -> Program {
     parse(
         r#"

@@ -21,6 +21,9 @@ pub enum Error {
     Sim(String),
     /// Catch-all for configuration problems in workloads / experiments.
     Config(String),
+    /// A result tuple did not match the typed view that tried to decode it
+    /// (wrong arity or field type) — see [`crate::view::FromTuple`].
+    Decode(String),
 }
 
 impl Error {
@@ -48,6 +51,10 @@ impl Error {
     pub fn config(msg: impl Into<String>) -> Self {
         Error::Config(msg.into())
     }
+    /// Shorthand constructor for result-decoding errors.
+    pub fn decode(msg: impl Into<String>) -> Self {
+        Error::Decode(msg.into())
+    }
 }
 
 impl fmt::Display for Error {
@@ -59,6 +66,7 @@ impl fmt::Display for Error {
             Error::Eval(m) => write!(f, "evaluation error: {m}"),
             Error::Sim(m) => write!(f, "simulator error: {m}"),
             Error::Config(m) => write!(f, "configuration error: {m}"),
+            Error::Decode(m) => write!(f, "decode error: {m}"),
         }
     }
 }
@@ -81,6 +89,8 @@ mod tests {
         assert!(matches!(Error::planning("x"), Error::Planning(_)));
         assert!(matches!(Error::sim("x"), Error::Sim(_)));
         assert!(matches!(Error::config("x"), Error::Config(_)));
+        assert!(matches!(Error::decode("x"), Error::Decode(_)));
+        assert_eq!(Error::decode("bad shape").to_string(), "decode error: bad shape");
     }
 
     #[test]

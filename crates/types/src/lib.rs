@@ -19,9 +19,11 @@ pub mod error;
 pub mod node;
 pub mod tuple;
 pub mod value;
+pub mod view;
 
 pub use cost::Cost;
 pub use error::{Error, Result};
 pub use node::NodeId;
 pub use tuple::{Tuple, TupleKey};
 pub use value::{PathVector, Value};
+pub use view::{CostEntry, CostView, FromTuple, ReachEntry, RouteEntry, TreeEdge};

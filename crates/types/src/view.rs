@@ -1,0 +1,451 @@
+//! Typed views over result tuples.
+//!
+//! Distributed queries return streams of [`Tuple`]s whose shapes are fixed
+//! by the protocol that produced them: `bestPath(@S,D,P,C)` is always
+//! (node, node, path, cost), `bestPathCost(@S,D,C)` is always (node, node,
+//! cost), and so on. Decoding those tuples by field position at every call
+//! site (`t.node_at(0)`, `t.field(3)`) is fragile — a malformed tuple
+//! silently turns into `None`s, and an arity change breaks consumers one
+//! `unwrap` at a time.
+//!
+//! The [`FromTuple`] trait centralizes positional decoding in one audited
+//! place per result shape. Consumers work with the typed views
+//! ([`RouteEntry`], [`CostEntry`], [`ReachEntry`], [`TreeEdge`]) and get a
+//! [`crate::Error::Decode`] instead of a silent `None` when a tuple does not
+//! match the expected shape.
+
+use crate::cost::Cost;
+use crate::error::{Error, Result};
+use crate::node::NodeId;
+use crate::tuple::Tuple;
+use crate::value::{PathVector, Value};
+
+/// Decode a typed view from a result tuple.
+///
+/// Implementations validate the tuple's arity and field types and return
+/// [`Error::Decode`] on any mismatch; they never guess. This is the only
+/// place in the workspace where positional field access on *result* tuples
+/// is legitimate.
+pub trait FromTuple: Sized {
+    /// Decode `tuple` into this view, or explain why its shape is wrong.
+    fn from_tuple(tuple: &Tuple) -> Result<Self>;
+}
+
+/// A view that carries a route cost, enabling finite-cost filtering and
+/// cost averaging generically (the paper's AvgPathRTT metric).
+pub trait CostView: FromTuple {
+    /// The cost field of the result.
+    fn cost(&self) -> Cost;
+}
+
+/// Shorthand: the field at `i` must exist, with a shape-specific error.
+fn want<'t>(tuple: &'t Tuple, i: usize, view: &str) -> Result<&'t Value> {
+    tuple.field(i).ok_or_else(|| {
+        Error::decode(format!(
+            "{view}: {relation}/{arity} tuple has no field {i}: {tuple}",
+            relation = tuple.relation(),
+            arity = tuple.arity(),
+        ))
+    })
+}
+
+fn want_node(tuple: &Tuple, i: usize, view: &str) -> Result<NodeId> {
+    let v = want(tuple, i, view)?;
+    v.as_node().ok_or_else(|| type_error(tuple, i, view, "node", v))
+}
+
+fn want_cost(tuple: &Tuple, i: usize, view: &str) -> Result<Cost> {
+    let v = want(tuple, i, view)?;
+    v.as_cost().ok_or_else(|| type_error(tuple, i, view, "cost", v))
+}
+
+fn want_path(tuple: &Tuple, i: usize, view: &str) -> Result<PathVector> {
+    let v = want(tuple, i, view)?;
+    v.as_path().cloned().ok_or_else(|| type_error(tuple, i, view, "path", v))
+}
+
+fn want_str(tuple: &Tuple, i: usize, view: &str) -> Result<String> {
+    let v = want(tuple, i, view)?;
+    v.as_str().map(str::to_owned).ok_or_else(|| type_error(tuple, i, view, "str", v))
+}
+
+fn type_error(tuple: &Tuple, i: usize, view: &str, wanted: &str, got: &Value) -> Error {
+    Error::decode(format!(
+        "{view}: field {i} of {relation} must be a {wanted}, got {got_ty}: {tuple}",
+        relation = tuple.relation(),
+        got_ty = got.type_name(),
+    ))
+}
+
+fn want_arity(tuple: &Tuple, arity: usize, view: &str) -> Result<()> {
+    if tuple.arity() == arity {
+        Ok(())
+    } else {
+        Err(Error::decode(format!(
+            "{view}: expected a {arity}-ary tuple, got {relation}/{got}: {tuple}",
+            relation = tuple.relation(),
+            got = tuple.arity(),
+        )))
+    }
+}
+
+/// One route of a path-shaped result: `bestPath(@S,D,P,C)` and its
+/// relatives (`path`, `lsBest`, `bestPermitted`, ...).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteEntry {
+    /// Source node (the node that stores the result).
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// The path vector from `src` to `dst`.
+    pub path: PathVector,
+    /// Total path cost (AvgPathRTT's unit when link costs are RTTs).
+    pub cost: Cost,
+}
+
+impl RouteEntry {
+    /// The canonical relation name used by [`RouteEntry::to_tuple`].
+    pub const RELATION: &'static str = "bestPath";
+
+    /// Encode back into a `bestPath(@S,D,P,C)` tuple.
+    pub fn to_tuple(&self) -> Tuple {
+        Tuple::new(
+            Self::RELATION,
+            vec![
+                Value::Node(self.src),
+                Value::Node(self.dst),
+                Value::Path(self.path.clone()),
+                Value::Cost(self.cost),
+            ],
+        )
+    }
+
+    /// Number of hops (edges) of the route.
+    pub fn hops(&self) -> usize {
+        self.path.hops()
+    }
+
+    /// True when the route traverses `node` anywhere on its path.
+    pub fn traverses(&self, node: NodeId) -> bool {
+        self.path.contains(node)
+    }
+}
+
+impl FromTuple for RouteEntry {
+    fn from_tuple(tuple: &Tuple) -> Result<Self> {
+        want_arity(tuple, 4, "RouteEntry")?;
+        Ok(RouteEntry {
+            src: want_node(tuple, 0, "RouteEntry")?,
+            dst: want_node(tuple, 1, "RouteEntry")?,
+            path: want_path(tuple, 2, "RouteEntry")?,
+            cost: want_cost(tuple, 3, "RouteEntry")?,
+        })
+    }
+}
+
+impl CostView for RouteEntry {
+    fn cost(&self) -> Cost {
+        self.cost
+    }
+}
+
+impl From<RouteEntry> for Tuple {
+    fn from(entry: RouteEntry) -> Tuple {
+        entry.to_tuple()
+    }
+}
+
+/// One row of a cost-shaped result: `bestPathCost(@S,D,C)`,
+/// `lsBestCost(@M,D,C)`, and relatives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostEntry {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Best known cost from `src` to `dst`.
+    pub cost: Cost,
+}
+
+impl CostEntry {
+    /// The canonical relation name used by [`CostEntry::to_tuple`].
+    pub const RELATION: &'static str = "bestPathCost";
+
+    /// Encode back into a `bestPathCost(@S,D,C)` tuple.
+    pub fn to_tuple(&self) -> Tuple {
+        Tuple::new(
+            Self::RELATION,
+            vec![Value::Node(self.src), Value::Node(self.dst), Value::Cost(self.cost)],
+        )
+    }
+}
+
+impl FromTuple for CostEntry {
+    fn from_tuple(tuple: &Tuple) -> Result<Self> {
+        want_arity(tuple, 3, "CostEntry")?;
+        Ok(CostEntry {
+            src: want_node(tuple, 0, "CostEntry")?,
+            dst: want_node(tuple, 1, "CostEntry")?,
+            cost: want_cost(tuple, 2, "CostEntry")?,
+        })
+    }
+}
+
+impl CostView for CostEntry {
+    fn cost(&self) -> Cost {
+        self.cost
+    }
+}
+
+impl From<CostEntry> for Tuple {
+    fn from(entry: CostEntry) -> Tuple {
+        entry.to_tuple()
+    }
+}
+
+/// The (holder, destination) projection of a reachability-shaped result.
+///
+/// Decodes any tuple whose first two fields are node addresses — the exact
+/// shape of `reachable(@S,D)`, and a faithful projection of wider results
+/// whose leading fields follow the paper's (location, destination)
+/// convention (e.g. `floodLink(@M,S,...)`: "node `M` knows about a link
+/// from `S`").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ReachEntry {
+    /// The node that stores the result.
+    pub src: NodeId,
+    /// The node it can reach (or knows about).
+    pub dst: NodeId,
+}
+
+impl ReachEntry {
+    /// The canonical relation name used by [`ReachEntry::to_tuple`].
+    pub const RELATION: &'static str = "reachable";
+
+    /// Encode back into a `reachable(@S,D)` tuple.
+    pub fn to_tuple(&self) -> Tuple {
+        Tuple::new(Self::RELATION, vec![Value::Node(self.src), Value::Node(self.dst)])
+    }
+}
+
+impl FromTuple for ReachEntry {
+    fn from_tuple(tuple: &Tuple) -> Result<Self> {
+        if tuple.arity() < 2 {
+            return Err(Error::decode(format!(
+                "ReachEntry: expected at least 2 fields, got {relation}/{got}: {tuple}",
+                relation = tuple.relation(),
+                got = tuple.arity(),
+            )));
+        }
+        Ok(ReachEntry {
+            src: want_node(tuple, 0, "ReachEntry")?,
+            dst: want_node(tuple, 1, "ReachEntry")?,
+        })
+    }
+}
+
+impl From<ReachEntry> for Tuple {
+    fn from(entry: ReachEntry) -> Tuple {
+        entry.to_tuple()
+    }
+}
+
+/// One edge of a multicast dissemination tree: `forwardState(@I,J,S,G)` —
+/// node `I` forwards traffic of group `G` rooted at source `S` to `J`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TreeEdge {
+    /// The forwarding node (tree-internal vertex).
+    pub node: NodeId,
+    /// The child the node forwards to.
+    pub child: NodeId,
+    /// The multicast source the tree is rooted at.
+    pub source: NodeId,
+    /// The group identifier.
+    pub group: String,
+}
+
+impl TreeEdge {
+    /// The canonical relation name used by [`TreeEdge::to_tuple`].
+    pub const RELATION: &'static str = "forwardState";
+
+    /// Encode back into a `forwardState(@I,J,S,G)` tuple.
+    pub fn to_tuple(&self) -> Tuple {
+        Tuple::new(
+            Self::RELATION,
+            vec![
+                Value::Node(self.node),
+                Value::Node(self.child),
+                Value::Node(self.source),
+                Value::str(&self.group),
+            ],
+        )
+    }
+}
+
+impl FromTuple for TreeEdge {
+    fn from_tuple(tuple: &Tuple) -> Result<Self> {
+        want_arity(tuple, 4, "TreeEdge")?;
+        Ok(TreeEdge {
+            node: want_node(tuple, 0, "TreeEdge")?,
+            child: want_node(tuple, 1, "TreeEdge")?,
+            source: want_node(tuple, 2, "TreeEdge")?,
+            group: want_str(tuple, 3, "TreeEdge")?,
+        })
+    }
+}
+
+impl From<TreeEdge> for Tuple {
+    fn from(edge: TreeEdge) -> Tuple {
+        edge.to_tuple()
+    }
+}
+
+/// Decode every tuple of `tuples`, failing on the first malformed one.
+pub fn decode_all<T: FromTuple>(tuples: &[Tuple]) -> Result<Vec<T>> {
+    tuples.iter().map(T::from_tuple).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn route_tuple(relation: &str) -> Tuple {
+        Tuple::new(
+            relation,
+            vec![
+                Value::Node(n(0)),
+                Value::Node(n(4)),
+                Value::Path(PathVector::from_nodes(vec![n(0), n(3), n(4)])),
+                Value::Cost(Cost::new(2.0)),
+            ],
+        )
+    }
+
+    #[test]
+    fn route_entry_decodes_any_path_shaped_relation() {
+        for relation in ["bestPath", "path", "lsBest", "bestPermitted"] {
+            let e = RouteEntry::from_tuple(&route_tuple(relation)).unwrap();
+            assert_eq!(e.src, n(0));
+            assert_eq!(e.dst, n(4));
+            assert_eq!(e.path.nodes(), &[n(0), n(3), n(4)]);
+            assert_eq!(e.cost, Cost::new(2.0));
+            assert_eq!(e.hops(), 2);
+            assert!(e.traverses(n(3)));
+            assert!(!e.traverses(n(9)));
+        }
+    }
+
+    #[test]
+    fn route_entry_round_trips_through_its_canonical_tuple() {
+        let e = RouteEntry::from_tuple(&route_tuple("path")).unwrap();
+        let t = e.to_tuple();
+        assert_eq!(t.relation(), RouteEntry::RELATION);
+        assert_eq!(RouteEntry::from_tuple(&t).unwrap(), e);
+    }
+
+    #[test]
+    fn route_entry_rejects_wrong_arity() {
+        let t = Tuple::new("bestPath", vec![Value::Node(n(0)), Value::Node(n(1))]);
+        let err = RouteEntry::from_tuple(&t).unwrap_err();
+        assert!(matches!(err, Error::Decode(_)), "{err}");
+        assert!(err.to_string().contains("4-ary"), "{err}");
+    }
+
+    #[test]
+    fn route_entry_rejects_non_cost_last_field() {
+        // The Fig. 6-9 inflation bug: a tuple whose last field is not a cost
+        // must be an error, not a silently-"finite" route.
+        let t = Tuple::new(
+            "forwardState",
+            vec![Value::Node(n(0)), Value::Node(n(1)), Value::Node(n(2)), Value::str("video")],
+        );
+        let err = RouteEntry::from_tuple(&t).unwrap_err();
+        assert!(matches!(err, Error::Decode(_)), "{err}");
+        assert!(err.to_string().contains("path"), "{err}");
+    }
+
+    #[test]
+    fn route_entry_accepts_integer_costs() {
+        // Literal costs written in query text are integers; they convert
+        // losslessly (Value::as_cost).
+        let t = Tuple::new(
+            "bestPath",
+            vec![
+                Value::Node(n(0)),
+                Value::Node(n(1)),
+                Value::Path(PathVector::from_nodes(vec![n(0), n(1)])),
+                Value::Int(3),
+            ],
+        );
+        assert_eq!(RouteEntry::from_tuple(&t).unwrap().cost, Cost::new(3.0));
+    }
+
+    #[test]
+    fn cost_entry_decodes_and_round_trips() {
+        let t = Tuple::new(
+            "bestPathCost",
+            vec![Value::Node(n(1)), Value::Node(n(2)), Value::Cost(Cost::new(7.5))],
+        );
+        let e = CostEntry::from_tuple(&t).unwrap();
+        assert_eq!(e, CostEntry { src: n(1), dst: n(2), cost: Cost::new(7.5) });
+        assert_eq!(CostEntry::from_tuple(&e.to_tuple()).unwrap(), e);
+        assert_eq!(e.cost(), Cost::new(7.5));
+    }
+
+    #[test]
+    fn cost_entry_rejects_route_shaped_tuples() {
+        let err = CostEntry::from_tuple(&route_tuple("bestPath")).unwrap_err();
+        assert!(matches!(err, Error::Decode(_)), "{err}");
+    }
+
+    #[test]
+    fn reach_entry_projects_leading_node_fields() {
+        let e = ReachEntry::from_tuple(&route_tuple("path")).unwrap();
+        assert_eq!(e, ReachEntry { src: n(0), dst: n(4) });
+        let bare = Tuple::new("reachable", vec![Value::Node(n(3)), Value::Node(n(5))]);
+        let e2 = ReachEntry::from_tuple(&bare).unwrap();
+        assert_eq!(ReachEntry::from_tuple(&e2.to_tuple()).unwrap(), e2);
+        // but a non-node leading field is an error, not a guess
+        let bad = Tuple::new("x", vec![Value::Int(1), Value::Node(n(2))]);
+        assert!(matches!(ReachEntry::from_tuple(&bad), Err(Error::Decode(_))));
+        let short = Tuple::new("x", vec![Value::Node(n(1))]);
+        assert!(matches!(ReachEntry::from_tuple(&short), Err(Error::Decode(_))));
+    }
+
+    #[test]
+    fn tree_edge_decodes_forward_state() {
+        let t = Tuple::new(
+            "forwardState",
+            vec![Value::Node(n(1)), Value::Node(n(4)), Value::Node(n(0)), Value::str("video")],
+        );
+        let e = TreeEdge::from_tuple(&t).unwrap();
+        assert_eq!(e.node, n(1));
+        assert_eq!(e.child, n(4));
+        assert_eq!(e.source, n(0));
+        assert_eq!(e.group, "video");
+        assert_eq!(TreeEdge::from_tuple(&e.to_tuple()).unwrap(), e);
+        // A route-shaped tuple is not a tree edge.
+        assert!(matches!(TreeEdge::from_tuple(&route_tuple("bestPath")), Err(Error::Decode(_))));
+    }
+
+    #[test]
+    fn decode_all_propagates_the_first_error() {
+        let good = route_tuple("bestPath");
+        let bad = Tuple::new("bestPath", vec![Value::Node(n(0))]);
+        let ok: Vec<RouteEntry> = decode_all(&[good.clone(), good.clone()]).unwrap();
+        assert_eq!(ok.len(), 2);
+        assert!(decode_all::<RouteEntry>(&[good, bad]).is_err());
+    }
+
+    #[test]
+    fn tuple_from_impls_match_to_tuple() {
+        let route = RouteEntry::from_tuple(&route_tuple("bestPath")).unwrap();
+        assert_eq!(Tuple::from(route.clone()), route.to_tuple());
+        let reach = ReachEntry { src: n(1), dst: n(2) };
+        assert_eq!(Tuple::from(reach), reach.to_tuple());
+    }
+}

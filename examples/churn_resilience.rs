@@ -7,17 +7,21 @@
 //! cargo run --release --example churn_resilience
 //! ```
 
-use declarative_routing::engine::harness::{IssueOptions, RoutingHarness};
+use declarative_routing::engine::harness::RoutingHarness;
 use declarative_routing::netsim::{SimDuration, SimTime};
 use declarative_routing::protocols::best_path;
-use declarative_routing::types::{NodeId, Value};
+use declarative_routing::types::NodeId;
 use declarative_routing::workloads::{ChurnSchedule, OverlayKind, OverlayParams};
 
 fn main() {
-    // 36-node Dense-UUNET-like overlay (half of the paper's 72 PlanetLab
-    // nodes, for a fast demo).
+    // 16-node Sparse-Random overlay. The paper uses the 72-node Dense-UUNET
+    // overlay for its churn figures, but the current engine's incremental
+    // maintenance enumerates exponentially many infinite-cost tombstone
+    // paths when a well-connected node of a *dense* overlay fails (ROADMAP
+    // open item), so this demo stays on the sparse overlay where one
+    // fail/join cycle completes quickly.
     let params =
-        OverlayParams { nodes: 36, ..OverlayParams::planetlab(OverlayKind::DenseUunet, 9) };
+        OverlayParams { nodes: 16, ..OverlayParams::planetlab(OverlayKind::SparseRandom, 9) };
     let topology = params.generate();
     println!(
         "overlay: {} nodes, avg degree {:.1}, avg link RTT {:.0} ms",
@@ -27,22 +31,26 @@ fn main() {
     );
 
     let mut harness = RoutingHarness::new(topology);
-    let qid = harness
-        .issue_program(NodeId::new(0), SimTime::ZERO, &best_path(), IssueOptions::default())
+    let handle = harness
+        .issue(best_path())
+        .from(NodeId::new(0))
+        .at(SimTime::ZERO)
+        .named("churn-best-path")
+        .submit()
         .expect("query localizes");
 
-    // Converge, then churn 20% of the nodes every 60 s for two cycles.
+    // Converge, then fail 20% of the nodes for 60 s and bring them back.
     harness.run_until(SimTime::from_secs(120));
-    let routes_before = harness.finite_results(qid).len();
-    let avg_before = harness.average_result_cost(qid);
+    let routes_before = handle.finite_results(&harness).expect("routes decode").len();
+    let avg_before = handle.average_cost(&harness).expect("routes decode");
     println!("after convergence: {routes_before} routes, AvgPathRTT {avg_before:.0} ms");
 
     let schedule = ChurnSchedule::alternating(
-        36,
+        16,
         0.2,
         SimTime::from_secs(120),
         SimDuration::from_secs(60),
-        2,
+        1,
         7,
     );
     println!("\ninjecting churn:");
@@ -66,17 +74,12 @@ fn main() {
     while t < end {
         t += SimDuration::from_secs(20);
         harness.run_until(t);
-        let finite = harness.finite_results(qid);
-        let live: Vec<f64> = finite
-            .iter()
-            .filter_map(|r| r.fields().last().and_then(Value::as_cost))
-            .map(|c| c.value())
-            .collect();
-        let avg = if live.is_empty() { 0.0 } else { live.iter().sum::<f64>() / live.len() as f64 };
-        println!("{:>7.0}  {:>6}  {:>10.0}", t.as_secs_f64(), live.len(), avg);
+        let finite = handle.finite_results(&harness).expect("routes decode");
+        let avg = handle.average_cost(&harness).expect("routes decode");
+        println!("{:>7.0}  {:>6}  {:>10.0}", t.as_secs_f64(), finite.len(), avg);
     }
 
-    let routes_after = harness.finite_results(qid).len();
+    let routes_after = handle.finite_results(&harness).expect("routes decode").len();
     println!(
         "\nroutes recovered: {routes_after} of {routes_before}; total per-node overhead {:.0} KB",
         harness.per_node_overhead_kb()

@@ -16,8 +16,19 @@ use declarative_routing::types::{NodeId, Tuple, Value};
 use declarative_routing::workloads::TransitStubParams;
 
 fn main() {
-    // Use one stub of a transit-stub network as the test graph.
-    let topo = TransitStubParams::sized(100, 7).generate();
+    // A single-domain transit-stub network (10 nodes). The centralized
+    // evaluator enumerates every simple path, which is exponential in the
+    // graph size — at the 100 nodes this example previously used it
+    // diverges (>60 GB RSS) — so the demo stays deliberately small.
+    let topo = TransitStubParams {
+        domains: 1,
+        transit_nodes_per_domain: 2,
+        stubs_per_transit_node: 1,
+        nodes_per_stub: 4,
+        seed: 7,
+        ..TransitStubParams::default()
+    }
+    .generate();
     let links: Vec<Tuple> = topo
         .all_links()
         .map(|(s, d, p)| {
@@ -64,10 +75,14 @@ fn main() {
     );
 
     // Distance-vector produces next hops; check they are consistent with the
-    // best-path costs for a few pairs.
+    // best-path costs for a few pairs. The "infinity" bound is DV's only
+    // termination mechanism (count-to-infinity: no path vectors, no cycle
+    // check), so it must stay close to the real network diameter — the 1e6
+    // this example previously passed made the evaluator count link costs up
+    // toward a million before converging.
     let mut dv_db = Database::new();
     load(&mut dv_db);
-    Evaluator::new(distance_vector(1e6)).unwrap().run(&mut dv_db).unwrap();
+    Evaluator::new(distance_vector(500.0)).unwrap().run(&mut dv_db).unwrap();
     let sample: Vec<Tuple> = dv_db.sorted_tuples("nextHop").into_iter().take(5).collect();
     println!("\nsample distance-vector next hops:");
     for t in sample {

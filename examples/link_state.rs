@@ -8,7 +8,7 @@
 
 use declarative_routing::datalog::{check_safety, Database, Evaluator};
 use declarative_routing::protocols::link_state;
-use declarative_routing::types::{NodeId, Tuple, Value};
+use declarative_routing::types::{FromTuple, NodeId, ReachEntry, RouteEntry, Tuple, Value};
 
 fn n(i: u32) -> NodeId {
     NodeId::new(i)
@@ -36,13 +36,15 @@ fn main() {
 
     Evaluator::new(program).expect("valid program").run(&mut db).expect("terminates");
 
-    // Every node has learned every link.
+    // Every node has learned every link. `floodLink(@M,S,D,C,N)` leads with
+    // (holder, link source), so the ReachEntry projection filters by holder.
     let total_links = 18;
     for node in 0..8u32 {
         let known = db
             .sorted_tuples("floodLink")
-            .into_iter()
-            .filter(|t| t.node_at(0) == Some(n(node)))
+            .iter()
+            .map(|t| ReachEntry::from_tuple(t).expect("floodLink leads with two nodes"))
+            .filter(|e| e.src == n(node))
             .count();
         println!("node n{node} knows about {known} flooded link advertisements");
         assert!(known >= total_links);
@@ -50,8 +52,14 @@ fn main() {
 
     println!("\nlocally computed best routes from n0:");
     for t in db.sorted_tuples("lsBest") {
-        if t.node_at(0) == Some(n(0)) {
-            println!("  {t}");
+        let route = RouteEntry::from_tuple(&t).expect("lsBest is route-shaped");
+        if route.src == n(0) {
+            println!(
+                "  {route_dst} via {path} at cost {cost}",
+                route_dst = route.dst,
+                path = route.path,
+                cost = route.cost
+            );
         }
     }
 }

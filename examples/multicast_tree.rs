@@ -8,7 +8,7 @@
 
 use declarative_routing::datalog::{Database, Evaluator};
 use declarative_routing::protocols::multicast::{join_group_fact, source_specific_multicast};
-use declarative_routing::types::{NodeId, Tuple, Value};
+use declarative_routing::types::{FromTuple, NodeId, TreeEdge, Tuple, Value};
 
 fn n(i: u32) -> NodeId {
     NodeId::new(i)
@@ -37,21 +37,28 @@ fn main() {
     println!("source-specific multicast query:\n{program}");
     Evaluator::new(program).expect("valid program").run(&mut db).expect("terminates");
 
+    // Decode the forwarding state as typed tree edges.
+    let mut tree: Vec<TreeEdge> = db
+        .sorted_tuples("forwardState")
+        .iter()
+        .map(|t| TreeEdge::from_tuple(t).expect("forwardState decodes as tree edges"))
+        .collect();
     println!("multicast forwarding state (node -> forwards to, group):");
-    for t in db.sorted_tuples("forwardState") {
-        println!("  {t}");
+    for edge in &tree {
+        println!(
+            "  {node} -> {child} (source {source}, group \"{group}\")",
+            node = edge.node,
+            child = edge.child,
+            source = edge.source,
+            group = edge.group
+        );
     }
 
     // Derive the dissemination tree edges for display.
-    let mut edges: Vec<(NodeId, NodeId)> = db
-        .sorted_tuples("forwardState")
-        .into_iter()
-        .map(|t| (t.node_at(0).unwrap(), t.node_at(1).unwrap()))
-        .collect();
-    edges.sort();
-    edges.dedup();
+    tree.sort();
+    tree.dedup_by_key(|e| (e.node, e.child));
     println!("\ndissemination tree edges from the source (n0):");
-    for (from, to) in edges {
-        println!("  {from} -> {to}");
+    for edge in &tree {
+        println!("  {node} -> {child}", node = edge.node, child = edge.child);
     }
 }

@@ -9,7 +9,7 @@
 use declarative_routing::datalog::{Database, Evaluator};
 use declarative_routing::protocols::best_path_with_cost_bound;
 use declarative_routing::protocols::policy::{exclude_fact, policy_routing};
-use declarative_routing::types::{NodeId, Tuple, Value};
+use declarative_routing::types::{FromTuple, NodeId, RouteEntry, Tuple, Value};
 
 fn n(i: u32) -> NodeId {
     NodeId::new(i)
@@ -43,8 +43,9 @@ fn main() {
 
     let show = |db: &Database, rel: &str| {
         for t in db.sorted_tuples(rel) {
-            if t.node_at(0) == Some(n(0)) && t.node_at(1) == Some(n(5)) {
-                println!("  {t}");
+            let route = RouteEntry::from_tuple(&t).expect("path results are route-shaped");
+            if route.src == n(0) && route.dst == n(5) {
+                println!("  {path} at cost {cost}", path = route.path, cost = route.cost);
             }
         }
     };
@@ -65,8 +66,14 @@ fn main() {
         .expect("terminates");
     println!("\nQoS-bounded (cost < 5) best paths from node 0:");
     for t in qos_db.sorted_tuples("bestPath") {
-        if t.node_at(0) == Some(n(0)) {
-            println!("  {t}");
+        let route = RouteEntry::from_tuple(&t).expect("bestPath results are route-shaped");
+        if route.src == n(0) {
+            println!(
+                "  -> {dst}: {path} at cost {cost}",
+                dst = route.dst,
+                path = route.path,
+                cost = route.cost
+            );
         }
     }
 }

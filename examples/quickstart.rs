@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use declarative_routing::engine::harness::{IssueOptions, RoutingHarness};
+use declarative_routing::engine::harness::RoutingHarness;
 use declarative_routing::netsim::{SimDuration, SimTime};
 use declarative_routing::protocols::best_path;
 use declarative_routing::types::NodeId;
@@ -22,35 +22,48 @@ fn main() {
     );
 
     // 2. Start a query processor on every node and issue the Best-Path query
-    //    (rules NR1/NR2/BPR1/BPR2 of the paper) from node 0.
+    //    (rules NR1/NR2/BPR1/BPR2 of the paper) from node 0. The builder
+    //    returns a typed handle whose results decode as `RouteEntry`s.
     let query = best_path();
     println!("\nissuing the Best-Path query:\n{query}");
     let mut harness = RoutingHarness::new(topology);
-    let qid = harness
-        .issue_program(NodeId::new(0), SimTime::ZERO, &query, IssueOptions::default())
+    let handle = harness
+        .issue(query)
+        .from(NodeId::new(0))
+        .at(SimTime::ZERO)
+        .named("quickstart-best-path")
+        .submit()
         .expect("query localizes");
 
-    // 3. Run until the routes converge.
-    let report = harness.run_and_sample(qid, SimDuration::from_secs(1), SimTime::from_secs(90));
+    // 3. Run until the routes converge, sampling once per simulated second.
+    let report = handle
+        .run_and_sample(&mut harness, SimDuration::from_secs(1), SimTime::from_secs(90))
+        .expect("results decode as routes");
     println!(
         "converged after {:?} simulated seconds; {} routes; {:.1} KB sent per node",
         report.converged_at.map(|t| t.as_secs_f64()),
-        report.samples.last().map(|s| s.results).unwrap_or(0),
+        report.final_results(),
         report.per_node_overhead_kb
     );
 
     // 4. Inspect a forwarding table.
     let node = NodeId::new(1);
-    let fwd = harness.forwarding_table(node, qid);
+    let fwd = handle.forwarding_table(&harness, node);
     println!("\nforwarding table of {node} (first 5 destinations):");
     for (dest, next) in fwd.iter().take(5) {
         println!("  {dest} via {next}");
     }
 
-    // 5. And the full best path for one pair.
-    if let Some(route) =
-        harness.results_at(node, qid).into_iter().find(|t| t.node_at(1) == Some(NodeId::new(50)))
-    {
-        println!("\nbest path {node} -> n50: {route}");
+    // 5. And the full best path for one pair, as a typed route.
+    let routes = handle.results_at(&harness, node).expect("results decode as routes");
+    if let Some(route) = routes.into_iter().find(|r| r.dst == NodeId::new(50)) {
+        println!(
+            "\nbest path {src} -> {dst}: {path} ({hops} hops, cost {cost})",
+            src = route.src,
+            dst = route.dst,
+            path = route.path,
+            hops = route.hops(),
+            cost = route.cost,
+        );
     }
 }

@@ -18,8 +18,13 @@
 //! * [`baselines`] — hand-coded path-vector / distance-vector baselines.
 //! * [`workloads`] — topologies, RTT models, churn and query workloads.
 //!
+//! Queries are issued through the harness's fluent builder and observed
+//! through the typed [`engine::harness::QueryHandle`] it returns; results
+//! decode into views such as [`types::RouteEntry`] instead of positional
+//! tuple fields:
+//!
 //! ```no_run
-//! use declarative_routing::engine::harness::{IssueOptions, RoutingHarness};
+//! use declarative_routing::engine::harness::RoutingHarness;
 //! use declarative_routing::netsim::SimTime;
 //! use declarative_routing::protocols::best_path;
 //! use declarative_routing::types::NodeId;
@@ -27,11 +32,18 @@
 //!
 //! let topology = TransitStubParams::sized(100, 42).generate();
 //! let mut harness = RoutingHarness::new(topology);
-//! let qid = harness
-//!     .issue_program(NodeId::new(0), SimTime::ZERO, &best_path(), IssueOptions::default())
+//! let handle = harness
+//!     .issue(best_path())
+//!     .from(NodeId::new(0))
+//!     .at(SimTime::ZERO)
+//!     .submit()
 //!     .unwrap();
 //! harness.run_until(SimTime::from_secs(60));
-//! println!("routes: {}", harness.finite_results(qid).len());
+//! let routes = handle.finite_results(&harness).unwrap(); // Vec<RouteEntry>
+//! println!("routes: {}", routes.len());
+//! for route in routes.iter().take(3) {
+//!     println!("{} -> {} via {} (cost {})", route.src, route.dst, route.path, route.cost);
+//! }
 //! ```
 
 #![forbid(unsafe_code)]

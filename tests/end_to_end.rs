@@ -5,12 +5,12 @@
 
 use declarative_routing::baselines::{PathVectorConfig, PathVectorNode};
 use declarative_routing::datalog::{check_safety, Database, Evaluator};
-use declarative_routing::engine::harness::{IssueOptions, RoutingHarness};
+use declarative_routing::engine::harness::RoutingHarness;
 use declarative_routing::netsim::{SimConfig, SimDuration, SimTime, Simulator};
 use declarative_routing::protocols::{
     best_path, best_path_pairs, best_path_pairs_share, distance_vector, dynamic_source_routing,
 };
-use declarative_routing::types::{Cost, NodeId, Tuple, Value};
+use declarative_routing::types::{Cost, FromTuple, NodeId, RouteEntry, Tuple, Value};
 use declarative_routing::workloads::{OverlayKind, OverlayParams, PairWorkload, TransitStubParams};
 
 fn n(i: u32) -> NodeId {
@@ -29,6 +29,11 @@ fn small_transit_stub(seed: u64) -> declarative_routing::netsim::Topology {
     .generate()
 }
 
+/// Cost rounded to integer milliseconds, for order-insensitive comparisons.
+fn millis(cost: Cost) -> u64 {
+    (cost.value() * 1000.0).round() as u64
+}
+
 /// The distributed Best-Path execution agrees with (a) the centralized
 /// evaluator and (b) the hand-coded path-vector baseline on the same
 /// topology.
@@ -39,19 +44,13 @@ fn distributed_centralized_and_baseline_agree() {
 
     // Distributed execution.
     let mut harness = RoutingHarness::new(topo.clone());
-    let qid =
-        harness.issue_program(n(0), SimTime::ZERO, &best_path(), IssueOptions::default()).unwrap();
+    let handle = harness.issue(best_path()).from(n(0)).at(SimTime::ZERO).submit().unwrap();
     harness.run_until(SimTime::from_secs(90));
-    let mut distributed: Vec<(NodeId, NodeId, u64)> = harness
-        .finite_results(qid)
+    let mut distributed: Vec<(NodeId, NodeId, u64)> = handle
+        .finite_results(&harness)
+        .unwrap()
         .into_iter()
-        .map(|t| {
-            (
-                t.node_at(0).unwrap(),
-                t.node_at(1).unwrap(),
-                (t.field(3).and_then(Value::as_cost).unwrap().value() * 1000.0).round() as u64,
-            )
-        })
+        .map(|r| (r.src, r.dst, millis(r.cost)))
         .collect();
     distributed.sort();
     assert_eq!(distributed.len(), nodes * (nodes - 1));
@@ -67,14 +66,9 @@ fn distributed_centralized_and_baseline_agree() {
     Evaluator::new(best_path()).unwrap().run(&mut db).unwrap();
     let mut central: Vec<(NodeId, NodeId, u64)> = db
         .tuples("bestPath")
-        .into_iter()
-        .map(|t| {
-            (
-                t.node_at(0).unwrap(),
-                t.node_at(1).unwrap(),
-                (t.field(3).and_then(Value::as_cost).unwrap().value() * 1000.0).round() as u64,
-            )
-        })
+        .iter()
+        .map(|t| RouteEntry::from_tuple(t).expect("centralized bestPath is route-shaped"))
+        .map(|r| (r.src, r.dst, millis(r.cost)))
         .collect();
     central.sort();
     assert_eq!(distributed, central, "distributed execution must match centralized evaluation");
@@ -86,69 +80,63 @@ fn distributed_centralized_and_baseline_agree() {
     sim.run_until(SimTime::from_secs(90));
     for (src, dst, cost_millis) in &distributed {
         let route = sim.app(*src).route_to(*dst).expect("baseline must find the route");
-        assert_eq!(
-            (route.cost.value() * 1000.0).round() as u64,
-            *cost_millis,
-            "baseline disagrees on {src}->{dst}"
-        );
+        assert_eq!(millis(route.cost), *cost_millis, "baseline disagrees on {src}->{dst}");
     }
 }
 
 /// Pair queries (magic sets + left recursion) return the same answer as the
-/// all-pairs query, for a sample of random pairs on an overlay.
+/// all-pairs query, for a sample of random pairs on a dense random overlay.
 ///
-/// Ignored by default: on dense random overlays the pair query occasionally
-/// reports a route whose cost differs from the all-pairs reference (under
-/// investigation — tracked in EXPERIMENTS.md "Known deviations"); the
-/// equivalence on deterministic topologies is covered by
-/// `dr-protocols::pairs` unit tests and `sharing_reduces_overhead_for_common_destinations`.
+/// The typed `RouteEntry` comparison reports every disagreeing pair in one
+/// deterministic diff instead of failing on the first mismatch.
 #[test]
-#[ignore = "known issue: pair-vs-all-pairs equivalence on dense random overlays"]
 fn pair_queries_match_all_pairs_routes() {
     let params =
         OverlayParams { nodes: 16, ..OverlayParams::planetlab(OverlayKind::DenseRandom, 5) };
     let topo = params.generate();
 
     let mut all_pairs = RoutingHarness::new(topo.clone());
-    let all_qid = all_pairs
-        .issue_program(n(0), SimTime::ZERO, &best_path(), IssueOptions::default())
-        .unwrap();
+    let all_handle = all_pairs.issue(best_path()).from(n(0)).at(SimTime::ZERO).submit().unwrap();
     all_pairs.run_until(SimTime::from_secs(120));
 
     let mut workload = PairWorkload::new(16, 11);
     let mut harness = RoutingHarness::new(topo);
     let mut now = SimTime::ZERO;
+    let mut disagreements: Vec<String> = Vec::new();
     for i in 0..4 {
         let (src, dst) = workload.next_pair();
-        let qid = harness
-            .issue_program(
-                src,
-                now,
-                &best_path_pairs(src, dst),
-                IssueOptions {
-                    name: format!("pair{i}"),
-                    replicated: vec!["magicDsts".to_string()],
-                    ..Default::default()
-                },
-            )
+        let handle = harness
+            .issue(best_path_pairs(src, dst))
+            .named(format!("pair{i}"))
+            .replicated(["magicDsts"])
+            .from(src)
+            .at(now)
+            .submit()
             .unwrap();
         now += SimDuration::from_secs(60);
         harness.run_until(now);
 
-        let pair_cost = harness
-            .results_at(src, qid)
-            .into_iter()
-            .find(|t| t.node_at(1) == Some(dst))
-            .and_then(|t| t.field(3).and_then(Value::as_cost))
-            .map(|c| (c.value() * 1000.0).round() as u64);
-        let reference = all_pairs
-            .results_at(src, all_qid)
-            .into_iter()
-            .find(|t| t.node_at(1) == Some(dst))
-            .and_then(|t| t.field(3).and_then(Value::as_cost))
-            .map(|c| (c.value() * 1000.0).round() as u64);
-        assert_eq!(pair_cost, reference, "pair query {src}->{dst} disagrees with all-pairs");
+        let pair_route =
+            handle.results_at(&harness, src).unwrap().into_iter().find(|r| r.dst == dst);
+        let reference =
+            all_handle.results_at(&all_pairs, src).unwrap().into_iter().find(|r| r.dst == dst);
+        let pair_cost = pair_route.as_ref().map(|r| millis(r.cost));
+        let ref_cost = reference.as_ref().map(|r| millis(r.cost));
+        if pair_cost != ref_cost {
+            disagreements.push(format!(
+                "{src}->{dst}: pair query found {pair:?} (cost {pair_cost:?} ms), \
+                 all-pairs reference found {refr:?} (cost {ref_cost:?} ms)",
+                pair = pair_route.as_ref().map(|r| r.path.to_string()),
+                refr = reference.as_ref().map(|r| r.path.to_string()),
+            ));
+        }
     }
+    assert!(
+        disagreements.is_empty(),
+        "pair queries disagree with the all-pairs reference on {} of 4 pairs:\n  {}",
+        disagreements.len(),
+        disagreements.join("\n  ")
+    );
 }
 
 /// Work sharing reduces communication: issuing many shared queries toward a
@@ -164,27 +152,15 @@ fn sharing_reduces_overhead_for_common_destinations() {
         let mut harness = RoutingHarness::new(small_transit_stub(9));
         let mut now = SimTime::ZERO;
         for (i, src) in sources.iter().enumerate() {
-            let (program, options) = if share {
-                (
-                    best_path_pairs_share(*src, dest, "bestPathCache"),
-                    IssueOptions {
-                        name: format!("s{i}"),
-                        share_results: true,
-                        replicated: vec!["magicDsts".to_string()],
-                        ..Default::default()
-                    },
-                )
+            let builder = if share {
+                harness
+                    .issue(best_path_pairs_share(*src, dest, "bestPathCache"))
+                    .named(format!("s{i}"))
+                    .sharing(true)
             } else {
-                (
-                    best_path_pairs(*src, dest),
-                    IssueOptions {
-                        name: format!("p{i}"),
-                        replicated: vec!["magicDsts".to_string()],
-                        ..Default::default()
-                    },
-                )
+                harness.issue(best_path_pairs(*src, dest)).named(format!("p{i}"))
             };
-            harness.issue_program(*src, now, &program, options).unwrap();
+            builder.replicated(["magicDsts"]).from(*src).at(now).submit().unwrap();
             now += SimDuration::from_secs(20);
             harness.run_until(now);
         }
@@ -236,10 +212,9 @@ fn routes_heal_after_node_failure_on_an_overlay() {
         OverlayParams { nodes: 12, ..OverlayParams::planetlab(OverlayKind::SparseRandom, 13) };
     let topo = params.generate();
     let mut harness = RoutingHarness::new(topo);
-    let qid =
-        harness.issue_program(n(0), SimTime::ZERO, &best_path(), IssueOptions::default()).unwrap();
+    let handle = harness.issue(best_path()).from(n(0)).at(SimTime::ZERO).submit().unwrap();
     harness.run_until(SimTime::from_secs(60));
-    let routes_before = harness.finite_results(qid).len();
+    let routes_before = handle.finite_results(&harness).unwrap().len();
     assert_eq!(routes_before, 12 * 11);
 
     // Fail one non-issuer node.
@@ -249,26 +224,21 @@ fn routes_heal_after_node_failure_on_an_overlay() {
 
     // All routes between live nodes exist and avoid the victim.
     let live_pairs = 11 * 10;
-    let healed: Vec<Tuple> = harness
-        .finite_results(qid)
+    let healed: Vec<RouteEntry> = handle
+        .finite_results(&harness)
+        .unwrap()
         .into_iter()
-        .filter(|t| t.node_at(0) != Some(victim) && t.node_at(1) != Some(victim))
+        .filter(|r| r.src != victim && r.dst != victim)
         .collect();
     assert!(
         healed.len() >= live_pairs * 9 / 10,
         "expected most of {live_pairs} routes to survive, got {}",
         healed.len()
     );
-    let through_victim = healed
-        .iter()
-        .filter(|t| {
-            t.field(2).and_then(Value::as_path).map(|p| p.contains(victim)).unwrap_or(false)
-        })
-        .count();
+    let through_victim = healed.iter().filter(|r| r.traverses(victim)).count();
     assert_eq!(through_victim, 0, "healed routes must avoid the failed node");
     // Costs stay finite and positive.
-    for t in &healed {
-        let c = t.field(3).and_then(Value::as_cost).unwrap();
-        assert!(c > Cost::ZERO && c.is_finite());
+    for r in &healed {
+        assert!(r.cost > Cost::ZERO && r.cost.is_finite());
     }
 }

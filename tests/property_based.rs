@@ -1,13 +1,16 @@
 //! Property-based tests (proptest) over the core data structures and
-//! invariants: path-vector algebra, cost arithmetic, the parser round-trip,
-//! the equivalence of naïve and semi-naïve evaluation, the left/right
-//! recursion rewrite, and the aggregate-selections optimization.
+//! invariants: path-vector algebra, cost arithmetic, the typed-view
+//! (`FromTuple`) round-trip, the parser round-trip, the equivalence of naïve
+//! and semi-naïve evaluation, the left/right recursion rewrite, and the
+//! aggregate-selections optimization.
 
 use declarative_routing::datalog::eval::EvalConfig;
 use declarative_routing::datalog::rewrite::flip_program_recursion;
 use declarative_routing::datalog::{parse_program, Database, Evaluator};
 use declarative_routing::protocols::{best_path, network_reachability};
-use declarative_routing::types::{Cost, NodeId, PathVector, Tuple, Value};
+use declarative_routing::types::{
+    Cost, CostEntry, Error, FromTuple, NodeId, PathVector, RouteEntry, Tuple, Value,
+};
 use proptest::prelude::*;
 
 fn node_vec() -> impl Strategy<Value = Vec<NodeId>> {
@@ -188,14 +191,82 @@ proptest! {
             );
         }
         for t in db.tuples("bestPathCost") {
-            let s = t.node_at(0).unwrap();
-            let d = t.node_at(1).unwrap();
-            let cost = t.field(2).and_then(Value::as_cost).unwrap();
-            if !cost.is_finite() {
+            let entry = CostEntry::from_tuple(&t).expect("bestPathCost is cost-shaped");
+            if !entry.cost.is_finite() {
                 continue;
             }
-            let reference = topo.cost_distances(s).get(&d).copied();
-            prop_assert_eq!(Some(cost.value()), reference, "pair {}->{}", s, d);
+            let reference = topo.cost_distances(entry.src).get(&entry.dst).copied();
+            prop_assert_eq!(
+                Some(entry.cost.value()),
+                reference,
+                "pair {}->{}",
+                entry.src,
+                entry.dst
+            );
         }
+    }
+
+    /// `RouteEntry -> Tuple -> RouteEntry` is the identity for every
+    /// well-formed route, whatever the path and cost.
+    #[test]
+    fn route_entry_tuple_round_trip(
+        src in 0u32..50,
+        dst in 0u32..50,
+        path in node_vec(),
+        cost in 0.0f64..1e9,
+    ) {
+        let entry = RouteEntry {
+            src: NodeId::new(src),
+            dst: NodeId::new(dst),
+            path: PathVector::from_nodes(path),
+            cost: Cost::new(cost),
+        };
+        let decoded = RouteEntry::from_tuple(&entry.to_tuple()).unwrap();
+        prop_assert_eq!(decoded, entry);
+    }
+
+    /// Decoding fails with `Error::Decode` (never panics, never guesses) on
+    /// any tuple whose arity is not 4.
+    #[test]
+    fn route_entry_rejects_wrong_arity(raw_arity in 0usize..7) {
+        // Skip over the well-formed arity (4): 0,1,2,3,5,6,7.
+        let arity = if raw_arity >= 4 { raw_arity + 1 } else { raw_arity };
+        let fields: Vec<Value> = (0..arity).map(|i| Value::Node(NodeId::new(i as u32))).collect();
+        let tuple = Tuple::new("bestPath", fields);
+        prop_assert!(matches!(RouteEntry::from_tuple(&tuple), Err(Error::Decode(_))));
+    }
+
+    /// Decoding fails with `Error::Decode` when any field has the wrong
+    /// type, whichever field it is.
+    #[test]
+    fn route_entry_rejects_type_mismatch(slot in 0usize..4) {
+        // Start from a well-formed route tuple, then poison one slot with a
+        // value of the wrong type.
+        let mut fields = vec![
+            Value::Node(NodeId::new(1)),
+            Value::Node(NodeId::new(2)),
+            Value::Path(PathVector::from_nodes(vec![NodeId::new(1), NodeId::new(2)])),
+            Value::Cost(Cost::new(1.0)),
+        ];
+        fields[slot] = Value::Bool(true);
+        let tuple = Tuple::new("bestPath", fields);
+        prop_assert!(matches!(RouteEntry::from_tuple(&tuple), Err(Error::Decode(_))));
+    }
+
+    /// The cost-shaped view round-trips and rejects the route shape.
+    #[test]
+    fn cost_entry_tuple_round_trip(src in 0u32..50, dst in 0u32..50, cost in 0.0f64..1e9) {
+        let entry = CostEntry {
+            src: NodeId::new(src),
+            dst: NodeId::new(dst),
+            cost: Cost::new(cost),
+        };
+        let decoded = CostEntry::from_tuple(&entry.to_tuple()).unwrap();
+        prop_assert_eq!(decoded, entry);
+        // Widening the tuple by one field makes it undecodable again.
+        let mut fields = entry.to_tuple().fields().to_vec();
+        fields.push(Value::Int(0));
+        let widened = Tuple::new("bestPathCost", fields);
+        prop_assert!(matches!(CostEntry::from_tuple(&widened), Err(Error::Decode(_))));
     }
 }

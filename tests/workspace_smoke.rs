@@ -3,10 +3,10 @@
 //! hand-coded `dr-baselines` distance-vector protocol on a small ring.
 
 use declarative_routing::baselines::{DistanceVectorConfig, DistanceVectorNode};
-use declarative_routing::engine::harness::{IssueOptions, RoutingHarness};
+use declarative_routing::engine::harness::RoutingHarness;
 use declarative_routing::netsim::{LinkParams, SimConfig, SimTime, Simulator, Topology};
 use declarative_routing::protocols::best_path;
-use declarative_routing::types::{Cost, NodeId, Value};
+use declarative_routing::types::{Cost, NodeId};
 
 fn n(i: u32) -> NodeId {
     NodeId::new(i)
@@ -35,6 +35,14 @@ fn facade_reexports_are_the_workspace_crates() {
     assert_eq!(a, b);
     let c: dr_types::Cost = declarative_routing::types::Cost::new(1.5);
     assert_eq!(c.value(), 1.5);
+    // ... including the typed result views and the engine's handle type.
+    let route: dr_types::RouteEntry = declarative_routing::types::RouteEntry {
+        src: n(0),
+        dst: n(1),
+        path: declarative_routing::types::PathVector::from_nodes(vec![n(0), n(1)]),
+        cost: Cost::new(1.0),
+    };
+    let _tuple: declarative_routing::types::Tuple = route.to_tuple();
 }
 
 /// `best_path()` executed as a distributed query converges to the same
@@ -46,10 +54,9 @@ fn best_path_matches_distance_vector_baseline_on_a_ring() {
 
     // Declarative engine.
     let mut harness = RoutingHarness::new(ring(K));
-    let qid =
-        harness.issue_program(n(0), SimTime::ZERO, &best_path(), IssueOptions::default()).unwrap();
+    let handle = harness.issue(best_path()).from(n(0)).at(SimTime::ZERO).submit().unwrap();
     harness.run_until(SimTime::from_secs(60));
-    let results = harness.finite_results(qid);
+    let results = handle.finite_results(&harness).unwrap();
     assert_eq!(
         results.len(),
         (K * (K - 1)) as usize,
@@ -63,7 +70,8 @@ fn best_path_matches_distance_vector_baseline_on_a_ring() {
     sim.run_until(SimTime::from_secs(60));
 
     for src in 0..K {
-        let fwd = harness.forwarding_table(n(src), qid);
+        let fwd = handle.forwarding_table(&harness, n(src));
+        let routes = handle.results_at(&harness, n(src)).unwrap();
         for dst in 0..K {
             if src == dst {
                 continue;
@@ -72,11 +80,10 @@ fn best_path_matches_distance_vector_baseline_on_a_ring() {
                 .app(n(src))
                 .route_to(n(dst))
                 .unwrap_or_else(|| panic!("baseline found no route {src}->{dst}"));
-            let declarative_cost = harness
-                .results_at(n(src), qid)
-                .into_iter()
-                .find(|t| t.node_at(0) == Some(n(src)) && t.node_at(1) == Some(n(dst)))
-                .and_then(|t| t.fields().last().and_then(Value::as_cost))
+            let declarative_cost = routes
+                .iter()
+                .find(|r| r.src == n(src) && r.dst == n(dst))
+                .map(|r| r.cost)
                 .unwrap_or_else(|| panic!("declarative query found no route {src}->{dst}"));
             assert_eq!(
                 declarative_cost, dv_cost,
