@@ -1,14 +1,17 @@
 //! Criterion micro-benchmarks of the Datalog engine: parsing, centralized
 //! fixpoint evaluation (semi-naïve vs naïve — the ablation for §3.3's
-//! choice of evaluation strategy), and the aggregate-selections optimization
-//! of §7.1.
+//! choice of evaluation strategy), the aggregate-selections optimization of
+//! §7.1, and the §8 churn-recovery path (hub failure on a dense overlay,
+//! exercising the ∞-tombstone pruning and the indexed storage layer).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dr_core::harness::RoutingHarness;
 use dr_datalog::eval::EvalConfig;
 use dr_datalog::{parse_program, Database, Evaluator};
+use dr_netsim::SimTime;
 use dr_protocols::{best_path, distance_vector, link_state};
 use dr_types::{NodeId, Tuple, Value};
-use dr_workloads::TransitStubParams;
+use dr_workloads::{OverlayKind, OverlayParams, TransitStubParams};
 
 fn link_tuples_from_topology(nodes: usize, seed: u64) -> Vec<Tuple> {
     let topo = TransitStubParams::sized(nodes, seed).generate();
@@ -98,11 +101,39 @@ fn bench_link_state_flooding(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_churn_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("churn_recovery");
+    group.sample_size(3);
+    // The PR 2 repro: fail the best-connected node of a 16-node Dense-UUNET
+    // overlay after convergence. Before ∞-tombstone pruning this enumerated
+    // exponentially many infinite-cost paths (minutes, tens of GB); the
+    // bench tracks the whole converge + fail + re-converge cycle.
+    let topo = OverlayParams { nodes: 16, ..OverlayParams::planetlab(OverlayKind::DenseUunet, 9) }
+        .generate();
+    let hub = topo
+        .nodes()
+        .filter(|n| *n != NodeId::new(0))
+        .max_by_key(|&n| topo.degree(n))
+        .expect("overlay has nodes");
+    group.bench_function("dense_uunet16_hub_fail", |b| {
+        b.iter(|| {
+            let mut harness = RoutingHarness::new(topo.clone());
+            let handle = harness.issue(best_path()).submit().expect("query localizes");
+            harness.run_until(SimTime::from_secs(120));
+            harness.sim_mut().schedule_node_fail(SimTime::from_secs(120), hub);
+            harness.run_until(SimTime::from_secs(240));
+            handle.finite_results(&harness).expect("routes decode").len()
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_parser,
     bench_semi_naive_vs_naive,
     bench_aggregate_selections,
-    bench_link_state_flooding
+    bench_link_state_flooding,
+    bench_churn_recovery
 );
 criterion_main!(benches);

@@ -31,7 +31,7 @@
 //! harness stays freely mutable between observations.
 
 use crate::localize::localize;
-use crate::processor::{NetMsg, ProcessorConfig, QueryProcessor};
+use crate::processor::{NetMsg, ProcessorConfig, ProcessorStats, QueryProcessor};
 use crate::query::{QueryId, QueryLibrary, QuerySpec};
 use dr_datalog::ast::Program;
 use dr_netsim::{SimConfig, SimDuration, SimTime, Simulator, Topology};
@@ -504,6 +504,18 @@ impl RoutingHarness {
     /// Per-node communication overhead in KB since the start of the run.
     pub fn per_node_overhead_kb(&self) -> f64 {
         self.sim.metrics().per_node_overhead_kb()
+    }
+
+    /// Deployment-wide processor counters, summed over every node: tuples
+    /// derived/shipped/pruned and the ∞-tombstones collapsed during
+    /// incremental maintenance (§8). The derived-tuple total is the number
+    /// the churn regression tests budget against.
+    pub fn processor_stats(&self) -> ProcessorStats {
+        let mut total = ProcessorStats::default();
+        for app in self.sim.apps() {
+            total.merge(app.stats());
+        }
+        total
     }
 
     /// The forwarding table `node` derived from query `qid`.

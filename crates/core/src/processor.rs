@@ -25,10 +25,9 @@
 
 use crate::localize::LocalizedProgram;
 use crate::query::{QueryId, QueryLibrary, QuerySpec};
-use dr_datalog::ast::Rule;
 use dr_datalog::builtins::Builtins;
-use dr_datalog::database::Database;
-use dr_datalog::eval::{apply_aggregate, evaluate_rule, RelationSource};
+use dr_datalog::database::{Database, Scan};
+use dr_datalog::eval::{apply_aggregate, RelationSource, RuleEval};
 use dr_datalog::rewrite::AggSelection;
 use dr_netsim::{Context, LinkEvent, NodeApp, SimDuration};
 use dr_types::{Cost, NodeId, Tuple, Value};
@@ -112,14 +111,35 @@ pub struct ProcessorStats {
     pub tuples_derived: u64,
     /// Tuples suppressed by aggregate selections.
     pub tuples_pruned: u64,
+    /// ∞-cost tombstones collapsed during incremental maintenance (§8):
+    /// dominated infinite-cost derivations dropped instead of being stored,
+    /// shipped, and re-joined.
+    pub tombstones_collapsed: u64,
     /// Number of batch-processing rounds executed.
     pub batches: u64,
+}
+
+impl ProcessorStats {
+    /// Accumulate another processor's counters into this one (used by the
+    /// harness to report deployment-wide totals).
+    pub fn merge(&mut self, other: &ProcessorStats) {
+        self.tuples_received += other.tuples_received;
+        self.tuples_sent += other.tuples_sent;
+        self.tuples_derived += other.tuples_derived;
+        self.tuples_pruned += other.tuples_pruned;
+        self.tombstones_collapsed += other.tombstones_collapsed;
+        self.batches += other.batches;
+    }
 }
 
 /// Per-installed-query state.
 struct Instance {
     spec: Arc<QuerySpec>,
     db: Database,
+    /// Compiled evaluation plans, one per localized rule (same order as
+    /// `spec.program.rules`), built once at installation and reused every
+    /// batch.
+    compiled: Vec<RuleEval>,
     /// Deltas accumulated since the last batch, keyed by relation.
     pending: HashMap<String, Vec<Tuple>>,
     /// Aggregate-selection state: prune key → (identity key of current best,
@@ -149,7 +169,25 @@ impl Instance {
                 db.declare_key(&head.relation, group);
             }
         }
-        Instance { spec, db, pending: HashMap::new(), prune: HashMap::new(), installed: false }
+        // Compile every rule once and declare the secondary indexes its
+        // probes will hit, so per-batch evaluation joins against stored,
+        // incrementally-maintained indexes instead of re-gathering and
+        // re-hashing table contents.
+        let compiled: Vec<RuleEval> =
+            spec.program.rules.iter().map(|lrule| RuleEval::new(&lrule.rule)).collect();
+        for plan in &compiled {
+            for (rel, field) in plan.probe_fields() {
+                db.declare_index(rel, field);
+            }
+        }
+        Instance {
+            spec,
+            db,
+            compiled,
+            pending: HashMap::new(),
+            prune: HashMap::new(),
+            installed: false,
+        }
     }
 
     fn has_pending(&self) -> bool {
@@ -158,18 +196,32 @@ impl Instance {
 }
 
 /// Read-through view over the query-local database and the node's shared
-/// (cross-query) tables.
+/// (cross-query) tables. Chains borrowing cursors over both stores without
+/// materializing either.
 struct Overlay<'a> {
     local: &'a Database,
     shared: &'a Database,
 }
 
 impl RelationSource for Overlay<'_> {
-    fn scan(&self, relation: &str) -> Vec<Tuple> {
-        let mut v = self.local.tuples(relation);
-        v.extend(self.shared.tuples(relation));
-        v
+    fn scan(&self, relation: &str) -> Scan<'_> {
+        self.local.scan(relation).chain(self.shared.scan(relation))
     }
+
+    fn probe(&self, relation: &str, field: usize, value: &Value) -> Scan<'_> {
+        self.local.probe(relation, field, value).chain(self.shared.probe(relation, field, value))
+    }
+}
+
+/// Outcome of the aggregate-selection admission check for one tuple.
+enum PruneDecision {
+    /// Store/ship the tuple.
+    Admit,
+    /// A strictly better tuple for the prune group is already known.
+    Dominated,
+    /// An ∞-cost tombstone that invalidates nothing this node stored or
+    /// shipped — dropped instead of propagated (§8).
+    TombstoneCollapsed,
 }
 
 /// The per-node query processor.
@@ -308,6 +360,19 @@ impl QueryProcessor {
         let instance =
             self.instances.entry(qid).or_insert_with(|| Instance::new(Arc::clone(&spec)));
         instance.installed = true;
+        // Mirror the plans' probe-field declarations onto the shared
+        // (cross-query) store, so joins against cache relations such as
+        // `bestPathCache` are index-served on both sides of the overlay.
+        // Declarations for relations the shared store never materializes
+        // stay pending and cost nothing.
+        let probe_fields: Vec<(String, usize)> = instance
+            .compiled
+            .iter()
+            .flat_map(|plan| plan.probe_fields().into_iter().map(|(rel, f)| (rel.to_string(), f)))
+            .collect();
+        for (rel, field) in probe_fields {
+            self.shared.declare_index(&rel, field);
+        }
 
         // Flood the installation to all neighbors.
         let msg = NetMsg::Install { qid };
@@ -383,6 +448,7 @@ impl QueryProcessor {
         // Work on the instance first; side effects on other processor fields
         // (stats, shared cache) are applied after the borrow ends.
         let mut pruned = false;
+        let mut collapsed = false;
         let mut stored = false;
         let mut cache_entry: Option<Tuple> = None;
         {
@@ -396,9 +462,16 @@ impl QueryProcessor {
                 if let Some(sel) =
                     program.agg_selections.iter().find(|s| s.input_relation == relation)
                 {
-                    if !Self::prune_pass(instance, sel, &program, &tuple) {
-                        pruned = true;
-                        admitted = false;
+                    match Self::prune_pass(instance, sel, &program, &tuple) {
+                        PruneDecision::Admit => {}
+                        PruneDecision::Dominated => {
+                            pruned = true;
+                            admitted = false;
+                        }
+                        PruneDecision::TombstoneCollapsed => {
+                            collapsed = true;
+                            admitted = false;
+                        }
                     }
                 }
             }
@@ -464,6 +537,10 @@ impl QueryProcessor {
         if pruned {
             self.stats.tuples_pruned += 1;
         }
+        if collapsed {
+            self.stats.tuples_pruned += 1;
+            self.stats.tombstones_collapsed += 1;
+        }
         if stored {
             self.stats.tuples_derived += 1;
         }
@@ -479,13 +556,26 @@ impl QueryProcessor {
     /// group with every node-valued field outside the group and the first
     /// hop of any path-vector field, so one best route is retained *per next
     /// hop* (needed for recovery after failures, §8).
+    ///
+    /// Infinite-cost derivations are special-cased: an ∞ tombstone's only
+    /// job is invalidating the stored/shipped best path and its cache
+    /// entries (§8 rule NR3). Since every ∞ derivation ties in the
+    /// aggregate, admitting them all would enumerate the whole failed path
+    /// space; instead only the tombstones that actually invalidate
+    /// something this node stored or shipped are admitted — one per
+    /// (destination, next-hop) prune group plus one per stale stored tuple
+    /// — and every other ∞ derivation collapses. Failure recovery becomes a
+    /// single invalidation wave over the existing routing state instead of
+    /// an exponential re-exploration.
     fn prune_pass(
         instance: &mut Instance,
         sel: &AggSelection,
         program: &LocalizedProgram,
         tuple: &Tuple,
-    ) -> bool {
-        let Some(value) = tuple.field(sel.value_field).cloned() else { return true };
+    ) -> PruneDecision {
+        let Some(value) = tuple.field(sel.value_field).cloned() else {
+            return PruneDecision::Admit;
+        };
         let mut key: Vec<Value> =
             sel.group_fields.iter().filter_map(|&i| tuple.field(i).cloned()).collect();
         for (i, field) in tuple.fields().iter().enumerate() {
@@ -498,12 +588,35 @@ impl QueryProcessor {
                 _ => {}
             }
         }
-        let identity: Vec<Value> = program
-            .catalog
-            .key_fields(tuple.relation(), tuple.arity())
-            .iter()
-            .filter_map(|&i| tuple.field(i).cloned())
-            .collect();
+        let key_fields = program.catalog.key_fields(tuple.relation(), tuple.arity());
+        let identity: Vec<Value> =
+            key_fields.iter().filter_map(|&i| tuple.field(i).cloned()).collect();
+
+        if value.is_infinite_cost() {
+            // Tombstone of the group's shipped/stored best: record the ∞ so
+            // any finite alternative (other next hop) can take the slot,
+            // and let the invalidation propagate.
+            let invalidates_best = matches!(
+                instance.prune.get(&key),
+                Some((best_id, best_val)) if *best_id == identity && !best_val.is_infinite_cost()
+            );
+            if invalidates_best {
+                instance.prune.insert(key, (identity, value));
+                return PruneDecision::Admit;
+            }
+            // Tombstone of a dominated-but-stored tuple (an older route this
+            // node still holds): admit so the keyed upsert poisons the stale
+            // entry, but without touching the group best.
+            let poisons_stored = instance
+                .db
+                .get_by_key(tuple.relation(), &tuple.key(&key_fields))
+                .map(|stored| stored != tuple)
+                .unwrap_or(false);
+            if poisons_stored {
+                return PruneDecision::Admit;
+            }
+            return PruneDecision::TombstoneCollapsed;
+        }
 
         let better_or_equal = |a: &Value, b: &Value| -> bool {
             use std::cmp::Ordering::*;
@@ -517,18 +630,18 @@ impl QueryProcessor {
         match instance.prune.get(&key) {
             None => {
                 instance.prune.insert(key, (identity, value));
-                true
+                PruneDecision::Admit
             }
             Some((best_id, best_val)) => {
                 if *best_id == identity {
                     // An update (possibly a worsening) of the current best.
                     instance.prune.insert(key, (identity, value));
-                    true
+                    PruneDecision::Admit
                 } else if better_or_equal(&value, best_val) {
                     instance.prune.insert(key, (identity, value));
-                    true
+                    PruneDecision::Admit
                 } else {
-                    false
+                    PruneDecision::Dominated
                 }
             }
         }
@@ -639,8 +752,6 @@ impl QueryProcessor {
                     break;
                 }
                 let deltas = std::mem::take(&mut instance.pending);
-                let spec = Arc::clone(&instance.spec);
-                let program = Arc::clone(&spec.program);
 
                 let mut derived: Vec<Tuple> = Vec::new();
                 // Recomputed aggregate outputs are forced into the delta set
@@ -651,8 +762,8 @@ impl QueryProcessor {
                 let mut forced_deltas: Vec<Tuple> = Vec::new();
                 {
                     let source = Overlay { local: &instance.db, shared: &self.shared };
-                    for lrule in &program.rules {
-                        let rule: &Rule = &lrule.rule;
+                    for plan in &instance.compiled {
+                        let rule = plan.rule();
                         if rule.head.has_aggregate() {
                             // Aggregates are recomputed from the full local
                             // table whenever any of their inputs changed.
@@ -661,7 +772,7 @@ impl QueryProcessor {
                             if !touched {
                                 continue;
                             }
-                            if let Ok(raw) = evaluate_rule(rule, &self.builtins, &source, None) {
+                            if let Ok(raw) = plan.evaluate(&self.builtins, &source, None) {
                                 if let Ok(grouped) = apply_aggregate(&rule.head, &raw) {
                                     forced_deltas.extend(grouped.iter().cloned());
                                     derived.extend(grouped);
@@ -669,14 +780,13 @@ impl QueryProcessor {
                             }
                             continue;
                         }
-                        let positives = rule.positive_atoms();
-                        for (i, atom) in positives.iter().enumerate() {
+                        for (i, atom) in plan.positive_atoms().iter().enumerate() {
                             let Some(delta) = deltas.get(&atom.relation) else { continue };
                             if delta.is_empty() {
                                 continue;
                             }
                             if let Ok(tuples) =
-                                evaluate_rule(rule, &self.builtins, &source, Some((i, delta)))
+                                plan.evaluate(&self.builtins, &source, Some((i, delta)))
                             {
                                 derived.extend(tuples);
                             }

@@ -1,23 +1,121 @@
-//! In-memory tuple storage.
+//! In-memory tuple storage with incremental secondary indexes.
 //!
 //! A [`Database`] holds one [`Table`] per relation. Tables support set
 //! insertion (for fixpoint evaluation) and keyed upserts (for the
 //! incremental base-table updates of paper §8: "these updates result in the
 //! addition of tuples into base tables, or the replacement of existing base
 //! tuples that have the same unique key").
+//!
+//! # Storage layout
+//!
+//! Tuples live in an append-only slab (`Vec<Option<Tuple>>`); the slot
+//! position is the tuple's [`TupleId`]. Secondary indexes (declared per
+//! field with [`Table::declare_index`], normally driven by the probe fields
+//! a rule plan chooses) map a field value to the ids of the tuples carrying
+//! it. Removals blank the slot and leave index postings behind as
+//! tombstones — a probe skips blanked slots for free, and the table compacts
+//! (rebuilding slab and indexes) once dead slots outnumber live ones, so
+//! maintenance is amortized O(1) per update.
+//!
+//! Readers never materialize: [`Table::scan`] and [`Table::probe`] return a
+//! borrowing [`Scan`] cursor over the slab, which is also what the rule
+//! evaluator's join loop consumes (see `RelationSource` in `eval`).
 
-use dr_types::{Tuple, TupleKey, Value};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use dr_types::{Tuple, TupleId, TupleKey, Value};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-/// One relation's stored tuples plus its upsert key.
+/// A borrowing cursor over stored tuples: the zero-copy replacement for the
+/// old `scan(&self) -> Vec<Tuple>` API. Yields `&Tuple` without cloning.
+///
+/// The variants cover every way tuples are sourced during evaluation: whole
+/// tables, index probes, semi-naïve delta slices, and chained overlays of
+/// two stores (`Scan::chain`).
+#[derive(Debug)]
+pub enum Scan<'a> {
+    /// No tuples.
+    Empty,
+    /// A slice of tuples (semi-naïve deltas).
+    Slice(std::slice::Iter<'a, Tuple>),
+    /// Every live slot of a table's slab.
+    Slots(std::slice::Iter<'a, Option<Tuple>>),
+    /// Index-probe hits: posting ids resolved against the slab (blanked
+    /// slots are tombstoned postings and are skipped).
+    Probe {
+        /// The owning table's slab.
+        slots: &'a [Option<Tuple>],
+        /// Posting list of the probed value.
+        ids: std::slice::Iter<'a, TupleId>,
+    },
+    /// Hits of a transient index over a tuple slice (the evaluator builds
+    /// one per call over semi-naïve delta sets).
+    Hits {
+        /// The indexed slice.
+        tuples: &'a [Tuple],
+        /// Positions of the matching tuples within the slice.
+        ids: std::slice::Iter<'a, usize>,
+    },
+    /// Two cursors chained back to back (local ∪ shared overlays).
+    Chain(Box<Scan<'a>>, Box<Scan<'a>>),
+}
+
+impl<'a> Scan<'a> {
+    /// Chain `self` with `other`, yielding all of `self` first.
+    pub fn chain(self, other: Scan<'a>) -> Scan<'a> {
+        match (self, other) {
+            (Scan::Empty, s) | (s, Scan::Empty) => s,
+            (a, b) => Scan::Chain(Box::new(a), Box::new(b)),
+        }
+    }
+}
+
+impl<'a> Iterator for Scan<'a> {
+    type Item = &'a Tuple;
+
+    fn next(&mut self) -> Option<&'a Tuple> {
+        match self {
+            Scan::Empty => None,
+            Scan::Slice(it) => it.next(),
+            Scan::Slots(it) => {
+                for slot in it {
+                    if let Some(t) = slot.as_ref() {
+                        return Some(t);
+                    }
+                }
+                None
+            }
+            Scan::Probe { slots, ids } => {
+                for id in ids {
+                    if let Some(t) = slots[id.index()].as_ref() {
+                        return Some(t);
+                    }
+                }
+                None
+            }
+            Scan::Hits { tuples, ids } => ids.next().map(|&i| &tuples[i]),
+            Scan::Chain(a, b) => a.next().or_else(|| b.next()),
+        }
+    }
+}
+
+/// One relation's stored tuples plus its upsert key and secondary indexes.
 #[derive(Debug, Clone, Default)]
 pub struct Table {
     /// Key field positions used for upserts; empty = set semantics.
     key_fields: Vec<usize>,
-    /// All live tuples.
-    tuples: HashSet<Tuple>,
-    /// Key → current tuple, maintained only when `key_fields` is non-empty.
-    by_key: HashMap<TupleKey, Tuple>,
+    /// Slab of tuples; the slot index is the tuple's [`TupleId`]. Slots are
+    /// blanked on removal and only reused after compaction, so index
+    /// postings never dangle onto a different tuple.
+    slots: Vec<Option<Tuple>>,
+    /// Exact-tuple lookup (contains / dedup / removal).
+    ids: HashMap<Tuple, TupleId>,
+    /// Key → current tuple id, maintained only when `key_fields` is
+    /// non-empty.
+    by_key: HashMap<TupleKey, TupleId>,
+    /// Declared secondary indexes: field position → value → posting ids.
+    /// Postings are append-only between compactions (removals tombstone).
+    indexes: BTreeMap<usize, HashMap<Value, Vec<TupleId>>>,
+    /// Number of blanked slots since the last compaction.
+    dead: usize,
 }
 
 impl Table {
@@ -28,29 +126,83 @@ impl Table {
 
     /// Number of stored tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.ids.len()
     }
 
     /// True when the table holds no tuples.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.ids.is_empty()
     }
 
     /// True when the exact tuple is present.
     pub fn contains(&self, t: &Tuple) -> bool {
-        self.tuples.contains(t)
+        self.ids.contains_key(t)
     }
 
     /// Iterate over all tuples (unspecified order).
     pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
-        self.tuples.iter()
+        self.slots.iter().filter_map(Option::as_ref)
     }
 
     /// All tuples, sorted (deterministic order for output / tests).
     pub fn sorted(&self) -> Vec<Tuple> {
-        let mut v: Vec<Tuple> = self.tuples.iter().cloned().collect();
+        let mut v: Vec<Tuple> = self.iter().cloned().collect();
         v.sort();
         v
+    }
+
+    /// Borrowing cursor over every stored tuple.
+    pub fn scan(&self) -> Scan<'_> {
+        Scan::Slots(self.slots.iter())
+    }
+
+    /// The tuple currently stored under `key`, if any (keyed tables only).
+    pub fn get_by_key(&self, key: &TupleKey) -> Option<&Tuple> {
+        self.by_key.get(key).and_then(|id| self.slots[id.index()].as_ref())
+    }
+
+    /// The field positions declared for upserts.
+    pub fn key_fields(&self) -> &[usize] {
+        &self.key_fields
+    }
+
+    /// Declare (and immediately build) a secondary index on `field`. A
+    /// no-op when the index already exists. Probes on undeclared fields
+    /// fall back to a full scan.
+    pub fn declare_index(&mut self, field: usize) {
+        if self.indexes.contains_key(&field) {
+            return;
+        }
+        let mut index: HashMap<Value, Vec<TupleId>> = HashMap::new();
+        for (i, slot) in self.slots.iter().enumerate() {
+            if let Some(t) = slot {
+                if let Some(v) = t.field(field) {
+                    index.entry(v.clone()).or_default().push(TupleId::new(i));
+                }
+            }
+        }
+        self.indexes.insert(field, index);
+    }
+
+    /// The field positions that currently have a secondary index.
+    pub fn indexed_fields(&self) -> Vec<usize> {
+        self.indexes.keys().copied().collect()
+    }
+
+    /// Borrowing cursor over the tuples whose `field` equals `value`.
+    ///
+    /// Served from the secondary index when one is declared on `field`;
+    /// otherwise falls back to a full scan (the contract is "at least the
+    /// matching tuples" — join loops re-check the probe field on match, so
+    /// over-approximation is safe).
+    pub fn probe(&self, field: usize, value: &Value) -> Scan<'_> {
+        match self.indexes.get(&field) {
+            Some(index) => match index.get(value) {
+                Some(ids) => Scan::Probe { slots: &self.slots, ids: ids.iter() },
+                None => Scan::Empty,
+            },
+            None => self.scan(),
+        }
     }
 
     /// Insert a tuple.
@@ -60,46 +212,97 @@ impl Table {
     /// the result reports both what was removed and whether anything new
     /// appeared, so callers can propagate deltas.
     pub fn insert(&mut self, t: Tuple) -> InsertOutcome {
-        if self.key_fields.is_empty() {
-            let added = self.tuples.insert(t);
-            return InsertOutcome { added, replaced: None };
+        if self.ids.contains_key(&t) {
+            return InsertOutcome { added: false, replaced: None };
         }
-        let key = t.key(&self.key_fields);
-        match self.by_key.get(&key) {
-            Some(existing) if *existing == t => InsertOutcome { added: false, replaced: None },
-            Some(existing) => {
-                let old = existing.clone();
-                self.tuples.remove(&old);
-                self.tuples.insert(t.clone());
-                self.by_key.insert(key, t);
-                InsertOutcome { added: true, replaced: Some(old) }
+        let replaced = if self.key_fields.is_empty() {
+            None
+        } else {
+            let key = t.key(&self.key_fields);
+            match self.by_key.get(&key).copied() {
+                Some(old_id) => {
+                    let old = self.blank_slot(old_id);
+                    self.ids.remove(&old);
+                    Some(old)
+                }
+                None => None,
             }
-            None => {
-                self.tuples.insert(t.clone());
-                self.by_key.insert(key, t);
-                InsertOutcome { added: true, replaced: None }
+        };
+        let id = TupleId::new(self.slots.len());
+        for (&field, index) in self.indexes.iter_mut() {
+            if let Some(v) = t.field(field) {
+                index.entry(v.clone()).or_default().push(id);
             }
         }
+        if !self.key_fields.is_empty() {
+            self.by_key.insert(t.key(&self.key_fields), id);
+        }
+        self.ids.insert(t.clone(), id);
+        self.slots.push(Some(t));
+        self.maybe_compact();
+        InsertOutcome { added: true, replaced }
     }
 
     /// Remove a tuple exactly. Returns true when it was present.
     pub fn remove(&mut self, t: &Tuple) -> bool {
-        let removed = self.tuples.remove(t);
-        if removed && !self.key_fields.is_empty() {
+        let Some(id) = self.ids.remove(t) else { return false };
+        self.blank_slot(id);
+        if !self.key_fields.is_empty() {
             self.by_key.remove(&t.key(&self.key_fields));
         }
-        removed
+        self.maybe_compact();
+        true
     }
 
-    /// Remove every tuple.
+    /// Remove every tuple (declared key and indexes survive, emptied).
     pub fn clear(&mut self) {
-        self.tuples.clear();
+        self.slots.clear();
+        self.ids.clear();
         self.by_key.clear();
+        self.dead = 0;
+        for index in self.indexes.values_mut() {
+            index.clear();
+        }
     }
 
     /// Tuples whose field `field` equals `value`.
     pub fn select_eq(&self, field: usize, value: &Value) -> Vec<Tuple> {
-        self.tuples.iter().filter(|t| t.field(field) == Some(value)).cloned().collect()
+        self.probe(field, value).filter(|t| t.field(field) == Some(value)).cloned().collect()
+    }
+
+    /// Blank slot `id`, returning the tuple it held. Panics when the slot is
+    /// already empty (internal invariant: callers hold a live id).
+    fn blank_slot(&mut self, id: TupleId) -> Tuple {
+        self.dead += 1;
+        self.slots[id.index()].take().expect("live tuple id points at an occupied slot")
+    }
+
+    /// Rebuild slab, lookups, and indexes once tombstones dominate. The
+    /// threshold keeps compaction amortized O(1) per removal.
+    fn maybe_compact(&mut self) {
+        if self.dead <= 16 || self.dead <= self.ids.len() {
+            return;
+        }
+        let live: Vec<Tuple> = self.slots.drain(..).flatten().collect();
+        self.ids.clear();
+        self.by_key.clear();
+        for index in self.indexes.values_mut() {
+            index.clear();
+        }
+        self.dead = 0;
+        for (i, t) in live.iter().enumerate() {
+            let id = TupleId::new(i);
+            self.ids.insert(t.clone(), id);
+            if !self.key_fields.is_empty() {
+                self.by_key.insert(t.key(&self.key_fields), id);
+            }
+            for (&field, index) in self.indexes.iter_mut() {
+                if let Some(v) = t.field(field) {
+                    index.entry(v.clone()).or_default().push(id);
+                }
+            }
+        }
+        self.slots = live.into_iter().map(Some).collect();
     }
 }
 
@@ -116,6 +319,9 @@ pub struct InsertOutcome {
 #[derive(Debug, Clone, Default)]
 pub struct Database {
     tables: BTreeMap<String, Table>,
+    /// Indexes declared before their relation had a table (they are applied
+    /// when the table first appears).
+    pending_indexes: BTreeMap<String, BTreeSet<usize>>,
 }
 
 impl Database {
@@ -128,17 +334,37 @@ impl Database {
     /// Must be called before tuples of that relation are inserted if keyed
     /// semantics are wanted.
     pub fn declare_key(&mut self, relation: &str, key_fields: Vec<usize>) {
+        let pending = self.pending_indexes.get(relation).cloned().unwrap_or_default();
         let table = self.tables.entry(relation.to_string()).or_default();
         if table.is_empty() {
+            let indexed = table.indexed_fields();
             *table = Table::with_key(key_fields);
+            for f in indexed.into_iter().chain(pending) {
+                table.declare_index(f);
+            }
         } else {
-            // Rebuild under the new key.
+            // Rebuild under the new key, preserving declared indexes.
             let tuples: Vec<Tuple> = table.iter().cloned().collect();
             let mut new_table = Table::with_key(key_fields);
+            for f in table.indexed_fields().into_iter().chain(pending) {
+                new_table.declare_index(f);
+            }
             for t in tuples {
                 new_table.insert(t);
             }
             *table = new_table;
+        }
+    }
+
+    /// Declare a secondary index on `relation.field`. When the relation has
+    /// no table yet the declaration is remembered and applied as soon as
+    /// the table exists, so callers need not order declarations.
+    pub fn declare_index(&mut self, relation: &str, field: usize) {
+        match self.tables.get_mut(relation) {
+            Some(table) => table.declare_index(field),
+            None => {
+                self.pending_indexes.entry(relation.to_string()).or_default().insert(field);
+            }
         }
     }
 
@@ -150,7 +376,17 @@ impl Database {
     /// Insert a tuple into its relation's table (created on demand with set
     /// semantics).
     pub fn insert(&mut self, t: Tuple) -> InsertOutcome {
-        self.tables.entry(t.relation().to_string()).or_default().insert(t)
+        let relation = t.relation();
+        if !self.tables.contains_key(relation) {
+            let mut table = Table::default();
+            if let Some(fields) = self.pending_indexes.get(relation) {
+                for &f in fields {
+                    table.declare_index(f);
+                }
+            }
+            self.tables.insert(relation.to_string(), table);
+        }
+        self.tables.get_mut(relation).expect("just ensured").insert(t)
     }
 
     /// Remove an exact tuple. Returns true when it was present.
@@ -158,7 +394,19 @@ impl Database {
         self.tables.get_mut(t.relation()).map(|tb| tb.remove(t)).unwrap_or(false)
     }
 
+    /// Borrowing cursor over all tuples of `relation`.
+    pub fn scan(&self, relation: &str) -> Scan<'_> {
+        self.tables.get(relation).map(Table::scan).unwrap_or(Scan::Empty)
+    }
+
+    /// Borrowing cursor over the tuples of `relation` whose `field` equals
+    /// `value` (index-served when declared; see [`Table::probe`]).
+    pub fn probe(&self, relation: &str, field: usize, value: &Value) -> Scan<'_> {
+        self.tables.get(relation).map(|t| t.probe(field, value)).unwrap_or(Scan::Empty)
+    }
+
     /// All tuples of a relation (empty if the relation has no table).
+    /// Materializes; hot paths should prefer [`Database::scan`].
     pub fn tuples(&self, relation: &str) -> Vec<Tuple> {
         self.tables.get(relation).map(|t| t.iter().cloned().collect()).unwrap_or_default()
     }
@@ -166,6 +414,12 @@ impl Database {
     /// All tuples of a relation in sorted order.
     pub fn sorted_tuples(&self, relation: &str) -> Vec<Tuple> {
         self.tables.get(relation).map(|t| t.sorted()).unwrap_or_default()
+    }
+
+    /// The tuple of `relation` stored under `key`, if any (keyed relations
+    /// only).
+    pub fn get_by_key(&self, relation: &str, key: &TupleKey) -> Option<&Tuple> {
+        self.tables.get(relation).and_then(|t| t.get_by_key(key))
     }
 
     /// Number of tuples stored in `relation`.
@@ -183,7 +437,8 @@ impl Database {
         self.tables.get(t.relation()).map(|tb| tb.contains(t)).unwrap_or(false)
     }
 
-    /// Drop every tuple of a relation (the table and its key survive).
+    /// Drop every tuple of a relation (the table, its key, and its indexes
+    /// survive).
     pub fn clear_relation(&mut self, relation: &str) {
         if let Some(t) = self.tables.get_mut(relation) {
             t.clear();
@@ -297,5 +552,94 @@ mod tests {
         db.insert(Tuple::new("path", vec![Value::Int(1)]));
         let rels: Vec<&str> = db.relations().collect();
         assert_eq!(rels, vec!["link", "path"]);
+    }
+
+    #[test]
+    fn probe_uses_declared_index() {
+        let mut db = Database::new();
+        db.declare_index("link", 0);
+        db.insert(link(1, 2, 3.0));
+        db.insert(link(1, 3, 4.0));
+        db.insert(link(2, 3, 5.0));
+        let hits: Vec<&Tuple> = db.probe("link", 0, &Value::Node(NodeId::new(1))).collect();
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|t| t.node_at(0) == Some(NodeId::new(1))));
+        // Probe on an un-indexed field over-approximates (full scan).
+        assert_eq!(db.probe("link", 1, &Value::Node(NodeId::new(3))).count(), 3);
+        // Unknown value on an indexed field is empty, as is an unknown
+        // relation.
+        assert_eq!(db.probe("link", 0, &Value::Node(NodeId::new(9))).count(), 0);
+        assert_eq!(db.probe("nosuch", 0, &Value::Int(0)).count(), 0);
+    }
+
+    #[test]
+    fn index_declared_before_table_exists_applies_on_first_insert() {
+        let mut db = Database::new();
+        db.declare_index("link", 1);
+        db.insert(link(1, 3, 1.0));
+        db.insert(link(2, 3, 1.0));
+        db.insert(link(2, 4, 1.0));
+        assert_eq!(db.table("link").unwrap().indexed_fields(), vec![1]);
+        let hits: Vec<&Tuple> = db.probe("link", 1, &Value::Node(NodeId::new(3))).collect();
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn index_survives_upserts_and_removals() {
+        let mut db = Database::new();
+        db.declare_key("link", vec![0, 1]);
+        db.declare_index("link", 0);
+        db.insert(link(1, 2, 3.0));
+        db.insert(link(1, 3, 4.0));
+        // Upsert replaces — the index must stop reporting the old tuple.
+        db.insert(link(1, 2, 9.0));
+        let hits: Vec<&Tuple> = db.probe("link", 0, &Value::Node(NodeId::new(1))).collect();
+        assert_eq!(hits.len(), 2);
+        assert!(hits.contains(&&link(1, 2, 9.0)));
+        assert!(!hits.contains(&&link(1, 2, 3.0)));
+        db.remove(&link(1, 3, 4.0));
+        assert_eq!(db.probe("link", 0, &Value::Node(NodeId::new(1))).count(), 1);
+    }
+
+    #[test]
+    fn compaction_preserves_contents_and_indexes() {
+        let mut db = Database::new();
+        db.declare_key("pair", vec![0]);
+        db.declare_index("pair", 1);
+        // Churn one key hard enough to trigger compaction several times.
+        for i in 0..200i64 {
+            db.insert(Tuple::new("pair", vec![Value::Int(7), Value::Int(i % 3)]));
+        }
+        assert_eq!(db.count("pair"), 1);
+        let last = Tuple::new("pair", vec![Value::Int(7), Value::Int(199 % 3)]);
+        assert!(db.contains(&last));
+        let hits: Vec<&Tuple> = db.probe("pair", 1, &Value::Int(199 % 3)).collect();
+        assert_eq!(hits, vec![&last]);
+        // The slab actually shrank (compaction ran).
+        assert!(db.table("pair").unwrap().slots.len() < 100);
+    }
+
+    #[test]
+    fn scan_chain_concatenates() {
+        let mut a = Database::new();
+        let mut b = Database::new();
+        a.insert(link(1, 2, 1.0));
+        b.insert(link(3, 4, 1.0));
+        let chained: Vec<&Tuple> = a.scan("link").chain(b.scan("link")).collect();
+        assert_eq!(chained.len(), 2);
+        assert_eq!(a.scan("nosuch").chain(b.scan("link")).count(), 1);
+    }
+
+    #[test]
+    fn get_by_key_returns_current_tuple() {
+        let mut db = Database::new();
+        db.declare_key("link", vec![0, 1]);
+        db.insert(link(1, 2, 3.0));
+        let key = link(1, 2, 99.0).key(&[0, 1]);
+        assert_eq!(db.get_by_key("link", &key), Some(&link(1, 2, 3.0)));
+        db.insert(link(1, 2, 9.0));
+        assert_eq!(db.get_by_key("link", &key), Some(&link(1, 2, 9.0)));
+        db.remove(&link(1, 2, 9.0));
+        assert_eq!(db.get_by_key("link", &key), None);
     }
 }

@@ -3,10 +3,15 @@
 //! Two layers live here:
 //!
 //! * [`RuleEval`] evaluates a *single* rule against any [`RelationSource`]
-//!   (nested-loop join with hash-index acceleration, eager constraint
-//!   application, wildcard negation). The distributed processor in `dr-core`
-//!   reuses this layer directly: each network node evaluates its localized
-//!   rules against its local tables.
+//!   (index-probing nested-loop join, eager constraint application,
+//!   wildcard negation). A `RuleEval` is a *compiled plan*: it is built
+//!   once per rule — choosing, for every body atom, the probe field whose
+//!   stored secondary index the join will hit — and reused across calls,
+//!   so per-call work is only the join itself: no re-gathering of
+//!   candidate tuples, no per-call hash building, no cloning of relation
+//!   contents. The distributed processor in `dr-core` reuses this layer
+//!   directly: each network node evaluates its localized rules against its
+//!   local tables through the same plans.
 //! * [`Evaluator`] runs a whole program to fixpoint on a [`Database`] using
 //!   stratified semi-naïve evaluation (paper §3.3's "semi-naïve fixpoint
 //!   evaluation"), with optional naïve mode (for the ablation benchmark) and
@@ -15,7 +20,7 @@
 use crate::ast::{AggFunc, Atom, Expr, Head, HeadTerm, Literal, Program, Rule, Term};
 use crate::builtins::Builtins;
 use crate::catalog::Catalog;
-use crate::database::Database;
+use crate::database::{Database, Scan};
 use crate::rewrite::{aggregate_selections, AggSelection};
 use crate::stratify::{stratify, Stratification};
 use dr_types::{Error, Result, Tuple, Value};
@@ -120,17 +125,32 @@ fn unify_atom(atom: &Atom, tuple: &Tuple, bindings: &mut Bindings) -> bool {
 // Relation sources
 // ---------------------------------------------------------------------------
 
-/// Anything that can supply the current contents of a relation. The
-/// centralized [`Database`] implements it; so do the per-node table stores of
-/// the distributed processor.
+/// Anything that can supply the current contents of a relation *by
+/// reference*. The centralized [`Database`] implements it; so does the
+/// local ∪ shared overlay of the distributed processor (which chains two
+/// stores without materializing either).
 pub trait RelationSource {
-    /// All tuples currently stored for `relation`.
-    fn scan(&self, relation: &str) -> Vec<Tuple>;
+    /// Borrowing cursor over all tuples currently stored for `relation`.
+    fn scan(&self, relation: &str) -> Scan<'_>;
+
+    /// Borrowing cursor over (at least) the tuples of `relation` whose
+    /// `field` equals `value`. Implementations backed by a secondary index
+    /// return only the hits; the default falls back to a full scan — the
+    /// contract is over-approximation, since join loops re-check the probe
+    /// field when unifying.
+    fn probe(&self, relation: &str, field: usize, value: &Value) -> Scan<'_> {
+        let _ = (field, value);
+        self.scan(relation)
+    }
 }
 
 impl RelationSource for Database {
-    fn scan(&self, relation: &str) -> Vec<Tuple> {
-        self.tuples(relation)
+    fn scan(&self, relation: &str) -> Scan<'_> {
+        Database::scan(self, relation)
+    }
+
+    fn probe(&self, relation: &str, field: usize, value: &Value) -> Scan<'_> {
+        Database::probe(self, relation, field, value)
     }
 }
 
@@ -138,33 +158,110 @@ impl RelationSource for Database {
 // Single-rule evaluation
 // ---------------------------------------------------------------------------
 
-/// Evaluator for a single rule.
-#[derive(Debug, Clone, Copy)]
-pub struct RuleEval<'a> {
-    rule: &'a Rule,
-    builtins: &'a Builtins,
+/// Compiled evaluator for a single rule.
+///
+/// Construction analyses the rule once: positive atoms are split from
+/// constraints and negations, and every atom gets a *probe field* — the
+/// first argument that is a constant or a variable bound by earlier atoms —
+/// whose stored secondary index the join will hit at run time. Evaluation
+/// then borrows tuples straight out of the [`RelationSource`] through
+/// [`Scan`] cursors; nothing is gathered, re-hashed, or cloned per call.
+#[derive(Debug, Clone)]
+pub struct RuleEval {
+    rule: Rule,
+    /// Positive body atoms, in body order (delta positions refer to these).
+    positive: Vec<Atom>,
+    /// Non-atom body literals (assignments and comparisons), in body order.
+    constraints: Vec<Literal>,
+    /// Per positive atom: the field to probe the stored index with.
+    probes: Vec<Option<usize>>,
+    /// Negated body atoms, checked once all positive atoms are joined.
+    neg_atoms: Vec<Atom>,
+    /// Per negated atom: the field to probe with (constant or a variable
+    /// the positive part binds).
+    neg_probes: Vec<Option<usize>>,
 }
 
-/// One positive body atom with pre-gathered candidate tuples and an optional
-/// hash index on a field that is bound before this atom is joined.
-struct AtomPlan<'a> {
-    atom: &'a Atom,
-    tuples: Vec<Tuple>,
-    /// Field position to index on and the term that will provide the probe
-    /// value (a constant, or a variable bound by earlier atoms).
-    index_field: Option<usize>,
-    index: Option<HashMap<Value, Vec<usize>>>,
+/// Choose the probe field of `atom`: the first argument position holding a
+/// constant or a variable in `bound_vars`.
+fn choose_probe(atom: &Atom, bound_vars: &[&str]) -> Option<usize> {
+    for (pos, term) in atom.terms.iter().enumerate() {
+        match term {
+            Term::Const(_) => return Some(pos),
+            Term::Var(v) => {
+                if bound_vars.contains(&v.as_str()) {
+                    return Some(pos);
+                }
+            }
+        }
+    }
+    None
 }
 
-impl<'a> RuleEval<'a> {
-    /// Create an evaluator for `rule` with the given builtin library.
-    pub fn new(rule: &'a Rule, builtins: &'a Builtins) -> RuleEval<'a> {
-        RuleEval { rule, builtins }
+impl RuleEval {
+    /// Compile `rule` into a reusable evaluation plan.
+    pub fn new(rule: &Rule) -> RuleEval {
+        let positive: Vec<Atom> = rule.positive_atoms().into_iter().cloned().collect();
+        let constraints: Vec<Literal> = rule
+            .body
+            .iter()
+            .filter(|l| matches!(l, Literal::Assign { .. } | Literal::Compare { .. }))
+            .cloned()
+            .collect();
+        let neg_atoms: Vec<Atom> = rule
+            .body
+            .iter()
+            .filter_map(|l| match l {
+                Literal::NegAtom(a) => Some(a.clone()),
+                _ => None,
+            })
+            .collect();
+
+        // Probe fields for positive atoms: variables bound by *earlier*
+        // atoms qualify.
+        let mut probes = Vec::with_capacity(positive.len());
+        let mut bound_vars: Vec<&str> = Vec::new();
+        for atom in &positive {
+            probes.push(choose_probe(atom, &bound_vars));
+            for v in atom.variables() {
+                if !bound_vars.contains(&v) {
+                    bound_vars.push(v);
+                }
+            }
+        }
+        // Negations run after the whole positive part: anything the atoms
+        // or assignments bind qualifies as a probe variable.
+        for lit in &constraints {
+            if let Literal::Assign { var, .. } = lit {
+                if !bound_vars.contains(&var.as_str()) {
+                    bound_vars.push(var);
+                }
+            }
+        }
+        let neg_probes = neg_atoms.iter().map(|a| choose_probe(a, &bound_vars)).collect();
+
+        RuleEval { rule: rule.clone(), positive, constraints, probes, neg_atoms, neg_probes }
     }
 
     /// The rule being evaluated.
     pub fn rule(&self) -> &Rule {
-        self.rule
+        &self.rule
+    }
+
+    /// The positive body atoms, in delta-occurrence order.
+    pub fn positive_atoms(&self) -> &[Atom] {
+        &self.positive
+    }
+
+    /// The `(relation, field)` pairs this plan probes — the secondary
+    /// indexes a store should declare so every probe is index-served.
+    pub fn probe_fields(&self) -> Vec<(&str, usize)> {
+        self.positive
+            .iter()
+            .zip(&self.probes)
+            .chain(self.neg_atoms.iter().zip(&self.neg_probes))
+            .filter_map(|(atom, probe)| probe.map(|pos| (atom.relation.as_str(), pos)))
+            .collect()
     }
 
     /// Evaluate the rule against `source`.
@@ -179,64 +276,39 @@ impl<'a> RuleEval<'a> {
     /// [`apply_aggregate`] to group.
     pub fn evaluate<S: RelationSource>(
         &self,
+        builtins: &Builtins,
         source: &S,
         delta: Option<(usize, &[Tuple])>,
     ) -> Result<Vec<Tuple>> {
-        let positive: Vec<&Atom> = self.rule.positive_atoms();
-        // Gather constraints (non-atom literals) in order.
-        let constraints: Vec<&Literal> =
-            self.rule.body.iter().filter(|l| !matches!(l, Literal::Atom(_))).collect();
-
-        // Build per-atom plans.
-        let mut plans: Vec<AtomPlan<'_>> = Vec::with_capacity(positive.len());
-        let mut bound_vars: Vec<&str> = Vec::new();
-        for (i, atom) in positive.iter().enumerate() {
-            let tuples = match delta {
-                Some((di, dt)) if di == i => dt.to_vec(),
-                _ => source.scan(&atom.relation),
-            };
-            // Pick an index field: first argument that is a constant or a
-            // variable bound by an earlier atom (and not rebound within this
-            // atom before that position — first occurrence is fine).
-            let mut index_field = None;
-            for (pos, term) in atom.terms.iter().enumerate() {
-                match term {
-                    Term::Const(_) => {
-                        index_field = Some(pos);
-                        break;
-                    }
-                    Term::Var(v) => {
-                        if bound_vars.contains(&v.as_str()) {
-                            index_field = Some(pos);
-                            break;
-                        }
-                    }
-                }
-            }
-            let index = index_field.map(|pos| {
-                let mut idx: HashMap<Value, Vec<usize>> = HashMap::new();
-                for (ti, t) in tuples.iter().enumerate() {
-                    if let Some(v) = t.field(pos) {
-                        idx.entry(v.clone()).or_default().push(ti);
-                    }
-                }
-                idx
-            });
-            for v in atom.variables() {
-                if !bound_vars.contains(&v) {
-                    bound_vars.push(v);
-                }
-            }
-            plans.push(AtomPlan { atom, tuples, index_field, index });
-        }
-
         let mut out = Vec::new();
         let mut bindings = Bindings::new();
-        let mut applied = vec![false; constraints.len()];
+        let mut applied = vec![false; self.constraints.len()];
+        // The delta slice has no stored index; when its atom has a probe
+        // field, hash it once per call so the join probes it in O(hits)
+        // instead of re-walking the slice per outer binding.
+        let delta_index: Option<HashMap<&Value, Vec<usize>>> = delta.and_then(|(di, dt)| {
+            let pos = self.probes.get(di).copied().flatten()?;
+            let mut idx: HashMap<&Value, Vec<usize>> = HashMap::new();
+            for (i, t) in dt.iter().enumerate() {
+                if let Some(v) = t.field(pos) {
+                    idx.entry(v).or_default().push(i);
+                }
+            }
+            Some(idx)
+        });
         // Constraints that are evaluable with no atoms at all (e.g. facts
         // with assigns) are applied up front.
-        if self.apply_ready_constraints(&constraints, &mut applied, &mut bindings)? {
-            self.join(&plans, 0, &constraints, &applied, &bindings, &mut out)?;
+        if self.apply_ready_constraints(builtins, &mut applied, &mut bindings)? {
+            self.join(
+                builtins,
+                source,
+                delta,
+                delta_index.as_ref(),
+                0,
+                &applied,
+                &bindings,
+                &mut out,
+            )?;
         }
         Ok(out)
     }
@@ -245,21 +317,21 @@ impl<'a> RuleEval<'a> {
     /// Returns false if a constraint evaluated to false (dead branch).
     fn apply_ready_constraints(
         &self,
-        constraints: &[&Literal],
+        builtins: &Builtins,
         applied: &mut [bool],
         bindings: &mut Bindings,
     ) -> Result<bool> {
         let mut progress = true;
         while progress {
             progress = false;
-            for (i, lit) in constraints.iter().enumerate() {
+            for (i, lit) in self.constraints.iter().enumerate() {
                 if applied[i] {
                     continue;
                 }
                 match lit {
                     Literal::Assign { var, expr } => {
                         if expr.variables().iter().all(|v| bindings.is_bound(v)) {
-                            let val = eval_expr(expr, bindings, self.builtins)?;
+                            let val = eval_expr(expr, bindings, builtins)?;
                             applied[i] = true;
                             progress = true;
                             if !bindings.bind(var, val) {
@@ -271,8 +343,8 @@ impl<'a> RuleEval<'a> {
                         let ready = lhs.variables().iter().all(|v| bindings.is_bound(v))
                             && rhs.variables().iter().all(|v| bindings.is_bound(v));
                         if ready {
-                            let l = eval_expr(lhs, bindings, self.builtins)?;
-                            let r = eval_expr(rhs, bindings, self.builtins)?;
+                            let l = eval_expr(lhs, bindings, builtins)?;
+                            let r = eval_expr(rhs, bindings, builtins)?;
                             applied[i] = true;
                             progress = true;
                             if !op.eval(&l, &r) {
@@ -280,99 +352,182 @@ impl<'a> RuleEval<'a> {
                             }
                         }
                     }
-                    // Negation is checked after all positive atoms are joined.
-                    Literal::NegAtom(_) => {}
-                    Literal::Atom(_) => unreachable!("atoms are not constraints"),
+                    other => unreachable!("{other} is not a constraint"),
                 }
             }
         }
         Ok(true)
     }
 
-    fn join<'p>(
+    #[allow(clippy::too_many_arguments)]
+    fn join<S: RelationSource>(
         &self,
-        plans: &'p [AtomPlan<'p>],
+        builtins: &Builtins,
+        source: &S,
+        delta: Option<(usize, &[Tuple])>,
+        delta_index: Option<&HashMap<&Value, Vec<usize>>>,
         depth: usize,
-        constraints: &[&Literal],
         applied: &[bool],
         bindings: &Bindings,
         out: &mut Vec<Tuple>,
     ) -> Result<()> {
-        if depth == plans.len() {
-            return self.finish(constraints, applied, bindings, out);
+        if depth == self.positive.len() {
+            return self.finish(builtins, source, applied, bindings, out);
         }
-        let plan = &plans[depth];
-        // Candidate tuple indices: via the hash index when the probe value is
-        // available, otherwise the full scan.
-        let candidates: Vec<usize> = match (plan.index_field, &plan.index) {
-            (Some(pos), Some(index)) => {
-                let probe = match &plan.atom.terms[pos] {
-                    Term::Const(c) => Some(c.clone()),
-                    Term::Var(v) => bindings.get(v).cloned(),
-                };
-                match probe {
-                    Some(v) => index.get(&v).cloned().unwrap_or_default(),
-                    None => (0..plan.tuples.len()).collect(),
-                }
-            }
-            _ => (0..plan.tuples.len()).collect(),
+        let atom = &self.positive[depth];
+        let probe_value = self.probes[depth].and_then(|pos| match &atom.terms[pos] {
+            Term::Const(c) => Some((pos, c)),
+            Term::Var(v) => bindings.get(v).map(|val| (pos, val)),
+        });
+        // Candidate tuples: the delta slice (through its per-call index
+        // when the probe value is bound) for the delta occurrence, a stored
+        // index probe otherwise, full scan as the fallback. All variants
+        // borrow — nothing is materialized.
+        let candidates: Scan<'_> = match delta {
+            Some((di, dt)) if di == depth => match (probe_value, delta_index) {
+                (Some((_, value)), Some(idx)) => match idx.get(value) {
+                    Some(ids) => Scan::Hits { tuples: dt, ids: ids.iter() },
+                    None => Scan::Empty,
+                },
+                _ => Scan::Slice(dt.iter()),
+            },
+            _ => match probe_value {
+                Some((pos, value)) => source.probe(&atom.relation, pos, value),
+                None => source.scan(&atom.relation),
+            },
         };
-        for ti in candidates {
-            let tuple = &plan.tuples[ti];
+        for tuple in candidates {
+            // Cheap pre-check before cloning the bindings: constants and
+            // already-bound variables must match.
+            if !atom_prematch(atom, tuple, bindings) {
+                continue;
+            }
             let mut next = bindings.clone();
-            if !unify_atom(plan.atom, tuple, &mut next) {
+            if !unify_atom(atom, tuple, &mut next) {
                 continue;
             }
             let mut next_applied = applied.to_vec();
-            if !self.apply_ready_constraints(constraints, &mut next_applied, &mut next)? {
+            if !self.apply_ready_constraints(builtins, &mut next_applied, &mut next)? {
                 continue;
             }
-            self.join(plans, depth + 1, constraints, &next_applied, &next, out)?;
+            self.join(builtins, source, delta, delta_index, depth + 1, &next_applied, &next, out)?;
         }
         Ok(())
     }
 
-    /// All positive atoms joined: apply remaining constraints + negation,
-    /// then emit the head tuple.
-    fn finish(
+    /// All positive atoms joined: apply remaining constraints, check
+    /// negations against the source, then emit the head tuple.
+    fn finish<S: RelationSource>(
         &self,
-        constraints: &[&Literal],
+        builtins: &Builtins,
+        source: &S,
         applied: &[bool],
         bindings: &Bindings,
         out: &mut Vec<Tuple>,
     ) -> Result<()> {
         let mut applied = applied.to_vec();
         let mut bindings = bindings.clone();
-        if !self.apply_ready_constraints(constraints, &mut applied, &mut bindings)? {
+        if !self.apply_ready_constraints(builtins, &mut applied, &mut bindings)? {
             return Ok(());
         }
-        // Any non-negation constraint left unapplied means some variable
-        // never got bound: the rule is unsafe.
-        for (i, lit) in constraints.iter().enumerate() {
-            if applied[i] {
-                continue;
+        // Any constraint left unapplied means some variable never got
+        // bound: the rule is unsafe.
+        for (i, lit) in self.constraints.iter().enumerate() {
+            if !applied[i] {
+                return Err(Error::eval(format!(
+                    "rule {}: constraint `{lit}` has unbound variables",
+                    self.rule.name.as_deref().unwrap_or("<unnamed>")
+                )));
             }
-            match lit {
-                Literal::NegAtom(_) => {
-                    return Err(Error::eval(
-                        "RuleEval::evaluate does not handle negation; use evaluate_rule",
-                    ))
+        }
+        for (atom, probe) in self.neg_atoms.iter().zip(&self.neg_probes) {
+            if negation_has_match(atom, *probe, &bindings, source) {
+                return Ok(());
+            }
+        }
+        out.push(head_tuple_from_bindings(&self.rule.head, &bindings, self.rule.name.as_deref())?);
+        Ok(())
+    }
+}
+
+/// Quick rejection test before bindings are cloned for a candidate tuple:
+/// every constant and every already-bound variable of `atom` must match the
+/// tuple. Unbound variables are ignored (they bind during full unification).
+fn atom_prematch(atom: &Atom, tuple: &Tuple, bindings: &Bindings) -> bool {
+    if atom.arity() != tuple.arity() {
+        return false;
+    }
+    for (term, value) in atom.terms.iter().zip(tuple.fields()) {
+        match term {
+            Term::Const(c) => {
+                if c != value {
+                    return false;
                 }
-                other => {
-                    return Err(Error::eval(format!(
-                        "rule {}: constraint `{other}` has unbound variables",
-                        self.rule.name.as_deref().unwrap_or("<unnamed>")
-                    )))
+            }
+            Term::Var(v) => {
+                if let Some(bound) = bindings.get(v) {
+                    if bound != value {
+                        return false;
+                    }
                 }
             }
         }
-        out.push(self.head_tuple(&bindings)?);
-        Ok(())
     }
+    true
+}
 
-    fn head_tuple(&self, bindings: &Bindings) -> Result<Tuple> {
-        head_tuple_from_bindings(&self.rule.head, bindings, self.rule.name.as_deref())
+/// Evaluate `rule` against `source` with optional semi-naïve `delta`,
+/// handling negated atoms by consulting `source`.
+///
+/// This compiles a throwaway [`RuleEval`] plan; callers on hot paths (the
+/// [`Evaluator`], the distributed processor) compile once and reuse.
+pub fn evaluate_rule<S: RelationSource>(
+    rule: &Rule,
+    builtins: &Builtins,
+    source: &S,
+    delta: Option<(usize, &[Tuple])>,
+) -> Result<Vec<Tuple>> {
+    RuleEval::new(rule).evaluate(builtins, source, delta)
+}
+
+fn negation_has_match<S: RelationSource>(
+    atom: &Atom,
+    probe: Option<usize>,
+    bindings: &Bindings,
+    source: &S,
+) -> bool {
+    let probe_value = probe.and_then(|pos| match &atom.terms[pos] {
+        Term::Const(c) => Some((pos, c)),
+        Term::Var(v) => bindings.get(v).map(|val| (pos, val)),
+    });
+    let candidates = match probe_value {
+        Some((pos, value)) => source.probe(&atom.relation, pos, value),
+        None => source.scan(&atom.relation),
+    };
+    'outer: for t in candidates {
+        if t.arity() != atom.arity() {
+            continue;
+        }
+        for (term, value) in atom.terms.iter().zip(t.fields()) {
+            match term {
+                Term::Const(c) => {
+                    if c != value {
+                        continue 'outer;
+                    }
+                }
+                Term::Var(v) => {
+                    if let Some(bound) = bindings.get(v) {
+                        if bound != value {
+                            continue 'outer;
+                        }
+                    }
+                    // unbound variable: wildcard
+                }
+            }
+        }
+        return true;
     }
+    false
 }
 
 /// Construct a head tuple from bindings; aggregate positions carry the raw
@@ -398,131 +553,6 @@ fn head_tuple_from_bindings(
         fields.push(value);
     }
     Ok(Tuple::new(&head.relation, fields))
-}
-
-// The negation check needs access to the relation source, which the
-// recursive join above does not carry. Rather than thread a generic
-// parameter through every helper, rule evaluation with negation is exposed
-// through this free function that captures the source.
-/// Evaluate `rule` against `source` with optional semi-naïve `delta`,
-/// handling negated atoms by consulting `source`.
-pub fn evaluate_rule<S: RelationSource>(
-    rule: &Rule,
-    builtins: &Builtins,
-    source: &S,
-    delta: Option<(usize, &[Tuple])>,
-) -> Result<Vec<Tuple>> {
-    // Split off negated atoms; evaluate the positive part with RuleEval
-    // internals, then filter.
-    let neg_atoms: Vec<&Atom> = rule
-        .body
-        .iter()
-        .filter_map(|l| match l {
-            Literal::NegAtom(a) => Some(a),
-            _ => None,
-        })
-        .collect();
-
-    if neg_atoms.is_empty() {
-        return RuleEval::new(rule, builtins).evaluate(source, delta);
-    }
-
-    // With negation: evaluate a copy of the rule without the negated
-    // literals but remember the bindings needed; simplest correct approach:
-    // evaluate positive-only rule that emits an extended head carrying every
-    // variable used by negated atoms, filter, then project.
-    let mut extended_head_vars: Vec<String> = Vec::new();
-    for a in &neg_atoms {
-        for v in a.variables() {
-            if !extended_head_vars.contains(&v.to_string()) {
-                extended_head_vars.push(v.to_string());
-            }
-        }
-    }
-    // Variables of negated atoms that never occur positively are wildcards;
-    // only keep those that can be bound.
-    let positive_vars: Vec<&str> = {
-        let mut vs = Vec::new();
-        for lit in &rule.body {
-            match lit {
-                Literal::Atom(a) => {
-                    for v in a.variables() {
-                        if !vs.contains(&v) {
-                            vs.push(v);
-                        }
-                    }
-                }
-                Literal::Assign { var, .. } if !vs.contains(&var.as_str()) => {
-                    vs.push(var.as_str());
-                }
-                _ => {}
-            }
-        }
-        vs
-    };
-    extended_head_vars.retain(|v| positive_vars.contains(&v.as_str()));
-
-    let mut ext_terms: Vec<HeadTerm> = rule.head.terms.clone();
-    let base_arity = ext_terms.len();
-    for v in &extended_head_vars {
-        ext_terms.push(HeadTerm::Plain(Term::Var(v.clone())));
-    }
-    let ext_rule = Rule {
-        name: rule.name.clone(),
-        head: Head {
-            relation: rule.head.relation.clone(),
-            terms: ext_terms,
-            location: rule.head.location,
-        },
-        body: rule.body.iter().filter(|l| !matches!(l, Literal::NegAtom(_))).cloned().collect(),
-    };
-    let raw = RuleEval::new(&ext_rule, builtins).evaluate(source, delta)?;
-
-    let mut out = Vec::new();
-    'tuples: for t in raw {
-        // Rebuild bindings of the extension variables.
-        let mut bindings = Bindings::new();
-        for (i, v) in extended_head_vars.iter().enumerate() {
-            if let Some(val) = t.field(base_arity + i) {
-                bindings.bind(v, val.clone());
-            }
-        }
-        for atom in &neg_atoms {
-            if negation_has_match(atom, &bindings, source) {
-                continue 'tuples;
-            }
-        }
-        out.push(Tuple::new(t.relation(), t.fields()[..base_arity].to_vec()));
-    }
-    Ok(out)
-}
-
-fn negation_has_match<S: RelationSource>(atom: &Atom, bindings: &Bindings, source: &S) -> bool {
-    let tuples = source.scan(&atom.relation);
-    'outer: for t in &tuples {
-        if t.arity() != atom.arity() {
-            continue;
-        }
-        for (term, value) in atom.terms.iter().zip(t.fields()) {
-            match term {
-                Term::Const(c) => {
-                    if c != value {
-                        continue 'outer;
-                    }
-                }
-                Term::Var(v) => {
-                    if let Some(bound) = bindings.get(v) {
-                        if bound != value {
-                            continue 'outer;
-                        }
-                    }
-                    // unbound variable: wildcard
-                }
-            }
-        }
-        return true;
-    }
-    false
 }
 
 /// Group raw head tuples of an aggregate rule and compute the aggregate.
@@ -637,6 +667,10 @@ pub struct Evaluator {
     builtins: Builtins,
     config: EvalConfig,
     agg_selections: Vec<AggSelection>,
+    /// One compiled plan per program rule (same indexing as
+    /// `program.rules`), built once at construction and reused by every
+    /// [`Evaluator::run`].
+    compiled: Vec<RuleEval>,
 }
 
 impl Evaluator {
@@ -651,6 +685,7 @@ impl Evaluator {
         let catalog = Catalog::from_program(&program)?;
         let stratification = stratify(&program)?;
         let agg_selections = aggregate_selections(&program);
+        let compiled = program.rules.iter().map(RuleEval::new).collect();
         Ok(Evaluator {
             program,
             catalog,
@@ -658,6 +693,7 @@ impl Evaluator {
             builtins: Builtins::standard(),
             config,
             agg_selections,
+            compiled,
         })
     }
 
@@ -687,6 +723,14 @@ impl Evaluator {
         for (rel, keys) in &self.program.key_pragmas {
             db.declare_key(rel, keys.clone());
         }
+        // Declare the secondary indexes the compiled plans will probe, so
+        // every join hits an incrementally-maintained index instead of
+        // re-hashing relation contents per rule firing.
+        for plan in &self.compiled {
+            for (rel, field) in plan.probe_fields() {
+                db.declare_index(rel, field);
+            }
+        }
 
         // Insert ground facts.
         for rule in &self.program.rules {
@@ -702,23 +746,23 @@ impl Evaluator {
         // Track best-so-far per aggregate-selection group.
         let mut best: HashMap<(String, Vec<Value>), Value> = HashMap::new();
 
-        for stratum_rules in &self.stratification.strata_rules.clone() {
-            let rules: Vec<&Rule> = stratum_rules
+        for stratum_rules in &self.stratification.strata_rules {
+            let rules: Vec<&RuleEval> = stratum_rules
                 .iter()
-                .map(|&i| &self.program.rules[i])
-                .filter(|r| !r.is_fact())
+                .map(|&i| &self.compiled[i])
+                .filter(|c| !c.rule().is_fact())
                 .collect();
             if rules.is_empty() {
                 continue;
             }
-            let (agg_rules, normal_rules): (Vec<&Rule>, Vec<&Rule>) =
-                rules.iter().partition(|r| r.head.has_aggregate());
+            let (agg_rules, normal_rules): (Vec<&RuleEval>, Vec<&RuleEval>) =
+                rules.iter().partition(|c| c.rule().head.has_aggregate());
 
             // Aggregate rules read only lower strata: evaluate once.
-            for rule in &agg_rules {
+            for plan in &agg_rules {
                 stats.rule_firings += 1;
-                let raw = evaluate_rule(rule, &self.builtins, db, None)?;
-                for t in apply_aggregate(&rule.head, &raw)? {
+                let raw = plan.evaluate(&self.builtins, db, None)?;
+                for t in apply_aggregate(&plan.rule().head, &raw)? {
                     if db.insert(t).added {
                         stats.tuples_derived += 1;
                     }
@@ -733,7 +777,7 @@ impl Evaluator {
 
     fn fixpoint(
         &self,
-        rules: &[&Rule],
+        rules: &[&RuleEval],
         db: &mut Database,
         best: &mut HashMap<(String, Vec<Value>), Value>,
         stats: &mut EvalStats,
@@ -742,13 +786,14 @@ impl Evaluator {
             return Ok(());
         }
         // Which relations are derived by this stratum (candidates for deltas).
-        let stratum_derived: Vec<&str> = rules.iter().map(|r| r.head.relation.as_str()).collect();
+        let stratum_derived: Vec<&str> =
+            rules.iter().map(|c| c.rule().head.relation.as_str()).collect();
 
         // Iteration 0: evaluate every rule in full.
         let mut delta: HashMap<String, Vec<Tuple>> = HashMap::new();
-        for rule in rules {
+        for plan in rules {
             stats.rule_firings += 1;
-            let derived = evaluate_rule(rule, &self.builtins, db, None)?;
+            let derived = plan.evaluate(&self.builtins, db, None)?;
             for t in derived {
                 self.try_insert(db, t, best, &mut delta, stats);
             }
@@ -768,11 +813,11 @@ impl Evaluator {
             stats.iterations += 1;
 
             let current_delta = std::mem::take(&mut delta);
-            for rule in rules {
+            for plan in rules {
                 if !self.config.semi_naive {
                     // Naïve mode: re-evaluate the whole rule.
                     stats.rule_firings += 1;
-                    let derived = evaluate_rule(rule, &self.builtins, db, None)?;
+                    let derived = plan.evaluate(&self.builtins, db, None)?;
                     for t in derived {
                         self.try_insert(db, t, best, &mut delta, stats);
                     }
@@ -780,8 +825,7 @@ impl Evaluator {
                 }
                 // Semi-naïve: one evaluation per positive occurrence of a
                 // relation that changed this round.
-                let positives = rule.positive_atoms();
-                for (i, atom) in positives.iter().enumerate() {
+                for (i, atom) in plan.positive_atoms().iter().enumerate() {
                     if !stratum_derived.contains(&atom.relation.as_str()) {
                         continue;
                     }
@@ -790,7 +834,7 @@ impl Evaluator {
                         continue;
                     }
                     stats.rule_firings += 1;
-                    let derived = evaluate_rule(rule, &self.builtins, db, Some((i, dt)))?;
+                    let derived = plan.evaluate(&self.builtins, db, Some((i, dt)))?;
                     for t in derived {
                         self.try_insert(db, t, best, &mut delta, stats);
                     }
@@ -819,15 +863,24 @@ impl Evaluator {
                     let map_key = (t.relation().to_string(), key);
                     match best.get(&map_key) {
                         Some(existing) => {
-                            let keep = match sel.func {
-                                AggFunc::Min => {
-                                    value.compare_numeric(existing) != std::cmp::Ordering::Greater
-                                }
-                                AggFunc::Max => {
-                                    value.compare_numeric(existing) != std::cmp::Ordering::Less
-                                }
-                                _ => true,
-                            };
+                            // ∞-cost derivations all tie; keeping every one
+                            // enumerates the whole path space during §8
+                            // poisoning. One ∞ tombstone per group carries
+                            // the same information, so further ties
+                            // collapse.
+                            let tie_at_infinity =
+                                value.is_infinite_cost() && existing.is_infinite_cost();
+                            let keep = !tie_at_infinity
+                                && match sel.func {
+                                    AggFunc::Min => {
+                                        value.compare_numeric(existing)
+                                            != std::cmp::Ordering::Greater
+                                    }
+                                    AggFunc::Max => {
+                                        value.compare_numeric(existing) != std::cmp::Ordering::Less
+                                    }
+                                    _ => true,
+                                };
                             if !keep {
                                 stats.tuples_pruned += 1;
                                 return;

@@ -24,6 +24,6 @@ pub mod view;
 pub use cost::Cost;
 pub use error::{Error, Result};
 pub use node::NodeId;
-pub use tuple::{Tuple, TupleKey};
+pub use tuple::{Tuple, TupleId, TupleKey};
 pub use value::{PathVector, Value};
 pub use view::{CostEntry, CostView, FromTuple, ReachEntry, RouteEntry, TreeEdge};

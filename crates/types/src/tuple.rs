@@ -94,6 +94,34 @@ impl fmt::Display for Tuple {
     }
 }
 
+/// A stable identifier of a stored tuple within one relation's storage.
+///
+/// Ids are handed out by the storage layer (`dr-datalog`'s `Table`) and are
+/// what its secondary indexes point at, so that an index probe never has to
+/// clone or re-hash the tuples it selects. An id stays valid until the
+/// owning table compacts (which rebuilds every index atomically); ids are
+/// never meaningful across tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TupleId(u32);
+
+impl TupleId {
+    /// Build an id from a storage slot index.
+    pub fn new(index: usize) -> TupleId {
+        TupleId(index as u32)
+    }
+
+    /// The storage slot index this id names.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
 /// The primary-key projection of a tuple, used to implement the paper's
 /// "replacement of existing base tuples that have the same unique key".
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]

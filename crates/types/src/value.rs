@@ -222,6 +222,14 @@ impl Value {
         }
     }
 
+    /// True when the value is an infinite cost — the ∞ tombstones of the
+    /// paper's §8 route-invalidation rules. Both pruning layers (the
+    /// centralized evaluator's aggregate selections and the distributed
+    /// processor's tombstone admission) share this predicate.
+    pub fn is_infinite_cost(&self) -> bool {
+        self.as_cost().map(|c| c.is_infinite()).unwrap_or(false)
+    }
+
     /// A short name for the value's type, used in error messages.
     pub fn type_name(&self) -> &'static str {
         match self {

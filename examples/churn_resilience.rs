@@ -12,16 +12,19 @@ use declarative_routing::netsim::{SimDuration, SimTime};
 use declarative_routing::protocols::best_path;
 use declarative_routing::types::NodeId;
 use declarative_routing::workloads::{ChurnSchedule, OverlayKind, OverlayParams};
+use std::time::Instant;
 
 fn main() {
-    // 16-node Sparse-Random overlay. The paper uses the 72-node Dense-UUNET
-    // overlay for its churn figures, but the current engine's incremental
-    // maintenance enumerates exponentially many infinite-cost tombstone
-    // paths when a well-connected node of a *dense* overlay fails (ROADMAP
-    // open item), so this demo stays on the sparse overlay where one
-    // fail/join cycle completes quickly.
+    // 16-node Dense-UUNET overlay — the dense configuration the paper's
+    // churn figures use (scaled down to demo size). Failing well-connected
+    // nodes of a dense overlay is exactly the case that used to blow up
+    // incremental maintenance (exponentially many ∞-cost tombstone paths)
+    // before the §8 tombstone pruning; it now completes in seconds, and the
+    // wall-clock guard at the bottom makes a regression fail loudly instead
+    // of hanging.
+    let wall = Instant::now();
     let params =
-        OverlayParams { nodes: 16, ..OverlayParams::planetlab(OverlayKind::SparseRandom, 9) };
+        OverlayParams { nodes: 16, ..OverlayParams::planetlab(OverlayKind::DenseUunet, 9) };
     let topology = params.generate();
     println!(
         "overlay: {} nodes, avg degree {:.1}, avg link RTT {:.0} ms",
@@ -80,8 +83,20 @@ fn main() {
     }
 
     let routes_after = handle.finite_results(&harness).expect("routes decode").len();
+    let stats = harness.processor_stats();
     println!(
-        "\nroutes recovered: {routes_after} of {routes_before}; total per-node overhead {:.0} KB",
-        harness.per_node_overhead_kb()
+        "\nroutes recovered: {routes_after} of {routes_before}; total per-node overhead {:.0} KB; \
+         ∞-tombstones collapsed: {}",
+        harness.per_node_overhead_kb(),
+        stats.tombstones_collapsed,
     );
+
+    // Regression guard: the pre-pruning engine ran this cycle for minutes
+    // (and tens of GB) before being killed. Fail loudly instead of hanging.
+    let elapsed = wall.elapsed();
+    assert!(
+        elapsed.as_secs() < 120,
+        "dense-overlay churn cycle took {elapsed:?}; ∞-tombstone pruning has regressed"
+    );
+    println!("wall clock: {elapsed:?} (guard: < 120 s)");
 }

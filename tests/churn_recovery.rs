@@ -1,0 +1,156 @@
+//! Churn-recovery regression tests for the §8 ∞-tombstone pruning.
+//!
+//! Before the pruning landed, failing a well-connected node of a dense
+//! overlay made incremental maintenance enumerate exponentially many
+//! infinite-cost tombstone paths (the PR 2 diagnosis: 16-node Dense-UUNET,
+//! >3 min and >19 GB RSS). These tests pin the fixed behavior:
+//!
+//! * the hub-failure repro completes in seconds under a strict
+//!   derived-tuple budget, and
+//! * the post-failure routing state matches a from-scratch recomputation
+//!   on the surviving topology (recovery converges to the right answer,
+//!   not just *an* answer).
+
+use declarative_routing::engine::harness::RoutingHarness;
+use declarative_routing::netsim::{LinkParams, SimTime, Topology};
+use declarative_routing::protocols::best_path;
+use declarative_routing::types::NodeId;
+use declarative_routing::workloads::{OverlayKind, OverlayParams};
+use proptest::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// The PR 2 repro overlay: 16-node Dense-UUNET, seed 9.
+fn repro_overlay() -> Topology {
+    OverlayParams { nodes: 16, ..OverlayParams::planetlab(OverlayKind::DenseUunet, 9) }.generate()
+}
+
+/// The best-connected node other than the issuing node 0 — failing it used
+/// to trigger the tombstone explosion.
+fn hub_of(topo: &Topology) -> NodeId {
+    topo.nodes()
+        .filter(|n| *n != NodeId::new(0))
+        .max_by_key(|&n| topo.degree(n))
+        .expect("overlay has nodes")
+}
+
+/// Finite best-path costs per (src, dst), read from each surviving node's
+/// own store, in integer milli-cost (exact for identical float sums).
+fn cost_map(
+    harness: &RoutingHarness,
+    handle: &declarative_routing::engine::harness::QueryHandle,
+    skip: Option<NodeId>,
+    num_nodes: usize,
+) -> BTreeMap<(NodeId, NodeId), u64> {
+    let mut out = BTreeMap::new();
+    for i in 0..num_nodes as u32 {
+        let node = NodeId::new(i);
+        if Some(node) == skip {
+            continue;
+        }
+        for route in handle.results_at(harness, node).expect("routes decode") {
+            if route.src != node || Some(route.dst) == skip || !route.cost.is_finite() {
+                continue;
+            }
+            out.insert((route.src, route.dst), (route.cost.value() * 1000.0).round() as u64);
+        }
+    }
+    out
+}
+
+#[test]
+fn hub_failure_on_dense_overlay_is_one_invalidation_wave() {
+    let wall = Instant::now();
+    let topo = repro_overlay();
+    let hub = hub_of(&topo);
+    let mut harness = RoutingHarness::new(topo);
+    let handle = harness.issue(best_path()).submit().expect("query localizes");
+
+    harness.run_until(SimTime::from_secs(120));
+    let converged = harness.processor_stats();
+    assert!(converged.tuples_derived > 0, "query never converged");
+
+    harness.sim_mut().schedule_node_fail(SimTime::from_secs(120), hub);
+    harness.run_until(SimTime::from_secs(240));
+
+    let after = harness.processor_stats();
+    let recovery_derived = after.tuples_derived - converged.tuples_derived;
+
+    // The explosion derived (effectively) unboundedly many ∞ paths; the
+    // invalidation wave must stay within a small multiple of the state
+    // built during initial convergence.
+    assert!(
+        recovery_derived < 2 * converged.tuples_derived,
+        "recovery derived {recovery_derived} tuples vs {} at convergence — \
+         tombstone pruning regressed",
+        converged.tuples_derived
+    );
+    assert!(
+        after.tombstones_collapsed > 0,
+        "hub failure on a dense overlay must exercise ∞-tombstone collapsing"
+    );
+    // Routes re-converge around the failed hub: node 0 still reaches every
+    // other surviving node.
+    let recovered = cost_map(&harness, &handle, Some(hub), 16);
+    let from_zero = recovered.keys().filter(|(s, _)| *s == NodeId::new(0)).count();
+    assert_eq!(from_zero, 14, "node 0 should reach all 14 surviving peers: {recovered:?}");
+    // Loudly fail on a wall-clock regression (the broken engine ran >3 min
+    // before being killed; the fixed one takes seconds even in debug).
+    assert!(
+        wall.elapsed().as_secs() < 120,
+        "hub-failure repro took {:?} — incremental maintenance regressed",
+        wall.elapsed()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Post-failure forwarding state with tombstone pruning matches a
+    /// from-scratch recomputation on the surviving topology.
+    #[test]
+    fn recovery_matches_from_scratch_recomputation(nodes in 10usize..13, seed in 0u64..500) {
+        let params = OverlayParams { nodes, ..OverlayParams::planetlab(OverlayKind::DenseUunet, seed) };
+        let topo = params.generate();
+        let victim = hub_of(&topo);
+
+        // Incremental: converge, fail the victim, re-converge.
+        let mut incremental = RoutingHarness::new(topo.clone());
+        let inc_handle = incremental.issue(best_path()).submit().expect("query localizes");
+        incremental.run_until(SimTime::from_secs(120));
+        incremental.sim_mut().schedule_node_fail(SimTime::from_secs(120), victim);
+        incremental.run_until(SimTime::from_secs(260));
+        let recovered = cost_map(&incremental, &inc_handle, Some(victim), nodes);
+
+        // Reference: the surviving topology (victim isolated), from scratch.
+        let mut surviving = Topology::new(nodes);
+        for (a, b, params) in topo.all_links() {
+            if a != victim && b != victim {
+                surviving.add_link(a, b, LinkParams { ..*params });
+            }
+        }
+        let mut scratch = RoutingHarness::new(surviving);
+        let ref_handle = scratch.issue(best_path()).submit().expect("query localizes");
+        scratch.run_until(SimTime::from_secs(120));
+        let reference = cost_map(&scratch, &ref_handle, Some(victim), nodes);
+
+        prop_assert!(!reference.is_empty(), "reference run computed no routes");
+        for (pair, ref_cost) in &reference {
+            match recovered.get(pair) {
+                Some(cost) => prop_assert_eq!(
+                    cost, ref_cost,
+                    "pair {:?}: incremental recovery found cost {} but from-scratch says {}",
+                    pair, cost, ref_cost
+                ),
+                None => prop_assert!(false, "pair {:?} lost during recovery", pair),
+            }
+        }
+        for pair in recovered.keys() {
+            prop_assert!(
+                reference.contains_key(pair),
+                "pair {:?} survives incrementally but is unreachable from scratch",
+                pair
+            );
+        }
+    }
+}

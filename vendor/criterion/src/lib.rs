@@ -8,13 +8,38 @@
 //! and the [`criterion_group!`]/[`criterion_main!`] macros — with a
 //! simple wall-clock measurement loop instead of criterion's statistical
 //! machinery. Results are printed as `bench: <name> ... <mean time>` lines.
+//!
+//! # Named baselines
+//!
+//! Real criterion's `--save-baseline` / `--baseline` flags are emulated
+//! through environment variables (cargo's `harness = false` bench targets
+//! receive unpredictable CLI args, so the environment is the reliable
+//! channel):
+//!
+//! * `DR_BENCH_SAVE_BASELINE=<path>` — after the run, append every mean to
+//!   `<path>` as tab-separated `label<TAB>nanoseconds` lines. Appending
+//!   (with last-occurrence-wins parsing) keeps a multi-target
+//!   `cargo bench` run from overwriting one bench binary's means with
+//!   another's; delete the file first for a clean rewrite.
+//! * `DR_BENCH_BASELINE=<path>` — after the run, load `<path>` and print a
+//!   mean-ratio comparison table (current mean ÷ baseline mean) for every
+//!   benchmark present in both.
+//! * `DR_BENCH_FAIL_RATIO=<float>` — with `DR_BENCH_BASELINE`, exit with a
+//!   non-zero status when any ratio exceeds the threshold (CI regression
+//!   gate; e.g. `5` fails on a >5x slowdown). Benchmarks missing on either
+//!   side (renamed label, stale baseline) also fail the gate — a silently
+//!   shrinking comparison would otherwise rot it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Display;
 use std::hint;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Means recorded during this process run, in execution order.
+static RESULTS: Mutex<Vec<(String, Duration)>> = Mutex::new(Vec::new());
 
 /// Prevent the compiler from optimising away a benchmarked value.
 pub fn black_box<T>(value: T) -> T {
@@ -152,6 +177,126 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
     let mut bencher = Bencher { samples, mean: Duration::ZERO };
     f(&mut bencher);
     println!("bench: {label:<60} {:>12.3?} (mean of {samples} samples)", bencher.mean);
+    RESULTS.lock().expect("results lock").push((label.to_string(), bencher.mean));
+}
+
+/// Parse a `label<TAB>nanoseconds` baseline file. A label appearing more
+/// than once keeps its *last* occurrence, so append-mode refreshes
+/// supersede older entries.
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out: Vec<(String, f64)> = Vec::new();
+    for line in text.lines() {
+        let Some((label, nanos)) = line.split_once('\t') else { continue };
+        let Ok(nanos) = nanos.trim().parse::<f64>() else { continue };
+        match out.iter_mut().find(|(l, _)| l == label) {
+            Some(entry) => entry.1 = nanos,
+            None => out.push((label.to_string(), nanos)),
+        }
+    }
+    out
+}
+
+/// Post-run baseline handling: save and/or compare the recorded means
+/// according to the `DR_BENCH_*` environment variables (see the crate
+/// docs). Called by [`criterion_main!`]; with `DR_BENCH_FAIL_RATIO` set, a
+/// regression beyond the threshold — or a benchmark missing from either
+/// side of the comparison — terminates the process with a non-zero status.
+pub fn finish_run() {
+    use std::io::Write;
+
+    let results = RESULTS.lock().expect("results lock");
+
+    if let Ok(path) = std::env::var("DR_BENCH_SAVE_BASELINE") {
+        let mut out = String::new();
+        for (label, mean) in results.iter() {
+            out.push_str(&format!("{label}\t{}\n", mean.as_nanos()));
+        }
+        // Append: a multi-target `cargo bench` run invokes one process per
+        // bench binary, and each must not clobber the previous one's means.
+        let written = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(out.as_bytes()));
+        match written {
+            Ok(()) => println!("baseline: saved {} means to {path}", results.len()),
+            Err(e) => {
+                eprintln!("baseline: failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let Ok(path) = std::env::var("DR_BENCH_BASELINE") else { return };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("baseline: failed to read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let baseline = parse_baseline(&text);
+    let fail_ratio: Option<f64> = std::env::var("DR_BENCH_FAIL_RATIO")
+        .ok()
+        .map(|s| s.parse().expect("DR_BENCH_FAIL_RATIO must be a number"));
+
+    println!("\nbaseline comparison vs {path} (ratio = current / baseline):");
+    let mut regressions = Vec::new();
+    let mut unmatched = Vec::new();
+    for (label, mean) in results.iter() {
+        let Some((_, base_nanos)) = baseline.iter().find(|(l, _)| l == label) else {
+            println!("  {label:<60} {:>12.3?}  (no baseline entry)", mean);
+            unmatched.push(label.clone());
+            continue;
+        };
+        let ratio = mean.as_nanos() as f64 / base_nanos.max(1.0);
+        let flag = match fail_ratio {
+            Some(limit) if ratio > limit => {
+                regressions.push((label.clone(), ratio));
+                "  REGRESSION"
+            }
+            _ => "",
+        };
+        println!(
+            "  {label:<60} {:>12.3?}  {ratio:>7.2}x vs {:.3?}{flag}",
+            mean,
+            Duration::from_nanos(*base_nanos as u64)
+        );
+    }
+    // Baseline entries no current benchmark produced (renamed or deleted
+    // benches) shrink the comparison without failing it; surface them.
+    for (label, _) in &baseline {
+        if !results.iter().any(|(l, _)| l == label) {
+            println!("  {label:<60}    (not run)  (baseline entry has no current result)");
+            unmatched.push(label.clone());
+        }
+    }
+    if let Some(limit) = fail_ratio {
+        if regressions.is_empty() && unmatched.is_empty() {
+            println!("baseline: all ratios within the {limit}x gate");
+        } else {
+            if !regressions.is_empty() {
+                eprintln!(
+                    "baseline: {} benchmark(s) regressed beyond {limit}x: {}",
+                    regressions.len(),
+                    regressions
+                        .iter()
+                        .map(|(l, r)| format!("{l} ({r:.2}x)"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+            }
+            if !unmatched.is_empty() {
+                eprintln!(
+                    "baseline: {} label(s) missing on one side of the comparison \
+                     (stale baseline or renamed bench — refresh {path}): {}",
+                    unmatched.len(),
+                    unmatched.join(", ")
+                );
+            }
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Collect benchmark functions into a runnable group function (stand-in for
@@ -168,12 +313,14 @@ macro_rules! criterion_group {
 
 /// Generate the bench `main` that runs each group (stand-in for
 /// `criterion::criterion_main!`). Ignores the `--bench`/filter arguments
-/// cargo passes to `harness = false` targets.
+/// cargo passes to `harness = false` targets. After all groups finish, the
+/// `DR_BENCH_*` baseline handling of [`finish_run`] runs.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::finish_run();
         }
     };
 }
@@ -197,6 +344,28 @@ mod tests {
             b.iter(|| black_box(n + 1));
         });
         group.finish();
+    }
+
+    #[test]
+    fn baseline_files_parse() {
+        let parsed = parse_baseline("a/b\t1200\nmalformed line\nc\t3.5\n");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0], ("a/b".to_string(), 1200.0));
+        assert_eq!(parsed[1], ("c".to_string(), 3.5));
+        assert!(parse_baseline("").is_empty());
+        // Append-mode refreshes: the last occurrence of a label wins.
+        let appended = parse_baseline("a\t100\nb\t200\na\t150\n");
+        assert_eq!(appended, vec![("a".to_string(), 150.0), ("b".to_string(), 200.0)]);
+    }
+
+    #[test]
+    fn results_are_recorded_for_baselines() {
+        let mut c = Criterion::default();
+        c.bench_function("recorded-bench", |b| {
+            b.iter(|| black_box(1 + 1));
+        });
+        let results = RESULTS.lock().expect("results lock");
+        assert!(results.iter().any(|(label, _)| label == "recorded-bench"));
     }
 
     #[test]
