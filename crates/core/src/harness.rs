@@ -36,43 +36,10 @@ use crate::query::{QueryId, QueryLibrary, QuerySpec};
 use dr_datalog::ast::Program;
 use dr_netsim::{SimConfig, SimDuration, SimTime, Simulator, Topology};
 use dr_types::view::{CostView, FromTuple};
-use dr_types::{Cost, NodeId, Result, RouteEntry, Tuple, Value};
+use dr_types::{NodeId, Result, RouteEntry, Tuple};
 use std::collections::BTreeMap;
 use std::marker::PhantomData;
 use std::sync::Arc;
-
-/// Options controlling how a query is issued.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the fluent issue builder: `harness.issue(program).from(node).at(t).submit()`"
-)]
-#[derive(Debug, Clone)]
-pub struct IssueOptions {
-    /// Relations replicated to every node (query constants such as
-    /// `magicSources` / `magicDsts`).
-    pub replicated: Vec<String>,
-    /// Enable aggregate selections (§7.1) for this query.
-    pub aggregate_selections: bool,
-    /// Enable multi-query sharing through `bestPathCache` (§7.3).
-    pub share_results: bool,
-    /// Facts installed together with the query.
-    pub facts: Vec<Tuple>,
-    /// Human-readable name.
-    pub name: String,
-}
-
-#[allow(deprecated)]
-impl Default for IssueOptions {
-    fn default() -> Self {
-        IssueOptions {
-            replicated: Vec::new(),
-            aggregate_selections: true,
-            share_results: false,
-            facts: Vec::new(),
-            name: "query".to_string(),
-        }
-    }
-}
 
 /// A sample of the global result-set state at one instant.
 #[derive(Debug, Clone, PartialEq)]
@@ -411,32 +378,6 @@ impl RoutingHarness {
         }
     }
 
-    /// Localize `program` and issue it as a query from `issuer` at time
-    /// `at`. Returns the query id.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use the fluent issue builder: `harness.issue(program).from(issuer).at(at).submit()`"
-    )]
-    #[allow(deprecated)]
-    pub fn issue_program(
-        &mut self,
-        issuer: NodeId,
-        at: SimTime,
-        program: &Program,
-        options: IssueOptions,
-    ) -> Result<QueryId> {
-        self.issue(program.clone())
-            .from(issuer)
-            .at(at)
-            .named(options.name)
-            .replicated(options.replicated)
-            .aggregate_selections(options.aggregate_selections)
-            .sharing(options.share_results)
-            .facts(options.facts)
-            .submit()
-            .map(|handle| handle.id())
-    }
-
     /// Run the simulation until `until` (events after that stay queued).
     pub fn run_until(&mut self, until: SimTime) {
         self.sim.run_until(until);
@@ -457,50 +398,6 @@ impl RoutingHarness {
         out
     }
 
-    /// Result tuples of `qid` stored at `node`.
-    #[deprecated(since = "0.2.0", note = "use `QueryHandle::results_at` (typed) instead")]
-    pub fn results_at(&self, node: NodeId, qid: QueryId) -> Vec<Tuple> {
-        self.sim.app(node).results(qid)
-    }
-
-    /// All result tuples of `qid` across every node.
-    #[deprecated(since = "0.2.0", note = "use `QueryHandle::results` (typed) instead")]
-    pub fn results(&self, qid: QueryId) -> Vec<Tuple> {
-        self.collect_results(qid)
-    }
-
-    /// Result tuples with finite cost (assumes the last field is the cost,
-    /// as in every 4-ary path-shaped result of the paper). A tuple without a
-    /// cost in its last field is *not* finite; the typed
-    /// [`QueryHandle::finite_results`] goes further and reports such tuples
-    /// as [`dr_types::Error::Decode`].
-    #[deprecated(since = "0.2.0", note = "use `QueryHandle::finite_results` (typed) instead")]
-    pub fn finite_results(&self, qid: QueryId) -> Vec<Tuple> {
-        self.collect_results(qid)
-            .into_iter()
-            .filter(|t| {
-                t.fields().last().and_then(Value::as_cost).map(|c| c.is_finite()).unwrap_or(false)
-            })
-            .collect()
-    }
-
-    /// The average cost over all finite result tuples of `qid` (the paper's
-    /// AvgPathRTT when link costs are RTTs).
-    #[deprecated(since = "0.2.0", note = "use `QueryHandle::average_cost` (typed) instead")]
-    #[allow(deprecated)]
-    pub fn average_result_cost(&self, qid: QueryId) -> f64 {
-        let results = self.finite_results(qid);
-        if results.is_empty() {
-            return 0.0;
-        }
-        let total: f64 = results
-            .iter()
-            .filter_map(|t| t.fields().last().and_then(Value::as_cost))
-            .map(Cost::value)
-            .sum();
-        total / results.len() as f64
-    }
-
     /// Per-node communication overhead in KB since the start of the run.
     pub fn per_node_overhead_kb(&self) -> f64 {
         self.sim.metrics().per_node_overhead_kb()
@@ -516,40 +413,6 @@ impl RoutingHarness {
             total.merge(app.stats());
         }
         total
-    }
-
-    /// The forwarding table `node` derived from query `qid`.
-    #[deprecated(since = "0.2.0", note = "use `QueryHandle::forwarding_table` instead")]
-    pub fn forwarding_table(&self, node: NodeId, qid: QueryId) -> BTreeMap<NodeId, NodeId> {
-        self.sim.app(node).forwarding_table(qid)
-    }
-
-    /// Run until `until`, sampling the result set of `qid` every `interval`
-    /// and reporting convergence.
-    #[deprecated(since = "0.2.0", note = "use `QueryHandle::run_and_sample` instead")]
-    #[allow(deprecated)]
-    pub fn run_and_sample(
-        &mut self,
-        qid: QueryId,
-        interval: SimDuration,
-        until: SimTime,
-    ) -> ConvergenceReport {
-        let mut samples = Vec::new();
-        let mut t = self.sim.now();
-        while t < until {
-            let next = t + interval;
-            self.sim.run_until(next);
-            t = next;
-            let finite = self.finite_results(qid);
-            let avg = self.average_result_cost(qid);
-            samples.push(Sample { time: t, results: finite.len(), avg_cost: avg });
-        }
-        let converged_at = converged_at(&samples);
-        ConvergenceReport {
-            samples,
-            converged_at,
-            per_node_overhead_kb: self.per_node_overhead_kb(),
-        }
     }
 }
 
@@ -580,7 +443,7 @@ mod tests {
     use super::*;
     use dr_datalog::parse_program;
     use dr_netsim::LinkParams;
-    use dr_types::CostEntry;
+    use dr_types::{Cost, CostEntry, Value};
 
     const BEST_PATH: &str = r#"
         #key(link, 0, 1).
@@ -906,50 +769,54 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_and_builder_produce_identical_results() {
-        // One release of back-compat: the issue_program shim must behave
-        // exactly like the builder on the paper's Figure 3 topology.
-        let program = parse_program(BEST_PATH).unwrap();
+    fn negated_atom_delta_recomputes_aggregate() {
+        // Regression: the per-batch aggregate trigger must fire when the
+        // only delta of the batch is on a *negated* body atom. The rule
+        // keeps, per (S, D), the cheapest candidate whose via-node is not
+        // suppressed; suppressing the current winner must promote the
+        // runner-up even though no positive atom changed.
+        let program = parse_program(
+            r#"
+            A1: best(@S,D,min<C>) :- cand(@S,D,Z,C), !suppressed(@S,Z).
+            Query: best(@S,D,C).
+            "#,
+        )
+        .unwrap();
+        let cand = |z: u32, c: f64| {
+            Tuple::new(
+                "cand",
+                vec![Value::Node(n(0)), Value::Node(n(1)), Value::Node(n(z)), Value::from(c)],
+            )
+        };
+        let mut harness = RoutingHarness::new(line_topology(2));
+        let handle = harness
+            .issue(program)
+            .from(n(0))
+            .facts(vec![cand(7, 2.0), cand(8, 5.0)])
+            .submit()
+            .unwrap();
+        harness.run_until(SimTime::from_secs(5));
+        let qid = handle.id();
+        let best = harness.sim().app(n(0)).tuples(qid, "best");
+        assert_eq!(best.len(), 1);
+        assert_eq!(best[0].field(2).and_then(Value::as_cost), Some(Cost::new(2.0)));
 
-        let mut old = RoutingHarness::new(figure3_topology());
-        let qid =
-            old.issue_program(n(0), SimTime::ZERO, &program, IssueOptions::default()).unwrap();
-        old.run_until(SimTime::from_secs(30));
-
-        let mut new = RoutingHarness::new(figure3_topology());
-        let handle = new.issue(program).from(n(0)).at(SimTime::ZERO).submit().unwrap();
-        new.run_until(SimTime::from_secs(30));
-
-        assert_eq!(qid, handle.id(), "both paths allocate the same query id");
-        // Equal-cost ties may break differently between runs (the evaluator
-        // iterates hash tables), so compare the deterministic part of the
-        // result set: the (src, dst, cost) triples.
-        let mut old_costs: Vec<(NodeId, NodeId, Cost)> = old
-            .finite_results(qid)
-            .iter()
-            .map(|t| RouteEntry::from_tuple(t).unwrap())
-            .map(|r| (r.src, r.dst, r.cost))
-            .collect();
-        let mut new_costs: Vec<(NodeId, NodeId, Cost)> = handle
-            .finite_results(&new)
-            .unwrap()
-            .into_iter()
-            .map(|r| (r.src, r.dst, r.cost))
-            .collect();
-        old_costs.sort();
-        new_costs.sort();
-        assert_eq!(old_costs.len(), 20);
-        assert_eq!(old_costs, new_costs);
-        assert_eq!(old.average_result_cost(qid), handle.average_cost(&new).unwrap());
-        for i in 0..5u32 {
-            // Forwarding tables cover the same destinations on both paths.
-            let old_fwd = old.forwarding_table(n(i), qid);
-            let new_fwd = handle.forwarding_table(&new, n(i));
-            let old_dsts: Vec<&NodeId> = old_fwd.keys().collect();
-            let new_dsts: Vec<&NodeId> = new_fwd.keys().collect();
-            assert_eq!(old_dsts, new_dsts);
-        }
+        // Suppress the winner's via-node: arrives as a delta on the negated
+        // relation only.
+        let suppress = Tuple::new("suppressed", vec![Value::Node(n(0)), Value::Node(n(7))]);
+        harness.sim_mut().inject(
+            SimTime::from_secs(5),
+            n(0),
+            NetMsg::Tuples { qid, items: vec![suppress] },
+        );
+        harness.run_until(SimTime::from_secs(10));
+        let best = harness.sim().app(n(0)).tuples(qid, "best");
+        assert_eq!(best.len(), 1, "aggregate output stays keyed per (S,D): {best:?}");
+        assert_eq!(
+            best[0].field(2).and_then(Value::as_cost),
+            Some(Cost::new(5.0)),
+            "suppressing the minimum's via-node must promote the runner-up"
+        );
     }
 
     #[test]

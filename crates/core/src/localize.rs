@@ -29,18 +29,21 @@
 use dr_datalog::ast::{Atom, Literal, Program, Rule, Term};
 use dr_datalog::catalog::Catalog;
 use dr_datalog::rewrite::{aggregate_selections, AggSelection};
-use dr_types::{Error, Result};
-use std::collections::BTreeSet;
+use dr_types::{Error, RelCatalog, RelId, Result};
+use std::collections::{BTreeSet, HashMap};
 
 /// A shipping requirement: copies of `source_relation` tuples must be sent
 /// to the node named by their `target_field` and stored there under
 /// `cache_relation` (the paper's `l'` cached tuples).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Relations are interned [`RelId`]s — the runtime consults ship specs once
+/// per stored tuple, so they must never carry heap strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShipSpec {
     /// Relation whose home-stored tuples are shipped.
-    pub source_relation: String,
-    /// Name of the cache table at the receiving node.
-    pub cache_relation: String,
+    pub source_relation: RelId,
+    /// Cache table at the receiving node.
+    pub cache_relation: RelId,
     /// Field of the shipped tuple that names the receiving node.
     pub target_field: usize,
 }
@@ -71,33 +74,41 @@ pub struct LocalizedProgram {
     /// Catalog of the original program (location fields, keys, base/derived),
     /// extended with entries for the cache relations.
     pub catalog: Catalog,
+    /// The query's symbol catalog: every relation the query can store or
+    /// ship, bound in a deterministic traversal order of the program, so
+    /// every node that localizes the same program derives identical
+    /// name↔id bindings (the `Install` message carries this binding).
+    pub rel_catalog: RelCatalog,
     /// Relations whose contents are replicated to every participating node.
-    pub replicated: BTreeSet<String>,
+    pub replicated: BTreeSet<RelId>,
     /// Aggregate-selection opportunities detected in the program (§7.1).
     pub agg_selections: Vec<AggSelection>,
     /// The query (result) relations named by `Query:` statements.
-    pub result_relations: Vec<String>,
+    pub result_relations: Vec<RelId>,
+    /// Ship specs grouped by source relation (runtime lookup table for
+    /// [`LocalizedProgram::ships_for`]).
+    ships_by_source: HashMap<RelId, Vec<ShipSpec>>,
 }
 
 impl LocalizedProgram {
     /// Relations that should be treated with keyed-upsert semantics, as
     /// `(relation, key fields)` pairs from the program's `#key` pragmas.
-    pub fn key_declarations(&self) -> Vec<(String, Vec<usize>)> {
+    pub fn key_declarations(&self) -> Vec<(RelId, Vec<usize>)> {
         self.catalog
             .relations()
             .filter(|info| !info.key_fields.is_empty())
-            .map(|info| (info.name.clone(), info.key_fields.clone()))
+            .map(|info| (info.id, info.key_fields.clone()))
             .collect()
     }
 
     /// The ship specs whose source is `relation`.
-    pub fn ships_for(&self, relation: &str) -> Vec<&ShipSpec> {
-        self.ships.iter().filter(|s| s.source_relation == relation).collect()
+    pub fn ships_for(&self, relation: RelId) -> &[ShipSpec] {
+        self.ships_by_source.get(&relation).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// True when `relation` is replicated to all nodes.
-    pub fn is_replicated(&self, relation: &str) -> bool {
-        self.replicated.contains(relation)
+    pub fn is_replicated(&self, relation: RelId) -> bool {
+        self.replicated.contains(&relation)
     }
 
     /// Estimated wire size of disseminating this query (rule count based;
@@ -112,7 +123,24 @@ impl LocalizedProgram {
 pub fn localize(program: &Program, replicated: &[&str]) -> Result<LocalizedProgram> {
     let mut catalog = Catalog::from_program(program)?;
     let agg_selections = aggregate_selections(program);
-    let replicated: BTreeSet<String> = replicated.iter().map(|s| s.to_string()).collect();
+    let replicated: BTreeSet<RelId> = replicated.iter().map(|s| RelId::intern(s)).collect();
+
+    // The per-query symbol catalog: bind every relation in a fixed traversal
+    // order (rule heads, then body atoms, rule by rule; then queries; cache
+    // relations are appended as localization mints them). Localizing the
+    // same program anywhere yields the identical bindings.
+    let mut rel_catalog = RelCatalog::new();
+    for rule in &program.rules {
+        rel_catalog.intern(&rule.head.relation);
+        for lit in &rule.body {
+            if let Literal::Atom(a) | Literal::NegAtom(a) = lit {
+                rel_catalog.intern(&a.relation);
+            }
+        }
+    }
+    for q in &program.queries {
+        rel_catalog.intern(&q.relation);
+    }
 
     let mut rules = Vec::new();
     let mut facts = Vec::new();
@@ -139,10 +167,10 @@ pub fn localize(program: &Program, replicated: &[&str]) -> Result<LocalizedProgr
         // Location variable of an atom, from its annotation or the catalog.
         fn atom_loc_var(
             atom: &Atom,
-            replicated: &BTreeSet<String>,
+            replicated: &BTreeSet<RelId>,
             catalog: &Catalog,
         ) -> Option<String> {
-            if replicated.contains(&atom.relation) {
+            if replicated.contains(&RelId::intern(&atom.relation)) {
                 return None;
             }
             let field = atom.location.unwrap_or_else(|| catalog.location_field(&atom.relation));
@@ -219,25 +247,26 @@ pub fn localize(program: &Program, replicated: &[&str]) -> Result<LocalizedProgr
                                     ))
                                 })?;
                             let cache_relation = format!("{}__to_{}", atom.relation, rule_label);
+                            let source_rel = RelId::intern(&atom.relation);
+                            let cache_rel = rel_catalog.intern(&cache_relation);
                             if !ships.iter().any(|s: &ShipSpec| {
-                                s.source_relation == atom.relation
-                                    && s.cache_relation == cache_relation
+                                s.source_relation == source_rel && s.cache_relation == cache_rel
                             }) {
                                 ships.push(ShipSpec {
-                                    source_relation: atom.relation.clone(),
-                                    cache_relation: cache_relation.clone(),
+                                    source_relation: source_rel,
+                                    cache_relation: cache_rel,
                                     target_field,
                                 });
                             }
                             let mut cached_atom = atom.clone();
-                            cached_atom.relation = cache_relation.clone();
+                            cached_atom.relation = cache_relation;
                             // The cache tuple is stored at the anchor node.
                             cached_atom.location = Some(target_field);
                             // Register the cache relation in the catalog with
                             // the same key as its source and the new location.
-                            let source_info = catalog.get(&atom.relation).cloned();
+                            let source_info = catalog.get(source_rel).cloned();
                             catalog.declare(dr_datalog::catalog::RelationInfo {
-                                name: cache_relation,
+                                id: cache_rel,
                                 arity: source_info.as_ref().and_then(|i| i.arity),
                                 location_field: target_field,
                                 key_fields: source_info.map(|i| i.key_fields).unwrap_or_default(),
@@ -272,16 +301,24 @@ pub fn localize(program: &Program, replicated: &[&str]) -> Result<LocalizedProgr
         });
     }
 
-    let result_relations = program.queries.iter().map(|q| q.relation.clone()).collect();
+    let result_relations: Vec<RelId> =
+        program.queries.iter().map(|q| RelId::intern(&q.relation)).collect();
+
+    let mut ships_by_source: HashMap<RelId, Vec<ShipSpec>> = HashMap::new();
+    for ship in &ships {
+        ships_by_source.entry(ship.source_relation).or_default().push(*ship);
+    }
 
     Ok(LocalizedProgram {
         rules,
         facts,
         ships,
         catalog,
+        rel_catalog,
         replicated,
         agg_selections,
         result_relations,
+        ships_by_source,
     })
 }
 
@@ -319,9 +356,9 @@ mod tests {
         assert_eq!(localized.rules.len(), 4);
         assert_eq!(localized.ships.len(), 1);
         let ship = &localized.ships[0];
-        assert_eq!(ship.source_relation, "link");
+        assert_eq!(ship.source_relation.name(), "link");
         assert_eq!(ship.target_field, 1, "links ship to their destination field");
-        assert_eq!(ship.cache_relation, "link__to_NR2");
+        assert_eq!(ship.cache_relation.name(), "link__to_NR2");
 
         // NR2's body now reads the cache relation and is anchored at Z.
         let nr2 = localized.rules.iter().find(|r| r.rule.name.as_deref() == Some("NR2")).unwrap();
@@ -335,12 +372,16 @@ mod tests {
         assert_eq!(nr1.rule.body[0].as_atom().unwrap().relation, "link");
 
         // Result relation captured from the Query statement.
-        assert_eq!(localized.result_relations, vec!["bestPath".to_string()]);
+        assert_eq!(localized.result_relations, vec![dr_types::RelId::intern("bestPath")]);
+        // The symbol catalog binds every relation, including the minted
+        // cache relation, deterministically.
+        assert!(localized.rel_catalog.contains(ship.cache_relation));
+        assert!(localized.rel_catalog.contains(dr_types::RelId::intern("path")));
         // Key pragmas survive into the catalog.
         assert!(localized
             .key_declarations()
             .iter()
-            .any(|(r, k)| r == "bestPath" && k == &vec![0, 1]));
+            .any(|(r, k)| r.name() == "bestPath" && k == &vec![0, 1]));
         // The cache relation inherits link's key and locates at field 1.
         let cache = localized.catalog.get("link__to_NR2").unwrap();
         assert_eq!(cache.location_field, 1);
@@ -353,7 +394,7 @@ mod tests {
         let localized = localize(&program, &[]).unwrap();
         assert_eq!(localized.ships.len(), 1);
         let ship = &localized.ships[0];
-        assert_eq!(ship.source_relation, "path");
+        assert_eq!(ship.source_relation.name(), "path");
         // path(@S,Z,P1,C1): the anchor is Z (the link's location), which is
         // field 1 of the path tuple — "newly computed path tuples [are]
         // shipped by their destination fields" (paper §5.3).
@@ -407,12 +448,12 @@ mod tests {
         let program = parse_program(src).unwrap();
         assert!(localize(&program, &[]).is_err());
         let localized = localize(&program, &["magicDst"]).unwrap();
-        assert!(localized.is_replicated("magicDst"));
+        assert!(localized.is_replicated(dr_types::RelId::intern("magicDst")));
         let rule = &localized.rules[0];
         assert_eq!(rule.eval_location_var.as_deref(), Some("Z"));
         // path is shipped to Z, link and the negated cache stay local.
         assert_eq!(localized.ships.len(), 1);
-        assert_eq!(localized.ships[0].source_relation, "path");
+        assert_eq!(localized.ships[0].source_relation.name(), "path");
     }
 
     #[test]
@@ -425,7 +466,7 @@ mod tests {
         let localized = localize(&parse_program(src).unwrap(), &[]).unwrap();
         assert_eq!(localized.rules[0].eval_location_var.as_deref(), Some("D"));
         assert_eq!(localized.ships.len(), 1);
-        assert_eq!(localized.ships[0].source_relation, "link");
+        assert_eq!(localized.ships[0].source_relation.name(), "link");
     }
 
     #[test]
@@ -464,14 +505,14 @@ mod tests {
     #[test]
     fn ships_for_filters_by_source() {
         let localized = localize(&parse_program(BEST_PATH).unwrap(), &[]).unwrap();
-        assert_eq!(localized.ships_for("link").len(), 1);
-        assert!(localized.ships_for("path").is_empty());
+        assert_eq!(localized.ships_for(dr_types::RelId::intern("link")).len(), 1);
+        assert!(localized.ships_for(dr_types::RelId::intern("path")).is_empty());
     }
 
     #[test]
     fn aggregate_selections_are_propagated() {
         let localized = localize(&parse_program(BEST_PATH).unwrap(), &[]).unwrap();
         assert_eq!(localized.agg_selections.len(), 1);
-        assert_eq!(localized.agg_selections[0].input_relation, "path");
+        assert_eq!(localized.agg_selections[0].input_relation.name(), "path");
     }
 }

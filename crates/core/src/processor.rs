@@ -30,7 +30,7 @@ use dr_datalog::database::{Database, Scan};
 use dr_datalog::eval::{apply_aggregate, RelationSource, RuleEval};
 use dr_datalog::rewrite::AggSelection;
 use dr_netsim::{Context, LinkEvent, NodeApp, SimDuration};
-use dr_types::{Cost, NodeId, Tuple, Value};
+use dr_types::{Cost, NodeId, RelId, Tuple, Value};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -42,19 +42,27 @@ pub enum NetMsg {
         /// The query being installed.
         qid: QueryId,
     },
-    /// A batch of tuples addressed to the receiving node, each tagged with
-    /// the relation (or cache relation) it belongs to.
+    /// A batch of tuples addressed to the receiving node. Each tuple's
+    /// relation travels as its fixed-width interned [`RelId`] instead of
+    /// the relation name; the receiver validates every id against the
+    /// query's symbol catalog (`rel_catalog`) and drops unbound ids. In
+    /// this single-process simulation the interned id *is* the wire
+    /// representation; a multi-process transport must translate through
+    /// the catalog's dense wire tags (`RelCatalog::wire_tag` /
+    /// `RelCatalog::decode`) at the boundary instead, since raw interner
+    /// ids are only meaningful within one process.
     Tuples {
-        /// The query these tuples belong to.
+        /// The query these tuples belong to (also selects the catalog the
+        /// receiver validates the relation ids against).
         qid: QueryId,
-        /// `(relation, tuple)` pairs.
-        items: Vec<(String, Tuple)>,
+        /// The shipped tuples.
+        items: Vec<Tuple>,
     },
     /// Install a cached best path along the reverse path (multi-query
     /// sharing, §7.3). Forwarded hop by hop along `suffix`.
     CacheInstall {
         /// Cross-query cache relation to install into.
-        cache: String,
+        cache: RelId,
         /// Final destination of the cached path.
         dest: NodeId,
         /// Remaining path from the receiving node to `dest` (first element
@@ -66,14 +74,17 @@ pub enum NetMsg {
 }
 
 impl NetMsg {
-    /// Approximate wire size used for bandwidth accounting.
+    /// Approximate wire size used for bandwidth accounting. Relation
+    /// identity costs the fixed-width [`dr_types::rel::WIRE_TAG_BYTES`]
+    /// tag (inside [`Tuple::wire_size`]) rather than `name.len()` bytes
+    /// per tuple.
     pub fn wire_size(&self) -> usize {
         match self {
             NetMsg::Install { .. } => 64,
-            NetMsg::Tuples { items, .. } => {
-                16 + items.iter().map(|(rel, t)| rel.len() + t.wire_size()).sum::<usize>()
+            NetMsg::Tuples { items, .. } => 16 + items.iter().map(Tuple::wire_size).sum::<usize>(),
+            NetMsg::CacheInstall { suffix, .. } => {
+                24 + dr_types::rel::WIRE_TAG_BYTES + 4 * suffix.len()
             }
-            NetMsg::CacheInstall { cache, suffix, .. } => 24 + cache.len() + 4 * suffix.len(),
         }
     }
 }
@@ -115,6 +126,15 @@ pub struct ProcessorStats {
     /// dominated infinite-cost derivations dropped instead of being stored,
     /// shipped, and re-joined.
     pub tombstones_collapsed: u64,
+    /// Received tuples dropped because their relation tag is not bound by
+    /// the query's symbol catalog (a stale or corrupt wire id).
+    pub tuples_rejected: u64,
+    /// Aggregate-selection prune-state entries evicted because their
+    /// recorded best is an ∞-cost tombstone whose invalidation wave has run
+    /// (keeps the per-query prune map bounded under churn). Finite entries
+    /// are never evicted — they may back *shipped* bests whose next
+    /// tombstone must still pass the admission gate.
+    pub prune_evicted: u64,
     /// Number of batch-processing rounds executed.
     pub batches: u64,
 }
@@ -128,6 +148,8 @@ impl ProcessorStats {
         self.tuples_derived += other.tuples_derived;
         self.tuples_pruned += other.tuples_pruned;
         self.tombstones_collapsed += other.tombstones_collapsed;
+        self.tuples_rejected += other.tuples_rejected;
+        self.prune_evicted += other.prune_evicted;
         self.batches += other.batches;
     }
 }
@@ -140,11 +162,20 @@ struct Instance {
     /// `spec.program.rules`), built once at installation and reused every
     /// batch.
     compiled: Vec<RuleEval>,
-    /// Deltas accumulated since the last batch, keyed by relation.
-    pending: HashMap<String, Vec<Tuple>>,
-    /// Aggregate-selection state: prune key → (identity key of current best,
-    /// its value).
-    prune: HashMap<Vec<Value>, (Vec<Value>, Value)>,
+    /// Deltas accumulated since the last batch, keyed by interned relation.
+    pending: HashMap<RelId, Vec<Tuple>>,
+    /// Aggregate-selection state: (input relation, prune key) → (identity
+    /// key of current best, its value). Bounded: entries whose backing
+    /// stored tuple disappears are evicted (see
+    /// [`Instance::evict_stale_prune_groups`]).
+    prune: HashMap<(RelId, Vec<Value>), (Vec<Value>, Value)>,
+    /// Interned id of the spec's cross-query cache relation.
+    cache_rel: RelId,
+    /// Number of `prune` entries whose recorded best is an ∞ tombstone.
+    /// Maintained by `prune_pass` so the eviction sweep can be skipped
+    /// entirely (steady state holds thousands of finite entries and zero
+    /// tombstones).
+    prune_tombstones: usize,
     installed: bool,
 }
 
@@ -152,7 +183,7 @@ impl Instance {
     fn new(spec: Arc<QuerySpec>) -> Instance {
         let mut db = Database::new();
         for (rel, keys) in spec.program.key_declarations() {
-            db.declare_key(&rel, keys);
+            db.declare_key(rel, keys);
         }
         // Aggregate outputs are keyed by their group-by columns so that
         // recomputation replaces the previous value instead of accumulating.
@@ -166,7 +197,7 @@ impl Instance {
                     .filter(|(_, t)| matches!(t, dr_datalog::ast::HeadTerm::Plain(_)))
                     .map(|(i, _)| i)
                     .collect();
-                db.declare_key(&head.relation, group);
+                db.declare_key(head.relation.as_str(), group);
             }
         }
         // Compile every rule once and declare the secondary indexes its
@@ -180,18 +211,53 @@ impl Instance {
                 db.declare_index(rel, field);
             }
         }
+        let cache_rel = RelId::intern(&spec.cache_relation);
         Instance {
             spec,
             db,
             compiled,
             pending: HashMap::new(),
             prune: HashMap::new(),
+            cache_rel,
+            prune_tombstones: 0,
             installed: false,
         }
     }
 
     fn has_pending(&self) -> bool {
         self.pending.values().any(|v| !v.is_empty())
+    }
+
+    /// Evict aggregate-selection prune entries of (destination, next-hop)
+    /// groups whose route is dead — the recorded best is an ∞-cost
+    /// tombstone (the ROADMAP follow-up: without this the map grows
+    /// monotonically under churn, one entry per route group the deployment
+    /// ever considered).
+    ///
+    /// Only ∞ entries are evictable. A finite entry may back a best that
+    /// was *shipped* rather than stored locally, and it is what lets the
+    /// next ∞ derivation for its group pass the `invalidates_best` gate in
+    /// [`QueryProcessor::prune_pass`] — dropping it would collapse a
+    /// tombstone the remote home still needs. An ∞ entry, by contrast, has
+    /// already done its job: the group's invalidation was admitted and
+    /// propagated. After eviction a finite revival of the group is simply
+    /// admitted fresh (it would have beaten ∞ anyway), and further ∞ ties
+    /// still collapse through the stored-tuple check, so recovery semantics
+    /// are unchanged while dead groups stop accumulating.
+    ///
+    /// Returns the number of entries evicted. The sweep only runs when the
+    /// map outgrows a small floor *and* actually holds tombstones (tracked
+    /// by `prune_tombstones`), so converged steady-state batches — all
+    /// finite entries — never pay the O(map) scan.
+    fn evict_stale_prune_groups(&mut self) -> u64 {
+        const SWEEP_FLOOR: usize = 64;
+        if self.prune_tombstones == 0 || self.prune.len() <= SWEEP_FLOOR {
+            return 0;
+        }
+        let before = self.prune.len();
+        self.prune.retain(|_, (_, value)| !value.is_infinite_cost());
+        self.prune_tombstones = 0;
+        (before - self.prune.len()) as u64
     }
 }
 
@@ -204,11 +270,11 @@ struct Overlay<'a> {
 }
 
 impl RelationSource for Overlay<'_> {
-    fn scan(&self, relation: &str) -> Scan<'_> {
+    fn scan(&self, relation: RelId) -> Scan<'_> {
         self.local.scan(relation).chain(self.shared.scan(relation))
     }
 
-    fn probe(&self, relation: &str, field: usize, value: &Value) -> Scan<'_> {
+    fn probe(&self, relation: RelId, field: usize, value: &Value) -> Scan<'_> {
         self.local.probe(relation, field, value).chain(self.shared.probe(relation, field, value))
     }
 }
@@ -227,6 +293,9 @@ enum PruneDecision {
 /// The per-node query processor.
 pub struct QueryProcessor {
     config: ProcessorConfig,
+    /// Interned id of `config.link_relation` (the neighbor-table relation),
+    /// resolved once so per-update link tuples never hash the name.
+    link_rel: RelId,
     node: NodeId,
     builtins: Builtins,
     /// Current neighbor table: neighbor → link cost (∞ when down).
@@ -243,8 +312,10 @@ impl QueryProcessor {
     pub fn new(config: ProcessorConfig) -> QueryProcessor {
         let mut shared = Database::new();
         shared.declare_key("bestPathCache", vec![0, 1]);
+        let link_rel = RelId::intern(&config.link_relation);
         QueryProcessor {
             config,
+            link_rel,
             node: NodeId::new(0),
             builtins: Builtins::standard(),
             neighbors: BTreeMap::new(),
@@ -279,7 +350,7 @@ impl QueryProcessor {
     pub fn results(&self, qid: QueryId) -> Vec<Tuple> {
         let Some(instance) = self.instances.get(&qid) else { return Vec::new() };
         let mut out = Vec::new();
-        for rel in &instance.spec.program.result_relations {
+        for &rel in &instance.spec.program.result_relations {
             out.extend(instance.db.sorted_tuples(rel));
         }
         out
@@ -327,6 +398,13 @@ impl QueryProcessor {
         out
     }
 
+    /// Number of aggregate-selection prune-state entries currently held for
+    /// query `qid` (regression hook for the churn tests: the map must not
+    /// grow monotonically across fail/join cycles).
+    pub fn prune_entries(&self, qid: QueryId) -> usize {
+        self.instances.get(&qid).map(|i| i.prune.len()).unwrap_or(0)
+    }
+
     /// Remove an installed query and its state (lifetime expiry).
     pub fn remove_query(&mut self, qid: QueryId) {
         self.instances.remove(&qid);
@@ -335,8 +413,8 @@ impl QueryProcessor {
     // -- internals ----------------------------------------------------------
 
     fn link_tuple(&self, neighbor: NodeId, cost: Cost) -> Tuple {
-        Tuple::new(
-            &self.config.link_relation,
+        Tuple::from_rel(
+            self.link_rel,
             vec![Value::Node(self.node), Value::Node(neighbor), Value::Cost(cost)],
         )
     }
@@ -354,7 +432,7 @@ impl QueryProcessor {
         }
         let Some(spec) = self.config.library.get(qid) else { return };
         if spec.share_results {
-            self.shared.declare_key(&spec.cache_relation, vec![0, 1]);
+            self.shared.declare_key(spec.cache_relation.as_str(), vec![0, 1]);
         }
         let program = Arc::clone(&spec.program);
         let instance =
@@ -365,13 +443,10 @@ impl QueryProcessor {
         // `bestPathCache` are index-served on both sides of the overlay.
         // Declarations for relations the shared store never materializes
         // stay pending and cost nothing.
-        let probe_fields: Vec<(String, usize)> = instance
-            .compiled
-            .iter()
-            .flat_map(|plan| plan.probe_fields().into_iter().map(|(rel, f)| (rel.to_string(), f)))
-            .collect();
+        let probe_fields: Vec<(RelId, usize)> =
+            instance.compiled.iter().flat_map(|plan| plan.probe_fields()).collect();
         for (rel, field) in probe_fields {
-            self.shared.declare_index(&rel, field);
+            self.shared.declare_index(rel, field);
         }
 
         // Flood the installation to all neighbors.
@@ -384,7 +459,7 @@ impl QueryProcessor {
 
         // Install the query's facts: replicated relations everywhere, others
         // only at their home node.
-        let mut outbound: HashMap<NodeId, Vec<(String, Tuple)>> = HashMap::new();
+        let mut outbound: HashMap<NodeId, Vec<Tuple>> = HashMap::new();
         let facts: Vec<Tuple> = spec.facts.clone();
         for fact in facts {
             self.route_tuple(qid, fact, &mut outbound);
@@ -428,8 +503,8 @@ impl QueryProcessor {
             // Derive the home exactly like route_tuple will (catalog location
             // field), so a kept fact is always stored locally, never
             // re-shipped.
-            let home = tuple.node_at(program.catalog.location_field(&head.relation));
-            if program.is_replicated(&head.relation) || home.is_none() || home == Some(self.node) {
+            let home = tuple.node_at(program.catalog.location_field(tuple.rel()));
+            if program.is_replicated(tuple.rel()) || home.is_none() || home == Some(self.node) {
                 out.push(tuple);
             }
         }
@@ -442,7 +517,7 @@ impl QueryProcessor {
         &mut self,
         qid: QueryId,
         tuple: Tuple,
-        outbound: &mut HashMap<NodeId, Vec<(String, Tuple)>>,
+        outbound: &mut HashMap<NodeId, Vec<Tuple>>,
     ) -> bool {
         let my_id = self.node;
         // Work on the instance first; side effects on other processor fields
@@ -454,7 +529,7 @@ impl QueryProcessor {
         {
             let Some(instance) = self.instances.get_mut(&qid) else { return false };
             let program = Arc::clone(&instance.spec.program);
-            let relation = tuple.relation().to_string();
+            let relation = tuple.rel();
 
             // Aggregate-selection pruning (per next-hop granularity).
             let mut admitted = true;
@@ -477,45 +552,38 @@ impl QueryProcessor {
             }
 
             if admitted {
-                let loc_field = program.catalog.location_field(&relation);
+                let loc_field = program.catalog.location_field(relation);
                 let home = tuple.node_at(loc_field);
-                let replicated = program.is_replicated(&relation);
+                let replicated = program.is_replicated(relation);
 
                 match home {
                     Some(h) if h != my_id && !replicated => {
-                        outbound.entry(h).or_default().push((relation, tuple.clone()));
+                        outbound.entry(h).or_default().push(tuple.clone());
                     }
                     _ => {
                         let outcome = instance.db.insert(tuple.clone());
                         if outcome.added {
                             stored = true;
-                            instance
-                                .pending
-                                .entry(relation.clone())
-                                .or_default()
-                                .push(tuple.clone());
+                            instance.pending.entry(relation).or_default().push(tuple.clone());
 
                             // Ship copies required by remote joins (the
                             // Figure 2 clouds).
-                            for ship in program.ships_for(&relation) {
+                            for ship in program.ships_for(relation) {
                                 let Some(dest) = tuple.node_at(ship.target_field) else {
                                     continue;
                                 };
                                 let cache_tuple =
-                                    Tuple::new(&ship.cache_relation, tuple.fields().to_vec());
+                                    Tuple::from_rel(ship.cache_relation, tuple.fields().to_vec());
                                 if dest == my_id {
                                     if instance.db.insert(cache_tuple.clone()).added {
                                         instance
                                             .pending
-                                            .entry(ship.cache_relation.clone())
+                                            .entry(ship.cache_relation)
                                             .or_default()
                                             .push(cache_tuple);
                                     }
                                 } else {
-                                    outbound
-                                        .entry(dest)
-                                        .or_default()
-                                        .push((ship.cache_relation.clone(), cache_tuple));
+                                    outbound.entry(dest).or_default().push(cache_tuple);
                                 }
                             }
 
@@ -524,10 +592,8 @@ impl QueryProcessor {
                             if instance.spec.share_results
                                 && program.result_relations.contains(&relation)
                             {
-                                cache_entry = Self::cache_entry_from_result(
-                                    &instance.spec.cache_relation,
-                                    &tuple,
-                                );
+                                cache_entry =
+                                    Self::cache_entry_from_result(instance.cache_rel, &tuple);
                             }
                         }
                     }
@@ -576,19 +642,20 @@ impl QueryProcessor {
         let Some(value) = tuple.field(sel.value_field).cloned() else {
             return PruneDecision::Admit;
         };
-        let mut key: Vec<Value> =
+        let mut group: Vec<Value> =
             sel.group_fields.iter().filter_map(|&i| tuple.field(i).cloned()).collect();
         for (i, field) in tuple.fields().iter().enumerate() {
             if i == sel.value_field || sel.group_fields.contains(&i) {
                 continue;
             }
             match field {
-                Value::Node(_) => key.push(field.clone()),
-                Value::Path(p) if p.len() >= 2 => key.push(Value::Node(p.nodes()[1])),
+                Value::Node(_) => group.push(field.clone()),
+                Value::Path(p) if p.len() >= 2 => group.push(Value::Node(p.nodes()[1])),
                 _ => {}
             }
         }
-        let key_fields = program.catalog.key_fields(tuple.relation(), tuple.arity());
+        let key = (tuple.rel(), group);
+        let key_fields = program.catalog.key_fields(tuple.rel(), tuple.arity());
         let identity: Vec<Value> =
             key_fields.iter().filter_map(|&i| tuple.field(i).cloned()).collect();
 
@@ -601,6 +668,9 @@ impl QueryProcessor {
                 Some((best_id, best_val)) if *best_id == identity && !best_val.is_infinite_cost()
             );
             if invalidates_best {
+                // Finite → ∞ transition of the group's recorded best: the
+                // entry becomes evictable once the wave has run.
+                instance.prune_tombstones += 1;
                 instance.prune.insert(key, (identity, value));
                 return PruneDecision::Admit;
             }
@@ -609,7 +679,7 @@ impl QueryProcessor {
             // entry, but without touching the group best.
             let poisons_stored = instance
                 .db
-                .get_by_key(tuple.relation(), &tuple.key(&key_fields))
+                .get_by_key(&tuple.key(&key_fields))
                 .map(|stored| stored != tuple)
                 .unwrap_or(false);
             if poisons_stored {
@@ -633,11 +703,14 @@ impl QueryProcessor {
                 PruneDecision::Admit
             }
             Some((best_id, best_val)) => {
-                if *best_id == identity {
-                    // An update (possibly a worsening) of the current best.
-                    instance.prune.insert(key, (identity, value));
-                    PruneDecision::Admit
-                } else if better_or_equal(&value, best_val) {
+                let admit = *best_id == identity // update (possibly worse) of the current best
+                    || better_or_equal(&value, best_val);
+                if admit {
+                    // `value` is finite here (the ∞ path returned above): a
+                    // revived group stops being a tombstone.
+                    if best_val.is_infinite_cost() {
+                        instance.prune_tombstones = instance.prune_tombstones.saturating_sub(1);
+                    }
                     instance.prune.insert(key, (identity, value));
                     PruneDecision::Admit
                 } else {
@@ -648,7 +721,7 @@ impl QueryProcessor {
     }
 
     /// Build a `<cache>(@N, D, P, C)` entry from a 4-ary result tuple.
-    fn cache_entry_from_result(cache: &str, tuple: &Tuple) -> Option<Tuple> {
+    fn cache_entry_from_result(cache: RelId, tuple: &Tuple) -> Option<Tuple> {
         if tuple.arity() != 4 {
             return None;
         }
@@ -656,7 +729,7 @@ impl QueryProcessor {
         let d = tuple.node_at(1)?;
         let p = tuple.field(2)?.as_path()?.clone();
         let c = tuple.field(3)?.as_cost()?;
-        Some(Tuple::new(
+        Some(Tuple::from_rel(
             cache,
             vec![Value::Node(s), Value::Node(d), Value::Path(p), Value::Cost(c)],
         ))
@@ -666,7 +739,7 @@ impl QueryProcessor {
         &mut self,
         ctx: &mut Context<'_, NetMsg>,
         qid: QueryId,
-        outbound: HashMap<NodeId, Vec<(String, Tuple)>>,
+        outbound: HashMap<NodeId, Vec<Tuple>>,
     ) {
         for (dest, items) in outbound {
             if items.is_empty() {
@@ -676,8 +749,7 @@ impl QueryProcessor {
                 // Tuples that resolved back to ourselves (e.g. relayed home
                 // deliveries): fold them straight in.
                 let mut again = HashMap::new();
-                for (rel, t) in items {
-                    let tuple = Tuple::new(&rel, t.fields().to_vec());
+                for tuple in items {
                     self.route_tuple(qid, tuple, &mut again);
                 }
                 self.flush_outbound(ctx, qid, again);
@@ -713,10 +785,10 @@ impl QueryProcessor {
     fn relay_hop(
         me: NodeId,
         dest: NodeId,
-        items: &[(String, Tuple)],
+        items: &[Tuple],
         neighbors: &BTreeMap<NodeId, Cost>,
     ) -> Option<NodeId> {
-        for (_, tuple) in items {
+        for tuple in items {
             for field in tuple.fields() {
                 let Value::Path(path) = field else { continue };
                 let nodes = path.nodes();
@@ -743,7 +815,7 @@ impl QueryProcessor {
         self.stats.batches += 1;
         let qids: Vec<QueryId> = self.instances.keys().copied().collect();
         for qid in qids {
-            let mut outbound: HashMap<NodeId, Vec<(String, Tuple)>> = HashMap::new();
+            let mut outbound: HashMap<NodeId, Vec<Tuple>> = HashMap::new();
             let mut cache_installs: Vec<(NodeId, NetMsg)> = Vec::new();
             // Local fixpoint: keep draining deltas until nothing new is
             // produced locally.
@@ -766,22 +838,30 @@ impl QueryProcessor {
                         let rule = plan.rule();
                         if rule.head.has_aggregate() {
                             // Aggregates are recomputed from the full local
-                            // table whenever any of their inputs changed.
-                            let touched =
-                                rule.body_relations().iter().any(|r| deltas.contains_key(*r));
+                            // table whenever any of their inputs changed —
+                            // including negated body atoms (a delta on a
+                            // lower-stratum negated relation changes which
+                            // rows feed the aggregate).
+                            let touched = plan
+                                .positive_rels()
+                                .iter()
+                                .chain(plan.neg_rels())
+                                .any(|r| deltas.contains_key(r));
                             if !touched {
                                 continue;
                             }
                             if let Ok(raw) = plan.evaluate(&self.builtins, &source, None) {
-                                if let Ok(grouped) = apply_aggregate(&rule.head, &raw) {
+                                if let Ok(grouped) =
+                                    apply_aggregate(&rule.head, plan.head_rel(), &raw)
+                                {
                                     forced_deltas.extend(grouped.iter().cloned());
                                     derived.extend(grouped);
                                 }
                             }
                             continue;
                         }
-                        for (i, atom) in plan.positive_atoms().iter().enumerate() {
-                            let Some(delta) = deltas.get(&atom.relation) else { continue };
+                        for (i, rel) in plan.positive_rels().iter().enumerate() {
+                            let Some(delta) = deltas.get(rel) else { continue };
                             if delta.is_empty() {
                                 continue;
                             }
@@ -800,11 +880,7 @@ impl QueryProcessor {
                     // below and becomes a delta anyway).
                     let Some(instance) = self.instances.get_mut(&qid) else { break };
                     if instance.db.contains(&tuple) {
-                        instance
-                            .pending
-                            .entry(tuple.relation().to_string())
-                            .or_default()
-                            .push(tuple);
+                        instance.pending.entry(tuple.rel()).or_default().push(tuple);
                     }
                 }
                 for tuple in derived {
@@ -816,6 +892,11 @@ impl QueryProcessor {
                         }
                     }
                 }
+            }
+            // The batch quiesced: retire prune-map state whose backing
+            // tuples are gone, so churn cannot grow the map monotonically.
+            if let Some(instance) = self.instances.get_mut(&qid) {
+                self.stats.prune_evicted += instance.evict_stale_prune_groups();
             }
             self.flush_outbound(ctx, qid, outbound);
             for (next, msg) in cache_installs {
@@ -831,16 +912,16 @@ impl QueryProcessor {
     fn reverse_path_install(&self, qid: QueryId, tuple: &Tuple) -> Option<(NodeId, NetMsg)> {
         let instance = self.instances.get(&qid)?;
         if !instance.spec.share_results
-            || !instance.spec.program.result_relations.iter().any(|r| r == tuple.relation())
+            || !instance.spec.program.result_relations.contains(&tuple.rel())
         {
             return None;
         }
-        self.cache_install_message(&instance.spec.cache_relation, tuple)
+        self.cache_install_message(instance.cache_rel, tuple)
     }
 
     /// Build the first hop of a reverse-path cache installation for a
     /// freshly stored best-path result.
-    fn cache_install_message(&self, cache: &str, tuple: &Tuple) -> Option<(NodeId, NetMsg)> {
+    fn cache_install_message(&self, cache: RelId, tuple: &Tuple) -> Option<(NodeId, NetMsg)> {
         if tuple.arity() != 4 || tuple.node_at(0) != Some(self.node) {
             return None;
         }
@@ -857,7 +938,7 @@ impl QueryProcessor {
         Some((
             next,
             NetMsg::CacheInstall {
-                cache: cache.to_string(),
+                cache,
                 dest,
                 suffix: path.nodes()[1..].to_vec(),
                 cost: remaining,
@@ -868,7 +949,7 @@ impl QueryProcessor {
     fn handle_cache_install(
         &mut self,
         ctx: &mut Context<'_, NetMsg>,
-        cache: String,
+        cache: RelId,
         dest: NodeId,
         suffix: Vec<NodeId>,
         cost: Cost,
@@ -877,8 +958,8 @@ impl QueryProcessor {
             return;
         }
         let path = dr_types::PathVector::from_nodes(suffix.clone());
-        self.shared.insert(Tuple::new(
-            &cache,
+        self.shared.insert(Tuple::from_rel(
+            cache,
             vec![Value::Node(self.node), Value::Node(dest), Value::Path(path), Value::Cost(cost)],
         ));
         if suffix.len() > 2 {
@@ -889,6 +970,22 @@ impl QueryProcessor {
                 NetMsg::CacheInstall { cache, dest, suffix: suffix[1..].to_vec(), cost: remaining };
             let size = msg.wire_size();
             ctx.send(next, msg, size);
+        }
+    }
+
+    /// True when a received tuple's relation tag is one this query's symbol
+    /// catalog binds (or the deployment-wide neighbor-table relation): the
+    /// decode step of the wire format.
+    fn tuple_decodes(&self, qid: QueryId, tuple: &Tuple) -> bool {
+        let rel = tuple.rel();
+        if rel == self.link_rel {
+            return true;
+        }
+        match self.instances.get(&qid) {
+            Some(instance) => {
+                instance.spec.program.rel_catalog.contains(rel) || rel == instance.cache_rel
+            }
+            None => false,
         }
     }
 
@@ -944,8 +1041,16 @@ impl NodeApp for QueryProcessor {
                 self.stats.tuples_received += items.len() as u64;
                 let mut outbound = HashMap::new();
                 let mut cache_installs = Vec::new();
-                for (rel, tuple) in items {
-                    let tuple = Tuple::new(&rel, tuple.fields().to_vec());
+                for tuple in items {
+                    // Decode the shipped relation tag against the query's
+                    // symbol catalog: a tuple whose id the catalog does not
+                    // bind (a stale id from an older query version, or
+                    // garbage) is dropped instead of silently creating a
+                    // phantom table.
+                    if !self.tuple_decodes(qid, &tuple) {
+                        self.stats.tuples_rejected += 1;
+                        continue;
+                    }
                     let stored = self.route_tuple(qid, tuple.clone(), &mut outbound);
                     // Results of shared queries usually arrive here (shipped
                     // home from the node that derived them); kick off the

@@ -9,14 +9,15 @@
 //!   during incremental maintenance, §8).
 
 use crate::ast::Program;
-use dr_types::{Error, Result};
-use std::collections::BTreeMap;
+use dr_types::{Error, RelId, Result};
+use std::collections::HashMap;
 
 /// Schema information for one relation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RelationInfo {
-    /// Relation name.
-    pub name: String,
+    /// Interned relation id (the catalog produces interned programs: every
+    /// relation a program touches is interned when its schema is recorded).
+    pub id: RelId,
     /// Arity (number of fields), when known.
     pub arity: Option<usize>,
     /// Position of the location attribute (defaults to 0: the first field,
@@ -31,9 +32,9 @@ pub struct RelationInfo {
 
 impl RelationInfo {
     /// A derived relation with default location (field 0) and set semantics.
-    pub fn derived(name: impl Into<String>) -> RelationInfo {
+    pub fn derived(name: impl Into<RelId>) -> RelationInfo {
         RelationInfo {
-            name: name.into(),
+            id: name.into(),
             arity: None,
             location_field: 0,
             key_fields: Vec::new(),
@@ -42,8 +43,13 @@ impl RelationInfo {
     }
 
     /// A base relation with default location (field 0) and set semantics.
-    pub fn base(name: impl Into<String>) -> RelationInfo {
+    pub fn base(name: impl Into<RelId>) -> RelationInfo {
         RelationInfo { is_base: true, ..RelationInfo::derived(name) }
+    }
+
+    /// The relation's name (resolved from the interned id).
+    pub fn name(&self) -> &'static str {
+        self.id.name()
     }
 
     /// The key fields to use for upserts: the declared primary key, or all
@@ -57,10 +63,37 @@ impl RelationInfo {
     }
 }
 
-/// The catalog: relation name → [`RelationInfo`].
+/// The catalog: interned [`RelId`] → [`RelationInfo`]. Name-based entry
+/// points accept `impl Into<RelId>`, so both `catalog.get("link")` and
+/// `catalog.get(rel_id)` work; runtime lookups on hot paths pass the id.
+///
+/// Building a catalog *interns the program*: every relation the program
+/// names gets its dense id, and all schema lookups afterwards are by id.
+///
+/// ```
+/// use dr_datalog::{parse_program, Catalog};
+/// use dr_types::RelId;
+///
+/// let program = parse_program(
+///     r#"
+///     #key(path, 0, 1, 2).
+///     NR1: path(@S,D,P,C) :- link(@S,D,C), P = f_initPath(S,D).
+///     Query: path(@S,D,P,C).
+///     "#,
+/// )?;
+/// let catalog = Catalog::from_program(&program)?;
+///
+/// // Schema lookups work by name or by interned id — same entry.
+/// let path = RelId::intern("path");
+/// assert_eq!(catalog.get("path"), catalog.get(path));
+/// assert_eq!(catalog.key_fields(path, 4), vec![0, 1, 2]);
+/// assert!(catalog.is_base("link"));
+/// assert!(!catalog.is_base(path));
+/// # Ok::<(), dr_types::Error>(())
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
-    relations: BTreeMap<String, RelationInfo>,
+    relations: HashMap<RelId, RelationInfo>,
 }
 
 impl Catalog {
@@ -85,13 +118,15 @@ impl Catalog {
             } else {
                 RelationInfo::base(rel)
             };
-            cat.relations.insert(rel.to_string(), info);
+            cat.relations.insert(info.id, info);
         }
 
         // Record arity + location annotations from heads and body atoms.
         let mut observe = |rel: &str, arity: usize, loc: Option<usize>| -> Result<()> {
-            let info =
-                cat.relations.get_mut(rel).expect("all_relations covers every atom relation");
+            let info = cat
+                .relations
+                .get_mut(&RelId::intern(rel))
+                .expect("all_relations covers every atom relation");
             match info.arity {
                 None => info.arity = Some(arity),
                 Some(a) if a != arity => {
@@ -125,8 +160,8 @@ impl Catalog {
         }
 
         for (rel, keys) in &program.key_pragmas {
-            let info =
-                cat.relations.entry(rel.clone()).or_insert_with(|| RelationInfo::base(rel.clone()));
+            let id = RelId::intern(rel);
+            let info = cat.relations.entry(id).or_insert_with(|| RelationInfo::base(id));
             if let Some(a) = info.arity {
                 if keys.iter().any(|&k| k >= a) {
                     return Err(Error::planning(format!(
@@ -142,29 +177,27 @@ impl Catalog {
 
     /// Declare or replace a relation's schema explicitly.
     pub fn declare(&mut self, info: RelationInfo) {
-        self.relations.insert(info.name.clone(), info);
+        self.relations.insert(info.id, info);
     }
 
     /// Set the primary key of a relation (creating a base entry if missing).
-    pub fn set_key(&mut self, relation: &str, key_fields: Vec<usize>) {
-        self.relations
-            .entry(relation.to_string())
-            .or_insert_with(|| RelationInfo::base(relation))
-            .key_fields = key_fields;
+    pub fn set_key(&mut self, relation: impl Into<RelId>, key_fields: Vec<usize>) {
+        let id = relation.into();
+        self.relations.entry(id).or_insert_with(|| RelationInfo::base(id)).key_fields = key_fields;
     }
 
-    /// Look up a relation.
-    pub fn get(&self, relation: &str) -> Option<&RelationInfo> {
-        self.relations.get(relation)
+    /// Look up a relation by name or interned id.
+    pub fn get(&self, relation: impl Into<RelId>) -> Option<&RelationInfo> {
+        self.relations.get(&relation.into())
     }
 
     /// The location field of a relation (default 0 when unknown).
-    pub fn location_field(&self, relation: &str) -> usize {
+    pub fn location_field(&self, relation: impl Into<RelId>) -> usize {
         self.get(relation).map(|i| i.location_field).unwrap_or(0)
     }
 
     /// The primary key of a relation given a concrete arity.
-    pub fn key_fields(&self, relation: &str, arity: usize) -> Vec<usize> {
+    pub fn key_fields(&self, relation: impl Into<RelId>, arity: usize) -> Vec<usize> {
         match self.get(relation) {
             Some(info) => info.effective_key(arity),
             None => (0..arity).collect(),
@@ -172,13 +205,16 @@ impl Catalog {
     }
 
     /// True when the relation is a base table.
-    pub fn is_base(&self, relation: &str) -> bool {
+    pub fn is_base(&self, relation: impl Into<RelId>) -> bool {
         self.get(relation).map(|i| i.is_base).unwrap_or(true)
     }
 
-    /// Iterate over all relations in the catalog.
+    /// Iterate over all relations in the catalog, in name order (the dense
+    /// id order is an interning artifact; names keep output deterministic).
     pub fn relations(&self) -> impl Iterator<Item = &RelationInfo> {
-        self.relations.values()
+        let mut infos: Vec<&RelationInfo> = self.relations.values().collect();
+        infos.sort_unstable_by_key(|i| i.name());
+        infos.into_iter()
     }
 
     /// Number of relations known to the catalog.
@@ -255,7 +291,7 @@ mod tests {
     fn manual_declarations() {
         let mut c = Catalog::new();
         c.declare(RelationInfo {
-            name: "nextHop".into(),
+            id: RelId::intern("nextHop"),
             arity: Some(4),
             location_field: 0,
             key_fields: vec![0, 1],

@@ -1,6 +1,10 @@
 //! In-memory tuple storage with incremental secondary indexes.
 //!
-//! A [`Database`] holds one [`Table`] per relation. Tables support set
+//! A [`Database`] holds one [`Table`] per relation, stored in a dense slab
+//! indexed by the relation's interned [`RelId`] — looking a table up never
+//! hashes or compares a relation *name*. Name-based entry points accept
+//! `impl Into<RelId>`, so `db.scan("link")` and `db.scan(rel_id)` both work;
+//! hot paths pass the id. Tables support set
 //! insertion (for fixpoint evaluation) and keyed upserts (for the
 //! incremental base-table updates of paper §8: "these updates result in the
 //! addition of tuples into base tables, or the replacement of existing base
@@ -21,7 +25,7 @@
 //! borrowing [`Scan`] cursor over the slab, which is also what the rule
 //! evaluator's join loop consumes (see `RelationSource` in `eval`).
 
-use dr_types::{Tuple, TupleId, TupleKey, Value};
+use dr_types::{RelId, Tuple, TupleId, TupleKey, Value};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// A borrowing cursor over stored tuples: the zero-copy replacement for the
@@ -315,13 +319,18 @@ pub struct InsertOutcome {
     pub replaced: Option<Tuple>,
 }
 
-/// A collection of tables, one per relation.
+/// A collection of tables, one per relation, indexed densely by [`RelId`].
 #[derive(Debug, Clone, Default)]
 pub struct Database {
-    tables: BTreeMap<String, Table>,
+    /// Slot `rel.index()` holds the table of relation `rel`. Slots for ids
+    /// this database never touched stay `None`.
+    tables: Vec<Option<Table>>,
+    /// Interned ids of the relations that currently have a table, in
+    /// creation order (kept so enumeration never walks empty slots).
+    present: Vec<RelId>,
     /// Indexes declared before their relation had a table (they are applied
     /// when the table first appears).
-    pending_indexes: BTreeMap<String, BTreeSet<usize>>,
+    pending_indexes: HashMap<RelId, BTreeSet<usize>>,
 }
 
 impl Database {
@@ -330,23 +339,49 @@ impl Database {
         Database::default()
     }
 
+    /// The table slot for `rel`, if this database ever created it.
+    fn slot(&self, rel: RelId) -> Option<&Table> {
+        self.tables.get(rel.index()).and_then(Option::as_ref)
+    }
+
+    /// The table for `rel`, creating it (with pending index declarations
+    /// applied) when absent. The hot path — table already present — is a
+    /// bounds check and a slot read; pending declarations are only
+    /// consulted on first creation.
+    fn slot_mut_or_create(&mut self, rel: RelId) -> &mut Table {
+        if self.tables.len() <= rel.index() {
+            self.tables.resize_with(rel.index() + 1, || None);
+        }
+        if self.tables[rel.index()].is_none() {
+            let mut table = Table::default();
+            if let Some(fields) = self.pending_indexes.remove(&rel) {
+                for f in fields {
+                    table.declare_index(f);
+                }
+            }
+            self.tables[rel.index()] = Some(table);
+            self.present.push(rel);
+        }
+        self.tables[rel.index()].as_mut().expect("just ensured")
+    }
+
     /// Declare the upsert key of a relation, creating its table if needed.
     /// Must be called before tuples of that relation are inserted if keyed
     /// semantics are wanted.
-    pub fn declare_key(&mut self, relation: &str, key_fields: Vec<usize>) {
-        let pending = self.pending_indexes.get(relation).cloned().unwrap_or_default();
-        let table = self.tables.entry(relation.to_string()).or_default();
+    pub fn declare_key(&mut self, relation: impl Into<RelId>, key_fields: Vec<usize>) {
+        let rel = relation.into();
+        let table = self.slot_mut_or_create(rel);
         if table.is_empty() {
             let indexed = table.indexed_fields();
             *table = Table::with_key(key_fields);
-            for f in indexed.into_iter().chain(pending) {
+            for f in indexed {
                 table.declare_index(f);
             }
         } else {
             // Rebuild under the new key, preserving declared indexes.
             let tuples: Vec<Tuple> = table.iter().cloned().collect();
             let mut new_table = Table::with_key(key_fields);
-            for f in table.indexed_fields().into_iter().chain(pending) {
+            for f in table.indexed_fields() {
                 new_table.declare_index(f);
             }
             for t in tuples {
@@ -359,95 +394,96 @@ impl Database {
     /// Declare a secondary index on `relation.field`. When the relation has
     /// no table yet the declaration is remembered and applied as soon as
     /// the table exists, so callers need not order declarations.
-    pub fn declare_index(&mut self, relation: &str, field: usize) {
-        match self.tables.get_mut(relation) {
+    pub fn declare_index(&mut self, relation: impl Into<RelId>, field: usize) {
+        let rel = relation.into();
+        match self.tables.get_mut(rel.index()).and_then(Option::as_mut) {
             Some(table) => table.declare_index(field),
             None => {
-                self.pending_indexes.entry(relation.to_string()).or_default().insert(field);
+                self.pending_indexes.entry(rel).or_default().insert(field);
             }
         }
     }
 
     /// The table for `relation`, if it exists.
-    pub fn table(&self, relation: &str) -> Option<&Table> {
-        self.tables.get(relation)
+    pub fn table(&self, relation: impl Into<RelId>) -> Option<&Table> {
+        self.slot(relation.into())
     }
 
     /// Insert a tuple into its relation's table (created on demand with set
     /// semantics).
     pub fn insert(&mut self, t: Tuple) -> InsertOutcome {
-        let relation = t.relation();
-        if !self.tables.contains_key(relation) {
-            let mut table = Table::default();
-            if let Some(fields) = self.pending_indexes.get(relation) {
-                for &f in fields {
-                    table.declare_index(f);
-                }
-            }
-            self.tables.insert(relation.to_string(), table);
-        }
-        self.tables.get_mut(relation).expect("just ensured").insert(t)
+        self.slot_mut_or_create(t.rel()).insert(t)
     }
 
     /// Remove an exact tuple. Returns true when it was present.
     pub fn remove(&mut self, t: &Tuple) -> bool {
-        self.tables.get_mut(t.relation()).map(|tb| tb.remove(t)).unwrap_or(false)
+        self.tables
+            .get_mut(t.rel().index())
+            .and_then(Option::as_mut)
+            .map(|tb| tb.remove(t))
+            .unwrap_or(false)
     }
 
     /// Borrowing cursor over all tuples of `relation`.
-    pub fn scan(&self, relation: &str) -> Scan<'_> {
-        self.tables.get(relation).map(Table::scan).unwrap_or(Scan::Empty)
+    pub fn scan(&self, relation: impl Into<RelId>) -> Scan<'_> {
+        self.slot(relation.into()).map(Table::scan).unwrap_or(Scan::Empty)
     }
 
     /// Borrowing cursor over the tuples of `relation` whose `field` equals
     /// `value` (index-served when declared; see [`Table::probe`]).
-    pub fn probe(&self, relation: &str, field: usize, value: &Value) -> Scan<'_> {
-        self.tables.get(relation).map(|t| t.probe(field, value)).unwrap_or(Scan::Empty)
+    pub fn probe(&self, relation: impl Into<RelId>, field: usize, value: &Value) -> Scan<'_> {
+        self.slot(relation.into()).map(|t| t.probe(field, value)).unwrap_or(Scan::Empty)
     }
 
     /// All tuples of a relation (empty if the relation has no table).
     /// Materializes; hot paths should prefer [`Database::scan`].
-    pub fn tuples(&self, relation: &str) -> Vec<Tuple> {
-        self.tables.get(relation).map(|t| t.iter().cloned().collect()).unwrap_or_default()
+    pub fn tuples(&self, relation: impl Into<RelId>) -> Vec<Tuple> {
+        self.slot(relation.into()).map(|t| t.iter().cloned().collect()).unwrap_or_default()
     }
 
     /// All tuples of a relation in sorted order.
-    pub fn sorted_tuples(&self, relation: &str) -> Vec<Tuple> {
-        self.tables.get(relation).map(|t| t.sorted()).unwrap_or_default()
+    pub fn sorted_tuples(&self, relation: impl Into<RelId>) -> Vec<Tuple> {
+        self.slot(relation.into()).map(|t| t.sorted()).unwrap_or_default()
     }
 
-    /// The tuple of `relation` stored under `key`, if any (keyed relations
-    /// only).
-    pub fn get_by_key(&self, relation: &str, key: &TupleKey) -> Option<&Tuple> {
-        self.tables.get(relation).and_then(|t| t.get_by_key(key))
+    /// The tuple stored under `key`, if any (keyed relations only). The key
+    /// carries its relation's interned id, so no separate relation argument
+    /// is needed.
+    pub fn get_by_key(&self, key: &TupleKey) -> Option<&Tuple> {
+        self.slot(key.rel()).and_then(|t| t.get_by_key(key))
     }
 
     /// Number of tuples stored in `relation`.
-    pub fn count(&self, relation: &str) -> usize {
-        self.tables.get(relation).map(|t| t.len()).unwrap_or(0)
+    pub fn count(&self, relation: impl Into<RelId>) -> usize {
+        self.slot(relation.into()).map(|t| t.len()).unwrap_or(0)
     }
 
     /// Total number of tuples across all relations.
     pub fn total_tuples(&self) -> usize {
-        self.tables.values().map(|t| t.len()).sum()
+        self.present.iter().filter_map(|&r| self.slot(r)).map(Table::len).sum()
     }
 
     /// True when the exact tuple is stored.
     pub fn contains(&self, t: &Tuple) -> bool {
-        self.tables.get(t.relation()).map(|tb| tb.contains(t)).unwrap_or(false)
+        self.slot(t.rel()).map(|tb| tb.contains(t)).unwrap_or(false)
     }
 
     /// Drop every tuple of a relation (the table, its key, and its indexes
     /// survive).
-    pub fn clear_relation(&mut self, relation: &str) {
-        if let Some(t) = self.tables.get_mut(relation) {
+    pub fn clear_relation(&mut self, relation: impl Into<RelId>) {
+        let rel = relation.into();
+        if let Some(t) = self.tables.get_mut(rel.index()).and_then(Option::as_mut) {
             t.clear();
         }
     }
 
-    /// Names of all relations that currently have a table.
-    pub fn relations(&self) -> impl Iterator<Item = &str> {
-        self.tables.keys().map(String::as_str)
+    /// Names of all relations that currently have a table, sorted (the
+    /// dense id order is an interning artifact; names keep enumeration
+    /// deterministic for output and tests).
+    pub fn relations(&self) -> impl Iterator<Item = &'static str> {
+        let mut names: Vec<&'static str> = self.present.iter().map(|r| r.name()).collect();
+        names.sort_unstable();
+        names.into_iter()
     }
 }
 
@@ -636,10 +672,10 @@ mod tests {
         db.declare_key("link", vec![0, 1]);
         db.insert(link(1, 2, 3.0));
         let key = link(1, 2, 99.0).key(&[0, 1]);
-        assert_eq!(db.get_by_key("link", &key), Some(&link(1, 2, 3.0)));
+        assert_eq!(db.get_by_key(&key), Some(&link(1, 2, 3.0)));
         db.insert(link(1, 2, 9.0));
-        assert_eq!(db.get_by_key("link", &key), Some(&link(1, 2, 9.0)));
+        assert_eq!(db.get_by_key(&key), Some(&link(1, 2, 9.0)));
         db.remove(&link(1, 2, 9.0));
-        assert_eq!(db.get_by_key("link", &key), None);
+        assert_eq!(db.get_by_key(&key), None);
     }
 }

@@ -23,7 +23,7 @@ use crate::catalog::Catalog;
 use crate::database::{Database, Scan};
 use crate::rewrite::{aggregate_selections, AggSelection};
 use crate::stratify::{stratify, Stratification};
-use dr_types::{Error, Result, Tuple, Value};
+use dr_types::{Error, RelId, Result, Tuple, Value};
 use std::collections::HashMap;
 
 // ---------------------------------------------------------------------------
@@ -129,27 +129,30 @@ fn unify_atom(atom: &Atom, tuple: &Tuple, bindings: &mut Bindings) -> bool {
 /// reference*. The centralized [`Database`] implements it; so does the
 /// local ∪ shared overlay of the distributed processor (which chains two
 /// stores without materializing either).
+///
+/// Relations are addressed by interned [`RelId`] — the join loop probes a
+/// source once per candidate binding, so lookups must never hash a name.
 pub trait RelationSource {
     /// Borrowing cursor over all tuples currently stored for `relation`.
-    fn scan(&self, relation: &str) -> Scan<'_>;
+    fn scan(&self, relation: RelId) -> Scan<'_>;
 
     /// Borrowing cursor over (at least) the tuples of `relation` whose
     /// `field` equals `value`. Implementations backed by a secondary index
     /// return only the hits; the default falls back to a full scan — the
     /// contract is over-approximation, since join loops re-check the probe
     /// field when unifying.
-    fn probe(&self, relation: &str, field: usize, value: &Value) -> Scan<'_> {
+    fn probe(&self, relation: RelId, field: usize, value: &Value) -> Scan<'_> {
         let _ = (field, value);
         self.scan(relation)
     }
 }
 
 impl RelationSource for Database {
-    fn scan(&self, relation: &str) -> Scan<'_> {
+    fn scan(&self, relation: RelId) -> Scan<'_> {
         Database::scan(self, relation)
     }
 
-    fn probe(&self, relation: &str, field: usize, value: &Value) -> Scan<'_> {
+    fn probe(&self, relation: RelId, field: usize, value: &Value) -> Scan<'_> {
         Database::probe(self, relation, field, value)
     }
 }
@@ -171,15 +174,22 @@ pub struct RuleEval {
     rule: Rule,
     /// Positive body atoms, in body order (delta positions refer to these).
     positive: Vec<Atom>,
+    /// Interned relation of each positive atom (compile-time interning:
+    /// the join loop addresses sources by id, never by name).
+    positive_rels: Vec<RelId>,
     /// Non-atom body literals (assignments and comparisons), in body order.
     constraints: Vec<Literal>,
     /// Per positive atom: the field to probe the stored index with.
     probes: Vec<Option<usize>>,
     /// Negated body atoms, checked once all positive atoms are joined.
     neg_atoms: Vec<Atom>,
+    /// Interned relation of each negated atom.
+    neg_rels: Vec<RelId>,
     /// Per negated atom: the field to probe with (constant or a variable
     /// the positive part binds).
     neg_probes: Vec<Option<usize>>,
+    /// Interned relation the head derives into.
+    head_rel: RelId,
 }
 
 /// Choose the probe field of `atom`: the first argument position holding a
@@ -240,7 +250,20 @@ impl RuleEval {
         }
         let neg_probes = neg_atoms.iter().map(|a| choose_probe(a, &bound_vars)).collect();
 
-        RuleEval { rule: rule.clone(), positive, constraints, probes, neg_atoms, neg_probes }
+        let positive_rels = positive.iter().map(|a| RelId::intern(&a.relation)).collect();
+        let neg_rels = neg_atoms.iter().map(|a| RelId::intern(&a.relation)).collect();
+        let head_rel = RelId::intern(&rule.head.relation);
+        RuleEval {
+            rule: rule.clone(),
+            positive,
+            positive_rels,
+            constraints,
+            probes,
+            neg_atoms,
+            neg_rels,
+            neg_probes,
+            head_rel,
+        }
     }
 
     /// The rule being evaluated.
@@ -253,14 +276,30 @@ impl RuleEval {
         &self.positive
     }
 
+    /// The interned relation of each positive atom, in delta-occurrence
+    /// order (parallel to [`RuleEval::positive_atoms`]).
+    pub fn positive_rels(&self) -> &[RelId] {
+        &self.positive_rels
+    }
+
+    /// The interned relation of each negated body atom.
+    pub fn neg_rels(&self) -> &[RelId] {
+        &self.neg_rels
+    }
+
+    /// The interned relation this rule's head derives into.
+    pub fn head_rel(&self) -> RelId {
+        self.head_rel
+    }
+
     /// The `(relation, field)` pairs this plan probes — the secondary
     /// indexes a store should declare so every probe is index-served.
-    pub fn probe_fields(&self) -> Vec<(&str, usize)> {
-        self.positive
+    pub fn probe_fields(&self) -> Vec<(RelId, usize)> {
+        self.positive_rels
             .iter()
             .zip(&self.probes)
-            .chain(self.neg_atoms.iter().zip(&self.neg_probes))
-            .filter_map(|(atom, probe)| probe.map(|pos| (atom.relation.as_str(), pos)))
+            .chain(self.neg_rels.iter().zip(&self.neg_probes))
+            .filter_map(|(&rel, probe)| probe.map(|pos| (rel, pos)))
             .collect()
     }
 
@@ -392,8 +431,8 @@ impl RuleEval {
                 _ => Scan::Slice(dt.iter()),
             },
             _ => match probe_value {
-                Some((pos, value)) => source.probe(&atom.relation, pos, value),
-                None => source.scan(&atom.relation),
+                Some((pos, value)) => source.probe(self.positive_rels[depth], pos, value),
+                None => source.scan(self.positive_rels[depth]),
             },
         };
         for tuple in candidates {
@@ -440,12 +479,18 @@ impl RuleEval {
                 )));
             }
         }
-        for (atom, probe) in self.neg_atoms.iter().zip(&self.neg_probes) {
-            if negation_has_match(atom, *probe, &bindings, source) {
+        for ((atom, &rel), probe) in self.neg_atoms.iter().zip(&self.neg_rels).zip(&self.neg_probes)
+        {
+            if negation_has_match(atom, rel, *probe, &bindings, source) {
                 return Ok(());
             }
         }
-        out.push(head_tuple_from_bindings(&self.rule.head, &bindings, self.rule.name.as_deref())?);
+        out.push(head_tuple_from_bindings(
+            &self.rule.head,
+            self.head_rel,
+            &bindings,
+            self.rule.name.as_deref(),
+        )?);
         Ok(())
     }
 }
@@ -492,6 +537,7 @@ pub fn evaluate_rule<S: RelationSource>(
 
 fn negation_has_match<S: RelationSource>(
     atom: &Atom,
+    rel: RelId,
     probe: Option<usize>,
     bindings: &Bindings,
     source: &S,
@@ -501,8 +547,8 @@ fn negation_has_match<S: RelationSource>(
         Term::Var(v) => bindings.get(v).map(|val| (pos, val)),
     });
     let candidates = match probe_value {
-        Some((pos, value)) => source.probe(&atom.relation, pos, value),
-        None => source.scan(&atom.relation),
+        Some((pos, value)) => source.probe(rel, pos, value),
+        None => source.scan(rel),
     };
     'outer: for t in candidates {
         if t.arity() != atom.arity() {
@@ -531,9 +577,11 @@ fn negation_has_match<S: RelationSource>(
 }
 
 /// Construct a head tuple from bindings; aggregate positions carry the raw
-/// value of the aggregated variable.
+/// value of the aggregated variable. The head relation arrives pre-interned
+/// so no name is hashed per derived tuple.
 fn head_tuple_from_bindings(
     head: &Head,
+    head_rel: RelId,
     bindings: &Bindings,
     rule_name: Option<&str>,
 ) -> Result<Tuple> {
@@ -552,14 +600,16 @@ fn head_tuple_from_bindings(
         };
         fields.push(value);
     }
-    Ok(Tuple::new(&head.relation, fields))
+    Ok(Tuple::from_rel(head_rel, fields))
 }
 
 /// Group raw head tuples of an aggregate rule and compute the aggregate.
 ///
 /// `head` must contain exactly one aggregate term; plain head positions form
-/// the group-by key.
-pub fn apply_aggregate(head: &Head, raw: &[Tuple]) -> Result<Vec<Tuple>> {
+/// the group-by key. `head_rel` is the head relation's pre-interned id
+/// (compiled plans carry it as [`RuleEval::head_rel`]), so per-batch calls
+/// never touch the intern table.
+pub fn apply_aggregate(head: &Head, head_rel: RelId, raw: &[Tuple]) -> Result<Vec<Tuple>> {
     let (func, _, agg_pos) = head
         .aggregate()
         .ok_or_else(|| Error::eval("apply_aggregate called on a non-aggregate head"))?;
@@ -613,7 +663,7 @@ pub fn apply_aggregate(head: &Head, raw: &[Tuple]) -> Result<Vec<Tuple>> {
                     .push(key_iter.next().ok_or_else(|| Error::eval("group key arity mismatch"))?);
             }
         }
-        out.push(Tuple::new(&head.relation, fields));
+        out.push(Tuple::from_rel(head_rel, fields));
     }
     Ok(out)
 }
@@ -735,8 +785,12 @@ impl Evaluator {
         // Insert ground facts.
         for rule in &self.program.rules {
             if rule.is_fact() {
-                let t =
-                    head_tuple_from_bindings(&rule.head, &Bindings::new(), rule.name.as_deref())?;
+                let t = head_tuple_from_bindings(
+                    &rule.head,
+                    RelId::intern(&rule.head.relation),
+                    &Bindings::new(),
+                    rule.name.as_deref(),
+                )?;
                 if db.insert(t).added {
                     stats.tuples_derived += 1;
                 }
@@ -744,7 +798,7 @@ impl Evaluator {
         }
 
         // Track best-so-far per aggregate-selection group.
-        let mut best: HashMap<(String, Vec<Value>), Value> = HashMap::new();
+        let mut best: HashMap<(RelId, Vec<Value>), Value> = HashMap::new();
 
         for stratum_rules in &self.stratification.strata_rules {
             let rules: Vec<&RuleEval> = stratum_rules
@@ -762,7 +816,7 @@ impl Evaluator {
             for plan in &agg_rules {
                 stats.rule_firings += 1;
                 let raw = plan.evaluate(&self.builtins, db, None)?;
-                for t in apply_aggregate(&plan.rule().head, &raw)? {
+                for t in apply_aggregate(&plan.rule().head, plan.head_rel(), &raw)? {
                     if db.insert(t).added {
                         stats.tuples_derived += 1;
                     }
@@ -779,18 +833,17 @@ impl Evaluator {
         &self,
         rules: &[&RuleEval],
         db: &mut Database,
-        best: &mut HashMap<(String, Vec<Value>), Value>,
+        best: &mut HashMap<(RelId, Vec<Value>), Value>,
         stats: &mut EvalStats,
     ) -> Result<()> {
         if rules.is_empty() {
             return Ok(());
         }
         // Which relations are derived by this stratum (candidates for deltas).
-        let stratum_derived: Vec<&str> =
-            rules.iter().map(|c| c.rule().head.relation.as_str()).collect();
+        let stratum_derived: Vec<RelId> = rules.iter().map(|c| c.head_rel()).collect();
 
         // Iteration 0: evaluate every rule in full.
-        let mut delta: HashMap<String, Vec<Tuple>> = HashMap::new();
+        let mut delta: HashMap<RelId, Vec<Tuple>> = HashMap::new();
         for plan in rules {
             stats.rule_firings += 1;
             let derived = plan.evaluate(&self.builtins, db, None)?;
@@ -825,11 +878,11 @@ impl Evaluator {
                 }
                 // Semi-naïve: one evaluation per positive occurrence of a
                 // relation that changed this round.
-                for (i, atom) in plan.positive_atoms().iter().enumerate() {
-                    if !stratum_derived.contains(&atom.relation.as_str()) {
+                for (i, &rel) in plan.positive_rels().iter().enumerate() {
+                    if !stratum_derived.contains(&rel) {
                         continue;
                     }
-                    let Some(dt) = current_delta.get(&atom.relation) else { continue };
+                    let Some(dt) = current_delta.get(&rel) else { continue };
                     if dt.is_empty() {
                         continue;
                     }
@@ -850,17 +903,16 @@ impl Evaluator {
         &self,
         db: &mut Database,
         t: Tuple,
-        best: &mut HashMap<(String, Vec<Value>), Value>,
-        delta: &mut HashMap<String, Vec<Tuple>>,
+        best: &mut HashMap<(RelId, Vec<Value>), Value>,
+        delta: &mut HashMap<RelId, Vec<Tuple>>,
         stats: &mut EvalStats,
     ) {
         if self.config.aggregate_selections {
-            if let Some(sel) = self.agg_selections.iter().find(|s| s.input_relation == t.relation())
-            {
+            if let Some(sel) = self.agg_selections.iter().find(|s| s.input_relation == t.rel()) {
                 let key: Vec<Value> =
                     sel.group_fields.iter().filter_map(|&i| t.field(i).cloned()).collect();
                 if let Some(value) = t.field(sel.value_field) {
-                    let map_key = (t.relation().to_string(), key);
+                    let map_key = (t.rel(), key);
                     match best.get(&map_key) {
                         Some(existing) => {
                             // ∞-cost derivations all tie; keeping every one
@@ -897,7 +949,7 @@ impl Evaluator {
         let outcome = db.insert(t.clone());
         if outcome.added {
             stats.tuples_derived += 1;
-            delta.entry(t.relation().to_string()).or_default().push(t);
+            delta.entry(t.rel()).or_default().push(t);
         }
     }
 }
@@ -1207,7 +1259,7 @@ mod tests {
             Tuple::new("shortest", vec![node(0), node(1), Value::from(3.0)]),
             Tuple::new("shortest", vec![node(0), node(2), Value::from(7.0)]),
         ];
-        let mut out = apply_aggregate(&head, &raw).unwrap();
+        let mut out = apply_aggregate(&head, RelId::intern(&head.relation), &raw).unwrap();
         out.sort();
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].field(2).and_then(Value::as_cost), Some(Cost::new(3.0)));
@@ -1223,7 +1275,7 @@ mod tests {
             Tuple::new("deg", vec![node(0), node(1)]),
             Tuple::new("deg", vec![node(0), node(2)]),
         ];
-        let out = apply_aggregate(&head_count, &raw).unwrap();
+        let out = apply_aggregate(&head_count, RelId::intern(&head_count.relation), &raw).unwrap();
         assert_eq!(out[0].field(1), Some(&Value::Int(2)));
 
         let head_sum = Head {
@@ -1235,7 +1287,7 @@ mod tests {
             Tuple::new("total", vec![node(0), Value::from(1.5)]),
             Tuple::new("total", vec![node(0), Value::from(2.5)]),
         ];
-        let out = apply_aggregate(&head_sum, &raw).unwrap();
+        let out = apply_aggregate(&head_sum, RelId::intern(&head_sum.relation), &raw).unwrap();
         assert_eq!(out[0].field(1).and_then(Value::as_cost), Some(Cost::new(4.0)));
     }
 

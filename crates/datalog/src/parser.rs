@@ -38,7 +38,18 @@ use dr_types::{Cost, Error, NodeId, PathVector, Result, Value};
 
 /// Parse a complete program from source text.
 pub fn parse_program(src: &str) -> Result<Program> {
-    Parser::new(src)?.parse_program()
+    let program = Parser::new(src)?.parse_program()?;
+    // Produce an *interned* program: every relation the program names gets
+    // its dense `RelId` minted here, so downstream plan-time interning
+    // (catalog construction, rule compilation, localization) is a pure
+    // lookup and the runtime never interns on a hot path.
+    for rel in program.all_relations() {
+        dr_types::RelId::intern(rel);
+    }
+    for (rel, _) in &program.key_pragmas {
+        dr_types::RelId::intern(rel);
+    }
+    Ok(program)
 }
 
 /// Parse a single rule (without trailing rules); convenience for tests and

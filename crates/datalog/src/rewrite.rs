@@ -16,27 +16,31 @@
 //!   evaluated".
 
 use crate::ast::{AggFunc, Atom, Expr, Head, Literal, Program, Rule, Term};
-use dr_types::{NodeId, Value};
+use dr_types::{NodeId, RelId, Value};
 
 /// A detected aggregate-selection opportunity.
 ///
-/// `bestPathCost(@S,D,min<C>) :- path(@S,D,P,C)` yields
-/// `AggSelection { input_relation: "path", group_fields: [0,1], value_field: 3, func: Min }`:
-/// while evaluating, any `path` tuple whose cost is worse than the best
-/// already known for its `(S,D)` group can be discarded.
+/// `bestPathCost(@S,D,min<C>) :- path(@S,D,P,C)` yields an `AggSelection`
+/// with `input_relation = path`, `group_fields = [0,1]`, `value_field = 3`,
+/// and `func = Min`: while evaluating, any `path` tuple whose cost is worse
+/// than the best already known for its `(S,D)` group can be discarded.
+///
+/// Relations are carried as interned [`RelId`]s — the admission check runs
+/// once per derived tuple, so it must never compare relation names.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AggSelection {
     /// The relation whose tuples feed the aggregate (the rule's single body
-    /// atom).
-    pub input_relation: String,
+    /// atom), interned.
+    pub input_relation: RelId,
     /// Field positions of the input relation forming the group-by key.
     pub group_fields: Vec<usize>,
     /// Field position of the input relation carrying the aggregated value.
     pub value_field: usize,
     /// The aggregate function (only `min`/`max` generate selections).
     pub func: AggFunc,
-    /// The relation defined by the aggregate rule (e.g. `bestPathCost`).
-    pub output_relation: String,
+    /// The relation defined by the aggregate rule (e.g. `bestPathCost`),
+    /// interned.
+    pub output_relation: RelId,
 }
 
 /// Detect aggregate selections: aggregate rules whose body is a single
@@ -75,11 +79,11 @@ pub fn aggregate_selections(program: &Program) -> Vec<AggSelection> {
             continue;
         }
         out.push(AggSelection {
-            input_relation: atom.relation.clone(),
+            input_relation: RelId::intern(&atom.relation),
             group_fields,
             value_field,
             func,
-            output_relation: rule.head.relation.clone(),
+            output_relation: RelId::intern(&rule.head.relation),
         });
     }
     out
@@ -385,8 +389,8 @@ mod tests {
         let sels = aggregate_selections(&p);
         assert_eq!(sels.len(), 1);
         let s = &sels[0];
-        assert_eq!(s.input_relation, "path");
-        assert_eq!(s.output_relation, "bestPathCost");
+        assert_eq!(s.input_relation, RelId::intern("path"));
+        assert_eq!(s.output_relation, RelId::intern("bestPathCost"));
         assert_eq!(s.group_fields, vec![0, 1]);
         assert_eq!(s.value_field, 3);
         assert_eq!(s.func, AggFunc::Min);

@@ -48,6 +48,54 @@ pub use reachability::network_reachability;
 use dr_datalog::ast::Program;
 use dr_datalog::parse_program;
 
+/// Interned ids of the relation vocabulary the built-in protocols share.
+///
+/// Every builder in this crate returns an *interned* program — parsing
+/// mints the dense [`dr_types::RelId`] of every relation it names — and
+/// these accessors hand consumers (experiments, tests, custom tooling) the
+/// same ids without spelling the names twice. Each call is a pure intern
+/// lookup.
+pub mod rels {
+    use dr_types::RelId;
+
+    /// `link(@S,D,C)` — the neighbor-table base relation every protocol
+    /// joins against.
+    pub fn link() -> RelId {
+        RelId::intern("link")
+    }
+
+    /// `path(@S,D,P,C)` — the path-vector relation of the Best-Path family.
+    pub fn path() -> RelId {
+        RelId::intern("path")
+    }
+
+    /// `bestPath(@S,D,P,C)` — the Best-Path result relation.
+    pub fn best_path() -> RelId {
+        RelId::intern("bestPath")
+    }
+
+    /// `bestPathCost(@S,D,C)` — the Best-Path aggregate relation.
+    pub fn best_path_cost() -> RelId {
+        RelId::intern("bestPathCost")
+    }
+
+    /// `bestPathCache(@N,D,P,C)` — the default cross-query sharing cache
+    /// (§7.3).
+    pub fn best_path_cache() -> RelId {
+        RelId::intern("bestPathCache")
+    }
+
+    /// `magicSources(@S)` — the magic-sets seed relation (§7.2).
+    pub fn magic_sources() -> RelId {
+        RelId::intern("magicSources")
+    }
+
+    /// `magicDsts(@D)` — the pair-query destination filter (§7.2).
+    pub fn magic_dsts() -> RelId {
+        RelId::intern("magicDsts")
+    }
+}
+
 /// Parse a protocol source string, panicking on error.
 ///
 /// Protocol sources are compile-time constants written in this crate; a

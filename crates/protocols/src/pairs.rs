@@ -96,14 +96,15 @@ pub fn best_path_pairs_share(source: NodeId, destination: NodeId, cache_relation
 }
 
 /// A `magicSources(@node)` fact as a tuple (for installation via query
-/// facts rather than program rules).
+/// facts rather than program rules). Built on the interned id, so the fact
+/// is identical to what the parsed program's atoms resolve to.
 pub fn magic_source_fact(node: NodeId) -> Tuple {
-    Tuple::new("magicSources", vec![Value::Node(node)])
+    Tuple::from_rel(crate::rels::magic_sources(), vec![Value::Node(node)])
 }
 
 /// A `magicDsts(@node)` fact as a tuple.
 pub fn magic_dst_fact(node: NodeId) -> Tuple {
-    Tuple::new("magicDsts", vec![Value::Node(node)])
+    Tuple::from_rel(crate::rels::magic_dsts(), vec![Value::Node(node)])
 }
 
 fn magic_fact_rule(relation: &str, node: NodeId) -> dr_datalog::ast::Rule {
@@ -239,7 +240,9 @@ mod tests {
     #[test]
     fn fact_builders() {
         assert_eq!(magic_source_fact(n(3)).relation(), "magicSources");
+        assert_eq!(magic_source_fact(n(3)).rel(), crate::rels::magic_sources());
         assert_eq!(magic_dst_fact(n(4)).relation(), "magicDsts");
+        assert_eq!(magic_dst_fact(n(4)).rel(), crate::rels::magic_dsts());
         assert_eq!(magic_source_fact(n(3)).node_at(0), Some(n(3)));
     }
 }

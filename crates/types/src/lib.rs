@@ -17,6 +17,7 @@
 pub mod cost;
 pub mod error;
 pub mod node;
+pub mod rel;
 pub mod tuple;
 pub mod value;
 pub mod view;
@@ -24,6 +25,7 @@ pub mod view;
 pub use cost::Cost;
 pub use error::{Error, Result};
 pub use node::NodeId;
+pub use rel::{RelCatalog, RelId};
 pub use tuple::{Tuple, TupleId, TupleKey};
 pub use value::{PathVector, Value};
 pub use view::{CostEntry, CostView, FromTuple, ReachEntry, RouteEntry, TreeEdge};

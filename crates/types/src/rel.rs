@@ -1,0 +1,302 @@
+//! Interned relation identity.
+//!
+//! Every layer of the system names relations — rule heads, localized ship
+//! specs, stored tables, shipped tuple batches — and naming them with heap
+//! strings makes every hot path pay for hashing, cloning, and comparing
+//! those strings per tuple. Instead, relation names are interned once into
+//! a dense [`RelId`] and every layer carries the 4-byte id:
+//!
+//! * [`Tuple`](crate::Tuple) stores a `RelId` (name resolution only happens
+//!   for `Display` and debugging),
+//! * `dr-datalog`'s `Database` is a dense `Vec<Table>` indexed by `RelId`,
+//! * semi-naïve delta maps and compiled rule plans are `RelId`-indexed,
+//! * the wire format ships the fixed-width id instead of the name
+//!   (see [`WIRE_TAG_BYTES`]).
+//!
+//! # Process-wide interning vs. per-query catalogs
+//!
+//! The process-wide intern table (behind [`RelId::intern`]) is the identity
+//! substrate: it guarantees that, within one process, equal names are equal
+//! ids — which is also why the simulated wire can ship the interned id
+//! directly. Distributed deployments additionally need every *node* to
+//! agree on ids without negotiation; that is the job of the per-query
+//! [`RelCatalog`] built at plan/localize time. Because the catalog is
+//! derived by a deterministic traversal of the query program, every node
+//! that localizes the same program derives the identical name↔id binding
+//! (conceptually carried by the query's `Install` message). Today's
+//! receivers validate each shipped id against the catalog and reject
+//! unbound ones; a multi-process transport must go one step further and
+//! translate ids to the catalog's dense *wire tags* on encode and through
+//! [`RelCatalog::decode`] on receive, because raw interner ids are only
+//! meaningful within one process. `wire_tag`/`decode` are that contract,
+//! property-tested even though the in-process simulation never needs the
+//! translation.
+//!
+//! ```
+//! use dr_types::rel::{RelCatalog, RelId};
+//!
+//! // Two nodes build catalogs from the same program text → same bindings.
+//! let mut a = RelCatalog::new();
+//! let mut b = RelCatalog::new();
+//! for rel in ["link", "path", "bestPathCost"] {
+//!     a.intern(rel);
+//!     b.intern(rel);
+//! }
+//! assert_eq!(a.bindings(), b.bindings());
+//!
+//! // Wire tags are dense per-query and round-trip through decode.
+//! let path = RelId::intern("path");
+//! let tag = a.wire_tag(path).expect("path is bound");
+//! assert_eq!(a.decode(tag).unwrap(), path);
+//!
+//! // A stale/unknown tag is a decode error, not a silent misroute.
+//! assert!(a.decode(999).is_err());
+//! ```
+
+use crate::error::{Error, Result};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// Number of bytes a relation tag occupies on the wire: the fixed-width
+/// `RelId` replaces the variable-length relation name in shipped tuple
+/// batches (the paper's per-node communication overhead metric, Figs. 10/11).
+pub const WIRE_TAG_BYTES: usize = 4;
+
+/// The process-wide intern table. Names are leaked exactly once, so a
+/// resolved name is a `&'static str` and tuples can hand out borrowed names
+/// without lifetime gymnastics. The set of distinct relation names in a
+/// process is small and bounded by the programs it runs, so the leak is a
+/// constant.
+struct Interner {
+    names: Vec<&'static str>,
+    ids: HashMap<&'static str, u32>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| RwLock::new(Interner { names: Vec::new(), ids: HashMap::new() }))
+}
+
+/// A dense, process-wide interned relation identifier.
+///
+/// `RelId` is the identity of a relation everywhere a name used to be: in
+/// [`Tuple`](crate::Tuple)s, storage, compiled rule plans, ship specs, and
+/// the wire format. Comparing, hashing, and copying it costs the same as a
+/// `u32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelId(u32);
+
+impl RelId {
+    /// Intern `name`, returning its dense id (allocating one on first use).
+    pub fn intern(name: &str) -> RelId {
+        if let Some(id) = RelId::lookup(name) {
+            return id;
+        }
+        let mut table = interner().write().expect("relation interner poisoned");
+        // Re-check under the write lock: another thread may have interned
+        // the name between our read and write.
+        if let Some(&id) = table.ids.get(name) {
+            return RelId(id);
+        }
+        let id = u32::try_from(table.names.len()).expect("relation intern table overflow");
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        table.names.push(leaked);
+        table.ids.insert(leaked, id);
+        RelId(id)
+    }
+
+    /// The id of `name` if it has been interned, without interning it.
+    pub fn lookup(name: &str) -> Option<RelId> {
+        interner().read().expect("relation interner poisoned").ids.get(name).copied().map(RelId)
+    }
+
+    /// The interned name this id stands for.
+    pub fn name(self) -> &'static str {
+        interner().read().expect("relation interner poisoned").names[self.0 as usize]
+    }
+
+    /// The dense index of this id (used by `Vec`-backed storage).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw wire representation of this id.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<&str> for RelId {
+    fn from(name: &str) -> RelId {
+        RelId::intern(name)
+    }
+}
+
+impl From<&String> for RelId {
+    fn from(name: &String) -> RelId {
+        RelId::intern(name)
+    }
+}
+
+impl fmt::Display for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// The deterministic per-query symbol catalog: the name↔id bindings of every
+/// relation a query can store or ship.
+///
+/// Built at plan/localize time by traversing the query program in a fixed
+/// order, so every node derives the identical catalog from the same program
+/// — no negotiation. The catalog is what travels (conceptually) with the
+/// query's `Install` message. Receivers validate every shipped relation id
+/// against it ([`RelCatalog::contains`]); its dense position doubles as the
+/// relation's *wire tag*, the encoding a multi-process transport must ship
+/// and turn back into a [`RelId`] via [`RelCatalog::decode`] — which turns
+/// stale or unknown tags into typed decode errors instead of misroutes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RelCatalog {
+    /// Binding order: wire tag → interned id.
+    entries: Vec<RelId>,
+    /// Reverse map: interned id → wire tag.
+    tags: HashMap<RelId, u32>,
+}
+
+impl RelCatalog {
+    /// An empty catalog.
+    pub fn new() -> RelCatalog {
+        RelCatalog::default()
+    }
+
+    /// Intern `name` process-wide and bind it in this catalog (appending a
+    /// fresh wire tag when the name is new to the catalog).
+    pub fn intern(&mut self, name: &str) -> RelId {
+        let rel = RelId::intern(name);
+        self.bind(rel);
+        rel
+    }
+
+    /// Bind an already-interned id in this catalog. Idempotent.
+    pub fn bind(&mut self, rel: RelId) {
+        if !self.tags.contains_key(&rel) {
+            let tag = u32::try_from(self.entries.len()).expect("relation catalog overflow");
+            self.tags.insert(rel, tag);
+            self.entries.push(rel);
+        }
+    }
+
+    /// True when `rel` is bound in this catalog.
+    pub fn contains(&self, rel: RelId) -> bool {
+        self.tags.contains_key(&rel)
+    }
+
+    /// The dense wire tag of `rel`, if bound.
+    pub fn wire_tag(&self, rel: RelId) -> Option<u32> {
+        self.tags.get(&rel).copied()
+    }
+
+    /// Decode a wire tag back into a [`RelId`].
+    ///
+    /// A tag outside the catalog — a stale binding from an older query
+    /// version, or garbage — is an [`Error::Decode`].
+    pub fn decode(&self, tag: u32) -> Result<RelId> {
+        self.entries.get(tag as usize).copied().ok_or_else(|| {
+            Error::decode(format!(
+                "unknown relation wire tag {tag} (catalog binds {} relations)",
+                self.entries.len()
+            ))
+        })
+    }
+
+    /// The bindings in wire-tag order, as `(tag, id, name)` triples. Two
+    /// nodes agree on a query's wire format iff their catalogs' bindings
+    /// are equal.
+    pub fn bindings(&self) -> Vec<(u32, RelId, &'static str)> {
+        self.entries.iter().enumerate().map(|(i, &r)| (i as u32, r, r.name())).collect()
+    }
+
+    /// Number of bound relations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is bound.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let a = RelId::intern("relid_test_alpha");
+        let b = RelId::intern("relid_test_beta");
+        assert_ne!(a, b);
+        assert_eq!(a, RelId::intern("relid_test_alpha"));
+        assert_eq!(a.name(), "relid_test_alpha");
+        assert_eq!(RelId::lookup("relid_test_alpha"), Some(a));
+        assert_eq!(a.to_string(), "relid_test_alpha");
+        assert_eq!(a.index(), a.raw() as usize);
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        assert_eq!(RelId::lookup("relid_test_never_interned_xyzzy"), None);
+    }
+
+    #[test]
+    fn from_str_interns() {
+        let id: RelId = "relid_test_from".into();
+        assert_eq!(id, RelId::intern("relid_test_from"));
+        let owned = String::from("relid_test_from");
+        let via_ref: RelId = (&owned).into();
+        assert_eq!(via_ref, id);
+    }
+
+    #[test]
+    fn catalog_binds_in_order_and_decodes() {
+        let mut cat = RelCatalog::new();
+        let link = cat.intern("relid_test_cat_link");
+        let path = cat.intern("relid_test_cat_path");
+        // Re-interning does not mint a new tag.
+        assert_eq!(cat.intern("relid_test_cat_link"), link);
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.wire_tag(link), Some(0));
+        assert_eq!(cat.wire_tag(path), Some(1));
+        assert_eq!(cat.decode(0).unwrap(), link);
+        assert_eq!(cat.decode(1).unwrap(), path);
+        assert!(cat.contains(path));
+        assert!(!cat.is_empty());
+    }
+
+    #[test]
+    fn unknown_tag_is_a_decode_error() {
+        let mut cat = RelCatalog::new();
+        cat.intern("relid_test_cat_only");
+        let err = cat.decode(7).unwrap_err();
+        assert!(matches!(err, Error::Decode(_)), "{err}");
+        let unbound = RelId::intern("relid_test_cat_unbound");
+        assert_eq!(cat.wire_tag(unbound), None);
+        assert!(!cat.contains(unbound));
+    }
+
+    #[test]
+    fn identical_build_order_yields_identical_bindings() {
+        let names = ["relid_test_det_a", "relid_test_det_b", "relid_test_det_c"];
+        let mut one = RelCatalog::new();
+        let mut two = RelCatalog::new();
+        for n in names {
+            one.intern(n);
+        }
+        for n in names {
+            two.intern(n);
+        }
+        assert_eq!(one.bindings(), two.bindings());
+        assert_eq!(one, two);
+    }
+}

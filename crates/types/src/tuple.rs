@@ -7,30 +7,49 @@
 //! execution.
 
 use crate::node::NodeId;
+use crate::rel::{RelId, WIRE_TAG_BYTES};
 use crate::value::Value;
 use std::fmt;
 use std::sync::Arc;
 
-/// An immutable, cheaply-cloneable tuple: a relation name plus field values.
+/// An immutable, cheaply-cloneable tuple: an interned relation id plus field
+/// values.
 ///
-/// The relation's *location attribute* (which field holds the storing node's
-/// address) is schema information kept by the catalog in `dr-datalog`, not by
-/// the tuple itself.
+/// The relation is carried as a [`RelId`] — comparing, hashing, and cloning
+/// a tuple never touches the relation *name*; resolution back to a string
+/// only happens for `Display`, debugging, and the typed views. The
+/// relation's *location attribute* (which field holds the storing node's
+/// address) is schema information kept by the catalog in `dr-datalog`, not
+/// by the tuple itself.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Tuple {
-    relation: Arc<str>,
+    relation: RelId,
     fields: Arc<Vec<Value>>,
 }
 
 impl Tuple {
-    /// Build a tuple for `relation` with the given field values.
+    /// Build a tuple for `relation` with the given field values, interning
+    /// the relation name. Hot paths that already hold a [`RelId`] should use
+    /// [`Tuple::from_rel`] and skip the intern lookup.
     pub fn new(relation: impl AsRef<str>, fields: Vec<Value>) -> Self {
-        Tuple { relation: Arc::from(relation.as_ref()), fields: Arc::new(fields) }
+        Tuple { relation: RelId::intern(relation.as_ref()), fields: Arc::new(fields) }
     }
 
-    /// The relation (table) this tuple belongs to.
-    pub fn relation(&self) -> &str {
-        &self.relation
+    /// Build a tuple for an already-interned relation. This is the zero-
+    /// hashing constructor every hot path uses (rule heads, cache tuples,
+    /// link updates).
+    pub fn from_rel(relation: RelId, fields: Vec<Value>) -> Self {
+        Tuple { relation, fields: Arc::new(fields) }
+    }
+
+    /// The interned id of the relation this tuple belongs to.
+    pub fn rel(&self) -> RelId {
+        self.relation
+    }
+
+    /// The name of the relation (table) this tuple belongs to.
+    pub fn relation(&self) -> &'static str {
+        self.relation.name()
     }
 
     /// All field values, in declaration order.
@@ -57,8 +76,8 @@ impl Tuple {
     /// simulator to charge bandwidth for shipped tuples (paper's per-node
     /// communication overhead metric).
     pub fn wire_size(&self) -> usize {
-        // relation name + per-field cost
-        let mut size = self.relation.len() + 4;
+        // fixed-width interned relation tag + per-field cost
+        let mut size = WIRE_TAG_BYTES + 4;
         for f in self.fields.iter() {
             size += match f {
                 Value::Node(_) => 4,
@@ -75,7 +94,7 @@ impl Tuple {
     /// Project the listed field positions into a key for keyed upserts.
     pub fn key(&self, key_fields: &[usize]) -> TupleKey {
         TupleKey {
-            relation: self.relation.clone(),
+            relation: self.relation,
             key: key_fields.iter().filter_map(|&i| self.fields.get(i).cloned()).collect(),
         }
     }
@@ -126,14 +145,26 @@ impl fmt::Display for TupleId {
 /// "replacement of existing base tuples that have the same unique key".
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TupleKey {
-    relation: Arc<str>,
+    relation: RelId,
     key: Vec<Value>,
 }
 
 impl TupleKey {
-    /// The relation this key belongs to.
-    pub fn relation(&self) -> &str {
-        &self.relation
+    /// Build a key directly from an interned relation and key values —
+    /// the way to probe a keyed store (`Database::get_by_key`) without
+    /// having a candidate tuple in hand.
+    pub fn new(relation: RelId, key: Vec<Value>) -> TupleKey {
+        TupleKey { relation, key }
+    }
+
+    /// The interned relation this key belongs to.
+    pub fn rel(&self) -> RelId {
+        self.relation
+    }
+
+    /// The name of the relation this key belongs to.
+    pub fn relation(&self) -> &'static str {
+        self.relation.name()
     }
 
     /// The key values.
@@ -182,6 +213,11 @@ mod tests {
         let a = link(1, 2, 3.0);
         let b = link(1, 2, 99.0);
         assert_eq!(a.key(&[0, 1]), b.key(&[0, 1]));
+        // A directly-constructed key equals the projection of any tuple
+        // with the same relation and key values.
+        let direct = TupleKey::new(a.rel(), vec![Value::Node(n(1)), Value::Node(n(2))]);
+        assert_eq!(direct, a.key(&[0, 1]));
+        assert_eq!(direct.rel(), a.rel());
         assert_ne!(a.key(&[0, 1]), link(1, 3, 3.0).key(&[0, 1]));
         assert_eq!(a.key(&[0, 1]).relation(), "link");
         assert_eq!(a.key(&[0, 1]).values().len(), 2);

@@ -103,6 +103,55 @@ fn hub_failure_on_dense_overlay_is_one_invalidation_wave() {
     );
 }
 
+/// Regression for the ROADMAP follow-up: the per-query aggregate-selection
+/// prune map must not grow monotonically under churn. Dead (destination,
+/// next-hop) groups — routes whose recorded best was poisoned to ∞ — are
+/// evicted once their invalidation wave has run, so repeating the same
+/// fail+join cycle leaves the map at (or below) its size after the first
+/// cycle instead of ratcheting up by one generation of tombstone groups per
+/// cycle.
+#[test]
+fn prune_map_does_not_grow_monotonically_across_churn_cycles() {
+    let topo = repro_overlay();
+    let hub = hub_of(&topo);
+    let mut harness = RoutingHarness::new(topo);
+    let handle = harness.issue(best_path()).submit().expect("query localizes");
+    let qid = handle.id();
+
+    harness.run_until(SimTime::from_secs(120));
+    let total_entries =
+        |h: &RoutingHarness| -> usize { h.sim().apps().map(|a| a.prune_entries(qid)).sum() };
+    let at_convergence = total_entries(&harness);
+    assert!(at_convergence > 0, "converged deployment should hold prune state");
+
+    // Three identical fail+join cycles of the hub. The simulation is
+    // deterministic, so every cycle does the same work; only a leak can
+    // make later cycles end with more retained prune state than the first.
+    let mut after_cycle = Vec::new();
+    let mut t = 120u64;
+    for _ in 0..3 {
+        harness.sim_mut().schedule_node_fail(SimTime::from_secs(t), hub);
+        harness.run_until(SimTime::from_secs(t + 60));
+        harness.sim_mut().schedule_node_join(SimTime::from_secs(t + 60), hub);
+        harness.run_until(SimTime::from_secs(t + 120));
+        t += 120;
+        after_cycle.push(total_entries(&harness));
+    }
+
+    let stats = harness.processor_stats();
+    assert!(stats.prune_evicted > 0, "churn cycles must exercise prune-map eviction: {stats:?}");
+    assert!(
+        after_cycle[1] <= after_cycle[0] && after_cycle[2] <= after_cycle[0],
+        "prune map ratchets across identical churn cycles: {after_cycle:?} \
+         (entries at convergence: {at_convergence})"
+    );
+    // Routes still heal after the final rejoin (bounding must not change
+    // recovery semantics).
+    let recovered = cost_map(&harness, &handle, None, 16);
+    let from_zero = recovered.keys().filter(|(s, _)| *s == NodeId::new(0)).count();
+    assert_eq!(from_zero, 15, "node 0 should reach every peer after rejoin");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(5))]
 
