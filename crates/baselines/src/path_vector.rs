@@ -5,7 +5,7 @@
 
 use dr_netsim::{Context, LinkEvent, NodeApp, SimDuration};
 use dr_types::{Cost, NodeId, PathVector};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// One route in the routing table.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,7 +57,7 @@ pub struct PathVectorNode {
     routes: BTreeMap<NodeId, RouteEntry>,
     /// Best route heard from each neighbor per destination (per-neighbor
     /// RIB-in, needed to recover alternatives on failure).
-    rib_in: HashMap<(NodeId, NodeId), (PathVector, Cost)>,
+    rib_in: BTreeMap<(NodeId, NodeId), (PathVector, Cost)>,
     /// Current cost to each neighbor (∞ = down).
     neighbors: BTreeMap<NodeId, Cost>,
     /// Destinations whose route changed since the last advertisement.
@@ -72,7 +72,7 @@ impl PathVectorNode {
             config,
             id: NodeId::new(0),
             routes: BTreeMap::new(),
-            rib_in: HashMap::new(),
+            rib_in: BTreeMap::new(),
             neighbors: BTreeMap::new(),
             dirty: false,
             advert_scheduled: false,

@@ -1,23 +1,25 @@
 //! One function per figure / table of the paper's evaluation (§9).
 //!
-//! Every function returns printable [`Series`] or rows and is wrapped by a
-//! thin binary in `src/bin/`. Scales default to a laptop-friendly "quick"
-//! configuration; `DR_FULL=1` switches to the paper's parameters.
+//! Every experiment is a declarative scenario — a
+//! [`dr_core::scenario::ScenarioBuilder`] chain composing the topology, the
+//! event timeline (query streams, churn, link-RTT dynamics), and the typed
+//! probes the figure plots — so a new experiment is one builder chain, not
+//! a new hand-driven sampling loop. Every function returns printable
+//! [`Series`] or rows and is wrapped by a thin binary in `src/bin/`.
+//! Scales default to a laptop-friendly "quick" configuration; `DR_FULL=1`
+//! switches to the paper's parameters.
 
 use crate::runner::{
-    average_link_rtt, best_paths_snapshot, full_scale, run_best_path_query,
-    run_path_vector_baseline, start_best_path_query, Series,
+    average_link_rtt, full_scale, run_best_path_query, run_path_vector_baseline, Series,
 };
-use dr_core::harness::RoutingHarness;
-use dr_netsim::{LinkParams, SimDuration, SimTime};
+use dr_core::scenario::{Probe, QueryDef, ScenarioBuilder};
+use dr_netsim::{SimDuration, SimTime};
 use dr_protocols::{best_path, best_path_pairs, best_path_pairs_share};
-use dr_types::{Cost, NodeId};
 use dr_workloads::queries::QueryMetric;
 use dr_workloads::{
-    ChurnSchedule, MixedWorkload, OverlayKind, OverlayParams, PairWorkload, RttModel, RttSmoother,
+    ChurnSchedule, LinkRttSchedule, MixedWorkload, OverlayKind, OverlayParams, PairWorkload,
     TransitStubParams,
 };
-use std::collections::BTreeMap;
 
 // ---------------------------------------------------------------------------
 // Figure 5 — network diameter vs number of nodes
@@ -143,17 +145,34 @@ impl Default for PairStreamParams {
     }
 }
 
+/// Turn a per-checkpoint overhead scenario into the figure's series: the
+/// q-th query's cumulative per-node KB, every `checkpoint_every` queries.
+///
+/// The scenario samples the overhead probe once per request slot, so the
+/// (q-1)-th sample is the overhead right after the q-th request's slot —
+/// exactly what the old hand-driven loop recorded.
+fn checkpoint_series(name: &str, overhead: &[(f64, f64)], checkpoint_every: usize) -> Series {
+    let mut series = Series::new(name);
+    for (idx, (_, kb)) in overhead.iter().enumerate() {
+        let q = idx + 1;
+        if q % checkpoint_every == 0 {
+            series.push(q as f64, *kb);
+        }
+    }
+    series
+}
+
 /// Run a stream of pair queries under `strategy` and return the cumulative
 /// per-node overhead (KB) after every checkpoint.
 pub fn run_pair_stream(strategy: PairStrategy, params: &PairStreamParams) -> Series {
     let topo = TransitStubParams::sized(params.nodes, params.seed).generate();
-    let mut series = Series::new(strategy.label());
 
     if strategy == PairStrategy::AllPairs {
         // One all-pairs query; its overhead is independent of how many
         // requests it serves, so the series is flat.
         let horizon = SimTime::from_secs(if full_scale() { 120 } else { 90 });
         let outcome = run_best_path_query(topo, horizon, SimDuration::from_secs(1));
+        let mut series = Series::new(strategy.label());
         let mut q = params.checkpoint_every;
         while q <= params.queries {
             series.push(q as f64, outcome.per_node_kb);
@@ -162,35 +181,34 @@ pub fn run_pair_stream(strategy: PairStrategy, params: &PairStreamParams) -> Ser
         return series;
     }
 
-    let mut harness = RoutingHarness::new(topo);
     let mut workload = PairWorkload::with_destination_fraction(
         params.nodes,
         params.destination_fraction,
         params.seed,
     );
-    let mut now = SimTime::ZERO;
+    let mut defs = Vec::with_capacity(params.queries);
     for q in 1..=params.queries {
         let (src, dst) = workload.next_pair();
-        let builder = match strategy {
-            PairStrategy::NoShare => harness
-                .issue(best_path_pairs(src, dst))
+        let def = match strategy {
+            PairStrategy::NoShare => QueryDef::new(best_path_pairs(src, dst))
                 .named(format!("pair-{q}"))
                 .replicated(["magicDsts"]),
-            PairStrategy::Share => harness
-                .issue(best_path_pairs_share(src, dst, "bestPathCache"))
+            PairStrategy::Share => QueryDef::new(best_path_pairs_share(src, dst, "bestPathCache"))
                 .named(format!("pair-share-{q}"))
                 .replicated(["magicDsts"])
                 .sharing(true),
             PairStrategy::AllPairs => unreachable!("handled above"),
         };
-        builder.from(src).at(now).submit().expect("pair query must localize");
-        now += params.spacing;
-        harness.run_until(now);
-        if q % params.checkpoint_every == 0 {
-            series.push(q as f64, harness.per_node_overhead_kb());
-        }
+        defs.push(def.from(src).at(SimTime::ZERO + params.spacing.times(q as u64 - 1)));
     }
-    series
+    let report = ScenarioBuilder::over(topo)
+        .queries(defs)
+        .probes([Probe::OverheadSeries])
+        .sample_every(params.spacing)
+        .until(SimTime::ZERO + params.spacing.times(params.queries as u64))
+        .run()
+        .expect("pair-stream scenario must localize");
+    checkpoint_series(strategy.label(), &report.overhead_series, params.checkpoint_every)
 }
 
 /// Figure 7: per-node communication overhead vs number of requests for the
@@ -248,30 +266,29 @@ pub fn fig09_mixed_workload() -> Vec<Series> {
 
 fn run_mixed_stream(label: &str, switch: Option<usize>, params: &PairStreamParams) -> Series {
     let topo = TransitStubParams::sized(params.nodes, params.seed).generate();
-    let mut harness = RoutingHarness::new(topo);
     let mut workload = MixedWorkload::new(params.nodes, switch, params.seed);
-    let mut series = Series::new(label);
-    let mut now = SimTime::ZERO;
+    let mut defs = Vec::with_capacity(params.queries);
     for q in 1..=params.queries {
         let (src, dst, metric) = workload.next_query();
         let cache = metric.cache_relation();
-        harness
-            .issue(best_path_pairs_share(src, dst, cache))
-            .named(format!("{label}-{q}-{metric:?}"))
-            .replicated(["magicDsts"])
-            .sharing(true)
-            .cache_relation(cache)
-            .from(src)
-            .at(now)
-            .submit()
-            .expect("query must localize");
-        now += params.spacing;
-        harness.run_until(now);
-        if q % params.checkpoint_every == 0 {
-            series.push(q as f64, harness.per_node_overhead_kb());
-        }
+        defs.push(
+            QueryDef::new(best_path_pairs_share(src, dst, cache))
+                .named(format!("{label}-{q}-{metric:?}"))
+                .replicated(["magicDsts"])
+                .sharing(true)
+                .cache_relation(cache)
+                .from(src)
+                .at(SimTime::ZERO + params.spacing.times(q as u64 - 1)),
+        );
     }
-    series
+    let report = ScenarioBuilder::over(topo)
+        .queries(defs)
+        .probes([Probe::OverheadSeries])
+        .sample_every(params.spacing)
+        .until(SimTime::ZERO + params.spacing.times(params.queries as u64))
+        .run()
+        .expect("mixed-stream scenario must localize");
+    checkpoint_series(label, &report.overhead_series, params.checkpoint_every)
 }
 
 /// The four per-metric cache relations used by the mixed workload (exposed
@@ -340,20 +357,21 @@ pub fn fig10_11_planetlab() -> (Vec<Series>, Vec<Series>) {
     let mut bw_series = Vec::new();
     for kind in [OverlayKind::SparseRandom, OverlayKind::DenseRandom] {
         let params = OverlayParams { nodes, ..OverlayParams::planetlab(kind, 33) };
-        let topo = params.generate();
-        let mut harness = RoutingHarness::new(topo);
-        let handle = harness.issue(best_path()).submit().expect("best-path query must localize");
-        let report = handle
-            .run_and_sample(&mut harness, SimDuration::from_secs(2), horizon)
-            .expect("best-path results decode as routes");
+        let report = ScenarioBuilder::over(params.generate())
+            .query(QueryDef::new(best_path()))
+            .sample_every(SimDuration::from_secs(2))
+            .until(horizon)
+            .probe(Probe::Bandwidth)
+            .run()
+            .expect("planetlab scenario must localize and decode");
         let mut rtt = Series::new(kind.name());
-        for s in &report.samples {
+        for s in &report.queries[0].samples {
             rtt.push(s.time.as_secs_f64(), s.avg_cost);
         }
         rtt_series.push(rtt);
         let mut bw = Series::new(format!("{} (KBps/node)", kind.name()));
-        for (t, bytes_per_s) in harness.sim().metrics().per_node_bandwidth_series() {
-            bw.push(t.as_secs_f64(), bytes_per_s / 1024.0);
+        for (t, bytes_per_s) in &report.bandwidth {
+            bw.push(*t, bytes_per_s / 1024.0);
         }
         bw_series.push(bw);
     }
@@ -386,9 +404,9 @@ pub struct AdaptationOutcome {
 }
 
 /// Figures 12/13 + Table 3: run the continuous all-pairs shortest-RTT query
-/// on a random overlay, periodically refresh link RTT measurements (raw or
-/// smoothed), and measure how the computed paths track the fluctuations and
-/// how stable they are.
+/// on a random overlay while a [`LinkRttSchedule`] periodically refreshes
+/// link RTT measurements (raw or smoothed), and measure how the computed
+/// paths track the fluctuations and how stable they are.
 pub fn adaptation_experiment(kind: OverlayKind, smoothed: bool, seed: u64) -> AdaptationOutcome {
     let nodes = if full_scale() { 72 } else { 36 };
     let rounds = if full_scale() { 10 } else { 6 };
@@ -396,86 +414,28 @@ pub fn adaptation_experiment(kind: OverlayKind, smoothed: bool, seed: u64) -> Ad
     let warmup = SimTime::from_secs(if full_scale() { 180 } else { 120 });
 
     let params = OverlayParams { nodes, ..OverlayParams::planetlab(kind, seed) };
-    let topo = params.generate();
-    // Remember every link's baseline RTT for the measurement model.
-    let baselines: Vec<(NodeId, NodeId, f64)> =
-        topo.all_links().map(|(a, b, p)| (a, b, p.cost.value())).collect();
+    let measurements =
+        LinkRttSchedule::new(warmup, round_interval, rounds, smoothed, seed ^ 0x5eed);
+    let report = ScenarioBuilder::over(params.generate())
+        .query(QueryDef::new(best_path()))
+        .source(&measurements)
+        .sample_from(warmup)
+        .sample_every(round_interval)
+        .until(warmup + round_interval.times(rounds as u64))
+        .probes([Probe::PathRtt, Probe::LinkRtt, Probe::PathChanges])
+        .run()
+        .expect("adaptation scenario must localize and decode");
 
-    let (mut harness, handle) = start_best_path_query(topo, warmup);
-    let initial = best_paths_snapshot(&harness, &handle);
-    let bytes_before_updates = harness.sim().metrics().total_bytes();
-    let update_phase_start = harness.sim().now();
-
-    let mut model = RttModel::new(seed ^ 0x5eed);
-    let mut smoothers: BTreeMap<(NodeId, NodeId), RttSmoother> = BTreeMap::new();
-    let mut changes: BTreeMap<(NodeId, NodeId), usize> = BTreeMap::new();
-    let mut last_paths = initial.clone();
-    let mut avg_path_series = Series::new(format!("AvgPathRTT ({})", kind.name()));
-    let mut avg_link_series = Series::new("AvgLinkRTT");
-    let mut reported_rtts: BTreeMap<(NodeId, NodeId), f64> =
-        baselines.iter().map(|(a, b, c)| ((*a, *b), *c)).collect();
-
-    let mut now = warmup;
-    for _ in 0..rounds {
-        model.next_round();
-        // Measure every link, spread across the round.
-        for (i, (a, b, baseline)) in baselines.iter().enumerate() {
-            let sample = model.measure(*baseline);
-            let reported = if smoothed {
-                smoothers.entry((*a, *b)).or_default().observe(sample)
-            } else {
-                Some(sample)
-            };
-            if let Some(rtt) = reported {
-                reported_rtts.insert((*a, *b), rtt);
-                let at = now
-                    + SimDuration::from_millis_f64(
-                        round_interval.as_millis_f64() * (i as f64 / baselines.len() as f64),
-                    );
-                harness.sim_mut().schedule_link_metric_change(
-                    at,
-                    *a,
-                    *b,
-                    LinkParams::with_latency_ms(rtt / 2.0).with_cost(Cost::new(rtt)),
-                );
-            }
-        }
-        now += round_interval;
-        harness.run_until(now);
-
-        // Sample the computed paths and the reported link RTTs.
-        let snapshot = best_paths_snapshot(&harness, &handle);
-        let avg_path = if snapshot.is_empty() {
-            0.0
-        } else {
-            snapshot.values().map(|r| r.cost.value()).sum::<f64>() / snapshot.len() as f64
-        };
-        let avg_link = reported_rtts.values().sum::<f64>() / reported_rtts.len().max(1) as f64;
-        avg_path_series.push(now.as_secs_f64(), avg_path);
-        avg_link_series.push(now.as_secs_f64(), avg_link);
-
-        // Count path changes.
-        for (pair, route) in &snapshot {
-            if let Some(old_route) = last_paths.get(pair) {
-                if old_route.path != route.path {
-                    *changes.entry(*pair).or_insert(0) += 1;
-                }
-            }
-        }
-        last_paths = snapshot;
-    }
-
-    let pairs = initial.len().max(1);
-    let changed_pairs = changes.len();
-    let total_changes: usize = changes.values().sum();
-    let elapsed = (harness.sim().now() - update_phase_start).as_secs_f64().max(1e-9);
-    let bytes_during = harness.sim().metrics().total_bytes() - bytes_before_updates;
+    let changes = report.path_changes.as_ref().expect("PathChanges probe enabled");
     AdaptationOutcome {
-        avg_path_rtt: avg_path_series,
-        avg_link_rtt: avg_link_series,
-        stable_fraction: 1.0 - changed_pairs as f64 / pairs as f64,
-        avg_changes: total_changes as f64 / pairs as f64,
-        steady_state_bps: bytes_during as f64 / elapsed / nodes as f64,
+        avg_path_rtt: Series::from_points(
+            format!("AvgPathRTT ({})", kind.name()),
+            &report.path_rtt,
+        ),
+        avg_link_rtt: Series::from_points("AvgLinkRTT", &report.link_rtt),
+        stable_fraction: changes.stable_fraction(),
+        avg_changes: changes.avg_changes(),
+        steady_state_bps: report.window.per_node_bps,
         topology: kind.name().to_string(),
         smoothed,
     }
@@ -501,7 +461,8 @@ pub fn tab03_stability() -> Vec<AdaptationOutcome> {
 pub struct ChurnOutcome {
     /// AvgPathRTT over time (the Fig. 14 curve for this failure fraction).
     pub avg_path_rtt: Series,
-    /// Average path recovery time in seconds (Table 4).
+    /// Average path recovery time in seconds (Table 4). Per §9.1, recovery
+    /// times exclude the failure-detection delay.
     pub avg_recovery_s: f64,
     /// Median recovery time in seconds.
     pub median_recovery_s: f64,
@@ -522,88 +483,21 @@ pub fn churn_experiment(kind: OverlayKind, fraction: f64, seed: u64) -> ChurnOut
     let cycles = if full_scale() { 4 } else { 2 };
     let interval = SimDuration::from_secs(if full_scale() { 150 } else { 60 });
     let warmup = SimTime::from_secs(if full_scale() { 180 } else { 120 });
-    let sample_interval = SimDuration::from_secs(1);
 
     let params = OverlayParams { nodes, ..OverlayParams::planetlab(kind, seed) };
-    let topo = params.generate();
-    let (mut harness, handle) = start_best_path_query(topo, warmup);
-
     let schedule =
         ChurnSchedule::alternating(nodes, fraction, warmup, interval, cycles, seed ^ 0xc0de);
-    schedule.apply(harness.sim_mut());
-    let churn_start = harness.sim().now();
-    let bytes_before = harness.sim().metrics().total_bytes();
+    let report = ScenarioBuilder::over(params.generate())
+        .query(QueryDef::new(best_path()))
+        .source(&schedule)
+        .sample_from(warmup)
+        .sample_every(SimDuration::from_secs(1))
+        .until(schedule.end_time() + interval)
+        .probes([Probe::PathRtt, Probe::Recovery])
+        .run()
+        .expect("churn scenario must localize and decode");
 
-    let mut avg_series = Series::new(format!("{} ({:.0}% nodes)", kind.name(), fraction * 100.0));
-    let mut recoveries: Vec<f64> = Vec::new();
-    // Pending recoveries: (source, dest) -> failure observation time.
-    let mut pending: BTreeMap<(NodeId, NodeId), SimTime> = BTreeMap::new();
-    let mut failed_now: Vec<NodeId> = Vec::new();
-    let mut event_idx = 0usize;
-
-    let end = schedule.end_time() + interval;
-    let mut now = churn_start;
-    while now < end {
-        now += sample_interval;
-        harness.run_until(now);
-
-        // Track which churn events have fired by now.
-        while event_idx < schedule.events().len() && schedule.events()[event_idx].time() <= now {
-            match &schedule.events()[event_idx] {
-                dr_workloads::churn::ChurnEvent::Fail(t, victims) => {
-                    failed_now = victims.clone();
-                    // Paths that traverse a victim are invalidated.
-                    for (pair, route) in best_paths_snapshot(&harness, &handle) {
-                        if victims.iter().any(|v| route.traverses(*v))
-                            && !victims.contains(&pair.0)
-                            && !victims.contains(&pair.1)
-                        {
-                            pending.insert(pair, *t);
-                        }
-                    }
-                }
-                dr_workloads::churn::ChurnEvent::Join(_, _) => {
-                    failed_now.clear();
-                }
-            }
-            event_idx += 1;
-        }
-
-        // Check pending recoveries.
-        if !pending.is_empty() {
-            let snapshot = best_paths_snapshot(&harness, &handle);
-            let mut recovered: Vec<(NodeId, NodeId)> = Vec::new();
-            for (pair, failed_at) in &pending {
-                if let Some(route) = snapshot.get(pair) {
-                    let valid =
-                        route.cost.is_finite() && !failed_now.iter().any(|f| route.traverses(*f));
-                    if valid {
-                        recoveries.push((now - *failed_at).as_secs_f64());
-                        recovered.push(*pair);
-                    }
-                }
-            }
-            for pair in recovered {
-                pending.remove(&pair);
-            }
-        }
-
-        // Sample AvgPathRTT, excluding paths through currently failed nodes.
-        let snapshot = best_paths_snapshot(&harness, &handle);
-        let valid: Vec<f64> = snapshot
-            .iter()
-            .filter(|(pair, route)| {
-                !failed_now.contains(&pair.0)
-                    && !failed_now.contains(&pair.1)
-                    && !failed_now.iter().any(|f| route.traverses(*f))
-            })
-            .map(|(_, route)| route.cost.value())
-            .collect();
-        let avg =
-            if valid.is_empty() { 0.0 } else { valid.iter().sum::<f64>() / valid.len() as f64 };
-        avg_series.push(now.as_secs_f64(), avg);
-    }
-
+    let mut recoveries = report.recovery_times();
     recoveries.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let avg_recovery = if recoveries.is_empty() {
         0.0
@@ -616,14 +510,15 @@ pub fn churn_experiment(kind: OverlayKind, fraction: f64, seed: u64) -> ChurnOut
     } else {
         recoveries.iter().filter(|&&r| r >= 10.0).count() as f64 / recoveries.len() as f64
     };
-    let elapsed = (harness.sim().now() - churn_start).as_secs_f64().max(1e-9);
-    let bytes = harness.sim().metrics().total_bytes() - bytes_before;
     ChurnOutcome {
-        avg_path_rtt: avg_series,
+        avg_path_rtt: Series::from_points(
+            format!("{} ({:.0}% nodes)", kind.name(), fraction * 100.0),
+            &report.path_rtt,
+        ),
         avg_recovery_s: avg_recovery,
         median_recovery_s: median,
         slow_recovery_fraction: slow,
-        churn_bps: bytes as f64 / elapsed / nodes as f64,
+        churn_bps: report.window.per_node_bps,
         fraction,
         topology: kind.name().to_string(),
     }
@@ -679,5 +574,12 @@ mod tests {
         assert!(p.nodes >= 60);
         assert!(p.queries >= 60);
         assert!(p.checkpoint_every > 0);
+    }
+
+    #[test]
+    fn checkpoint_series_maps_samples_to_query_counts() {
+        let overhead: Vec<(f64, f64)> = (1..=8).map(|i| (i as f64 * 5.0, i as f64)).collect();
+        let series = checkpoint_series("s", &overhead, 3);
+        assert_eq!(series.points, vec![(3.0, 3.0), (6.0, 6.0)]);
     }
 }

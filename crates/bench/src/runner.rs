@@ -1,12 +1,11 @@
-//! Shared experiment plumbing: building deployments, running the all-pairs
-//! Best-Path query or a baseline to convergence, issuing streams of
-//! source/destination queries, and formatting result series.
+//! Shared experiment plumbing: running the all-pairs Best-Path query (as a
+//! one-line scenario) or the hand-coded path-vector baseline to
+//! convergence, and formatting result series.
 
 use dr_baselines::{PathVectorConfig, PathVectorNode};
-use dr_core::harness::{QueryHandle, RoutingHarness};
+use dr_core::scenario::{QueryDef, ScenarioBuilder, ScenarioReport};
 use dr_netsim::{SimConfig, SimDuration, SimTime, Simulator, Topology};
 use dr_protocols::best_path;
-use dr_types::{NodeId, RouteEntry};
 
 /// True when the `DR_FULL` environment variable requests paper-scale runs.
 pub fn full_scale() -> bool {
@@ -28,30 +27,80 @@ impl Series {
         Series { name: name.into(), points: Vec::new() }
     }
 
+    /// Create a series from `(x, y)` points.
+    pub fn from_points(name: impl Into<String>, points: &[(f64, f64)]) -> Series {
+        Series { name: name.into(), points: points.to_vec() }
+    }
+
     /// Append a point.
     pub fn push(&mut self, x: f64, y: f64) {
         self.points.push((x, y));
     }
 
-    /// Print one or more series sharing an x axis as CSV to stdout.
+    /// Print one or more series as CSV to stdout, merging rows on x.
+    ///
+    /// Rows are produced by a k-way merge over every series' (ascending) x
+    /// values: each row takes the smallest pending x and fills the cell of
+    /// every series that has a point at exactly that x, leaving the others
+    /// empty. Series with different axes therefore interleave correctly
+    /// instead of silently borrowing the first series' x column (which
+    /// used to skew figure CSVs whenever axes diverged).
+    ///
+    /// Panics on a non-finite x value — that is a generator bug, and a NaN
+    /// axis cell would silently never merge.
     pub fn print_table(x_label: &str, series: &[Series]) {
         print!("{x_label}");
         for s in series {
             print!(",{}", s.name);
         }
         println!();
-        let xs: Vec<f64> =
-            series.first().map(|s| s.points.iter().map(|(x, _)| *x).collect()).unwrap_or_default();
-        for (i, x) in xs.iter().enumerate() {
+        for (x, cells) in Series::merge_rows(series) {
             print!("{x:.3}");
-            for s in series {
-                match s.points.get(i) {
-                    Some((_, y)) => print!(",{y:.3}"),
+            for cell in cells {
+                match cell {
+                    Some(y) => print!(",{y:.3}"),
                     None => print!(","),
                 }
             }
             println!();
         }
+    }
+
+    /// The k-way merge behind [`Series::print_table`]: rows of
+    /// `(x, one cell per series)`, where a cell is `None` when that series
+    /// has no point at this row's x.
+    pub fn merge_rows(series: &[Series]) -> Vec<(f64, Vec<Option<f64>>)> {
+        let mut cursor = vec![0usize; series.len()];
+        let mut rows = Vec::new();
+        loop {
+            let mut x: Option<f64> = None;
+            for (s, &c) in series.iter().zip(&cursor) {
+                if let Some((sx, _)) = s.points.get(c) {
+                    assert!(
+                        sx.is_finite(),
+                        "Series::print_table: non-finite x {sx} in series {:?}",
+                        s.name
+                    );
+                    x = Some(match x {
+                        None => *sx,
+                        Some(m) => m.min(*sx),
+                    });
+                }
+            }
+            let Some(x) = x else { break };
+            let mut row = Vec::with_capacity(series.len());
+            for (s, c) in series.iter().zip(cursor.iter_mut()) {
+                match s.points.get(*c) {
+                    Some((sx, y)) if *sx == x => {
+                        row.push(Some(*y));
+                        *c += 1;
+                    }
+                    _ => row.push(None),
+                }
+            }
+            rows.push((x, row));
+        }
+        rows
     }
 }
 
@@ -69,6 +118,19 @@ pub struct RunOutcome {
     pub avg_cost: f64,
 }
 
+impl RunOutcome {
+    /// Read the outcome of a single-query scenario report.
+    pub fn of(report: &ScenarioReport) -> RunOutcome {
+        let q = report.queries.first().expect("scenario issued a query");
+        RunOutcome {
+            convergence_s: q.converged_at.map(|t| t.as_secs_f64()),
+            per_node_kb: report.per_node_overhead_kb,
+            routes: q.final_results(),
+            avg_cost: q.final_avg_cost(),
+        }
+    }
+}
+
 /// Run the all-pairs Best-Path query (issued at node 0 at t=0) over
 /// `topology` until `horizon`, sampling every `sample` to detect
 /// convergence.
@@ -77,29 +139,13 @@ pub fn run_best_path_query(
     horizon: SimTime,
     sample: SimDuration,
 ) -> RunOutcome {
-    let mut harness = RoutingHarness::new(topology);
-    let handle = harness.issue(best_path()).submit().expect("best-path query must localize");
-    let report = handle
-        .run_and_sample(&mut harness, sample, horizon)
-        .expect("best-path results decode as routes");
-    RunOutcome {
-        convergence_s: report.converged_at.map(|t| t.as_secs_f64()),
-        per_node_kb: report.per_node_overhead_kb,
-        routes: report.final_results(),
-        avg_cost: report.final_avg_cost(),
-    }
-}
-
-/// Run the all-pairs Best-Path query and also return the harness for
-/// follow-on phases (continuous updates, churn).
-pub fn start_best_path_query(
-    topology: Topology,
-    warmup: SimTime,
-) -> (RoutingHarness, QueryHandle<RouteEntry>) {
-    let mut harness = RoutingHarness::new(topology);
-    let handle = harness.issue(best_path()).submit().expect("best-path query must localize");
-    harness.run_until(warmup);
-    (harness, handle)
+    let report = ScenarioBuilder::over(topology)
+        .query(QueryDef::new(best_path()))
+        .sample_every(sample)
+        .until(horizon)
+        .run()
+        .expect("best-path scenario must localize and decode");
+    RunOutcome::of(&report)
 }
 
 /// Run the hand-coded path-vector baseline over `topology` until `horizon`,
@@ -177,20 +223,6 @@ pub fn average_link_rtt(topology: &Topology) -> f64 {
     }
 }
 
-/// Extract the current per-pair best routes from a harness (for stability
-/// and churn analysis).
-pub fn best_paths_snapshot(
-    harness: &RoutingHarness,
-    handle: &QueryHandle<RouteEntry>,
-) -> std::collections::BTreeMap<(NodeId, NodeId), RouteEntry> {
-    handle
-        .finite_results(harness)
-        .expect("best-path results decode as routes")
-        .into_iter()
-        .map(|r| ((r.src, r.dst), r))
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,6 +238,44 @@ mod tests {
         b.push(200.0, 2.0);
         // just exercise the printer; output goes to stdout
         Series::print_table("nodes", &[a, b]);
+    }
+
+    #[test]
+    fn series_table_merges_mismatched_axes() {
+        // Regression: the printer used to take x values from the first
+        // series only and pad the rest positionally, silently skewing any
+        // figure whose series sampled different x values. The merge is
+        // exercised here; the row structure is pinned by merge_rows below.
+        let mut a = Series::new("a");
+        a.push(1.0, 10.0);
+        a.push(3.0, 30.0);
+        let mut b = Series::new("b");
+        b.push(2.0, 20.0);
+        b.push(3.0, 31.0);
+        b.push(4.0, 40.0);
+        Series::print_table("x", &[a, b]);
+    }
+
+    #[test]
+    fn mismatched_axes_merge_on_x_instead_of_position() {
+        let a = Series::from_points("a", &[(1.0, 10.0), (3.0, 30.0)]);
+        let b = Series::from_points("b", &[(2.0, 20.0), (3.0, 31.0), (4.0, 40.0)]);
+        let rows = Series::merge_rows(&[a, b]);
+        assert_eq!(
+            rows,
+            vec![
+                (1.0, vec![Some(10.0), None]),
+                (2.0, vec![None, Some(20.0)]),
+                (3.0, vec![Some(30.0), Some(31.0)]),
+                (4.0, vec![None, Some(40.0)]),
+            ]
+        );
+        // Shared axes collapse to one row per x (the common figure case).
+        let a = Series::from_points("a", &[(1.0, 10.0), (2.0, 11.0)]);
+        let b = Series::from_points("b", &[(1.0, 20.0), (2.0, 21.0)]);
+        let rows = Series::merge_rows(&[a, b]);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|(_, cells)| cells.iter().all(Option::is_some)));
     }
 
     #[test]

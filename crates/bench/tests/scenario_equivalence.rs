@@ -1,0 +1,46 @@
+//! Shim-vs-scenario equivalence on the Figure 6 measurement.
+//!
+//! `dr-bench`'s `run_best_path_query` is now a one-chain scenario; the old
+//! imperative choreography (issue + `QueryHandle::run_and_sample`) survives
+//! as a `#[deprecated]` shim for one release. This test pins that both
+//! paths produce the *same* Figure 6 numbers — convergence latency,
+//! per-node overhead, route count, and average cost — on a quick-scale
+//! transit-stub network, so the shim can be deleted next release without a
+//! silent figure shift.
+
+use dr_bench::runner::run_best_path_query;
+use dr_core::harness::RoutingHarness;
+use dr_netsim::{SimDuration, SimTime};
+use dr_protocols::best_path;
+use dr_workloads::TransitStubParams;
+
+#[test]
+#[allow(deprecated)] // the whole point: compare the shim against the scenario
+fn fig06_shim_and_scenario_paths_agree_exactly() {
+    let size = 50;
+    let horizon = SimTime::from_secs(90);
+    let sample = SimDuration::from_millis(500);
+    let topo = TransitStubParams::sized(size, 7).generate();
+
+    // Scenario path (what fig06_convergence runs today).
+    let scenario = run_best_path_query(topo.clone(), horizon, sample);
+
+    // Shim path: the pre-scenario choreography, verbatim.
+    let mut harness = RoutingHarness::new(topo);
+    let handle = harness.issue(best_path()).submit().expect("best-path query must localize");
+    let report = handle
+        .run_and_sample(&mut harness, sample, horizon)
+        .expect("best-path results decode as routes");
+
+    assert_eq!(
+        scenario.convergence_s,
+        report.converged_at.map(|t| t.as_secs_f64()),
+        "convergence latency must not shift"
+    );
+    assert_eq!(
+        scenario.per_node_kb, report.per_node_overhead_kb,
+        "per-node overhead must match to the last bit"
+    );
+    assert_eq!(scenario.routes, report.final_results(), "route counts must match");
+    assert_eq!(scenario.avg_cost, report.final_avg_cost(), "average cost must match");
+}

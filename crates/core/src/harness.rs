@@ -54,6 +54,11 @@ pub struct Sample {
 }
 
 /// The outcome of running a query while sampling its result set.
+#[deprecated(
+    since = "0.6.0",
+    note = "superseded by `dr_core::scenario::ScenarioReport` (per-query \
+            `QueryReport`s plus timeline-aware probes)"
+)]
 #[derive(Debug, Clone)]
 pub struct ConvergenceReport {
     /// Periodic snapshots of the result set.
@@ -65,6 +70,7 @@ pub struct ConvergenceReport {
     pub per_node_overhead_kb: f64,
 }
 
+#[allow(deprecated)]
 impl ConvergenceReport {
     /// The final sampled result count (0 when nothing was sampled).
     pub fn final_results(&self) -> usize {
@@ -173,6 +179,18 @@ impl<T: CostView> QueryHandle<T> {
 
     /// Run `harness` until `until`, sampling this query's finite result set
     /// every `interval`, and report when (and whether) it converged.
+    ///
+    /// Deprecated: this is now a thin wrapper over the scenario API's
+    /// sampling probe ([`crate::scenario::sample_query`]); compose a
+    /// [`crate::scenario::ScenarioBuilder`] instead, which also carries the
+    /// event timeline (churn, link dynamics, injections) and the other
+    /// typed probes in one declarative description.
+    #[deprecated(
+        since = "0.6.0",
+        note = "compose a `dr_core::scenario::ScenarioBuilder` (`.query(..)\
+                .sample_every(..).until(..).run()`) instead"
+    )]
+    #[allow(deprecated)] // constructs the deprecated ConvergenceReport it returns
     pub fn run_and_sample(
         &self,
         harness: &mut RoutingHarness,
@@ -182,15 +200,9 @@ impl<T: CostView> QueryHandle<T> {
         let mut samples = Vec::new();
         let mut t = harness.sim.now();
         while t < until {
-            let next = t + interval;
-            harness.sim.run_until(next);
-            t = next;
-            let finite = self.finite_results(harness)?;
-            samples.push(Sample {
-                time: t,
-                results: finite.len(),
-                avg_cost: average_cost_of(&finite),
-            });
+            t += interval;
+            harness.sim.run_until(t);
+            samples.push(crate::scenario::sample_query(harness, self)?);
         }
         let converged_at = converged_at(&samples);
         Ok(ConvergenceReport {
@@ -201,7 +213,7 @@ impl<T: CostView> QueryHandle<T> {
     }
 }
 
-fn average_cost_of<T: CostView>(finite: &[T]) -> f64 {
+pub(crate) fn average_cost_of<T: CostView>(finite: &[T]) -> f64 {
     if finite.is_empty() {
         return 0.0;
     }
@@ -418,7 +430,7 @@ impl RoutingHarness {
 
 /// The earliest sample time after which neither the result count nor the
 /// average cost changes again.
-fn converged_at(samples: &[Sample]) -> Option<SimTime> {
+pub(crate) fn converged_at(samples: &[Sample]) -> Option<SimTime> {
     if samples.is_empty() {
         return None;
     }
@@ -573,6 +585,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // exercises the run_and_sample shim until it is removed
     fn convergence_report_detects_stabilization() {
         let program = parse_program(BEST_PATH).unwrap();
         let mut harness = RoutingHarness::new(line_topology(4));

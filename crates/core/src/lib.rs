@@ -26,6 +26,10 @@
 //!   issue queries through the fluent [`IssueBuilder`], and observe typed
 //!   results, convergence, and communication statistics through
 //!   [`QueryHandle`]s.
+//! * [`scenario`] — declarative experiment descriptions: a
+//!   [`ScenarioBuilder`] composes a topology, an event timeline (query
+//!   issuance, churn, link dynamics, injections), and typed [`Probe`]s,
+//!   and [`Scenario::run`] plays it out into a [`ScenarioReport`].
 //!
 //! # Example
 //!
@@ -82,8 +86,14 @@ pub mod harness;
 pub mod localize;
 pub mod processor;
 pub mod query;
+pub mod scenario;
 
-pub use harness::{ConvergenceReport, IssueBuilder, QueryHandle, RoutingHarness, Sample};
+#[allow(deprecated)] // re-exported for the one-release shim lifecycle
+pub use harness::ConvergenceReport;
+pub use harness::{IssueBuilder, QueryHandle, RoutingHarness, Sample};
 pub use localize::{LocalizedProgram, LocalizedRule, ShipSpec};
 pub use processor::{NetMsg, ProcessorConfig, QueryProcessor};
 pub use query::{QueryId, QueryLibrary, QuerySpec};
+pub use scenario::{
+    Probe, QueryDef, QueryReport, Scenario, ScenarioBuilder, ScenarioReport, ScenarioRun,
+};

@@ -19,6 +19,9 @@
 //!   transmission delay + FIFO link queuing, timers, link-metric updates,
 //!   node failure and rejoin.
 //! * [`NodeApp`] — the trait a per-node protocol implementation provides.
+//! * [`TimelineEvent`] / [`EventSource`] — declarative world-event
+//!   timelines (fail/join, link changes, injections) that schedules from
+//!   `dr-workloads` expand into and the scenario layer in `dr-core` runs.
 //! * [`Metrics`] — per-node byte/message accounting and time-bucketed
 //!   bandwidth series (the paper's "per-node communication overhead").
 
@@ -28,9 +31,11 @@
 pub mod metrics;
 pub mod sim;
 pub mod time;
+pub mod timeline;
 pub mod topology;
 
 pub use metrics::Metrics;
 pub use sim::{Context, LinkEvent, NodeApp, SimConfig, Simulator};
 pub use time::{SimDuration, SimTime};
+pub use timeline::{EventSource, TimelineEvent};
 pub use topology::{LinkParams, Topology};

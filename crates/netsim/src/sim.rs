@@ -277,6 +277,14 @@ impl<A: NodeApp> Simulator<A> {
         self.world.now
     }
 
+    /// The simulator configuration (detection delay, metrics bucket, event
+    /// cap). Probes that reason about failure detection — the §9.1
+    /// recovery-time definition excludes the detection delay — read it from
+    /// here instead of assuming the default.
+    pub fn config(&self) -> &SimConfig {
+        &self.world.config
+    }
+
     /// The metrics collected so far.
     pub fn metrics(&self) -> &Metrics {
         &self.world.metrics

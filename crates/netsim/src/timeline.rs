@@ -1,0 +1,210 @@
+//! Declarative event timelines.
+//!
+//! The paper's evaluation choreographies (§9) all perturb a running
+//! deployment with the same vocabulary of world events: node fail-stop
+//! failures and rejoins (§9.2.4 churn), link-metric changes (§9.2.3 RTT
+//! refreshes), and externally injected application messages (query
+//! issuance). A [`TimelineEvent`] names one such perturbation at an
+//! absolute simulated time; an [`EventSource`] is anything that expands
+//! into a batch of them — a churn schedule, an RTT-measurement schedule, a
+//! jitter process, or a hand-written `Vec`.
+//!
+//! Timelines are *data*: they can be generated up front from a seed,
+//! inspected, merged, recorded in a report, and finally [`scheduled`]
+//! (`TimelineEvent::schedule`) onto a [`Simulator`]. The scenario layer in
+//! `dr-core` composes them with typed probes; the hand-driven alternative
+//! (calling `schedule_node_fail` & friends in an ad-hoc loop) remains
+//! available for low-level tests.
+//!
+//! [`scheduled`]: TimelineEvent::schedule
+
+use crate::sim::{NodeApp, Simulator};
+use crate::time::SimTime;
+use crate::topology::{LinkParams, Topology};
+use dr_types::NodeId;
+
+/// One world event at an absolute simulated time.
+///
+/// Generic over the application message type `M` so that protocol-specific
+/// injections (e.g. `dr-core`'s `NetMsg::Install`) ride the same timeline
+/// as protocol-agnostic fail/join/link events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TimelineEvent<M> {
+    /// `node` fail-stops at `at` (neighbors detect it after the simulator's
+    /// failure-detection delay).
+    NodeFail {
+        /// When the failure happens.
+        at: SimTime,
+        /// The failing node.
+        node: NodeId,
+    },
+    /// `node` rejoins at `at`.
+    NodeJoin {
+        /// When the rejoin happens.
+        at: SimTime,
+        /// The rejoining node.
+        node: NodeId,
+    },
+    /// The directed link `from → to` changes to `params` at `at`.
+    LinkChange {
+        /// When the change happens.
+        at: SimTime,
+        /// The owning endpoint (notified via `on_link_event`).
+        from: NodeId,
+        /// The other endpoint.
+        to: NodeId,
+        /// The new link parameters.
+        params: LinkParams,
+    },
+    /// `msg` is delivered to `node` at `at` (external injection; no
+    /// bandwidth is charged).
+    Inject {
+        /// When the message is delivered.
+        at: SimTime,
+        /// The receiving node.
+        node: NodeId,
+        /// The injected message.
+        msg: M,
+    },
+}
+
+impl<M: Clone> TimelineEvent<M> {
+    /// When the event happens.
+    pub fn time(&self) -> SimTime {
+        match self {
+            TimelineEvent::NodeFail { at, .. }
+            | TimelineEvent::NodeJoin { at, .. }
+            | TimelineEvent::LinkChange { at, .. }
+            | TimelineEvent::Inject { at, .. } => *at,
+        }
+    }
+
+    /// Push the event onto a simulator's queue.
+    pub fn schedule<A: NodeApp<Message = M>>(&self, sim: &mut Simulator<A>) {
+        match self {
+            TimelineEvent::NodeFail { at, node } => sim.schedule_node_fail(*at, *node),
+            TimelineEvent::NodeJoin { at, node } => sim.schedule_node_join(*at, *node),
+            TimelineEvent::LinkChange { at, from, to, params } => {
+                sim.schedule_link_metric_change(*at, *from, *to, *params)
+            }
+            TimelineEvent::Inject { at, node, msg } => sim.inject(*at, *node, msg.clone()),
+        }
+    }
+
+    /// A short human-readable description (used by scenario reports).
+    pub fn summary(&self) -> String {
+        match self {
+            TimelineEvent::NodeFail { node, .. } => format!("fail {node}"),
+            TimelineEvent::NodeJoin { node, .. } => format!("join {node}"),
+            TimelineEvent::LinkChange { from, to, params, .. } => {
+                format!("link {from}->{to} cost {}", params.cost)
+            }
+            TimelineEvent::Inject { node, .. } => format!("inject {node}"),
+        }
+    }
+}
+
+/// Anything that expands into timeline events over a given topology.
+///
+/// Implementations live next to the schedule types themselves
+/// (`dr-workloads`' `ChurnSchedule`, `LinkRttSchedule`,
+/// `LinkJitterSchedule`); the topology argument lets link-level sources
+/// enumerate the links they perturb. Sources must be deterministic: the
+/// same source over the same topology yields the same events, so scenario
+/// runs are reproducible from their seeds.
+pub trait EventSource<M> {
+    /// The events this source contributes, in chronological order.
+    fn events_for(&self, topology: &Topology) -> Vec<TimelineEvent<M>>;
+}
+
+impl<M: Clone> EventSource<M> for Vec<TimelineEvent<M>> {
+    fn events_for(&self, _topology: &Topology) -> Vec<TimelineEvent<M>> {
+        self.clone()
+    }
+}
+
+impl<M: Clone> EventSource<M> for [TimelineEvent<M>] {
+    fn events_for(&self, _topology: &Topology) -> Vec<TimelineEvent<M>> {
+        self.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{Context, SimConfig};
+    use crate::time::SimDuration;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[derive(Default)]
+    struct Recorder {
+        got: Vec<u32>,
+    }
+
+    impl NodeApp for Recorder {
+        type Message = u32;
+        fn on_message(&mut self, _: &mut Context<'_, u32>, _: NodeId, msg: u32) {
+            self.got.push(msg);
+        }
+    }
+
+    fn two_node_sim() -> Simulator<Recorder> {
+        let mut topo = Topology::new(2);
+        topo.add_bidirectional(n(0), n(1), LinkParams::with_latency_ms(1.0));
+        Simulator::new(topo, vec![Recorder::default(), Recorder::default()], SimConfig::default())
+    }
+
+    #[test]
+    fn events_schedule_onto_the_simulator() {
+        let mut sim = two_node_sim();
+        let events: Vec<TimelineEvent<u32>> = vec![
+            TimelineEvent::Inject { at: SimTime::from_millis(5), node: n(1), msg: 7 },
+            TimelineEvent::LinkChange {
+                at: SimTime::from_millis(10),
+                from: n(0),
+                to: n(1),
+                params: LinkParams::with_latency_ms(42.0),
+            },
+            TimelineEvent::NodeFail { at: SimTime::from_millis(20), node: n(1) },
+            TimelineEvent::NodeJoin { at: SimTime::from_millis(30), node: n(1) },
+        ];
+        for e in &events {
+            e.schedule(&mut sim);
+        }
+        sim.run_to_quiescence();
+        assert_eq!(sim.app(n(1)).got, vec![7]);
+        assert_eq!(sim.topology().link(n(0), n(1)).unwrap().latency, SimDuration::from_millis(42));
+        assert!(sim.is_up(n(1)));
+    }
+
+    #[test]
+    fn time_and_summary_cover_every_variant() {
+        let e: TimelineEvent<u32> =
+            TimelineEvent::NodeFail { at: SimTime::from_secs(3), node: n(2) };
+        assert_eq!(e.time(), SimTime::from_secs(3));
+        assert!(e.summary().contains("fail"));
+        let e: TimelineEvent<u32> = TimelineEvent::NodeJoin { at: SimTime::ZERO, node: n(2) };
+        assert!(e.summary().contains("join"));
+        let e: TimelineEvent<u32> = TimelineEvent::LinkChange {
+            at: SimTime::ZERO,
+            from: n(0),
+            to: n(1),
+            params: LinkParams::default(),
+        };
+        assert!(e.summary().contains("link"));
+        let e: TimelineEvent<u32> = TimelineEvent::Inject { at: SimTime::ZERO, node: n(0), msg: 1 };
+        assert!(e.summary().contains("inject"));
+    }
+
+    #[test]
+    fn vec_is_an_event_source() {
+        let events: Vec<TimelineEvent<u32>> =
+            vec![TimelineEvent::NodeFail { at: SimTime::ZERO, node: n(0) }];
+        let topo = Topology::new(1);
+        assert_eq!(EventSource::events_for(&events, &topo), events);
+        assert_eq!(EventSource::events_for(events.as_slice(), &topo), events);
+    }
+}

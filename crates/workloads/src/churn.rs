@@ -5,7 +5,8 @@
 //! 10% or 20% of the nodes) experience fail-stop failures. This is followed
 //! by a join event where the previously failed nodes rejoin the network."
 
-use dr_netsim::{SimDuration, SimTime};
+use dr_netsim::timeline::{EventSource, TimelineEvent};
+use dr_netsim::{SimDuration, SimTime, Topology};
 use dr_types::NodeId;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -97,21 +98,37 @@ impl ChurnSchedule {
     }
 
     /// Apply the schedule to a simulator by scheduling fail/join events.
+    #[deprecated(
+        since = "0.6.0",
+        note = "add the schedule to a `dr_core::scenario::ScenarioBuilder` with \
+                `.source(&schedule)` (or schedule its `EventSource::events_for` \
+                timeline events yourself)"
+    )]
     pub fn apply<A: dr_netsim::NodeApp>(&self, sim: &mut dr_netsim::Simulator<A>) {
+        let events: Vec<TimelineEvent<A::Message>> = self.events_for(sim.topology());
+        for event in &events {
+            event.schedule(sim);
+        }
+    }
+}
+
+/// A churn schedule is a timeline event source: each `Fail`/`Join` event
+/// expands into one per-victim [`TimelineEvent`], in schedule order (so a
+/// scenario's stable time sort preserves the victim order the seed chose).
+impl<M: Clone> EventSource<M> for ChurnSchedule {
+    fn events_for(&self, _topology: &Topology) -> Vec<TimelineEvent<M>> {
+        let mut out = Vec::new();
         for event in &self.events {
             match event {
                 ChurnEvent::Fail(t, nodes) => {
-                    for &n in nodes {
-                        sim.schedule_node_fail(*t, n);
-                    }
+                    out.extend(nodes.iter().map(|&n| TimelineEvent::NodeFail { at: *t, node: n }));
                 }
                 ChurnEvent::Join(t, nodes) => {
-                    for &n in nodes {
-                        sim.schedule_node_join(*t, n);
-                    }
+                    out.extend(nodes.iter().map(|&n| TimelineEvent::NodeJoin { at: *t, node: n }));
                 }
             }
         }
+        out
     }
 }
 
@@ -175,6 +192,49 @@ mod tests {
         let b =
             ChurnSchedule::alternating(50, 0.2, SimTime::ZERO, SimDuration::from_secs(150), 2, 7);
         assert_eq!(a.events(), b.events());
+    }
+
+    #[test]
+    fn timeline_events_expand_per_victim_in_schedule_order() {
+        let s = ChurnSchedule::alternating(
+            10,
+            0.3,
+            SimTime::from_secs(5),
+            SimDuration::from_secs(10),
+            2,
+            4,
+        );
+        let topo = Topology::new(10);
+        let events: Vec<TimelineEvent<()>> = s.events_for(&topo);
+        let per_event = s.events()[0].nodes().len();
+        // 2 cycles x (fail + join), one event per victim.
+        assert_eq!(events.len(), 4 * per_event);
+        // The first batch are fails of the first victim set, in order.
+        for (i, e) in events.iter().take(per_event).enumerate() {
+            match e {
+                TimelineEvent::NodeFail { at, node } => {
+                    assert_eq!(*at, SimTime::from_secs(5));
+                    assert_eq!(*node, s.events()[0].nodes()[i]);
+                }
+                other => panic!("expected NodeFail, got {other:?}"),
+            }
+        }
+        // Fails and joins alternate and every join restores its fail set.
+        let fails: Vec<NodeId> = events
+            .iter()
+            .filter_map(|e| match e {
+                TimelineEvent::NodeFail { node, .. } => Some(*node),
+                _ => None,
+            })
+            .collect();
+        let joins: Vec<NodeId> = events
+            .iter()
+            .filter_map(|e| match e {
+                TimelineEvent::NodeJoin { node, .. } => Some(*node),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(fails, joins);
     }
 
     #[test]

@@ -12,12 +12,14 @@
 #![warn(missing_docs)]
 
 pub mod churn;
+pub mod link_dynamics;
 pub mod overlay;
 pub mod queries;
 pub mod rtt;
 pub mod transit_stub;
 
 pub use churn::ChurnSchedule;
+pub use link_dynamics::{LinkJitterSchedule, LinkRttSchedule};
 pub use overlay::{OverlayKind, OverlayParams};
 pub use queries::{MixedWorkload, PairWorkload};
 pub use rtt::{RttModel, RttSmoother};

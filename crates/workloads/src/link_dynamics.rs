@@ -1,0 +1,269 @@
+//! Link-metric dynamics as timeline event sources.
+//!
+//! The path-adaptation experiments (§9.2.3) used to be an imperative loop:
+//! draw a measurement per link per round from [`RttModel`], optionally pass
+//! it through an [`RttSmoother`], and hand-schedule a link-metric change —
+//! repeated verbatim in every figure binary that needed it. Both dynamics
+//! are now *event sources*: a [`LinkRttSchedule`] (measurement rounds with
+//! optional Jacobson/Karels smoothing) or a [`LinkJitterSchedule`] (seeded
+//! Gaussian jitter around each link's baseline) expands into plain
+//! [`TimelineEvent::LinkChange`]s over a topology, which a
+//! `dr_core::scenario::ScenarioBuilder` schedules and probes.
+//!
+//! Both sources are pure functions of (topology, seed), so scenario runs
+//! that include them stay deterministic and replayable.
+
+use crate::rtt::{RttModel, RttSmoother};
+use dr_netsim::timeline::{EventSource, TimelineEvent};
+use dr_netsim::{LinkParams, SimDuration, SimTime, Topology};
+use dr_types::{Cost, NodeId};
+use rand::distributions::{Distribution, Normal};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// Periodic link-RTT measurement rounds (§9.2.3), as an event source.
+///
+/// Every `round_interval`, each directed link of the topology is measured
+/// once through an [`RttModel`] seeded with `seed`; measurements are spread
+/// across the round in link order (the i-th of L links lands `i/L` of the
+/// way in). With `smoothed` set, each link's measurements run through a
+/// Jacobson/Karels [`RttSmoother`] and only deviation-exceeding estimates
+/// become link changes — the configuration Figure 13 compares against the
+/// raw reporting of Figure 12.
+#[derive(Debug, Clone)]
+pub struct LinkRttSchedule {
+    /// When the first measurement round starts.
+    pub start: SimTime,
+    /// Length of one measurement round (5 minutes in the paper).
+    pub round_interval: SimDuration,
+    /// Number of rounds.
+    pub rounds: usize,
+    /// Apply Jacobson/Karels smoothing with deviation-gated reporting.
+    pub smoothed: bool,
+    /// Seed of the measurement process.
+    pub seed: u64,
+}
+
+impl LinkRttSchedule {
+    /// A schedule with the given shape.
+    pub fn new(
+        start: SimTime,
+        round_interval: SimDuration,
+        rounds: usize,
+        smoothed: bool,
+        seed: u64,
+    ) -> LinkRttSchedule {
+        LinkRttSchedule { start, round_interval, rounds, smoothed, seed }
+    }
+}
+
+impl<M: Clone> EventSource<M> for LinkRttSchedule {
+    fn events_for(&self, topology: &Topology) -> Vec<TimelineEvent<M>> {
+        let baselines: Vec<(NodeId, NodeId, f64)> =
+            topology.all_links().map(|(a, b, p)| (a, b, p.cost.value())).collect();
+        let mut model = RttModel::new(self.seed);
+        let mut smoothers: BTreeMap<(NodeId, NodeId), RttSmoother> = BTreeMap::new();
+        let mut out = Vec::new();
+        let mut now = self.start;
+        for _ in 0..self.rounds {
+            model.next_round();
+            for (i, (a, b, baseline)) in baselines.iter().enumerate() {
+                let sample = model.measure(*baseline);
+                let reported = if self.smoothed {
+                    smoothers.entry((*a, *b)).or_default().observe(sample)
+                } else {
+                    Some(sample)
+                };
+                if let Some(rtt) = reported {
+                    let at = now
+                        + SimDuration::from_millis_f64(
+                            self.round_interval.as_millis_f64()
+                                * (i as f64 / baselines.len() as f64),
+                        );
+                    out.push(TimelineEvent::LinkChange {
+                        at,
+                        from: *a,
+                        to: *b,
+                        params: LinkParams::with_latency_ms(rtt / 2.0).with_cost(Cost::new(rtt)),
+                    });
+                }
+            }
+            now += self.round_interval;
+        }
+        out
+    }
+}
+
+/// Seeded Gaussian jitter around each link's baseline cost.
+///
+/// A lighter-weight alternative to the full measurement model: every
+/// `interval`, each directed link's cost is re-drawn from
+/// `Normal(baseline, relative_sigma * baseline)` (clamped to ≥ 1 ms), with
+/// draws spread across the interval in link order. Useful for stressing
+/// route stability without the RTT model's load swings and spikes.
+#[derive(Debug, Clone)]
+pub struct LinkJitterSchedule {
+    /// When the first jitter round starts.
+    pub start: SimTime,
+    /// Time between consecutive re-draws of the same link.
+    pub interval: SimDuration,
+    /// Number of jitter rounds.
+    pub rounds: usize,
+    /// Standard deviation as a fraction of each link's baseline cost.
+    pub relative_sigma: f64,
+    /// Seed of the jitter process.
+    pub seed: u64,
+}
+
+impl LinkJitterSchedule {
+    /// A schedule with the given shape.
+    pub fn new(
+        start: SimTime,
+        interval: SimDuration,
+        rounds: usize,
+        relative_sigma: f64,
+        seed: u64,
+    ) -> LinkJitterSchedule {
+        assert!(
+            relative_sigma.is_finite() && relative_sigma >= 0.0,
+            "relative_sigma must be finite and non-negative, got {relative_sigma}"
+        );
+        LinkJitterSchedule { start, interval, rounds, relative_sigma, seed }
+    }
+}
+
+impl<M: Clone> EventSource<M> for LinkJitterSchedule {
+    fn events_for(&self, topology: &Topology) -> Vec<TimelineEvent<M>> {
+        let baselines: Vec<(NodeId, NodeId, f64)> =
+            topology.all_links().map(|(a, b, p)| (a, b, p.cost.value())).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut out = Vec::new();
+        let mut now = self.start;
+        for _ in 0..self.rounds {
+            for (i, (a, b, baseline)) in baselines.iter().enumerate() {
+                let sigma = self.relative_sigma * baseline;
+                let rtt = Normal::new(*baseline, sigma).sample(&mut rng).max(1.0);
+                let at = now
+                    + SimDuration::from_millis_f64(
+                        self.interval.as_millis_f64() * (i as f64 / baselines.len() as f64),
+                    );
+                out.push(TimelineEvent::LinkChange {
+                    at,
+                    from: *a,
+                    to: *b,
+                    params: LinkParams::with_latency_ms(rtt / 2.0).with_cost(Cost::new(rtt)),
+                });
+            }
+            now += self.interval;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn triangle() -> Topology {
+        let mut t = Topology::new(3);
+        t.add_bidirectional(n(0), n(1), LinkParams::with_latency_ms(50.0));
+        t.add_bidirectional(n(1), n(2), LinkParams::with_latency_ms(100.0));
+        t.add_bidirectional(n(0), n(2), LinkParams::with_latency_ms(150.0));
+        t
+    }
+
+    #[test]
+    fn raw_rtt_schedule_measures_every_link_every_round() {
+        let topo = triangle();
+        let s =
+            LinkRttSchedule::new(SimTime::from_secs(100), SimDuration::from_secs(30), 4, false, 7);
+        let events: Vec<TimelineEvent<()>> = s.events_for(&topo);
+        assert_eq!(events.len(), 4 * 6); // 4 rounds x 6 directed links
+        for e in &events {
+            match e {
+                TimelineEvent::LinkChange { at, params, .. } => {
+                    assert!(*at >= SimTime::from_secs(100));
+                    assert!(*at < SimTime::from_secs(100 + 4 * 30));
+                    assert!(params.cost.value() >= 1.0);
+                }
+                other => panic!("expected LinkChange, got {other:?}"),
+            }
+        }
+        // Event times never decrease (scenario sorts stably; sources
+        // promise chronological order).
+        assert!(events.windows(2).all(|w| w[0].time() <= w[1].time()));
+    }
+
+    #[test]
+    fn smoothing_suppresses_reports() {
+        let topo = triangle();
+        let raw: Vec<TimelineEvent<()>> =
+            LinkRttSchedule::new(SimTime::ZERO, SimDuration::from_secs(30), 10, false, 7)
+                .events_for(&topo);
+        let smoothed: Vec<TimelineEvent<()>> =
+            LinkRttSchedule::new(SimTime::ZERO, SimDuration::from_secs(30), 10, true, 7)
+                .events_for(&topo);
+        assert!(
+            smoothed.len() < raw.len(),
+            "smoothing should suppress updates: {} vs {}",
+            smoothed.len(),
+            raw.len()
+        );
+        assert!(!smoothed.is_empty(), "the first estimate per link is always reported");
+    }
+
+    #[test]
+    fn schedules_are_deterministic_for_a_seed() {
+        let topo = triangle();
+        let a: Vec<TimelineEvent<()>> =
+            LinkRttSchedule::new(SimTime::ZERO, SimDuration::from_secs(10), 3, true, 42)
+                .events_for(&topo);
+        let b: Vec<TimelineEvent<()>> =
+            LinkRttSchedule::new(SimTime::ZERO, SimDuration::from_secs(10), 3, true, 42)
+                .events_for(&topo);
+        assert_eq!(a, b);
+        let j1: Vec<TimelineEvent<()>> =
+            LinkJitterSchedule::new(SimTime::ZERO, SimDuration::from_secs(10), 3, 0.1, 42)
+                .events_for(&topo);
+        let j2: Vec<TimelineEvent<()>> =
+            LinkJitterSchedule::new(SimTime::ZERO, SimDuration::from_secs(10), 3, 0.1, 42)
+                .events_for(&topo);
+        assert_eq!(j1, j2);
+    }
+
+    #[test]
+    fn jitter_stays_near_the_baseline() {
+        let topo = triangle();
+        let s = LinkJitterSchedule::new(SimTime::ZERO, SimDuration::from_secs(10), 50, 0.05, 3);
+        let events: Vec<TimelineEvent<()>> = s.events_for(&topo);
+        assert_eq!(events.len(), 50 * 6);
+        // 5% sigma keeps essentially every draw within ±25% of baseline.
+        let mut checked = 0;
+        for e in &events {
+            if let TimelineEvent::LinkChange { from, to, params, .. } = e {
+                let baseline = topo.link(*from, *to).unwrap().cost.value();
+                assert!(
+                    (params.cost.value() - baseline).abs() < baseline * 0.25,
+                    "{from}->{to}: {} vs baseline {baseline}",
+                    params.cost
+                );
+                checked += 1;
+            }
+        }
+        assert_eq!(checked, events.len());
+        // Zero sigma reproduces the baseline exactly.
+        let flat: Vec<TimelineEvent<()>> =
+            LinkJitterSchedule::new(SimTime::ZERO, SimDuration::from_secs(10), 1, 0.0, 3)
+                .events_for(&topo);
+        for e in &flat {
+            if let TimelineEvent::LinkChange { from, to, params, .. } = e {
+                assert_eq!(params.cost.value(), topo.link(*from, *to).unwrap().cost.value());
+            }
+        }
+    }
+}

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use declarative_routing::engine::harness::RoutingHarness;
+use declarative_routing::engine::scenario::{QueryDef, ScenarioBuilder};
 use declarative_routing::netsim::{SimDuration, SimTime};
 use declarative_routing::protocols::best_path;
 use declarative_routing::types::NodeId;
@@ -21,41 +21,37 @@ fn main() {
         topology.diameter_latency_ms()
     );
 
-    // 2. Start a query processor on every node and issue the Best-Path query
-    //    (rules NR1/NR2/BPR1/BPR2 of the paper) from node 0. The builder
-    //    returns a typed handle whose results decode as `RouteEntry`s.
+    // 2. Describe the experiment as a scenario: issue the Best-Path query
+    //    (rules NR1/NR2/BPR1/BPR2 of the paper) from node 0 at t=0, run
+    //    until the routes converge, sampling once per simulated second.
     let query = best_path();
     println!("\nissuing the Best-Path query:\n{query}");
-    let mut harness = RoutingHarness::new(topology);
-    let handle = harness
-        .issue(query)
-        .from(NodeId::new(0))
-        .at(SimTime::ZERO)
-        .named("quickstart-best-path")
-        .submit()
-        .expect("query localizes");
-
-    // 3. Run until the routes converge, sampling once per simulated second.
-    let report = handle
-        .run_and_sample(&mut harness, SimDuration::from_secs(1), SimTime::from_secs(90))
-        .expect("results decode as routes");
+    let run = ScenarioBuilder::over(topology)
+        .query(QueryDef::new(query).named("quickstart-best-path"))
+        .sample_every(SimDuration::from_secs(1))
+        .until(SimTime::from_secs(90))
+        .execute()
+        .expect("scenario runs and results decode as routes");
+    let report = &run.report.queries[0];
     println!(
         "converged after {:?} simulated seconds; {} routes; {:.1} KB sent per node",
         report.converged_at.map(|t| t.as_secs_f64()),
         report.final_results(),
-        report.per_node_overhead_kb
+        run.report.per_node_overhead_kb
     );
 
-    // 4. Inspect a forwarding table.
+    // 3. The finished run keeps the harness and the typed handle, so the
+    //    deployment stays inspectable: look at a forwarding table...
+    let handle = &run.handles[0];
     let node = NodeId::new(1);
-    let fwd = handle.forwarding_table(&harness, node);
+    let fwd = handle.forwarding_table(&run.harness, node);
     println!("\nforwarding table of {node} (first 5 destinations):");
     for (dest, next) in fwd.iter().take(5) {
         println!("  {dest} via {next}");
     }
 
-    // 5. And the full best path for one pair, as a typed route.
-    let routes = handle.results_at(&harness, node).expect("results decode as routes");
+    // 4. ...and the full best path for one pair, as a typed route.
+    let routes = handle.results_at(&run.harness, node).expect("results decode as routes");
     if let Some(route) = routes.into_iter().find(|r| r.dst == NodeId::new(50)) {
         println!(
             "\nbest path {src} -> {dst}: {path} ({hops} hops, cost {cost})",

@@ -21,7 +21,10 @@
 //! Queries are issued through the harness's fluent builder and observed
 //! through the typed [`engine::harness::QueryHandle`] it returns; results
 //! decode into views such as [`types::RouteEntry`] instead of positional
-//! tuple fields:
+//! tuple fields. Whole experiments — topology + event timeline (query
+//! issuance, churn, link dynamics) + typed probes — are described
+//! declaratively with [`engine::scenario::ScenarioBuilder`] and run into a
+//! plain-data [`engine::scenario::ScenarioReport`]:
 //!
 //! ```no_run
 //! use declarative_routing::engine::harness::RoutingHarness;

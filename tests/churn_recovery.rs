@@ -12,7 +12,8 @@
 //!   not just *an* answer).
 
 use declarative_routing::engine::harness::RoutingHarness;
-use declarative_routing::netsim::{LinkParams, SimTime, Topology};
+use declarative_routing::engine::scenario::{Probe, QueryDef, ScenarioBuilder, ScenarioRun};
+use declarative_routing::netsim::{LinkParams, SimDuration, SimTime, Topology};
 use declarative_routing::protocols::best_path;
 use declarative_routing::types::NodeId;
 use declarative_routing::workloads::{OverlayKind, OverlayParams};
@@ -63,17 +64,32 @@ fn hub_failure_on_dense_overlay_is_one_invalidation_wave() {
     let wall = Instant::now();
     let topo = repro_overlay();
     let hub = hub_of(&topo);
-    let mut harness = RoutingHarness::new(topo);
-    let handle = harness.issue(best_path()).submit().expect("query localizes");
-
-    harness.run_until(SimTime::from_secs(120));
-    let converged = harness.processor_stats();
+    // One scenario: converge for 120 s, fail the hub, re-converge. The
+    // processor-stats probe samples the deployment counters at both
+    // boundaries (the failure at t=120 is only *detected* at t=120.1, so
+    // the first sample still reads the convergence-phase counters).
+    let run = ScenarioBuilder::over(topo)
+        .query(QueryDef::new(best_path()))
+        .fail(SimTime::from_secs(120), hub)
+        .sample_every(SimDuration::from_secs(120))
+        .until(SimTime::from_secs(240))
+        .probes([Probe::ProcessorStats])
+        .execute()
+        .expect("churn scenario runs");
+    let harness = &run.harness;
+    let handle = &run.handles[0];
+    let stats_at = |t: f64| {
+        run.report
+            .stats_series
+            .iter()
+            .find(|(at, _)| *at == t)
+            .map(|(_, s)| s.clone())
+            .expect("stats sampled")
+    };
+    let converged = stats_at(120.0);
     assert!(converged.tuples_derived > 0, "query never converged");
 
-    harness.sim_mut().schedule_node_fail(SimTime::from_secs(120), hub);
-    harness.run_until(SimTime::from_secs(240));
-
-    let after = harness.processor_stats();
+    let after = stats_at(240.0);
     let recovery_derived = after.tuples_derived - converged.tuples_derived;
 
     // The explosion derived (effectively) unboundedly many ∞ paths; the
@@ -91,7 +107,7 @@ fn hub_failure_on_dense_overlay_is_one_invalidation_wave() {
     );
     // Routes re-converge around the failed hub: node 0 still reaches every
     // other surviving node.
-    let recovered = cost_map(&harness, &handle, Some(hub), 16);
+    let recovered = cost_map(harness, handle, Some(hub), 16);
     let from_zero = recovered.keys().filter(|(s, _)| *s == NodeId::new(0)).count();
     assert_eq!(from_zero, 14, "node 0 should reach all 14 surviving peers: {recovered:?}");
     // Loudly fail on a wall-clock regression (the broken engine ran >3 min
@@ -104,7 +120,11 @@ fn hub_failure_on_dense_overlay_is_one_invalidation_wave() {
 }
 
 /// Regression for the ROADMAP follow-up: the per-query aggregate-selection
-/// prune map must not grow monotonically under churn. Dead (destination,
+/// prune map must not grow monotonically under churn.
+///
+/// Deliberately stays on the low-level harness surface (not the scenario
+/// API): it reads per-node `prune_entries` between hand-placed fail/join
+/// cycles, which is processor-internal state no scenario probe exposes. Dead (destination,
 /// next-hop) groups — routes whose recorded best was poisoned to ∞ — are
 /// evicted once their invalidation wave has run, so repeating the same
 /// fail+join cycle leaves the map at (or below) its size after the first
@@ -163,13 +183,18 @@ proptest! {
         let topo = params.generate();
         let victim = hub_of(&topo);
 
-        // Incremental: converge, fail the victim, re-converge.
-        let mut incremental = RoutingHarness::new(topo.clone());
-        let inc_handle = incremental.issue(best_path()).submit().expect("query localizes");
-        incremental.run_until(SimTime::from_secs(120));
-        incremental.sim_mut().schedule_node_fail(SimTime::from_secs(120), victim);
-        incremental.run_until(SimTime::from_secs(260));
-        let recovered = cost_map(&incremental, &inc_handle, Some(victim), nodes);
+        // Incremental: converge, fail the victim, re-converge — one
+        // declarative scenario (no probes needed; the assertions read the
+        // finished deployment through the returned harness + handle).
+        let inc: ScenarioRun = ScenarioBuilder::over(topo.clone())
+            .query(QueryDef::new(best_path()))
+            .fail(SimTime::from_secs(120), victim)
+            .probes([])
+            .sample_every(SimDuration::from_secs(130))
+            .until(SimTime::from_secs(260))
+            .execute()
+            .expect("incremental scenario runs");
+        let recovered = cost_map(&inc.harness, &inc.handles[0], Some(victim), nodes);
 
         // Reference: the surviving topology (victim isolated), from scratch.
         let mut surviving = Topology::new(nodes);
@@ -178,10 +203,14 @@ proptest! {
                 surviving.add_link(a, b, LinkParams { ..*params });
             }
         }
-        let mut scratch = RoutingHarness::new(surviving);
-        let ref_handle = scratch.issue(best_path()).submit().expect("query localizes");
-        scratch.run_until(SimTime::from_secs(120));
-        let reference = cost_map(&scratch, &ref_handle, Some(victim), nodes);
+        let scratch: ScenarioRun = ScenarioBuilder::over(surviving)
+            .query(QueryDef::new(best_path()))
+            .probes([])
+            .sample_every(SimDuration::from_secs(120))
+            .until(SimTime::from_secs(120))
+            .execute()
+            .expect("reference scenario runs");
+        let reference = cost_map(&scratch.harness, &scratch.handles[0], Some(victim), nodes);
 
         prop_assert!(!reference.is_empty(), "reference run computed no routes");
         for (pair, ref_cost) in &reference {

@@ -205,27 +205,39 @@ fn protocols_are_safe_and_localizable() {
 }
 
 /// Routes survive a node failure and heal around it (the §8 scenario) on a
-/// randomly generated overlay.
+/// randomly generated overlay, expressed as a declarative scenario with a
+/// recovery probe.
 #[test]
 fn routes_heal_after_node_failure_on_an_overlay() {
+    use declarative_routing::engine::scenario::{Probe, QueryDef, ScenarioBuilder};
     let params =
         OverlayParams { nodes: 12, ..OverlayParams::planetlab(OverlayKind::SparseRandom, 13) };
     let topo = params.generate();
-    let mut harness = RoutingHarness::new(topo);
-    let handle = harness.issue(best_path()).from(n(0)).at(SimTime::ZERO).submit().unwrap();
-    harness.run_until(SimTime::from_secs(60));
-    let routes_before = handle.finite_results(&harness).unwrap().len();
-    assert_eq!(routes_before, 12 * 11);
+    // Fail the overlay's best-connected node (n11 carries dozens of transit
+    // routes at convergence), so the recovery probe has paths to watch.
+    let victim = n(11);
+    let run = ScenarioBuilder::over(topo)
+        .query(QueryDef::new(best_path()).from(n(0)))
+        .fail(SimTime::from_secs(60), victim)
+        .sample_every(SimDuration::from_secs(30))
+        .until(SimTime::from_secs(150))
+        .probe(Probe::Recovery)
+        .execute()
+        .unwrap();
 
-    // Fail one non-issuer node.
-    let victim = n(7);
-    harness.sim_mut().schedule_node_fail(SimTime::from_secs(60), victim);
-    harness.run_until(SimTime::from_secs(150));
+    // Converged before the failure: the t=60 sample still sees every pair
+    // (the failure is only detected 100 ms later).
+    let at_60 = run.report.queries[0]
+        .samples
+        .iter()
+        .find(|s| s.time == SimTime::from_secs(60))
+        .expect("sampled at the failure instant");
+    assert_eq!(at_60.results, 12 * 11);
 
     // All routes between live nodes exist and avoid the victim.
     let live_pairs = 11 * 10;
-    let healed: Vec<RouteEntry> = handle
-        .finite_results(&harness)
+    let healed: Vec<RouteEntry> = run.handles[0]
+        .finite_results(&run.harness)
         .unwrap()
         .into_iter()
         .filter(|r| r.src != victim && r.dst != victim)
@@ -240,5 +252,12 @@ fn routes_heal_after_node_failure_on_an_overlay() {
     // Costs stay finite and positive.
     for r in &healed {
         assert!(r.cost > Cost::ZERO && r.cost.is_finite());
+    }
+    // The probe saw the broken paths come back, measured per §9.1.
+    assert!(!run.report.recoveries.is_empty(), "failing a node must break some routes");
+    for rec in &run.report.recoveries {
+        assert!(rec.recovery_s >= 0.0);
+        assert_ne!(rec.src, victim);
+        assert_ne!(rec.dst, victim);
     }
 }

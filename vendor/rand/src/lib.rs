@@ -151,6 +151,66 @@ fn unit_f64(bits: u64) -> f64 {
     (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
+/// Samplable distributions (the stand-in for `rand::distributions`, plus
+/// the `Normal` sampler that upstream ships in `rand_distr`).
+///
+/// Only what the workspace's jitter timelines need: the
+/// [`Distribution`](distributions::Distribution) trait and a Box–Muller
+/// normal (upstream ships `Normal` in `rand_distr`; uniform draws go
+/// through `Rng::gen_range` as everywhere else in the workspace).
+pub mod distributions {
+    use super::{unit_f64, Rng};
+
+    /// Types that can sample values of `T` from an RNG.
+    pub trait Distribution<T> {
+        /// Draw one value.
+        fn sample<R: Rng>(&self, rng: &mut R) -> T;
+    }
+
+    /// Normal (Gaussian) distribution, sampled via Box–Muller.
+    ///
+    /// Each sample consumes exactly two `u64`s from the generator, so
+    /// seeded streams stay reproducible regardless of which half of the
+    /// Box–Muller pair would be cheaper to cache.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Normal {
+        mean: f64,
+        std_dev: f64,
+    }
+
+    impl Normal {
+        /// A normal distribution with the given mean and standard
+        /// deviation. Panics when `std_dev` is negative or non-finite.
+        pub fn new(mean: f64, std_dev: f64) -> Normal {
+            assert!(
+                std_dev.is_finite() && std_dev >= 0.0,
+                "Normal::new requires a finite non-negative std_dev, got {std_dev}"
+            );
+            Normal { mean, std_dev }
+        }
+
+        /// The mean.
+        pub fn mean(&self) -> f64 {
+            self.mean
+        }
+
+        /// The standard deviation.
+        pub fn std_dev(&self) -> f64 {
+            self.std_dev
+        }
+    }
+
+    impl Distribution<f64> for Normal {
+        fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+            // Box–Muller; clamp u1 away from 0 so ln() stays finite.
+            let u1 = unit_f64(rng.next_u64()).max(f64::MIN_POSITIVE);
+            let u2 = unit_f64(rng.next_u64());
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            self.mean + self.std_dev * z
+        }
+    }
+}
+
 /// Concrete generator types.
 pub mod rngs {
     use super::{Rng, SeedableRng};
@@ -261,6 +321,29 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
         assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn distributions_sample_sanely() {
+        use super::distributions::{Distribution, Normal};
+        let mut rng = StdRng::seed_from_u64(11);
+        let normal = Normal::new(100.0, 10.0);
+        let samples: Vec<f64> = (0..4000).map(|_| normal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 100.0).abs() < 1.0, "mean {mean}");
+        assert!((var.sqrt() - 10.0).abs() < 1.0, "std dev {}", var.sqrt());
+        assert_eq!(normal.mean(), 100.0);
+        assert_eq!(normal.std_dev(), 10.0);
+        // Deterministic for a seed.
+        let mut a = StdRng::seed_from_u64(12);
+        let mut b = StdRng::seed_from_u64(12);
+        for _ in 0..100 {
+            assert_eq!(normal.sample(&mut a), normal.sample(&mut b));
+        }
+        // Zero-sigma degenerates to the mean.
+        assert_eq!(Normal::new(3.0, 0.0).sample(&mut a), 3.0);
     }
 
     #[test]
