@@ -53,36 +53,6 @@ pub struct Sample {
     pub avg_cost: f64,
 }
 
-/// The outcome of running a query while sampling its result set.
-#[deprecated(
-    since = "0.6.0",
-    note = "superseded by `dr_core::scenario::ScenarioReport` (per-query \
-            `QueryReport`s plus timeline-aware probes)"
-)]
-#[derive(Debug, Clone)]
-pub struct ConvergenceReport {
-    /// Periodic snapshots of the result set.
-    pub samples: Vec<Sample>,
-    /// The earliest sampled time after which the result-set size and average
-    /// cost never changed again, if the run converged at all.
-    pub converged_at: Option<SimTime>,
-    /// Per-node communication overhead (KB) accumulated over the run.
-    pub per_node_overhead_kb: f64,
-}
-
-#[allow(deprecated)]
-impl ConvergenceReport {
-    /// The final sampled result count (0 when nothing was sampled).
-    pub fn final_results(&self) -> usize {
-        self.samples.last().map(|s| s.results).unwrap_or(0)
-    }
-
-    /// The final sampled average cost (0 when nothing was sampled).
-    pub fn final_avg_cost(&self) -> f64 {
-        self.samples.last().map(|s| s.avg_cost).unwrap_or(0.0)
-    }
-}
-
 /// A typed handle to an issued query.
 ///
 /// The handle names the query (its [`QueryId`]) and fixes the *view* `T`
@@ -177,40 +147,6 @@ impl<T: CostView> QueryHandle<T> {
         Ok(average_cost_of(&self.finite_results(harness)?))
     }
 
-    /// Run `harness` until `until`, sampling this query's finite result set
-    /// every `interval`, and report when (and whether) it converged.
-    ///
-    /// Deprecated: this is now a thin wrapper over the scenario API's
-    /// sampling probe ([`crate::scenario::sample_query`]); compose a
-    /// [`crate::scenario::ScenarioBuilder`] instead, which also carries the
-    /// event timeline (churn, link dynamics, injections) and the other
-    /// typed probes in one declarative description.
-    #[deprecated(
-        since = "0.6.0",
-        note = "compose a `dr_core::scenario::ScenarioBuilder` (`.query(..)\
-                .sample_every(..).until(..).run()`) instead"
-    )]
-    #[allow(deprecated)] // constructs the deprecated ConvergenceReport it returns
-    pub fn run_and_sample(
-        &self,
-        harness: &mut RoutingHarness,
-        interval: SimDuration,
-        until: SimTime,
-    ) -> Result<ConvergenceReport> {
-        let mut samples = Vec::new();
-        let mut t = harness.sim.now();
-        while t < until {
-            t += interval;
-            harness.sim.run_until(t);
-            samples.push(crate::scenario::sample_query(harness, self)?);
-        }
-        let converged_at = converged_at(&samples);
-        Ok(ConvergenceReport {
-            samples,
-            converged_at,
-            per_node_overhead_kb: harness.per_node_overhead_kb(),
-        })
-    }
 }
 
 pub(crate) fn average_cost_of<T: CostView>(finite: &[T]) -> f64 {
@@ -401,7 +337,7 @@ impl RoutingHarness {
     }
 
     /// All result tuples of `qid` across every node (shared by the handle
-    /// methods and the deprecated accessors).
+    /// methods).
     fn collect_results(&self, qid: QueryId) -> Vec<Tuple> {
         let mut out = Vec::new();
         for app in self.sim.apps() {
@@ -585,20 +521,20 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // exercises the run_and_sample shim until it is removed
-    fn convergence_report_detects_stabilization() {
-        let program = parse_program(BEST_PATH).unwrap();
-        let mut harness = RoutingHarness::new(line_topology(4));
-        let handle = harness.issue(program).submit().unwrap();
-        let report = handle
-            .run_and_sample(&mut harness, SimDuration::from_millis(500), SimTime::from_secs(20))
+    fn sampled_scenario_detects_stabilization() {
+        let report = crate::scenario::ScenarioBuilder::over(line_topology(4))
+            .query(crate::scenario::QueryDef::new(parse_program(BEST_PATH).unwrap()))
+            .sample_every(SimDuration::from_millis(500))
+            .until(SimTime::from_secs(20))
+            .run()
             .unwrap();
-        let converged = report.converged_at.expect("query should converge");
+        let query = &report.queries[0];
+        let converged = query.converged_at.expect("query should converge");
         assert!(converged < SimTime::from_secs(20));
-        assert_eq!(report.final_results(), 12); // 4*3 pairs
+        assert_eq!(query.samples.last().map(|s| s.results), Some(12)); // 4*3 pairs
         assert!(report.per_node_overhead_kb > 0.0);
         // samples are monotone in time
-        assert!(report.samples.windows(2).all(|w| w[0].time < w[1].time));
+        assert!(query.samples.windows(2).all(|w| w[0].time < w[1].time));
     }
 
     #[test]

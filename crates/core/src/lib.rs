@@ -88,8 +88,6 @@ pub mod processor;
 pub mod query;
 pub mod scenario;
 
-#[allow(deprecated)] // re-exported for the one-release shim lifecycle
-pub use harness::ConvergenceReport;
 pub use harness::{IssueBuilder, QueryHandle, RoutingHarness, Sample};
 pub use localize::{LocalizedProgram, LocalizedRule, ShipSpec};
 pub use processor::{NetMsg, ProcessorConfig, QueryProcessor};

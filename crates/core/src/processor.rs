@@ -30,7 +30,7 @@ use dr_datalog::database::{Database, Scan};
 use dr_datalog::eval::{apply_aggregate, RelationSource, RuleEval};
 use dr_datalog::rewrite::AggSelection;
 use dr_netsim::{Context, LinkEvent, NodeApp, SimDuration};
-use dr_types::{Cost, NodeId, RelId, Tuple, Value};
+use dr_types::{Cost, NodeId, RelId, Tuple, TupleKey, Value};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -154,14 +154,29 @@ impl ProcessorStats {
     }
 }
 
+/// Local-store row count below which an instance keeps its static plans.
+///
+/// Re-planning compiles every rule of the query again (a few µs per rule,
+/// per node); on stores this small a bad join order costs less than the
+/// compile, so short-lived pair queries on sparse nodes would pay more to
+/// plan than to run. Stores that grow past the floor — protocol-style
+/// queries that accumulate paths and advertisements — re-plan once and
+/// amortize the compile over every subsequent batch.
+const REPLAN_MIN_ROWS: usize = 192;
+
 /// Per-installed-query state.
 struct Instance {
     spec: Arc<QuerySpec>,
     db: Database,
     /// Compiled evaluation plans, one per localized rule (same order as
-    /// `spec.program.rules`), built once at installation and reused every
-    /// batch.
-    compiled: Vec<RuleEval>,
+    /// `spec.program.rules`). Installation starts from the spec's shared
+    /// statically-compiled plans (every local table is empty then, so they
+    /// are identical across nodes); once the local store grows past
+    /// [`REPLAN_MIN_ROWS`] the instance re-plans once against real
+    /// cardinalities and swaps in its own vector (see [`Instance::replan`]).
+    compiled: Arc<Vec<RuleEval>>,
+    /// Whether the one-shot cardinality re-plan has happened.
+    replanned: bool,
     /// Deltas accumulated since the last batch, keyed by interned relation.
     pending: HashMap<RelId, Vec<Tuple>>,
     /// Aggregate-selection state: (input relation, prune key) → (identity
@@ -200,13 +215,13 @@ impl Instance {
                 db.declare_key(head.relation.as_str(), group);
             }
         }
-        // Compile every rule once and declare the secondary indexes its
-        // probes will hit, so per-batch evaluation joins against stored,
-        // incrementally-maintained indexes instead of re-gathering and
-        // re-hashing table contents.
-        let compiled: Vec<RuleEval> =
-            spec.program.rules.iter().map(|lrule| RuleEval::new(&lrule.rule)).collect();
-        for plan in &compiled {
+        // Reuse the spec's statically compiled plans (shared across nodes)
+        // and declare the secondary indexes their probes will hit, so
+        // per-batch evaluation joins against stored, incrementally-
+        // maintained indexes instead of re-gathering and re-hashing table
+        // contents.
+        let compiled = spec.static_plans();
+        for plan in compiled.iter() {
             for (rel, field) in plan.probe_fields() {
                 db.declare_index(rel, field);
             }
@@ -216,12 +231,45 @@ impl Instance {
             spec,
             db,
             compiled,
+            replanned: false,
             pending: HashMap::new(),
             prune: HashMap::new(),
             cache_rel,
             prune_tombstones: 0,
             installed: false,
         }
+    }
+
+    /// Re-compile every rule plan against the local store's current
+    /// cardinalities. Installation-time plans are static — every table is
+    /// empty at that point — so the first batch that runs with at least
+    /// [`REPLAN_MIN_ROWS`] stored tuples gets to re-order joins by real row
+    /// counts. One shot per query: local relation sizes stay within an
+    /// order of magnitude after the initial fill, and re-planning per batch
+    /// would thrash the plan cache.
+    ///
+    /// Returns the new plans' probe fields so the caller can mirror the
+    /// index declarations onto the shared (cross-query) store.
+    fn replan(&mut self) -> Vec<(RelId, usize)> {
+        let stats = self.db.cardinalities();
+        if stats.is_empty() {
+            return Vec::new();
+        }
+        self.compiled = Arc::new(
+            self.spec
+                .program
+                .rules
+                .iter()
+                .map(|lrule| RuleEval::with_stats(&lrule.rule, &stats))
+                .collect(),
+        );
+        let fields: Vec<(RelId, usize)> =
+            self.compiled.iter().flat_map(|plan| plan.probe_fields()).collect();
+        for &(rel, field) in &fields {
+            self.db.declare_index(rel, field);
+        }
+        self.replanned = true;
+        fields
     }
 
     fn has_pending(&self) -> bool {
@@ -276,6 +324,10 @@ impl RelationSource for Overlay<'_> {
 
     fn probe(&self, relation: RelId, field: usize, value: &Value) -> Scan<'_> {
         self.local.probe(relation, field, value).chain(self.shared.probe(relation, field, value))
+    }
+
+    fn probe_key(&self, key: &TupleKey, fields: &[usize]) -> Scan<'_> {
+        self.local.probe_key(key, fields).chain(self.shared.probe_key(key, fields))
     }
 }
 
@@ -823,6 +875,11 @@ impl QueryProcessor {
                 if !instance.has_pending() {
                     break;
                 }
+                if !instance.replanned && instance.db.total_tuples() >= REPLAN_MIN_ROWS {
+                    for (rel, field) in instance.replan() {
+                        self.shared.declare_index(rel, field);
+                    }
+                }
                 let deltas = std::mem::take(&mut instance.pending);
 
                 let mut derived: Vec<Tuple> = Vec::new();
@@ -834,7 +891,7 @@ impl QueryProcessor {
                 let mut forced_deltas: Vec<Tuple> = Vec::new();
                 {
                     let source = Overlay { local: &instance.db, shared: &self.shared };
-                    for plan in &instance.compiled {
+                    for plan in instance.compiled.iter() {
                         let rule = plan.rule();
                         if rule.head.has_aggregate() {
                             // Aggregates are recomputed from the full local

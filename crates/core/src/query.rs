@@ -10,9 +10,10 @@
 //! disseminated on first use.
 
 use crate::localize::LocalizedProgram;
+use dr_datalog::eval::RuleEval;
 use dr_types::Tuple;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Identifier of an issued query.
 pub type QueryId = u64;
@@ -48,6 +49,12 @@ pub struct QuerySpec {
     /// relations are installed at every node; other facts are installed only
     /// at the node named by their location field.
     pub facts: Vec<Tuple>,
+    /// Statically compiled rule plans, built lazily on the first
+    /// installation and shared by every node instance of this spec. Every
+    /// local table is empty at installation time, so the static plans are
+    /// identical across nodes — compiling them per node would repeat the
+    /// same work `O(nodes)` times (see [`QuerySpec::static_plans`]).
+    static_plans: OnceLock<Arc<Vec<RuleEval>>>,
 }
 
 impl QuerySpec {
@@ -63,7 +70,20 @@ impl QuerySpec {
             cache_relation: "bestPathCache".to_string(),
             replicated: Vec::new(),
             facts: Vec::new(),
+            static_plans: OnceLock::new(),
         }
+    }
+
+    /// The statically compiled evaluation plans, one per localized rule
+    /// (same order as `program.rules`). Compiled on first call and cached on
+    /// the spec: the library hands the same `Arc<QuerySpec>` to every node,
+    /// so a deployment compiles each query once instead of once per node.
+    /// Instances that later re-plan against real cardinalities swap in their
+    /// own plan vector and leave the shared one untouched.
+    pub fn static_plans(&self) -> Arc<Vec<RuleEval>> {
+        Arc::clone(self.static_plans.get_or_init(|| {
+            Arc::new(self.program.rules.iter().map(|lrule| RuleEval::new(&lrule.rule)).collect())
+        }))
     }
 
     /// Builder-style override of the cross-query cache relation name.

@@ -830,8 +830,7 @@ impl Scenario {
 
 /// One result-set sample of `handle` at the harness's current instant:
 /// finite-result count and average cost. This is the probe behind
-/// [`Probe::ResultSets`] (and the engine of the deprecated
-/// `QueryHandle::run_and_sample` shim).
+/// [`Probe::ResultSets`].
 pub fn sample_query<T: CostView>(
     harness: &RoutingHarness,
     handle: &QueryHandle<T>,
@@ -1061,8 +1060,7 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // pins the shim against its replacement
-    fn run_and_sample_shim_matches_the_scenario_probe() {
+    fn scenario_probe_matches_manual_sampling() {
         // Scenario path.
         let report = ScenarioBuilder::over(line(4))
             .query(best_path_def())
@@ -1070,14 +1068,17 @@ mod tests {
             .until(SimTime::from_secs(20))
             .run()
             .unwrap();
-        // Shim path over an identical deployment.
+        // Hand-rolled sampling loop over an identical deployment: the
+        // scenario probe must be exactly this, nothing more.
         let mut harness = RoutingHarness::new(line(4));
         let handle = harness.issue(parse_program(BEST_PATH).unwrap()).submit().unwrap();
-        let shim = handle
-            .run_and_sample(&mut harness, SimDuration::from_millis(500), SimTime::from_secs(20))
-            .unwrap();
-        assert_eq!(shim.samples, report.queries[0].samples);
-        assert_eq!(shim.converged_at, report.queries[0].converged_at);
-        assert_eq!(shim.per_node_overhead_kb, report.per_node_overhead_kb);
+        let mut samples = Vec::new();
+        let mut t = SimTime::ZERO;
+        while t < SimTime::from_secs(20) {
+            t += SimDuration::from_millis(500);
+            harness.run_until(t);
+            samples.push(sample_query(&harness, &handle).unwrap());
+        }
+        assert_eq!(samples, report.queries[0].samples);
     }
 }

@@ -332,6 +332,12 @@ impl Literal {
         }
     }
 
+    /// True for the non-atom body literals (assignments and comparisons) —
+    /// the constraints the compiled evaluator schedules between joins.
+    pub fn is_constraint(&self) -> bool {
+        matches!(self, Literal::Assign { .. } | Literal::Compare { .. })
+    }
+
     /// All variables referenced by the literal.
     pub fn variables(&self) -> Vec<&str> {
         match self {
@@ -570,6 +576,33 @@ impl Rule {
     /// All positive body atoms in order.
     pub fn positive_atoms(&self) -> Vec<&Atom> {
         self.body.iter().filter_map(Literal::as_atom).collect()
+    }
+
+    /// All distinct variable names in the rule — body literals first, then
+    /// the head — in first-occurrence order. The compiled evaluator interns
+    /// this list into dense frame slots.
+    pub fn variables(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for lit in &self.body {
+            for v in lit.variables() {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        for term in &self.head.terms {
+            let v = match term {
+                HeadTerm::Plain(Term::Var(v)) => Some(v.as_str()),
+                HeadTerm::Agg(_, v) => Some(v.as_str()),
+                HeadTerm::Plain(Term::Const(_)) => None,
+            };
+            if let Some(v) = v {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
     }
 
     /// The relations this rule reads (positively or under negation).

@@ -232,9 +232,16 @@ impl Builtins {
         self.funcs.is_empty()
     }
 
+    /// The registered implementation of `name`, if any. Compiled rule plans
+    /// resolve their function table through this once per evaluation, so the
+    /// join loop never hashes a function name.
+    pub fn get(&self, name: &str) -> Option<&BuiltinFn> {
+        self.funcs.get(name)
+    }
+
     /// Invoke a function by name.
     pub fn call(&self, name: &str, args: &[Value]) -> Result<Value> {
-        match self.funcs.get(name) {
+        match self.get(name) {
             Some(f) => f(args),
             None => Err(Error::eval(format!("unknown function {name}"))),
         }

@@ -193,6 +193,13 @@ impl Table {
         self.indexes.keys().copied().collect()
     }
 
+    /// Number of distinct values in the secondary index on `field`, if one
+    /// is declared. Tombstoned postings still count their key, so this is
+    /// an (over-)estimate between compactions — fine for planning.
+    pub fn distinct_count(&self, field: usize) -> Option<usize> {
+        self.indexes.get(&field).map(HashMap::len)
+    }
+
     /// Borrowing cursor over the tuples whose `field` equals `value`.
     ///
     /// Served from the secondary index when one is declared on `field`;
@@ -319,6 +326,69 @@ pub struct InsertOutcome {
     pub replaced: Option<Tuple>,
 }
 
+/// Table cardinality statistics snapshotted from a [`Database`] for the
+/// join planner: row counts per relation plus distinct-value counts per
+/// indexed field (an index's selectivity is `rows / distinct`).
+///
+/// Relations with no entry are *unknown*, not empty — derived relations are
+/// usually empty at planning time, and treating them as free would order
+/// them first for exactly the wrong reason.
+#[derive(Debug, Clone, Default)]
+pub struct CardStats {
+    rows: HashMap<RelId, usize>,
+    distinct: HashMap<(RelId, usize), usize>,
+    /// Declared upsert-key fields per keyed relation. Unlike row counts,
+    /// keys are schema: they are reported even for empty tables, so plans
+    /// can compile key probes against derived relations that only fill up
+    /// during the fixpoint.
+    keys: HashMap<RelId, Vec<usize>>,
+}
+
+impl CardStats {
+    /// An empty (everything-unknown) set of statistics.
+    pub fn new() -> CardStats {
+        CardStats::default()
+    }
+
+    /// True when no relation has a known row count.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Known row count of `rel`, if any.
+    pub fn rows(&self, rel: RelId) -> Option<usize> {
+        self.rows.get(&rel).copied()
+    }
+
+    /// Known distinct-value count of `rel.field`, if that field is indexed.
+    pub fn distinct(&self, rel: RelId, field: usize) -> Option<usize> {
+        self.distinct.get(&(rel, field)).copied()
+    }
+
+    /// Record a row count (tests and external planners build synthetic
+    /// stats through this).
+    pub fn set_rows(&mut self, rel: impl Into<RelId>, rows: usize) {
+        self.rows.insert(rel.into(), rows);
+    }
+
+    /// Record a distinct-value count for `rel.field`.
+    pub fn set_distinct(&mut self, rel: impl Into<RelId>, field: usize, distinct: usize) {
+        self.distinct.insert((rel.into(), field), distinct);
+    }
+
+    /// The declared upsert-key fields of `rel`, if it is keyed. A keyed
+    /// relation stores at most one tuple per key projection, so a probe
+    /// that binds every key field yields at most one candidate.
+    pub fn key_of(&self, rel: RelId) -> Option<&[usize]> {
+        self.keys.get(&rel).map(Vec::as_slice)
+    }
+
+    /// Record the upsert-key fields of a keyed relation.
+    pub fn set_key(&mut self, rel: impl Into<RelId>, fields: Vec<usize>) {
+        self.keys.insert(rel.into(), fields);
+    }
+}
+
 /// A collection of tables, one per relation, indexed densely by [`RelId`].
 #[derive(Debug, Clone, Default)]
 pub struct Database {
@@ -409,6 +479,29 @@ impl Database {
         self.slot(relation.into())
     }
 
+    /// Snapshot cardinality statistics for the join planner: row counts for
+    /// every non-empty relation, distinct counts for every indexed field.
+    /// Empty tables are deliberately left unknown (see [`CardStats`]).
+    pub fn cardinalities(&self) -> CardStats {
+        let mut stats = CardStats::new();
+        for &rel in &self.present {
+            let Some(table) = self.slot(rel) else { continue };
+            if !table.key_fields().is_empty() {
+                stats.set_key(rel, table.key_fields().to_vec());
+            }
+            if table.is_empty() {
+                continue;
+            }
+            stats.set_rows(rel, table.len());
+            for field in table.indexed_fields() {
+                if let Some(d) = table.distinct_count(field) {
+                    stats.set_distinct(rel, field, d);
+                }
+            }
+        }
+        stats
+    }
+
     /// Insert a tuple into its relation's table (created on demand with set
     /// semantics).
     pub fn insert(&mut self, t: Tuple) -> InsertOutcome {
@@ -451,6 +544,26 @@ impl Database {
     /// is needed.
     pub fn get_by_key(&self, key: &TupleKey) -> Option<&Tuple> {
         self.slot(key.rel()).and_then(|t| t.get_by_key(key))
+    }
+
+    /// Borrowing cursor over (at least) the tuples whose declared-key
+    /// projection equals `key`. When the stored table's key matches
+    /// `fields` this is an upsert-map lookup (at most one hit); when the
+    /// key layout changed since the caller planned, it over-approximates
+    /// with a single-field probe — safe, since join loops re-check every
+    /// field on match.
+    pub fn probe_key(&self, key: &TupleKey, fields: &[usize]) -> Scan<'_> {
+        let Some(table) = self.slot(key.rel()) else { return Scan::Empty };
+        if table.key_fields() == fields {
+            return match table.get_by_key(key) {
+                Some(t) => Scan::Slice(std::slice::from_ref(t).iter()),
+                None => Scan::Empty,
+            };
+        }
+        match (fields.first(), key.values().first()) {
+            (Some(&f), Some(v)) => table.probe(f, v),
+            _ => table.scan(),
+        }
     }
 
     /// Number of tuples stored in `relation`.

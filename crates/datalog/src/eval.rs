@@ -2,35 +2,51 @@
 //!
 //! Two layers live here:
 //!
-//! * [`RuleEval`] evaluates a *single* rule against any [`RelationSource`]
-//!   (index-probing nested-loop join, eager constraint application,
-//!   wildcard negation). A `RuleEval` is a *compiled plan*: it is built
-//!   once per rule — choosing, for every body atom, the probe field whose
-//!   stored secondary index the join will hit — and reused across calls,
-//!   so per-call work is only the join itself: no re-gathering of
-//!   candidate tuples, no per-call hash building, no cloning of relation
-//!   contents. The distributed processor in `dr-core` reuses this layer
-//!   directly: each network node evaluates its localized rules against its
-//!   local tables through the same plans.
+//! * [`RuleEval`] evaluates a *single* rule against any [`RelationSource`].
+//!   A `RuleEval` is a *compiled plan*: construction interns the rule's
+//!   variables into dense frame slots, orders the body atoms by estimated
+//!   join cost (exhaustive permutation search fed by [`CardStats`] when
+//!   the caller has them — declared upsert keys compile into at-most-one-
+//!   hit key probes), compiles every atom into positional field ops,
+//!   schedules each constraint at the earliest join depth where its
+//!   variables are bound (constant-only constraints run once per call,
+//!   outside the join loop entirely), and lowers the head into slot reads.
+//!   Evaluation then runs over a single mutable frame (`Vec<Value>` indexed
+//!   by slot) — no per-candidate map cloning, no name hashing — borrowing
+//!   candidate tuples straight out of the source through [`Scan`] cursors.
+//!   The distributed processor in `dr-core` reuses this layer directly:
+//!   each network node evaluates its localized rules against its local
+//!   tables through the same plans.
 //! * [`Evaluator`] runs a whole program to fixpoint on a [`Database`] using
 //!   stratified semi-naïve evaluation (paper §3.3's "semi-naïve fixpoint
 //!   evaluation"), with optional naïve mode (for the ablation benchmark) and
-//!   the aggregate-selections optimization of §7.1.
+//!   the aggregate-selections optimization of §7.1. Each run re-plans the
+//!   program's rules against the database's current cardinalities.
+//!
+//! The old name-keyed [`Bindings`] map survives at the parse/debug boundary
+//! and powers [`evaluate_rule_reference`], a deliberately simple reference
+//! implementation the property tests check the compiled path against.
 
-use crate::ast::{AggFunc, Atom, Expr, Head, HeadTerm, Literal, Program, Rule, Term};
-use crate::builtins::Builtins;
+use crate::ast::{AggFunc, ArithOp, Atom, CompareOp, Expr, Head, HeadTerm, Literal, Program, Rule, Term};
+use crate::builtins::{BuiltinFn, Builtins};
 use crate::catalog::Catalog;
-use crate::database::{Database, Scan};
+use crate::database::{CardStats, Database, Scan};
 use crate::rewrite::{aggregate_selections, AggSelection};
 use crate::stratify::{stratify, Stratification};
-use dr_types::{Error, RelId, Result, Tuple, Value};
+use dr_types::{Error, RelId, Result, Tuple, TupleKey, Value};
 use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
 
 // ---------------------------------------------------------------------------
-// Bindings
+// Bindings (parse/debug boundary + reference evaluator)
 // ---------------------------------------------------------------------------
 
 /// A variable substitution built up while evaluating a rule body.
+///
+/// This name-keyed map is the *reference* representation: the compiled
+/// evaluator works on dense frames instead and never touches it. It remains
+/// the convenient structure for tests, debugging, and one-off evaluation.
 #[derive(Debug, Clone, Default)]
 pub struct Bindings {
     map: HashMap<String, Value>,
@@ -145,6 +161,18 @@ pub trait RelationSource {
         let _ = (field, value);
         self.scan(relation)
     }
+
+    /// Borrowing cursor over (at least) the tuples whose declared-key
+    /// fields (`fields`, the key declaration the plan compiled against)
+    /// equal `key.values()`. Stores that maintain a matching upsert map
+    /// serve this with at most one hit; the default over-approximates with
+    /// a single-field probe — safe, since join loops re-check every field.
+    fn probe_key(&self, key: &TupleKey, fields: &[usize]) -> Scan<'_> {
+        match (fields.first(), key.values().first()) {
+            (Some(&f), Some(v)) => self.probe(key.rel(), f, v),
+            _ => self.scan(key.rel()),
+        }
+    }
 }
 
 impl RelationSource for Database {
@@ -155,69 +183,677 @@ impl RelationSource for Database {
     fn probe(&self, relation: RelId, field: usize, value: &Value) -> Scan<'_> {
         Database::probe(self, relation, field, value)
     }
+
+    fn probe_key(&self, key: &TupleKey, fields: &[usize]) -> Scan<'_> {
+        Database::probe_key(self, key, fields)
+    }
 }
 
 // ---------------------------------------------------------------------------
-// Single-rule evaluation
+// Compiled plan representation
+// ---------------------------------------------------------------------------
+
+/// How a planned atom locates its candidate tuples: probe a stored index on
+/// `field` with either a compile-time constant or the current value of a
+/// frame slot bound by earlier atoms.
+#[derive(Debug, Clone, PartialEq)]
+enum ProbeKey {
+    Const(Value),
+    Slot(usize),
+}
+
+impl ProbeKey {
+    /// The probe value under the current frame.
+    fn resolve<'a>(&'a self, frame: &'a [Value]) -> &'a Value {
+        match self {
+            ProbeKey::Const(c) => c,
+            ProbeKey::Slot(s) => &frame[*s],
+        }
+    }
+}
+
+/// One positional operation matching an atom field against the frame.
+/// Ops run in order: constants first, then tests on slots bound by earlier
+/// atoms, then the atom's own binds/tests in field order (so duplicate
+/// variables within one atom test against the field that bound them).
+#[derive(Debug, Clone, PartialEq)]
+enum FieldOp {
+    /// Field must equal a compile-time constant.
+    Check { field: usize, value: Value },
+    /// Field must equal an already-bound slot.
+    Test { field: usize, slot: usize },
+    /// First occurrence: write the field into its slot.
+    Bind { field: usize, slot: usize },
+}
+
+/// How a planned atom locates its candidate tuples.
+#[derive(Debug, Clone, PartialEq)]
+enum ProbeSpec {
+    /// Probe a single-field secondary index.
+    Field(usize, ProbeKey),
+    /// Probe the relation's declared upsert key: every key field is a
+    /// constant or a slot bound by earlier atoms, so the keyed store
+    /// yields at most one candidate.
+    Key { fields: Vec<usize>, values: Vec<ProbeKey> },
+}
+
+impl ProbeSpec {
+    /// Hash of the probe's value(s) under the current frame — the lookup
+    /// key into the per-call delta index. Hash collisions are harmless:
+    /// the join loop re-checks every field op on each candidate.
+    fn delta_hash(&self, frame: &[Value]) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        match self {
+            ProbeSpec::Field(_, key) => key.resolve(frame).hash(&mut h),
+            ProbeSpec::Key { values, .. } => {
+                for key in values {
+                    key.resolve(frame).hash(&mut h);
+                }
+            }
+        }
+        h.finish()
+    }
+
+    /// Hash of a delta tuple's values at the probe's field positions, or
+    /// `None` when the tuple is too short to have them (it could never
+    /// match the atom anyway).
+    fn tuple_hash(&self, t: &Tuple) -> Option<u64> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        match self {
+            ProbeSpec::Field(field, _) => t.field(*field)?.hash(&mut h),
+            ProbeSpec::Key { fields, .. } => {
+                for &field in fields {
+                    t.field(field)?.hash(&mut h);
+                }
+            }
+        }
+        Some(h.finish())
+    }
+}
+
+/// A positive body atom compiled against the frame layout.
+#[derive(Debug, Clone)]
+struct AtomPlan {
+    rel: RelId,
+    arity: usize,
+    ops: Vec<FieldOp>,
+    probe: Option<ProbeSpec>,
+}
+
+/// An expression lowered onto frame slots; function names are resolved to
+/// dense indices into the plan's function table (looked up in the
+/// [`Builtins`] once per `evaluate` call, not per invocation).
+#[derive(Debug, Clone)]
+enum SlotExpr {
+    Const(Value),
+    Slot(usize),
+    Call { func: usize, args: Vec<SlotExpr> },
+    BinOp { op: ArithOp, lhs: Box<SlotExpr>, rhs: Box<SlotExpr> },
+}
+
+/// A constraint scheduled at a specific join depth.
+#[derive(Debug, Clone)]
+enum Step {
+    /// `X = expr` where `X` was unbound: compute and bind.
+    Bind { slot: usize, expr: SlotExpr },
+    /// `X = expr` where `X` is already bound: equality test.
+    Test { slot: usize, expr: SlotExpr },
+    /// A comparison filter.
+    Filter { op: CompareOp, lhs: SlotExpr, rhs: SlotExpr },
+}
+
+/// One field condition of a compiled negated atom. Fields whose variable is
+/// never bound by the positive part are wildcards and compile to no op.
+#[derive(Debug, Clone)]
+enum NegOp {
+    Check { field: usize, value: Value },
+    Test { field: usize, slot: usize },
+}
+
+/// A negated body atom compiled against the frame layout.
+#[derive(Debug, Clone)]
+struct NegPlan {
+    rel: RelId,
+    arity: usize,
+    ops: Vec<NegOp>,
+    probe: Option<(usize, ProbeKey)>,
+}
+
+/// How one head field is produced from a completed frame.
+#[derive(Debug, Clone)]
+enum HeadOp {
+    Const(Value),
+    Slot(usize),
+    /// The head variable is never bound by the body; emitting through this
+    /// op reports the unsafe rule.
+    Unbound(String),
+}
+
+/// The join order and probe choices a [`RuleEval`] compiled to, exposed so
+/// tests can pin planner decisions and tools can explain them.
+///
+/// Positions are *planned* positions; [`JoinPlan::atom_order`] maps each
+/// back to the original body occurrence index (the indexing used by
+/// semi-naïve deltas and [`RuleEval::positive_atoms`]).
+#[derive(Debug, Clone)]
+pub struct JoinPlan {
+    order: Vec<usize>,
+    labels: Vec<String>,
+    probes: Vec<Option<usize>>,
+    keys: Vec<Option<Vec<usize>>>,
+    slot_names: Vec<String>,
+    used_stats: bool,
+}
+
+impl JoinPlan {
+    /// Planned join order as original positive-atom occurrence indices:
+    /// `atom_order()[p]` is the body occurrence joined at depth `p`.
+    pub fn atom_order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Probe field per planned atom (parallel to [`JoinPlan::atom_order`]);
+    /// `None` means a full scan. A key probe (see [`JoinPlan::key_probes`])
+    /// reports its first key field here.
+    pub fn probes(&self) -> &[Option<usize>] {
+        &self.probes
+    }
+
+    /// Key-probe fields per planned atom (parallel to
+    /// [`JoinPlan::atom_order`]): `Some(fields)` when the atom is served
+    /// by its relation's declared upsert key (at most one candidate per
+    /// outer binding), `None` when it scans or probes a single field.
+    pub fn key_probes(&self) -> &[Option<Vec<usize>>] {
+        &self.keys
+    }
+
+    /// The rule's variables in slot order — the frame layout.
+    pub fn slot_names(&self) -> &[String] {
+        &self.slot_names
+    }
+
+    /// Number of frame slots the rule uses.
+    pub fn slot_count(&self) -> usize {
+        self.slot_names.len()
+    }
+
+    /// True when the plan was costed from table statistics
+    /// ([`RuleEval::with_stats`]) rather than the static heuristic.
+    pub fn used_stats(&self) -> bool {
+        self.used_stats
+    }
+}
+
+impl fmt::Display for JoinPlan {
+    /// Renders as the join pipeline, e.g. `link ⋈ path[0]` — a probed atom
+    /// shows its probe field in brackets, a key-probed atom all of its key
+    /// fields (`shortestCost[0,1]`), a scanned atom just its name.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (label, probe)) in self.labels.iter().zip(&self.probes).enumerate() {
+            if i > 0 {
+                write!(f, " ⋈ ")?;
+            }
+            match (&self.keys[i], probe) {
+                (Some(fields), _) => {
+                    write!(f, "{label}[")?;
+                    for (j, kf) in fields.iter().enumerate() {
+                        if j > 0 {
+                            write!(f, ",")?;
+                        }
+                        write!(f, "{kf}")?;
+                    }
+                    write!(f, "]")?;
+                }
+                (None, Some(field)) => write!(f, "{label}[{field}]")?,
+                (None, None) => write!(f, "{label}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Single-rule evaluation (compiled path)
 // ---------------------------------------------------------------------------
 
 /// Compiled evaluator for a single rule.
 ///
-/// Construction analyses the rule once: positive atoms are split from
-/// constraints and negations, and every atom gets a *probe field* — the
-/// first argument that is a constant or a variable bound by earlier atoms —
-/// whose stored secondary index the join will hit at run time. Evaluation
-/// then borrows tuples straight out of the [`RelationSource`] through
-/// [`Scan`] cursors; nothing is gathered, re-hashed, or cloned per call.
+/// Construction analyses the rule once: variables are interned into dense
+/// frame slots, the join planner orders the positive atoms by estimated
+/// selectivity, every atom/constraint/negation/head term is lowered into
+/// positional ops against the frame, and each probe field is recorded so
+/// stores can declare the matching secondary index. Evaluation then runs a
+/// nested-loop join over a single reusable frame, borrowing tuples straight
+/// out of the [`RelationSource`] through [`Scan`] cursors; nothing is
+/// gathered, re-hashed, or cloned per candidate.
+///
+/// # Example: inspecting the compiled plan
+///
+/// ```
+/// use dr_datalog::{parse_program, RuleEval};
+///
+/// let program = parse_program(
+///     "NR2: path(@S,D,P,C) :- link(@S,Z,C1), path(@Z,D,P2,C2), \
+///      C = C1 + C2, P = f_prepend(S,P2), f_inPath(P2,S) = false.",
+/// )
+/// .unwrap();
+/// let compiled = RuleEval::new(&program.rules[0]);
+/// let plan = compiled.plan();
+/// // `link` is joined first (fewer unbound variables), then `path` is
+/// // probed on field 0 with the `Z` binding `link` produced.
+/// assert_eq!(plan.atom_order(), &[0, 1]);
+/// assert_eq!(plan.probes(), &[None, Some(0)]);
+/// assert_eq!(plan.to_string(), "link ⋈ path[0]");
+/// ```
 #[derive(Debug, Clone)]
 pub struct RuleEval {
     rule: Rule,
-    /// Positive body atoms, in body order (delta positions refer to these).
+    /// Positive body atoms, in *body* order (delta positions refer to these).
     positive: Vec<Atom>,
-    /// Interned relation of each positive atom (compile-time interning:
-    /// the join loop addresses sources by id, never by name).
+    /// Interned relation of each positive atom, in body order.
     positive_rels: Vec<RelId>,
-    /// Non-atom body literals (assignments and comparisons), in body order.
-    constraints: Vec<Literal>,
-    /// Per positive atom: the field to probe the stored index with.
-    probes: Vec<Option<usize>>,
-    /// Negated body atoms, checked once all positive atoms are joined.
-    neg_atoms: Vec<Atom>,
-    /// Interned relation of each negated atom.
-    neg_rels: Vec<RelId>,
-    /// Per negated atom: the field to probe with (constant or a variable
-    /// the positive part binds).
-    neg_probes: Vec<Option<usize>>,
     /// Interned relation the head derives into.
     head_rel: RelId,
+    /// Frame layout: slot index → variable name.
+    slot_names: Vec<String>,
+    /// Compiled positive atoms in *planned* order.
+    atoms: Vec<AtomPlan>,
+    /// Original occurrence index → planned position.
+    planned_of: Vec<usize>,
+    /// `steps[d]` runs once `d` planned atoms have matched; `steps[0]` runs
+    /// once per evaluation, before the join loop.
+    steps: Vec<Vec<Step>>,
+    /// Constraints whose variables are never all bound; reaching a full
+    /// match with any of these reports the rule as unsafe.
+    unsafe_constraints: Vec<Literal>,
+    /// Compiled negated atoms, checked after the positive join completes.
+    negs: Vec<NegPlan>,
+    /// Interned relation of each negated atom.
+    neg_rels: Vec<RelId>,
+    /// Head emission program.
+    head_ops: Vec<HeadOp>,
+    /// Function-name table for [`SlotExpr::Call`] resolution.
+    func_names: Vec<String>,
+    /// The planner's decisions, for introspection and pinning tests.
+    plan: JoinPlan,
 }
 
-/// Choose the probe field of `atom`: the first argument position holding a
-/// constant or a variable in `bound_vars`.
-fn choose_probe(atom: &Atom, bound_vars: &[&str]) -> Option<usize> {
-    for (pos, term) in atom.terms.iter().enumerate() {
-        match term {
-            Term::Const(_) => return Some(pos),
-            Term::Var(v) => {
-                if bound_vars.contains(&v.as_str()) {
-                    return Some(pos);
+/// Rows assumed for a relation the statistics know nothing about (absent or
+/// empty at plan time — usually a derived relation that will fill up during
+/// the fixpoint, so "unknown" must not read as "cheap").
+const UNKNOWN_ROWS: u64 = 1024;
+/// Selectivity divisor assumed for a probe whose field has no distinct-count
+/// statistic.
+const DEFAULT_PROBE_FANOUT: u64 = 16;
+
+/// Bodies of up to this many positive atoms are ordered by exhaustive
+/// minimum-cost permutation search; wider bodies fall back to the one-step
+/// greedy heuristic (n! would bite, and such rules are vanishingly rare).
+const EXHAUSTIVE_PLAN_LIMIT: usize = 6;
+
+/// Estimated candidate tuples `atom` yields *per outer binding*, given
+/// which slots are bound: 1 when the relation's declared key is fully
+/// bound (the upsert map yields at most one hit), `rows / distinct` for a
+/// single-field index probe, `rows` for a full scan. Returned alongside
+/// the number of still-unbound variable occurrences (the greedy fallback's
+/// tiebreak).
+fn estimate_hits(
+    atom: &Atom,
+    rel: RelId,
+    bound: &[bool],
+    slot_of: &HashMap<String, usize>,
+    stats: Option<&CardStats>,
+) -> (u64, usize) {
+    let term_bound = |t: &Term| match t {
+        Term::Const(_) => true,
+        Term::Var(v) => bound[slot_of[v.as_str()]],
+    };
+    let unbound = atom.terms.iter().filter(|t| !term_bound(t)).count();
+    let key_served = stats.and_then(|s| s.key_of(rel)).is_some_and(|kf| {
+        !kf.is_empty() && kf.iter().all(|&f| atom.terms.get(f).is_some_and(&term_bound))
+    });
+    if key_served {
+        return (1, unbound);
+    }
+    let rows = stats
+        .and_then(|s| s.rows(rel))
+        .filter(|&r| r > 0)
+        .map(|r| r as u64)
+        .unwrap_or(UNKNOWN_ROWS);
+    match atom.terms.iter().position(term_bound) {
+        Some(f) => {
+            let divisor = stats
+                .and_then(|s| s.distinct(rel, f))
+                .filter(|&d| d > 0)
+                .map(|d| d as u64)
+                .unwrap_or(DEFAULT_PROBE_FANOUT);
+            ((rows / divisor).max(1), unbound)
+        }
+        None => (rows.max(1), unbound),
+    }
+}
+
+/// Planning-time simulation of [`schedule_ready_constraints`]'s binding
+/// effect: assignments whose right side is fully bound bind their target,
+/// chains included. Filters bind nothing.
+fn bind_ready_assigns(
+    constraints: &[Literal],
+    bound: &mut [bool],
+    slot_of: &HashMap<String, usize>,
+) {
+    let mut progress = true;
+    while progress {
+        progress = false;
+        for lit in constraints {
+            if let Literal::Assign { var, expr } = lit {
+                let slot = slot_of[var.as_str()];
+                if !bound[slot] && expr.variables().iter().all(|v| bound[slot_of[*v]]) {
+                    bound[slot] = true;
+                    progress = true;
                 }
             }
         }
     }
-    None
+}
+
+/// Depth-first permutation search for the cheapest join order. Step cost is
+/// the estimated number of bindings reaching the step times the step's
+/// per-binding hits; the total is the sum over steps. Permutations are
+/// visited in lexicographic (body) order and only a strictly cheaper one
+/// replaces the incumbent, so cost ties resolve to the earliest body order.
+#[allow(clippy::too_many_arguments)]
+fn search_orders(
+    positive: &[Atom],
+    rels: &[RelId],
+    constraints: &[Literal],
+    slot_of: &HashMap<String, usize>,
+    stats: Option<&CardStats>,
+    bound: &mut Vec<bool>,
+    used: &mut Vec<bool>,
+    order: &mut Vec<usize>,
+    prefix_rows: u128,
+    cost: u128,
+    best: &mut Option<(u128, Vec<usize>)>,
+) {
+    if let Some((best_cost, _)) = best {
+        if cost >= *best_cost {
+            return;
+        }
+    }
+    if order.len() == positive.len() {
+        *best = Some((cost, order.clone()));
+        return;
+    }
+    for occ in 0..positive.len() {
+        if used[occ] {
+            continue;
+        }
+        let (hits, _) = estimate_hits(&positive[occ], rels[occ], bound, slot_of, stats);
+        let step_cost = prefix_rows.saturating_mul(u128::from(hits.max(1)));
+        let saved_bound = bound.clone();
+        for t in &positive[occ].terms {
+            if let Term::Var(v) = t {
+                bound[slot_of[v.as_str()]] = true;
+            }
+        }
+        bind_ready_assigns(constraints, bound, slot_of);
+        used[occ] = true;
+        order.push(occ);
+        search_orders(
+            positive,
+            rels,
+            constraints,
+            slot_of,
+            stats,
+            bound,
+            used,
+            order,
+            step_cost,
+            cost.saturating_add(step_cost),
+            best,
+        );
+        order.pop();
+        used[occ] = false;
+        *bound = saved_bound;
+    }
+}
+
+/// Choose the join order for a rule body: exhaustive permutation search up
+/// to [`EXHAUSTIVE_PLAN_LIMIT`] atoms, one-step greedy (cheapest next atom
+/// by `(hits, unbound, occurrence)`) beyond. `init_bound` is the binding
+/// state after the once-per-call constraint steps; it is not mutated.
+fn plan_order(
+    positive: &[Atom],
+    rels: &[RelId],
+    constraints: &[Literal],
+    init_bound: &[bool],
+    slot_of: &HashMap<String, usize>,
+    stats: Option<&CardStats>,
+) -> Vec<usize> {
+    let n = positive.len();
+    let mut bound = init_bound.to_vec();
+    if n <= EXHAUSTIVE_PLAN_LIMIT {
+        let mut best = None;
+        search_orders(
+            positive,
+            rels,
+            constraints,
+            slot_of,
+            stats,
+            &mut bound,
+            &mut vec![false; n],
+            &mut Vec::with_capacity(n),
+            1,
+            0,
+            &mut best,
+        );
+        return best.map(|(_, order)| order).unwrap_or_default();
+    }
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut order = Vec::with_capacity(n);
+    while !remaining.is_empty() {
+        let mut best: Option<(u64, usize, usize)> = None;
+        for &occ in &remaining {
+            let (hits, unbound) = estimate_hits(&positive[occ], rels[occ], &bound, slot_of, stats);
+            let key = (hits, unbound, occ);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+        let occ = best.expect("remaining is non-empty").2;
+        remaining.retain(|&o| o != occ);
+        for t in &positive[occ].terms {
+            if let Term::Var(v) = t {
+                bound[slot_of[v.as_str()]] = true;
+            }
+        }
+        bind_ready_assigns(constraints, &mut bound, slot_of);
+        order.push(occ);
+    }
+    order
+}
+
+/// Lower an expression onto frame slots, interning called function names
+/// into `func_names`. Callers guarantee every variable has a slot.
+fn compile_expr(
+    expr: &Expr,
+    slot_of: &HashMap<String, usize>,
+    func_names: &mut Vec<String>,
+) -> SlotExpr {
+    match expr {
+        Expr::Term(Term::Const(v)) => SlotExpr::Const(v.clone()),
+        Expr::Term(Term::Var(v)) => SlotExpr::Slot(slot_of[v.as_str()]),
+        Expr::Call { func, args } => {
+            let id = match func_names.iter().position(|n| n == func) {
+                Some(i) => i,
+                None => {
+                    func_names.push(func.clone());
+                    func_names.len() - 1
+                }
+            };
+            SlotExpr::Call {
+                func: id,
+                args: args.iter().map(|a| compile_expr(a, slot_of, func_names)).collect(),
+            }
+        }
+        Expr::BinOp { op, lhs, rhs } => SlotExpr::BinOp {
+            op: *op,
+            lhs: Box::new(compile_expr(lhs, slot_of, func_names)),
+            rhs: Box::new(compile_expr(rhs, slot_of, func_names)),
+        },
+    }
+}
+
+/// Schedule every not-yet-scheduled constraint whose variables are all
+/// bound, updating `bound` as assignments bind new slots (which can make
+/// further constraints ready — hence the progress loop, mirroring the
+/// reference evaluator's eager application).
+fn schedule_ready_constraints(
+    constraints: &[Literal],
+    scheduled: &mut [bool],
+    bound: &mut [bool],
+    slot_of: &HashMap<String, usize>,
+    func_names: &mut Vec<String>,
+) -> Vec<Step> {
+    let mut out = Vec::new();
+    let mut progress = true;
+    while progress {
+        progress = false;
+        for (i, lit) in constraints.iter().enumerate() {
+            if scheduled[i] {
+                continue;
+            }
+            match lit {
+                Literal::Assign { var, expr } => {
+                    if expr.variables().iter().all(|v| bound[slot_of[*v]]) {
+                        scheduled[i] = true;
+                        progress = true;
+                        let compiled = compile_expr(expr, slot_of, func_names);
+                        let slot = slot_of[var.as_str()];
+                        if bound[slot] {
+                            out.push(Step::Test { slot, expr: compiled });
+                        } else {
+                            bound[slot] = true;
+                            out.push(Step::Bind { slot, expr: compiled });
+                        }
+                    }
+                }
+                Literal::Compare { op, lhs, rhs } => {
+                    let ready = lhs.variables().iter().all(|v| bound[slot_of[*v]])
+                        && rhs.variables().iter().all(|v| bound[slot_of[*v]]);
+                    if ready {
+                        scheduled[i] = true;
+                        progress = true;
+                        out.push(Step::Filter {
+                            op: *op,
+                            lhs: compile_expr(lhs, slot_of, func_names),
+                            rhs: compile_expr(rhs, slot_of, func_names),
+                        });
+                    }
+                }
+                other => unreachable!("{other} is not a constraint"),
+            }
+        }
+    }
+    out
+}
+
+/// Compile one positive atom against the frame: choose its probe from the
+/// currently bound slots (a fully-bound declared key beats any single
+/// field — the keyed store yields at most one candidate), emit field ops,
+/// and mark its variables bound.
+fn compile_atom(
+    atom: &Atom,
+    rel: RelId,
+    bound: &mut [bool],
+    slot_of: &HashMap<String, usize>,
+    stats: Option<&CardStats>,
+) -> AtomPlan {
+    let term_key = |term: &Term| match term {
+        Term::Const(c) => Some(ProbeKey::Const(c.clone())),
+        Term::Var(v) => {
+            let slot = slot_of[v.as_str()];
+            bound[slot].then_some(ProbeKey::Slot(slot))
+        }
+    };
+    let key_probe = stats.and_then(|s| s.key_of(rel)).and_then(|kf| {
+        if kf.is_empty() {
+            return None;
+        }
+        let values: Option<Vec<ProbeKey>> =
+            kf.iter().map(|&f| term_key(atom.terms.get(f)?)).collect();
+        Some(ProbeSpec::Key { fields: kf.to_vec(), values: values? })
+    });
+    let probe = key_probe.or_else(|| {
+        atom.terms
+            .iter()
+            .enumerate()
+            .find_map(|(field, term)| term_key(term).map(|k| ProbeSpec::Field(field, k)))
+    });
+    let mut checks = Vec::new();
+    let mut tests = Vec::new();
+    let mut writes = Vec::new();
+    let mut newly: Vec<usize> = Vec::new();
+    for (field, term) in atom.terms.iter().enumerate() {
+        match term {
+            Term::Const(c) => checks.push(FieldOp::Check { field, value: c.clone() }),
+            Term::Var(v) => {
+                let slot = slot_of[v.as_str()];
+                if bound[slot] {
+                    tests.push(FieldOp::Test { field, slot });
+                } else if newly.contains(&slot) {
+                    writes.push(FieldOp::Test { field, slot });
+                } else {
+                    newly.push(slot);
+                    writes.push(FieldOp::Bind { field, slot });
+                }
+            }
+        }
+    }
+    for slot in newly {
+        bound[slot] = true;
+    }
+    let mut ops = checks;
+    ops.extend(tests);
+    ops.extend(writes);
+    AtomPlan { rel, arity: atom.arity(), ops, probe }
+}
+
+/// Per-call evaluation environment: the resolved function table plus the
+/// tuple source and optional semi-naïve delta (already mapped to its
+/// *planned* position, with a per-call index over the delta slice).
+struct Env<'a, S> {
+    funcs: Vec<Option<BuiltinFn>>,
+    source: &'a S,
+    delta: Option<(usize, &'a [Tuple])>,
+    /// Probe-value hash → positions in the delta slice. Keyed by hash so
+    /// single-field and composite-key probes share one shape; collisions
+    /// are harmless (the join re-checks every field op per candidate).
+    delta_index: Option<HashMap<u64, Vec<usize>>>,
 }
 
 impl RuleEval {
-    /// Compile `rule` into a reusable evaluation plan.
+    /// Compile `rule` into a reusable evaluation plan, ordering joins with
+    /// static estimates only (every relation unknown-sized; cost ties
+    /// resolve to body order).
     pub fn new(rule: &Rule) -> RuleEval {
+        RuleEval::compile(rule, None)
+    }
+
+    /// Compile `rule` with table statistics: the planner searches join
+    /// orders for the cheapest total cost (`rows / distinct` per probe,
+    /// `rows` per scan, 1 per fully-bound declared-key probe), so the most
+    /// selective access path drives each join depth.
+    pub fn with_stats(rule: &Rule, stats: &CardStats) -> RuleEval {
+        RuleEval::compile(rule, Some(stats))
+    }
+
+    fn compile(rule: &Rule, stats: Option<&CardStats>) -> RuleEval {
         let positive: Vec<Atom> = rule.positive_atoms().into_iter().cloned().collect();
-        let constraints: Vec<Literal> = rule
-            .body
-            .iter()
-            .filter(|l| matches!(l, Literal::Assign { .. } | Literal::Compare { .. }))
-            .cloned()
-            .collect();
+        let positive_rels: Vec<RelId> =
+            positive.iter().map(|a| RelId::intern(&a.relation)).collect();
+        let constraints: Vec<Literal> =
+            rule.body.iter().filter(|l| l.is_constraint()).cloned().collect();
         let neg_atoms: Vec<Atom> = rule
             .body
             .iter()
@@ -226,43 +862,150 @@ impl RuleEval {
                 _ => None,
             })
             .collect();
-
-        // Probe fields for positive atoms: variables bound by *earlier*
-        // atoms qualify.
-        let mut probes = Vec::with_capacity(positive.len());
-        let mut bound_vars: Vec<&str> = Vec::new();
-        for atom in &positive {
-            probes.push(choose_probe(atom, &bound_vars));
-            for v in atom.variables() {
-                if !bound_vars.contains(&v) {
-                    bound_vars.push(v);
-                }
-            }
-        }
-        // Negations run after the whole positive part: anything the atoms
-        // or assignments bind qualifies as a probe variable.
-        for lit in &constraints {
-            if let Literal::Assign { var, .. } = lit {
-                if !bound_vars.contains(&var.as_str()) {
-                    bound_vars.push(var);
-                }
-            }
-        }
-        let neg_probes = neg_atoms.iter().map(|a| choose_probe(a, &bound_vars)).collect();
-
-        let positive_rels = positive.iter().map(|a| RelId::intern(&a.relation)).collect();
-        let neg_rels = neg_atoms.iter().map(|a| RelId::intern(&a.relation)).collect();
         let head_rel = RelId::intern(&rule.head.relation);
+
+        // Frame layout: one dense slot per distinct variable.
+        let slot_names: Vec<String> = rule.variables().into_iter().map(String::from).collect();
+        let slot_of: HashMap<String, usize> =
+            slot_names.iter().enumerate().map(|(i, n)| (n.clone(), i)).collect();
+
+        let mut bound = vec![false; slot_names.len()];
+        let mut scheduled = vec![false; constraints.len()];
+        let mut func_names: Vec<String> = Vec::new();
+
+        // Constraints evaluable before any atom (constants-only, and
+        // assignment chains off them) run once per call: steps[0].
+        let mut steps = Vec::with_capacity(positive.len() + 1);
+        steps.push(schedule_ready_constraints(
+            &constraints,
+            &mut scheduled,
+            &mut bound,
+            &slot_of,
+            &mut func_names,
+        ));
+
+        // Join planning: pick the cheapest order (exhaustive permutation
+        // search for small bodies, greedy beyond), then compile each atom
+        // in that order, scheduling newly-ready constraints between atoms.
+        let order =
+            plan_order(&positive, &positive_rels, &constraints, &bound, &slot_of, stats);
+        let mut atoms = Vec::with_capacity(positive.len());
+        for &occ in &order {
+            atoms.push(compile_atom(
+                &positive[occ],
+                positive_rels[occ],
+                &mut bound,
+                &slot_of,
+                stats,
+            ));
+            steps.push(schedule_ready_constraints(
+                &constraints,
+                &mut scheduled,
+                &mut bound,
+                &slot_of,
+                &mut func_names,
+            ));
+        }
+        let mut planned_of = vec![0usize; order.len()];
+        for (pos, &occ) in order.iter().enumerate() {
+            planned_of[occ] = pos;
+        }
+        let unsafe_constraints: Vec<Literal> = constraints
+            .iter()
+            .zip(&scheduled)
+            .filter(|(_, &s)| !s)
+            .map(|(l, _)| l.clone())
+            .collect();
+
+        // Negations run after the whole positive part, against the final
+        // bound set; unbound fields are wildcards.
+        let neg_rels: Vec<RelId> = neg_atoms.iter().map(|a| RelId::intern(&a.relation)).collect();
+        let negs: Vec<NegPlan> = neg_atoms
+            .iter()
+            .zip(&neg_rels)
+            .map(|(atom, &rel)| {
+                let mut probe = None;
+                for (field, term) in atom.terms.iter().enumerate() {
+                    let key = match term {
+                        Term::Const(c) => Some(ProbeKey::Const(c.clone())),
+                        Term::Var(v) => {
+                            let slot = slot_of[v.as_str()];
+                            bound[slot].then_some(ProbeKey::Slot(slot))
+                        }
+                    };
+                    if let Some(k) = key {
+                        probe = Some((field, k));
+                        break;
+                    }
+                }
+                let mut ops = Vec::new();
+                for (field, term) in atom.terms.iter().enumerate() {
+                    match term {
+                        Term::Const(c) => ops.push(NegOp::Check { field, value: c.clone() }),
+                        Term::Var(v) => {
+                            let slot = slot_of[v.as_str()];
+                            if bound[slot] {
+                                ops.push(NegOp::Test { field, slot });
+                            }
+                            // unbound: wildcard, no op
+                        }
+                    }
+                }
+                NegPlan { rel, arity: atom.arity(), ops, probe }
+            })
+            .collect();
+
+        let head_ops: Vec<HeadOp> = rule
+            .head
+            .terms
+            .iter()
+            .map(|term| match term {
+                HeadTerm::Plain(Term::Const(c)) => HeadOp::Const(c.clone()),
+                HeadTerm::Plain(Term::Var(v)) | HeadTerm::Agg(_, v) => match slot_of.get(v) {
+                    Some(&slot) if bound[slot] => HeadOp::Slot(slot),
+                    _ => HeadOp::Unbound(v.clone()),
+                },
+            })
+            .collect();
+
+        let plan = JoinPlan {
+            labels: order.iter().map(|&occ| positive[occ].relation.clone()).collect(),
+            probes: atoms
+                .iter()
+                .map(|a| {
+                    a.probe.as_ref().map(|p| match p {
+                        ProbeSpec::Field(f, _) => *f,
+                        ProbeSpec::Key { fields, .. } => fields[0],
+                    })
+                })
+                .collect(),
+            keys: atoms
+                .iter()
+                .map(|a| match &a.probe {
+                    Some(ProbeSpec::Key { fields, .. }) => Some(fields.clone()),
+                    _ => None,
+                })
+                .collect(),
+            order,
+            slot_names: slot_names.clone(),
+            used_stats: stats.is_some(),
+        };
+
         RuleEval {
             rule: rule.clone(),
             positive,
             positive_rels,
-            constraints,
-            probes,
-            neg_atoms,
-            neg_rels,
-            neg_probes,
             head_rel,
+            slot_names,
+            atoms,
+            planned_of,
+            steps,
+            unsafe_constraints,
+            negs,
+            neg_rels,
+            head_ops,
+            func_names,
+            plan,
         }
     }
 
@@ -271,7 +1014,7 @@ impl RuleEval {
         &self.rule
     }
 
-    /// The positive body atoms, in delta-occurrence order.
+    /// The positive body atoms, in delta-occurrence (body) order.
     pub fn positive_atoms(&self) -> &[Atom] {
         &self.positive
     }
@@ -292,23 +1035,33 @@ impl RuleEval {
         self.head_rel
     }
 
+    /// The join order and probe choices this plan compiled to.
+    pub fn plan(&self) -> &JoinPlan {
+        &self.plan
+    }
+
     /// The `(relation, field)` pairs this plan probes — the secondary
     /// indexes a store should declare so every probe is index-served.
     pub fn probe_fields(&self) -> Vec<(RelId, usize)> {
-        self.positive_rels
+        self.atoms
             .iter()
-            .zip(&self.probes)
-            .chain(self.neg_rels.iter().zip(&self.neg_probes))
-            .filter_map(|(&rel, probe)| probe.map(|pos| (rel, pos)))
+            .filter_map(|a| match a.probe.as_ref()? {
+                ProbeSpec::Field(f, _) => Some((a.rel, *f)),
+                // Key probes are served by the upsert map itself; declare
+                // the first key field for sources that can only field-probe.
+                ProbeSpec::Key { fields, .. } => Some((a.rel, fields[0])),
+            })
+            .chain(self.negs.iter().filter_map(|n| n.probe.as_ref().map(|(f, _)| (n.rel, *f))))
             .collect()
     }
 
     /// Evaluate the rule against `source`.
     ///
     /// `delta` optionally replaces the tuples of the `i`-th **positive atom
-    /// occurrence** (0-based, counting only positive atoms) with a delta set
-    /// — this is the semi-naïve trick: the occurrence ranges over newly
-    /// derived tuples only.
+    /// occurrence** (0-based, in body order, counting only positive atoms)
+    /// with a delta set — this is the semi-naïve trick: the occurrence
+    /// ranges over newly derived tuples only. The plan maps the occurrence
+    /// to its planned join position internally.
     ///
     /// Returns *raw head tuples*: for aggregate heads the aggregate position
     /// carries the ungrouped value of the aggregated variable; use
@@ -320,179 +1073,409 @@ impl RuleEval {
         delta: Option<(usize, &[Tuple])>,
     ) -> Result<Vec<Tuple>> {
         let mut out = Vec::new();
-        let mut bindings = Bindings::new();
-        let mut applied = vec![false; self.constraints.len()];
-        // The delta slice has no stored index; when its atom has a probe
-        // field, hash it once per call so the join probes it in O(hits)
-        // instead of re-walking the slice per outer binding.
-        let delta_index: Option<HashMap<&Value, Vec<usize>>> = delta.and_then(|(di, dt)| {
-            let pos = self.probes.get(di).copied().flatten()?;
-            let mut idx: HashMap<&Value, Vec<usize>> = HashMap::new();
+        // Resolve the function table once per call; an unknown function only
+        // errors if a join path actually invokes it.
+        let funcs: Vec<Option<BuiltinFn>> =
+            self.func_names.iter().map(|n| builtins.get(n).cloned()).collect();
+        // Map the delta occurrence (body order) to its planned position.
+        let delta = delta.and_then(|(occ, dt)| self.planned_of.get(occ).map(|&p| (p, dt)));
+        // The delta slice has no stored index; when its atom has a probe,
+        // hash the probe value(s) once per call so the join probes it in
+        // O(hits) instead of re-walking the slice per outer binding.
+        let delta_index: Option<HashMap<u64, Vec<usize>>> = delta.and_then(|(p, dt)| {
+            let probe = self.atoms[p].probe.as_ref()?;
+            let mut idx: HashMap<u64, Vec<usize>> = HashMap::new();
             for (i, t) in dt.iter().enumerate() {
-                if let Some(v) = t.field(pos) {
-                    idx.entry(v).or_default().push(i);
+                if let Some(h) = probe.tuple_hash(t) {
+                    idx.entry(h).or_default().push(i);
                 }
             }
             Some(idx)
         });
-        // Constraints that are evaluable with no atoms at all (e.g. facts
-        // with assigns) are applied up front.
-        if self.apply_ready_constraints(builtins, &mut applied, &mut bindings)? {
-            self.join(
-                builtins,
-                source,
-                delta,
-                delta_index.as_ref(),
-                0,
-                &applied,
-                &bindings,
-                &mut out,
-            )?;
+        let env = Env { funcs, source, delta, delta_index };
+        // One frame for the whole evaluation; the filler is never read
+        // because reads only target statically-bound slots.
+        let mut frame = vec![Value::Bool(false); self.slot_names.len()];
+        if self.run_steps(&env, 0, &mut frame)? {
+            self.join(&env, 0, &mut frame, &mut out)?;
         }
         Ok(out)
     }
 
-    /// Apply every not-yet-applied constraint whose variables are all bound.
-    /// Returns false if a constraint evaluated to false (dead branch).
-    fn apply_ready_constraints(
+    /// Run the constraint steps scheduled at depth `idx`. Returns false when
+    /// a filter or equality test rejects the current frame.
+    fn run_steps<S: RelationSource>(
         &self,
-        builtins: &Builtins,
-        applied: &mut [bool],
-        bindings: &mut Bindings,
+        env: &Env<'_, S>,
+        idx: usize,
+        frame: &mut [Value],
     ) -> Result<bool> {
-        let mut progress = true;
-        while progress {
-            progress = false;
-            for (i, lit) in self.constraints.iter().enumerate() {
-                if applied[i] {
-                    continue;
+        for step in &self.steps[idx] {
+            match step {
+                Step::Bind { slot, expr } => {
+                    let v = self.eval_slot(env, expr, frame)?;
+                    frame[*slot] = v;
                 }
-                match lit {
-                    Literal::Assign { var, expr } => {
-                        if expr.variables().iter().all(|v| bindings.is_bound(v)) {
-                            let val = eval_expr(expr, bindings, builtins)?;
-                            applied[i] = true;
-                            progress = true;
-                            if !bindings.bind(var, val) {
-                                return Ok(false);
-                            }
-                        }
+                Step::Test { slot, expr } => {
+                    let v = self.eval_slot(env, expr, frame)?;
+                    if frame[*slot] != v {
+                        return Ok(false);
                     }
-                    Literal::Compare { op, lhs, rhs } => {
-                        let ready = lhs.variables().iter().all(|v| bindings.is_bound(v))
-                            && rhs.variables().iter().all(|v| bindings.is_bound(v));
-                        if ready {
-                            let l = eval_expr(lhs, bindings, builtins)?;
-                            let r = eval_expr(rhs, bindings, builtins)?;
-                            applied[i] = true;
-                            progress = true;
-                            if !op.eval(&l, &r) {
-                                return Ok(false);
-                            }
-                        }
+                }
+                Step::Filter { op, lhs, rhs } => {
+                    let l = self.eval_slot(env, lhs, frame)?;
+                    let r = self.eval_slot(env, rhs, frame)?;
+                    if !op.eval(&l, &r) {
+                        return Ok(false);
                     }
-                    other => unreachable!("{other} is not a constraint"),
                 }
             }
         }
         Ok(true)
     }
 
-    #[allow(clippy::too_many_arguments)]
+    /// Evaluate a compiled expression against the frame.
+    fn eval_slot<S: RelationSource>(
+        &self,
+        env: &Env<'_, S>,
+        expr: &SlotExpr,
+        frame: &[Value],
+    ) -> Result<Value> {
+        match expr {
+            SlotExpr::Const(v) => Ok(v.clone()),
+            SlotExpr::Slot(s) => Ok(frame[*s].clone()),
+            SlotExpr::Call { func, args } => {
+                let f = env.funcs[*func].as_ref().ok_or_else(|| {
+                    Error::eval(format!("unknown function {}", self.func_names[*func]))
+                })?;
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval_slot(env, a, frame)?);
+                }
+                f(&vals)
+            }
+            SlotExpr::BinOp { op, lhs, rhs } => {
+                let l = self.eval_slot(env, lhs, frame)?;
+                let r = self.eval_slot(env, rhs, frame)?;
+                Builtins::arith(*op, &l, &r)
+            }
+        }
+    }
+
     fn join<S: RelationSource>(
         &self,
-        builtins: &Builtins,
-        source: &S,
-        delta: Option<(usize, &[Tuple])>,
-        delta_index: Option<&HashMap<&Value, Vec<usize>>>,
+        env: &Env<'_, S>,
         depth: usize,
-        applied: &[bool],
-        bindings: &Bindings,
+        frame: &mut [Value],
         out: &mut Vec<Tuple>,
     ) -> Result<()> {
-        if depth == self.positive.len() {
-            return self.finish(builtins, source, applied, bindings, out);
+        if depth == self.atoms.len() {
+            return self.finish(env, frame, out);
         }
-        let atom = &self.positive[depth];
-        let probe_value = self.probes[depth].and_then(|pos| match &atom.terms[pos] {
-            Term::Const(c) => Some((pos, c)),
-            Term::Var(v) => bindings.get(v).map(|val| (pos, val)),
-        });
+        let ap = &self.atoms[depth];
         // Candidate tuples: the delta slice (through its per-call index
-        // when the probe value is bound) for the delta occurrence, a stored
+        // when the probe value is bound) for the delta position, a stored
         // index probe otherwise, full scan as the fallback. All variants
         // borrow — nothing is materialized.
-        let candidates: Scan<'_> = match delta {
-            Some((di, dt)) if di == depth => match (probe_value, delta_index) {
-                (Some((_, value)), Some(idx)) => match idx.get(value) {
+        let candidates: Scan<'_> = match env.delta {
+            Some((dp, dt)) if dp == depth => match (&ap.probe, &env.delta_index) {
+                (Some(spec), Some(idx)) => match idx.get(&spec.delta_hash(frame)) {
                     Some(ids) => Scan::Hits { tuples: dt, ids: ids.iter() },
                     None => Scan::Empty,
                 },
                 _ => Scan::Slice(dt.iter()),
             },
-            _ => match probe_value {
-                Some((pos, value)) => source.probe(self.positive_rels[depth], pos, value),
-                None => source.scan(self.positive_rels[depth]),
+            _ => match &ap.probe {
+                Some(ProbeSpec::Field(f, key)) => env.source.probe(ap.rel, *f, key.resolve(frame)),
+                Some(ProbeSpec::Key { fields, values }) => {
+                    let key: Vec<Value> = values.iter().map(|k| k.resolve(frame).clone()).collect();
+                    env.source.probe_key(&TupleKey::new(ap.rel, key), fields)
+                }
+                None => env.source.scan(ap.rel),
             },
         };
-        for tuple in candidates {
-            // Cheap pre-check before cloning the bindings: constants and
-            // already-bound variables must match.
-            if !atom_prematch(atom, tuple, bindings) {
+        'cand: for tuple in candidates {
+            if tuple.arity() != ap.arity {
                 continue;
             }
-            let mut next = bindings.clone();
-            if !unify_atom(atom, tuple, &mut next) {
+            let fields = tuple.fields();
+            for op in &ap.ops {
+                match op {
+                    FieldOp::Check { field, value } => {
+                        if &fields[*field] != value {
+                            continue 'cand;
+                        }
+                    }
+                    FieldOp::Test { field, slot } => {
+                        if fields[*field] != frame[*slot] {
+                            continue 'cand;
+                        }
+                    }
+                    FieldOp::Bind { field, slot } => {
+                        frame[*slot] = fields[*field].clone();
+                    }
+                }
+            }
+            if !self.run_steps(env, depth + 1, frame)? {
                 continue;
             }
-            let mut next_applied = applied.to_vec();
-            if !self.apply_ready_constraints(builtins, &mut next_applied, &mut next)? {
-                continue;
-            }
-            self.join(builtins, source, delta, delta_index, depth + 1, &next_applied, &next, out)?;
+            self.join(env, depth + 1, frame, out)?;
         }
         Ok(())
     }
 
-    /// All positive atoms joined: apply remaining constraints, check
-    /// negations against the source, then emit the head tuple.
+    /// All positive atoms joined and every scheduled constraint applied:
+    /// report unsafe constraints, check negations, emit the head tuple.
     fn finish<S: RelationSource>(
         &self,
-        builtins: &Builtins,
-        source: &S,
-        applied: &[bool],
-        bindings: &Bindings,
+        env: &Env<'_, S>,
+        frame: &[Value],
         out: &mut Vec<Tuple>,
     ) -> Result<()> {
-        let mut applied = applied.to_vec();
-        let mut bindings = bindings.clone();
-        if !self.apply_ready_constraints(builtins, &mut applied, &mut bindings)? {
-            return Ok(());
+        if let Some(lit) = self.unsafe_constraints.first() {
+            return Err(Error::eval(format!(
+                "rule {}: constraint `{lit}` has unbound variables",
+                self.rule.name.as_deref().unwrap_or("<unnamed>")
+            )));
         }
-        // Any constraint left unapplied means some variable never got
-        // bound: the rule is unsafe.
-        for (i, lit) in self.constraints.iter().enumerate() {
-            if !applied[i] {
-                return Err(Error::eval(format!(
-                    "rule {}: constraint `{lit}` has unbound variables",
-                    self.rule.name.as_deref().unwrap_or("<unnamed>")
-                )));
-            }
-        }
-        for ((atom, &rel), probe) in self.neg_atoms.iter().zip(&self.neg_rels).zip(&self.neg_probes)
-        {
-            if negation_has_match(atom, rel, *probe, &bindings, source) {
+        for np in &self.negs {
+            if self.neg_has_match(env, np, frame) {
                 return Ok(());
             }
         }
-        out.push(head_tuple_from_bindings(
-            &self.rule.head,
-            self.head_rel,
-            &bindings,
-            self.rule.name.as_deref(),
-        )?);
+        let mut fields = Vec::with_capacity(self.head_ops.len());
+        for op in &self.head_ops {
+            match op {
+                HeadOp::Const(v) => fields.push(v.clone()),
+                HeadOp::Slot(s) => fields.push(frame[*s].clone()),
+                HeadOp::Unbound(v) => {
+                    return Err(Error::eval(format!(
+                        "rule {}: head variable {v} is not bound by the body",
+                        self.rule.name.as_deref().unwrap_or("<unnamed>")
+                    )))
+                }
+            }
+        }
+        out.push(Tuple::from_rel(self.head_rel, fields));
         Ok(())
     }
+
+    fn neg_has_match<S: RelationSource>(
+        &self,
+        env: &Env<'_, S>,
+        np: &NegPlan,
+        frame: &[Value],
+    ) -> bool {
+        let candidates = match &np.probe {
+            Some((f, ProbeKey::Const(c))) => env.source.probe(np.rel, *f, c),
+            Some((f, ProbeKey::Slot(s))) => env.source.probe(np.rel, *f, &frame[*s]),
+            None => env.source.scan(np.rel),
+        };
+        'outer: for t in candidates {
+            if t.arity() != np.arity {
+                continue;
+            }
+            let fields = t.fields();
+            for op in &np.ops {
+                match op {
+                    NegOp::Check { field, value } => {
+                        if &fields[*field] != value {
+                            continue 'outer;
+                        }
+                    }
+                    NegOp::Test { field, slot } => {
+                        if fields[*field] != frame[*slot] {
+                            continue 'outer;
+                        }
+                    }
+                }
+            }
+            return true;
+        }
+        false
+    }
+}
+
+/// Evaluate `rule` against `source` with optional semi-naïve `delta`,
+/// handling negated atoms by consulting `source`.
+///
+/// This compiles a throwaway [`RuleEval`] plan; callers on hot paths (the
+/// [`Evaluator`], the distributed processor) compile once and reuse.
+pub fn evaluate_rule<S: RelationSource>(
+    rule: &Rule,
+    builtins: &Builtins,
+    source: &S,
+    delta: Option<(usize, &[Tuple])>,
+) -> Result<Vec<Tuple>> {
+    RuleEval::new(rule).evaluate(builtins, source, delta)
+}
+
+// ---------------------------------------------------------------------------
+// Reference (name-keyed) evaluator
+// ---------------------------------------------------------------------------
+
+/// Evaluate `rule` with the *reference* algorithm: name-keyed [`Bindings`]
+/// cloned per candidate, body atoms joined in written order, no planning,
+/// no probes. Semantically identical to [`RuleEval::evaluate`] (the
+/// property tests pin this); kept for differential testing and debugging,
+/// never used on hot paths.
+pub fn evaluate_rule_reference<S: RelationSource>(
+    rule: &Rule,
+    builtins: &Builtins,
+    source: &S,
+    delta: Option<(usize, &[Tuple])>,
+) -> Result<Vec<Tuple>> {
+    let positive: Vec<&Atom> = rule.positive_atoms();
+    let positive_rels: Vec<RelId> = positive.iter().map(|a| RelId::intern(&a.relation)).collect();
+    let constraints: Vec<&Literal> = rule.body.iter().filter(|l| l.is_constraint()).collect();
+    let neg: Vec<(&Atom, RelId)> = rule
+        .body
+        .iter()
+        .filter_map(|l| match l {
+            Literal::NegAtom(a) => Some((a, RelId::intern(&a.relation))),
+            _ => None,
+        })
+        .collect();
+    let head_rel = RelId::intern(&rule.head.relation);
+
+    let mut out = Vec::new();
+    let mut bindings = Bindings::new();
+    let mut applied = vec![false; constraints.len()];
+    if !reference_apply_ready(&constraints, builtins, &mut applied, &mut bindings)? {
+        return Ok(out);
+    }
+    reference_join(
+        rule,
+        &positive,
+        &positive_rels,
+        &constraints,
+        &neg,
+        head_rel,
+        builtins,
+        source,
+        delta,
+        0,
+        &applied,
+        &bindings,
+        &mut out,
+    )?;
+    Ok(out)
+}
+
+/// Apply every not-yet-applied constraint whose variables are all bound.
+/// Returns false if a constraint evaluated to false (dead branch).
+fn reference_apply_ready(
+    constraints: &[&Literal],
+    builtins: &Builtins,
+    applied: &mut [bool],
+    bindings: &mut Bindings,
+) -> Result<bool> {
+    let mut progress = true;
+    while progress {
+        progress = false;
+        for (i, lit) in constraints.iter().enumerate() {
+            if applied[i] {
+                continue;
+            }
+            match lit {
+                Literal::Assign { var, expr } => {
+                    if expr.variables().iter().all(|v| bindings.is_bound(v)) {
+                        let val = eval_expr(expr, bindings, builtins)?;
+                        applied[i] = true;
+                        progress = true;
+                        if !bindings.bind(var, val) {
+                            return Ok(false);
+                        }
+                    }
+                }
+                Literal::Compare { op, lhs, rhs } => {
+                    let ready = lhs.variables().iter().all(|v| bindings.is_bound(v))
+                        && rhs.variables().iter().all(|v| bindings.is_bound(v));
+                    if ready {
+                        let l = eval_expr(lhs, bindings, builtins)?;
+                        let r = eval_expr(rhs, bindings, builtins)?;
+                        applied[i] = true;
+                        progress = true;
+                        if !op.eval(&l, &r) {
+                            return Ok(false);
+                        }
+                    }
+                }
+                other => unreachable!("{other} is not a constraint"),
+            }
+        }
+    }
+    Ok(true)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn reference_join<S: RelationSource>(
+    rule: &Rule,
+    positive: &[&Atom],
+    positive_rels: &[RelId],
+    constraints: &[&Literal],
+    neg: &[(&Atom, RelId)],
+    head_rel: RelId,
+    builtins: &Builtins,
+    source: &S,
+    delta: Option<(usize, &[Tuple])>,
+    depth: usize,
+    applied: &[bool],
+    bindings: &Bindings,
+    out: &mut Vec<Tuple>,
+) -> Result<()> {
+    if depth == positive.len() {
+        // Unapplied constraints mean some variable never got bound: unsafe.
+        for (i, lit) in constraints.iter().enumerate() {
+            if !applied[i] {
+                return Err(Error::eval(format!(
+                    "rule {}: constraint `{lit}` has unbound variables",
+                    rule.name.as_deref().unwrap_or("<unnamed>")
+                )));
+            }
+        }
+        for (atom, rel) in neg {
+            if negation_has_match(atom, *rel, bindings, source) {
+                return Ok(());
+            }
+        }
+        out.push(head_tuple_from_bindings(&rule.head, head_rel, bindings, rule.name.as_deref())?);
+        return Ok(());
+    }
+    let atom = positive[depth];
+    let candidates: Scan<'_> = match delta {
+        Some((di, dt)) if di == depth => Scan::Slice(dt.iter()),
+        _ => source.scan(positive_rels[depth]),
+    };
+    for tuple in candidates {
+        if !atom_prematch(atom, tuple, bindings) {
+            continue;
+        }
+        let mut next = bindings.clone();
+        if !unify_atom(atom, tuple, &mut next) {
+            continue;
+        }
+        let mut next_applied = applied.to_vec();
+        if !reference_apply_ready(constraints, builtins, &mut next_applied, &mut next)? {
+            continue;
+        }
+        reference_join(
+            rule,
+            positive,
+            positive_rels,
+            constraints,
+            neg,
+            head_rel,
+            builtins,
+            source,
+            delta,
+            depth + 1,
+            &next_applied,
+            &next,
+            out,
+        )?;
+    }
+    Ok(())
 }
 
 /// Quick rejection test before bindings are cloned for a candidate tuple:
@@ -521,36 +1504,13 @@ fn atom_prematch(atom: &Atom, tuple: &Tuple, bindings: &Bindings) -> bool {
     true
 }
 
-/// Evaluate `rule` against `source` with optional semi-naïve `delta`,
-/// handling negated atoms by consulting `source`.
-///
-/// This compiles a throwaway [`RuleEval`] plan; callers on hot paths (the
-/// [`Evaluator`], the distributed processor) compile once and reuse.
-pub fn evaluate_rule<S: RelationSource>(
-    rule: &Rule,
-    builtins: &Builtins,
-    source: &S,
-    delta: Option<(usize, &[Tuple])>,
-) -> Result<Vec<Tuple>> {
-    RuleEval::new(rule).evaluate(builtins, source, delta)
-}
-
 fn negation_has_match<S: RelationSource>(
     atom: &Atom,
     rel: RelId,
-    probe: Option<usize>,
     bindings: &Bindings,
     source: &S,
 ) -> bool {
-    let probe_value = probe.and_then(|pos| match &atom.terms[pos] {
-        Term::Const(c) => Some((pos, c)),
-        Term::Var(v) => bindings.get(v).map(|val| (pos, val)),
-    });
-    let candidates = match probe_value {
-        Some((pos, value)) => source.probe(rel, pos, value),
-        None => source.scan(rel),
-    };
-    'outer: for t in candidates {
+    'outer: for t in source.scan(rel) {
         if t.arity() != atom.arity() {
             continue;
         }
@@ -717,9 +1677,9 @@ pub struct Evaluator {
     builtins: Builtins,
     config: EvalConfig,
     agg_selections: Vec<AggSelection>,
-    /// One compiled plan per program rule (same indexing as
-    /// `program.rules`), built once at construction and reused by every
-    /// [`Evaluator::run`].
+    /// One statically-planned [`RuleEval`] per program rule (same indexing
+    /// as `program.rules`), built at construction. [`Evaluator::run`]
+    /// re-plans against the database's cardinalities when it has any.
     compiled: Vec<RuleEval>,
 }
 
@@ -763,6 +1723,11 @@ impl Evaluator {
         &self.program
     }
 
+    /// The statically-compiled plans, one per program rule.
+    pub fn plans(&self) -> &[RuleEval] {
+        &self.compiled
+    }
+
     /// Run the program to fixpoint on `db`. Base tables must already be
     /// populated; facts from the program are inserted automatically.
     pub fn run(&self, db: &mut Database) -> Result<EvalStats> {
@@ -773,10 +1738,21 @@ impl Evaluator {
         for (rel, keys) in &self.program.key_pragmas {
             db.declare_key(rel, keys.clone());
         }
-        // Declare the secondary indexes the compiled plans will probe, so
-        // every join hits an incrementally-maintained index instead of
-        // re-hashing relation contents per rule firing.
-        for plan in &self.compiled {
+
+        // Re-plan against the database's current cardinalities (populated
+        // base tables make join ordering meaningful); fall back to the
+        // static plans on an empty database.
+        let card = db.cardinalities();
+        let plans: Vec<RuleEval> = if card.is_empty() {
+            self.compiled.clone()
+        } else {
+            self.program.rules.iter().map(|r| RuleEval::with_stats(r, &card)).collect()
+        };
+
+        // Declare the secondary indexes the plans will probe, so every join
+        // hits an incrementally-maintained index instead of re-hashing
+        // relation contents per rule firing.
+        for plan in &plans {
             for (rel, field) in plan.probe_fields() {
                 db.declare_index(rel, field);
             }
@@ -803,7 +1779,7 @@ impl Evaluator {
         for stratum_rules in &self.stratification.strata_rules {
             let rules: Vec<&RuleEval> = stratum_rules
                 .iter()
-                .map(|&i| &self.compiled[i])
+                .map(|&i| &plans[i])
                 .filter(|c| !c.rule().is_fact())
                 .collect();
             if rules.is_empty() {
@@ -946,406 +1922,18 @@ impl Evaluator {
                 }
             }
         }
-        let outcome = db.insert(t.clone());
-        if outcome.added {
-            stats.tuples_derived += 1;
-            delta.entry(t.rel()).or_default().push(t);
+        // Duplicate derivations dominate dense fixpoints; check membership
+        // before paying the clone that a delta entry needs.
+        if db.contains(&t) {
+            return;
         }
+        stats.tuples_derived += 1;
+        let rel = t.rel();
+        db.insert(t.clone());
+        delta.entry(rel).or_default().push(t);
     }
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::parser::parse_program;
-    use dr_types::{Cost, NodeId, PathVector};
-
-    fn node(i: u32) -> Value {
-        Value::Node(NodeId::new(i))
-    }
-
-    fn link(s: u32, d: u32, c: f64) -> Tuple {
-        Tuple::new("link", vec![node(s), node(d), Value::from(c)])
-    }
-
-    /// The 5-node example network of the paper's Figure 3:
-    /// a->b, a->c, b->d, c->d, d->e (undirected in the figure; we insert
-    /// both directions where needed by the test).
-    fn figure3_links(db: &mut Database) {
-        for (s, d) in [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)] {
-            db.insert(link(s, d, 1.0));
-        }
-    }
-
-    const NETWORK_REACHABILITY: &str = r#"
-        NR1: path(@S,D,P,C) :- link(@S,D,C), P = f_initPath(S,D).
-        NR2: path(@S,D,P,C) :- link(@S,Z,C1), path(@Z,D,P2,C2),
-             C = C1 + C2, P = f_prepend(S,P2), f_inPath(P2,S) = false.
-        Query: path(@S,D,P,C).
-    "#;
-
-    const BEST_PATH: &str = r#"
-        NR1: path(@S,D,P,C) :- link(@S,D,C), P = f_initPath(S,D).
-        NR2: path(@S,D,P,C) :- link(@S,Z,C1), path(@Z,D,P2,C2),
-             C = C1 + C2, P = f_prepend(S,P2), f_inPath(P2,S) = false.
-        BPR1: bestPathCost(@S,D,min<C>) :- path(@S,D,P,C).
-        BPR2: bestPath(@S,D,P,C) :- bestPathCost(@S,D,C), path(@S,D,P,C).
-        Query: bestPath(@S,D,P,C).
-    "#;
-
-    #[test]
-    fn bindings_bind_and_conflict() {
-        let mut b = Bindings::new();
-        assert!(b.is_empty());
-        assert!(b.bind("X", Value::Int(1)));
-        assert!(b.bind("X", Value::Int(1)));
-        assert!(!b.bind("X", Value::Int(2)));
-        assert!(b.is_bound("X"));
-        assert!(!b.is_bound("Y"));
-        assert_eq!(b.len(), 1);
-        assert_eq!(b.get("X"), Some(&Value::Int(1)));
-    }
-
-    #[test]
-    fn expr_evaluation() {
-        let builtins = Builtins::standard();
-        let mut b = Bindings::new();
-        b.bind("C1", Value::from(2.0));
-        b.bind("C2", Value::from(3.0));
-        let e = Expr::BinOp {
-            op: crate::ast::ArithOp::Add,
-            lhs: Box::new(Expr::var("C1")),
-            rhs: Box::new(Expr::var("C2")),
-        };
-        assert_eq!(eval_expr(&e, &b, &builtins).unwrap(), Value::from(5.0));
-        assert!(eval_expr(&Expr::var("missing"), &b, &builtins).is_err());
-        let call = Expr::call("f_sum", vec![Expr::var("C1"), Expr::constant(1.0)]);
-        assert_eq!(eval_expr(&call, &b, &builtins).unwrap(), Value::from(3.0));
-    }
-
-    #[test]
-    fn network_reachability_computes_transitive_closure() {
-        let program = parse_program(NETWORK_REACHABILITY).unwrap();
-        let eval = Evaluator::new(program).unwrap();
-        let mut db = Database::new();
-        figure3_links(&mut db);
-        let stats = eval.run(&mut db).unwrap();
-        assert!(stats.tuples_derived > 0);
-        assert!(stats.iterations >= 2);
-
-        let paths = db.tuples("path");
-        // a (0) reaches e (4) via b-d and c-d: both 3-hop paths must exist.
-        let a_to_e: Vec<&Tuple> = paths
-            .iter()
-            .filter(|t| {
-                t.node_at(0) == Some(NodeId::new(0)) && t.node_at(1) == Some(NodeId::new(4))
-            })
-            .collect();
-        assert_eq!(a_to_e.len(), 2, "expected two distinct a->e paths, got {a_to_e:?}");
-        for t in &a_to_e {
-            assert_eq!(t.field(3).and_then(Value::as_cost), Some(Cost::new(3.0)));
-        }
-        // no cyclic paths anywhere
-        for t in &paths {
-            let p = t.field(2).and_then(Value::as_path).unwrap();
-            assert!(!p.has_cycle(), "cyclic path derived: {t}");
-        }
-    }
-
-    #[test]
-    fn paper_figure3_tuple_is_derived() {
-        // p(a,d,[a,c,d],2) from the worked example in §3.4.
-        let program = parse_program(NETWORK_REACHABILITY).unwrap();
-        let eval = Evaluator::new(program).unwrap();
-        let mut db = Database::new();
-        figure3_links(&mut db);
-        eval.run(&mut db).unwrap();
-        let expected = Tuple::new(
-            "path",
-            vec![
-                node(0),
-                node(3),
-                Value::Path(PathVector::from_nodes(vec![
-                    NodeId::new(0),
-                    NodeId::new(2),
-                    NodeId::new(3),
-                ])),
-                Value::from(2.0),
-            ],
-        );
-        assert!(db.contains(&expected));
-    }
-
-    #[test]
-    fn best_path_selects_minimum_cost() {
-        let program = parse_program(BEST_PATH).unwrap();
-        let eval = Evaluator::new(program).unwrap();
-        let mut db = Database::new();
-        // Two routes 0->2: direct cost 10, via 1 cost 2+3=5.
-        db.insert(link(0, 2, 10.0));
-        db.insert(link(0, 1, 2.0));
-        db.insert(link(1, 2, 3.0));
-        eval.run(&mut db).unwrap();
-
-        let best: Vec<Tuple> = db
-            .tuples("bestPath")
-            .into_iter()
-            .filter(|t| {
-                t.node_at(0) == Some(NodeId::new(0)) && t.node_at(1) == Some(NodeId::new(2))
-            })
-            .collect();
-        assert_eq!(best.len(), 1);
-        assert_eq!(best[0].field(3).and_then(Value::as_cost), Some(Cost::new(5.0)));
-        let p = best[0].field(2).and_then(Value::as_path).unwrap();
-        assert_eq!(p.nodes(), &[NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
-    }
-
-    #[test]
-    fn aggregate_selections_prune_but_preserve_best_paths() {
-        let program = parse_program(BEST_PATH).unwrap();
-        let cfg = EvalConfig { aggregate_selections: true, ..EvalConfig::default() };
-        let eval_opt = Evaluator::with_config(parse_program(BEST_PATH).unwrap(), cfg).unwrap();
-        let eval_base = Evaluator::new(program).unwrap();
-
-        let mut db_base = Database::new();
-        let mut db_opt = Database::new();
-        for db in [&mut db_base, &mut db_opt] {
-            figure3_links(db);
-            // extra expensive parallel edges to give the optimizer something to prune
-            db.insert(link(0, 3, 10.0));
-            db.insert(link(1, 4, 20.0));
-        }
-        let s_base = eval_base.run(&mut db_base).unwrap();
-        let s_opt = eval_opt.run(&mut db_opt).unwrap();
-
-        assert!(s_opt.tuples_pruned > 0, "optimizer never pruned anything");
-        assert!(s_opt.tuples_derived <= s_base.tuples_derived);
-
-        // Best-path answers agree.
-        let mut base_best = db_base.sorted_tuples("bestPathCost");
-        let mut opt_best = db_opt.sorted_tuples("bestPathCost");
-        base_best.sort();
-        opt_best.sort();
-        assert_eq!(base_best, opt_best);
-    }
-
-    #[test]
-    fn naive_and_semi_naive_agree() {
-        let naive_cfg = EvalConfig { semi_naive: false, ..EvalConfig::default() };
-        let e_naive =
-            Evaluator::with_config(parse_program(NETWORK_REACHABILITY).unwrap(), naive_cfg)
-                .unwrap();
-        let e_semi = Evaluator::new(parse_program(NETWORK_REACHABILITY).unwrap()).unwrap();
-
-        let mut db1 = Database::new();
-        let mut db2 = Database::new();
-        figure3_links(&mut db1);
-        figure3_links(&mut db2);
-        let s1 = e_naive.run(&mut db1).unwrap();
-        let s2 = e_semi.run(&mut db2).unwrap();
-        assert_eq!(db1.sorted_tuples("path"), db2.sorted_tuples("path"));
-        // naive mode performs at least as many rule firings
-        assert!(s1.rule_firings >= s2.rule_firings);
-    }
-
-    #[test]
-    fn non_terminating_query_is_caught() {
-        // Reachability *without* the cycle check on a cyclic graph would
-        // grow paths forever; the iteration cap turns that into an error.
-        let src = r#"
-            NR1: path(@S,D,P,C) :- link(@S,D,C), P = f_initPath(S,D).
-            NR2: path(@S,D,P,C) :- link(@S,Z,C1), path(@Z,D,P2,C2),
-                 C = C1 + C2, P = f_prepend(S,P2).
-        "#;
-        let cfg = EvalConfig { max_iterations: 20, ..EvalConfig::default() };
-        let eval = Evaluator::with_config(parse_program(src).unwrap(), cfg).unwrap();
-        let mut db = Database::new();
-        db.insert(link(0, 1, 1.0));
-        db.insert(link(1, 0, 1.0));
-        assert!(eval.run(&mut db).is_err());
-    }
-
-    #[test]
-    fn facts_are_inserted() {
-        let src = r#"
-            magicSources(#1).
-            magicSources(#2).
-            out(@S) :- magicSources(@S).
-        "#;
-        let eval = Evaluator::new(parse_program(src).unwrap()).unwrap();
-        let mut db = Database::new();
-        eval.run(&mut db).unwrap();
-        assert_eq!(db.count("magicSources"), 2);
-        assert_eq!(db.count("out"), 2);
-    }
-
-    #[test]
-    fn negation_filters_matches() {
-        let src = r#"
-            r1: candidate(@S,D) :- link(@S,D,C).
-            r2: allowed(@S,D) :- candidate(@S,D), !excludeNode(@S,D).
-        "#;
-        let eval = Evaluator::new(parse_program(src).unwrap()).unwrap();
-        let mut db = Database::new();
-        db.insert(link(0, 1, 1.0));
-        db.insert(link(0, 2, 1.0));
-        db.insert(Tuple::new("excludeNode", vec![node(0), node(2)]));
-        eval.run(&mut db).unwrap();
-        let allowed = db.sorted_tuples("allowed");
-        assert_eq!(allowed.len(), 1);
-        assert_eq!(allowed[0].node_at(1), Some(NodeId::new(1)));
-    }
-
-    #[test]
-    fn negation_with_wildcard_fields() {
-        // !cache(S, D, P, C) where P and C are not bound elsewhere: the
-        // negation fails if *any* cache entry exists for (S, D).
-        let src = r#"
-            r1: need(@S,D) :- request(@S,D), !cache(@S,D,P,C).
-        "#;
-        let eval = Evaluator::new(parse_program(src).unwrap()).unwrap();
-        let mut db = Database::new();
-        db.insert(Tuple::new("request", vec![node(1), node(2)]));
-        db.insert(Tuple::new("request", vec![node(1), node(3)]));
-        db.insert(Tuple::new(
-            "cache",
-            vec![node(1), node(2), Value::Path(PathVector::nil()), Value::from(1.0)],
-        ));
-        eval.run(&mut db).unwrap();
-        let need = db.sorted_tuples("need");
-        assert_eq!(need.len(), 1);
-        assert_eq!(need[0].node_at(1), Some(NodeId::new(3)));
-    }
-
-    #[test]
-    fn comparison_constraints_filter() {
-        let src = r#"
-            r1: cheap(@S,D,C) :- link(@S,D,C), C < 5.
-            r2: notself(@S,D) :- link(@S,D,C), S != D.
-        "#;
-        let eval = Evaluator::new(parse_program(src).unwrap()).unwrap();
-        let mut db = Database::new();
-        db.insert(link(0, 1, 2.0));
-        db.insert(link(0, 2, 9.0));
-        db.insert(link(3, 3, 1.0));
-        eval.run(&mut db).unwrap();
-        assert_eq!(db.count("cheap"), 2); // (0,1) and (3,3)
-        assert_eq!(db.count("notself"), 2); // (0,1) and (0,2)
-    }
-
-    #[test]
-    fn unsafe_rule_reports_error() {
-        // Head variable X never bound.
-        let src = "r1: out(@X,Y) :- q(@X), Y = Z + 1.";
-        let eval = Evaluator::new(parse_program(src).unwrap()).unwrap();
-        let mut db = Database::new();
-        db.insert(Tuple::new("q", vec![node(0)]));
-        assert!(eval.run(&mut db).is_err());
-    }
-
-    #[test]
-    fn apply_aggregate_groups_correctly() {
-        let head = Head {
-            relation: "shortest".into(),
-            terms: vec![
-                HeadTerm::Plain(Term::var("S")),
-                HeadTerm::Plain(Term::var("D")),
-                HeadTerm::Agg(AggFunc::Min, "C".into()),
-            ],
-            location: Some(0),
-        };
-        let raw = vec![
-            Tuple::new("shortest", vec![node(0), node(1), Value::from(5.0)]),
-            Tuple::new("shortest", vec![node(0), node(1), Value::from(3.0)]),
-            Tuple::new("shortest", vec![node(0), node(2), Value::from(7.0)]),
-        ];
-        let mut out = apply_aggregate(&head, RelId::intern(&head.relation), &raw).unwrap();
-        out.sort();
-        assert_eq!(out.len(), 2);
-        assert_eq!(out[0].field(2).and_then(Value::as_cost), Some(Cost::new(3.0)));
-        assert_eq!(out[1].field(2).and_then(Value::as_cost), Some(Cost::new(7.0)));
-
-        // count and sum
-        let head_count = Head {
-            relation: "deg".into(),
-            terms: vec![HeadTerm::Plain(Term::var("S")), HeadTerm::Agg(AggFunc::Count, "D".into())],
-            location: Some(0),
-        };
-        let raw = vec![
-            Tuple::new("deg", vec![node(0), node(1)]),
-            Tuple::new("deg", vec![node(0), node(2)]),
-        ];
-        let out = apply_aggregate(&head_count, RelId::intern(&head_count.relation), &raw).unwrap();
-        assert_eq!(out[0].field(1), Some(&Value::Int(2)));
-
-        let head_sum = Head {
-            relation: "total".into(),
-            terms: vec![HeadTerm::Plain(Term::var("S")), HeadTerm::Agg(AggFunc::Sum, "C".into())],
-            location: Some(0),
-        };
-        let raw = vec![
-            Tuple::new("total", vec![node(0), Value::from(1.5)]),
-            Tuple::new("total", vec![node(0), Value::from(2.5)]),
-        ];
-        let out = apply_aggregate(&head_sum, RelId::intern(&head_sum.relation), &raw).unwrap();
-        assert_eq!(out[0].field(1).and_then(Value::as_cost), Some(Cost::new(4.0)));
-    }
-
-    #[test]
-    fn evaluate_rule_with_delta_limits_matches() {
-        let program = parse_program(NETWORK_REACHABILITY).unwrap();
-        let builtins = Builtins::standard();
-        let mut db = Database::new();
-        figure3_links(&mut db);
-        // Seed with one-hop paths.
-        let nr1 = program.rule("NR1").unwrap();
-        let one_hop = evaluate_rule(nr1, &builtins, &db, None).unwrap();
-        assert_eq!(one_hop.len(), 5);
-        for t in &one_hop {
-            db.insert(t.clone());
-        }
-        // Delta = only the path starting at node 3 (d->e).
-        let delta: Vec<Tuple> =
-            one_hop.iter().filter(|t| t.node_at(0) == Some(NodeId::new(3))).cloned().collect();
-        let nr2 = program.rule("NR2").unwrap();
-        // positive atom occurrence 1 is `path(@Z,D,P2,C2)`
-        let derived = evaluate_rule(nr2, &builtins, &db, Some((1, &delta))).unwrap();
-        // Only extensions of d->e are derived: b->d->e and c->d->e.
-        assert_eq!(derived.len(), 2);
-        for t in &derived {
-            assert_eq!(t.node_at(1), Some(NodeId::new(4)));
-        }
-    }
-
-    #[test]
-    fn distance_vector_rules_produce_next_hops() {
-        let src = r#"
-            #key(nextHop, 0, 1).
-            DV1: path(@S,D,D,C) :- link(@S,D,C).
-            DV2: path(@S,D,Z,C) :- link(@S,Z,C1), path(@Z,D,W,C2), C = C1 + C2, W != S, C < 100.
-            DV3: shortestCost(@S,D,min<C>) :- path(@S,D,Z,C).
-            DV4: nextHop(@S,D,Z,C) :- path(@S,D,Z,C), shortestCost(@S,D,C).
-            Query: nextHop(@S,D,Z,C).
-        "#;
-        let eval = Evaluator::new(parse_program(src).unwrap()).unwrap();
-        let mut db = Database::new();
-        // triangle with a shortcut: 0-1 cost 1, 1-2 cost 1, 0-2 cost 5
-        for (s, d, c) in
-            [(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0), (0, 2, 5.0), (2, 0, 5.0)]
-        {
-            db.insert(link(s, d, c));
-        }
-        eval.run(&mut db).unwrap();
-        let hops: Vec<Tuple> = db
-            .tuples("nextHop")
-            .into_iter()
-            .filter(|t| {
-                t.node_at(0) == Some(NodeId::new(0)) && t.node_at(1) == Some(NodeId::new(2))
-            })
-            .collect();
-        assert_eq!(hops.len(), 1, "nextHop should be keyed on (S,D): {hops:?}");
-        // best next hop from 0 to 2 is via 1 at cost 2
-        assert_eq!(hops[0].node_at(2), Some(NodeId::new(1)));
-        assert_eq!(hops[0].field(3).and_then(Value::as_cost), Some(Cost::new(2.0)));
-    }
-}
+#[path = "eval_tests.rs"]
+mod tests;

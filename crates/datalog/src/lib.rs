@@ -46,7 +46,7 @@ pub mod stratify;
 pub use ast::{AggFunc, Atom, CompareOp, Expr, Head, HeadTerm, Literal, Program, Rule, Term};
 pub use builtins::Builtins;
 pub use catalog::{Catalog, RelationInfo};
-pub use database::{Database, Scan, Table};
-pub use eval::{EvalStats, Evaluator, RuleEval};
+pub use database::{CardStats, Database, Scan, Table};
+pub use eval::{EvalStats, Evaluator, JoinPlan, RuleEval};
 pub use parser::parse_program;
 pub use safety::{check_safety, SafetyReport};

@@ -441,6 +441,22 @@ mod tests {
     }
 
     #[test]
+    fn magic_rules_plan_filter_first() {
+        let p = parse_program(BEST_PATH).unwrap();
+        let opts = MagicSetsOptions { propagate_over_links: true, ..Default::default() };
+        let rewritten = magic_sets(&p, "path", &[NodeId::new(1)], &opts);
+        let nr2 = rewritten.rule("NR2_magic").unwrap();
+        let plan = crate::eval::RuleEval::new(nr2);
+        // The 1-ary magic filter leads (fewest unbound variables), then
+        // each subsequent atom is probed on the location variable it shares
+        // with the atoms joined before it — the rewrite's restriction is
+        // applied before any path tuple is enumerated.
+        assert_eq!(plan.plan().atom_order(), &[0, 1, 2]);
+        assert_eq!(plan.plan().probes(), &[None, Some(0), Some(0)]);
+        assert_eq!(plan.plan().to_string(), "magicSources ⋈ link[0] ⋈ path[0]");
+    }
+
+    #[test]
     fn magic_sets_respects_custom_relation_name() {
         let p = parse_program(BEST_PATH).unwrap();
         let opts = MagicSetsOptions {

@@ -97,19 +97,6 @@ impl ChurnSchedule {
         self.events.last().map(ChurnEvent::time).unwrap_or(SimTime::ZERO)
     }
 
-    /// Apply the schedule to a simulator by scheduling fail/join events.
-    #[deprecated(
-        since = "0.6.0",
-        note = "add the schedule to a `dr_core::scenario::ScenarioBuilder` with \
-                `.source(&schedule)` (or schedule its `EventSource::events_for` \
-                timeline events yourself)"
-    )]
-    pub fn apply<A: dr_netsim::NodeApp>(&self, sim: &mut dr_netsim::Simulator<A>) {
-        let events: Vec<TimelineEvent<A::Message>> = self.events_for(sim.topology());
-        for event in &events {
-            event.schedule(sim);
-        }
-    }
 }
 
 /// A churn schedule is a timeline event source: each `Fail`/`Join` event

@@ -29,6 +29,10 @@
 //!   gate; e.g. `5` fails on a >5x slowdown). Benchmarks missing on either
 //!   side (renamed label, stale baseline) also fail the gate — a silently
 //!   shrinking comparison would otherwise rot it.
+//! * `DR_BENCH_ONLY=<prefix>[,<prefix>...]` — run only the benchmarks whose
+//!   label starts with one of the given prefixes (e.g. a group name), and
+//!   restrict the baseline comparison to the same subset. This is how CI
+//!   gates a specific group at a tighter ratio than the blanket run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -173,7 +177,21 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// True when `label` passes the `DR_BENCH_ONLY` filter (comma-separated
+/// label prefixes; unset or empty = everything runs).
+fn label_selected(label: &str) -> bool {
+    match std::env::var("DR_BENCH_ONLY") {
+        Ok(filter) if !filter.trim().is_empty() => {
+            filter.split(',').any(|prefix| label.starts_with(prefix.trim()))
+        }
+        _ => true,
+    }
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
+    if !label_selected(label) {
+        return;
+    }
     let mut bencher = Bencher { samples, mean: Duration::ZERO };
     f(&mut bencher);
     println!("bench: {label:<60} {:>12.3?} (mean of {samples} samples)", bencher.mean);
@@ -235,7 +253,11 @@ pub fn finish_run() {
             std::process::exit(1);
         }
     };
-    let baseline = parse_baseline(&text);
+    // A DR_BENCH_ONLY run only produced the selected labels; compare
+    // against the same subset of the baseline so the rest of the file does
+    // not read as "not run" failures.
+    let baseline: Vec<(String, f64)> =
+        parse_baseline(&text).into_iter().filter(|(l, _)| label_selected(l)).collect();
     let fail_ratio: Option<f64> = std::env::var("DR_BENCH_FAIL_RATIO")
         .ok()
         .map(|s| s.parse().expect("DR_BENCH_FAIL_RATIO must be a number"));
