@@ -31,7 +31,7 @@
 //! harness stays freely mutable between observations.
 
 use crate::localize::localize;
-use crate::processor::{NetMsg, ProcessorConfig, ProcessorStats, QueryProcessor};
+use crate::processor::{NetMsg, ProcessorConfig, ProcessorStats, QueryProcessor, StateFootprint};
 use crate::query::{QueryId, QueryLibrary, QuerySpec};
 use dr_datalog::ast::Program;
 use dr_netsim::{SimConfig, SimDuration, SimTime, Simulator, Topology};
@@ -117,6 +117,94 @@ impl<T> QueryHandle<T> {
     ) -> BTreeMap<NodeId, NodeId> {
         harness.sim.app(node).forwarding_table(self.qid)
     }
+
+    /// A fresh [`ResultCursor`] over this query's deployment-wide result
+    /// set. The first poll reports every current result as added.
+    pub fn cursor(&self) -> ResultCursor {
+        ResultCursor { qid: self.qid, seen: BTreeMap::new() }
+    }
+}
+
+/// Result-set changes observed between two [`ResultCursor`] polls.
+///
+/// Result tuples disappear as well as appear — keyed upserts replace a
+/// route's row when a better path wins, ∞-tombstones poison rows during
+/// recovery, and teardown removes the whole set — so a streaming consumer
+/// needs both directions to mirror the result set incrementally.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResultsDelta {
+    /// Result tuples that appeared since the last poll.
+    pub added: Vec<Tuple>,
+    /// Result tuples that disappeared since the last poll.
+    pub removed: Vec<Tuple>,
+}
+
+impl ResultsDelta {
+    /// True when nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Total number of changed rows.
+    pub fn len(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+}
+
+/// An incremental view over one query's deployment-wide result set.
+///
+/// The cursor remembers the result multiset it last reported;
+/// [`ResultCursor::poll`] diffs the current state against that memory and
+/// returns only the changes. Polling is pull-based and the cursor holds no
+/// borrow on the harness, so a long-lived service can keep thousands of
+/// cursors (one per subscriber) and poll them after each batch of simulated
+/// time — a subscriber that temporarily stops polling simply sees a larger,
+/// coalesced delta later, which is what bounds the per-subscriber memory to
+/// the size of the result set rather than the length of the update history.
+#[derive(Debug, Clone)]
+pub struct ResultCursor {
+    qid: QueryId,
+    /// Result multiset as of the last poll (tuple → multiplicity; the same
+    /// row may legitimately be stored at several nodes).
+    seen: BTreeMap<Tuple, usize>,
+}
+
+impl ResultCursor {
+    /// A fresh cursor over `qid`'s deployment-wide result set, equivalent
+    /// to [`QueryHandle::cursor`] for callers that hold only the id (e.g. a
+    /// service subscribing on behalf of a remote client).
+    pub fn new(qid: QueryId) -> ResultCursor {
+        ResultCursor { qid, seen: BTreeMap::new() }
+    }
+
+    /// The query this cursor observes.
+    pub fn query(&self) -> QueryId {
+        self.qid
+    }
+
+    /// Diff the query's current result set against the last poll, report
+    /// the changes, and advance the cursor.
+    pub fn poll(&mut self, harness: &RoutingHarness) -> ResultsDelta {
+        let mut current: BTreeMap<Tuple, usize> = BTreeMap::new();
+        for t in harness.collect_results(self.qid) {
+            *current.entry(t).or_insert(0) += 1;
+        }
+        let mut delta = ResultsDelta::default();
+        for (t, &now) in &current {
+            let before = self.seen.get(t).copied().unwrap_or(0);
+            for _ in before..now {
+                delta.added.push(t.clone());
+            }
+        }
+        for (t, &before) in &self.seen {
+            let now = current.get(t).copied().unwrap_or(0);
+            for _ in now..before {
+                delta.removed.push(t.clone());
+            }
+        }
+        self.seen = current;
+        delta
+    }
 }
 
 impl<T: FromTuple> QueryHandle<T> {
@@ -146,7 +234,6 @@ impl<T: CostView> QueryHandle<T> {
     pub fn average_cost(&self, harness: &RoutingHarness) -> Result<f64> {
         Ok(average_cost_of(&self.finite_results(harness)?))
     }
-
 }
 
 pub(crate) fn average_cost_of<T: CostView>(finite: &[T]) -> f64 {
@@ -324,6 +411,43 @@ impl RoutingHarness {
             cache_relation: "bestPathCache".to_string(),
             facts: Vec::new(),
         }
+    }
+
+    /// Tear down an issued query across the whole deployment.
+    ///
+    /// A [`NetMsg::Teardown`] flood is injected at `from` at time `at`;
+    /// every node that handles it unwinds the query's engine state — the
+    /// instance with its stored tuples, pending delta buffers, prune maps,
+    /// and compiled plans; the shared cache relation when this query was
+    /// its last user; and the library's spec entry (which releases the
+    /// localized program, its `RelCatalog`, and the statically compiled
+    /// plans once the last node lets go of the `Arc`). Late messages for
+    /// the query are dropped rather than resurrecting it. Run the
+    /// simulation past `at` (plus flood propagation time) for the teardown
+    /// to take effect everywhere.
+    pub fn teardown_from(&mut self, qid: QueryId, from: NodeId, at: SimTime) {
+        self.sim.inject(at, from, NetMsg::Teardown { qid });
+    }
+
+    /// [`RoutingHarness::teardown_from`] node 0 (by convention never
+    /// failed by the churn schedules).
+    pub fn teardown(&mut self, qid: QueryId, at: SimTime) {
+        self.teardown_from(qid, NodeId::new(0), at);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Deployment-wide engine-state footprint, summed over every node (the
+    /// teardown regression hook; see [`StateFootprint`]).
+    pub fn state_footprint(&self) -> StateFootprint {
+        let mut total = StateFootprint::default();
+        for app in self.sim.apps() {
+            total.merge(&app.state_footprint());
+        }
+        total
     }
 
     /// Run the simulation until `until` (events after that stay queued).
@@ -766,6 +890,158 @@ mod tests {
             Some(Cost::new(5.0)),
             "suppressing the minimum's via-node must promote the runner-up"
         );
+    }
+
+    #[test]
+    fn teardown_unwinds_every_node_and_the_library() {
+        let program = parse_program(BEST_PATH).unwrap();
+        let mut harness = RoutingHarness::new(figure3_topology());
+        let baseline = harness.state_footprint();
+        assert!(baseline.is_empty());
+
+        let handle = harness.issue(program).submit().unwrap();
+        harness.run_until(SimTime::from_secs(30));
+        assert_eq!(handle.finite_results(&harness).unwrap().len(), 20);
+        assert!(!harness.state_footprint().is_empty());
+        assert!(harness.library().get(handle.id()).is_some());
+
+        harness.teardown(handle.id(), SimTime::from_secs(30));
+        harness.run_to_quiescence();
+
+        for i in 0..5u32 {
+            let app = harness.sim().app(n(i));
+            assert!(app.installed_queries().is_empty(), "node {i} kept the instance");
+            assert!(app.is_torn_down(handle.id()));
+            assert_eq!(app.pending_tuples(handle.id()), 0);
+            assert_eq!(app.prune_entries(handle.id()), 0);
+        }
+        assert!(harness.library().get(handle.id()).is_none(), "spec must leave the library");
+        assert_eq!(harness.state_footprint(), baseline, "teardown left residue");
+        assert!(handle.raw_results(&harness).is_empty());
+
+        // A late Install flood for the dead query must not resurrect it.
+        harness.sim_mut().inject(
+            SimTime::from_secs(61),
+            n(2),
+            NetMsg::Install { qid: handle.id() },
+        );
+        harness.run_to_quiescence();
+        assert!(harness.sim().app(n(2)).installed_queries().is_empty());
+    }
+
+    #[test]
+    fn teardown_drops_shared_cache_with_last_user() {
+        let program = parse_program(BEST_PATH).unwrap();
+        let mut harness = RoutingHarness::new(figure3_topology());
+        let shared = harness.issue(program.clone()).sharing(true).submit().unwrap();
+        harness.run_until(SimTime::from_secs(30));
+        let cached: usize =
+            (0..5u32).map(|i| harness.sim().app(n(i)).best_path_cache().len()).sum();
+        assert!(cached > 0, "sharing run must populate the cache");
+
+        harness.teardown(shared.id(), SimTime::from_secs(30));
+        harness.run_to_quiescence();
+        for i in 0..5u32 {
+            assert!(harness.sim().app(n(i)).best_path_cache().is_empty(), "node {i} kept cache");
+        }
+        assert!(harness.state_footprint().is_empty());
+
+        // The engine stays fully usable: a fresh query converges as usual.
+        let fresh = harness.issue(program).at(SimTime::from_secs(62)).submit().unwrap();
+        harness.run_until(SimTime::from_secs(100));
+        assert_eq!(fresh.finite_results(&harness).unwrap().len(), 20);
+    }
+
+    #[test]
+    fn node_down_during_teardown_is_lazily_torn_down_on_rejoin() {
+        // Node 1 misses the teardown flood (it is down when the flood
+        // runs); when it rejoins and starts shipping tuples for the dead
+        // query, its neighbors answer with a Teardown and the straggler
+        // unwinds too.
+        let program = parse_program(BEST_PATH).unwrap();
+        let mut harness = RoutingHarness::new(figure3_topology());
+        let handle = harness.issue(program).submit().unwrap();
+        harness.run_until(SimTime::from_secs(30));
+
+        harness.sim_mut().schedule_node_fail(SimTime::from_secs(30), n(1));
+        harness.run_until(SimTime::from_secs(40));
+        harness.teardown(handle.id(), SimTime::from_secs(40));
+        harness.run_until(SimTime::from_secs(50));
+        assert!(
+            harness.sim().app(n(1)).installed_queries().contains(&handle.id()),
+            "down node cannot have seen the teardown yet"
+        );
+
+        // Rejoining alone moves no tuples (the refreshed link upserts are
+        // no-ops); the repair fires on the first actual traffic for the
+        // dead query — here a link-cost change that makes node 1 ship its
+        // updated link tuple to a neighbor that already saw the teardown.
+        harness.sim_mut().schedule_node_join(SimTime::from_secs(50), n(1));
+        harness.run_until(SimTime::from_secs(55));
+        for (a, b) in [(1u32, 0u32), (0, 1)] {
+            harness.sim_mut().schedule_link_metric_change(
+                SimTime::from_secs(55),
+                n(a),
+                n(b),
+                LinkParams::with_latency_ms(10.0).with_cost(Cost::new(2.0)),
+            );
+        }
+        harness.run_to_quiescence();
+        assert!(harness.sim().app(n(1)).installed_queries().is_empty());
+        assert!(harness.sim().app(n(1)).is_torn_down(handle.id()));
+        assert!(harness.state_footprint().is_empty(), "{:?}", harness.state_footprint());
+    }
+
+    #[test]
+    fn cursor_streams_added_and_removed_results() {
+        let program = parse_program(BEST_PATH).unwrap();
+        let mut harness = RoutingHarness::new(figure3_topology());
+        let handle = harness.issue(program).submit().unwrap();
+        let mut cursor = handle.cursor();
+        assert!(cursor.poll(&harness).is_empty(), "nothing ran yet");
+
+        harness.run_until(SimTime::from_secs(30));
+        let first = cursor.poll(&harness);
+        assert_eq!(first.added.len(), handle.raw_results(&harness).len());
+        assert!(first.removed.is_empty());
+        assert!(cursor.poll(&harness).is_empty(), "converged: second poll is empty");
+
+        // A failure rewrites routes through node 1: the cursor reports both
+        // directions of the change, and replaying its deltas against the
+        // first snapshot reproduces the current result set exactly.
+        harness.sim_mut().schedule_node_fail(SimTime::from_secs(30), n(1));
+        harness.run_until(SimTime::from_secs(60));
+        let repair = cursor.poll(&harness);
+        assert!(!repair.added.is_empty() && !repair.removed.is_empty(), "{repair:?}");
+
+        // Node 1 comes back; routes through it return.
+        harness.sim_mut().schedule_node_join(SimTime::from_secs(60), n(1));
+        harness.run_until(SimTime::from_secs(90));
+        let heal = cursor.poll(&harness);
+
+        let mut mirror: std::collections::BTreeMap<Tuple, usize> = BTreeMap::new();
+        for t in first.added.iter().chain(&repair.added).chain(&heal.added) {
+            *mirror.entry(t.clone()).or_insert(0) += 1;
+        }
+        for t in repair.removed.iter().chain(&heal.removed) {
+            let count = mirror.get_mut(t).expect("removed tuple was reported added");
+            *count -= 1;
+            if *count == 0 {
+                mirror.remove(t);
+            }
+        }
+        let mut truth: std::collections::BTreeMap<Tuple, usize> = BTreeMap::new();
+        for t in handle.raw_results(&harness) {
+            *truth.entry(t).or_insert(0) += 1;
+        }
+        assert_eq!(mirror, truth, "cursor deltas must mirror the result set");
+
+        // Teardown drains the rest.
+        harness.teardown(handle.id(), SimTime::from_secs(90));
+        harness.run_to_quiescence();
+        let drained = cursor.poll(&harness);
+        assert!(drained.added.is_empty());
+        assert_eq!(drained.removed.len(), truth.values().sum::<usize>());
     }
 
     #[test]

@@ -88,9 +88,9 @@ pub mod processor;
 pub mod query;
 pub mod scenario;
 
-pub use harness::{IssueBuilder, QueryHandle, RoutingHarness, Sample};
+pub use harness::{IssueBuilder, QueryHandle, ResultCursor, ResultsDelta, RoutingHarness, Sample};
 pub use localize::{LocalizedProgram, LocalizedRule, ShipSpec};
-pub use processor::{NetMsg, ProcessorConfig, QueryProcessor};
+pub use processor::{NetMsg, ProcessorConfig, ProcessorStats, QueryProcessor, StateFootprint};
 pub use query::{QueryId, QueryLibrary, QuerySpec};
 pub use scenario::{
     Probe, QueryDef, QueryReport, Scenario, ScenarioBuilder, ScenarioReport, ScenarioRun,

@@ -58,6 +58,14 @@ pub enum NetMsg {
         /// The shipped tuples.
         items: Vec<Tuple>,
     },
+    /// Tear down a query: every node that handles this removes the query's
+    /// instance (stored tuples, pending buffers, prune state, compiled
+    /// plans), drops the shared cache relation when the query was its last
+    /// user, and forwards the teardown to its neighbors exactly once.
+    Teardown {
+        /// The query being torn down.
+        qid: QueryId,
+    },
     /// Install a cached best path along the reverse path (multi-query
     /// sharing, §7.3). Forwarded hop by hop along `suffix`.
     CacheInstall {
@@ -80,7 +88,7 @@ impl NetMsg {
     /// per tuple.
     pub fn wire_size(&self) -> usize {
         match self {
-            NetMsg::Install { .. } => 64,
+            NetMsg::Install { .. } | NetMsg::Teardown { .. } => 64,
             NetMsg::Tuples { items, .. } => 16 + items.iter().map(Tuple::wire_size).sum::<usize>(),
             NetMsg::CacheInstall { suffix, .. } => {
                 24 + dr_types::rel::WIRE_TAG_BYTES + 4 * suffix.len()
@@ -151,6 +159,46 @@ impl ProcessorStats {
         self.tuples_rejected += other.tuples_rejected;
         self.prune_evicted += other.prune_evicted;
         self.batches += other.batches;
+    }
+}
+
+/// Sizes of everything a node currently stores on behalf of queries.
+///
+/// The residue audit of the query lifecycle: tearing a query down must
+/// return every counter to its pre-issue value, otherwise a long-lived
+/// service leaks a little engine state per issue→teardown cycle. The
+/// teardown regression tests pin this by comparing footprints taken before
+/// issuing and after tearing down.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StateFootprint {
+    /// Installed query instances.
+    pub instances: usize,
+    /// Tuples stored across all per-query databases.
+    pub stored_tuples: usize,
+    /// Tuples waiting in per-query pending (delta) buffers.
+    pub pending_tuples: usize,
+    /// Aggregate-selection prune-state entries across all queries.
+    pub prune_entries: usize,
+    /// Relations materialized in the shared (cross-query) store.
+    pub shared_relations: usize,
+    /// Tuples held by the shared (cross-query) store.
+    pub shared_tuples: usize,
+}
+
+impl StateFootprint {
+    /// Accumulate another node's footprint (deployment-wide totals).
+    pub fn merge(&mut self, other: &StateFootprint) {
+        self.instances += other.instances;
+        self.stored_tuples += other.stored_tuples;
+        self.pending_tuples += other.pending_tuples;
+        self.prune_entries += other.prune_entries;
+        self.shared_relations += other.shared_relations;
+        self.shared_tuples += other.shared_tuples;
+    }
+
+    /// True when nothing is stored at all.
+    pub fn is_empty(&self) -> bool {
+        *self == StateFootprint::default()
     }
 }
 
@@ -355,6 +403,12 @@ pub struct QueryProcessor {
     /// Cross-query shared tables (`bestPathCache`).
     shared: Database,
     instances: BTreeMap<QueryId, Instance>,
+    /// Queries this node has torn down. Used to forward a teardown flood
+    /// exactly once (whether or not the instance was ever installed here)
+    /// and to refuse late `Install`/piggy-backed installations of a dead
+    /// query. Query ids are never reused, so the set only grows with the
+    /// number of queries ever torn down — a few bytes per lifecycle.
+    torn_down: std::collections::BTreeSet<QueryId>,
     batch_scheduled: bool,
     stats: ProcessorStats,
 }
@@ -362,8 +416,11 @@ pub struct QueryProcessor {
 impl QueryProcessor {
     /// Create a processor with the given deployment configuration.
     pub fn new(config: ProcessorConfig) -> QueryProcessor {
-        let mut shared = Database::new();
-        shared.declare_key("bestPathCache", vec![0, 1]);
+        // The shared store starts empty: cache relations (and their upsert
+        // keys) are declared by the installation of the first query that
+        // shares through them, and dropped again when their last user is
+        // torn down — a long-lived service node holds no residue of
+        // queries that no longer exist.
         let link_rel = RelId::intern(&config.link_relation);
         QueryProcessor {
             config,
@@ -371,8 +428,9 @@ impl QueryProcessor {
             node: NodeId::new(0),
             builtins: Builtins::standard(),
             neighbors: BTreeMap::new(),
-            shared,
+            shared: Database::new(),
             instances: BTreeMap::new(),
+            torn_down: std::collections::BTreeSet::new(),
             batch_scheduled: false,
             stats: ProcessorStats::default(),
         }
@@ -457,9 +515,40 @@ impl QueryProcessor {
         self.instances.get(&qid).map(|i| i.prune.len()).unwrap_or(0)
     }
 
-    /// Remove an installed query and its state (lifetime expiry).
+    /// Remove an installed query and its state (lifetime expiry). Also
+    /// drops the query's shared cache relation when it was the last user —
+    /// dropping the instance alone would leave the cross-query store
+    /// holding paths no remaining query can refresh.
     pub fn remove_query(&mut self, qid: QueryId) {
-        self.instances.remove(&qid);
+        self.uninstall(qid);
+    }
+
+    /// True when this node has processed a teardown for `qid` (and will
+    /// refuse to reinstall it).
+    pub fn is_torn_down(&self, qid: QueryId) -> bool {
+        self.torn_down.contains(&qid)
+    }
+
+    /// Number of tuples sitting in query `qid`'s pending (delta) buffers.
+    pub fn pending_tuples(&self, qid: QueryId) -> usize {
+        self.instances.get(&qid).map(|i| i.pending.values().map(Vec::len).sum()).unwrap_or(0)
+    }
+
+    /// Sizes of everything this node currently stores on behalf of queries
+    /// (see [`StateFootprint`]).
+    pub fn state_footprint(&self) -> StateFootprint {
+        let mut f = StateFootprint {
+            instances: self.instances.len(),
+            shared_relations: self.shared.relation_count(),
+            shared_tuples: self.shared.total_tuples(),
+            ..StateFootprint::default()
+        };
+        for instance in self.instances.values() {
+            f.stored_tuples += instance.db.total_tuples();
+            f.pending_tuples += instance.pending.values().map(Vec::len).sum::<usize>();
+            f.prune_entries += instance.prune.len();
+        }
+        f
     }
 
     // -- internals ----------------------------------------------------------
@@ -479,6 +568,12 @@ impl QueryProcessor {
     }
 
     fn install(&mut self, ctx: &mut Context<'_, NetMsg>, qid: QueryId) {
+        // A torn-down query never reinstalls: late Install floods and
+        // piggy-backed installations race the teardown flood, and losing
+        // that race must not resurrect the query on some nodes.
+        if self.torn_down.contains(&qid) {
+            return;
+        }
         if self.instances.get(&qid).map(|i| i.installed).unwrap_or(false) {
             return;
         }
@@ -511,7 +606,7 @@ impl QueryProcessor {
 
         // Install the query's facts: replicated relations everywhere, others
         // only at their home node.
-        let mut outbound: HashMap<NodeId, Vec<Tuple>> = HashMap::new();
+        let mut outbound: BTreeMap<NodeId, Vec<Tuple>> = BTreeMap::new();
         let facts: Vec<Tuple> = spec.facts.clone();
         for fact in facts {
             self.route_tuple(qid, fact, &mut outbound);
@@ -532,6 +627,42 @@ impl QueryProcessor {
         }
         self.flush_outbound(ctx, qid, outbound);
         self.schedule_batch(ctx);
+    }
+
+    /// Handle a teardown flood: unwind every trace of `qid` at this node
+    /// and forward the teardown to all neighbors exactly once (nodes that
+    /// never installed the query still forward, so the flood crosses them).
+    fn teardown(&mut self, ctx: &mut Context<'_, NetMsg>, qid: QueryId) {
+        if !self.torn_down.insert(qid) {
+            return; // already unwound and forwarded
+        }
+        self.uninstall(qid);
+        // The spec leaves the shared library here, at the nodes, not at the
+        // issuer: removing it when the teardown is *injected* would race
+        // in-flight Install floods that still need `library.get(qid)`. The
+        // call is idempotent — whichever node handles the flood first wins.
+        self.config.library.remove(qid);
+        let msg = NetMsg::Teardown { qid };
+        let size = msg.wire_size();
+        let neighbor_ids: Vec<NodeId> = self.neighbors.keys().copied().collect();
+        for nb in neighbor_ids {
+            ctx.send(nb, msg.clone(), size);
+        }
+    }
+
+    /// Drop query `qid`'s instance. The instance owns everything the query
+    /// accumulated at this node — stored tuples, pending delta buffers,
+    /// prune state, compiled plans — so dropping it releases all of it; the
+    /// spec `Arc` (static plans, `RelCatalog`) is freed when the last node
+    /// lets go. The query's shared cache relation is dropped from the
+    /// cross-query store when no remaining instance uses it.
+    fn uninstall(&mut self, qid: QueryId) {
+        let Some(instance) = self.instances.remove(&qid) else { return };
+        let cache_rel = instance.cache_rel;
+        drop(instance);
+        if !self.instances.values().any(|i| i.cache_rel == cache_rel) {
+            self.shared.drop_relation(cache_rel);
+        }
     }
 
     /// The ground facts of `program` that this node should store: all
@@ -569,7 +700,7 @@ impl QueryProcessor {
         &mut self,
         qid: QueryId,
         tuple: Tuple,
-        outbound: &mut HashMap<NodeId, Vec<Tuple>>,
+        outbound: &mut BTreeMap<NodeId, Vec<Tuple>>,
     ) -> bool {
         let my_id = self.node;
         // Work on the instance first; side effects on other processor fields
@@ -791,7 +922,7 @@ impl QueryProcessor {
         &mut self,
         ctx: &mut Context<'_, NetMsg>,
         qid: QueryId,
-        outbound: HashMap<NodeId, Vec<Tuple>>,
+        outbound: BTreeMap<NodeId, Vec<Tuple>>,
     ) {
         for (dest, items) in outbound {
             if items.is_empty() {
@@ -800,7 +931,7 @@ impl QueryProcessor {
             if dest == self.node {
                 // Tuples that resolved back to ourselves (e.g. relayed home
                 // deliveries): fold them straight in.
-                let mut again = HashMap::new();
+                let mut again = BTreeMap::new();
                 for tuple in items {
                     self.route_tuple(qid, tuple, &mut again);
                 }
@@ -867,7 +998,7 @@ impl QueryProcessor {
         self.stats.batches += 1;
         let qids: Vec<QueryId> = self.instances.keys().copied().collect();
         for qid in qids {
-            let mut outbound: HashMap<NodeId, Vec<Tuple>> = HashMap::new();
+            let mut outbound: BTreeMap<NodeId, Vec<Tuple>> = BTreeMap::new();
             let mut cache_installs: Vec<(NodeId, NetMsg)> = Vec::new();
             // Local fixpoint: keep draining deltas until nothing new is
             // produced locally.
@@ -1054,7 +1185,7 @@ impl QueryProcessor {
         let qids: Vec<QueryId> = self.instances.keys().copied().collect();
         for qid in qids {
             let link = self.link_tuple(neighbor, cost);
-            let mut outbound = HashMap::new();
+            let mut outbound = BTreeMap::new();
             self.route_tuple(qid, link, &mut outbound);
             self.flush_outbound(ctx, qid, outbound);
         }
@@ -1084,19 +1215,35 @@ impl NodeApp for QueryProcessor {
         }
     }
 
-    fn on_message(&mut self, ctx: &mut Context<'_, NetMsg>, _from: NodeId, msg: NetMsg) {
+    fn on_message(&mut self, ctx: &mut Context<'_, NetMsg>, from: NodeId, msg: NetMsg) {
         match msg {
             NetMsg::Install { qid } => {
+                // Lazy teardown repair: a peer that missed the teardown
+                // flood (it was down at the time) and still advertises the
+                // dead query learns of the teardown the moment it talks to
+                // anyone who saw it.
+                if self.torn_down.contains(&qid) {
+                    let reply = NetMsg::Teardown { qid };
+                    let size = reply.wire_size();
+                    ctx.send(from, reply, size);
+                    return;
+                }
                 self.install(ctx, qid);
             }
             NetMsg::Tuples { qid, items } => {
+                if self.torn_down.contains(&qid) {
+                    let reply = NetMsg::Teardown { qid };
+                    let size = reply.wire_size();
+                    ctx.send(from, reply, size);
+                    return;
+                }
                 // Piggy-backed installation: tuples for an unknown query
                 // install it on the fly (§3.5).
                 if !self.instances.get(&qid).map(|i| i.installed).unwrap_or(false) {
                     self.install(ctx, qid);
                 }
                 self.stats.tuples_received += items.len() as u64;
-                let mut outbound = HashMap::new();
+                let mut outbound = BTreeMap::new();
                 let mut cache_installs = Vec::new();
                 for tuple in items {
                     // Decode the shipped relation tag against the query's
@@ -1124,6 +1271,9 @@ impl NodeApp for QueryProcessor {
                     ctx.send(next, msg, size);
                 }
                 self.schedule_batch(ctx);
+            }
+            NetMsg::Teardown { qid } => {
+                self.teardown(ctx, qid);
             }
             NetMsg::CacheInstall { cache, dest, suffix, cost } => {
                 self.handle_cache_install(ctx, cache, dest, suffix, cost);

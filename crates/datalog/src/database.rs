@@ -590,6 +590,28 @@ impl Database {
         }
     }
 
+    /// Drop a relation's table entirely — tuples, upsert key, and secondary
+    /// indexes. Unlike [`Database::clear_relation`] nothing survives: the
+    /// slot returns to the never-touched state, so long-lived stores (the
+    /// per-node cross-query cache of a resident service) shed the whole
+    /// footprint of a torn-down query instead of keeping empty index
+    /// skeletons around forever. Returns the number of tuples dropped.
+    pub fn drop_relation(&mut self, relation: impl Into<RelId>) -> usize {
+        let rel = relation.into();
+        self.pending_indexes.remove(&rel);
+        let dropped = match self.tables.get_mut(rel.index()) {
+            Some(slot) => slot.take().map(|t| t.len()).unwrap_or(0),
+            None => return 0,
+        };
+        self.present.retain(|&r| r != rel);
+        dropped
+    }
+
+    /// Number of relations that currently have a table.
+    pub fn relation_count(&self) -> usize {
+        self.present.len()
+    }
+
     /// Names of all relations that currently have a table, sorted (the
     /// dense id order is an interning artifact; names keep enumeration
     /// deterministic for output and tests).

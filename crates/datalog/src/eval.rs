@@ -27,7 +27,9 @@
 //! and powers [`evaluate_rule_reference`], a deliberately simple reference
 //! implementation the property tests check the compiled path against.
 
-use crate::ast::{AggFunc, ArithOp, Atom, CompareOp, Expr, Head, HeadTerm, Literal, Program, Rule, Term};
+use crate::ast::{
+    AggFunc, ArithOp, Atom, CompareOp, Expr, Head, HeadTerm, Literal, Program, Rule, Term,
+};
 use crate::builtins::{BuiltinFn, Builtins};
 use crate::catalog::Catalog;
 use crate::database::{CardStats, Database, Scan};
@@ -887,8 +889,7 @@ impl RuleEval {
         // Join planning: pick the cheapest order (exhaustive permutation
         // search for small bodies, greedy beyond), then compile each atom
         // in that order, scheduling newly-ready constraints between atoms.
-        let order =
-            plan_order(&positive, &positive_rels, &constraints, &bound, &slot_of, stats);
+        let order = plan_order(&positive, &positive_rels, &constraints, &bound, &slot_of, stats);
         let mut atoms = Vec::with_capacity(positive.len());
         for &occ in &order {
             atoms.push(compile_atom(
@@ -1777,11 +1778,8 @@ impl Evaluator {
         let mut best: HashMap<(RelId, Vec<Value>), Value> = HashMap::new();
 
         for stratum_rules in &self.stratification.strata_rules {
-            let rules: Vec<&RuleEval> = stratum_rules
-                .iter()
-                .map(|&i| &plans[i])
-                .filter(|c| !c.rule().is_fact())
-                .collect();
+            let rules: Vec<&RuleEval> =
+                stratum_rules.iter().map(|&i| &plans[i]).filter(|c| !c.rule().is_fact()).collect();
             if rules.is_empty() {
                 continue;
             }

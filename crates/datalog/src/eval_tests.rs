@@ -308,10 +308,8 @@ fn apply_aggregate_groups_correctly() {
         terms: vec![HeadTerm::Plain(Term::var("S")), HeadTerm::Agg(AggFunc::Count, "D".into())],
         location: Some(0),
     };
-    let raw = vec![
-        Tuple::new("deg", vec![node(0), node(1)]),
-        Tuple::new("deg", vec![node(0), node(2)]),
-    ];
+    let raw =
+        vec![Tuple::new("deg", vec![node(0), node(1)]), Tuple::new("deg", vec![node(0), node(2)])];
     let out = apply_aggregate(&head_count, RelId::intern(&head_count.relation), &raw).unwrap();
     assert_eq!(out[0].field(1), Some(&Value::Int(2)));
 
@@ -396,10 +394,7 @@ fn join_plan_exposes_order_probes_and_frame() {
     assert!(!plan.used_stats());
     assert_eq!(plan.to_string(), "link ⋈ path[0]");
     // Frame layout: body variables in first-occurrence order.
-    assert_eq!(
-        plan.slot_names(),
-        &["S", "Z", "C1", "D", "P2", "C2", "C", "P"]
-    );
+    assert_eq!(plan.slot_names(), &["S", "Z", "C1", "D", "P2", "C2", "C", "P"]);
     assert_eq!(plan.slot_count(), 8);
 }
 
@@ -565,10 +560,6 @@ fn evaluator_exposes_compiled_plans() {
     let eval = Evaluator::new(program).unwrap();
     // One plan per program rule, in program order.
     assert_eq!(eval.plans().len(), eval.program().rules.len());
-    let nr2 = eval
-        .plans()
-        .iter()
-        .find(|p| p.rule().name.as_deref() == Some("NR2"))
-        .unwrap();
+    let nr2 = eval.plans().iter().find(|p| p.rule().name.as_deref() == Some("NR2")).unwrap();
     assert_eq!(nr2.plan().to_string(), "link ⋈ path[0]");
 }

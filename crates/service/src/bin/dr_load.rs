@@ -1,0 +1,134 @@
+//! `dr-load` — seeded load generator for `dr-serviced`.
+//!
+//! Opens N sessions, holds each at a target number of live queries with a
+//! deterministic issue/teardown/fact-update mix, subscribes to result
+//! streams, and prints a throughput report plus the server's stats
+//! snapshot. With `--inproc` it runs the same mix against a fresh
+//! in-process service (no daemon required); with `--shutdown` it asks the
+//! server to exit cleanly after the run — which is how CI stops the smoke
+//! deployment.
+//!
+//! ```text
+//! dr-load [--addr 127.0.0.1:7117 | --inproc] [--sessions 8] [--rounds 24]
+//!         [--queries 2] [--step-ms 400] [--seed 7] [--nodes 16]
+//!         [--churn] [--shutdown]
+//! ```
+
+use std::process::ExitCode;
+
+use dr_netsim::{SimDuration, SimTime};
+use dr_service::load::{run, run_inproc, LoadOptions};
+use dr_service::{Client, TcpTransport};
+use dr_workloads::ChurnSchedule;
+
+struct Args {
+    addr: String,
+    inproc: bool,
+    nodes: usize,
+    churn: bool,
+    shutdown: bool,
+    opts: LoadOptions,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7117".to_string(),
+        inproc: false,
+        nodes: 16,
+        churn: false,
+        shutdown: false,
+        opts: LoadOptions::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--inproc" => args.inproc = true,
+            "--nodes" => args.nodes = parse("--nodes", &value("--nodes")?)?,
+            "--churn" => args.churn = true,
+            "--shutdown" => args.shutdown = true,
+            "--sessions" => args.opts.sessions = parse("--sessions", &value("--sessions")?)?,
+            "--rounds" => args.opts.rounds = parse("--rounds", &value("--rounds")?)?,
+            "--queries" => {
+                args.opts.queries_per_session = parse("--queries", &value("--queries")?)?
+            }
+            "--step-ms" => args.opts.step_millis = parse("--step-ms", &value("--step-ms")?)?,
+            "--seed" => args.opts.seed = parse("--seed", &value("--seed")?)?,
+            "--help" | "-h" => {
+                println!(
+                    "usage: dr-load [--addr HOST:PORT | --inproc] [--sessions N] [--rounds N] \
+                     [--queries N] [--step-ms MS] [--seed N] [--nodes N] [--churn] [--shutdown]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(name: &str, raw: &str) -> Result<T, String> {
+    raw.parse().map_err(|_| format!("{name}: cannot parse {raw:?}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("dr-load: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.inproc {
+        let churn = args.churn.then(|| {
+            ChurnSchedule::alternating(
+                args.nodes,
+                0.2,
+                SimTime::from_millis(1_000),
+                SimDuration::from_millis(3_000),
+                3,
+                args.opts.seed,
+            )
+        });
+        let report = run_inproc(args.nodes, &args.opts, churn.as_ref());
+        for line in report.summary_lines() {
+            println!("dr-load: {line}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = run(&args.opts, |_| TcpTransport::dial(&args.addr));
+    let report = match report {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("dr-load: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for line in report.summary_lines() {
+        println!("dr-load: {line}");
+    }
+
+    // One last session for the stats snapshot (and the optional shutdown).
+    let tail = TcpTransport::dial(&args.addr)
+        .map_err(|e| e.to_string())
+        .and_then(|t| Client::connect(t, "load-tail").map_err(|e| e.to_string()))
+        .and_then(|mut client| {
+            let lines = client.stats().map_err(|e| e.to_string())?;
+            for line in &lines {
+                println!("{line}");
+            }
+            if args.shutdown {
+                client.shutdown_server().map_err(|e| e.to_string())?;
+                println!("dr-load: server acknowledged shutdown");
+            }
+            Ok(())
+        });
+    if let Err(e) = tail {
+        eprintln!("dr-load: stats/shutdown failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,94 @@
+//! `dr-serviced` — the long-lived routing service daemon.
+//!
+//! Binds a TCP endpoint, keeps a resident topology and its query
+//! deployment alive, and serves the framed request/response protocol.
+//! Shut it down with `dr-load --shutdown`, any client sending a
+//! `Shutdown` request, or SIGTERM-by-way-of-kill (the process holds no
+//! on-disk state).
+//!
+//! ```text
+//! dr-serviced [--addr 127.0.0.1:7117] [--nodes 16] [--tick-ms 10]
+//!             [--step-ms 200] [--quota 64] [--queue-cap 256]
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use dr_netsim::SimDuration;
+use dr_service::service::default_topology;
+use dr_service::{serve, ServerConfig, ServiceConfig};
+
+struct Args {
+    addr: String,
+    nodes: usize,
+    tick_ms: u64,
+    step_ms: u64,
+    quota: usize,
+    queue_cap: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7117".to_string(),
+        nodes: 16,
+        tick_ms: 10,
+        step_ms: 200,
+        quota: 64,
+        queue_cap: 256,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--nodes" => args.nodes = parse("--nodes", &value("--nodes")?)?,
+            "--tick-ms" => args.tick_ms = parse("--tick-ms", &value("--tick-ms")?)?,
+            "--step-ms" => args.step_ms = parse("--step-ms", &value("--step-ms")?)?,
+            "--quota" => args.quota = parse("--quota", &value("--quota")?)?,
+            "--queue-cap" => args.queue_cap = parse("--queue-cap", &value("--queue-cap")?)?,
+            "--help" | "-h" => {
+                println!(
+                    "usage: dr-serviced [--addr HOST:PORT] [--nodes N] [--tick-ms MS] \
+                     [--step-ms MS] [--quota N] [--queue-cap N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(name: &str, raw: &str) -> Result<T, String> {
+    raw.parse().map_err(|_| format!("{name}: cannot parse {raw:?}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("dr-serviced: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = ServerConfig {
+        service: ServiceConfig {
+            max_queries_per_session: args.quota,
+            subscriber_queue_cap: args.queue_cap,
+        },
+        tick: Duration::from_millis(args.tick_ms.max(1)),
+        step: SimDuration::from_millis(args.step_ms.max(1)),
+    };
+    let topology = default_topology(args.nodes);
+    let handle = match serve(&args.addr, topology, config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("dr-serviced: cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("dr-serviced listening on {} ({} nodes)", handle.addr(), args.nodes);
+    handle.join();
+    println!("dr-serviced: shut down cleanly");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,175 @@
+//! A typed client over any [`Transport`].
+//!
+//! [`Client`] speaks the request/response protocol and sorts incoming
+//! frames into two streams: the *direct* response to the request in
+//! flight, and *push* responses ([`Response::Delta`] / [`Response::Lagged`])
+//! that subscriptions generate asynchronously. Pushes arriving while a
+//! request waits for its response are stashed and surfaced later by
+//! [`Client::poll_pushed`], so a subscriber never loses a delta to an
+//! interleaved RPC.
+
+use std::collections::VecDeque;
+
+use crate::protocol::{ErrorCode, IssueOptions, Request, Response, WireTuple};
+use crate::transport::{Transport, TransportError};
+
+/// A failed client call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (closed, framing, i/o).
+    Transport(TransportError),
+    /// The server answered with [`Response::Error`].
+    Server {
+        /// Machine-readable reason.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server answered with a response of the wrong shape.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Transport(e) => write!(f, "transport: {e}"),
+            ClientError::Server { code, message } => write!(f, "server: {code:?}: {message}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<TransportError> for ClientError {
+    fn from(e: TransportError) -> ClientError {
+        ClientError::Transport(e)
+    }
+}
+
+/// A connected session over transport `T`.
+pub struct Client<T: Transport> {
+    transport: T,
+    session: u64,
+    nodes: u32,
+    pushed: VecDeque<Response>,
+}
+
+impl<T: Transport> Client<T> {
+    /// Open a session named `client` over `transport`.
+    pub fn connect(mut transport: T, client: &str) -> Result<Client<T>, ClientError> {
+        let mut payload = Vec::new();
+        Request::Connect { client: client.to_string() }.encode(&mut payload);
+        transport.send_frame(&payload)?;
+        let resp = Response::decode(&transport.recv_frame()?)
+            .map_err(|e| ClientError::Transport(TransportError::Proto(e)))?;
+        match resp {
+            Response::Connected { session, nodes, .. } => {
+                Ok(Client { transport, session, nodes, pushed: VecDeque::new() })
+            }
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// The server-assigned session id.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// Nodes in the service's resident topology.
+    pub fn nodes(&self) -> u32 {
+        self.nodes
+    }
+
+    /// Send `req` and wait for its direct response, stashing any pushes
+    /// that arrive in between.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let mut payload = Vec::new();
+        req.encode(&mut payload);
+        self.transport.send_frame(&payload)?;
+        loop {
+            let resp = Response::decode(&self.transport.recv_frame()?)
+                .map_err(|e| ClientError::Transport(TransportError::Proto(e)))?;
+            match resp {
+                Response::Delta { .. } | Response::Lagged { .. } => self.pushed.push_back(resp),
+                Response::Error { code, message } => {
+                    return Err(ClientError::Server { code, message })
+                }
+                direct => return Ok(direct),
+            }
+        }
+    }
+
+    /// Issue a query; returns its id.
+    pub fn issue(&mut self, program: &str, options: IssueOptions) -> Result<u64, ClientError> {
+        match self.request(&Request::IssueQuery { program: program.to_string(), options })? {
+            Response::Issued { qid } => Ok(qid),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Tear down a query this session owns.
+    pub fn teardown(&mut self, qid: u64) -> Result<(), ClientError> {
+        match self.request(&Request::TeardownQuery { qid })? {
+            Response::TornDown { .. } => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Inject facts into a query's dataflow at `node`.
+    pub fn inject_facts(
+        &mut self,
+        qid: u64,
+        node: u32,
+        facts: Vec<WireTuple>,
+    ) -> Result<u32, ClientError> {
+        match self.request(&Request::InjectFacts { qid, node, facts })? {
+            Response::Injected { count, .. } => Ok(count),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Subscribe to a query's result stream.
+    pub fn subscribe(&mut self, qid: u64) -> Result<(), ClientError> {
+        match self.request(&Request::Subscribe { qid })? {
+            Response::Subscribed { .. } => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Advance simulated time by `millis`; returns the new time.
+    pub fn advance(&mut self, millis: u64) -> Result<u64, ClientError> {
+        match self.request(&Request::Advance { millis })? {
+            Response::Advanced { now_millis } => Ok(now_millis),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetch the stats snapshot (line-oriented JSON).
+    pub fn stats(&mut self) -> Result<Vec<String>, ClientError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats { lines } => Ok(lines),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Ask the server to shut down cleanly.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Drain every push response currently available: previously stashed
+    /// ones plus whatever the transport has queued.
+    pub fn poll_pushed(&mut self) -> Result<Vec<Response>, ClientError> {
+        while let Some(payload) = self.transport.try_recv_frame()? {
+            let resp = Response::decode(&payload)
+                .map_err(|e| ClientError::Transport(TransportError::Proto(e)))?;
+            self.pushed.push_back(resp);
+        }
+        Ok(self.pushed.drain(..).collect())
+    }
+}

@@ -1,0 +1,227 @@
+//! Deterministic load generation against a running service.
+//!
+//! The driver behind `dr-load` and the `sustained_churn_qps` benchmark:
+//! it opens N sessions over any [`Transport`], holds each at a target
+//! number of live queries by continually issuing and tearing down, mixes
+//! in link-metric fact updates, subscribes one stream per session, and
+//! advances simulated time between rounds. Everything is seeded, so the
+//! same options produce the same request sequence on every run.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dr_netsim::EventSource;
+use dr_workloads::ChurnSchedule;
+
+use crate::client::{Client, ClientError};
+use crate::protocol::{IssueOptions, Response, WireTuple, WireValue};
+use crate::service::{default_topology, ServiceConfig};
+use crate::transport::{InProcHub, Transport, TransportError};
+use crate::BEST_PATH_PROGRAM;
+
+/// Knobs of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// Concurrent sessions.
+    pub sessions: usize,
+    /// Rounds of work; each round does one operation per session and then
+    /// advances simulated time.
+    pub rounds: usize,
+    /// Live queries each session tries to hold (issue up to the target,
+    /// then alternate teardown/issue/inject).
+    pub queries_per_session: usize,
+    /// Simulated milliseconds advanced per round.
+    pub step_millis: u64,
+    /// Seed of the operation mix.
+    pub seed: u64,
+}
+
+impl Default for LoadOptions {
+    fn default() -> LoadOptions {
+        LoadOptions { sessions: 8, rounds: 24, queries_per_session: 2, step_millis: 400, seed: 7 }
+    }
+}
+
+/// What a load run did and observed.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Queries issued.
+    pub issued: u64,
+    /// Queries torn down.
+    pub torn_down: u64,
+    /// Facts injected.
+    pub facts_injected: u64,
+    /// Delta pushes received across all subscriptions.
+    pub deltas: u64,
+    /// Lagged notices received.
+    pub lagged: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Simulated time covered, in ms.
+    pub sim_millis: u64,
+}
+
+impl LoadReport {
+    /// Query lifecycle operations (issue + teardown) per wall-clock second.
+    pub fn queries_per_sec(&self) -> f64 {
+        let ops = (self.issued + self.torn_down) as f64;
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            ops / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Human-readable summary lines (printed by `dr-load`).
+    pub fn summary_lines(&self) -> Vec<String> {
+        vec![
+            format!(
+                "issued {} torn_down {} facts {} deltas {} lagged {}",
+                self.issued, self.torn_down, self.facts_injected, self.deltas, self.lagged
+            ),
+            format!(
+                "elapsed {:.3}s sim {}ms sustained {:.1} queries/sec",
+                self.elapsed.as_secs_f64(),
+                self.sim_millis,
+                self.queries_per_sec()
+            ),
+        ]
+    }
+}
+
+/// Run the load mix over transports produced by `connect` (index = session
+/// number). The first session doubles as the clock driver.
+pub fn run<T, F>(opts: &LoadOptions, mut connect: F) -> Result<LoadReport, ClientError>
+where
+    T: Transport,
+    F: FnMut(usize) -> Result<T, TransportError>,
+{
+    assert!(opts.sessions > 0, "load needs at least one session");
+    let started = Instant::now();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut report = LoadReport::default();
+
+    let mut clients: Vec<Client<T>> = Vec::with_capacity(opts.sessions);
+    for i in 0..opts.sessions {
+        clients.push(Client::connect(connect(i)?, &format!("load-{i}"))?);
+    }
+    let mut live: Vec<Vec<u64>> = vec![Vec::new(); opts.sessions];
+    let mut subscribed: Vec<bool> = vec![false; opts.sessions];
+
+    for _round in 0..opts.rounds {
+        for (i, client) in clients.iter_mut().enumerate() {
+            if live[i].len() < opts.queries_per_session {
+                let qid = client.issue(BEST_PATH_PROGRAM, IssueOptions::default())?;
+                live[i].push(qid);
+                report.issued += 1;
+                if !subscribed[i] {
+                    client.subscribe(qid)?;
+                    subscribed[i] = true;
+                }
+                continue;
+            }
+            match rng.gen_range(0..3u32) {
+                0 => {
+                    let qid = live[i].remove(0);
+                    client.teardown(qid)?;
+                    report.torn_down += 1;
+                }
+                1 => {
+                    // Perturb the ring link 0→1 through the oldest live
+                    // query's dataflow; costs alternate so routes actually
+                    // move.
+                    let qid = live[i][0];
+                    let cost = if rng.gen_bool(0.5) { 4.0 } else { 1.0 };
+                    let fact = WireTuple {
+                        relation: "link".to_string(),
+                        values: vec![WireValue::Node(0), WireValue::Node(1), WireValue::Cost(cost)],
+                    };
+                    report.facts_injected += u64::from(client.inject_facts(qid, 0, vec![fact])?);
+                }
+                _ => {
+                    let qid = live[i].remove(0);
+                    client.teardown(qid)?;
+                    report.torn_down += 1;
+                    let fresh = client.issue(BEST_PATH_PROGRAM, IssueOptions::default())?;
+                    live[i].push(fresh);
+                    report.issued += 1;
+                }
+            }
+        }
+        clients[0].advance(opts.step_millis)?;
+        report.sim_millis += opts.step_millis;
+        for client in clients.iter_mut() {
+            for push in client.poll_pushed()? {
+                match push {
+                    Response::Delta { .. } => report.deltas += 1,
+                    Response::Lagged { .. } => report.lagged += 1,
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    // Drain the deployment: tear everything down and let the floods settle
+    // so a post-run Stats snapshot shows an empty footprint.
+    for (i, client) in clients.iter_mut().enumerate() {
+        for qid in live[i].drain(..) {
+            client.teardown(qid)?;
+            report.torn_down += 1;
+        }
+    }
+    clients[0].advance(opts.step_millis.max(1) * 20)?;
+    report.sim_millis += opts.step_millis.max(1) * 20;
+    for client in clients.iter_mut() {
+        client.poll_pushed().ok();
+    }
+
+    report.elapsed = started.elapsed();
+    Ok(report)
+}
+
+/// Run the load mix against a fresh in-process service over an `nodes`-node
+/// topology, optionally under a churn schedule (failed nodes exclude node
+/// 0, which issues the queries). This is the benchmark entry point: fully
+/// deterministic, no sockets, no threads.
+pub fn run_inproc(nodes: usize, opts: &LoadOptions, churn: Option<&ChurnSchedule>) -> LoadReport {
+    let hub = InProcHub::new(default_topology(nodes), ServiceConfig::default());
+    if let Some(schedule) = churn {
+        hub.with_service(|svc| {
+            let topology = svc.harness().sim().topology().clone();
+            for event in schedule.events_for(&topology) {
+                event.schedule(svc.harness_mut().sim_mut());
+            }
+        });
+    }
+    run(opts, |_| Ok(hub.connect())).expect("in-process load run failed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_netsim::{SimDuration, SimTime};
+
+    #[test]
+    fn inproc_load_is_deterministic_and_unwinds() {
+        let opts = LoadOptions { sessions: 4, rounds: 8, ..LoadOptions::default() };
+        let churn = ChurnSchedule::alternating(
+            12,
+            0.25,
+            SimTime::from_millis(500),
+            SimDuration::from_millis(1_500),
+            2,
+            11,
+        );
+        let a = run_inproc(12, &opts, Some(&churn));
+        let b = run_inproc(12, &opts, Some(&churn));
+        assert_eq!(a.issued, b.issued);
+        assert_eq!(a.torn_down, b.torn_down);
+        assert_eq!(a.facts_injected, b.facts_injected);
+        assert_eq!(a.deltas, b.deltas);
+        assert!(a.issued >= 8, "every session should have issued at least once");
+        assert_eq!(a.issued, a.torn_down, "the final drain should retire every query");
+    }
+}

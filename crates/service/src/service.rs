@@ -1,0 +1,605 @@
+//! The routing service proper: sessions, query lifecycle, subscriptions.
+//!
+//! [`RoutingService`] wraps one resident [`RoutingHarness`] (topology +
+//! deployed queries) and multiplexes any number of client *sessions* over
+//! it. It is transport-agnostic and single-threaded: transports decode
+//! frames into [`Request`]s, feed them through [`RoutingService::apply`],
+//! and drain each session's bounded outbox of push [`Response`]s
+//! (`Delta` / `Lagged`). All backpressure policy lives here — a transport
+//! is a dumb frame carrier.
+//!
+//! ## Ownership and lifecycle
+//!
+//! A session owns the queries it issues: only the owner may tear one down
+//! or inject facts into it, and a per-session quota caps how many live
+//! queries a session may hold. When a session disconnects (or its
+//! connection drops), every query it still owns is torn down across the
+//! deployment — the service equivalent of a crashing client not leaking
+//! dataflows into the engine forever.
+//!
+//! ## Subscriptions and backpressure
+//!
+//! A subscription is a [`ResultCursor`] polled after every time advance.
+//! Deltas queue in the owning session's outbox, bounded by
+//! [`ServiceConfig::subscriber_queue_cap`]. When the outbox is full the
+//! cursor is simply *not advanced* — the unseen changes coalesce inside
+//! the cursor (memory stays bounded by the result-set size, not the
+//! update history) and a [`Response::Lagged`] with the number of skipped
+//! polls precedes the next delta once the subscriber catches up.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use dr_core::{NetMsg, QueryId, ResultCursor, RoutingHarness};
+use dr_datalog::parse_program;
+use dr_netsim::{SimDuration, Topology};
+use dr_types::NodeId;
+
+use crate::protocol::{ErrorCode, IssueOptions, Request, Response, WireTuple};
+
+/// Tuning knobs of a [`RoutingService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Maximum live queries a single session may own at once.
+    pub max_queries_per_session: usize,
+    /// Maximum queued push responses (deltas/lags) per session before the
+    /// service stops advancing that session's cursors.
+    pub subscriber_queue_cap: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig { max_queries_per_session: 64, subscriber_queue_cap: 256 }
+    }
+}
+
+/// One subscription: a cursor plus the number of polls skipped while the
+/// session's outbox was full.
+#[derive(Debug)]
+struct Subscription {
+    cursor: ResultCursor,
+    missed: u64,
+}
+
+/// Per-session state.
+#[derive(Debug)]
+struct Session {
+    client: String,
+    /// Queries this session issued and still owns.
+    queries: BTreeSet<QueryId>,
+    /// Subscriptions, keyed by query (one cursor per query per session).
+    subs: BTreeMap<QueryId, Subscription>,
+    /// Queued push responses awaiting transport drain.
+    outbox: VecDeque<Response>,
+}
+
+/// Aggregate service counters (exposed via `Stats` and tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceCounters {
+    /// Sessions opened over the service's lifetime.
+    pub sessions_opened: u64,
+    /// Sessions closed (disconnected).
+    pub sessions_closed: u64,
+    /// Queries issued.
+    pub queries_issued: u64,
+    /// Queries torn down (explicitly or at disconnect).
+    pub queries_torn_down: u64,
+    /// Facts injected via `InjectFacts`.
+    pub facts_injected: u64,
+    /// Requests that produced an error response.
+    pub errors: u64,
+}
+
+/// A long-lived routing service: one resident deployment, many sessions.
+pub struct RoutingService {
+    harness: RoutingHarness,
+    config: ServiceConfig,
+    sessions: BTreeMap<u64, Session>,
+    /// Owner of each live query.
+    owners: BTreeMap<QueryId, u64>,
+    next_session: u64,
+    counters: ServiceCounters,
+    shutdown_requested: bool,
+}
+
+impl RoutingService {
+    /// Build a service over `topology` with `config`.
+    pub fn new(topology: Topology, config: ServiceConfig) -> RoutingService {
+        RoutingService {
+            harness: RoutingHarness::new(topology),
+            config,
+            sessions: BTreeMap::new(),
+            owners: BTreeMap::new(),
+            next_session: 1,
+            counters: ServiceCounters::default(),
+            shutdown_requested: false,
+        }
+    }
+
+    /// The resident harness (tests compare against a single-harness oracle).
+    pub fn harness(&self) -> &RoutingHarness {
+        &self.harness
+    }
+
+    /// Mutable access to the resident harness — the escape hatch embedders
+    /// use to schedule simulator events (churn, link dynamics) that have no
+    /// wire request.
+    pub fn harness_mut(&mut self) -> &mut RoutingHarness {
+        &mut self.harness
+    }
+
+    /// Aggregate lifetime counters.
+    pub fn counters(&self) -> ServiceCounters {
+        self.counters
+    }
+
+    /// True once a client asked the service to shut down.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown_requested
+    }
+
+    /// Number of currently open sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Number of currently live queries across all sessions.
+    pub fn live_queries(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// Open a session. The transport calls this on `Request::Connect`.
+    pub fn connect(&mut self, client: &str) -> (u64, Response) {
+        let sid = self.next_session;
+        self.next_session += 1;
+        self.sessions.insert(
+            sid,
+            Session {
+                client: client.to_string(),
+                queries: BTreeSet::new(),
+                subs: BTreeMap::new(),
+                outbox: VecDeque::new(),
+            },
+        );
+        self.counters.sessions_opened += 1;
+        let resp = Response::Connected {
+            session: sid,
+            nodes: self.harness.sim().topology().num_nodes() as u32,
+            now_millis: self.harness.now().as_millis_f64() as u64,
+        };
+        (sid, resp)
+    }
+
+    /// Close a session, tearing down every query it still owns.
+    pub fn disconnect(&mut self, sid: u64) {
+        let Some(session) = self.sessions.remove(&sid) else { return };
+        self.counters.sessions_closed += 1;
+        for qid in session.queries {
+            self.owners.remove(&qid);
+            let at = self.harness.now();
+            self.harness.teardown(qid, at);
+            self.counters.queries_torn_down += 1;
+        }
+    }
+
+    /// Apply one request on behalf of session `sid` and return the direct
+    /// response. Push responses (deltas) go to the session outbox instead.
+    pub fn apply(&mut self, sid: u64, req: Request) -> Response {
+        if !self.sessions.contains_key(&sid) {
+            return self.error(ErrorCode::NotConnected, "no such session");
+        }
+        match req {
+            Request::Connect { .. } => {
+                self.error(ErrorCode::BadRequest, "session already connected")
+            }
+            Request::IssueQuery { program, options } => self.issue(sid, &program, options),
+            Request::TeardownQuery { qid } => self.teardown(sid, qid),
+            Request::InjectFacts { qid, node, facts } => self.inject(sid, qid, node, &facts),
+            Request::Subscribe { qid } => self.subscribe(sid, qid),
+            Request::Stats => Response::Stats { lines: self.stats_lines() },
+            Request::Advance { millis } => {
+                self.advance(SimDuration::from_millis(millis));
+                Response::Advanced { now_millis: self.harness.now().as_millis_f64() as u64 }
+            }
+            Request::Shutdown => {
+                self.shutdown_requested = true;
+                Response::ShuttingDown
+            }
+        }
+    }
+
+    fn error(&mut self, code: ErrorCode, message: impl Into<String>) -> Response {
+        self.counters.errors += 1;
+        Response::Error { code, message: message.into() }
+    }
+
+    fn issue(&mut self, sid: u64, program: &str, options: IssueOptions) -> Response {
+        let session = self.sessions.get(&sid).expect("checked by apply");
+        if session.queries.len() >= self.config.max_queries_per_session {
+            let cap = self.config.max_queries_per_session;
+            return self.error(
+                ErrorCode::QuotaExceeded,
+                format!("session already owns {cap} live queries"),
+            );
+        }
+        let issuer = NodeId::new(options.issuer);
+        if options.issuer as usize >= self.harness.sim().topology().num_nodes() {
+            return self.error(
+                ErrorCode::BadRequest,
+                format!("issuer node {} outside the topology", options.issuer),
+            );
+        }
+        let parsed = match parse_program(program) {
+            Ok(p) => p,
+            Err(e) => return self.error(ErrorCode::Parse, e.to_string()),
+        };
+        let at = self.harness.now();
+        let submitted = self
+            .harness
+            .issue(parsed)
+            .from(issuer)
+            .at(at)
+            .named(&options.name)
+            .replicated(options.replicated.iter().map(String::as_str))
+            .aggregate_selections(options.aggregate_selections)
+            .sharing(options.share_results)
+            .cache_relation(&options.cache_relation)
+            .facts(options.facts.iter().map(WireTuple::to_tuple).collect())
+            .submit();
+        match submitted {
+            Ok(handle) => {
+                let qid = handle.id();
+                self.sessions.get_mut(&sid).expect("checked").queries.insert(qid);
+                self.owners.insert(qid, sid);
+                self.counters.queries_issued += 1;
+                Response::Issued { qid }
+            }
+            Err(e) => self.error(ErrorCode::Parse, e.to_string()),
+        }
+    }
+
+    fn teardown(&mut self, sid: u64, qid: QueryId) -> Response {
+        match self.owners.get(&qid) {
+            None => self.error(ErrorCode::UnknownQuery, format!("no live query {qid}")),
+            Some(&owner) if owner != sid => {
+                self.error(ErrorCode::NotOwner, format!("query {qid} belongs to session {owner}"))
+            }
+            Some(_) => {
+                self.owners.remove(&qid);
+                let session = self.sessions.get_mut(&sid).expect("checked by apply");
+                session.queries.remove(&qid);
+                let at = self.harness.now();
+                self.harness.teardown(qid, at);
+                self.counters.queries_torn_down += 1;
+                Response::TornDown { qid }
+            }
+        }
+    }
+
+    fn inject(&mut self, sid: u64, qid: QueryId, node: u32, facts: &[WireTuple]) -> Response {
+        match self.owners.get(&qid) {
+            None => self.error(ErrorCode::UnknownQuery, format!("no live query {qid}")),
+            Some(&owner) if owner != sid => {
+                self.error(ErrorCode::NotOwner, format!("query {qid} belongs to session {owner}"))
+            }
+            Some(_) => {
+                if node as usize >= self.harness.sim().topology().num_nodes() {
+                    return self
+                        .error(ErrorCode::BadRequest, format!("node {node} outside the topology"));
+                }
+                let items: Vec<_> = facts.iter().map(WireTuple::to_tuple).collect();
+                let count = items.len() as u32;
+                let at = self.harness.now();
+                self.harness.sim_mut().inject(at, NodeId::new(node), NetMsg::Tuples { qid, items });
+                self.counters.facts_injected += u64::from(count);
+                Response::Injected { qid, count }
+            }
+        }
+    }
+
+    fn subscribe(&mut self, sid: u64, qid: QueryId) -> Response {
+        if !self.owners.contains_key(&qid) {
+            return self.error(ErrorCode::UnknownQuery, format!("no live query {qid}"));
+        }
+        let session = self.sessions.get_mut(&sid).expect("checked by apply");
+        session.subs.insert(qid, Subscription { cursor: ResultCursor::new(qid), missed: 0 });
+        Response::Subscribed { qid }
+    }
+
+    /// Advance simulated time and poll every subscription once.
+    pub fn advance(&mut self, step: SimDuration) {
+        let until = self.harness.now() + step;
+        self.harness.run_until(until);
+        self.poll_subscriptions();
+    }
+
+    /// Poll every subscription whose session outbox has room; count a
+    /// missed round for the ones that don't.
+    fn poll_subscriptions(&mut self) {
+        let cap = self.config.subscriber_queue_cap;
+        let now_millis = self.harness.now().as_millis_f64() as u64;
+        for session in self.sessions.values_mut() {
+            for (&qid, sub) in session.subs.iter_mut() {
+                if session.outbox.len() >= cap {
+                    sub.missed += 1;
+                    continue;
+                }
+                let delta = sub.cursor.poll(&self.harness);
+                if sub.missed > 0 && !delta.is_empty() {
+                    session.outbox.push_back(Response::Lagged { qid, missed: sub.missed });
+                    sub.missed = 0;
+                }
+                if !delta.is_empty() {
+                    session.outbox.push_back(Response::Delta {
+                        qid,
+                        now_millis,
+                        added: delta.added.iter().map(WireTuple::from_tuple).collect(),
+                        removed: delta.removed.iter().map(WireTuple::from_tuple).collect(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Pop up to `max` queued push responses for session `sid`. Transports
+    /// call this with however much room they have; what stays queued keeps
+    /// exerting backpressure on the session's cursors.
+    pub fn drain_outbox(&mut self, sid: u64, max: usize) -> Vec<Response> {
+        let Some(session) = self.sessions.get_mut(&sid) else { return Vec::new() };
+        let n = session.outbox.len().min(max);
+        session.outbox.drain(..n).collect()
+    }
+
+    /// Queued push responses for session `sid`.
+    pub fn outbox_len(&self, sid: u64) -> usize {
+        self.sessions.get(&sid).map_or(0, |s| s.outbox.len())
+    }
+
+    /// The line-oriented JSON stats snapshot: one self-describing object
+    /// per line (`type` discriminates), so `grep`/`jq` pipelines can
+    /// consume it without a streaming JSON parser.
+    pub fn stats_lines(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        let now_ms = self.harness.now().as_millis_f64();
+        let c = &self.counters;
+        lines.push(format!(
+            "{{\"type\":\"service\",\"now_ms\":{now_ms:.1},\"sessions\":{},\"live_queries\":{},\
+             \"sessions_opened\":{},\"queries_issued\":{},\"queries_torn_down\":{},\
+             \"facts_injected\":{},\"errors\":{}}}",
+            self.sessions.len(),
+            self.owners.len(),
+            c.sessions_opened,
+            c.queries_issued,
+            c.queries_torn_down,
+            c.facts_injected,
+            c.errors,
+        ));
+        let p = self.harness.processor_stats();
+        lines.push(format!(
+            "{{\"type\":\"processor\",\"tuples_received\":{},\"tuples_sent\":{},\
+             \"tuples_derived\":{},\"tuples_pruned\":{},\"tombstones_collapsed\":{},\
+             \"tuples_rejected\":{},\"prune_evicted\":{},\"batches\":{}}}",
+            p.tuples_received,
+            p.tuples_sent,
+            p.tuples_derived,
+            p.tuples_pruned,
+            p.tombstones_collapsed,
+            p.tuples_rejected,
+            p.prune_evicted,
+            p.batches,
+        ));
+        let f = self.harness.state_footprint();
+        lines.push(format!(
+            "{{\"type\":\"footprint\",\"instances\":{},\"stored_tuples\":{},\
+             \"pending_tuples\":{},\"prune_entries\":{},\"shared_relations\":{},\
+             \"shared_tuples\":{}}}",
+            f.instances,
+            f.stored_tuples,
+            f.pending_tuples,
+            f.prune_entries,
+            f.shared_relations,
+            f.shared_tuples,
+        ));
+        lines.push(format!(
+            "{{\"type\":\"overhead\",\"per_node_kb\":{:.3}}}",
+            self.harness.per_node_overhead_kb()
+        ));
+        for (start, bytes_per_node_s) in self.harness.sim().metrics().per_node_bandwidth_series() {
+            lines.push(format!(
+                "{{\"type\":\"bandwidth\",\"t_s\":{:.1},\"bytes_per_node_s\":{:.1}}}",
+                start.as_secs_f64(),
+                bytes_per_node_s,
+            ));
+        }
+        lines
+    }
+
+    /// The connected client names (diagnostics).
+    pub fn client_names(&self) -> Vec<String> {
+        self.sessions.values().map(|s| s.client.clone()).collect()
+    }
+}
+
+/// A small deterministic topology for service defaults and examples: an
+/// `n`-node ring of unit-cost links plus cross-ring chords every four
+/// nodes, giving alternate paths so link updates and churn actually
+/// reroute.
+pub fn default_topology(n: usize) -> Topology {
+    use dr_netsim::LinkParams;
+    let n = n.max(2);
+    let mut topo = Topology::new(n);
+    let link = || LinkParams::with_latency_ms(5.0).with_cost(dr_types::Cost::new(1.0));
+    for i in 0..n {
+        let a = NodeId::new(i as u32);
+        let b = NodeId::new(((i + 1) % n) as u32);
+        topo.add_bidirectional(a, b, link());
+    }
+    for i in (0..n).step_by(4) {
+        let far = (i + n / 2) % n;
+        if far != i && !topo.has_link(NodeId::new(i as u32), NodeId::new(far as u32)) {
+            topo.add_bidirectional(NodeId::new(i as u32), NodeId::new(far as u32), link());
+        }
+    }
+    topo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BEST_PATH: &str = crate::BEST_PATH_PROGRAM;
+
+    fn service(nodes: usize) -> RoutingService {
+        RoutingService::new(default_topology(nodes), ServiceConfig::default())
+    }
+
+    #[test]
+    fn issue_advance_subscribe_teardown_lifecycle() {
+        let mut svc = service(8);
+        let (sid, resp) = svc.connect("t");
+        assert!(matches!(resp, Response::Connected { nodes: 8, .. }));
+
+        let resp = svc.apply(
+            sid,
+            Request::IssueQuery {
+                program: BEST_PATH.to_string(),
+                options: IssueOptions::default(),
+            },
+        );
+        let Response::Issued { qid } = resp else { panic!("{resp:?}") };
+
+        assert!(matches!(svc.apply(sid, Request::Subscribe { qid }), Response::Subscribed { .. }));
+        svc.apply(sid, Request::Advance { millis: 10_000 });
+        let pushed = svc.drain_outbox(sid, usize::MAX);
+        assert!(
+            pushed.iter().any(|r| matches!(r, Response::Delta { added, .. } if !added.is_empty())),
+            "expected a non-empty delta, got {pushed:?}"
+        );
+
+        assert!(matches!(
+            svc.apply(sid, Request::TeardownQuery { qid }),
+            Response::TornDown { .. }
+        ));
+        svc.apply(sid, Request::Advance { millis: 10_000 });
+        assert_eq!(svc.live_queries(), 0);
+        assert!(svc.harness().state_footprint().is_empty());
+    }
+
+    #[test]
+    fn quota_ownership_and_unknown_query_errors() {
+        let mut svc = RoutingService::new(
+            default_topology(4),
+            ServiceConfig { max_queries_per_session: 1, ..ServiceConfig::default() },
+        );
+        let (alice, _) = svc.connect("alice");
+        let (bob, _) = svc.connect("bob");
+        let issue =
+            |options: IssueOptions| Request::IssueQuery { program: BEST_PATH.to_string(), options };
+
+        let Response::Issued { qid } = svc.apply(alice, issue(IssueOptions::default())) else {
+            panic!("first issue must succeed")
+        };
+        assert!(matches!(
+            svc.apply(alice, issue(IssueOptions::default())),
+            Response::Error { code: ErrorCode::QuotaExceeded, .. }
+        ));
+        assert!(matches!(
+            svc.apply(bob, Request::TeardownQuery { qid }),
+            Response::Error { code: ErrorCode::NotOwner, .. }
+        ));
+        assert!(matches!(
+            svc.apply(alice, Request::TeardownQuery { qid: 999 }),
+            Response::Error { code: ErrorCode::UnknownQuery, .. }
+        ));
+        assert!(matches!(
+            svc.apply(alice, Request::TeardownQuery { qid }),
+            Response::TornDown { .. }
+        ));
+        // Teardown frees quota: a new issue succeeds.
+        assert!(matches!(
+            svc.apply(alice, issue(IssueOptions::default())),
+            Response::Issued { .. }
+        ));
+    }
+
+    #[test]
+    fn disconnect_tears_down_owned_queries() {
+        let mut svc = service(6);
+        let (sid, _) = svc.connect("ephemeral");
+        let Response::Issued { .. } = svc.apply(
+            sid,
+            Request::IssueQuery {
+                program: BEST_PATH.to_string(),
+                options: IssueOptions::default(),
+            },
+        ) else {
+            panic!("issue failed")
+        };
+        svc.apply(sid, Request::Advance { millis: 5_000 });
+        assert!(!svc.harness().state_footprint().is_empty());
+
+        svc.disconnect(sid);
+        // Time must keep flowing for the teardown flood to propagate; a
+        // surviving session (or the server tick) provides that.
+        let (other, _) = svc.connect("survivor");
+        svc.apply(other, Request::Advance { millis: 10_000 });
+        assert_eq!(svc.live_queries(), 0);
+        assert!(svc.harness().state_footprint().is_empty());
+    }
+
+    #[test]
+    fn slow_subscriber_lags_and_memory_stays_bounded() {
+        let mut svc = RoutingService::new(
+            default_topology(8),
+            ServiceConfig { subscriber_queue_cap: 2, ..ServiceConfig::default() },
+        );
+        let (sid, _) = svc.connect("slow");
+        let Response::Issued { qid } = svc.apply(
+            sid,
+            Request::IssueQuery {
+                program: BEST_PATH.to_string(),
+                options: IssueOptions::default(),
+            },
+        ) else {
+            panic!("issue failed")
+        };
+        svc.apply(sid, Request::Subscribe { qid });
+        svc.apply(sid, Request::Advance { millis: 10_000 });
+
+        // Never drained: keep perturbing a link so every poll has changes.
+        let link = |cost: f64| {
+            dr_netsim::LinkParams::with_latency_ms(5.0).with_cost(dr_types::Cost::new(cost))
+        };
+        for round in 0..20u64 {
+            let at = svc.harness().now();
+            let cost = if round % 2 == 0 { 10.0 } else { 1.0 };
+            svc.harness.sim_mut().schedule_link_metric_change(
+                at,
+                NodeId::new(0),
+                NodeId::new(1),
+                link(cost),
+            );
+            svc.apply(sid, Request::Advance { millis: 2_000 });
+        }
+        assert!(svc.outbox_len(sid) <= 2, "outbox must stay bounded");
+
+        // Catching up yields a Lagged notice before the coalesced delta.
+        let drained = svc.drain_outbox(sid, usize::MAX);
+        let at = svc.harness().now();
+        svc.harness.sim_mut().schedule_link_metric_change(
+            at,
+            NodeId::new(0),
+            NodeId::new(1),
+            link(3.0),
+        );
+        svc.apply(sid, Request::Advance { millis: 5_000 });
+        let caught_up = svc.drain_outbox(sid, usize::MAX);
+        let lagged = caught_up.iter().find_map(|r| match r {
+            Response::Lagged { missed, .. } => Some(*missed),
+            _ => None,
+        });
+        assert!(
+            lagged.is_some_and(|m| m > 0),
+            "expected Lagged after starved polls; drained={drained:?} caught_up={caught_up:?}"
+        );
+    }
+}

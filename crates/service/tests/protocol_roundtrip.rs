@@ -1,0 +1,197 @@
+//! Property tests for the service wire protocol: every encodable message
+//! round-trips bit-exactly, and no malformed or truncated input can do
+//! anything except return a typed [`ProtoError`].
+
+use proptest::prelude::*;
+
+use dr_service::protocol::{
+    frame, FrameBuf, IssueOptions, ProtoError, Request, Response, WireTuple, WireValue,
+};
+use dr_service::ErrorCode;
+
+fn wire_value() -> impl Strategy<Value = WireValue> {
+    (
+        0u32..6,
+        0u32..100_000,
+        -1.0e6f64..1.0e6,
+        "[a-zA-Z0-9_ ]{0,12}",
+        collection::vec(0u32..512, 0..6),
+    )
+        .prop_map(|(tag, n, f, s, path)| match tag {
+            0 => WireValue::Node(n),
+            1 => WireValue::Cost(if n % 7 == 0 { f64::INFINITY } else { f }),
+            2 => WireValue::Int(i64::from(n) - 50_000),
+            3 => WireValue::Bool(n % 2 == 0),
+            4 => WireValue::Str(s),
+            _ => WireValue::Path(path),
+        })
+}
+
+fn wire_tuple() -> impl Strategy<Value = WireTuple> {
+    ("[a-z][a-zA-Z0-9]{0,10}", collection::vec(wire_value(), 0..5))
+        .prop_map(|(relation, values)| WireTuple { relation, values })
+}
+
+fn issue_options() -> impl Strategy<Value = IssueOptions> {
+    (
+        "[a-z][a-z0-9-]{0,8}",
+        0u32..64,
+        collection::vec("[a-z][a-zA-Z]{0,8}", 0..3),
+        0u32..4,
+        "[a-z][a-zA-Z]{0,10}",
+        collection::vec(wire_tuple(), 0..3),
+    )
+        .prop_map(|(name, issuer, replicated, flags, cache_relation, facts)| IssueOptions {
+            name,
+            issuer,
+            replicated,
+            aggregate_selections: flags & 1 != 0,
+            share_results: flags & 2 != 0,
+            cache_relation,
+            facts,
+        })
+}
+
+fn request() -> impl Strategy<Value = Request> {
+    (
+        0u32..8,
+        "[ -~]{0,40}",
+        issue_options(),
+        0u64..1_000,
+        0u32..64,
+        collection::vec(wire_tuple(), 0..4),
+    )
+        .prop_map(|(tag, text, options, qid, node, facts)| match tag {
+            0 => Request::Connect { client: text },
+            1 => Request::IssueQuery { program: text, options },
+            2 => Request::TeardownQuery { qid },
+            3 => Request::InjectFacts { qid, node, facts },
+            4 => Request::Subscribe { qid },
+            5 => Request::Stats,
+            6 => Request::Advance { millis: qid },
+            _ => Request::Shutdown,
+        })
+}
+
+fn response() -> impl Strategy<Value = Response> {
+    (
+        0u32..11,
+        0u64..1_000,
+        0u32..64,
+        collection::vec(wire_tuple(), 0..4),
+        collection::vec("[ -~]{0,30}", 0..4),
+        "[ -~]{0,40}",
+    )
+        .prop_map(|(tag, qid, n, tuples, lines, text)| match tag {
+            0 => Response::Connected { session: qid, nodes: n, now_millis: qid * 3 },
+            1 => Response::Issued { qid },
+            2 => Response::TornDown { qid },
+            3 => Response::Injected { qid, count: n },
+            4 => Response::Subscribed { qid },
+            5 => {
+                Response::Delta { qid, now_millis: qid * 7, added: tuples.clone(), removed: tuples }
+            }
+            6 => Response::Lagged { qid, missed: qid + 1 },
+            7 => Response::Stats { lines },
+            8 => Response::Advanced { now_millis: qid },
+            9 => Response::Error {
+                code: match n % 6 {
+                    0 => ErrorCode::Parse,
+                    1 => ErrorCode::QuotaExceeded,
+                    2 => ErrorCode::UnknownQuery,
+                    3 => ErrorCode::NotOwner,
+                    4 => ErrorCode::BadRequest,
+                    _ => ErrorCode::NotConnected,
+                },
+                message: text,
+            },
+            _ => Response::ShuttingDown,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn request_encode_decode_round_trips(req in request()) {
+        let mut payload = Vec::new();
+        req.encode(&mut payload);
+        prop_assert_eq!(Request::decode(&payload), Ok(req));
+    }
+
+    #[test]
+    fn response_encode_decode_round_trips(resp in response()) {
+        let mut payload = Vec::new();
+        resp.encode(&mut payload);
+        prop_assert_eq!(Response::decode(&payload), Ok(resp));
+    }
+
+    #[test]
+    fn truncated_request_is_a_typed_error_not_a_panic(req in request(), cut in 0usize..10_000) {
+        let mut payload = Vec::new();
+        req.encode(&mut payload);
+        // Every strict prefix must fail cleanly. (Decoding never panics;
+        // running this under the harness proves it.)
+        let cut = cut % payload.len().max(1);
+        if cut < payload.len() {
+            prop_assert!(Request::decode(&payload[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected(resp in response(), extra in 1usize..9) {
+        let mut payload = Vec::new();
+        resp.encode(&mut payload);
+        payload.extend(std::iter::repeat_n(0xA5u8, extra));
+        prop_assert_eq!(Response::decode(&payload), Err(ProtoError::TrailingBytes { extra }));
+    }
+
+    #[test]
+    fn random_bytes_never_panic_the_decoder(bytes in collection::vec(0u32..256, 0..64)) {
+        let bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        // Either a valid message or a typed error — the point is that the
+        // call always returns instead of panicking or allocating wildly.
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+
+    #[test]
+    fn frame_stream_reassembles_under_any_chunking(
+        reqs in collection::vec(request(), 1..5),
+        chunks in collection::vec(1usize..17, 1..64),
+    ) {
+        let mut stream = Vec::new();
+        for req in &reqs {
+            let mut payload = Vec::new();
+            req.encode(&mut payload);
+            stream.extend(frame(&payload));
+        }
+        let mut fb = FrameBuf::new();
+        let mut decoded = Vec::new();
+        let mut offset = 0;
+        let mut chunk_idx = 0;
+        while offset < stream.len() {
+            let size = chunks[chunk_idx % chunks.len()].min(stream.len() - offset);
+            chunk_idx += 1;
+            fb.extend(&stream[offset..offset + size]);
+            offset += size;
+            while let Some(payload) = fb.next_frame().unwrap() {
+                decoded.push(Request::decode(&payload).unwrap());
+            }
+        }
+        prop_assert_eq!(decoded, reqs);
+        prop_assert_eq!(fb.buffered(), 0);
+    }
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_without_allocating() {
+    let mut fb = FrameBuf::new();
+    fb.extend(&u32::MAX.to_le_bytes());
+    match fb.next_frame() {
+        Err(ProtoError::FrameTooLarge { declared }) => {
+            assert_eq!(declared, u32::MAX as usize);
+        }
+        other => panic!("expected FrameTooLarge, got {other:?}"),
+    }
+}

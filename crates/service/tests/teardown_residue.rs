@@ -1,0 +1,128 @@
+//! Regression: the issue → teardown → issue cycle leaves zero residue in
+//! the engine. Teardown is not bookkeeping — it must unwind stored
+//! tuples, pending delta buffers, prune state, shared cache relations,
+//! and the query library on every node, and a subsequent identical query
+//! must behave exactly like the first.
+
+use std::collections::BTreeMap;
+
+use dr_service::protocol::{IssueOptions, Response};
+use dr_service::service::default_topology;
+use dr_service::transport::InProcHub;
+use dr_service::{Client, ServiceConfig, BEST_PATH_PROGRAM};
+
+const NODES: usize = 10;
+const CYCLES: usize = 3;
+
+/// Run one issue → converge → snapshot → teardown → settle cycle and
+/// return (result rows streamed, footprint line after teardown).
+fn one_cycle(
+    client: &mut Client<dr_service::transport::InProcConn>,
+) -> (BTreeMap<String, usize>, u64) {
+    let qid = client.issue(BEST_PATH_PROGRAM, IssueOptions::default()).expect("issue");
+    client.subscribe(qid).expect("subscribe");
+    client.advance(15_000).expect("converge");
+
+    let mut rows: BTreeMap<String, usize> = BTreeMap::new();
+    let mut streamed: u64 = 0;
+    for push in client.poll_pushed().expect("poll") {
+        if let Response::Delta { added, removed, .. } = push {
+            streamed += (added.len() + removed.len()) as u64;
+            for t in added {
+                *rows.entry(format!("{t:?}")).or_insert(0) += 1;
+            }
+            for t in removed {
+                let key = format!("{t:?}");
+                let n = rows.get_mut(&key).expect("removed unseen row");
+                *n -= 1;
+                if *n == 0 {
+                    rows.remove(&key);
+                }
+            }
+        }
+    }
+    client.teardown(qid).expect("teardown");
+    client.advance(15_000).expect("settle");
+    client.poll_pushed().expect("drain teardown deltas");
+    (rows, streamed)
+}
+
+#[test]
+fn issue_teardown_issue_leaves_no_residue() {
+    let hub = InProcHub::new(default_topology(NODES), ServiceConfig::default());
+    let mut client = Client::connect(hub.connect(), "cycler").expect("connect");
+
+    // Baseline: an idle deployment holds no engine state at all.
+    let baseline = hub.with_service(|svc| svc.harness().state_footprint());
+    assert!(baseline.is_empty(), "seed deployment must start empty: {baseline:?}");
+
+    let mut first_rows = None;
+    for cycle in 0..CYCLES {
+        let (rows, streamed) = one_cycle(&mut client);
+        assert!(streamed > 0, "cycle {cycle}: convergence must stream deltas");
+        assert!(!rows.is_empty(), "cycle {cycle}: best-path must produce routes");
+
+        // Every cycle computes the identical result set: no residue from
+        // the previous cycle (stale caches, leftover pending tuples)
+        // contaminates the next deployment.
+        match &first_rows {
+            None => first_rows = Some(rows),
+            Some(first) => assert_eq!(
+                first, &rows,
+                "cycle {cycle}: result set differs from cycle 0 — residue detected"
+            ),
+        }
+
+        // The counter pin: after teardown the deployment-wide footprint is
+        // *exactly* zero on every axis, not merely "small".
+        hub.with_service(|svc| {
+            let f = svc.harness().state_footprint();
+            assert_eq!(f.instances, 0, "cycle {cycle}: instances leaked");
+            assert_eq!(f.stored_tuples, 0, "cycle {cycle}: stored tuples leaked");
+            assert_eq!(f.pending_tuples, 0, "cycle {cycle}: pending buffers leaked");
+            assert_eq!(f.prune_entries, 0, "cycle {cycle}: prune entries leaked");
+            assert_eq!(f.shared_relations, 0, "cycle {cycle}: shared relations leaked");
+            assert_eq!(f.shared_tuples, 0, "cycle {cycle}: shared cache tuples leaked");
+            assert_eq!(svc.harness().library().len(), 0, "cycle {cycle}: library spec leaked");
+            assert_eq!(svc.live_queries(), 0, "cycle {cycle}: service believes a query lives");
+        });
+    }
+
+    // Lifecycle counters agree with what we did.
+    hub.with_service(|svc| {
+        let c = svc.counters();
+        assert_eq!(c.queries_issued, CYCLES as u64);
+        assert_eq!(c.queries_torn_down, CYCLES as u64);
+        assert_eq!(c.errors, 0);
+    });
+}
+
+/// The same invariant holds when sharing is on: the shared cache relation
+/// is dropped with its last user and rebuilt cleanly by the next query.
+#[test]
+fn shared_cache_queries_unwind_completely_too() {
+    let hub = InProcHub::new(default_topology(NODES), ServiceConfig::default());
+    let mut client = Client::connect(hub.connect(), "sharer").expect("connect");
+
+    for cycle in 0..2 {
+        let qid = client
+            .issue(
+                BEST_PATH_PROGRAM,
+                IssueOptions { share_results: true, ..IssueOptions::default() },
+            )
+            .expect("issue");
+        client.advance(15_000).expect("converge");
+        hub.with_service(|svc| {
+            assert!(
+                svc.harness().state_footprint().shared_relations > 0,
+                "cycle {cycle}: sharing must declare the cache relation"
+            );
+        });
+        client.teardown(qid).expect("teardown");
+        client.advance(15_000).expect("settle");
+        hub.with_service(|svc| {
+            let f = svc.harness().state_footprint();
+            assert!(f.is_empty(), "cycle {cycle}: shared-cache deployment left residue: {f:?}");
+        });
+    }
+}

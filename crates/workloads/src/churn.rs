@@ -96,7 +96,6 @@ impl ChurnSchedule {
     pub fn end_time(&self) -> SimTime {
         self.events.last().map(ChurnEvent::time).unwrap_or(SimTime::ZERO)
     }
-
 }
 
 /// A churn schedule is a timeline event source: each `Fail`/`Join` event

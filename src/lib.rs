@@ -17,6 +17,10 @@
 //! * [`protocols`] — every protocol from the paper as a ready-made query.
 //! * [`baselines`] — hand-coded path-vector / distance-vector baselines.
 //! * [`workloads`] — topologies, RTT models, churn and query workloads.
+//! * [`service`] — the long-lived routing service: client sessions issue,
+//!   tear down, and subscribe to queries over a framed protocol (in-process
+//!   for tests, TCP via the `dr-serviced` daemon), with a line-oriented
+//!   JSON stats endpoint.
 //!
 //! Queries are issued through the harness's fluent builder and observed
 //! through the typed [`engine::harness::QueryHandle`] it returns; results
@@ -57,5 +61,6 @@ pub use dr_core as engine;
 pub use dr_datalog as datalog;
 pub use dr_netsim as netsim;
 pub use dr_protocols as protocols;
+pub use dr_service as service;
 pub use dr_types as types;
 pub use dr_workloads as workloads;
