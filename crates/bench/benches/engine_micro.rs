@@ -6,9 +6,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dr_core::harness::RoutingHarness;
+use dr_core::processor::ReliabilityConfig;
 use dr_datalog::eval::EvalConfig;
 use dr_datalog::{parse_program, Database, Evaluator};
-use dr_netsim::SimTime;
+use dr_netsim::{FaultPlan, LinkFaults, SimTime};
 use dr_protocols::{best_path, distance_vector, link_state};
 use dr_types::{NodeId, Tuple, Value};
 use dr_workloads::{OverlayKind, OverlayParams, TransitStubParams};
@@ -118,6 +119,23 @@ fn bench_churn_recovery(c: &mut Criterion) {
     group.bench_function("dense_uunet16_hub_fail", |b| {
         b.iter(|| {
             let mut harness = RoutingHarness::new(topo.clone());
+            let handle = harness.issue(best_path()).submit().expect("query localizes");
+            harness.run_until(SimTime::from_secs(120));
+            harness.sim_mut().schedule_node_fail(SimTime::from_secs(120), hub);
+            harness.run_until(SimTime::from_secs(240));
+            handle.finite_results(&harness).expect("routes decode").len()
+        })
+    });
+    // The same cycle on a lossy wire with the reliable transport: tracks
+    // what retransmission, duplicate suppression, and reorder buffering
+    // cost on top of the recovery itself.
+    group.bench_function("dense_uunet16_hub_fail_lossy", |b| {
+        b.iter(|| {
+            let mut harness =
+                RoutingHarness::with_reliability(topo.clone(), ReliabilityConfig::default());
+            harness.set_fault_plan(
+                FaultPlan::new(9).uniform(LinkFaults::none().with_drop(0.05).with_duplicate(0.10)),
+            );
             let handle = harness.issue(best_path()).submit().expect("query localizes");
             harness.run_until(SimTime::from_secs(120));
             harness.sim_mut().schedule_node_fail(SimTime::from_secs(120), hub);

@@ -1,0 +1,23 @@
+//! Chaos smoke (the CI gate for the loss-tolerant transport): run the
+//! quick-scale fig14/15 churn workload on a 16-node Dense-UUNET overlay
+//! under 5% loss + 10% duplication and require the final routes to equal a
+//! lossless run with the identical churn schedule. Exits nonzero when the
+//! routes diverge or the fault plan turned out to be inert.
+
+use dr_bench::experiments::chaos_churn_smoke;
+
+fn main() {
+    println!("# Chaos smoke: 16-node Dense-UUNET churn, 5% loss + 10% duplication");
+    let o = chaos_churn_smoke();
+    println!(
+        "routes={} dropped_fault={} retransmits={} dups_dropped={}",
+        o.routes, o.dropped_fault, o.retransmits, o.dups_dropped
+    );
+    println!(
+        "faulty run matches lossless churn oracle: {}",
+        if o.matches_oracle { "PASS" } else { "FAIL" }
+    );
+    if !o.matches_oracle || o.dropped_fault == 0 {
+        std::process::exit(1);
+    }
+}

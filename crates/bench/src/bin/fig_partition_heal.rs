@@ -1,0 +1,29 @@
+//! Partition/heal convergence: split a transit-stub overlay into two halves
+//! mid-query, verify each half re-converges to exactly its side-subgraph
+//! oracle (no cross-cut route survives), then heal the cut and verify the
+//! final routes equal a from-scratch recomputation on the whole topology.
+//! Exits nonzero if either oracle comparison fails.
+
+use dr_bench::experiments::fig_partition_heal;
+use dr_bench::Series;
+
+fn main() {
+    println!("# Partition/heal: AvgPathRTT (ms); partition at t=120s, heal at t=240s");
+    let o = fig_partition_heal();
+    Series::print_table("time_s", std::slice::from_ref(&o.avg_path_rtt));
+    println!(
+        "# side_nodes={} mid_partition_routes={} cross_cut_routes_mid={} post_heal_routes={}",
+        o.side_nodes, o.mid_partition_routes, o.cross_cut_routes_mid, o.post_heal_routes
+    );
+    println!(
+        "# mid-partition per-side convergence vs side-subgraph oracles: {}",
+        if o.mid_partition_exact { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "# post-heal routes vs from-scratch full-topology oracle: {}",
+        if o.post_heal_exact { "PASS" } else { "FAIL" }
+    );
+    if !(o.mid_partition_exact && o.post_heal_exact && o.cross_cut_routes_mid == 0) {
+        std::process::exit(1);
+    }
+}

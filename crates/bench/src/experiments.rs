@@ -10,11 +10,13 @@
 //! switches to the paper's parameters.
 
 use crate::runner::{
-    average_link_rtt, full_scale, run_best_path_query, run_path_vector_baseline, Series,
+    average_link_rtt, full_scale, route_cost_map, run_best_path_query, run_path_vector_baseline,
+    Series,
 };
 use dr_core::scenario::{Probe, QueryDef, ScenarioBuilder};
-use dr_netsim::{SimDuration, SimTime};
+use dr_netsim::{FaultPlan, LinkFaults, LinkParams, SimDuration, SimTime, Topology};
 use dr_protocols::{best_path, best_path_pairs, best_path_pairs_share};
+use dr_types::NodeId;
 use dr_workloads::queries::QueryMetric;
 use dr_workloads::{
     ChurnSchedule, LinkRttSchedule, MixedWorkload, OverlayKind, OverlayParams, PairWorkload,
@@ -539,6 +541,203 @@ pub fn tab04_recovery() -> Vec<ChurnOutcome> {
     rows
 }
 
+// ---------------------------------------------------------------------------
+// Partition / heal convergence (ROADMAP: "network partitions and heals")
+// ---------------------------------------------------------------------------
+
+/// Result of one partition/heal run.
+#[derive(Debug, Clone)]
+pub struct PartitionHealOutcome {
+    /// AvgPathRTT over time through the partition (t=120 s) and the heal
+    /// (t=240 s).
+    pub avg_path_rtt: Series,
+    /// Number of nodes severed onto the minority side of the cut.
+    pub side_nodes: usize,
+    /// Whether the mid-partition routes equal the union of the two
+    /// side-subgraph oracles exactly (each side converges independently).
+    pub mid_partition_exact: bool,
+    /// Finite routes found mid-partition (intra-side pairs only).
+    pub mid_partition_routes: usize,
+    /// Finite routes crossing the cut mid-partition — must be zero once the
+    /// invalidation wave has run.
+    pub cross_cut_routes_mid: usize,
+    /// Whether the post-heal routes equal a from-scratch recomputation on
+    /// the whole topology exactly.
+    pub post_heal_exact: bool,
+    /// Finite routes after the heal.
+    pub post_heal_routes: usize,
+}
+
+/// Partition a transit-stub overlay into two halves mid-query, pin that each
+/// half re-converges to exactly its side-subgraph oracle (and that no
+/// cross-cut route survives), then heal the cut and pin that the final
+/// routes equal a from-scratch recomputation on the whole topology.
+pub fn partition_heal_experiment(nodes: usize, seed: u64) -> PartitionHealOutcome {
+    // `sized` only scales in whole ~100-node domains; below that, shrink the
+    // per-domain structure instead (transit nodes × (1 + 3 stubs × 3 nodes)).
+    let params = if nodes >= 100 {
+        TransitStubParams::sized(nodes, seed)
+    } else {
+        TransitStubParams {
+            domains: 1,
+            transit_nodes_per_domain: (nodes / 10).max(2),
+            stubs_per_transit_node: 3,
+            nodes_per_stub: 3,
+            seed,
+            ..TransitStubParams::default()
+        }
+    };
+    let topo = params.generate();
+    let n = topo.num_nodes();
+    let side: Vec<NodeId> = (n as u32 / 2..n as u32).map(NodeId::new).collect();
+    let in_side = |node: NodeId| side.contains(&node);
+    let warmup = SimTime::from_secs(120);
+    let split = SimTime::from_secs(120);
+    let rejoin = SimTime::from_secs(240);
+    let end = SimTime::from_secs(360);
+
+    // Run 1: partition only, stopped mid-partition.
+    let mid = ScenarioBuilder::over(topo.clone())
+        .query(QueryDef::new(best_path()))
+        .partition(split, side.clone())
+        .probes([])
+        .sample_every(SimDuration::from_secs(10))
+        .until(rejoin)
+        .execute()
+        .expect("partition scenario must localize and decode");
+    let mid_map = route_cost_map(&mid.harness, &mid.handles[0], n);
+
+    // Side-subgraph oracle: Dijkstra over the topology with every cut link
+    // removed. A severed side may itself fall apart into islands (stub
+    // nodes cut off from their transit hub); a graph oracle handles that
+    // naturally where an engine re-run would not — the install flood of a
+    // fresh query cannot reach the other islands, but the partitioned run
+    // installed the query everywhere *before* the cut.
+    let mut cut = Topology::new(n);
+    for (a, b, p) in topo.all_links() {
+        if in_side(a) == in_side(b) {
+            cut.add_link(a, b, LinkParams { ..*p });
+        }
+    }
+    let mut oracle_map = std::collections::BTreeMap::new();
+    for src in cut.nodes() {
+        for (dst, cost) in cut.cost_distances(src) {
+            if dst != src {
+                oracle_map.insert((src, dst), (cost * 1000.0).round() as u64);
+            }
+        }
+    }
+    let cross_cut_routes_mid = mid_map.keys().filter(|(a, b)| in_side(*a) != in_side(*b)).count();
+    let mid_partition_exact = mid_map == oracle_map;
+
+    // Run 2: partition then heal, sampled for the figure's RTT curve.
+    let healed = ScenarioBuilder::over(topo.clone())
+        .query(QueryDef::new(best_path()))
+        .partition(split, side.clone())
+        .heal(rejoin)
+        .probes([Probe::PathRtt])
+        .sample_every(SimDuration::from_secs(5))
+        .until(end)
+        .execute()
+        .expect("partition/heal scenario must localize and decode");
+    let healed_map = route_cost_map(&healed.harness, &healed.handles[0], n);
+
+    let scratch = ScenarioBuilder::over(topo)
+        .query(QueryDef::new(best_path()))
+        .probes([])
+        .sample_every(SimDuration::from_secs(60))
+        .until(warmup)
+        .execute()
+        .expect("full-topology oracle must localize and decode");
+    let scratch_map = route_cost_map(&scratch.harness, &scratch.handles[0], n);
+
+    PartitionHealOutcome {
+        avg_path_rtt: Series::from_points("AvgPathRTT", &healed.report.path_rtt),
+        side_nodes: side.len(),
+        mid_partition_exact,
+        mid_partition_routes: mid_map.len(),
+        cross_cut_routes_mid,
+        post_heal_exact: healed_map == scratch_map,
+        post_heal_routes: healed_map.len(),
+    }
+}
+
+/// The partition/heal figure: quick scale splits a ~40-node transit-stub
+/// graph, `DR_FULL=1` a ~100-node one.
+pub fn fig_partition_heal() -> PartitionHealOutcome {
+    partition_heal_experiment(if full_scale() { 100 } else { 40 }, 13)
+}
+
+// ---------------------------------------------------------------------------
+// Chaos smoke — churn under a lossy wire vs the lossless oracle
+// ---------------------------------------------------------------------------
+
+/// Result of the chaos smoke run (the CI gate for the loss-tolerant
+/// transport).
+#[derive(Debug, Clone)]
+pub struct ChaosSmokeOutcome {
+    /// Finite routes at the end of the faulty run.
+    pub routes: usize,
+    /// Whether the faulty run's final routes equal the lossless run's with
+    /// the identical churn timeline.
+    pub matches_oracle: bool,
+    /// Messages the fault plan destroyed (must be > 0 or the run proved
+    /// nothing).
+    pub dropped_fault: u64,
+    /// Retransmissions the reliable transport performed.
+    pub retransmits: u64,
+    /// Duplicate batches suppressed at receivers.
+    pub dups_dropped: u64,
+}
+
+/// The fig14/15 quick-scale churn workload on a 16-node Dense-UUNET overlay
+/// under 5% loss + 10% duplication, compared against a lossless run with
+/// the identical churn schedule. The alternating schedule ends with every
+/// node rejoined, so both runs must converge to the same routes — the
+/// hostile wire has to be invisible.
+pub fn chaos_churn_smoke() -> ChaosSmokeOutcome {
+    let nodes = 16;
+    let seed = 77;
+    let warmup = SimTime::from_secs(120);
+    let interval = SimDuration::from_secs(60);
+    let params = OverlayParams { nodes, ..OverlayParams::planetlab(OverlayKind::DenseUunet, seed) };
+    let topo = params.generate();
+    let schedule = ChurnSchedule::alternating(nodes, 0.2, warmup, interval, 2, seed ^ 0xc0de);
+    let end = schedule.end_time() + interval;
+
+    let faults =
+        FaultPlan::new(seed).uniform(LinkFaults::none().with_drop(0.05).with_duplicate(0.10));
+    let faulty = ScenarioBuilder::over(topo.clone())
+        .query(QueryDef::new(best_path()))
+        .source(&schedule)
+        .faults(faults)
+        .probes([])
+        .sample_every(SimDuration::from_secs(10))
+        .until(end)
+        .execute()
+        .expect("chaotic churn scenario must localize and decode");
+    let faulty_map = route_cost_map(&faulty.harness, &faulty.handles[0], nodes);
+
+    let lossless = ScenarioBuilder::over(topo)
+        .query(QueryDef::new(best_path()))
+        .source(&schedule)
+        .probes([])
+        .sample_every(SimDuration::from_secs(10))
+        .until(end)
+        .execute()
+        .expect("lossless churn scenario must localize and decode");
+    let lossless_map = route_cost_map(&lossless.harness, &lossless.handles[0], nodes);
+
+    let stats = faulty.harness.processor_stats();
+    ChaosSmokeOutcome {
+        routes: faulty_map.len(),
+        matches_oracle: faulty_map == lossless_map,
+        dropped_fault: faulty.harness.sim().metrics().dropped_fault(),
+        retransmits: stats.retransmits,
+        dups_dropped: stats.dups_dropped,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -574,6 +773,16 @@ mod tests {
         assert!(p.nodes >= 60);
         assert!(p.queries >= 60);
         assert!(p.checkpoint_every > 0);
+    }
+
+    #[test]
+    fn partition_heal_converges_per_side_and_recovers() {
+        let o = partition_heal_experiment(20, 13);
+        assert!(o.side_nodes > 0);
+        assert_eq!(o.cross_cut_routes_mid, 0, "cross-cut routes must die mid-partition");
+        assert!(o.mid_partition_exact, "each side must match its side-subgraph oracle");
+        assert!(o.post_heal_exact, "post-heal routes must match the from-scratch oracle");
+        assert!(o.post_heal_routes > o.mid_partition_routes);
     }
 
     #[test]

@@ -199,6 +199,27 @@ fn sim_quiet(sim: &Simulator<PathVectorNode>) -> bool {
     false
 }
 
+/// Finite best-path costs per (src, dst), read from each node's own store,
+/// in integer milli-cost (so two runs can be compared exactly — identical
+/// float sums round identically).
+pub fn route_cost_map(
+    harness: &dr_core::harness::RoutingHarness,
+    handle: &dr_core::harness::QueryHandle,
+    num_nodes: usize,
+) -> std::collections::BTreeMap<(dr_types::NodeId, dr_types::NodeId), u64> {
+    let mut out = std::collections::BTreeMap::new();
+    for i in 0..num_nodes as u32 {
+        let node = dr_types::NodeId::new(i);
+        for route in handle.results_at(harness, node).expect("routes decode") {
+            if route.src != node || !route.cost.is_finite() {
+                continue;
+            }
+            out.insert((route.src, route.dst), (route.cost.value() * 1000.0).round() as u64);
+        }
+    }
+    out
+}
+
 /// Measure the average RTT of the best paths found by an all-pairs query on
 /// `topology` (used by Tables 1 and 2).
 pub fn average_path_rtt(topology: Topology, horizon: SimTime) -> (f64, usize) {

@@ -370,12 +370,43 @@ impl RoutingHarness {
 
     /// Build a harness with a custom batch interval (the paper uses 200 ms).
     pub fn with_batch_interval(topology: Topology, batch: SimDuration) -> RoutingHarness {
+        RoutingHarness::with_transport(topology, batch, None)
+    }
+
+    /// Build a harness whose processors run the loss-tolerant reliable
+    /// transport (sequence-numbered tuple batches with cumulative acks and
+    /// retransmission) — required for exact result multisets when a
+    /// [`dr_netsim::FaultPlan`] makes the wire lossy.
+    pub fn with_reliability(
+        topology: Topology,
+        reliability: crate::processor::ReliabilityConfig,
+    ) -> RoutingHarness {
+        RoutingHarness::with_transport(topology, SimDuration::from_millis(200), Some(reliability))
+    }
+
+    /// Build a harness with an explicit batch interval and (optionally) the
+    /// reliable transport — the general constructor behind
+    /// [`RoutingHarness::new`] / [`RoutingHarness::with_batch_interval`] /
+    /// [`RoutingHarness::with_reliability`].
+    pub fn with_transport(
+        topology: Topology,
+        batch: SimDuration,
+        reliability: Option<crate::processor::ReliabilityConfig>,
+    ) -> RoutingHarness {
         let library = Arc::new(QueryLibrary::new());
         let mut config = ProcessorConfig::new(Arc::clone(&library));
         config.batch_interval = batch;
+        config.reliability = reliability;
         let apps = (0..topology.num_nodes()).map(|_| QueryProcessor::new(config.clone())).collect();
         let sim = Simulator::new(topology, apps, SimConfig::default());
         RoutingHarness { sim, library, next_qid: 1 }
+    }
+
+    /// Install a deterministic fault plan on the underlying simulator
+    /// (seeded loss / duplication / reordering / burst outages, applied at
+    /// delivery time). Convenience over `sim_mut().set_fault_plan(..)`.
+    pub fn set_fault_plan(&mut self, plan: dr_netsim::FaultPlan) {
+        self.sim.set_fault_plan(plan);
     }
 
     /// The shared query library.
@@ -880,7 +911,7 @@ mod tests {
         harness.sim_mut().inject(
             SimTime::from_secs(5),
             n(0),
-            NetMsg::Tuples { qid, items: vec![suppress] },
+            NetMsg::Tuples { qid, seq: None, items: vec![suppress] },
         );
         harness.run_until(SimTime::from_secs(10));
         let best = harness.sim().app(n(0)).tuples(qid, "best");

@@ -90,7 +90,9 @@ pub mod scenario;
 
 pub use harness::{IssueBuilder, QueryHandle, ResultCursor, ResultsDelta, RoutingHarness, Sample};
 pub use localize::{LocalizedProgram, LocalizedRule, ShipSpec};
-pub use processor::{NetMsg, ProcessorConfig, ProcessorStats, QueryProcessor, StateFootprint};
+pub use processor::{
+    NetMsg, ProcessorConfig, ProcessorStats, QueryProcessor, ReliabilityConfig, StateFootprint,
+};
 pub use query::{QueryId, QueryLibrary, QuerySpec};
 pub use scenario::{
     Probe, QueryDef, QueryReport, Scenario, ScenarioBuilder, ScenarioReport, ScenarioRun,

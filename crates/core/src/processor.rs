@@ -55,8 +55,29 @@ pub enum NetMsg {
         /// The query these tuples belong to (also selects the catalog the
         /// receiver validates the relation ids against).
         qid: QueryId,
+        /// Sequencing header of this batch on the (sender, receiver, query)
+        /// stream, when the deployment runs the reliable transport. `None`
+        /// is the legacy fire-and-forget path: no acknowledgment, no
+        /// retransmission, no duplicate suppression.
+        seq: Option<StreamSeq>,
         /// The shipped tuples.
         items: Vec<Tuple>,
+    },
+    /// Cumulative acknowledgment of sequence-numbered [`NetMsg::Tuples`]
+    /// batches: every batch with sequence number below `cumulative` on the
+    /// (sender, receiver, query) stream has been applied.
+    Ack {
+        /// The acknowledged query stream.
+        qid: QueryId,
+        /// The next sequence number the receiver expects.
+        cumulative: u64,
+    },
+    /// Ask the sender of tuples for an unknown query to re-offer its
+    /// installation (repair of a missed `Install` flood — the counterpart
+    /// of the lazy teardown repair).
+    QueryRequest {
+        /// The query being requested.
+        qid: QueryId,
     },
     /// Tear down a query: every node that handles this removes the query's
     /// instance (stored tuples, pending buffers, prune state, compiled
@@ -81,6 +102,22 @@ pub enum NetMsg {
     },
 }
 
+/// Sequencing header carried by every reliable-transport tuple batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamSeq {
+    /// Sequence number of this batch on its (sender, receiver, query)
+    /// stream.
+    pub seq: u64,
+    /// Lowest sequence number the sender still retains for retransmission.
+    /// Everything below `base` has either been acknowledged or abandoned
+    /// (retry budget exhausted), so a receiver waiting on a gap below
+    /// `base` must skip it: those batches are never coming, and a low-rate
+    /// stream would otherwise stay wedged behind the hole forever — e.g.
+    /// a batch lost into a failed node's down-time blocking the fresh
+    /// link-state copies shipped after the node rejoins.
+    pub base: u64,
+}
+
 impl NetMsg {
     /// Approximate wire size used for bandwidth accounting. Relation
     /// identity costs the fixed-width [`dr_types::rel::WIRE_TAG_BYTES`]
@@ -88,8 +125,15 @@ impl NetMsg {
     /// per tuple.
     pub fn wire_size(&self) -> usize {
         match self {
-            NetMsg::Install { .. } | NetMsg::Teardown { .. } => 64,
-            NetMsg::Tuples { items, .. } => 16 + items.iter().map(Tuple::wire_size).sum::<usize>(),
+            NetMsg::Install { .. } | NetMsg::Teardown { .. } | NetMsg::QueryRequest { .. } => 64,
+            NetMsg::Tuples { seq, items, .. } => {
+                // The sequencing header costs 20 bytes (tag + seq + base)
+                // only when the reliable transport is on, so fire-and-forget
+                // deployments keep their exact legacy wire accounting.
+                let seq_bytes = if seq.is_some() { 20 } else { 0 };
+                16 + seq_bytes + items.iter().map(Tuple::wire_size).sum::<usize>()
+            }
+            NetMsg::Ack { .. } => 24,
             NetMsg::CacheInstall { suffix, .. } => {
                 24 + dr_types::rel::WIRE_TAG_BYTES + 4 * suffix.len()
             }
@@ -106,6 +150,13 @@ pub struct ProcessorConfig {
     pub batch_interval: SimDuration,
     /// Name of the neighbor-table relation exposed to queries.
     pub link_relation: String,
+    /// Loss-tolerant tuple transport. `None` (the default) is the legacy
+    /// fire-and-forget wire: batches carry no sequence numbers, nothing is
+    /// acknowledged or retransmitted, and the wire accounting is unchanged.
+    /// `Some` turns on per-(peer, query) sequence-numbered streams with
+    /// cumulative acks, retransmission and duplicate suppression — required
+    /// for exact result multisets over lossy links.
+    pub reliability: Option<ReliabilityConfig>,
 }
 
 impl ProcessorConfig {
@@ -115,7 +166,30 @@ impl ProcessorConfig {
             library,
             batch_interval: SimDuration::from_millis(200),
             link_relation: "link".to_string(),
+            reliability: None,
         }
+    }
+}
+
+/// Tuning knobs of the loss-tolerant tuple transport.
+///
+/// The transport is hop-by-hop: each processor keeps one sequence-numbered
+/// stream per (direct-neighbor hop, query). Unacked batches are resent on a
+/// timeout with exponential backoff; after `max_retries` the batch is
+/// abandoned and the soft-state repair paths (periodic link refresh, lazy
+/// query repair) are left to reconcile whatever the loss broke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReliabilityConfig {
+    /// Base retransmission timeout; retry `n` waits `rto · 2^min(n, 6)`.
+    pub retransmit_timeout: SimDuration,
+    /// Retransmissions attempted before a batch is abandoned. At 20% loss
+    /// the default of 8 leaves a residual loss below 3·10⁻⁶ per batch.
+    pub max_retries: u32,
+}
+
+impl Default for ReliabilityConfig {
+    fn default() -> ReliabilityConfig {
+        ReliabilityConfig { retransmit_timeout: SimDuration::from_millis(500), max_retries: 8 }
     }
 }
 
@@ -145,6 +219,17 @@ pub struct ProcessorStats {
     pub prune_evicted: u64,
     /// Number of batch-processing rounds executed.
     pub batches: u64,
+    /// Sequence-numbered tuple batches resent by the reliable transport.
+    pub retransmits: u64,
+    /// Duplicate tuple batches discarded by the reliable transport (already
+    /// applied or already buffered).
+    pub dups_dropped: u64,
+    /// Cumulative acknowledgments sent by the reliable transport.
+    pub acks_sent: u64,
+    /// Sequence gaps skipped by the reliable transport because the sender
+    /// advertised it had abandoned the missing batches (`StreamSeq::base`
+    /// moved past them). Soft-state repair owns whatever they carried.
+    pub gaps_skipped: u64,
 }
 
 impl ProcessorStats {
@@ -159,6 +244,10 @@ impl ProcessorStats {
         self.tuples_rejected += other.tuples_rejected;
         self.prune_evicted += other.prune_evicted;
         self.batches += other.batches;
+        self.retransmits += other.retransmits;
+        self.dups_dropped += other.dups_dropped;
+        self.acks_sent += other.acks_sent;
+        self.gaps_skipped += other.gaps_skipped;
     }
 }
 
@@ -212,6 +301,20 @@ impl StateFootprint {
 /// amortize the compile over every subsequent batch.
 const REPLAN_MIN_ROWS: usize = 192;
 
+/// Consecutive idle, tombstone-free batches required before a queued
+/// revival round may run. A batch that starts with no pending deltas only
+/// proves the invalidation wave has passed *this node*; on dense overlays
+/// a wave keeps bouncing between farther nodes for many batch intervals,
+/// and reviving into it re-floods routes the in-flight poisons are about
+/// to kill — each re-flood feeds the wave new tombstones, whose arrival
+/// queues further revivals, a self-sustaining storm that melts the 36-node
+/// dense-overlay churn figure. Demanding a short window with no ∞
+/// tombstone sightings either is a cheap local proxy for "the wave has
+/// died down globally", and it spaces repeat rounds automatically: a round
+/// drains the whole queue, so the queue can only refill through new
+/// tombstones, which reset this very counter.
+const REVIVE_QUIET_BATCHES: u32 = 2;
+
 /// Per-installed-query state.
 struct Instance {
     spec: Arc<QuerySpec>,
@@ -239,8 +342,29 @@ struct Instance {
     /// entirely (steady state holds thousands of finite entries and zero
     /// tombstones).
     prune_tombstones: usize,
+    /// Revival requests: `(input relation, its aggregate value field,
+    /// required (field, value) bindings)` for prune groups whose recorded
+    /// best was just poisoned to ∞. Semi-naïve evaluation alone cannot
+    /// repair such a group: the surviving alternatives are *stored* tuples,
+    /// not deltas, so the joins that would re-derive (and re-ship) them
+    /// never re-fire. Each request re-injects this node's stored finite
+    /// tuples matching the dead group's non-location columns as deltas at
+    /// the next batch round (see [`QueryProcessor::process_revivals`]).
+    revive: std::collections::HashSet<ReviveRequest>,
+    /// Set by `prune_pass` whenever an ∞ tombstone reaches this instance —
+    /// the signal that an invalidation wave is still active nearby. Cleared
+    /// (into `revive_quiet = 0`) at the start of every batch.
+    poison_seen: bool,
+    /// Consecutive batches that started idle with no tombstone sightings.
+    /// Queued revivals only run once this reaches
+    /// [`REVIVE_QUIET_BATCHES`].
+    revive_quiet: u32,
     installed: bool,
 }
+
+/// A revival request: `(input relation, its aggregate value field, required
+/// (field, value) bindings)` — see [`Instance::revive`].
+type ReviveRequest = (RelId, usize, Vec<(usize, Value)>);
 
 impl Instance {
     fn new(spec: Arc<QuerySpec>) -> Instance {
@@ -284,6 +408,9 @@ impl Instance {
             prune: HashMap::new(),
             cache_rel,
             prune_tombstones: 0,
+            revive: std::collections::HashSet::new(),
+            poison_seen: false,
+            revive_quiet: 0,
             installed: false,
         }
     }
@@ -409,9 +536,51 @@ pub struct QueryProcessor {
     /// query. Query ids are never reused, so the set only grows with the
     /// number of queries ever torn down — a few bytes per lifecycle.
     torn_down: std::collections::BTreeSet<QueryId>,
-    batch_scheduled: bool,
+    /// Pending batch timer id, so a retransmit timer firing is not mistaken
+    /// for the batch tick (and vice versa).
+    batch_timer: Option<u64>,
+    /// Pending retransmit-scan timer id.
+    retx_timer: Option<u64>,
+    /// Reliable-transport send state per (direct-neighbor hop, query).
+    outgoing: BTreeMap<(NodeId, QueryId), OutStream>,
+    /// Reliable-transport receive state per (sending hop, query).
+    incoming: BTreeMap<(NodeId, QueryId), InStream>,
     stats: ProcessorStats,
 }
+
+/// Send side of one reliable (hop, query) stream.
+#[derive(Debug, Default)]
+struct OutStream {
+    /// Sequence number the next batch will carry.
+    next_seq: u64,
+    /// Sent-but-unacknowledged batches, keyed by sequence number.
+    unacked: BTreeMap<u64, PendingBatch>,
+}
+
+/// One sent batch awaiting acknowledgment.
+#[derive(Debug)]
+struct PendingBatch {
+    items: Vec<Tuple>,
+    /// Retransmissions performed so far.
+    retries: u32,
+    /// When the next retransmission is due.
+    due: dr_netsim::SimTime,
+}
+
+/// Receive side of one reliable (hop, query) stream.
+#[derive(Debug, Default)]
+struct InStream {
+    /// Next sequence number expected in order (== the cumulative ack).
+    next_expected: u64,
+    /// Out-of-order batches held until the gap before them fills.
+    buffered: BTreeMap<u64, Vec<Tuple>>,
+}
+
+/// Out-of-order batches buffered per stream before the receiver gives up on
+/// the gap and skips ahead (bounds memory if a batch is permanently lost —
+/// retransmission makes that astronomically unlikely at the loss rates the
+/// chaos tests run, but the bound must exist).
+const REORDER_BUFFER_CAP: usize = 64;
 
 impl QueryProcessor {
     /// Create a processor with the given deployment configuration.
@@ -431,7 +600,10 @@ impl QueryProcessor {
             shared: Database::new(),
             instances: BTreeMap::new(),
             torn_down: std::collections::BTreeSet::new(),
-            batch_scheduled: false,
+            batch_timer: None,
+            retx_timer: None,
+            outgoing: BTreeMap::new(),
+            incoming: BTreeMap::new(),
             stats: ProcessorStats::default(),
         }
     }
@@ -561,9 +733,15 @@ impl QueryProcessor {
     }
 
     fn schedule_batch(&mut self, ctx: &mut Context<'_, NetMsg>) {
-        if !self.batch_scheduled {
-            self.batch_scheduled = true;
-            ctx.set_timer(self.config.batch_interval);
+        if self.batch_timer.is_none() {
+            self.batch_timer = Some(ctx.set_timer(self.config.batch_interval));
+        }
+    }
+
+    fn schedule_retransmit_scan(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        let Some(rel) = self.config.reliability else { return };
+        if self.retx_timer.is_none() {
+            self.retx_timer = Some(ctx.set_timer(rel.retransmit_timeout));
         }
     }
 
@@ -637,6 +815,11 @@ impl QueryProcessor {
             return; // already unwound and forwarded
         }
         self.uninstall(qid);
+        // Retire the reliable-transport streams of the dead query: unacked
+        // batches must not be retransmitted into a torn-down query, and the
+        // receive state has nothing left to order.
+        self.outgoing.retain(|(_, q), _| *q != qid);
+        self.incoming.retain(|(_, q), _| *q != qid);
         // The spec leaves the shared library here, at the nodes, not at the
         // issuer: removing it when the teardown is *injected* would race
         // in-flight Install floods that still need `library.get(qid)`. The
@@ -720,7 +903,7 @@ impl QueryProcessor {
                 if let Some(sel) =
                     program.agg_selections.iter().find(|s| s.input_relation == relation)
                 {
-                    match Self::prune_pass(instance, sel, &program, &tuple) {
+                    match Self::prune_pass(instance, sel, &program, &tuple, my_id) {
                         PruneDecision::Admit => {}
                         PruneDecision::Dominated => {
                             pruned = true;
@@ -816,15 +999,16 @@ impl QueryProcessor {
     /// — and every other ∞ derivation collapses. Failure recovery becomes a
     /// single invalidation wave over the existing routing state instead of
     /// an exponential re-exploration.
-    fn prune_pass(
-        instance: &mut Instance,
+    /// The prune-map coordinates of a tuple: its group key (aggregate group
+    /// extended with every node-valued field outside the group and the
+    /// first hop of any path-vector field — i.e. per next hop) and its
+    /// identity (the catalog key fields, distinguishing updates of one
+    /// route from competing routes).
+    fn prune_key_and_identity(
         sel: &AggSelection,
         program: &LocalizedProgram,
         tuple: &Tuple,
-    ) -> PruneDecision {
-        let Some(value) = tuple.field(sel.value_field).cloned() else {
-            return PruneDecision::Admit;
-        };
+    ) -> ((RelId, Vec<Value>), Vec<Value>) {
         let mut group: Vec<Value> =
             sel.group_fields.iter().filter_map(|&i| tuple.field(i).cloned()).collect();
         for (i, field) in tuple.fields().iter().enumerate() {
@@ -837,12 +1021,28 @@ impl QueryProcessor {
                 _ => {}
             }
         }
-        let key = (tuple.rel(), group);
         let key_fields = program.catalog.key_fields(tuple.rel(), tuple.arity());
         let identity: Vec<Value> =
             key_fields.iter().filter_map(|&i| tuple.field(i).cloned()).collect();
+        ((tuple.rel(), group), identity)
+    }
+
+    fn prune_pass(
+        instance: &mut Instance,
+        sel: &AggSelection,
+        program: &LocalizedProgram,
+        tuple: &Tuple,
+        my_id: NodeId,
+    ) -> PruneDecision {
+        let Some(value) = tuple.field(sel.value_field).cloned() else {
+            return PruneDecision::Admit;
+        };
+        let (key, identity) = Self::prune_key_and_identity(sel, program, tuple);
 
         if value.is_infinite_cost() {
+            // Tombstone sighted (whatever its fate below): the invalidation
+            // wave is still active here — hold queued revivals back.
+            instance.poison_seen = true;
             // Tombstone of the group's shipped/stored best: record the ∞ so
             // any finite alternative (other next hop) can take the slot,
             // and let the invalidation propagate.
@@ -854,12 +1054,38 @@ impl QueryProcessor {
                 // Finite → ∞ transition of the group's recorded best: the
                 // entry becomes evictable once the wave has run.
                 instance.prune_tombstones += 1;
+                // The group's surviving alternatives (other downstream
+                // continuations through this node) are stored state, not
+                // deltas — schedule a revival so the next batch re-derives
+                // and re-ships the group's new best from them.
+                let loc = program.catalog.location_field(tuple.rel());
+                let bindings: Vec<(usize, Value)> = sel
+                    .group_fields
+                    .iter()
+                    .filter(|&&g| g != loc)
+                    .filter_map(|&g| tuple.field(g).cloned().map(|v| (g, v)))
+                    .collect();
+                instance.revive.insert((tuple.rel(), sel.value_field, bindings));
                 instance.prune.insert(key, (identity, value));
+                return PruneDecision::Admit;
+            }
+            // Tombstone addressed to a remote home: this node only derives
+            // and forwards it — whether it invalidates anything is a fact
+            // about the *home's* store, which is invisible here. Collapsing
+            // on the local group best loses real invalidations whenever two
+            // equal-cost routes share a prune group at the deriving node
+            // (the local best covers one of them; the other's home keeps a
+            // route that is now dead). Ship it and let the home run the
+            // real check — a tombstone nothing at the home matches
+            // collapses there, so each one travels at most one hop.
+            let loc = program.catalog.location_field(tuple.rel());
+            if tuple.node_at(loc) != Some(my_id) {
                 return PruneDecision::Admit;
             }
             // Tombstone of a dominated-but-stored tuple (an older route this
             // node still holds): admit so the keyed upsert poisons the stale
             // entry, but without touching the group best.
+            let key_fields = program.catalog.key_fields(tuple.rel(), tuple.arity());
             let poisons_stored = instance
                 .db
                 .get_by_key(&tuple.key(&key_fields))
@@ -953,13 +1179,101 @@ impl QueryProcessor {
             } else {
                 Self::relay_hop(self.node, dest, &items, &self.neighbors)
             };
-            let msg = NetMsg::Tuples { qid, items };
-            let size = msg.wire_size();
             match next_hop {
-                Some(hop) => ctx.send(hop, msg, size),
-                // No way to make progress toward the home node: drop.
-                None => ctx.send(dest, msg, size),
+                Some(hop) => self.send_tuples(ctx, hop, qid, items),
+                // No way to make progress toward the home node: drop. Not
+                // sequenced — retransmitting into a black hole buys nothing.
+                None => {
+                    let msg = NetMsg::Tuples { qid, seq: None, items };
+                    let size = msg.wire_size();
+                    ctx.send(dest, msg, size);
+                }
             }
+        }
+    }
+
+    /// Ship one batch of tuples to a direct-neighbor hop. With reliability
+    /// off this is a plain unsequenced send; with it on, the batch takes the
+    /// next sequence number of the (hop, query) stream and is remembered
+    /// until the hop's cumulative ack covers it.
+    fn send_tuples(
+        &mut self,
+        ctx: &mut Context<'_, NetMsg>,
+        hop: NodeId,
+        qid: QueryId,
+        items: Vec<Tuple>,
+    ) {
+        let Some(rel) = self.config.reliability else {
+            let msg = NetMsg::Tuples { qid, seq: None, items };
+            let size = msg.wire_size();
+            ctx.send(hop, msg, size);
+            return;
+        };
+        let stream = self.outgoing.entry((hop, qid)).or_default();
+        let seq = stream.next_seq;
+        stream.next_seq += 1;
+        stream.unacked.insert(
+            seq,
+            PendingBatch {
+                items: items.clone(),
+                retries: 0,
+                due: ctx.now() + rel.retransmit_timeout,
+            },
+        );
+        let base = *stream.unacked.keys().next().expect("just inserted");
+        let msg = NetMsg::Tuples { qid, seq: Some(StreamSeq { seq, base }), items };
+        let size = msg.wire_size();
+        ctx.send(hop, msg, size);
+        self.schedule_retransmit_scan(ctx);
+    }
+
+    /// Resend every overdue unacked batch (exponential backoff per batch),
+    /// abandon batches past the retry budget, and re-arm the timer while
+    /// anything remains in flight.
+    ///
+    /// The stream's newest unacked batch is never abandoned: it keeps
+    /// retransmitting at the capped backoff interval until acknowledged.
+    /// Its `StreamSeq::base` is what tells a receiver wedged on an
+    /// abandoned gap to skip ahead — if the whole stream went silent after
+    /// abandonment, a hole punched during a peer's down-time would block
+    /// the batches behind it (including the post-rejoin link-state
+    /// refresh) forever.
+    fn retransmit_scan(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        let Some(rel) = self.config.reliability else { return };
+        let now = ctx.now();
+        let mut resend: Vec<(NodeId, NetMsg, usize)> = Vec::new();
+        let mut in_flight = false;
+        for (&(hop, qid), stream) in self.outgoing.iter_mut() {
+            // Abandon overdue batches past the retry budget (except the
+            // newest): the soft-state repair paths own their content now.
+            let newest = stream.unacked.keys().next_back().copied();
+            stream.unacked.retain(|&seq, batch| {
+                batch.due > now || batch.retries < rel.max_retries || Some(seq) == newest
+            });
+            let Some(&base) = stream.unacked.keys().next() else { continue };
+            for (&seq, batch) in stream.unacked.iter_mut() {
+                if batch.due > now {
+                    in_flight = true;
+                    continue;
+                }
+                batch.retries = batch.retries.saturating_add(1);
+                batch.due = now + rel.retransmit_timeout.times(1 << batch.retries.min(6));
+                let msg = NetMsg::Tuples {
+                    qid,
+                    seq: Some(StreamSeq { seq, base }),
+                    items: batch.items.clone(),
+                };
+                let size = msg.wire_size();
+                resend.push((hop, msg, size));
+                in_flight = true;
+            }
+        }
+        self.stats.retransmits += resend.len() as u64;
+        for (hop, msg, size) in resend {
+            ctx.send(hop, msg, size);
+        }
+        if in_flight {
+            self.retx_timer = Some(ctx.set_timer(rel.retransmit_timeout));
         }
     }
 
@@ -992,8 +1306,82 @@ impl QueryProcessor {
         None
     }
 
-    /// One batch: run the local semi-naïve fixpoint of every installed query
-    /// that has pending deltas, then ship the produced tuples.
+    /// Re-arm the joins of prune groups whose recorded best was poisoned
+    /// to ∞ since the last round: re-inject, as deltas, this node's stored
+    /// finite tuples matching each dead group's non-location columns.
+    ///
+    /// Without this, recovery is incomplete whenever every retained
+    /// alternative at the route's home also dies: the home's per-next-hop
+    /// fallbacks cover the failure only if their own downstream segments
+    /// survived. The anchor node still stores finite paths for the group's
+    /// destination, but they are old state — no delta ever re-fires the
+    /// `link ⋈ path` join that would ship the group's new best (the
+    /// nodes=10/seed=291 Dense-UUNET hub failure is a concrete case:
+    /// without revival two pairs settle on detours ~25% worse than the
+    /// surviving optimum).
+    ///
+    /// Only tuples that are the *current recorded best of their own prune
+    /// group* are re-injected — at most one per surviving next hop. The
+    /// store also holds every historically-admitted route (dominated
+    /// alternatives are kept for exactly this kind of fallback), and during
+    /// an invalidation wave most groups are ∞, so re-injecting the full
+    /// per-destination history would re-explore the path space the
+    /// tombstone-collapse design exists to avoid (the 16-node hub-failure
+    /// budget test blows up ~200×). The group bests are sufficient: any
+    /// repaired route the dead group can still ship extends some current
+    /// best at this node. Re-injection is idempotent — re-derived tuples
+    /// that are already stored are not re-shipped — and self-limiting:
+    /// revived finite tuples never create new tombstone transitions.
+    fn process_revivals(instance: &mut Instance, neighbors: &BTreeMap<NodeId, Cost>) {
+        if instance.revive.is_empty() {
+            return;
+        }
+        let program = Arc::clone(&instance.spec.program);
+        let requests: Vec<ReviveRequest> = instance.revive.drain().collect();
+        for (rel, value_field, bindings) in requests {
+            let Some(sel) = program.agg_selections.iter().find(|s| s.input_relation == rel) else {
+                continue;
+            };
+            let revived: Vec<Tuple> = instance
+                .db
+                .scan(rel)
+                .filter(|t| {
+                    t.field(value_field).map(|v| !v.is_infinite_cost()).unwrap_or(true)
+                        && bindings.iter().all(|(i, v)| t.field(*i) == Some(v))
+                })
+                // A candidate whose next hop is a dead (or vanished)
+                // neighbor is guaranteed dead on arrival: re-flooding it
+                // just feeds the next invalidation wave, whose tombstones
+                // queue further revivals of this destination's sibling
+                // groups — a self-sustaining oscillation that melts the
+                // 36-node dense-overlay churn figure. The link state needed
+                // to rule those out is local and exact, so check it here;
+                // when the neighbor later revives, `apply_link_update`'s
+                // copy re-injection re-fires these joins anyway.
+                .filter(|t| {
+                    t.fields().iter().all(|f| match f {
+                        Value::Path(p) if p.len() >= 2 => {
+                            neighbors.get(&p.nodes()[1]).map(|c| c.is_finite()).unwrap_or(false)
+                        }
+                        _ => true,
+                    })
+                })
+                .filter(|t| {
+                    let (key, identity) = Self::prune_key_and_identity(sel, &program, t);
+                    matches!(
+                        instance.prune.get(&key),
+                        Some((best_id, best_val))
+                            if *best_id == identity && !best_val.is_infinite_cost()
+                    )
+                })
+                .cloned()
+                .collect();
+            if !revived.is_empty() {
+                instance.pending.entry(rel).or_default().extend(revived);
+            }
+        }
+    }
+
     fn process_batches(&mut self, ctx: &mut Context<'_, NetMsg>) {
         self.stats.batches += 1;
         let qids: Vec<QueryId> = self.instances.keys().copied().collect();
@@ -1002,6 +1390,33 @@ impl QueryProcessor {
             let mut cache_installs: Vec<(NodeId, NetMsg)> = Vec::new();
             // Local fixpoint: keep draining deltas until nothing new is
             // produced locally.
+            // Revival is deferred to an *idle* batch: one that starts with no
+            // pending deltas, meaning nothing arrived since the previous
+            // batch and the invalidation wave has passed this node. Reviving
+            // mid-wave would re-flood routes the in-flight poisons are about
+            // to kill — and since most prune groups are ∞ during the wave,
+            // every revived derivation would be admitted, stored, extended
+            // and shipped, re-exploring the path space the tombstone
+            // collapse exists to avoid. (`on_timer` keeps the batch timer
+            // armed while revivals are queued, so an idle batch arrives.)
+            //
+            // Idleness alone is necessary but not sufficient: it only proves
+            // the wave has passed *this node*, and on dense overlays waves
+            // between farther nodes outlive any one node's idle gap. A round
+            // additionally requires [`REVIVE_QUIET_BATCHES`] consecutive
+            // tombstone-free idle batches — see the constant's doc for how
+            // this also spaces repeat rounds.
+            if let Some(instance) = self.instances.get_mut(&qid) {
+                if instance.has_pending() || instance.poison_seen {
+                    instance.poison_seen = false;
+                    instance.revive_quiet = 0;
+                } else {
+                    instance.revive_quiet = instance.revive_quiet.saturating_add(1);
+                    if instance.revive_quiet >= REVIVE_QUIET_BATCHES {
+                        Self::process_revivals(instance, &self.neighbors);
+                    }
+                }
+            }
             while let Some(instance) = self.instances.get_mut(&qid) {
                 if !instance.has_pending() {
                     break;
@@ -1181,17 +1596,204 @@ impl QueryProcessor {
     /// upsert of the corresponding `link` tuple, which the next batch folds
     /// into the dataflow — §8's incremental recomputation).
     fn apply_link_update(&mut self, ctx: &mut Context<'_, NetMsg>, neighbor: NodeId, cost: Cost) {
-        self.neighbors.insert(neighbor, cost);
+        let prev = self.neighbors.insert(neighbor, cost);
+        let revived = cost.is_finite() && prev.is_none_or(|c| c.is_infinite());
         let qids: Vec<QueryId> = self.instances.keys().copied().collect();
         for qid in qids {
             let link = self.link_tuple(neighbor, cost);
             let mut outbound = BTreeMap::new();
             self.route_tuple(qid, link, &mut outbound);
+            if revived {
+                self.reinject_neighbor_copies(qid, neighbor);
+            }
             self.flush_outbound(ctx, qid, outbound);
         }
         if !self.instances.is_empty() {
             self.schedule_batch(ctx);
         }
+    }
+
+    /// Re-fire the remote joins across a revived adjacency: re-inject, as
+    /// deltas, every finite shipped-copy tuple stored here whose owner is
+    /// `neighbor`.
+    ///
+    /// While the adjacency was dead, the owner's ∞ copy-refresh (shipped
+    /// when it poisoned its side of the link) never arrived — there was no
+    /// link to carry it. After the link comes back the owner re-ships its
+    /// finite copy, but that re-ship is byte-identical to what this node
+    /// still stores, so the keyed insert reports nothing new and the rules
+    /// joining against the copy never re-run. The visible symptom is a
+    /// partition that never fully heals: both sides recompute routes to the
+    /// cut endpoints themselves (those flow from genuine `link` deltas) but
+    /// the stored-path sets never re-flood across the cut. Re-injecting the
+    /// surviving copies as deltas re-runs those joins against the full
+    /// stored state, which is exactly the re-flood the heal needs. Copies
+    /// holding an ∞ field are skipped: they were deltas when they arrived,
+    /// their joins already ran, and replaying a poison could tombstone a
+    /// route that is currently valid.
+    fn reinject_neighbor_copies(&mut self, qid: QueryId, neighbor: NodeId) {
+        let Some(instance) = self.instances.get_mut(&qid) else { return };
+        let program = Arc::clone(&instance.spec.program);
+        for ship in &program.ships {
+            let loc = program.catalog.location_field(ship.source_relation);
+            let copies: Vec<Tuple> = instance
+                .db
+                .scan(ship.cache_relation)
+                .filter(|t| {
+                    t.node_at(loc) == Some(neighbor)
+                        && t.fields().iter().all(|v| !v.is_infinite_cost())
+                })
+                .cloned()
+                .collect();
+            if !copies.is_empty() {
+                instance.pending.entry(ship.cache_relation).or_default().extend(copies);
+            }
+        }
+    }
+
+    /// Apply one arrived batch of tuples for `qid` (already past teardown
+    /// and duplicate checks): piggy-backed installation, catalog decode,
+    /// routing, reverse-path cache installation, batch scheduling.
+    fn deliver_tuples(
+        &mut self,
+        ctx: &mut Context<'_, NetMsg>,
+        from: NodeId,
+        qid: QueryId,
+        items: Vec<Tuple>,
+    ) {
+        // Piggy-backed installation: tuples for an unknown query install it
+        // on the fly (§3.5).
+        if !self.instances.get(&qid).map(|i| i.installed).unwrap_or(false) {
+            self.install(ctx, qid);
+            // Still not installed: the spec never reached this node's
+            // library (it was partitioned away during the Install flood).
+            // Ask the sender to re-offer the query — the receive-side
+            // counterpart of the lazy teardown repair. Self-limiting: one
+            // request per batch that finds the query unknown.
+            if !self.instances.get(&qid).map(|i| i.installed).unwrap_or(false)
+                && !self.torn_down.contains(&qid)
+            {
+                let req = NetMsg::QueryRequest { qid };
+                let size = req.wire_size();
+                ctx.send(from, req, size);
+            }
+        }
+        self.stats.tuples_received += items.len() as u64;
+        let mut outbound = BTreeMap::new();
+        let mut cache_installs = Vec::new();
+        for tuple in items {
+            // Decode the shipped relation tag against the query's symbol
+            // catalog: a tuple whose id the catalog does not bind (a stale
+            // id from an older query version, or garbage) is dropped instead
+            // of silently creating a phantom table.
+            if !self.tuple_decodes(qid, &tuple) {
+                self.stats.tuples_rejected += 1;
+                continue;
+            }
+            let stored = self.route_tuple(qid, tuple.clone(), &mut outbound);
+            // Results of shared queries usually arrive here (shipped home
+            // from the node that derived them); kick off the reverse-path
+            // cache installation of §7.3.
+            if stored {
+                if let Some(install) = self.reverse_path_install(qid, &tuple) {
+                    cache_installs.push(install);
+                }
+            }
+        }
+        self.flush_outbound(ctx, qid, outbound);
+        for (next, msg) in cache_installs {
+            let size = msg.wire_size();
+            ctx.send(next, msg, size);
+        }
+        self.schedule_batch(ctx);
+    }
+
+    /// Receive one sequence-numbered batch: suppress duplicates, buffer
+    /// ahead-of-order arrivals, drain in order, and acknowledge cumulatively.
+    ///
+    /// The header's `base` advertises the lowest sequence number the sender
+    /// can still retransmit; gaps below it are abandoned holes, so the
+    /// receiver delivers whatever it holds from the gap (in order) and
+    /// skips past the rest rather than waiting for batches that are never
+    /// coming.
+    fn receive_sequenced(
+        &mut self,
+        ctx: &mut Context<'_, NetMsg>,
+        from: NodeId,
+        qid: QueryId,
+        header: StreamSeq,
+        items: Vec<Tuple>,
+    ) {
+        let StreamSeq { seq, base } = header;
+        let stream = self.incoming.entry((from, qid)).or_default();
+        let mut ready: Vec<Vec<Tuple>> = Vec::new();
+        if base > stream.next_expected {
+            while stream.next_expected < base {
+                match stream.buffered.remove(&stream.next_expected) {
+                    Some(batch) => ready.push(batch),
+                    None => self.stats.gaps_skipped += 1,
+                }
+                stream.next_expected += 1;
+            }
+        }
+        if seq < stream.next_expected || stream.buffered.contains_key(&seq) {
+            // Already applied or already held: a retransmit crossed the ack
+            // (or the wire duplicated the batch). Drop it, but re-ack so the
+            // sender stops retransmitting.
+            self.stats.dups_dropped += 1;
+        } else {
+            stream.buffered.insert(seq, items);
+            // Drain the in-order prefix.
+            while let Some(batch) = stream.buffered.remove(&stream.next_expected) {
+                ready.push(batch);
+                stream.next_expected += 1;
+            }
+            // A permanently lost batch must not pin unbounded buffer: skip
+            // the gap once too much is held and let soft-state repair cover
+            // whatever the abandoned batch carried.
+            if stream.buffered.len() > REORDER_BUFFER_CAP {
+                if let Some((&lowest, _)) = stream.buffered.iter().next() {
+                    stream.next_expected = lowest;
+                    while let Some(batch) = stream.buffered.remove(&stream.next_expected) {
+                        ready.push(batch);
+                        stream.next_expected += 1;
+                    }
+                }
+            }
+        }
+        for batch in ready {
+            self.deliver_tuples(ctx, from, qid, batch);
+        }
+        let cumulative = self.incoming.get(&(from, qid)).map(|s| s.next_expected).unwrap_or(0);
+        let ack = NetMsg::Ack { qid, cumulative };
+        let size = ack.wire_size();
+        ctx.send(from, ack, size);
+        self.stats.acks_sent += 1;
+    }
+
+    /// A peer saw tuples for a query it does not know: re-offer the
+    /// installation if we hold the spec (re-registering it with the shared
+    /// library first — the request models the spec traveling with the
+    /// reply), or propagate the teardown if the query is dead.
+    fn handle_query_request(&mut self, ctx: &mut Context<'_, NetMsg>, from: NodeId, qid: QueryId) {
+        if self.torn_down.contains(&qid) {
+            let reply = NetMsg::Teardown { qid };
+            let size = reply.wire_size();
+            ctx.send(from, reply, size);
+            return;
+        }
+        let Some(instance) = self.instances.get(&qid) else { return };
+        if !instance.installed {
+            return;
+        }
+        // Re-register the spec with the shared library from our own
+        // instance before replying, so the peer's `install` finds it even if
+        // the library entry is gone (in a real deployment the spec would
+        // travel inside the reply; the library is the wire here).
+        self.config.library.restore(Arc::clone(&instance.spec));
+        let reply = NetMsg::Install { qid };
+        let size = instance.spec.program.dissemination_size();
+        ctx.send(from, reply, size);
     }
 }
 
@@ -1212,6 +1814,18 @@ impl NodeApp for QueryProcessor {
             ctx.neighbors().into_iter().map(|(nb, params)| (nb, params.cost)).collect();
         for (nb, cost) in fresh {
             self.apply_link_update(ctx, nb, cost);
+            // The restart kept the old neighbor table, so the upsert above
+            // sees no ∞→finite transition — force the copy re-injection
+            // that a detected revival would have done. The node's own
+            // stored state survived the outage unchanged (no deltas), yet
+            // every route *through* it was tombstoned at its peers; without
+            // re-running the copy joins those routes are never re-derived.
+            if cost.is_finite() {
+                let qids: Vec<QueryId> = self.instances.keys().copied().collect();
+                for qid in qids {
+                    self.reinject_neighbor_copies(qid, nb);
+                }
+            }
         }
     }
 
@@ -1230,47 +1844,26 @@ impl NodeApp for QueryProcessor {
                 }
                 self.install(ctx, qid);
             }
-            NetMsg::Tuples { qid, items } => {
+            NetMsg::Tuples { qid, seq, items } => {
                 if self.torn_down.contains(&qid) {
                     let reply = NetMsg::Teardown { qid };
                     let size = reply.wire_size();
                     ctx.send(from, reply, size);
                     return;
                 }
-                // Piggy-backed installation: tuples for an unknown query
-                // install it on the fly (§3.5).
-                if !self.instances.get(&qid).map(|i| i.installed).unwrap_or(false) {
-                    self.install(ctx, qid);
+                match seq {
+                    // Legacy fire-and-forget batch: apply directly.
+                    None => self.deliver_tuples(ctx, from, qid, items),
+                    Some(s) => self.receive_sequenced(ctx, from, qid, s, items),
                 }
-                self.stats.tuples_received += items.len() as u64;
-                let mut outbound = BTreeMap::new();
-                let mut cache_installs = Vec::new();
-                for tuple in items {
-                    // Decode the shipped relation tag against the query's
-                    // symbol catalog: a tuple whose id the catalog does not
-                    // bind (a stale id from an older query version, or
-                    // garbage) is dropped instead of silently creating a
-                    // phantom table.
-                    if !self.tuple_decodes(qid, &tuple) {
-                        self.stats.tuples_rejected += 1;
-                        continue;
-                    }
-                    let stored = self.route_tuple(qid, tuple.clone(), &mut outbound);
-                    // Results of shared queries usually arrive here (shipped
-                    // home from the node that derived them); kick off the
-                    // reverse-path cache installation of §7.3.
-                    if stored {
-                        if let Some(install) = self.reverse_path_install(qid, &tuple) {
-                            cache_installs.push(install);
-                        }
-                    }
+            }
+            NetMsg::Ack { qid, cumulative } => {
+                if let Some(stream) = self.outgoing.get_mut(&(from, qid)) {
+                    stream.unacked.retain(|&s, _| s >= cumulative);
                 }
-                self.flush_outbound(ctx, qid, outbound);
-                for (next, msg) in cache_installs {
-                    let size = msg.wire_size();
-                    ctx.send(next, msg, size);
-                }
-                self.schedule_batch(ctx);
+            }
+            NetMsg::QueryRequest { qid } => {
+                self.handle_query_request(ctx, from, qid);
             }
             NetMsg::Teardown { qid } => {
                 self.teardown(ctx, qid);
@@ -1281,14 +1874,22 @@ impl NodeApp for QueryProcessor {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_, NetMsg>, _timer: u64) {
-        self.batch_scheduled = false;
-        self.process_batches(ctx);
-        // If processing produced new pending work (e.g. tuples delivered to
-        // ourselves), schedule another round.
-        if self.instances.values().any(Instance::has_pending) {
-            self.schedule_batch(ctx);
+    fn on_timer(&mut self, ctx: &mut Context<'_, NetMsg>, timer: u64) {
+        if Some(timer) == self.batch_timer {
+            self.batch_timer = None;
+            self.process_batches(ctx);
+            // If processing produced new pending work (e.g. tuples delivered
+            // to ourselves), schedule another round. Queued revivals also
+            // keep the timer armed: they only run in a batch that starts
+            // idle, so they need a next batch to run in.
+            if self.instances.values().any(|i| i.has_pending() || !i.revive.is_empty()) {
+                self.schedule_batch(ctx);
+            }
+        } else if Some(timer) == self.retx_timer {
+            self.retx_timer = None;
+            self.retransmit_scan(ctx);
         }
+        // Any other id is a stale timer from before a fail/rejoin: ignore.
     }
 
     fn on_link_event(&mut self, ctx: &mut Context<'_, NetMsg>, event: LinkEvent) {

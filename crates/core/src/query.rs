@@ -155,6 +155,13 @@ impl QueryLibrary {
         self.len() == 0
     }
 
+    /// Re-register an already-shared spec under its own id (lazy install
+    /// repair: a node answering a `QueryRequest` puts the spec back so the
+    /// requester's installation finds it). No-op if the id is already bound.
+    pub fn restore(&self, spec: Arc<QuerySpec>) {
+        self.specs.write().expect("query library lock poisoned").entry(spec.id).or_insert(spec);
+    }
+
     /// Remove a spec (e.g. when its query's lifetime expires).
     pub fn remove(&self, id: QueryId) -> Option<Arc<QuerySpec>> {
         self.specs.write().expect("query library lock poisoned").remove(&id)

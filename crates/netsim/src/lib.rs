@@ -28,12 +28,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod metrics;
 pub mod sim;
 pub mod time;
 pub mod timeline;
 pub mod topology;
 
+pub use fault::{FaultPlan, LinkFaults};
 pub use metrics::Metrics;
 pub use sim::{Context, LinkEvent, NodeApp, SimConfig, Simulator};
 pub use time::{SimDuration, SimTime};

@@ -16,7 +16,9 @@ use std::collections::BTreeMap;
 pub struct Metrics {
     bytes_sent: Vec<u64>,
     messages_sent: Vec<u64>,
-    messages_dropped: u64,
+    dropped_no_link: u64,
+    dropped_fault: u64,
+    dropped_node_down: u64,
     bucket_width: SimDuration,
     /// bucket index → total bytes sent by all nodes during that bucket.
     bytes_per_bucket: BTreeMap<u64, u64>,
@@ -29,7 +31,9 @@ impl Metrics {
         Metrics {
             bytes_sent: vec![0; num_nodes],
             messages_sent: vec![0; num_nodes],
-            messages_dropped: 0,
+            dropped_no_link: 0,
+            dropped_fault: 0,
+            dropped_node_down: 0,
             bucket_width: if bucket_width == SimDuration::ZERO {
                 SimDuration::from_secs(1)
             } else {
@@ -51,9 +55,21 @@ impl Metrics {
         *self.bytes_per_bucket.entry(bucket).or_insert(0) += bytes as u64;
     }
 
-    /// Record a message that was dropped (dead link or failed destination).
-    pub fn record_drop(&mut self) {
-        self.messages_dropped += 1;
+    /// Record a message dropped because no link exists between the
+    /// endpoints.
+    pub fn record_drop_no_link(&mut self) {
+        self.dropped_no_link += 1;
+    }
+
+    /// Record a message dropped by the fault-injection layer (probabilistic
+    /// loss, burst outage, or partition cut).
+    pub fn record_drop_fault(&mut self) {
+        self.dropped_fault += 1;
+    }
+
+    /// Record a message dropped because an endpoint was down.
+    pub fn record_drop_node_down(&mut self) {
+        self.dropped_node_down += 1;
     }
 
     /// Total bytes sent by one node.
@@ -76,9 +92,24 @@ impl Metrics {
         self.messages_sent.iter().sum()
     }
 
-    /// Messages dropped.
+    /// Messages dropped, all causes combined.
     pub fn dropped_messages(&self) -> u64 {
-        self.messages_dropped
+        self.dropped_no_link + self.dropped_fault + self.dropped_node_down
+    }
+
+    /// Messages dropped because no link existed between the endpoints.
+    pub fn dropped_no_link(&self) -> u64 {
+        self.dropped_no_link
+    }
+
+    /// Messages dropped by the fault-injection layer.
+    pub fn dropped_fault(&self) -> u64 {
+        self.dropped_fault
+    }
+
+    /// Messages dropped because an endpoint was down.
+    pub fn dropped_node_down(&self) -> u64 {
+        self.dropped_node_down
     }
 
     /// The paper's per-node communication overhead, in kilobytes: average
@@ -126,7 +157,9 @@ impl Metrics {
         for m in &mut self.messages_sent {
             *m = 0;
         }
-        self.messages_dropped = 0;
+        self.dropped_no_link = 0;
+        self.dropped_fault = 0;
+        self.dropped_node_down = 0;
         self.bytes_per_bucket.clear();
     }
 
@@ -199,12 +232,21 @@ mod tests {
     fn drops_and_reset() {
         let mut m = Metrics::new(2, SimDuration::from_secs(1));
         m.record_send(SimTime::ZERO, n(0), 10);
-        m.record_drop();
-        assert_eq!(m.dropped_messages(), 1);
+        m.record_drop_no_link();
+        m.record_drop_fault();
+        m.record_drop_fault();
+        m.record_drop_node_down();
+        assert_eq!(m.dropped_no_link(), 1);
+        assert_eq!(m.dropped_fault(), 2);
+        assert_eq!(m.dropped_node_down(), 1);
+        assert_eq!(m.dropped_messages(), 4, "total is the sum of the three causes");
         m.reset();
         assert_eq!(m.total_bytes(), 0);
         assert_eq!(m.total_messages(), 0);
         assert_eq!(m.dropped_messages(), 0);
+        assert_eq!(m.dropped_no_link(), 0);
+        assert_eq!(m.dropped_fault(), 0);
+        assert_eq!(m.dropped_node_down(), 0);
         assert!(m.per_node_bandwidth_series().is_empty());
     }
 

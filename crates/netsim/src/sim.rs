@@ -13,6 +13,7 @@
 //! detected by neighbors after a configurable detection delay (the paper
 //! excludes detection time from its recovery-time metric, and so do we).
 
+use crate::fault::{FaultAction, FaultPlan, FaultState};
 use crate::metrics::Metrics;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{LinkParams, Topology};
@@ -99,12 +100,37 @@ impl Default for SimConfig {
 /// The kinds of scheduled events.
 #[derive(Debug, Clone)]
 enum EventKind<M> {
-    Deliver { to: NodeId, from: NodeId, msg: M },
-    Timer { node: NodeId, id: u64 },
-    LinkNotify { node: NodeId, event: LinkEvent },
-    LinkMetricChange { from: NodeId, to: NodeId, params: LinkParams },
-    NodeFail { node: NodeId },
-    NodeJoin { node: NodeId },
+    /// `faulted` marks copies re-queued by the fault layer (a duplicate or
+    /// a delayed original) so faults are applied at most once per arrival.
+    Deliver {
+        to: NodeId,
+        from: NodeId,
+        msg: M,
+        faulted: bool,
+    },
+    Timer {
+        node: NodeId,
+        id: u64,
+    },
+    LinkNotify {
+        node: NodeId,
+        event: LinkEvent,
+    },
+    LinkMetricChange {
+        from: NodeId,
+        to: NodeId,
+        params: LinkParams,
+    },
+    NodeFail {
+        node: NodeId,
+    },
+    NodeJoin {
+        node: NodeId,
+    },
+    Partition {
+        side: Vec<NodeId>,
+    },
+    Heal,
 }
 
 struct Event<M> {
@@ -145,6 +171,12 @@ struct World<M> {
     /// transmission (FIFO queueing).
     link_busy_until: HashMap<(NodeId, NodeId), SimTime>,
     events_processed: u64,
+    /// The installed fault plan plus its RNG, if any. `None` means the wire
+    /// is perfect and no RNG is ever consulted.
+    faults: Option<FaultState>,
+    /// When a partition is active: which side each node is on. Messages
+    /// crossing the cut are dropped as fault drops.
+    partition: Option<Vec<bool>>,
 }
 
 impl<M> World<M> {
@@ -197,12 +229,12 @@ impl<'a, M: Clone> Context<'a, M> {
         let now = self.world.now;
         let from = self.node;
         let Some(params) = self.world.topology.link(from, neighbor).copied() else {
-            self.world.metrics.record_drop();
+            self.world.metrics.record_drop_no_link();
             return;
         };
         let up = |n: NodeId, w: &World<M>| w.node_up.get(n.index()).copied().unwrap_or(false);
         if !up(from, self.world) || !up(neighbor, self.world) {
-            self.world.metrics.record_drop();
+            self.world.metrics.record_drop_node_down();
             return;
         }
         self.world.metrics.record_send(now, from, bytes);
@@ -213,7 +245,7 @@ impl<'a, M: Clone> Context<'a, M> {
         let free_at = start + tx;
         self.world.link_busy_until.insert((from, neighbor), free_at);
         let arrival = free_at + params.latency;
-        self.world.push(arrival, EventKind::Deliver { to: neighbor, from, msg });
+        self.world.push(arrival, EventKind::Deliver { to: neighbor, from, msg, faulted: false });
     }
 
     /// Deliver `msg` to this node itself after `delay` (a local, free event —
@@ -221,7 +253,7 @@ impl<'a, M: Clone> Context<'a, M> {
     pub fn send_self(&mut self, msg: M, delay: SimDuration) {
         let time = self.world.now + delay;
         let node = self.node;
-        self.world.push(time, EventKind::Deliver { to: node, from: node, msg });
+        self.world.push(time, EventKind::Deliver { to: node, from: node, msg, faulted: false });
     }
 
     /// Arm a timer that fires after `delay`; returns its id.
@@ -267,6 +299,8 @@ impl<A: NodeApp> Simulator<A> {
                 next_timer: 0,
                 link_busy_until: HashMap::new(),
                 events_processed: 0,
+                faults: None,
+                partition: None,
             },
             started: false,
         }
@@ -330,7 +364,38 @@ impl<A: NodeApp> Simulator<A> {
     /// injection, e.g. issuing a query). No bandwidth is charged; `from` is
     /// recorded as the node itself.
     pub fn inject(&mut self, at: SimTime, to: NodeId, msg: A::Message) {
-        self.world.push(at, EventKind::Deliver { to, from: to, msg });
+        self.world.push(at, EventKind::Deliver { to, from: to, msg, faulted: false });
+    }
+
+    /// Install a [`FaultPlan`]: from now on, arriving wire messages are
+    /// subject to the plan's per-link drop/duplicate/reorder/burst faults.
+    /// Self-deliveries (timers, injections, `send_self`) are never faulted.
+    ///
+    /// Installing an [inert](FaultPlan::is_inert) plan — or none at all —
+    /// leaves delivery behavior bit-for-bit identical to a fault-free run.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.world.faults = Some(FaultState::new(plan));
+    }
+
+    /// Schedule a partition at time `at`: nodes in `side` are severed from
+    /// the rest of the network. Messages crossing the cut are dropped (and
+    /// counted as fault drops); each live endpoint of a cut link observes
+    /// `NeighborDown` after the failure-detection delay, so both sides
+    /// reconverge independently. A new partition replaces any active one.
+    pub fn schedule_partition(&mut self, at: SimTime, side: Vec<NodeId>) {
+        self.world.push(at, EventKind::Partition { side });
+    }
+
+    /// Schedule the end of the active partition at time `at`: cut links
+    /// carry traffic again and their endpoints observe `NeighborUp` after
+    /// the failure-detection delay. A no-op if no partition is active.
+    pub fn schedule_heal(&mut self, at: SimTime) {
+        self.world.push(at, EventKind::Heal);
+    }
+
+    /// True while a partition is active.
+    pub fn is_partitioned(&self) -> bool {
+        self.world.partition.is_some()
     }
 
     /// Schedule a change of the directed link `from → to` to `params` at
@@ -407,10 +472,51 @@ impl<A: NodeApp> Simulator<A> {
 
     fn dispatch(&mut self, kind: EventKind<A::Message>) {
         match kind {
-            EventKind::Deliver { to, from, msg } => {
+            EventKind::Deliver { to, from, msg, faulted } => {
                 if !self.is_up(to) {
-                    self.world.metrics.record_drop();
+                    self.world.metrics.record_drop_node_down();
                     return;
+                }
+                // Self-deliveries (timers, injections, send_self) bypass the
+                // wire entirely and are never faulted.
+                if from != to {
+                    if let Some(side) = &self.world.partition {
+                        let cut = side.get(from.index()) != side.get(to.index());
+                        if cut {
+                            self.world.metrics.record_drop_fault();
+                            return;
+                        }
+                    }
+                    if !faulted {
+                        if let Some(faults) = &mut self.world.faults {
+                            let now = self.world.now;
+                            match faults.on_arrival(from, to, now) {
+                                FaultAction::Deliver => {}
+                                FaultAction::Drop => {
+                                    self.world.metrics.record_drop_fault();
+                                    return;
+                                }
+                                FaultAction::Delay(extra) => {
+                                    self.world.push(
+                                        now + extra,
+                                        EventKind::Deliver { to, from, msg, faulted: true },
+                                    );
+                                    return;
+                                }
+                                FaultAction::Duplicate(extra) => {
+                                    self.world.push(
+                                        now + extra,
+                                        EventKind::Deliver {
+                                            to,
+                                            from,
+                                            msg: msg.clone(),
+                                            faulted: true,
+                                        },
+                                    );
+                                }
+                            }
+                        }
+                    }
                 }
                 let mut ctx = Context { node: to, world: &mut self.world };
                 self.apps[to.index()].on_message(&mut ctx, from, msg);
@@ -500,7 +606,68 @@ impl<A: NodeApp> Simulator<A> {
                     );
                 }
             }
+            EventKind::Partition { side } => {
+                let mut membership = vec![false; self.world.topology.num_nodes()];
+                for node in side {
+                    if let Some(slot) = membership.get_mut(node.index()) {
+                        *slot = true;
+                    }
+                }
+                self.world.partition = Some(membership);
+                // Each live endpoint of a cut link detects its neighbor as
+                // down after the detection delay, so both sides drop the
+                // severed adjacencies from their routing state.
+                let detect_at = self.world.now + self.world.config.failure_detection_delay;
+                for (owner, neighbor) in self.cut_links() {
+                    if self.is_up(owner) {
+                        self.world.push(
+                            detect_at,
+                            EventKind::LinkNotify {
+                                node: owner,
+                                event: LinkEvent::NeighborDown { neighbor },
+                            },
+                        );
+                    }
+                }
+            }
+            EventKind::Heal => {
+                let cut = self.cut_links();
+                if self.world.partition.take().is_none() {
+                    return;
+                }
+                let detect_at = self.world.now + self.world.config.failure_detection_delay;
+                for (owner, neighbor) in cut {
+                    if !self.is_up(owner) || !self.is_up(neighbor) {
+                        continue;
+                    }
+                    let Some(params) = self.world.topology.link(owner, neighbor).copied() else {
+                        continue;
+                    };
+                    self.world.push(
+                        detect_at,
+                        EventKind::LinkNotify {
+                            node: owner,
+                            event: LinkEvent::NeighborUp { neighbor, params },
+                        },
+                    );
+                }
+            }
         }
+    }
+
+    /// The directed links whose endpoints sit on opposite sides of the
+    /// active partition, as `(owner, neighbor)` pairs. Empty when no
+    /// partition is active.
+    fn cut_links(&self) -> Vec<(NodeId, NodeId)> {
+        let Some(side) = &self.world.partition else {
+            return Vec::new();
+        };
+        self.world
+            .topology
+            .all_links()
+            .filter(|(from, to, _)| side.get(from.index()) != side.get(to.index()))
+            .map(|(from, to, _)| (from, to))
+            .collect()
     }
 }
 
@@ -785,6 +952,130 @@ mod tests {
     #[should_panic(expected = "one application instance per topology node")]
     fn mismatched_app_count_panics() {
         let _ = Simulator::new(Topology::new(3), vec![Flood::default()], SimConfig::default());
+    }
+
+    #[test]
+    fn full_drop_fault_black_holes_the_link() {
+        use crate::fault::{FaultPlan, LinkFaults};
+        let mut sim = make_sim(2, 1.0);
+        sim.set_fault_plan(FaultPlan::new(1).uniform(LinkFaults::none().with_drop(1.0)));
+        sim.run_to_quiescence();
+        // node 0's flood message was sent but eaten at delivery time.
+        assert_eq!(sim.metrics().total_messages(), 1);
+        assert!(sim.app(n(1)).received.is_empty());
+        assert_eq!(sim.metrics().dropped_fault(), 1);
+        assert_eq!(sim.metrics().dropped_messages(), 1);
+    }
+
+    #[test]
+    fn inert_fault_plan_changes_nothing() {
+        use crate::fault::FaultPlan;
+        let mut plain = make_sim(4, 10.0);
+        plain.run_to_quiescence();
+        let mut faulty = make_sim(4, 10.0);
+        faulty.set_fault_plan(FaultPlan::new(123));
+        faulty.run_to_quiescence();
+        assert_eq!(plain.now(), faulty.now());
+        assert_eq!(plain.events_processed(), faulty.events_processed());
+        for i in 0..4 {
+            assert_eq!(plain.app(n(i)).received, faulty.app(n(i)).received);
+        }
+        assert_eq!(faulty.metrics().dropped_fault(), 0);
+    }
+
+    #[test]
+    fn duplicate_fault_delivers_twice() {
+        use crate::fault::{FaultPlan, LinkFaults};
+        let mut sim = make_sim(2, 1.0);
+        sim.set_fault_plan(FaultPlan::new(2).uniform(LinkFaults::none().with_duplicate(1.0)));
+        sim.run_to_quiescence();
+        // the single flood message arrives twice; the duplicate is itself
+        // not re-duplicated (faults apply once per wire arrival).
+        assert_eq!(sim.app(n(1)).received, vec![(n(0), 3), (n(0), 3)]);
+        assert_eq!(sim.metrics().total_messages(), 1);
+    }
+
+    #[test]
+    fn reorder_fault_lets_later_traffic_overtake() {
+        use crate::fault::{FaultPlan, LinkFaults};
+        // A 1.0 reorder probability delays every message by a random extra
+        // amount; delivery still happens, just later.
+        let mut sim = make_sim(2, 1.0);
+        sim.set_fault_plan(
+            FaultPlan::new(3)
+                .uniform(LinkFaults::none().with_reorder(1.0, SimDuration::from_millis(30))),
+        );
+        sim.run_to_quiescence();
+        assert_eq!(sim.app(n(1)).received, vec![(n(0), 3)]);
+        // latency 1 ms + extra delay in (0, 30] ms
+        let t = sim.now().as_millis_f64();
+        assert!(t > 1.0 && t <= 32.0, "delayed delivery time {t} out of range");
+    }
+
+    #[test]
+    fn burst_outage_drops_only_inside_the_window() {
+        use crate::fault::{FaultPlan, LinkFaults};
+        let mut sim = make_sim(2, 1.0);
+        sim.set_fault_plan(FaultPlan::new(4).uniform(
+            LinkFaults::none().with_burst(SimTime::from_millis(100), SimTime::from_millis(200)),
+        ));
+        sim.inject(SimTime::from_millis(50), n(0), 1); // triggers a forward at ~51 ms: delivered
+        sim.inject(SimTime::from_millis(150), n(0), 1); // forward lands in the outage: dropped
+        sim.run_to_quiescence();
+        // the start-of-run flood message and the pre-outage forward arrive;
+        // only the forward inside the window is eaten.
+        assert_eq!(sim.app(n(1)).received.len(), 2);
+        assert_eq!(sim.metrics().dropped_fault(), 1);
+    }
+
+    #[test]
+    fn partition_severs_cut_and_heal_restores() {
+        let mut sim = make_sim(4, 1.0);
+        // cut {0,1} | {2,3} before the flood starts; heal later.
+        sim.schedule_partition(SimTime::ZERO, vec![n(0), n(1)]);
+        sim.schedule_heal(SimTime::from_secs(1));
+        sim.run_until(SimTime::from_millis(500));
+        assert!(sim.is_partitioned());
+        // flood reached node 1 but died at the 1-2 cut
+        assert_eq!(sim.app(n(1)).received, vec![(n(0), 3)]);
+        assert!(sim.app(n(2)).received.is_empty());
+        assert_eq!(sim.metrics().dropped_fault(), 1);
+        // both endpoints of the cut link observed NeighborDown
+        assert!(sim
+            .app(n(1))
+            .link_events
+            .iter()
+            .any(|e| matches!(e, LinkEvent::NeighborDown { neighbor } if *neighbor == n(2))));
+        assert!(sim
+            .app(n(2))
+            .link_events
+            .iter()
+            .any(|e| matches!(e, LinkEvent::NeighborDown { neighbor } if *neighbor == n(1))));
+        sim.run_to_quiescence();
+        assert!(!sim.is_partitioned());
+        // after the heal both endpoints observe NeighborUp
+        assert!(sim
+            .app(n(1))
+            .link_events
+            .iter()
+            .any(|e| matches!(e, LinkEvent::NeighborUp { neighbor, .. } if *neighbor == n(2))));
+        assert!(sim
+            .app(n(2))
+            .link_events
+            .iter()
+            .any(|e| matches!(e, LinkEvent::NeighborUp { neighbor, .. } if *neighbor == n(1))));
+        // intra-side traffic was never faulted
+        assert_eq!(sim.metrics().dropped_no_link(), 0);
+        assert_eq!(sim.metrics().dropped_node_down(), 0);
+    }
+
+    #[test]
+    fn heal_without_partition_is_a_noop() {
+        let mut sim = make_sim(2, 1.0);
+        sim.schedule_heal(SimTime::from_millis(1));
+        sim.run_to_quiescence();
+        assert!(!sim.is_partitioned());
+        assert_eq!(sim.app(n(1)).received.len(), 1);
     }
 
     #[test]

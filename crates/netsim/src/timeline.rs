@@ -66,6 +66,21 @@ pub enum TimelineEvent<M> {
         /// The injected message.
         msg: M,
     },
+    /// The network partitions at `at`: nodes in `side` are severed from the
+    /// rest, cross-cut traffic is dropped, and cut-link endpoints observe
+    /// `NeighborDown` after the detection delay.
+    Partition {
+        /// When the partition happens.
+        at: SimTime,
+        /// The nodes on one side of the cut.
+        side: Vec<NodeId>,
+    },
+    /// The active partition heals at `at`: cut links carry traffic again
+    /// and their endpoints observe `NeighborUp`.
+    Heal {
+        /// When the heal happens.
+        at: SimTime,
+    },
 }
 
 impl<M: Clone> TimelineEvent<M> {
@@ -75,7 +90,9 @@ impl<M: Clone> TimelineEvent<M> {
             TimelineEvent::NodeFail { at, .. }
             | TimelineEvent::NodeJoin { at, .. }
             | TimelineEvent::LinkChange { at, .. }
-            | TimelineEvent::Inject { at, .. } => *at,
+            | TimelineEvent::Inject { at, .. }
+            | TimelineEvent::Partition { at, .. }
+            | TimelineEvent::Heal { at } => *at,
         }
     }
 
@@ -88,6 +105,8 @@ impl<M: Clone> TimelineEvent<M> {
                 sim.schedule_link_metric_change(*at, *from, *to, *params)
             }
             TimelineEvent::Inject { at, node, msg } => sim.inject(*at, *node, msg.clone()),
+            TimelineEvent::Partition { at, side } => sim.schedule_partition(*at, side.clone()),
+            TimelineEvent::Heal { at } => sim.schedule_heal(*at),
         }
     }
 
@@ -100,6 +119,10 @@ impl<M: Clone> TimelineEvent<M> {
                 format!("link {from}->{to} cost {}", params.cost)
             }
             TimelineEvent::Inject { node, .. } => format!("inject {node}"),
+            TimelineEvent::Partition { side, .. } => {
+                format!("partition {} nodes", side.len())
+            }
+            TimelineEvent::Heal { .. } => "heal".to_string(),
         }
     }
 }

@@ -1,0 +1,167 @@
+//! Bounded exponential backoff for client (re)connection.
+//!
+//! A freshly launched `dr-load` often races the daemon it is pointed at —
+//! the first dial lands before the listener is up and is refused. Instead
+//! of failing the whole run on that first refusal, connection attempts
+//! follow a deterministic [`Backoff`] schedule: the delay doubles after
+//! every failed attempt, is capped at a ceiling, and the attempt budget is
+//! bounded, so a server that never comes up still fails the client in
+//! bounded time with the last error observed.
+//!
+//! The schedule is pure data ([`Backoff::delay_after`]) and the waiting is
+//! injected into [`Backoff::retry`], so tests assert the exact schedule
+//! without sleeping.
+
+use std::time::Duration;
+
+/// A bounded exponential backoff schedule.
+///
+/// Attempt `n` (0-based) is followed, when it fails and budget remains, by
+/// a wait of `base * 2^n` capped at `cap`. At most `max_attempts` attempts
+/// are made in total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    /// Delay after the first failed attempt; doubles each further failure.
+    pub base: Duration,
+    /// Ceiling on any single delay.
+    pub cap: Duration,
+    /// Total attempts (at least 1) before giving up.
+    pub max_attempts: u32,
+}
+
+impl Default for Backoff {
+    /// 200 ms doubling to a 5 s cap over 8 attempts — a touch over 15 s of
+    /// total patience, enough to cover a daemon still binding its listener
+    /// without masking a server that is genuinely absent.
+    fn default() -> Backoff {
+        Backoff { base: Duration::from_millis(200), cap: Duration::from_secs(5), max_attempts: 8 }
+    }
+}
+
+impl Backoff {
+    /// The wait after failed attempt `attempt` (0-based), or `None` when
+    /// the attempt budget is spent and the caller must give up.
+    pub fn delay_after(&self, attempt: u32) -> Option<Duration> {
+        if attempt.saturating_add(1) >= self.max_attempts {
+            return None;
+        }
+        let factor = 2u32.checked_pow(attempt).unwrap_or(u32::MAX);
+        Some(self.base.saturating_mul(factor).min(self.cap))
+    }
+
+    /// The full sequence of waits between attempts (`max_attempts - 1`
+    /// entries).
+    pub fn schedule(&self) -> Vec<Duration> {
+        (0..self.max_attempts.saturating_sub(1)).filter_map(|n| self.delay_after(n)).collect()
+    }
+
+    /// Run `op` until it succeeds or the attempt budget is spent, calling
+    /// `sleep` with each scheduled delay between attempts. Returns the
+    /// error of the final attempt when every attempt failed.
+    ///
+    /// `sleep` is injected rather than hard-coded so deterministic tests
+    /// (and simulated clocks) can record or skip the waits.
+    pub fn retry<R, E>(
+        &self,
+        mut op: impl FnMut() -> Result<R, E>,
+        mut sleep: impl FnMut(Duration),
+    ) -> Result<R, E> {
+        let mut attempt = 0;
+        loop {
+            match op() {
+                Ok(value) => return Ok(value),
+                Err(e) => match self.delay_after(attempt) {
+                    Some(delay) => sleep(delay),
+                    None => return Err(e),
+                },
+            }
+            attempt += 1;
+        }
+    }
+
+    /// [`Backoff::retry`] with real waiting (`std::thread::sleep`).
+    pub fn retry_blocking<R, E>(&self, op: impl FnMut() -> Result<R, E>) -> Result<R, E> {
+        self.retry(op, std::thread::sleep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_doubles_and_caps() {
+        let b = Backoff {
+            base: Duration::from_millis(100),
+            cap: Duration::from_millis(800),
+            max_attempts: 6,
+        };
+        let millis: Vec<u128> = b.schedule().iter().map(Duration::as_millis).collect();
+        assert_eq!(millis, [100, 200, 400, 800, 800]);
+    }
+
+    #[test]
+    fn default_schedule_is_bounded() {
+        let b = Backoff::default();
+        assert_eq!(b.schedule().len(), (b.max_attempts - 1) as usize);
+        assert!(b.schedule().iter().all(|d| *d <= b.cap));
+        // Monotone non-decreasing up to the cap.
+        assert!(b.schedule().windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn single_attempt_never_sleeps() {
+        let b = Backoff { max_attempts: 1, ..Backoff::default() };
+        assert_eq!(b.delay_after(0), None);
+        let mut slept = Vec::new();
+        let r: Result<(), &str> = b.retry(|| Err("refused"), |d| slept.push(d));
+        assert_eq!(r, Err("refused"));
+        assert!(slept.is_empty());
+    }
+
+    #[test]
+    fn retry_succeeds_after_transient_failures() {
+        let b = Backoff {
+            base: Duration::from_millis(100),
+            cap: Duration::from_millis(800),
+            max_attempts: 6,
+        };
+        let mut failures_left = 3;
+        let mut slept = Vec::new();
+        let r = b.retry(
+            || {
+                if failures_left > 0 {
+                    failures_left -= 1;
+                    Err("refused")
+                } else {
+                    Ok("connected")
+                }
+            },
+            |d| slept.push(d.as_millis()),
+        );
+        assert_eq!(r, Ok("connected"));
+        // Exactly the first three waits of the schedule, in order.
+        assert_eq!(slept, [100, 200, 400]);
+    }
+
+    #[test]
+    fn retry_exhausts_budget_with_last_error() {
+        let b = Backoff {
+            base: Duration::from_millis(50),
+            cap: Duration::from_millis(100),
+            max_attempts: 4,
+        };
+        let mut attempt = 0;
+        let mut slept = Vec::new();
+        let r: Result<(), String> = b.retry(
+            || {
+                attempt += 1;
+                Err(format!("refused #{attempt}"))
+            },
+            |d| slept.push(d.as_millis()),
+        );
+        assert_eq!(attempt, 4);
+        assert_eq!(r, Err("refused #4".to_string()));
+        assert_eq!(slept, [50, 100, 100]);
+    }
+}

@@ -18,7 +18,7 @@ use std::process::ExitCode;
 
 use dr_netsim::{SimDuration, SimTime};
 use dr_service::load::{run, run_inproc, LoadOptions};
-use dr_service::{Client, TcpTransport};
+use dr_service::{Backoff, Client, TcpTransport};
 use dr_workloads::ChurnSchedule;
 
 struct Args {
@@ -99,7 +99,11 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let report = run(&args.opts, |_| TcpTransport::dial(&args.addr));
+    // Dial with bounded exponential backoff: a load generator launched
+    // alongside the daemon (as CI does) must ride out the window where the
+    // listener is not up yet instead of failing on the first refusal.
+    let backoff = Backoff::default();
+    let report = run(&args.opts, |_| backoff.retry_blocking(|| TcpTransport::dial(&args.addr)));
     let report = match report {
         Ok(report) => report,
         Err(e) => {
@@ -112,20 +116,20 @@ fn main() -> ExitCode {
     }
 
     // One last session for the stats snapshot (and the optional shutdown).
-    let tail = TcpTransport::dial(&args.addr)
-        .map_err(|e| e.to_string())
-        .and_then(|t| Client::connect(t, "load-tail").map_err(|e| e.to_string()))
-        .and_then(|mut client| {
-            let lines = client.stats().map_err(|e| e.to_string())?;
-            for line in &lines {
-                println!("{line}");
-            }
-            if args.shutdown {
-                client.shutdown_server().map_err(|e| e.to_string())?;
-                println!("dr-load: server acknowledged shutdown");
-            }
-            Ok(())
-        });
+    let tail =
+        Client::connect_with_backoff(|| TcpTransport::dial(&args.addr), "load-tail", backoff)
+            .map_err(|e| e.to_string())
+            .and_then(|mut client| {
+                let lines = client.stats().map_err(|e| e.to_string())?;
+                for line in &lines {
+                    println!("{line}");
+                }
+                if args.shutdown {
+                    client.shutdown_server().map_err(|e| e.to_string())?;
+                    println!("dr-load: server acknowledged shutdown");
+                }
+                Ok(())
+            });
     if let Err(e) = tail {
         eprintln!("dr-load: stats/shutdown failed: {e}");
         return ExitCode::FAILURE;

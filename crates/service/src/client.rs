@@ -72,6 +72,37 @@ impl<T: Transport> Client<T> {
         }
     }
 
+    /// Open a session over a freshly dialed transport, retrying refused or
+    /// failed dials (and dropped handshakes) on the given
+    /// [`Backoff`](crate::backoff::Backoff) schedule. A handshake the server itself *rejects* — an error or
+    /// malformed `Connected` response — is authoritative and fails
+    /// immediately: the server is up, it just said no.
+    pub fn connect_with_backoff<D>(
+        mut dial: D,
+        client: &str,
+        backoff: crate::backoff::Backoff,
+    ) -> Result<Client<T>, ClientError>
+    where
+        D: FnMut() -> Result<T, TransportError>,
+    {
+        let mut attempt = 0;
+        loop {
+            let err =
+                match dial().map_err(ClientError::from).and_then(|t| Client::connect(t, client)) {
+                    Ok(session) => return Ok(session),
+                    Err(e @ (ClientError::Server { .. } | ClientError::Unexpected(_))) => {
+                        return Err(e)
+                    }
+                    Err(e) => e,
+                };
+            match backoff.delay_after(attempt) {
+                Some(delay) => std::thread::sleep(delay),
+                None => return Err(err),
+            }
+            attempt += 1;
+        }
+    }
+
     /// The server-assigned session id.
     pub fn session(&self) -> u64 {
         self.session
@@ -171,5 +202,57 @@ impl<T: Transport> Client<T> {
             self.pushed.push_back(resp);
         }
         Ok(self.pushed.drain(..).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Duration;
+
+    use super::*;
+    use crate::backoff::Backoff;
+    use crate::service::{default_topology, ServiceConfig};
+    use crate::transport::InProcHub;
+
+    fn quick_backoff() -> Backoff {
+        Backoff { base: Duration::from_micros(10), cap: Duration::from_micros(40), max_attempts: 5 }
+    }
+
+    #[test]
+    fn connect_with_backoff_rides_out_refused_dials() {
+        let hub = InProcHub::new(default_topology(4), ServiceConfig::default());
+        let mut refusals_left = 3;
+        let mut dials = 0;
+        let client = Client::connect_with_backoff(
+            || {
+                dials += 1;
+                if refusals_left > 0 {
+                    refusals_left -= 1;
+                    Err(TransportError::Closed)
+                } else {
+                    Ok(hub.connect())
+                }
+            },
+            "backoff-test",
+            quick_backoff(),
+        )
+        .expect("connects once the server accepts");
+        assert_eq!(dials, 4);
+        assert_eq!(client.nodes(), 4);
+    }
+
+    #[test]
+    fn connect_with_backoff_gives_up_after_budget() {
+        let mut dials = 0u32;
+        let result: Result<Client<crate::transport::InProcConn>, _> = Client::connect_with_backoff(
+            || {
+                dials += 1;
+                Err(TransportError::Closed)
+            },
+            "backoff-test",
+            quick_backoff(),
+        );
+        assert!(matches!(result, Err(ClientError::Transport(TransportError::Closed))));
+        assert_eq!(dials, quick_backoff().max_attempts);
     }
 }

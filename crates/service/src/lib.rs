@@ -23,6 +23,10 @@
 //! * [`server`] — the `std::net` thread-per-connection engine behind
 //!   `dr-serviced`.
 //! * [`client`] — a typed client that works over either transport.
+//! * [`backoff`] — bounded exponential retry for dialing a daemon that is
+//!   still coming up (or briefly away): refused connections follow a
+//!   deterministic doubling-and-capped schedule instead of failing the
+//!   run on the first refusal.
 //! * [`load`] — the seeded issue/teardown/inject mix behind `dr-load` and
 //!   the `sustained_churn_qps` benchmark.
 //!
@@ -57,6 +61,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod client;
 pub mod load;
 pub mod protocol;
@@ -64,6 +69,7 @@ pub mod server;
 pub mod service;
 pub mod transport;
 
+pub use backoff::Backoff;
 pub use client::{Client, ClientError};
 pub use load::{LoadOptions, LoadReport};
 pub use protocol::{ErrorCode, IssueOptions, ProtoError, Request, Response};

@@ -289,7 +289,11 @@ impl RoutingService {
                 let items: Vec<_> = facts.iter().map(WireTuple::to_tuple).collect();
                 let count = items.len() as u32;
                 let at = self.harness.now();
-                self.harness.sim_mut().inject(at, NodeId::new(node), NetMsg::Tuples { qid, items });
+                self.harness.sim_mut().inject(
+                    at,
+                    NodeId::new(node),
+                    NetMsg::Tuples { qid, seq: None, items },
+                );
                 self.counters.facts_injected += u64::from(count);
                 Response::Injected { qid, count }
             }
@@ -377,7 +381,9 @@ impl RoutingService {
         lines.push(format!(
             "{{\"type\":\"processor\",\"tuples_received\":{},\"tuples_sent\":{},\
              \"tuples_derived\":{},\"tuples_pruned\":{},\"tombstones_collapsed\":{},\
-             \"tuples_rejected\":{},\"prune_evicted\":{},\"batches\":{}}}",
+             \"tuples_rejected\":{},\"prune_evicted\":{},\"batches\":{},\
+             \"retransmits\":{},\"dups_dropped\":{},\"acks_sent\":{},\
+             \"gaps_skipped\":{}}}",
             p.tuples_received,
             p.tuples_sent,
             p.tuples_derived,
@@ -386,6 +392,10 @@ impl RoutingService {
             p.tuples_rejected,
             p.prune_evicted,
             p.batches,
+            p.retransmits,
+            p.dups_dropped,
+            p.acks_sent,
+            p.gaps_skipped,
         ));
         let f = self.harness.state_footprint();
         lines.push(format!(

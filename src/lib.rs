@@ -52,6 +52,54 @@
 //!     println!("{} -> {} via {} (cost {})", route.src, route.dst, route.path, route.cost);
 //! }
 //! ```
+//!
+//! ## Delivery guarantees on an unreliable wire
+//!
+//! Handing [`netsim::FaultPlan`] to a scenario makes the wire adversarial
+//! (seeded drops, duplicates, reordering, bursts) and turns on the
+//! processor's loss-tolerant transport; the protocol still converges to
+//! exactly the lossless fixed point:
+//!
+//! ```
+//! use std::collections::BTreeMap;
+//!
+//! use declarative_routing::engine::scenario::{QueryDef, ScenarioBuilder, ScenarioRun};
+//! use declarative_routing::netsim::{FaultPlan, LinkFaults, SimTime};
+//! use declarative_routing::protocols::best_path;
+//! use declarative_routing::types::NodeId;
+//! use declarative_routing::workloads::{OverlayKind, OverlayParams};
+//!
+//! let topology = OverlayParams { nodes: 8, ..OverlayParams::planetlab(OverlayKind::DenseUunet, 7) }
+//!     .generate();
+//!
+//! // What the wire may do: drop 5% of messages and deliver another 10% twice,
+//! // deterministically derived from the seed.
+//! let faults = FaultPlan::new(7).uniform(LinkFaults::none().with_drop(0.05).with_duplicate(0.10));
+//!
+//! let run = |plan: Option<FaultPlan>| -> ScenarioRun {
+//!     let mut scenario = ScenarioBuilder::over(topology.clone()).query(QueryDef::new(best_path()));
+//!     if let Some(plan) = plan {
+//!         scenario = scenario.faults(plan); // also enables the reliable transport
+//!     }
+//!     scenario.until(SimTime::from_secs(45)).execute().unwrap()
+//! };
+//! let routes = |r: &ScenarioRun| -> BTreeMap<(NodeId, NodeId), u64> {
+//!     (0..8u32)
+//!         .map(NodeId::new)
+//!         .flat_map(|node| r.handles[0].results_at(&r.harness, node).unwrap())
+//!         .filter(|route| route.cost.is_finite())
+//!         .map(|route| ((route.src, route.dst), (route.cost.value() * 1000.0).round() as u64))
+//!         .collect()
+//! };
+//!
+//! let lossy = run(Some(faults));
+//! let clean = run(None);
+//! assert_eq!(routes(&lossy), routes(&clean), "same fixed point despite loss");
+//!
+//! // The transport did real work to get there.
+//! let stats = lossy.harness.processor_stats();
+//! assert!(stats.retransmits > 0 && stats.dups_dropped > 0 && stats.acks_sent > 0);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

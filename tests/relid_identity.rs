@@ -112,7 +112,11 @@ fn piggy_backed_install_derives_identical_bindings() {
     // processor must install the query on the fly.
     let link =
         Tuple::new("link", vec![Value::Node(n(2)), Value::Node(n(1)), Value::Cost(Cost::new(1.0))]);
-    harness.sim_mut().inject(SimTime::ZERO, n(2), NetMsg::Tuples { qid, items: vec![link] });
+    harness.sim_mut().inject(
+        SimTime::ZERO,
+        n(2),
+        NetMsg::Tuples { qid, seq: None, items: vec![link] },
+    );
     harness.run_until(SimTime::from_secs(30));
 
     for i in 0..3u32 {
@@ -149,7 +153,7 @@ fn stale_relation_id_is_rejected_on_receive() {
     harness.sim_mut().inject(
         SimTime::from_secs(10),
         n(1),
-        NetMsg::Tuples { qid, items: vec![bogus.clone()] },
+        NetMsg::Tuples { qid, seq: None, items: vec![bogus.clone()] },
     );
     harness.run_until(SimTime::from_secs(20));
 
@@ -174,7 +178,7 @@ fn tuples_for_unknown_query_are_ignored() {
     harness.sim_mut().inject(
         SimTime::ZERO,
         n(1),
-        NetMsg::Tuples { qid: unknown, items: vec![link] },
+        NetMsg::Tuples { qid: unknown, seq: None, items: vec![link] },
     );
     harness.run_to_quiescence();
     assert!(harness.sim().app(n(1)).installed_queries().is_empty());
