@@ -146,12 +146,39 @@ fn bench_churn_recovery(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_provenance_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("provenance_overhead");
+    group.sample_size(5);
+    // Full distributed convergence on the 16-node dense overlay with
+    // provenance recording off and on. The off row prices the
+    // zero-cost-when-off invariant — no `ProvStore` is allocated and
+    // evaluation takes the untraced path, so it must stay within noise of
+    // the engine before the provenance subsystem existed (gated by the CI
+    // baseline comparison). The on row is what a deployment pays for
+    // explainable routes.
+    let topo = OverlayParams { nodes: 16, ..OverlayParams::planetlab(OverlayKind::DenseUunet, 9) }
+        .generate();
+    for (label, on) in [("recording_off", false), ("recording_on", true)] {
+        group.bench_function(BenchmarkId::new("dense_uunet16_converge", label), |b| {
+            b.iter(|| {
+                let mut harness = RoutingHarness::new(topo.clone());
+                let handle =
+                    harness.issue(best_path()).provenance(on).submit().expect("query localizes");
+                harness.run_until(SimTime::from_secs(120));
+                handle.finite_results(&harness).expect("routes decode").len()
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_parser,
     bench_semi_naive_vs_naive,
     bench_aggregate_selections,
     bench_link_state_flooding,
-    bench_churn_recovery
+    bench_churn_recovery,
+    bench_provenance_overhead
 );
 criterion_main!(benches);

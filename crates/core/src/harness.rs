@@ -35,9 +35,10 @@ use crate::processor::{NetMsg, ProcessorConfig, ProcessorStats, QueryProcessor, 
 use crate::query::{QueryId, QueryLibrary, QuerySpec};
 use dr_datalog::ast::Program;
 use dr_netsim::{SimConfig, SimDuration, SimTime, Simulator, Topology};
+use dr_provenance::{DerivationTree, ProvId, ProvRecord, ProvRef};
 use dr_types::view::{CostView, FromTuple};
 use dr_types::{NodeId, Result, RouteEntry, Tuple};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::marker::PhantomData;
 use std::sync::Arc;
 
@@ -262,6 +263,7 @@ pub struct IssueBuilder<'h> {
     share_results: bool,
     cache_relation: String,
     facts: Vec<Tuple>,
+    record_provenance: bool,
 }
 
 impl<'h> IssueBuilder<'h> {
@@ -315,6 +317,14 @@ impl<'h> IssueBuilder<'h> {
         self
     }
 
+    /// Record derivation provenance for this query, enabling
+    /// [`RoutingHarness::explain`]. Default: off (the evaluation hot path
+    /// then stays byte-identical to a build without provenance).
+    pub fn provenance(mut self, on: bool) -> Self {
+        self.record_provenance = on;
+        self
+    }
+
     /// Facts installed together with the query (replicated relations go to
     /// every node, located facts only to the node they name).
     pub fn facts(mut self, facts: Vec<Tuple>) -> Self {
@@ -347,7 +357,8 @@ impl<'h> IssueBuilder<'h> {
             .with_sharing(self.share_results)
             .with_cache_relation(self.cache_relation)
             .with_replicated(self.replicated)
-            .with_facts(self.facts);
+            .with_facts(self.facts)
+            .with_provenance(self.record_provenance);
         self.harness.library.register(spec);
         self.harness.sim.inject(self.at, self.issuer, NetMsg::Install { qid });
         Ok(QueryHandle { qid, name, _view: PhantomData })
@@ -441,6 +452,7 @@ impl RoutingHarness {
             share_results: false,
             cache_relation: "bestPathCache".to_string(),
             facts: Vec::new(),
+            record_provenance: false,
         }
     }
 
@@ -517,7 +529,198 @@ impl RoutingHarness {
         }
         total
     }
+
+    /// Explain how `tuple` was derived under query `qid`: materialize the
+    /// full distributed proof tree rooted at the tuple's stored copy.
+    ///
+    /// The query must have been issued with [`IssueBuilder::provenance`]
+    /// turned on. Local derivation records are read directly from their
+    /// node's provenance store; cross-node pointers — a shipped tuple
+    /// carries a `(node, ProvId)` reference back to its deriving node — are
+    /// resolved on demand with a [`NetMsg::ProvFetch`] round trip over the
+    /// simulated (and therefore faultable) wire, with bounded retries, so
+    /// explanation works under the same loss the routes themselves survived.
+    /// A pointer that never resolves (record pruned, node unreachable)
+    /// renders as [`DerivationTree::Missing`] rather than failing the whole
+    /// explanation.
+    ///
+    /// Advances simulated time by up to a few hundred milliseconds per
+    /// remote fetch; route state is unaffected.
+    pub fn explain(
+        &mut self,
+        qid: QueryId,
+        tuple: &Tuple,
+    ) -> std::result::Result<DerivationTree, ExplainError> {
+        let nodes = self.sim.topology().num_nodes();
+        let mut installed = false;
+        let mut recording = false;
+        let mut home = None;
+        for i in 0..nodes {
+            let node = NodeId::new(i as u32);
+            let app = self.sim.app(node);
+            if app.is_torn_down(qid) {
+                return Err(ExplainError::TornDown);
+            }
+            if app.has_query(qid) {
+                installed = true;
+                recording = recording || app.provenance(qid).is_some();
+                if home.is_none() && app.stores_tuple(qid, tuple) {
+                    home = Some(node);
+                }
+            }
+        }
+        if !installed {
+            return Err(ExplainError::UnknownQuery);
+        }
+        if !recording {
+            return Err(ExplainError::NotRecorded);
+        }
+        let home = home.ok_or(ExplainError::NoSuchTuple)?;
+        let root = self
+            .sim
+            .app(home)
+            .provenance(qid)
+            .map(|store| store.resolve(tuple))
+            .unwrap_or(ProvRef::Base);
+        let mut on_path = HashSet::new();
+        Ok(self.build_tree(qid, home, tuple.clone(), root, &mut on_path, 0))
+    }
+
+    /// Materialize the proof tree hanging off one provenance reference.
+    /// `node` is the node the reference was found on (`Local` ids resolve in
+    /// its store; for `Remote` pointers it acts as the fetch requester).
+    /// `on_path` holds the records on the current root-to-leaf path — a
+    /// repeat means a cycle in (necessarily corrupt) provenance, rendered as
+    /// `Missing` instead of recursing forever.
+    fn build_tree(
+        &mut self,
+        qid: QueryId,
+        node: NodeId,
+        tuple: Tuple,
+        prov: ProvRef,
+        on_path: &mut HashSet<(NodeId, ProvId)>,
+        depth: usize,
+    ) -> DerivationTree {
+        const MAX_DEPTH: usize = 256;
+        match prov {
+            ProvRef::Base => DerivationTree::Base { tuple },
+            ProvRef::Local(id) => {
+                if depth >= MAX_DEPTH || !on_path.insert((node, id)) {
+                    return DerivationTree::Missing { tuple, node, id };
+                }
+                let record = self.sim.app(node).provenance(qid).and_then(|s| s.get(id)).cloned();
+                let tree = match record {
+                    Some(rec) => self.tree_from_record(qid, rec, tuple, on_path, depth),
+                    None => DerivationTree::Missing { tuple, node, id },
+                };
+                on_path.remove(&(node, id));
+                tree
+            }
+            ProvRef::Remote(owner, id) => {
+                if depth >= MAX_DEPTH || !on_path.insert((owner, id)) {
+                    return DerivationTree::Missing { tuple, node: owner, id };
+                }
+                let tree = match self.fetch_remote(qid, node, owner, id) {
+                    Some(rec) => self.tree_from_record(qid, rec, tuple, on_path, depth),
+                    None => DerivationTree::Missing { tuple, node: owner, id },
+                };
+                on_path.remove(&(owner, id));
+                tree
+            }
+        }
+    }
+
+    /// Expand a derivation record into a `Derived` tree node. Body
+    /// references are interpreted relative to the record's deriving node.
+    fn tree_from_record(
+        &mut self,
+        qid: QueryId,
+        record: ProvRecord,
+        tuple: Tuple,
+        on_path: &mut HashSet<(NodeId, ProvId)>,
+        depth: usize,
+    ) -> DerivationTree {
+        let rule = self.rule_label(qid, record.rule);
+        let rec_node = record.node;
+        let mut children = Vec::with_capacity(record.body.len());
+        for (body_tuple, body_ref) in record.body {
+            children.push(self.build_tree(qid, rec_node, body_tuple, body_ref, on_path, depth + 1));
+        }
+        DerivationTree::Derived { tuple, rule, node: rec_node, children }
+    }
+
+    /// Resolve a remote provenance pointer by asking its owner over the
+    /// wire: inject a [`NetMsg::ProvFetch`] at `owner`, run the simulation
+    /// briefly so the [`NetMsg::ProvReply`] can travel (or be dropped by
+    /// the fault plan), and read the requester's fetched-record cache.
+    /// Bounded retries tolerate reply loss.
+    fn fetch_remote(
+        &mut self,
+        qid: QueryId,
+        requester: NodeId,
+        owner: NodeId,
+        id: ProvId,
+    ) -> Option<ProvRecord> {
+        if requester == owner {
+            return self.sim.app(owner).provenance(qid).and_then(|s| s.get(id)).cloned();
+        }
+        let cached = |sim: &Simulator<QueryProcessor>| {
+            sim.app(requester).provenance(qid).and_then(|s| s.fetched(owner, id)).cloned()
+        };
+        if let Some(rec) = cached(&self.sim) {
+            return Some(rec);
+        }
+        for _ in 0..8 {
+            let at = self.sim.now();
+            self.sim.inject(at, owner, NetMsg::ProvFetch { qid, id, requester });
+            self.sim.run_until(at + SimDuration::from_millis(50));
+            if let Some(rec) = cached(&self.sim) {
+                return Some(rec);
+            }
+        }
+        None
+    }
+
+    /// The label of rule `rule` of query `qid` ("NR2", "BPR1", …), falling
+    /// back to the rule index when the program left the rule unnamed or the
+    /// spec is gone.
+    fn rule_label(&self, qid: QueryId, rule: u32) -> String {
+        self.library
+            .get(qid)
+            .and_then(|spec| {
+                spec.program.rules.get(rule as usize).and_then(|lr| lr.rule.name.clone())
+            })
+            .unwrap_or_else(|| format!("rule{rule}"))
+    }
 }
+
+/// Why [`RoutingHarness::explain`] could not produce a derivation tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExplainError {
+    /// The query id is not installed on any node (never issued, or the id
+    /// is simply unknown).
+    UnknownQuery,
+    /// The query was torn down; its provenance stores died with it.
+    TornDown,
+    /// The query was issued without [`IssueBuilder::provenance`], so there
+    /// is nothing to explain from.
+    NotRecorded,
+    /// No node currently stores the tuple (never derived, or pruned away).
+    NoSuchTuple,
+}
+
+impl std::fmt::Display for ExplainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExplainError::UnknownQuery => write!(f, "query is not installed on any node"),
+            ExplainError::TornDown => write!(f, "query was torn down"),
+            ExplainError::NotRecorded => write!(f, "query was issued without provenance recording"),
+            ExplainError::NoSuchTuple => write!(f, "no node stores the tuple"),
+        }
+    }
+}
+
+impl std::error::Error for ExplainError {}
 
 /// The earliest sample time after which neither the result count nor the
 /// average cost changes again.
@@ -911,7 +1114,7 @@ mod tests {
         harness.sim_mut().inject(
             SimTime::from_secs(5),
             n(0),
-            NetMsg::Tuples { qid, seq: None, items: vec![suppress] },
+            NetMsg::Tuples { qid, seq: None, items: vec![suppress], provs: Vec::new() },
         );
         harness.run_until(SimTime::from_secs(10));
         let best = harness.sim().app(n(0)).tuples(qid, "best");
@@ -1073,6 +1276,118 @@ mod tests {
         let drained = cursor.poll(&harness);
         assert!(drained.added.is_empty());
         assert_eq!(drained.removed.len(), truth.values().sum::<usize>());
+    }
+
+    #[test]
+    fn explain_materializes_distributed_proof_tree() {
+        let program = parse_program(BEST_PATH).unwrap();
+        let mut harness = RoutingHarness::new(figure3_topology());
+        let handle = harness.issue(program).provenance(true).submit().unwrap();
+        harness.run_until(SimTime::from_secs(30));
+        let qid = handle.id();
+
+        // Explain the 3-hop route a -> e (0 -> 4): its proof spans several
+        // nodes, so the tree must be stitched together with ProvFetch
+        // round trips.
+        let route = harness
+            .sim()
+            .app(n(0))
+            .tuples(qid, "bestPath")
+            .into_iter()
+            .find(|t| t.field(1) == Some(&Value::Node(n(4))))
+            .expect("route 0 -> 4 derived");
+        let tree = harness.explain(qid, &route).expect("explainable");
+        assert_eq!(tree.tuple(), &route);
+        assert!(tree.is_fully_resolved(), "no Missing nodes in a live route:\n{tree}");
+        // A 3-hop path needs at least NR1 + 2x NR2 + the BPR2 join.
+        assert!(tree.depth() >= 4, "depth {} too shallow:\n{tree}", tree.depth());
+        // Every leaf is a live base link fact.
+        let leaves = tree.leaves();
+        assert!(!leaves.is_empty());
+        for leaf in &leaves {
+            // Either the link fact itself or its shipped cache copy
+            // ("link__to_NR2"), which aliases the same base fact.
+            assert!(leaf.relation().starts_with("link"), "unexpected base fact {leaf:?}");
+        }
+        // The proof names more than one deriving node.
+        let nodes: std::collections::BTreeSet<NodeId> =
+            tree.steps().into_iter().map(|s| s.node).collect();
+        assert!(nodes.len() > 1, "expected a distributed proof, got {nodes:?}");
+        assert!(harness.processor_stats().prov_fetches > 0, "remote pointers were fetched");
+    }
+
+    #[test]
+    fn explain_errors_are_typed() {
+        let program = parse_program(BEST_PATH).unwrap();
+        let mut harness = RoutingHarness::new(line_topology(3));
+        let bogus = Tuple::new("bestPath", vec![Value::Node(n(0))]);
+
+        // Unknown query id.
+        assert_eq!(harness.explain(99, &bogus), Err(ExplainError::UnknownQuery));
+
+        // Issued without provenance recording.
+        let handle = harness.issue(program.clone()).submit().unwrap();
+        harness.run_until(SimTime::from_secs(10));
+        assert_eq!(harness.explain(handle.id(), &bogus), Err(ExplainError::NotRecorded));
+
+        // Recorded, but the tuple does not exist anywhere.
+        let handle2 = harness.issue(program).provenance(true).submit().unwrap();
+        harness.run_until(SimTime::from_secs(20));
+        assert_eq!(harness.explain(handle2.id(), &bogus), Err(ExplainError::NoSuchTuple));
+
+        // A real route explains fine ...
+        let route = harness
+            .sim()
+            .app(n(0))
+            .tuples(handle2.id(), "bestPath")
+            .into_iter()
+            .next()
+            .expect("some route");
+        assert!(harness.explain(handle2.id(), &route).is_ok());
+
+        // ... until teardown, after which the query is typed as torn down.
+        let at = harness.now();
+        harness.teardown(handle2.id(), at);
+        harness.run_to_quiescence();
+        assert_eq!(harness.explain(handle2.id(), &route), Err(ExplainError::TornDown));
+    }
+
+    #[test]
+    fn explain_diff_reports_route_change_after_link_failure() {
+        let program = parse_program(BEST_PATH).unwrap();
+        let mut harness = RoutingHarness::new(figure3_topology());
+        let handle = harness.issue(program).provenance(true).submit().unwrap();
+        harness.run_until(SimTime::from_secs(30));
+        let qid = handle.id();
+        let route = |h: &RoutingHarness, d: u32| {
+            h.sim()
+                .app(n(0))
+                .tuples(qid, "bestPath")
+                .into_iter()
+                .find(|t| t.field(1) == Some(&Value::Node(n(d))))
+                .expect("route exists")
+        };
+
+        let before_tuple = route(&harness, 3);
+        let before = harness.explain(qid, &before_tuple).unwrap();
+
+        // Fail node 1: the a->d route re-derives through c (node 2).
+        harness.sim_mut().schedule_node_fail(SimTime::from_secs(31), n(1));
+        harness.run_until(SimTime::from_secs(60));
+        let after_tuple = route(&harness, 3);
+        let after = harness.explain(qid, &after_tuple).unwrap();
+
+        let diff = dr_provenance::diff_explanations(&before, &after);
+        if before_tuple == after_tuple {
+            assert!(diff.removed.is_empty() && diff.added.is_empty());
+        } else {
+            assert!(
+                !diff.removed.is_empty() || !diff.added.is_empty(),
+                "a rerouted path must change the explanation"
+            );
+            // No step of the new proof fires on the failed node.
+            assert!(diff.added.iter().all(|s| s.node != n(1)), "{diff:?}");
+        }
     }
 
     #[test]

@@ -88,10 +88,17 @@ pub mod processor;
 pub mod query;
 pub mod scenario;
 
-pub use harness::{IssueBuilder, QueryHandle, ResultCursor, ResultsDelta, RoutingHarness, Sample};
+pub use dr_provenance::{
+    diff_explanations, DerivationStep, DerivationTree, ExplanationDiff, ProvId, ProvRecord,
+    ProvRef, ProvStore,
+};
+pub use harness::{
+    ExplainError, IssueBuilder, QueryHandle, ResultCursor, ResultsDelta, RoutingHarness, Sample,
+};
 pub use localize::{LocalizedProgram, LocalizedRule, ShipSpec};
 pub use processor::{
-    NetMsg, ProcessorConfig, ProcessorStats, QueryProcessor, ReliabilityConfig, StateFootprint,
+    NetMsg, ProcessorConfig, ProcessorStats, ProvTag, QueryProcessor, ReliabilityConfig,
+    StateFootprint,
 };
 pub use query::{QueryId, QueryLibrary, QuerySpec};
 pub use scenario::{

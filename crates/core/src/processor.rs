@@ -27,12 +27,19 @@ use crate::localize::LocalizedProgram;
 use crate::query::{QueryId, QueryLibrary, QuerySpec};
 use dr_datalog::builtins::Builtins;
 use dr_datalog::database::{Database, Scan};
-use dr_datalog::eval::{apply_aggregate, RelationSource, RuleEval};
+use dr_datalog::eval::{apply_aggregate, FiringLog, RelationSource, RuleEval};
 use dr_datalog::rewrite::AggSelection;
 use dr_netsim::{Context, LinkEvent, NodeApp, SimDuration};
+use dr_provenance::{ProvId, ProvRecord, ProvRef, ProvStore};
 use dr_types::{Cost, NodeId, RelId, Tuple, TupleKey, Value};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
+
+/// Wire tag linking a shipped tuple back to its derivation record:
+/// `Some((node, id))` points at the record `id` in `node`'s provenance
+/// arena; `None` marks a base fact (or a deployment not recording
+/// provenance at all).
+pub type ProvTag = Option<(NodeId, ProvId)>;
 
 /// Messages exchanged between query processors.
 #[derive(Debug, Clone)]
@@ -62,6 +69,11 @@ pub enum NetMsg {
         seq: Option<StreamSeq>,
         /// The shipped tuples.
         items: Vec<Tuple>,
+        /// Per-tuple provenance tags, parallel to `items`, linking each
+        /// shipped tuple back to the record of the firing that derived it
+        /// (`None` entries are base facts). Empty — costing zero wire
+        /// bytes — whenever the query does not record provenance.
+        provs: Vec<ProvTag>,
     },
     /// Cumulative acknowledgment of sequence-numbered [`NetMsg::Tuples`]
     /// batches: every batch with sequence number below `cumulative` on the
@@ -86,6 +98,32 @@ pub enum NetMsg {
     Teardown {
         /// The query being torn down.
         qid: QueryId,
+    },
+    /// Ask `qid`'s provenance arena at the receiving node for derivation
+    /// record `id` (on-demand resolution of a [`ProvRef::Remote`] pointer
+    /// while materializing a distributed proof tree).
+    ProvFetch {
+        /// The query whose provenance store holds the record.
+        qid: QueryId,
+        /// The arena id being resolved.
+        id: ProvId,
+        /// The node the reply should be sent to (the holder of the remote
+        /// pointer — a direct neighbor of the record's owner, since that is
+        /// who the tagged tuple was shipped to).
+        requester: NodeId,
+    },
+    /// Reply to a [`NetMsg::ProvFetch`]: the record, or `None` when it has
+    /// been pruned (or the query is gone). `Local` body refs inside the
+    /// record are relative to `node`, the replying owner.
+    ProvReply {
+        /// The query the record belongs to.
+        qid: QueryId,
+        /// The node that owns (and replied with) the record.
+        node: NodeId,
+        /// The arena id that was asked for.
+        id: ProvId,
+        /// The record, if it still exists.
+        record: Option<Box<ProvRecord>>,
     },
     /// Install a cached best path along the reverse path (multi-query
     /// sharing, §7.3). Forwarded hop by hop along `suffix`.
@@ -126,14 +164,27 @@ impl NetMsg {
     pub fn wire_size(&self) -> usize {
         match self {
             NetMsg::Install { .. } | NetMsg::Teardown { .. } | NetMsg::QueryRequest { .. } => 64,
-            NetMsg::Tuples { seq, items, .. } => {
+            NetMsg::Tuples { seq, items, provs, .. } => {
                 // The sequencing header costs 20 bytes (tag + seq + base)
                 // only when the reliable transport is on, so fire-and-forget
-                // deployments keep their exact legacy wire accounting.
+                // deployments keep their exact legacy wire accounting. The
+                // same holds for provenance tags: the vector is empty unless
+                // the query records provenance, so non-recording deployments
+                // pay zero extra bytes.
                 let seq_bytes = if seq.is_some() { 20 } else { 0 };
-                16 + seq_bytes + items.iter().map(Tuple::wire_size).sum::<usize>()
+                let prov_bytes =
+                    provs.iter().map(|tag| if tag.is_some() { 13 } else { 1 }).sum::<usize>();
+                16 + seq_bytes + prov_bytes + items.iter().map(Tuple::wire_size).sum::<usize>()
             }
             NetMsg::Ack { .. } => 24,
+            NetMsg::ProvFetch { .. } => 64,
+            NetMsg::ProvReply { record, .. } => {
+                let record_bytes = record.as_ref().map_or(0, |rec| {
+                    rec.tuple.wire_size()
+                        + rec.body.iter().map(|(t, _)| t.wire_size() + 13).sum::<usize>()
+                });
+                64 + record_bytes
+            }
             NetMsg::CacheInstall { suffix, .. } => {
                 24 + dr_types::rel::WIRE_TAG_BYTES + 4 * suffix.len()
             }
@@ -230,6 +281,11 @@ pub struct ProcessorStats {
     /// advertised it had abandoned the missing batches (`StreamSeq::base`
     /// moved past them). Soft-state repair owns whatever they carried.
     pub gaps_skipped: u64,
+    /// Derivation records written into provenance arenas (zero unless a
+    /// query was issued with provenance recording on).
+    pub prov_recorded: u64,
+    /// Provenance-record fetches served for remote explanation requests.
+    pub prov_fetches: u64,
 }
 
 impl ProcessorStats {
@@ -248,6 +304,8 @@ impl ProcessorStats {
         self.dups_dropped += other.dups_dropped;
         self.acks_sent += other.acks_sent;
         self.gaps_skipped += other.gaps_skipped;
+        self.prov_recorded += other.prov_recorded;
+        self.prov_fetches += other.prov_fetches;
     }
 }
 
@@ -272,6 +330,12 @@ pub struct StateFootprint {
     pub shared_relations: usize,
     /// Tuples held by the shared (cross-query) store.
     pub shared_tuples: usize,
+    /// Provenance-store residue across all queries: live derivation
+    /// records, tuple→provenance bindings, and cached fetched records.
+    /// Zero for queries that do not record provenance; must return to zero
+    /// when a recording query is torn down (Explain state must not leak
+    /// across the query lifecycle).
+    pub prov_records: usize,
 }
 
 impl StateFootprint {
@@ -283,6 +347,7 @@ impl StateFootprint {
         self.prune_entries += other.prune_entries;
         self.shared_relations += other.shared_relations;
         self.shared_tuples += other.shared_tuples;
+        self.prov_records += other.prov_records;
     }
 
     /// True when nothing is stored at all.
@@ -359,6 +424,12 @@ struct Instance {
     /// Queued revivals only run once this reaches
     /// [`REVIVE_QUIET_BATCHES`].
     revive_quiet: u32,
+    /// Derivation-provenance arena, allocated only when the spec asks for
+    /// recording ([`QuerySpec::record_provenance`]). `None` means the query
+    /// runs the exact pre-provenance hot path: no store, no per-firing
+    /// bookkeeping, empty wire tags. Owned by the instance so teardown
+    /// drops every record with the rest of the query's state.
+    prov: Option<ProvStore>,
     installed: bool,
 }
 
@@ -399,6 +470,7 @@ impl Instance {
             }
         }
         let cache_rel = RelId::intern(&spec.cache_relation);
+        let prov = spec.record_provenance.then(ProvStore::new);
         Instance {
             spec,
             db,
@@ -411,6 +483,7 @@ impl Instance {
             revive: std::collections::HashSet::new(),
             poison_seen: false,
             revive_quiet: 0,
+            prov,
             installed: false,
         }
     }
@@ -561,6 +634,9 @@ struct OutStream {
 #[derive(Debug)]
 struct PendingBatch {
     items: Vec<Tuple>,
+    /// Provenance tags parallel to `items` (empty when not recording), so
+    /// retransmissions carry the same derivation pointers as the original.
+    provs: Vec<ProvTag>,
     /// Retransmissions performed so far.
     retries: u32,
     /// When the next retransmission is due.
@@ -572,8 +648,26 @@ struct PendingBatch {
 struct InStream {
     /// Next sequence number expected in order (== the cumulative ack).
     next_expected: u64,
-    /// Out-of-order batches held until the gap before them fills.
-    buffered: BTreeMap<u64, Vec<Tuple>>,
+    /// Out-of-order batches (items plus their provenance tags) held until
+    /// the gap before them fills.
+    buffered: BTreeMap<u64, (Vec<Tuple>, Vec<ProvTag>)>,
+}
+
+/// Tuples queued for shipping, per destination, each with the provenance
+/// tag the receiver should alias it to (`None` for base facts or
+/// non-recording queries).
+type Outbound = BTreeMap<NodeId, Vec<(Tuple, ProvTag)>>;
+
+/// How a tuple entering [`QueryProcessor::route_tuple`] got here, for
+/// provenance bookkeeping (ignored unless the query records provenance).
+enum ProvAction {
+    /// Derived by a local rule firing: record it in the arena. Carries the
+    /// rule's index in the localized program and the body tuples the
+    /// firing joined, in planned join order.
+    Fired(u32, Vec<Tuple>),
+    /// Arrived over the wire carrying a pointer to its deriving node's
+    /// record: alias it.
+    Wire(NodeId, ProvId),
 }
 
 /// Out-of-order batches buffered per stream before the receiver gives up on
@@ -719,8 +813,26 @@ impl QueryProcessor {
             f.stored_tuples += instance.db.total_tuples();
             f.pending_tuples += instance.pending.values().map(Vec::len).sum::<usize>();
             f.prune_entries += instance.prune.len();
+            f.prov_records += instance.prov.as_ref().map_or(0, ProvStore::residue);
         }
         f
+    }
+
+    /// The provenance store of query `qid` at this node (`None` when the
+    /// query is not installed here or does not record provenance).
+    pub fn provenance(&self, qid: QueryId) -> Option<&ProvStore> {
+        self.instances.get(&qid).and_then(|i| i.prov.as_ref())
+    }
+
+    /// True when this node currently stores `tuple` in `qid`'s local
+    /// database (used by `explain` to locate a route's home node).
+    pub fn stores_tuple(&self, qid: QueryId, tuple: &Tuple) -> bool {
+        self.instances.get(&qid).map(|i| i.db.contains(tuple)).unwrap_or(false)
+    }
+
+    /// True when this node currently has `qid` installed.
+    pub fn has_query(&self, qid: QueryId) -> bool {
+        self.instances.contains_key(&qid)
     }
 
     // -- internals ----------------------------------------------------------
@@ -784,10 +896,10 @@ impl QueryProcessor {
 
         // Install the query's facts: replicated relations everywhere, others
         // only at their home node.
-        let mut outbound: BTreeMap<NodeId, Vec<Tuple>> = BTreeMap::new();
+        let mut outbound: Outbound = BTreeMap::new();
         let facts: Vec<Tuple> = spec.facts.clone();
         for fact in facts {
-            self.route_tuple(qid, fact, &mut outbound);
+            self.route_tuple(qid, fact, None, &mut outbound);
         }
         // Materialize the program's own ground facts (constant rules such as
         // the `magicSources` / `magicDsts` of a pair query). Since every node
@@ -795,13 +907,13 @@ impl QueryProcessor {
         // installed locally everywhere, and located facts only at their home
         // node — no shipping required.
         for fact in self.materialize_program_facts(&program) {
-            self.route_tuple(qid, fact, &mut outbound);
+            self.route_tuple(qid, fact, None, &mut outbound);
         }
         // Seed the neighbor table as `link` base tuples.
         let links: Vec<Tuple> =
             self.neighbors.iter().map(|(nb, cost)| self.link_tuple(*nb, *cost)).collect();
         for link in links {
-            self.route_tuple(qid, link, &mut outbound);
+            self.route_tuple(qid, link, None, &mut outbound);
         }
         self.flush_outbound(ctx, qid, outbound);
         self.schedule_batch(ctx);
@@ -879,18 +991,29 @@ impl QueryProcessor {
 
     /// Store or forward one tuple for query `qid`. Returns true when the
     /// tuple was newly stored locally.
+    ///
+    /// `prov` describes where the tuple came from for provenance purposes
+    /// (a local rule firing, or a wire tag from its deriving node); it is
+    /// ignored — and should be `None` — unless the query records
+    /// provenance. Only *admitted* tuples are bound: dominated and
+    /// collapsed derivations leave no provenance residue, and a keyed
+    /// upsert forgets the displaced tuple's record, so the store tracks
+    /// exactly the live routing state.
     fn route_tuple(
         &mut self,
         qid: QueryId,
         tuple: Tuple,
-        outbound: &mut BTreeMap<NodeId, Vec<Tuple>>,
+        prov: Option<ProvAction>,
+        outbound: &mut Outbound,
     ) -> bool {
         let my_id = self.node;
+        let batch = self.stats.batches;
         // Work on the instance first; side effects on other processor fields
         // (stats, shared cache) are applied after the borrow ends.
         let mut pruned = false;
         let mut collapsed = false;
         let mut stored = false;
+        let mut recorded = false;
         let mut cache_entry: Option<Tuple> = None;
         {
             let Some(instance) = self.instances.get_mut(&qid) else { return false };
@@ -918,18 +1041,65 @@ impl QueryProcessor {
             }
 
             if admitted {
+                // Bind the admitted tuple's provenance. A firing is
+                // recorded at the deriving node even when the tuple's home
+                // is remote: the shipped copy links back here, and
+                // `ProvFetch` resolves the pointer on demand.
+                let mut tag: ProvTag = None;
+                // A wire tag is only aliased into the store if the tuple is
+                // actually stored below — a tuple merely relayed onward must
+                // not leave a binding at the relay.
+                let mut wire_ref: Option<ProvRef> = None;
+                if let Some(store) = instance.prov.as_mut() {
+                    match prov {
+                        Some(ProvAction::Fired(rule, body)) => {
+                            let body_refs: Vec<(Tuple, ProvRef)> = body
+                                .into_iter()
+                                .map(|b| {
+                                    let r = store.resolve(&b);
+                                    (b, r)
+                                })
+                                .collect();
+                            let pid = store.record(tuple.clone(), rule, my_id, batch, body_refs);
+                            recorded = true;
+                            tag = Some((my_id, pid));
+                        }
+                        Some(ProvAction::Wire(origin, pid)) => {
+                            wire_ref = Some(if origin == my_id {
+                                ProvRef::Local(pid)
+                            } else {
+                                ProvRef::Remote(origin, pid)
+                            });
+                            tag = Some((origin, pid));
+                        }
+                        None => {}
+                    }
+                }
+
                 let loc_field = program.catalog.location_field(relation);
                 let home = tuple.node_at(loc_field);
                 let replicated = program.is_replicated(relation);
 
                 match home {
                     Some(h) if h != my_id && !replicated => {
-                        outbound.entry(h).or_default().push(tuple.clone());
+                        outbound.entry(h).or_default().push((tuple.clone(), tag));
                     }
                     _ => {
                         let outcome = instance.db.insert(tuple.clone());
+                        // A keyed upsert displaced an older tuple: its
+                        // provenance dies with it.
+                        if let Some(old) = outcome.replaced.as_ref() {
+                            if let Some(store) = instance.prov.as_mut() {
+                                store.forget(old);
+                            }
+                        }
                         if outcome.added {
                             stored = true;
+                            if let Some(r) = wire_ref {
+                                if let Some(store) = instance.prov.as_mut() {
+                                    store.alias(tuple.clone(), r);
+                                }
+                            }
                             instance.pending.entry(relation).or_default().push(tuple.clone());
 
                             // Ship copies required by remote joins (the
@@ -941,7 +1111,26 @@ impl QueryProcessor {
                                 let cache_tuple =
                                     Tuple::from_rel(ship.cache_relation, tuple.fields().to_vec());
                                 if dest == my_id {
-                                    if instance.db.insert(cache_tuple.clone()).added {
+                                    let copy_outcome = instance.db.insert(cache_tuple.clone());
+                                    if let Some(store) = instance.prov.as_mut() {
+                                        if let Some(old) = copy_outcome.replaced.as_ref() {
+                                            store.forget(old);
+                                        }
+                                    }
+                                    if copy_outcome.added {
+                                        // The copy proves nothing new: it
+                                        // aliases the source tuple's own
+                                        // provenance.
+                                        if let (Some(store), Some((n, p))) =
+                                            (instance.prov.as_mut(), tag)
+                                        {
+                                            let r = if n == my_id {
+                                                ProvRef::Local(p)
+                                            } else {
+                                                ProvRef::Remote(n, p)
+                                            };
+                                            store.alias(cache_tuple.clone(), r);
+                                        }
                                         instance
                                             .pending
                                             .entry(ship.cache_relation)
@@ -949,7 +1138,7 @@ impl QueryProcessor {
                                             .push(cache_tuple);
                                     }
                                 } else {
-                                    outbound.entry(dest).or_default().push(cache_tuple);
+                                    outbound.entry(dest).or_default().push((cache_tuple, tag));
                                 }
                             }
 
@@ -975,6 +1164,9 @@ impl QueryProcessor {
         }
         if stored {
             self.stats.tuples_derived += 1;
+        }
+        if recorded {
+            self.stats.prov_recorded += 1;
         }
         if let Some(cache) = cache_entry {
             self.shared.insert(cache);
@@ -1144,27 +1336,41 @@ impl QueryProcessor {
         ))
     }
 
-    fn flush_outbound(
-        &mut self,
-        ctx: &mut Context<'_, NetMsg>,
-        qid: QueryId,
-        outbound: BTreeMap<NodeId, Vec<Tuple>>,
-    ) {
-        for (dest, items) in outbound {
-            if items.is_empty() {
+    /// Split a tagged batch into the wire's parallel item/tag vectors. The
+    /// tag vector is emptied when every tag is `None`, so non-recording
+    /// queries keep their exact legacy wire accounting.
+    fn split_tagged(tagged: Vec<(Tuple, ProvTag)>) -> (Vec<Tuple>, Vec<ProvTag>) {
+        let mut items = Vec::with_capacity(tagged.len());
+        let mut provs = Vec::with_capacity(tagged.len());
+        let mut any = false;
+        for (tuple, tag) in tagged {
+            any |= tag.is_some();
+            items.push(tuple);
+            provs.push(tag);
+        }
+        if !any {
+            provs.clear();
+        }
+        (items, provs)
+    }
+
+    fn flush_outbound(&mut self, ctx: &mut Context<'_, NetMsg>, qid: QueryId, outbound: Outbound) {
+        for (dest, tagged) in outbound {
+            if tagged.is_empty() {
                 continue;
             }
             if dest == self.node {
                 // Tuples that resolved back to ourselves (e.g. relayed home
                 // deliveries): fold them straight in.
                 let mut again = BTreeMap::new();
-                for tuple in items {
-                    self.route_tuple(qid, tuple, &mut again);
+                for (tuple, tag) in tagged {
+                    let action = tag.map(|(n, p)| ProvAction::Wire(n, p));
+                    self.route_tuple(qid, tuple, action, &mut again);
                 }
                 self.flush_outbound(ctx, qid, again);
                 continue;
             }
-            self.stats.tuples_sent += items.len() as u64;
+            self.stats.tuples_sent += tagged.len() as u64;
             // Nodes only exchange messages with direct neighbors. Cache
             // shipping (the Figure 2 clouds) always targets a neighbor by
             // construction; home shipping of derived tuples usually does
@@ -1177,14 +1383,16 @@ impl QueryProcessor {
             let next_hop = if self.neighbors.contains_key(&dest) {
                 Some(dest)
             } else {
+                let items: Vec<Tuple> = tagged.iter().map(|(t, _)| t.clone()).collect();
                 Self::relay_hop(self.node, dest, &items, &self.neighbors)
             };
             match next_hop {
-                Some(hop) => self.send_tuples(ctx, hop, qid, items),
+                Some(hop) => self.send_tuples(ctx, hop, qid, tagged),
                 // No way to make progress toward the home node: drop. Not
                 // sequenced — retransmitting into a black hole buys nothing.
                 None => {
-                    let msg = NetMsg::Tuples { qid, seq: None, items };
+                    let (items, provs) = Self::split_tagged(tagged);
+                    let msg = NetMsg::Tuples { qid, seq: None, items, provs };
                     let size = msg.wire_size();
                     ctx.send(dest, msg, size);
                 }
@@ -1201,10 +1409,11 @@ impl QueryProcessor {
         ctx: &mut Context<'_, NetMsg>,
         hop: NodeId,
         qid: QueryId,
-        items: Vec<Tuple>,
+        tagged: Vec<(Tuple, ProvTag)>,
     ) {
+        let (items, provs) = Self::split_tagged(tagged);
         let Some(rel) = self.config.reliability else {
-            let msg = NetMsg::Tuples { qid, seq: None, items };
+            let msg = NetMsg::Tuples { qid, seq: None, items, provs };
             let size = msg.wire_size();
             ctx.send(hop, msg, size);
             return;
@@ -1216,12 +1425,13 @@ impl QueryProcessor {
             seq,
             PendingBatch {
                 items: items.clone(),
+                provs: provs.clone(),
                 retries: 0,
                 due: ctx.now() + rel.retransmit_timeout,
             },
         );
         let base = *stream.unacked.keys().next().expect("just inserted");
-        let msg = NetMsg::Tuples { qid, seq: Some(StreamSeq { seq, base }), items };
+        let msg = NetMsg::Tuples { qid, seq: Some(StreamSeq { seq, base }), items, provs };
         let size = msg.wire_size();
         ctx.send(hop, msg, size);
         self.schedule_retransmit_scan(ctx);
@@ -1262,6 +1472,7 @@ impl QueryProcessor {
                     qid,
                     seq: Some(StreamSeq { seq, base }),
                     items: batch.items.clone(),
+                    provs: batch.provs.clone(),
                 };
                 let size = msg.wire_size();
                 resend.push((hop, msg, size));
@@ -1386,7 +1597,7 @@ impl QueryProcessor {
         self.stats.batches += 1;
         let qids: Vec<QueryId> = self.instances.keys().copied().collect();
         for qid in qids {
-            let mut outbound: BTreeMap<NodeId, Vec<Tuple>> = BTreeMap::new();
+            let mut outbound: Outbound = BTreeMap::new();
             let mut cache_installs: Vec<(NodeId, NetMsg)> = Vec::new();
             // Local fixpoint: keep draining deltas until nothing new is
             // produced locally.
@@ -1435,9 +1646,24 @@ impl QueryProcessor {
                 // consuming the aggregate must re-join against the updated
                 // inputs or they would keep serving stale results (§8).
                 let mut forced_deltas: Vec<Tuple> = Vec::new();
+                // Firing log of this round, head tuple → (rule index, body
+                // tuples), populated only when the query records provenance.
+                // Aggregate winners keep the fields of the raw derivation
+                // they won with, so the head-keyed lookup resolves them too.
+                let recording = instance.prov.is_some();
+                let mut firings: HashMap<Tuple, (u32, Vec<Tuple>)> = HashMap::new();
                 {
                     let source = Overlay { local: &instance.db, shared: &self.shared };
-                    for plan in instance.compiled.iter() {
+                    let mut log = FiringLog::new();
+                    let absorb =
+                        |log: &mut FiringLog,
+                         ri: usize,
+                         firings: &mut HashMap<Tuple, (u32, Vec<Tuple>)>| {
+                            for firing in log.firings.drain(..) {
+                                firings.insert(firing.head, (ri as u32, firing.body));
+                            }
+                        };
+                    for (ri, plan) in instance.compiled.iter().enumerate() {
                         let rule = plan.rule();
                         if rule.head.has_aggregate() {
                             // Aggregates are recomputed from the full local
@@ -1453,7 +1679,15 @@ impl QueryProcessor {
                             if !touched {
                                 continue;
                             }
-                            if let Ok(raw) = plan.evaluate(&self.builtins, &source, None) {
+                            let raw = if recording {
+                                plan.evaluate_traced(&self.builtins, &source, None, &mut log)
+                            } else {
+                                plan.evaluate(&self.builtins, &source, None)
+                            };
+                            if let Ok(raw) = raw {
+                                if recording {
+                                    absorb(&mut log, ri, &mut firings);
+                                }
                                 if let Ok(grouped) =
                                     apply_aggregate(&rule.head, plan.head_rel(), &raw)
                                 {
@@ -1468,9 +1702,20 @@ impl QueryProcessor {
                             if delta.is_empty() {
                                 continue;
                             }
-                            if let Ok(tuples) =
+                            let tuples = if recording {
+                                plan.evaluate_traced(
+                                    &self.builtins,
+                                    &source,
+                                    Some((i, delta)),
+                                    &mut log,
+                                )
+                            } else {
                                 plan.evaluate(&self.builtins, &source, Some((i, delta)))
-                            {
+                            };
+                            if let Ok(tuples) = tuples {
+                                if recording {
+                                    absorb(&mut log, ri, &mut firings);
+                                }
                                 derived.extend(tuples);
                             }
                         }
@@ -1487,7 +1732,10 @@ impl QueryProcessor {
                     }
                 }
                 for tuple in derived {
-                    let stored = self.route_tuple(qid, tuple.clone(), &mut outbound);
+                    let action = firings
+                        .get(&tuple)
+                        .map(|(rule, body)| ProvAction::Fired(*rule, body.clone()));
+                    let stored = self.route_tuple(qid, tuple.clone(), action, &mut outbound);
                     // Reverse-path cache installation for shared queries.
                     if stored {
                         if let Some((next, msg)) = self.reverse_path_install(qid, &tuple) {
@@ -1602,7 +1850,7 @@ impl QueryProcessor {
         for qid in qids {
             let link = self.link_tuple(neighbor, cost);
             let mut outbound = BTreeMap::new();
-            self.route_tuple(qid, link, &mut outbound);
+            self.route_tuple(qid, link, None, &mut outbound);
             if revived {
                 self.reinject_neighbor_copies(qid, neighbor);
             }
@@ -1651,15 +1899,79 @@ impl QueryProcessor {
         }
     }
 
+    /// Reorder one delivered batch so the aggregate-selection admission
+    /// gate sees, per selected relation, ∞ tombstones first and finite
+    /// tuples best-value first.
+    ///
+    /// Network reordering (loss, retransmission, duplication) otherwise
+    /// defeats the prune: finite routes arriving worst-first are each
+    /// better than the last, so every one of them is admitted, stored,
+    /// shipped, and re-joined downstream — the lossy churn benchmark
+    /// derives ~90× more tuples than its lossless twin mostly from this.
+    /// Sorting is per relation and stable; tuples of non-selected relations
+    /// (and the relative order of different relations) are untouched, so a
+    /// batch with no aggregate selections is processed exactly as it
+    /// arrived. Any processing order is semantically valid — delivery order
+    /// was never guaranteed — this one just minimizes admissions.
+    fn sort_batch_for_admission(&self, qid: QueryId, batch: &mut [(Tuple, ProvTag)]) {
+        let Some(instance) = self.instances.get(&qid) else { return };
+        if !instance.spec.aggregate_selections {
+            return;
+        }
+        let program = &instance.spec.program;
+        for sel in &program.agg_selections {
+            let idx: Vec<usize> = batch
+                .iter()
+                .enumerate()
+                .filter(|(_, (t, _))| t.rel() == sel.input_relation)
+                .map(|(i, _)| i)
+                .collect();
+            if idx.len() < 2 {
+                continue;
+            }
+            let mut members: Vec<(Tuple, ProvTag)> =
+                idx.iter().map(|&i| batch[i].clone()).collect();
+            let rank = |t: &Tuple| -> (u8, Option<Value>) {
+                match t.field(sel.value_field) {
+                    // Tombstones first: they only invalidate, and admitting
+                    // them before the finite alternatives avoids comparing
+                    // fresh routes against a best that is about to die.
+                    Some(v) if v.is_infinite_cost() => (0, None),
+                    Some(v) => (1, Some(v.clone())),
+                    None => (1, None),
+                }
+            };
+            members.sort_by(|(a, _), (b, _)| {
+                let (ra, va) = rank(a);
+                let (rb, vb) = rank(b);
+                ra.cmp(&rb).then_with(|| match (va, vb) {
+                    (Some(x), Some(y)) => {
+                        let ord = x.compare_numeric(&y);
+                        match sel.func {
+                            dr_datalog::ast::AggFunc::Max => ord.reverse(),
+                            _ => ord,
+                        }
+                    }
+                    _ => std::cmp::Ordering::Equal,
+                })
+            });
+            for (&i, m) in idx.iter().zip(members) {
+                batch[i] = m;
+            }
+        }
+    }
+
     /// Apply one arrived batch of tuples for `qid` (already past teardown
     /// and duplicate checks): piggy-backed installation, catalog decode,
-    /// routing, reverse-path cache installation, batch scheduling.
+    /// cost-ordering for the admission gate, routing, reverse-path cache
+    /// installation, batch scheduling.
     fn deliver_tuples(
         &mut self,
         ctx: &mut Context<'_, NetMsg>,
         from: NodeId,
         qid: QueryId,
         items: Vec<Tuple>,
+        provs: Vec<ProvTag>,
     ) {
         // Piggy-backed installation: tuples for an unknown query install it
         // on the fly (§3.5).
@@ -1679,9 +1991,13 @@ impl QueryProcessor {
             }
         }
         self.stats.tuples_received += items.len() as u64;
+        let tags: Vec<ProvTag> =
+            if provs.len() == items.len() { provs } else { vec![None; items.len()] };
+        let mut batch: Vec<(Tuple, ProvTag)> = items.into_iter().zip(tags).collect();
+        self.sort_batch_for_admission(qid, &mut batch);
         let mut outbound = BTreeMap::new();
         let mut cache_installs = Vec::new();
-        for tuple in items {
+        for (tuple, tag) in batch {
             // Decode the shipped relation tag against the query's symbol
             // catalog: a tuple whose id the catalog does not bind (a stale
             // id from an older query version, or garbage) is dropped instead
@@ -1690,7 +2006,8 @@ impl QueryProcessor {
                 self.stats.tuples_rejected += 1;
                 continue;
             }
-            let stored = self.route_tuple(qid, tuple.clone(), &mut outbound);
+            let action = tag.map(|(n, p)| ProvAction::Wire(n, p));
+            let stored = self.route_tuple(qid, tuple.clone(), action, &mut outbound);
             // Results of shared queries usually arrive here (shipped home
             // from the node that derived them); kick off the reverse-path
             // cache installation of §7.3.
@@ -1723,10 +2040,11 @@ impl QueryProcessor {
         qid: QueryId,
         header: StreamSeq,
         items: Vec<Tuple>,
+        provs: Vec<ProvTag>,
     ) {
         let StreamSeq { seq, base } = header;
         let stream = self.incoming.entry((from, qid)).or_default();
-        let mut ready: Vec<Vec<Tuple>> = Vec::new();
+        let mut ready: Vec<(Vec<Tuple>, Vec<ProvTag>)> = Vec::new();
         if base > stream.next_expected {
             while stream.next_expected < base {
                 match stream.buffered.remove(&stream.next_expected) {
@@ -1742,7 +2060,7 @@ impl QueryProcessor {
             // sender stops retransmitting.
             self.stats.dups_dropped += 1;
         } else {
-            stream.buffered.insert(seq, items);
+            stream.buffered.insert(seq, (items, provs));
             // Drain the in-order prefix.
             while let Some(batch) = stream.buffered.remove(&stream.next_expected) {
                 ready.push(batch);
@@ -1761,8 +2079,8 @@ impl QueryProcessor {
                 }
             }
         }
-        for batch in ready {
-            self.deliver_tuples(ctx, from, qid, batch);
+        for (batch, tags) in ready {
+            self.deliver_tuples(ctx, from, qid, batch, tags);
         }
         let cumulative = self.incoming.get(&(from, qid)).map(|s| s.next_expected).unwrap_or(0);
         let ack = NetMsg::Ack { qid, cumulative };
@@ -1794,6 +2112,29 @@ impl QueryProcessor {
         let reply = NetMsg::Install { qid };
         let size = instance.spec.program.dissemination_size();
         ctx.send(from, reply, size);
+    }
+
+    /// Serve a provenance-record fetch: look the id up in `qid`'s arena and
+    /// reply to the requester. A pruned record (or a torn-down / unknown
+    /// query) yields a `None` reply, which the explaining side renders as
+    /// an unresolved pointer rather than an error.
+    fn handle_prov_fetch(
+        &mut self,
+        ctx: &mut Context<'_, NetMsg>,
+        qid: QueryId,
+        id: ProvId,
+        requester: NodeId,
+    ) {
+        self.stats.prov_fetches += 1;
+        let record = self
+            .instances
+            .get(&qid)
+            .and_then(|i| i.prov.as_ref())
+            .and_then(|store| store.get(id))
+            .cloned();
+        let reply = NetMsg::ProvReply { qid, node: self.node, id, record: record.map(Box::new) };
+        let size = reply.wire_size();
+        ctx.send(requester, reply, size);
     }
 }
 
@@ -1844,7 +2185,7 @@ impl NodeApp for QueryProcessor {
                 }
                 self.install(ctx, qid);
             }
-            NetMsg::Tuples { qid, seq, items } => {
+            NetMsg::Tuples { qid, seq, items, provs } => {
                 if self.torn_down.contains(&qid) {
                     let reply = NetMsg::Teardown { qid };
                     let size = reply.wire_size();
@@ -1853,8 +2194,8 @@ impl NodeApp for QueryProcessor {
                 }
                 match seq {
                     // Legacy fire-and-forget batch: apply directly.
-                    None => self.deliver_tuples(ctx, from, qid, items),
-                    Some(s) => self.receive_sequenced(ctx, from, qid, s, items),
+                    None => self.deliver_tuples(ctx, from, qid, items, provs),
+                    Some(s) => self.receive_sequenced(ctx, from, qid, s, items, provs),
                 }
             }
             NetMsg::Ack { qid, cumulative } => {
@@ -1864,6 +2205,16 @@ impl NodeApp for QueryProcessor {
             }
             NetMsg::QueryRequest { qid } => {
                 self.handle_query_request(ctx, from, qid);
+            }
+            NetMsg::ProvFetch { qid, id, requester } => {
+                self.handle_prov_fetch(ctx, qid, id, requester);
+            }
+            NetMsg::ProvReply { qid, node, id, record } => {
+                if let Some(instance) = self.instances.get_mut(&qid) {
+                    if let (Some(store), Some(rec)) = (instance.prov.as_mut(), record) {
+                        store.remember_fetched(node, id, *rec);
+                    }
+                }
             }
             NetMsg::Teardown { qid } => {
                 self.teardown(ctx, qid);

@@ -49,6 +49,13 @@ pub struct QuerySpec {
     /// relations are installed at every node; other facts are installed only
     /// at the node named by their location field.
     pub facts: Vec<Tuple>,
+    /// Record derivation provenance for this query: every rule firing is
+    /// written into a per-node arena (see `dr_provenance::ProvStore`) and
+    /// shipped tuples carry a `(node, ProvId)` pointer back to their
+    /// deriving node, enabling distributed route explanations. Off by
+    /// default — when off, no store is allocated and the evaluation hot
+    /// path is byte-identical to a build without provenance.
+    pub record_provenance: bool,
     /// Statically compiled rule plans, built lazily on the first
     /// installation and shared by every node instance of this spec. Every
     /// local table is empty at installation time, so the static plans are
@@ -70,6 +77,7 @@ impl QuerySpec {
             cache_relation: "bestPathCache".to_string(),
             replicated: Vec::new(),
             facts: Vec::new(),
+            record_provenance: false,
             static_plans: OnceLock::new(),
         }
     }
@@ -113,6 +121,12 @@ impl QuerySpec {
     /// Builder-style fact installation.
     pub fn with_facts(mut self, facts: Vec<Tuple>) -> QuerySpec {
         self.facts = facts;
+        self
+    }
+
+    /// Builder-style toggle for derivation-provenance recording.
+    pub fn with_provenance(mut self, on: bool) -> QuerySpec {
+        self.record_provenance = on;
         self
     }
 }
@@ -205,6 +219,8 @@ mod tests {
         assert!(spec.aggregate_selections);
         assert!(!spec.share_results);
         assert!(spec.facts.is_empty());
+        assert!(!spec.record_provenance);
+        assert!(spec.with_provenance(true).record_provenance);
     }
 
     #[test]

@@ -418,6 +418,77 @@ impl fmt::Display for JoinPlan {
 // Single-rule evaluation (compiled path)
 // ---------------------------------------------------------------------------
 
+/// Observer of individual rule firings during [`RuleEval`] evaluation.
+///
+/// The join calls [`enter`](FiringSink::enter) when a candidate tuple
+/// survives its atom's field ops and scheduled constraints,
+/// [`exit`](FiringSink::exit) when the join backtracks past it, and
+/// [`fired`](FiringSink::fired) when a complete binding emits a head tuple
+/// — at which point the entered-and-not-exited tuples are exactly the
+/// positive body of the firing (in planned join order).
+///
+/// Evaluation is generic over the sink, so the default [`NoTrace`]
+/// monomorphizes to the exact pre-provenance hot path: no branch, no
+/// allocation, no cost when recording is off.
+pub trait FiringSink {
+    /// A candidate tuple joined at the current depth.
+    fn enter(&mut self, tuple: &Tuple);
+    /// The join backtracked past the most recently entered tuple.
+    fn exit(&mut self);
+    /// A complete binding emitted `head`.
+    fn fired(&mut self, head: &Tuple);
+}
+
+/// The do-nothing sink: compiles away entirely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoTrace;
+
+impl FiringSink for NoTrace {
+    #[inline(always)]
+    fn enter(&mut self, _tuple: &Tuple) {}
+    #[inline(always)]
+    fn exit(&mut self) {}
+    #[inline(always)]
+    fn fired(&mut self, _head: &Tuple) {}
+}
+
+/// One recorded rule firing: a head tuple and the positive body tuples the
+/// join bound to produce it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Firing {
+    /// The derived head tuple (raw: aggregate positions ungrouped).
+    pub head: Tuple,
+    /// The positive body tuples, in planned join order.
+    pub body: Vec<Tuple>,
+}
+
+/// A [`FiringSink`] that records every firing (the provenance hook).
+#[derive(Debug, Clone, Default)]
+pub struct FiringLog {
+    stack: Vec<Tuple>,
+    /// The firings observed so far.
+    pub firings: Vec<Firing>,
+}
+
+impl FiringLog {
+    /// An empty log.
+    pub fn new() -> FiringLog {
+        FiringLog::default()
+    }
+}
+
+impl FiringSink for FiringLog {
+    fn enter(&mut self, tuple: &Tuple) {
+        self.stack.push(tuple.clone());
+    }
+    fn exit(&mut self) {
+        self.stack.pop();
+    }
+    fn fired(&mut self, head: &Tuple) {
+        self.firings.push(Firing { head: head.clone(), body: self.stack.clone() });
+    }
+}
+
 /// Compiled evaluator for a single rule.
 ///
 /// Construction analyses the rule once: variables are interned into dense
@@ -1073,6 +1144,30 @@ impl RuleEval {
         source: &S,
         delta: Option<(usize, &[Tuple])>,
     ) -> Result<Vec<Tuple>> {
+        self.evaluate_with(builtins, source, delta, &mut NoTrace)
+    }
+
+    /// [`evaluate`](RuleEval::evaluate), additionally recording every rule
+    /// firing into `log` (head tuple + the body tuples that produced it).
+    /// This is the provenance entry point; the plain path stays on the
+    /// [`NoTrace`] monomorphization and pays nothing.
+    pub fn evaluate_traced<S: RelationSource>(
+        &self,
+        builtins: &Builtins,
+        source: &S,
+        delta: Option<(usize, &[Tuple])>,
+        log: &mut FiringLog,
+    ) -> Result<Vec<Tuple>> {
+        self.evaluate_with(builtins, source, delta, log)
+    }
+
+    fn evaluate_with<S: RelationSource, T: FiringSink>(
+        &self,
+        builtins: &Builtins,
+        source: &S,
+        delta: Option<(usize, &[Tuple])>,
+        sink: &mut T,
+    ) -> Result<Vec<Tuple>> {
         let mut out = Vec::new();
         // Resolve the function table once per call; an unknown function only
         // errors if a join path actually invokes it.
@@ -1098,7 +1193,7 @@ impl RuleEval {
         // because reads only target statically-bound slots.
         let mut frame = vec![Value::Bool(false); self.slot_names.len()];
         if self.run_steps(&env, 0, &mut frame)? {
-            self.join(&env, 0, &mut frame, &mut out)?;
+            self.join(&env, 0, &mut frame, &mut out, sink)?;
         }
         Ok(out)
     }
@@ -1163,15 +1258,16 @@ impl RuleEval {
         }
     }
 
-    fn join<S: RelationSource>(
+    fn join<S: RelationSource, T: FiringSink>(
         &self,
         env: &Env<'_, S>,
         depth: usize,
         frame: &mut [Value],
         out: &mut Vec<Tuple>,
+        sink: &mut T,
     ) -> Result<()> {
         if depth == self.atoms.len() {
-            return self.finish(env, frame, out);
+            return self.finish(env, frame, out, sink);
         }
         let ap = &self.atoms[depth];
         // Candidate tuples: the delta slice (through its per-call index
@@ -1220,18 +1316,22 @@ impl RuleEval {
             if !self.run_steps(env, depth + 1, frame)? {
                 continue;
             }
-            self.join(env, depth + 1, frame, out)?;
+            sink.enter(tuple);
+            let descended = self.join(env, depth + 1, frame, out, sink);
+            sink.exit();
+            descended?;
         }
         Ok(())
     }
 
     /// All positive atoms joined and every scheduled constraint applied:
     /// report unsafe constraints, check negations, emit the head tuple.
-    fn finish<S: RelationSource>(
+    fn finish<S: RelationSource, T: FiringSink>(
         &self,
         env: &Env<'_, S>,
         frame: &[Value],
         out: &mut Vec<Tuple>,
+        sink: &mut T,
     ) -> Result<()> {
         if let Some(lit) = self.unsafe_constraints.first() {
             return Err(Error::eval(format!(
@@ -1257,7 +1357,9 @@ impl RuleEval {
                 }
             }
         }
-        out.push(Tuple::from_rel(self.head_rel, fields));
+        let head = Tuple::from_rel(self.head_rel, fields);
+        sink.fired(&head);
+        out.push(head);
         Ok(())
     }
 

@@ -47,6 +47,6 @@ pub use ast::{AggFunc, Atom, CompareOp, Expr, Head, HeadTerm, Literal, Program, 
 pub use builtins::Builtins;
 pub use catalog::{Catalog, RelationInfo};
 pub use database::{CardStats, Database, Scan, Table};
-pub use eval::{EvalStats, Evaluator, JoinPlan, RuleEval};
+pub use eval::{EvalStats, Evaluator, Firing, FiringLog, FiringSink, JoinPlan, NoTrace, RuleEval};
 pub use parser::parse_program;
 pub use safety::{check_safety, SafetyReport};

@@ -8,16 +8,20 @@
 //! server to exit cleanly after the run — which is how CI stops the smoke
 //! deployment.
 //!
+//! With `--explain` the tail session also issues a provenance-recording
+//! query, waits for a route, and asks the server to `Explain` it — an
+//! end-to-end smoke of the provenance subsystem.
+//!
 //! ```text
 //! dr-load [--addr 127.0.0.1:7117 | --inproc] [--sessions 8] [--rounds 24]
 //!         [--queries 2] [--step-ms 400] [--seed 7] [--nodes 16]
-//!         [--churn] [--shutdown]
+//!         [--churn] [--explain] [--shutdown]
 //! ```
 
 use std::process::ExitCode;
 
 use dr_netsim::{SimDuration, SimTime};
-use dr_service::load::{run, run_inproc, LoadOptions};
+use dr_service::load::{explain_probe, run, run_inproc, LoadOptions};
 use dr_service::{Backoff, Client, TcpTransport};
 use dr_workloads::ChurnSchedule;
 
@@ -26,6 +30,7 @@ struct Args {
     inproc: bool,
     nodes: usize,
     churn: bool,
+    explain: bool,
     shutdown: bool,
     opts: LoadOptions,
 }
@@ -36,6 +41,7 @@ fn parse_args() -> Result<Args, String> {
         inproc: false,
         nodes: 16,
         churn: false,
+        explain: false,
         shutdown: false,
         opts: LoadOptions::default(),
     };
@@ -47,6 +53,7 @@ fn parse_args() -> Result<Args, String> {
             "--inproc" => args.inproc = true,
             "--nodes" => args.nodes = parse("--nodes", &value("--nodes")?)?,
             "--churn" => args.churn = true,
+            "--explain" => args.explain = true,
             "--shutdown" => args.shutdown = true,
             "--sessions" => args.opts.sessions = parse("--sessions", &value("--sessions")?)?,
             "--rounds" => args.opts.rounds = parse("--rounds", &value("--rounds")?)?,
@@ -58,7 +65,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: dr-load [--addr HOST:PORT | --inproc] [--sessions N] [--rounds N] \
-                     [--queries N] [--step-ms MS] [--seed N] [--nodes N] [--churn] [--shutdown]"
+                     [--queries N] [--step-ms MS] [--seed N] [--nodes N] [--churn] [--explain] \
+                     [--shutdown]"
                 );
                 std::process::exit(0);
             }
@@ -115,11 +123,17 @@ fn main() -> ExitCode {
         println!("dr-load: {line}");
     }
 
-    // One last session for the stats snapshot (and the optional shutdown).
+    // One last session for the explain probe, the stats snapshot, and the
+    // optional shutdown.
     let tail =
         Client::connect_with_backoff(|| TcpTransport::dial(&args.addr), "load-tail", backoff)
             .map_err(|e| e.to_string())
             .and_then(|mut client| {
+                if args.explain {
+                    for line in explain_probe(&mut client).map_err(|e| e.to_string())? {
+                        println!("dr-load: {line}");
+                    }
+                }
                 let lines = client.stats().map_err(|e| e.to_string())?;
                 for line in &lines {
                     println!("{line}");

@@ -10,7 +10,7 @@
 
 use std::collections::VecDeque;
 
-use crate::protocol::{ErrorCode, IssueOptions, Request, Response, WireTuple};
+use crate::protocol::{ErrorCode, IssueOptions, Request, Response, WireDerivation, WireTuple};
 use crate::transport::{Transport, TransportError};
 
 /// A failed client call.
@@ -165,6 +165,20 @@ impl<T: Transport> Client<T> {
     pub fn subscribe(&mut self, qid: u64) -> Result<(), ClientError> {
         match self.request(&Request::Subscribe { qid })? {
             Response::Subscribed { .. } => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Explain how `tuple` was derived under query `qid`: returns the flat
+    /// proof-tree nodes (root at index 0), ready for
+    /// [`crate::protocol::tree_from_flat`].
+    pub fn explain(
+        &mut self,
+        qid: u64,
+        tuple: WireTuple,
+    ) -> Result<Vec<WireDerivation>, ClientError> {
+        match self.request(&Request::Explain { qid, tuple })? {
+            Response::Explanation { nodes, .. } => Ok(nodes),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }
     }

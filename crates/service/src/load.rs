@@ -182,6 +182,57 @@ where
     Ok(report)
 }
 
+/// Issue a provenance-recording Best-Path query through `client`, wait for
+/// a finite route to stream back, and ask the server to `Explain` it —
+/// the end-to-end smoke of the provenance subsystem (`dr-load --explain`,
+/// exercised by CI). Returns printable summary lines; the query is torn
+/// down before returning.
+pub fn explain_probe<T: Transport>(client: &mut Client<T>) -> Result<Vec<String>, ClientError> {
+    use crate::protocol::tree_from_flat;
+    let options = IssueOptions {
+        name: "explain-probe".to_string(),
+        record_provenance: true,
+        ..IssueOptions::default()
+    };
+    let qid = client.issue(BEST_PATH_PROGRAM, options)?;
+    client.subscribe(qid)?;
+    let mut route: Option<WireTuple> = None;
+    for _ in 0..50 {
+        client.advance(400)?;
+        for push in client.poll_pushed()? {
+            if let Response::Delta { added, .. } = push {
+                if route.is_none() {
+                    route = added.into_iter().find(|t| {
+                        t.values.iter().any(|v| matches!(v, WireValue::Cost(c) if c.is_finite()))
+                    });
+                }
+            }
+        }
+        if route.is_some() {
+            break;
+        }
+    }
+    let Some(route) = route else {
+        client.teardown(qid)?;
+        return Err(ClientError::Unexpected("no finite route appeared to explain".to_string()));
+    };
+    let nodes = client.explain(qid, route)?;
+    let tree = tree_from_flat(&nodes)
+        .ok_or_else(|| ClientError::Unexpected("malformed explanation tree".to_string()))?;
+    let steps = tree.steps();
+    let mut rules: Vec<&str> = steps.iter().map(|s| s.rule.as_str()).collect();
+    rules.dedup();
+    let lines = vec![format!(
+        "explain qid {qid}: proof has {} steps, depth {}, fully_resolved {}, rules [{}]",
+        steps.len(),
+        tree.depth(),
+        tree.is_fully_resolved(),
+        rules.join(" "),
+    )];
+    client.teardown(qid)?;
+    Ok(lines)
+}
+
 /// Run the load mix against a fresh in-process service over an `nodes`-node
 /// topology, optionally under a churn schedule (failed nodes exclude node
 /// 0, which issues the queries). This is the benchmark entry point: fully
@@ -203,6 +254,16 @@ pub fn run_inproc(nodes: usize, opts: &LoadOptions, churn: Option<&ChurnSchedule
 mod tests {
     use super::*;
     use dr_netsim::{SimDuration, SimTime};
+
+    #[test]
+    fn explain_probe_reports_a_resolved_proof() {
+        let hub = InProcHub::new(default_topology(8), ServiceConfig::default());
+        let mut client = Client::connect(hub.connect(), "probe").expect("connect");
+        let lines = explain_probe(&mut client).expect("probe succeeds");
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].starts_with("explain qid "), "got {:?}", lines[0]);
+        assert!(lines[0].contains("fully_resolved true"), "got {:?}", lines[0]);
+    }
 
     #[test]
     fn inproc_load_is_deterministic_and_unwinds() {

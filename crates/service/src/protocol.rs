@@ -118,6 +118,9 @@ pub struct IssueOptions {
     pub cache_relation: String,
     /// Facts installed with the query.
     pub facts: Vec<WireTuple>,
+    /// Record derivation provenance, enabling `Explain` requests against
+    /// this query (costs memory proportional to the derivation count).
+    pub record_provenance: bool,
 }
 
 impl Default for IssueOptions {
@@ -130,8 +133,35 @@ impl Default for IssueOptions {
             share_results: false,
             cache_relation: "bestPathCache".to_string(),
             facts: Vec::new(),
+            record_provenance: false,
         }
     }
+}
+
+/// One node of a derivation tree in the flat wire encoding of
+/// [`Response::Explanation`].
+///
+/// Trees cross the wire as a vector of nodes with *child indexes* instead
+/// of nesting, so decoding is depth-safe: no recursion, no
+/// attacker-controlled stack growth. The root is index 0 and every child
+/// index is strictly greater than its parent's, which rules out cycles and
+/// lets [`tree_from_flat`] rebuild bottom-up in one reverse pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireDerivation {
+    /// Node kind: 0 = base fact, 1 = derived, 2 = missing (an unresolved
+    /// remote pointer).
+    pub kind: u8,
+    /// The tuple this node proves.
+    pub tuple: WireTuple,
+    /// Label of the firing rule (derived nodes; empty otherwise).
+    pub rule: String,
+    /// The deriving node (derived), or the node that held the unresolved
+    /// record (missing). Zero for base facts.
+    pub node: u32,
+    /// The provenance-arena id that failed to resolve (missing nodes only).
+    pub prov_id: u32,
+    /// Indexes of the children in the flat vector (derived nodes only).
+    pub children: Vec<u32>,
 }
 
 /// A tuple as it crosses the service boundary: relation *name* plus values
@@ -248,6 +278,14 @@ pub enum Request {
     },
     /// Ask the server to shut down cleanly.
     Shutdown,
+    /// Explain how a derived tuple came to be: materialize the distributed
+    /// proof tree of `tuple` under the (provenance-recording) query `qid`.
+    Explain {
+        /// The query whose derivation is asked about.
+        qid: u64,
+        /// The derived tuple to explain.
+        tuple: WireTuple,
+    },
 }
 
 /// A server-to-client message.
@@ -322,6 +360,114 @@ pub enum Response {
     },
     /// The server acknowledges a `Shutdown` and is about to exit.
     ShuttingDown,
+    /// The proof tree answering an `Explain` request, flat-encoded (root is
+    /// index 0; see [`WireDerivation`]).
+    Explanation {
+        /// The explained query.
+        qid: u64,
+        /// The tree nodes; rebuild with [`tree_from_flat`].
+        nodes: Vec<WireDerivation>,
+    },
+}
+
+/// Flatten a derivation tree into the wire encoding: breadth-first, so the
+/// root is index 0 and every child index is strictly greater than its
+/// parent's.
+pub fn flatten_tree(tree: &dr_core::DerivationTree) -> Vec<WireDerivation> {
+    use dr_core::DerivationTree as T;
+    let mut out: Vec<WireDerivation> = Vec::new();
+    let mut queue: std::collections::VecDeque<&T> = std::collections::VecDeque::new();
+    queue.push_back(tree);
+    // First pass: assign indexes in BFS order.
+    let mut order: Vec<&T> = Vec::new();
+    while let Some(t) = queue.pop_front() {
+        order.push(t);
+        if let T::Derived { children, .. } = t {
+            for c in children {
+                queue.push_back(c);
+            }
+        }
+    }
+    // Second pass: emit nodes; children of the i-th BFS node occupy the
+    // next free indexes after everything queued before them.
+    let mut next_child = 1u32;
+    for t in &order {
+        match t {
+            T::Base { tuple } => out.push(WireDerivation {
+                kind: 0,
+                tuple: WireTuple::from_tuple(tuple),
+                rule: String::new(),
+                node: 0,
+                prov_id: 0,
+                children: Vec::new(),
+            }),
+            T::Derived { tuple, rule, node, children } => {
+                let ids: Vec<u32> = (next_child..next_child + children.len() as u32).collect();
+                next_child += children.len() as u32;
+                out.push(WireDerivation {
+                    kind: 1,
+                    tuple: WireTuple::from_tuple(tuple),
+                    rule: rule.clone(),
+                    node: node.0,
+                    prov_id: 0,
+                    children: ids,
+                });
+            }
+            T::Missing { tuple, node, id } => out.push(WireDerivation {
+                kind: 2,
+                tuple: WireTuple::from_tuple(tuple),
+                rule: String::new(),
+                node: node.0,
+                prov_id: id.0,
+                children: Vec::new(),
+            }),
+        }
+    }
+    out
+}
+
+/// Rebuild a [`dr_core::DerivationTree`] from its flat wire encoding.
+///
+/// Returns `None` for structurally invalid encodings: an empty vector, a
+/// child index out of bounds or not strictly greater than its parent's
+/// (which would permit cycles), an unknown kind byte, or a child claimed
+/// by two parents. Runs without recursion, so a hostile peer cannot
+/// overflow the stack with a deep tree.
+pub fn tree_from_flat(nodes: &[WireDerivation]) -> Option<dr_core::DerivationTree> {
+    use dr_core::DerivationTree as T;
+    if nodes.is_empty() {
+        return None;
+    }
+    let mut claimed = vec![false; nodes.len()];
+    for (i, n) in nodes.iter().enumerate() {
+        for &c in &n.children {
+            let c = c as usize;
+            if c <= i || c >= nodes.len() || claimed[c] {
+                return None;
+            }
+            claimed[c] = true;
+        }
+    }
+    // Build bottom-up: children always live at higher indexes, so a single
+    // reverse pass has every subtree ready when its parent needs it.
+    let mut built: Vec<Option<T>> = (0..nodes.len()).map(|_| None).collect();
+    for (i, n) in nodes.iter().enumerate().rev() {
+        let tuple = n.tuple.to_tuple();
+        let tree = match n.kind {
+            0 => T::Base { tuple },
+            1 => {
+                let mut children = Vec::with_capacity(n.children.len());
+                for &c in &n.children {
+                    children.push(built[c as usize].take()?);
+                }
+                T::Derived { tuple, rule: n.rule.clone(), node: NodeId(n.node), children }
+            }
+            2 => T::Missing { tuple, node: NodeId(n.node), id: dr_core::ProvId(n.prov_id) },
+            _ => return None,
+        };
+        built[i] = Some(tree);
+    }
+    built[0].take()
 }
 
 // ---------------------------------------------------------------------------
@@ -511,6 +657,48 @@ fn take_tuples(r: &mut Reader<'_>) -> Result<Vec<WireTuple>, ProtoError> {
     Ok(out)
 }
 
+fn put_derivation(buf: &mut Vec<u8>, d: &WireDerivation) {
+    put_u8(buf, d.kind);
+    put_wire_tuple(buf, &d.tuple);
+    put_str(buf, &d.rule);
+    put_u32(buf, d.node);
+    put_u32(buf, d.prov_id);
+    put_u32(buf, d.children.len() as u32);
+    for c in &d.children {
+        put_u32(buf, *c);
+    }
+}
+
+fn take_derivation(r: &mut Reader<'_>) -> Result<WireDerivation, ProtoError> {
+    let kind = r.u8()?;
+    let tuple = take_wire_tuple(r)?;
+    let rule = r.string()?;
+    let node = r.u32()?;
+    let prov_id = r.u32()?;
+    let n = r.count(4)?;
+    let mut children = Vec::with_capacity(n);
+    for _ in 0..n {
+        children.push(r.u32()?);
+    }
+    Ok(WireDerivation { kind, tuple, rule, node, prov_id, children })
+}
+
+fn put_derivations(buf: &mut Vec<u8>, nodes: &[WireDerivation]) {
+    put_u32(buf, nodes.len() as u32);
+    for d in nodes {
+        put_derivation(buf, d);
+    }
+}
+
+fn take_derivations(r: &mut Reader<'_>) -> Result<Vec<WireDerivation>, ProtoError> {
+    let n = r.count(21)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(take_derivation(r)?);
+    }
+    Ok(out)
+}
+
 fn put_strings(buf: &mut Vec<u8>, items: &[String]) {
     put_u32(buf, items.len() as u32);
     for s in items {
@@ -545,6 +733,7 @@ impl Request {
                 put_bool(buf, options.share_results);
                 put_str(buf, &options.cache_relation);
                 put_tuples(buf, &options.facts);
+                put_bool(buf, options.record_provenance);
             }
             Request::TeardownQuery { qid } => {
                 put_u8(buf, 3);
@@ -566,6 +755,11 @@ impl Request {
                 put_u64(buf, *millis);
             }
             Request::Shutdown => put_u8(buf, 8),
+            Request::Explain { qid, tuple } => {
+                put_u8(buf, 9);
+                put_u64(buf, *qid);
+                put_wire_tuple(buf, tuple);
+            }
         }
     }
 
@@ -583,6 +777,7 @@ impl Request {
                 let share_results = r.bool()?;
                 let cache_relation = r.string()?;
                 let facts = take_tuples(&mut r)?;
+                let record_provenance = r.bool()?;
                 Request::IssueQuery {
                     program,
                     options: IssueOptions {
@@ -593,6 +788,7 @@ impl Request {
                         share_results,
                         cache_relation,
                         facts,
+                        record_provenance,
                     },
                 }
             }
@@ -604,6 +800,7 @@ impl Request {
             6 => Request::Stats,
             7 => Request::Advance { millis: r.u64()? },
             8 => Request::Shutdown,
+            9 => Request::Explain { qid: r.u64()?, tuple: take_wire_tuple(&mut r)? },
             tag => return Err(ProtoError::BadTag { kind: "Request", tag }),
         };
         r.finish()?;
@@ -664,6 +861,11 @@ impl Response {
                 put_str(buf, message);
             }
             Response::ShuttingDown => put_u8(buf, 11),
+            Response::Explanation { qid, nodes } => {
+                put_u8(buf, 12);
+                put_u64(buf, *qid);
+                put_derivations(buf, nodes);
+            }
         }
     }
 
@@ -687,6 +889,7 @@ impl Response {
             9 => Response::Advanced { now_millis: r.u64()? },
             10 => Response::Error { code: ErrorCode::from_tag(r.u8()?)?, message: r.string()? },
             11 => Response::ShuttingDown,
+            12 => Response::Explanation { qid: r.u64()?, nodes: take_derivations(&mut r)? },
             tag => return Err(ProtoError::BadTag { kind: "Response", tag }),
         };
         r.finish()?;
@@ -781,6 +984,7 @@ mod tests {
                         relation: "magicDsts".into(),
                         values: vec![WireValue::Node(7)],
                     }],
+                    record_provenance: true,
                 },
             },
             Request::TeardownQuery { qid: 42 },
@@ -800,6 +1004,18 @@ mod tests {
             Request::Stats,
             Request::Advance { millis: 200 },
             Request::Shutdown,
+            Request::Explain {
+                qid: 42,
+                tuple: WireTuple {
+                    relation: "bestPath".into(),
+                    values: vec![
+                        WireValue::Node(0),
+                        WireValue::Node(3),
+                        WireValue::Path(vec![0, 1, 3]),
+                        WireValue::Cost(2.0),
+                    ],
+                },
+            },
         ];
         for req in reqs {
             let mut payload = Vec::new();
@@ -831,12 +1047,84 @@ mod tests {
             Response::Stats { lines: vec!["{\"type\":\"service\"}".into()] },
             Response::Error { code: ErrorCode::QuotaExceeded, message: "quota".into() },
             Response::ShuttingDown,
+            Response::Explanation {
+                qid: 9,
+                nodes: vec![
+                    WireDerivation {
+                        kind: 1,
+                        tuple: WireTuple { relation: "bestPath".into(), values: vec![] },
+                        rule: "BPR2".into(),
+                        node: 0,
+                        prov_id: 0,
+                        children: vec![1, 2],
+                    },
+                    WireDerivation {
+                        kind: 0,
+                        tuple: WireTuple { relation: "link".into(), values: vec![] },
+                        rule: String::new(),
+                        node: 0,
+                        prov_id: 0,
+                        children: vec![],
+                    },
+                    WireDerivation {
+                        kind: 2,
+                        tuple: WireTuple { relation: "path".into(), values: vec![] },
+                        rule: String::new(),
+                        node: 3,
+                        prov_id: 17,
+                        children: vec![],
+                    },
+                ],
+            },
         ];
         for resp in resps {
             let mut payload = Vec::new();
             resp.encode(&mut payload);
             assert_eq!(Response::decode(&payload), Ok(resp.clone()), "{resp:?}");
         }
+    }
+
+    #[test]
+    fn derivation_tree_flattens_and_rebuilds() {
+        use dr_core::DerivationTree as T;
+        use dr_types::NodeId;
+        let leaf = |rel: &str| T::Base { tuple: Tuple::new(rel, vec![Value::Int(1)]) };
+        let tree = T::Derived {
+            tuple: Tuple::new("bestPath", vec![Value::Int(0)]),
+            rule: "BPR2".into(),
+            node: NodeId(0),
+            children: vec![
+                T::Derived {
+                    tuple: Tuple::new("path", vec![Value::Int(0)]),
+                    rule: "NR2".into(),
+                    node: NodeId(1),
+                    children: vec![leaf("link"), leaf("link")],
+                },
+                T::Missing {
+                    tuple: Tuple::new("path", vec![Value::Int(2)]),
+                    node: NodeId(2),
+                    id: dr_core::ProvId(9),
+                },
+            ],
+        };
+        let flat = flatten_tree(&tree);
+        assert_eq!(flat.len(), 5);
+        assert_eq!(tree_from_flat(&flat), Some(tree));
+
+        // Structural garbage is rejected, not panicked on.
+        assert_eq!(tree_from_flat(&[]), None);
+        let mut cyclic = flat.clone();
+        cyclic[0].children = vec![0]; // self-loop
+        assert_eq!(tree_from_flat(&cyclic), None);
+        let mut oob = flat.clone();
+        oob[0].children = vec![99];
+        assert_eq!(tree_from_flat(&oob), None);
+        let mut shared = flat.clone();
+        shared[0].children = vec![1, 1]; // one child, two parents
+        assert_eq!(tree_from_flat(&shared), None);
+        let mut badkind = flat;
+        badkind[1].kind = 7;
+        assert_eq!(tree_from_flat(&badkind), None);
     }
 
     #[test]

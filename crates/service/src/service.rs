@@ -29,12 +29,12 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use dr_core::{NetMsg, QueryId, ResultCursor, RoutingHarness};
+use dr_core::{ExplainError, NetMsg, QueryId, ResultCursor, RoutingHarness};
 use dr_datalog::parse_program;
 use dr_netsim::{SimDuration, Topology};
 use dr_types::NodeId;
 
-use crate::protocol::{ErrorCode, IssueOptions, Request, Response, WireTuple};
+use crate::protocol::{flatten_tree, ErrorCode, IssueOptions, Request, Response, WireTuple};
 
 /// Tuning knobs of a [`RoutingService`].
 #[derive(Debug, Clone)]
@@ -204,6 +204,7 @@ impl RoutingService {
                 self.shutdown_requested = true;
                 Response::ShuttingDown
             }
+            Request::Explain { qid, tuple } => self.explain(qid, &tuple),
         }
     }
 
@@ -244,6 +245,7 @@ impl RoutingService {
             .sharing(options.share_results)
             .cache_relation(&options.cache_relation)
             .facts(options.facts.iter().map(WireTuple::to_tuple).collect())
+            .provenance(options.record_provenance)
             .submit();
         match submitted {
             Ok(handle) => {
@@ -292,11 +294,26 @@ impl RoutingService {
                 self.harness.sim_mut().inject(
                     at,
                     NodeId::new(node),
-                    NetMsg::Tuples { qid, seq: None, items },
+                    NetMsg::Tuples { qid, seq: None, items, provs: Vec::new() },
                 );
                 self.counters.facts_injected += u64::from(count);
                 Response::Injected { qid, count }
             }
+        }
+    }
+
+    /// Materialize a derivation tree. Explanations are read-only, so any
+    /// connected session may ask about any live query (not just its own);
+    /// the harness types the failure modes — unknown/torn-down queries and
+    /// tuples nobody stores come back as errors, never a wedge or a panic.
+    fn explain(&mut self, qid: QueryId, tuple: &WireTuple) -> Response {
+        let t = tuple.to_tuple();
+        match self.harness.explain(qid, &t) {
+            Ok(tree) => Response::Explanation { qid, nodes: flatten_tree(&tree) },
+            Err(e @ (ExplainError::UnknownQuery | ExplainError::TornDown)) => {
+                self.error(ErrorCode::UnknownQuery, e.to_string())
+            }
+            Err(e) => self.error(ErrorCode::BadRequest, e.to_string()),
         }
     }
 
@@ -383,7 +400,7 @@ impl RoutingService {
              \"tuples_derived\":{},\"tuples_pruned\":{},\"tombstones_collapsed\":{},\
              \"tuples_rejected\":{},\"prune_evicted\":{},\"batches\":{},\
              \"retransmits\":{},\"dups_dropped\":{},\"acks_sent\":{},\
-             \"gaps_skipped\":{}}}",
+             \"gaps_skipped\":{},\"prov_recorded\":{},\"prov_fetches\":{}}}",
             p.tuples_received,
             p.tuples_sent,
             p.tuples_derived,
@@ -396,18 +413,21 @@ impl RoutingService {
             p.dups_dropped,
             p.acks_sent,
             p.gaps_skipped,
+            p.prov_recorded,
+            p.prov_fetches,
         ));
         let f = self.harness.state_footprint();
         lines.push(format!(
             "{{\"type\":\"footprint\",\"instances\":{},\"stored_tuples\":{},\
              \"pending_tuples\":{},\"prune_entries\":{},\"shared_relations\":{},\
-             \"shared_tuples\":{}}}",
+             \"shared_tuples\":{},\"prov_records\":{}}}",
             f.instances,
             f.stored_tuples,
             f.pending_tuples,
             f.prune_entries,
             f.shared_relations,
             f.shared_tuples,
+            f.prov_records,
         ));
         lines.push(format!(
             "{{\"type\":\"overhead\",\"per_node_kb\":{:.3}}}",
@@ -492,6 +512,77 @@ mod tests {
         svc.apply(sid, Request::Advance { millis: 10_000 });
         assert_eq!(svc.live_queries(), 0);
         assert!(svc.harness().state_footprint().is_empty());
+    }
+
+    #[test]
+    fn explain_round_trip_and_typed_failures() {
+        let mut svc = service(8);
+        let (sid, _) = svc.connect("explainer");
+
+        // Unknown query: typed error, not a wedge.
+        let bogus = WireTuple { relation: "bestPath".into(), values: vec![] };
+        assert!(matches!(
+            svc.apply(sid, Request::Explain { qid: 123, tuple: bogus.clone() }),
+            Response::Error { code: ErrorCode::UnknownQuery, .. }
+        ));
+
+        // A query issued *without* provenance recording is a BadRequest.
+        let Response::Issued { qid: plain } = svc.apply(
+            sid,
+            Request::IssueQuery {
+                program: BEST_PATH.to_string(),
+                options: IssueOptions::default(),
+            },
+        ) else {
+            panic!("issue failed")
+        };
+        svc.apply(sid, Request::Advance { millis: 5_000 });
+        assert!(matches!(
+            svc.apply(sid, Request::Explain { qid: plain, tuple: bogus.clone() }),
+            Response::Error { code: ErrorCode::BadRequest, .. }
+        ));
+
+        // With recording on, a derived route explains into a rebuildable
+        // flat tree whose root is the asked-about tuple.
+        let Response::Issued { qid } = svc.apply(
+            sid,
+            Request::IssueQuery {
+                program: BEST_PATH.to_string(),
+                options: IssueOptions { record_provenance: true, ..IssueOptions::default() },
+            },
+        ) else {
+            panic!("issue failed")
+        };
+        svc.apply(sid, Request::Subscribe { qid });
+        svc.apply(sid, Request::Advance { millis: 10_000 });
+        let route = svc
+            .drain_outbox(sid, usize::MAX)
+            .into_iter()
+            .find_map(|r| match r {
+                Response::Delta { added, .. } => added.into_iter().find(|t| {
+                    t.values
+                        .iter()
+                        .any(|v| matches!(v, crate::protocol::WireValue::Cost(c) if c.is_finite()))
+                }),
+                _ => None,
+            })
+            .expect("a finite route was pushed");
+        let resp = svc.apply(sid, Request::Explain { qid, tuple: route.clone() });
+        let Response::Explanation { qid: got, nodes } = resp else { panic!("{resp:?}") };
+        assert_eq!(got, qid);
+        let tree = crate::protocol::tree_from_flat(&nodes).expect("well-formed flat tree");
+        assert_eq!(tree.tuple(), &route.to_tuple());
+        assert!(tree.is_fully_resolved(), "{tree}");
+
+        // After teardown the same request is typed UnknownQuery.
+        svc.apply(sid, Request::TeardownQuery { qid });
+        svc.apply(sid, Request::Advance { millis: 10_000 });
+        assert!(matches!(
+            svc.apply(sid, Request::Explain { qid, tuple: route }),
+            Response::Error { code: ErrorCode::UnknownQuery, .. }
+        ));
+        // Explain state does not outlive the query.
+        assert_eq!(svc.harness().state_footprint().prov_records, 0);
     }
 
     #[test]

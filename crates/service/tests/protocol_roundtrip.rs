@@ -5,7 +5,8 @@
 use proptest::prelude::*;
 
 use dr_service::protocol::{
-    frame, FrameBuf, IssueOptions, ProtoError, Request, Response, WireTuple, WireValue,
+    frame, FrameBuf, IssueOptions, ProtoError, Request, Response, WireDerivation, WireTuple,
+    WireValue,
 };
 use dr_service::ErrorCode;
 
@@ -49,19 +50,42 @@ fn issue_options() -> impl Strategy<Value = IssueOptions> {
             share_results: flags & 2 != 0,
             cache_relation,
             facts,
+            record_provenance: flags & 4 != 0,
+        })
+}
+
+fn wire_derivation() -> impl Strategy<Value = WireDerivation> {
+    // The codec round-trips any structure; validity (child indexes forming
+    // a tree) is `tree_from_flat`'s concern, tested in the unit tests.
+    (
+        0u32..4,
+        wire_tuple(),
+        "[A-Z]{0,4}[0-9]{0,2}",
+        0u32..64,
+        0u32..1_000,
+        collection::vec(0u32..32, 0..4),
+    )
+        .prop_map(|(kind, tuple, rule, node, prov_id, children)| WireDerivation {
+            kind: kind as u8,
+            tuple,
+            rule,
+            node,
+            prov_id,
+            children,
         })
 }
 
 fn request() -> impl Strategy<Value = Request> {
     (
-        0u32..8,
+        0u32..9,
         "[ -~]{0,40}",
         issue_options(),
         0u64..1_000,
         0u32..64,
         collection::vec(wire_tuple(), 0..4),
+        wire_tuple(),
     )
-        .prop_map(|(tag, text, options, qid, node, facts)| match tag {
+        .prop_map(|(tag, text, options, qid, node, facts, tuple)| match tag {
             0 => Request::Connect { client: text },
             1 => Request::IssueQuery { program: text, options },
             2 => Request::TeardownQuery { qid },
@@ -69,20 +93,22 @@ fn request() -> impl Strategy<Value = Request> {
             4 => Request::Subscribe { qid },
             5 => Request::Stats,
             6 => Request::Advance { millis: qid },
-            _ => Request::Shutdown,
+            7 => Request::Shutdown,
+            _ => Request::Explain { qid, tuple },
         })
 }
 
 fn response() -> impl Strategy<Value = Response> {
     (
-        0u32..11,
+        0u32..12,
         0u64..1_000,
         0u32..64,
         collection::vec(wire_tuple(), 0..4),
         collection::vec("[ -~]{0,30}", 0..4),
         "[ -~]{0,40}",
+        collection::vec(wire_derivation(), 0..4),
     )
-        .prop_map(|(tag, qid, n, tuples, lines, text)| match tag {
+        .prop_map(|(tag, qid, n, tuples, lines, text, nodes)| match tag {
             0 => Response::Connected { session: qid, nodes: n, now_millis: qid * 3 },
             1 => Response::Issued { qid },
             2 => Response::TornDown { qid },
@@ -105,7 +131,8 @@ fn response() -> impl Strategy<Value = Response> {
                 },
                 message: text,
             },
-            _ => Response::ShuttingDown,
+            10 => Response::ShuttingDown,
+            _ => Response::Explanation { qid, nodes },
         })
 }
 

@@ -6,7 +6,7 @@
 
 use std::collections::BTreeMap;
 
-use dr_service::protocol::{IssueOptions, Response};
+use dr_service::protocol::{IssueOptions, Response, WireTuple, WireValue};
 use dr_service::service::default_topology;
 use dr_service::transport::InProcHub;
 use dr_service::{Client, ServiceConfig, BEST_PATH_PROGRAM};
@@ -19,16 +19,25 @@ const CYCLES: usize = 3;
 fn one_cycle(
     client: &mut Client<dr_service::transport::InProcConn>,
 ) -> (BTreeMap<String, usize>, u64) {
-    let qid = client.issue(BEST_PATH_PROGRAM, IssueOptions::default()).expect("issue");
+    // Record provenance throughout, so teardown also has derivation
+    // bindings to unwind — the prov_records axis of the footprint pin.
+    let options = IssueOptions { record_provenance: true, ..IssueOptions::default() };
+    let qid = client.issue(BEST_PATH_PROGRAM, options).expect("issue");
     client.subscribe(qid).expect("subscribe");
     client.advance(15_000).expect("converge");
 
     let mut rows: BTreeMap<String, usize> = BTreeMap::new();
     let mut streamed: u64 = 0;
+    let mut explainable: Option<WireTuple> = None;
     for push in client.poll_pushed().expect("poll") {
         if let Response::Delta { added, removed, .. } = push {
             streamed += (added.len() + removed.len()) as u64;
             for t in added {
+                if explainable.is_none()
+                    && t.values.iter().any(|v| matches!(v, WireValue::Cost(c) if c.is_finite()))
+                {
+                    explainable = Some(t.clone());
+                }
                 *rows.entry(format!("{t:?}")).or_insert(0) += 1;
             }
             for t in removed {
@@ -41,6 +50,12 @@ fn one_cycle(
             }
         }
     }
+    // Exercise the explain path while the query lives: resolving remote
+    // provenance pointers caches fetched records, which teardown must also
+    // discard for the residue pin below to hold.
+    let route = explainable.expect("a finite route to explain");
+    let nodes = client.explain(qid, route).expect("explain");
+    assert!(!nodes.is_empty(), "explanation must carry at least the root");
     client.teardown(qid).expect("teardown");
     client.advance(15_000).expect("settle");
     client.poll_pushed().expect("drain teardown deltas");
@@ -83,6 +98,7 @@ fn issue_teardown_issue_leaves_no_residue() {
             assert_eq!(f.prune_entries, 0, "cycle {cycle}: prune entries leaked");
             assert_eq!(f.shared_relations, 0, "cycle {cycle}: shared relations leaked");
             assert_eq!(f.shared_tuples, 0, "cycle {cycle}: shared cache tuples leaked");
+            assert_eq!(f.prov_records, 0, "cycle {cycle}: provenance records leaked");
             assert_eq!(svc.harness().library().len(), 0, "cycle {cycle}: library spec leaked");
             assert_eq!(svc.live_queries(), 0, "cycle {cycle}: service believes a query lives");
         });

@@ -15,6 +15,9 @@
 //!   execution, incremental maintenance, multi-query sharing) and the
 //!   experiment harness.
 //! * [`protocols`] — every protocol from the paper as a ready-made query.
+//! * [`provenance`] — derivation provenance: per-tuple derivation records
+//!   and the [`provenance::DerivationTree`] proof trees behind
+//!   `RoutingHarness::explain`.
 //! * [`baselines`] — hand-coded path-vector / distance-vector baselines.
 //! * [`workloads`] — topologies, RTT models, churn and query workloads.
 //! * [`service`] — the long-lived routing service: client sessions issue,
@@ -100,6 +103,64 @@
 //! let stats = lossy.harness.processor_stats();
 //! assert!(stats.retransmits > 0 && stats.dups_dropped > 0 && stats.acks_sent > 0);
 //! ```
+//!
+//! ## Explaining routes
+//!
+//! Issuing with `.provenance(true)` records, for every derived tuple,
+//! which rule fired on which node from which body tuples. `explain`
+//! stitches those records — following cross-node pointers over the
+//! simulated wire — into a [`provenance::DerivationTree`] proof whose
+//! leaves are base link facts, and [`provenance::diff_explanations`]
+//! reports exactly which rule firings a reroute removed and added:
+//!
+//! ```
+//! use declarative_routing::engine::harness::RoutingHarness;
+//! use declarative_routing::netsim::{LinkParams, SimTime, Topology};
+//! use declarative_routing::protocols::best_path;
+//! use declarative_routing::provenance::diff_explanations;
+//! use declarative_routing::types::{Cost, NodeId, Value};
+//!
+//! // A square: two equal-cost two-hop routes 0 -> 3, via 1 or via 2.
+//! let mut topology = Topology::new(4);
+//! for (a, b) in [(0u32, 1u32), (0, 2), (1, 3), (2, 3)] {
+//!     topology.add_bidirectional(
+//!         NodeId::new(a),
+//!         NodeId::new(b),
+//!         LinkParams::with_latency_ms(10.0).with_cost(Cost::new(1.0)),
+//!     );
+//! }
+//! let mut harness = RoutingHarness::new(topology);
+//! let handle = harness.issue(best_path()).provenance(true).submit().unwrap();
+//! harness.run_until(SimTime::from_secs(30));
+//!
+//! // Explain node 0's route to node 3: a multi-node proof tree.
+//! let qid = handle.id();
+//! let route = |h: &RoutingHarness| {
+//!     h.sim()
+//!         .app(NodeId::new(0))
+//!         .tuples(qid, "bestPath")
+//!         .into_iter()
+//!         .find(|t| {
+//!             t.field(1) == Some(&Value::Node(NodeId::new(3)))
+//!                 && t.field(3).and_then(Value::as_cost).is_some_and(|c| c.is_finite())
+//!         })
+//!         .unwrap()
+//! };
+//! let before_route = route(&harness);
+//! let before = harness.explain(qid, &before_route).unwrap();
+//! assert!(before.is_fully_resolved());
+//!
+//! // Fail whichever node the proof goes through and re-explain: the diff
+//! // lists the firings the reroute removed and added, and no added step
+//! // fires on the failed node.
+//! let via = if before.steps().iter().any(|s| s.node == NodeId::new(1)) { 1 } else { 2 };
+//! harness.sim_mut().schedule_node_fail(SimTime::from_secs(30), NodeId::new(via));
+//! harness.run_until(SimTime::from_secs(60));
+//! let after = harness.explain(qid, &route(&harness)).unwrap();
+//! let diff = diff_explanations(&before, &after);
+//! assert!(!diff.removed.is_empty() && !diff.added.is_empty());
+//! assert!(diff.added.iter().all(|step| step.node != NodeId::new(via)));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -109,6 +170,7 @@ pub use dr_core as engine;
 pub use dr_datalog as datalog;
 pub use dr_netsim as netsim;
 pub use dr_protocols as protocols;
+pub use dr_provenance as provenance;
 pub use dr_service as service;
 pub use dr_types as types;
 pub use dr_workloads as workloads;

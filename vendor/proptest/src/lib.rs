@@ -110,6 +110,8 @@ impl_tuple_strategy!(A, B, C);
 impl_tuple_strategy!(A, B, C, D);
 impl_tuple_strategy!(A, B, C, D, E);
 impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
 
 /// `&str` strategies generate strings matching the pattern, as in real
 /// proptest's regex string strategies. Only the subset of regex syntax the
